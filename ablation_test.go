@@ -1,0 +1,173 @@
+package bench
+
+// Ablation benchmarks: each removes or swaps one design choice and reports
+// what breaks, quantifying why the system is built the way it is.
+//
+//   - Query packing: naive vs first-fit-decreasing vs branch-and-bound
+//     (Section 3.2's optimization is what makes collection feasible).
+//   - Change-deduplicated storage vs storing every sample (the archive's
+//     storage efficiency).
+//   - The fresh-instance hazard boost (without it, Figure 11b's early
+//     interruption medians — and the paper's H-L vs L-H ordering — vanish).
+//   - History features vs current-value features for the Table 4 forest
+//     (the archive's entire value proposition).
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/awsapi"
+	"repro/internal/binpack"
+	"repro/internal/catalog"
+	"repro/internal/cloudsim"
+	"repro/internal/collector"
+	"repro/internal/experiment"
+	"repro/internal/mlearn"
+	"repro/internal/repro"
+	"repro/internal/simclock"
+	"repro/internal/tsdb"
+)
+
+func BenchmarkAblationPackingStrategy(b *testing.B) {
+	cat := catalog.Standard()
+	for i := 0; i < b.N; i++ {
+		ffd, err := binpack.PlanScoreQueries(cat, awsapi.MaxReturnedScores, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exact, err := binpack.PlanScoreQueries(cat, awsapi.MaxReturnedScores, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(ffd.NaiveQueries), "queries-naive")
+		b.ReportMetric(float64(len(ffd.Queries)), "queries-ffd")
+		b.ReportMetric(float64(len(exact.Queries)), "queries-bnb")
+		b.ReportMetric(float64(ffd.AccountsNeeded(awsapi.MaxUniqueQueriesPer24h)), "accounts-ffd")
+		if i == b.N-1 {
+			b.Logf("naive %d -> FFD %d -> B&B %d queries (accounts: %d -> %d)",
+				ffd.NaiveQueries, len(ffd.Queries), len(exact.Queries),
+				(ffd.NaiveQueries+49)/50, ffd.AccountsNeeded(50))
+		}
+	}
+}
+
+func BenchmarkAblationDedupStorage(b *testing.B) {
+	run := func(storeAll bool) int {
+		cat := catalog.Compact(2)
+		clk := simclock.NewAtEpoch()
+		cloud := cloudsim.New(cat, clk, 42, cloudsim.DefaultParams())
+		db, err := tsdb.Open("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := collector.DefaultConfig()
+		cfg.StoreAllSamples = storeAll
+		col, err := collector.New(cloud, db, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := col.Run(3 * 24 * time.Hour); err != nil {
+			b.Fatal(err)
+		}
+		return db.PointCount()
+	}
+	for i := 0; i < b.N; i++ {
+		dedup := run(false)
+		raw := run(true)
+		ratio := float64(raw) / float64(dedup)
+		b.ReportMetric(ratio, "storage-blowup")
+		if i == b.N-1 {
+			b.Logf("3 days at 10-minute cadence: %d points deduplicated vs %d raw (%.1fx)",
+				dedup, raw, ratio)
+		}
+	}
+}
+
+func BenchmarkAblationFreshBoost(b *testing.B) {
+	// Removing the fresh-instance hazard boost pushes the time-to-first-
+	// interruption medians (Figure 11b) out by hours and erases the early
+	// clustering the paper observes.
+	for i := 0; i < b.N; i++ {
+		base := repro.DefaultExperiment54Options()
+		base.Seed += uint64(i)
+		base.SampleFrac = 0.25
+		withBoost, err := repro.Experiment54(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := cloudsim.DefaultParams()
+		p.FreshBoost = 0
+		noBoost := base
+		noBoost.Params = &p
+		without, err := repro.Experiment54(noBoost)
+		if err != nil {
+			b.Fatal(err)
+		}
+		medHL := func(r repro.Experiment54Result) float64 {
+			return analysis.Median(r.Result.ByCategory[experiment.CatHL].TimeToInterruptSec)
+		}
+		b.ReportMetric(medHL(withBoost), "hl-median-s-with")
+		b.ReportMetric(medHL(without), "hl-median-s-without")
+		if i == b.N-1 {
+			b.Logf("H-L median time-to-interrupt: %.0fs with fresh boost vs %.0fs without (paper: 6872s)",
+				medHL(withBoost), medHL(without))
+		}
+	}
+}
+
+func BenchmarkAblationHistoryFeatures(b *testing.B) {
+	// The Table 4 forest with history features vs the same forest
+	// restricted to the current-value features (last SPS, last IF,
+	// savings). History is what the archive adds; the gap is its value.
+	currentOnly := []int{5, 11, 12} // sps_last, if_last, savings_last
+	for i := 0; i < b.N; i++ {
+		col, err := repro.Collect(repro.CollectOptions{
+			Seed: 44 + uint64(i), Days: 21, SampleFrac: 0.35, Interval: time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := experiment.DefaultConfig()
+		cfg.Archive = col.DB
+		cfg.Seed = 44 + uint64(i)
+		res, err := experiment.Run(col.Cloud, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var full [][]float64
+		var y []int
+		for _, c := range res.Cases {
+			if c.Features != nil {
+				full = append(full, c.Features)
+				y = append(y, int(c.Outcome))
+			}
+		}
+		reduced := make([][]float64, len(full))
+		for r, row := range full {
+			sub := make([]float64, len(currentOnly))
+			for j, idx := range currentOnly {
+				sub[j] = row[idx]
+			}
+			reduced[r] = sub
+		}
+		trainIdx, testIdx := mlearn.TrainTestSplit(len(full), 0.3, 7)
+		evalSet := func(X [][]float64) float64 {
+			trX, trY := mlearn.Subset(X, y, trainIdx)
+			teX, teY := mlearn.Subset(X, y, testIdx)
+			f, err := mlearn.TrainForest(trX, trY, experiment.NumOutcomes, mlearn.ForestConfig{NumTrees: 100, Seed: 7})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return mlearn.Accuracy(teY, f.PredictAll(teX))
+		}
+		accFull := evalSet(full)
+		accCur := evalSet(reduced)
+		b.ReportMetric(accFull, "acc-history")
+		b.ReportMetric(accCur, "acc-current-only")
+		if i == b.N-1 {
+			b.Logf("forest accuracy: %.2f with month-long history vs %.2f with current values only",
+				accFull, accCur)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package bench regenerates every table and figure of the paper as Go
+// benchmarks: `go test -bench=. -benchmem` reruns each experiment and logs
+// the measured-vs-paper rows. One benchmark per table/figure, as indexed in
+// DESIGN.md.
+package bench
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/experiment"
+	"repro/internal/repro"
+)
+
+// benchArchive caches one collection run shared by the archive-driven
+// figures (Table 2, Figures 3-5, 8-10), exactly like SpotLake serves many
+// analyses from one archive.
+var (
+	archiveOnce sync.Once
+	archiveRun  *repro.Collected
+	archiveErr  error
+)
+
+func benchArchive(b *testing.B) *repro.Collected {
+	b.Helper()
+	archiveOnce.Do(func() {
+		opt := repro.CollectOptions{Seed: 22, Days: 60, SampleFrac: 0.10, Interval: 30 * time.Minute}
+		archiveRun, archiveErr = repro.Collect(opt)
+	})
+	if archiveErr != nil {
+		b.Fatal(archiveErr)
+	}
+	return archiveRun
+}
+
+// logOnce logs the rendered result on the last iteration only.
+func logOnce(b *testing.B, i int, s string) {
+	if i == b.N-1 {
+		b.Logf("\n%s", s)
+	}
+}
+
+func BenchmarkTable1RequestLifecycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := repro.Table1(uint64(i) + 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, res.String())
+	}
+}
+
+func BenchmarkTable2ScoreDistribution(b *testing.B) {
+	c := benchArchive(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := repro.Table2(c)
+		logOnce(b, i, res.String())
+	}
+}
+
+func BenchmarkTable3FulfillmentInterruption(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := repro.DefaultExperiment54Options()
+		opt.Seed += uint64(i)
+		res, err := repro.Experiment54(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, res.Table3String())
+	}
+}
+
+func BenchmarkTable4Prediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := repro.DefaultTable4Options()
+		opt.Seed += uint64(i)
+		res, err := repro.Table4(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rf, ok := res.Get("RF"); ok {
+			b.ReportMetric(rf.Accuracy, "rf-accuracy")
+		}
+		logOnce(b, i, res.String())
+	}
+}
+
+func BenchmarkFig1QueryOptimization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := repro.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.OptimizedQueries), "queries")
+		logOnce(b, i, res.String())
+	}
+}
+
+func BenchmarkFig3TemporalHeatmap(b *testing.B) {
+	c := benchArchive(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := repro.Fig3(c)
+		b.ReportMetric(res.OverallSPS, "overall-sps")
+		logOnce(b, i, res.String())
+	}
+}
+
+func BenchmarkFig4SpatialHeatmap(b *testing.B) {
+	c := benchArchive(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := repro.Fig4(c)
+		logOnce(b, i, res.String())
+	}
+}
+
+func BenchmarkFig5SizeEffect(b *testing.B) {
+	c := benchArchive(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := repro.Fig5(c)
+		logOnce(b, i, res.String())
+	}
+}
+
+func BenchmarkFig6CompositeQuery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := repro.Fig6(uint64(i)+5, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FracGreater(), "frac-greater")
+		logOnce(b, i, res.String())
+	}
+}
+
+func BenchmarkFig7TargetCapacity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := repro.Fig7(uint64(i)+6, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, res.String())
+	}
+}
+
+func BenchmarkFig8Correlations(b *testing.B) {
+	c := benchArchive(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := repro.Fig8(c)
+		b.ReportMetric(res.FracAbsBelow25, "frac-abs-r-below-0.25")
+		logOnce(b, i, res.String())
+	}
+}
+
+func BenchmarkFig9ScoreDifference(b *testing.B) {
+	c := benchArchive(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := repro.Fig9(c)
+		b.ReportMetric(res.Histogram[2.0], "frac-contradiction")
+		logOnce(b, i, res.String())
+	}
+}
+
+func BenchmarkFig10UpdateFrequency(b *testing.B) {
+	c := benchArchive(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := repro.Fig10(c)
+		logOnce(b, i, res.String())
+	}
+}
+
+func BenchmarkFig11Fulfillment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := repro.DefaultExperiment54Options()
+		opt.Seed += uint64(i)
+		res, err := repro.Experiment54(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hh := analysis.NewCDF(res.Result.ByCategory[experiment.CatHH].FulfillLatenciesSec)
+		b.ReportMetric(hh.FractionBelow(1), "hh-frac-le-1s")
+		logOnce(b, i, res.Fig11aString())
+	}
+}
+
+func BenchmarkFig11Interruption(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := repro.DefaultExperiment54Options()
+		opt.Seed += uint64(i) + 100
+		res, err := repro.Experiment54(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logOnce(b, i, res.Fig11bString())
+	}
+}

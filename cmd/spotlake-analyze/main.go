@@ -1,0 +1,129 @@
+// Command spotlake-analyze runs the paper's Section 5 analyses offline
+// against a persistent archive directory previously written by
+// spotlake-collector (or spotlake-server -data). It is the batch
+// counterpart of the web service: point it at the data and it prints the
+// score distributions, class/size means, correlations, contradiction
+// histogram, and update frequencies.
+//
+// Usage:
+//
+//	spotlake-analyze -data DIR [-frac 0.12] [-csv DIR]
+//
+// The catalog fraction must match the one the archive was collected with
+// (types not present in the archive are simply absent from the output).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/catalog"
+	"repro/internal/tsdb"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spotlake-analyze: ")
+
+	var (
+		dataDir = flag.String("data", "", "tsdb directory (required)")
+		frac    = flag.Float64("frac", 0.12, "catalog fraction the archive was collected with")
+	)
+	flag.Parse()
+	if *dataDir == "" {
+		log.Fatal("-data DIR is required")
+	}
+
+	db, err := tsdb.Open(*dataDir)
+	if err != nil {
+		log.Fatalf("opening %s: %v", *dataDir, err)
+	}
+	defer db.Close()
+	if db.PointCount() == 0 {
+		log.Fatalf("archive %s is empty; run spotlake-collector first", *dataDir)
+	}
+	var cat *catalog.Catalog
+	if *frac >= 1 {
+		cat = catalog.Standard()
+	} else {
+		cat = catalog.Sample(*frac)
+	}
+
+	// Determine the archive's time span from its series.
+	var from, to time.Time
+	for _, k := range db.Keys(tsdb.KeyFilter{}) {
+		pts := db.Query(k, time.Time{}, time.Date(9999, 1, 1, 0, 0, 0, 0, time.UTC))
+		if len(pts) == 0 {
+			continue
+		}
+		if from.IsZero() || pts[0].At.Before(from) {
+			from = pts[0].At
+		}
+		if last := pts[len(pts)-1].At; last.After(to) {
+			to = last
+		}
+	}
+	fmt.Printf("archive: %d series, %d points, %s .. %s (%.1f days)\n\n",
+		db.SeriesCount(), db.PointCount(),
+		from.Format("2006-01-02"), to.Format("2006-01-02"), to.Sub(from).Hours()/24)
+
+	fmt.Println("== value distributions (Table 2) ==")
+	sps := analysis.ValueDistribution(db, tsdb.DatasetPlacementScore, from, to, 2*time.Hour)
+	ifd := analysis.ValueDistribution(db, tsdb.DatasetInterruptFree, from, to, 2*time.Hour)
+	for _, v := range []float64{3.0, 2.5, 2.0, 1.5, 1.0} {
+		fmt.Printf("  %.1f: sps %5.1f%%  if %5.1f%%\n", v, sps[v]*100, ifd[v]*100)
+	}
+
+	fmt.Println("\n== class means (Figure 3) ==")
+	spsMeans := analysis.ClassMeans(db, cat, tsdb.DatasetPlacementScore, from, to)
+	ifMeans := analysis.ClassMeans(db, cat, tsdb.DatasetInterruptFree, from, to)
+	for _, cl := range catalog.Classes {
+		if _, ok := spsMeans[cl]; !ok {
+			continue
+		}
+		fmt.Printf("  %-4s sps %.2f  if %.2f\n", cl, spsMeans[cl], ifMeans[cl])
+	}
+	fmt.Printf("  overall: sps %.2f  if %.2f\n",
+		analysis.OverallMean(db, tsdb.DatasetPlacementScore, from, to),
+		analysis.OverallMean(db, tsdb.DatasetInterruptFree, from, to))
+
+	fmt.Println("\n== size means (Figure 5) ==")
+	for _, row := range analysis.SizeMeans(db, cat, from, to, 2) {
+		fmt.Printf("  %-9s sps %.2f  if %.2f  (%d types)\n", row.Size, row.MeanSPS, row.MeanIF, row.NumTypes)
+	}
+
+	fmt.Println("\n== correlations (Figure 8) ==")
+	corr := analysis.Correlations(db, from, to, 2*time.Hour)
+	show := func(name string, xs []float64) {
+		c := analysis.NewCDF(xs)
+		if c.N() == 0 {
+			fmt.Printf("  %-14s no data\n", name)
+			return
+		}
+		fmt.Printf("  %-14s median %+.2f  p10 %+.2f  p90 %+.2f  (n=%d)\n",
+			name, c.Quantile(0.5), c.Quantile(0.1), c.Quantile(0.9), c.N())
+	}
+	show("sps vs if", corr.SPSvsIF)
+	show("if vs price", corr.IFvsPrice)
+	show("sps vs price", corr.SPSvsPrice)
+
+	fmt.Println("\n== score differences (Figure 9) ==")
+	diff := analysis.ScoreDifferenceHistogram(db, from, to, 2*time.Hour)
+	for _, d := range []float64{0, 0.5, 1, 1.5, 2} {
+		fmt.Printf("  |d|=%.1f: %5.1f%%\n", d, diff[d]*100)
+	}
+
+	fmt.Println("\n== update frequency (Figure 10) ==")
+	for _, ds := range []string{tsdb.DatasetPlacementScore, tsdb.DatasetPrice, tsdb.DatasetInterruptFree} {
+		c := analysis.UpdateIntervalCDF(db, ds)
+		if c.N() == 0 {
+			fmt.Printf("  %-7s no changes recorded\n", ds)
+			continue
+		}
+		fmt.Printf("  %-7s median %.1fh  p25 %.1fh  p75 %.1fh  (%d changes)\n",
+			ds, c.Quantile(0.5), c.Quantile(0.25), c.Quantile(0.75), c.N())
+	}
+}

@@ -1,0 +1,126 @@
+// Command spotlake-query is a CLI client for the SpotLake archive API (the
+// programmatic access the paper argues spot datasets need).
+//
+// Usage:
+//
+//	spotlake-query -server http://localhost:8080 meta
+//	spotlake-query -server ... latest  -dataset if -region us-east-1
+//	spotlake-query -server ... history -dataset sps -type m5.xlarge -region us-east-1 [-az us-east-1a] [-from RFC3339] [-to RFC3339]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spotlake-query: ")
+
+	var (
+		server  = flag.String("server", "http://localhost:8080", "archive server base URL")
+		dataset = flag.String("dataset", "", "dataset: sps | if | price | savings")
+		typ     = flag.String("type", "", "instance type filter")
+		region  = flag.String("region", "", "region filter")
+		az      = flag.String("az", "", "availability zone filter")
+		from    = flag.String("from", "", "window start (RFC3339)")
+		to      = flag.String("to", "", "window end (RFC3339)")
+	)
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		cmd = "meta"
+	}
+
+	switch cmd {
+	case "meta":
+		var meta map[string]any
+		fetch(*server+"/api/v1/meta", &meta)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(meta); err != nil {
+			log.Fatal(err)
+		}
+
+	case "latest":
+		q := params(*dataset, *typ, *region, *az, "", "")
+		var entries []struct {
+			Key   map[string]string `json:"key"`
+			At    time.Time         `json:"at"`
+			Value float64           `json:"value"`
+		}
+		fetch(*server+"/api/v1/latest?"+q, &entries)
+		for _, e := range entries {
+			fmt.Printf("%-8s %-16s %-14s %-14s %s %.4f\n",
+				e.Key["Dataset"], e.Key["Type"], e.Key["Region"], e.Key["AZ"],
+				e.At.Format(time.RFC3339), e.Value)
+		}
+		if len(entries) == 0 {
+			log.Print("no matching series")
+		}
+
+	case "history":
+		q := params(*dataset, *typ, *region, *az, *from, *to)
+		var series []struct {
+			Key    map[string]string `json:"key"`
+			Points []struct {
+				At    time.Time `json:"At"`
+				Value float64   `json:"Value"`
+			} `json:"points"`
+		}
+		fetch(*server+"/api/v1/query?"+q, &series)
+		for _, s := range series {
+			fmt.Printf("# %s %s %s %s\n", s.Key["Dataset"], s.Key["Type"], s.Key["Region"], s.Key["AZ"])
+			for _, p := range s.Points {
+				fmt.Printf("%s %.4f\n", p.At.Format(time.RFC3339), p.Value)
+			}
+		}
+		if len(series) == 0 {
+			log.Print("no matching series")
+		}
+
+	default:
+		log.Fatalf("unknown command %q (want meta | latest | history)", cmd)
+	}
+}
+
+func params(dataset, typ, region, az, from, to string) string {
+	v := url.Values{}
+	set := func(k, s string) {
+		if s != "" {
+			v.Set(k, s)
+		}
+	}
+	set("dataset", dataset)
+	set("type", typ)
+	set("region", region)
+	set("az", az)
+	set("from", from)
+	set("to", to)
+	return v.Encode()
+}
+
+func fetch(u string, into any) {
+	resp, err := http.Get(u)
+	if err != nil {
+		log.Fatalf("GET %s: %v", u, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatalf("reading response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("server returned %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, into); err != nil {
+		log.Fatalf("decoding response: %v", err)
+	}
+}

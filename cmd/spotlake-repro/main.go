@@ -1,0 +1,187 @@
+// Command spotlake-repro regenerates every table and figure of the paper's
+// evaluation and prints measured-vs-paper values.
+//
+// Usage:
+//
+//	spotlake-repro [-only table2,fig7,...] [-seed N] [-days N] [-frac F] [-full]
+//
+// The default scale runs every experiment in a few minutes. -full uses the
+// paper's full 181-day window (slower).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spotlake-repro: ")
+
+	var (
+		only   = flag.String("only", "", "comma-separated experiment ids (table1,table2,table3,table4,fig1,fig3,fig4,fig5,fig6,fig7,fig8,fig9,fig10,fig11); empty = all")
+		seed   = flag.Uint64("seed", 22, "simulation seed")
+		days   = flag.Int("days", 60, "collection days for archive-driven figures")
+		frac   = flag.Float64("frac", 0.12, "catalog fraction for archive-driven figures (1.0 = all 547 types)")
+		full   = flag.Bool("full", false, "use the paper's full 181-day collection window")
+		csvDir = flag.String("csv", "", "also export figure/table data as CSV files into this directory")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	out := func(s string) {
+		fmt.Println(s)
+		fmt.Println()
+	}
+
+	if sel("table1") {
+		res, err := repro.Table1(*seed)
+		if err != nil {
+			log.Fatalf("table1: %v", err)
+		}
+		out(res.String())
+	}
+	if sel("fig1") {
+		res, err := repro.Fig1()
+		if err != nil {
+			log.Fatalf("fig1: %v", err)
+		}
+		out(res.String())
+	}
+
+	needArchive := sel("table2") || sel("fig3") || sel("fig4") || sel("fig5") ||
+		sel("fig8") || sel("fig9") || sel("fig10")
+	if needArchive {
+		opt := repro.CollectOptions{Seed: *seed, Days: *days, SampleFrac: *frac, Interval: 30 * time.Minute}
+		if *full {
+			opt.Days = 181
+		}
+		log.Printf("collecting archive: %d days, %.0f%% of catalog, %v cadence...",
+			opt.Days, opt.SampleFrac*100, opt.Interval)
+		start := time.Now()
+		col, err := repro.Collect(opt)
+		if err != nil {
+			log.Fatalf("collect: %v", err)
+		}
+		log.Printf("archive ready in %v: %d series, %d points, %d queries issued",
+			time.Since(start).Round(time.Millisecond),
+			col.DB.SeriesCount(), col.DB.PointCount(), col.Stats.QueriesIssued)
+
+		if sel("table2") {
+			out(repro.Table2(col).String())
+		}
+		if sel("fig3") {
+			out(repro.Fig3(col).String())
+		}
+		if sel("fig4") {
+			out(repro.Fig4(col).String())
+		}
+		if sel("fig5") {
+			out(repro.Fig5(col).String())
+		}
+		if sel("fig8") {
+			out(repro.Fig8(col).String())
+		}
+		if sel("fig9") {
+			out(repro.Fig9(col).String())
+		}
+		if sel("fig10") {
+			out(repro.Fig10(col).String())
+		}
+		if *csvDir != "" {
+			if err := repro.ExportCSV(col, *csvDir); err != nil {
+				log.Fatalf("csv export: %v", err)
+			}
+			log.Printf("archive figure CSVs written to %s", *csvDir)
+		}
+	}
+
+	if sel("fig6") {
+		res, err := repro.Fig6(*seed, 30)
+		if err != nil {
+			log.Fatalf("fig6: %v", err)
+		}
+		out(res.String())
+		if *csvDir != "" {
+			if err := repro.ExportFig6CSV(res, *csvDir); err != nil {
+				log.Fatalf("csv export: %v", err)
+			}
+		}
+	}
+	if sel("fig7") {
+		res, err := repro.Fig7(*seed, 40)
+		if err != nil {
+			log.Fatalf("fig7: %v", err)
+		}
+		out(res.String())
+		if *csvDir != "" {
+			if err := repro.ExportFig7CSV(res, *csvDir); err != nil {
+				log.Fatalf("csv export: %v", err)
+			}
+		}
+	}
+	if sel("table3") || sel("fig11") {
+		opt := repro.DefaultExperiment54Options()
+		opt.Seed = *seed
+		log.Printf("running Section 5.4 experiment (24h horizon, stratified sampling)...")
+		res, err := repro.Experiment54(opt)
+		if err != nil {
+			log.Fatalf("experiment: %v", err)
+		}
+		if sel("table3") {
+			out(res.Table3String())
+		}
+		if sel("fig11") {
+			out(res.Fig11aString())
+			out(res.Fig11bString())
+		}
+		if *csvDir != "" {
+			if err := repro.ExportExperimentCSV(res, *csvDir); err != nil {
+				log.Fatalf("csv export: %v", err)
+			}
+		}
+	}
+	if sel("table4") {
+		opt := repro.DefaultTable4Options()
+		opt.Seed = *seed
+		log.Printf("running Table 4 prediction study (collect %d days + experiment + forest)...", opt.CollectDays)
+		res, err := repro.Table4(opt)
+		if err != nil {
+			log.Fatalf("table4: %v", err)
+		}
+		out(res.String())
+		if *csvDir != "" {
+			if err := repro.ExportTable4CSV(res, *csvDir); err != nil {
+				log.Fatalf("csv export: %v", err)
+			}
+		}
+	}
+
+	if len(want) > 0 {
+		known := []string{"table1", "table2", "table3", "table4", "fig1", "fig3",
+			"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+		valid := map[string]bool{}
+		for _, k := range known {
+			valid[k] = true
+		}
+		for id := range want {
+			if !valid[id] {
+				fmt.Fprintf(os.Stderr, "unknown experiment id %q (known: %s)\n", id, strings.Join(known, ","))
+				os.Exit(2)
+			}
+		}
+	}
+}

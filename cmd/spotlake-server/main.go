@@ -1,0 +1,116 @@
+// Command spotlake-server runs the full SpotLake service against a
+// simulated cloud: it bootstraps an archive by fast-forwarding the
+// simulation, then serves the web API while collection continues in the
+// background (simulated time advances one collection tick per wall-clock
+// interval, like a live deployment).
+//
+// Usage:
+//
+//	spotlake-server [-addr :8080] [-bootstrap-days 14] [-frac 0.12]
+//	                [-data DIR] [-tick 2s] [-seed 22]
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/archive"
+	"repro/internal/azuresim"
+	"repro/internal/catalog"
+	"repro/internal/cloudsim"
+	"repro/internal/collector"
+	"repro/internal/gcpsim"
+	"repro/internal/multicloud"
+	"repro/internal/simclock"
+	"repro/internal/tsdb"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("spotlake-server: ")
+
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		bootstrap  = flag.Int("bootstrap-days", 14, "simulated days to collect before serving")
+		frac       = flag.Float64("frac", 0.12, "catalog fraction (1.0 = all 547 types)")
+		dataDir    = flag.String("data", "", "tsdb directory for persistence (empty = memory only)")
+		tick       = flag.Duration("tick", 2*time.Second, "wall-clock interval per live collection tick")
+		seed       = flag.Uint64("seed", 22, "simulation seed")
+		multiCloud = flag.Bool("multicloud", false, "also collect Azure and GCP spot datasets (Section 7)")
+	)
+	flag.Parse()
+
+	var cat *catalog.Catalog
+	if *frac >= 1 {
+		cat = catalog.Standard()
+	} else {
+		cat = catalog.Sample(*frac)
+	}
+	clk := simclock.NewAtEpoch()
+	cloud := cloudsim.New(cat, clk, *seed, cloudsim.DefaultParams())
+	db, err := tsdb.Open(*dataDir)
+	if err != nil {
+		log.Fatalf("opening archive store: %v", err)
+	}
+	defer db.Close()
+
+	cfg := collector.DefaultConfig()
+	col, err := collector.New(cloud, db, cfg)
+	if err != nil {
+		log.Fatalf("building collector: %v", err)
+	}
+	log.Printf("catalog: %d types, %d regions, %d AZs; query plan: %d queries over %d accounts",
+		cat.NumTypes(), cat.NumRegions(), cat.NumAZs(), len(col.Plan().Queries), col.Accounts())
+
+	var mc *multicloud.Collector
+	if *multiCloud {
+		azure := azuresim.New(clk, *seed)
+		gcp := gcpsim.New(clk, *seed)
+		mc, err = multicloud.New(clk, db, multicloud.DefaultConfig(), nil, azure, gcp)
+		if err != nil {
+			log.Fatalf("building multi-cloud collector: %v", err)
+		}
+		log.Printf("multi-cloud: +%d Azure sizes x %d regions, +%d GCP types x %d regions",
+			len(azure.Sizes()), len(azure.Regions()), len(gcp.MachineTypes()), len(gcp.Regions()))
+	}
+
+	log.Printf("bootstrapping archive: %d simulated days...", *bootstrap)
+	start := time.Now()
+	if err := col.Start(); err != nil {
+		log.Fatalf("starting collector: %v", err)
+	}
+	if mc != nil {
+		if err := mc.Start(); err != nil {
+			log.Fatalf("starting multi-cloud collector: %v", err)
+		}
+	}
+	clk.RunFor(time.Duration(*bootstrap) * 24 * time.Hour)
+	if err := db.Flush(); err != nil {
+		log.Fatalf("flushing archive: %v", err)
+	}
+	log.Printf("bootstrap done in %v: %d series, %d points",
+		time.Since(start).Round(time.Millisecond), db.SeriesCount(), db.PointCount())
+
+	// Live mode: one goroutine owns the simulation and advances it one
+	// collection interval per wall tick; HTTP handlers only read the
+	// (concurrency-safe) store and the immutable catalog.
+	go func() {
+		for range time.Tick(*tick) {
+			clk.RunFor(cfg.ScoreInterval)
+			if err := db.Flush(); err != nil {
+				log.Printf("flush: %v", err)
+			}
+		}
+	}()
+
+	svc := archive.NewService(db, cat)
+	if *multiCloud {
+		svc.AllowDatasets(multicloud.AllDatasets...)
+	}
+	log.Printf("serving on %s (simulated time advances %v per %v)", *addr, cfg.ScoreInterval, *tick)
+	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
+		log.Fatalf("http: %v", err)
+	}
+}

@@ -1,0 +1,99 @@
+// Interruption predictor: the paper's Section 5.5 use case. Collect a
+// month of history, run the real-request experiment to obtain ground-truth
+// outcomes, train a random forest on the historical features, and compare
+// it against the three current-value heuristics — then use the model to
+// rank live pools for a new deployment.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/experiment"
+	"repro/internal/mlearn"
+	"repro/internal/repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Collect history and run the labelled experiment via the repro
+	// pipeline (this is exactly the Table 4 study).
+	opt := repro.DefaultTable4Options()
+	opt.CollectDays = 21
+	opt.SampleFrac = 0.15
+	fmt.Println("collecting 21 days of history and running the 24h outcome experiment...")
+	col, err := repro.Collect(repro.CollectOptions{
+		Seed: opt.Seed, Days: opt.CollectDays, SampleFrac: opt.SampleFrac, Interval: opt.Interval,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := experiment.DefaultConfig()
+	cfg.Archive = col.DB
+	cfg.Seed = opt.Seed
+	res, err := experiment.Run(col.Cloud, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var X [][]float64
+	var y []int
+	var cases []experiment.Case
+	for _, c := range res.Cases {
+		if c.Features != nil {
+			X = append(X, c.Features)
+			y = append(y, int(c.Outcome))
+			cases = append(cases, c)
+		}
+	}
+	fmt.Printf("dataset: %d cases, %d features (%v...)\n", len(X), len(experiment.FeatureNames), experiment.FeatureNames[:3])
+
+	trainIdx, testIdx := mlearn.TrainTestSplit(len(X), 0.3, 99)
+	trX, trY := mlearn.Subset(X, y, trainIdx)
+	teX, teY := mlearn.Subset(X, y, testIdx)
+	forest, err := mlearn.TrainForest(trX, trY, experiment.NumOutcomes, mlearn.ForestConfig{NumTrees: 100, Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare against the current-value heuristics on held-out cases.
+	fmt.Println("\n== held-out prediction accuracy ==")
+	rfPred := forest.PredictAll(teX)
+	heur := func(name string, predict func(experiment.Case) experiment.Outcome) {
+		pred := make([]int, len(testIdx))
+		for i, idx := range testIdx {
+			pred[i] = int(predict(cases[idx]))
+		}
+		fmt.Printf("  %-22s accuracy %.2f  macro-F1 %.2f\n", name,
+			mlearn.Accuracy(teY, pred), mlearn.MacroF1(teY, pred, experiment.NumOutcomes))
+	}
+	heur("current IF score", func(c experiment.Case) experiment.Outcome { return experiment.PredictByIF(c.IF) })
+	heur("current SPS", func(c experiment.Case) experiment.Outcome { return experiment.PredictBySPS(c.SPS) })
+	heur("current cost savings", func(c experiment.Case) experiment.Outcome { return experiment.PredictByCostSave(c.Savings) })
+	fmt.Printf("  %-22s accuracy %.2f  macro-F1 %.2f   <- uses SpotLake history\n", "random forest",
+		mlearn.Accuracy(teY, rfPred), mlearn.MacroF1(teY, rfPred, experiment.NumOutcomes))
+
+	// Deploy the model: rank the held-out pools by predicted probability
+	// of running a full day uninterrupted.
+	fmt.Println("\n== top pools by predicted no-interruption probability ==")
+	type ranked struct {
+		c experiment.Case
+		p float64
+	}
+	var rankedPools []ranked
+	for _, idx := range testIdx {
+		p := forest.Proba(X[idx])[int(experiment.OutcomeNoInterrupt)]
+		rankedPools = append(rankedPools, ranked{cases[idx], p})
+	}
+	sort.Slice(rankedPools, func(i, j int) bool { return rankedPools[i].p > rankedPools[j].p })
+	show := 8
+	if len(rankedPools) < show {
+		show = len(rankedPools)
+	}
+	for _, r := range rankedPools[:show] {
+		fmt.Printf("  %-18s %-14s p(NoInterrupt)=%.2f  actual: %s\n",
+			r.c.Pool.Type, r.c.Pool.AZ, r.p, r.c.Outcome)
+	}
+}

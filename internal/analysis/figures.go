@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/tsdb"
+)
+
+// ifKeyOf maps a placement-score series to its advisor (interruption-free)
+// series: the advisor dataset is region-granular.
+func ifKeyOf(k tsdb.SeriesKey) tsdb.SeriesKey {
+	return tsdb.SeriesKey{Dataset: tsdb.DatasetInterruptFree, Type: k.Type, Region: k.Region}
+}
+
+// priceKeyOf maps a placement-score series to its price series.
+func priceKeyOf(k tsdb.SeriesKey) tsdb.SeriesKey {
+	return tsdb.SeriesKey{Dataset: tsdb.DatasetPrice, Type: k.Type, Region: k.Region, AZ: k.AZ}
+}
+
+// DailyClassMeans computes the Figure 3 heatmap: for each instance class, a
+// per-day mean of the dataset's value over all of the class's series,
+// time-weighted within each day. days entries per class; missing data is
+// NaN.
+func DailyClassMeans(db *tsdb.DB, cat *catalog.Catalog, dataset string, start time.Time, days int) map[catalog.Class][]float64 {
+	out := make(map[catalog.Class][]float64, len(catalog.Classes))
+	type acc struct {
+		sum float64
+		n   int
+	}
+	accs := make([]map[catalog.Class]*acc, days)
+	for d := range accs {
+		accs[d] = make(map[catalog.Class]*acc)
+	}
+	for _, k := range db.Keys(tsdb.KeyFilter{Dataset: dataset}) {
+		t, ok := cat.Type(k.Type)
+		if !ok {
+			continue
+		}
+		for d := 0; d < days; d++ {
+			from := start.Add(time.Duration(d) * 24 * time.Hour)
+			mean, ok := db.WindowMean(k, from, from.Add(24*time.Hour))
+			if !ok {
+				continue
+			}
+			a := accs[d][t.Class]
+			if a == nil {
+				a = &acc{}
+				accs[d][t.Class] = a
+			}
+			a.sum += mean
+			a.n++
+		}
+	}
+	for _, cl := range catalog.Classes {
+		row := make([]float64, days)
+		for d := 0; d < days; d++ {
+			if a := accs[d][cl]; a != nil && a.n > 0 {
+				row[d] = a.sum / float64(a.n)
+			} else {
+				row[d] = math.NaN()
+			}
+		}
+		out[cl] = row
+	}
+	return out
+}
+
+// RegionClassMeans computes the Figure 4 heatmap: mean dataset value per
+// (class, region) over the window. Cells with no supporting types are NaN
+// (the figure's "NA" marks).
+func RegionClassMeans(db *tsdb.DB, cat *catalog.Catalog, dataset string, from, to time.Time) map[catalog.Class]map[string]float64 {
+	type acc struct {
+		sum float64
+		n   int
+	}
+	accs := make(map[catalog.Class]map[string]*acc)
+	for _, k := range db.Keys(tsdb.KeyFilter{Dataset: dataset}) {
+		t, ok := cat.Type(k.Type)
+		if !ok {
+			continue
+		}
+		mean, ok := db.WindowMean(k, from, to)
+		if !ok {
+			continue
+		}
+		m := accs[t.Class]
+		if m == nil {
+			m = make(map[string]*acc)
+			accs[t.Class] = m
+		}
+		a := m[k.Region]
+		if a == nil {
+			a = &acc{}
+			m[k.Region] = a
+		}
+		a.sum += mean
+		a.n++
+	}
+	out := make(map[catalog.Class]map[string]float64)
+	for _, cl := range catalog.Classes {
+		row := make(map[string]float64, cat.NumRegions())
+		for _, r := range cat.Regions() {
+			if a := accs[cl][r.Code]; a != nil && a.n > 0 {
+				row[r.Code] = a.sum / float64(a.n)
+			} else {
+				row[r.Code] = math.NaN()
+			}
+		}
+		out[cl] = row
+	}
+	return out
+}
+
+// SizeMeanRow is one Figure 5 row: an instance size with its mean placement
+// and interruption-free scores and the number of instance types of that
+// size.
+type SizeMeanRow struct {
+	Size     catalog.Size
+	MeanSPS  float64
+	MeanIF   float64
+	NumTypes int
+}
+
+// SizeMeans computes Figure 5: scores grouped by instance size, restricted
+// to sizes with more than minTypes types (the paper uses 10), ordered small
+// to large.
+func SizeMeans(db *tsdb.DB, cat *catalog.Catalog, from, to time.Time, minTypes int) []SizeMeanRow {
+	spsSum := make(map[catalog.Size]float64)
+	spsN := make(map[catalog.Size]int)
+	ifSum := make(map[catalog.Size]float64)
+	ifN := make(map[catalog.Size]int)
+	typesOf := make(map[catalog.Size]map[string]bool)
+
+	add := func(dataset string, sum map[catalog.Size]float64, n map[catalog.Size]int) {
+		for _, k := range db.Keys(tsdb.KeyFilter{Dataset: dataset}) {
+			t, ok := cat.Type(k.Type)
+			if !ok {
+				continue
+			}
+			mean, ok := db.WindowMean(k, from, to)
+			if !ok {
+				continue
+			}
+			sum[t.Size] += mean
+			n[t.Size]++
+			m := typesOf[t.Size]
+			if m == nil {
+				m = make(map[string]bool)
+				typesOf[t.Size] = m
+			}
+			m[t.Name] = true
+		}
+	}
+	add(tsdb.DatasetPlacementScore, spsSum, spsN)
+	add(tsdb.DatasetInterruptFree, ifSum, ifN)
+
+	var rows []SizeMeanRow
+	for size, types := range typesOf {
+		if len(types) <= minTypes {
+			continue
+		}
+		row := SizeMeanRow{Size: size, NumTypes: len(types), MeanSPS: math.NaN(), MeanIF: math.NaN()}
+		if n := spsN[size]; n > 0 {
+			row.MeanSPS = spsSum[size] / float64(n)
+		}
+		if n := ifN[size]; n > 0 {
+			row.MeanIF = ifSum[size] / float64(n)
+		}
+		rows = append(rows, row)
+	}
+	sortRows(rows)
+	return rows
+}
+
+func sortRows(rows []SizeMeanRow) {
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && catalog.SizeRank(rows[j].Size) < catalog.SizeRank(rows[j-1].Size); j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+}
+
+// ValueDistribution computes Table 2: the relative frequency of each
+// distinct value of a dataset, sampled on a uniform grid across the window.
+func ValueDistribution(db *tsdb.DB, dataset string, from, to time.Time, step time.Duration) map[float64]float64 {
+	var samples []float64
+	for _, k := range db.Keys(tsdb.KeyFilter{Dataset: dataset}) {
+		samples = append(samples, db.Grid(k, from, to, step)...)
+	}
+	return DiscreteDistribution(samples, 0.5)
+}
+
+// CorrelationSets holds the per-pool Pearson coefficients of the three
+// dataset pairings of Figure 8.
+type CorrelationSets struct {
+	SPSvsIF    []float64
+	IFvsPrice  []float64
+	SPSvsPrice []float64
+}
+
+// Correlations computes the Figure 8 data: for every placement-score series
+// (one per pool), the Pearson correlation of its grid samples against the
+// pool's interruption-free and price series over the window.
+func Correlations(db *tsdb.DB, from, to time.Time, step time.Duration) CorrelationSets {
+	var out CorrelationSets
+	for _, k := range db.Keys(tsdb.KeyFilter{Dataset: tsdb.DatasetPlacementScore}) {
+		sps := db.Grid(k, from, to, step)
+		ifs := db.Grid(ifKeyOf(k), from, to, step)
+		price := db.Grid(priceKeyOf(k), from, to, step)
+		if r, ok := Pearson(sps, ifs); ok {
+			out.SPSvsIF = append(out.SPSvsIF, r)
+		}
+		if r, ok := Pearson(ifs, price); ok {
+			out.IFvsPrice = append(out.IFvsPrice, r)
+		}
+		if r, ok := Pearson(sps, price); ok {
+			out.SPSvsPrice = append(out.SPSvsPrice, r)
+		}
+	}
+	return out
+}
+
+// ScoreDifferenceHistogram computes Figure 9: the distribution of the
+// absolute difference between a pool's placement score and its
+// interruption-free score, sampled on a grid, in 0.5 steps from 0.0 to 2.0.
+// The returned map keys are 0, 0.5, 1, 1.5, 2 and values are fractions.
+func ScoreDifferenceHistogram(db *tsdb.DB, from, to time.Time, step time.Duration) map[float64]float64 {
+	var diffs []float64
+	for _, k := range db.Keys(tsdb.KeyFilter{Dataset: tsdb.DatasetPlacementScore}) {
+		sps := db.Grid(k, from, to, step)
+		ifs := db.Grid(ifKeyOf(k), from, to, step)
+		for i := range sps {
+			if math.IsNaN(sps[i]) || math.IsNaN(ifs[i]) {
+				continue
+			}
+			diffs = append(diffs, math.Abs(sps[i]-ifs[i]))
+		}
+	}
+	return DiscreteDistribution(diffs, 0.5)
+}
+
+// UpdateIntervalCDF computes one line of Figure 10: the empirical CDF of
+// hours between value changes for every series of the dataset.
+func UpdateIntervalCDF(db *tsdb.DB, dataset string) CDF {
+	var hours []float64
+	for _, k := range db.Keys(tsdb.KeyFilter{Dataset: dataset}) {
+		for _, iv := range db.ChangeIntervals(k) {
+			hours = append(hours, iv.Hours())
+		}
+	}
+	return NewCDF(hours)
+}
+
+// OverallMean returns the grand mean of a dataset's series means over the
+// window (the paper's "average spot placement score across all the instance
+// types is 2.8" style numbers).
+func OverallMean(db *tsdb.DB, dataset string, from, to time.Time) float64 {
+	var means []float64
+	for _, k := range db.Keys(tsdb.KeyFilter{Dataset: dataset}) {
+		if m, ok := db.WindowMean(k, from, to); ok {
+			means = append(means, m)
+		}
+	}
+	return Mean(means)
+}
+
+// ClassMeans returns the per-class mean of a dataset over the window.
+func ClassMeans(db *tsdb.DB, cat *catalog.Catalog, dataset string, from, to time.Time) map[catalog.Class]float64 {
+	sums := make(map[catalog.Class]float64)
+	ns := make(map[catalog.Class]int)
+	for _, k := range db.Keys(tsdb.KeyFilter{Dataset: dataset}) {
+		t, ok := cat.Type(k.Type)
+		if !ok {
+			continue
+		}
+		if m, ok := db.WindowMean(k, from, to); ok {
+			sums[t.Class] += m
+			ns[t.Class]++
+		}
+	}
+	out := make(map[catalog.Class]float64)
+	for cl, s := range sums {
+		out[cl] = s / float64(ns[cl])
+	}
+	return out
+}

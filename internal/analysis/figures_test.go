@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/cloudsim"
+	"repro/internal/collector"
+	"repro/internal/simclock"
+	"repro/internal/tsdb"
+)
+
+// collectedArchive runs a short end-to-end collection and returns its store.
+func collectedArchive(t *testing.T, days int) (*tsdb.DB, *catalog.Catalog, time.Time, time.Time) {
+	t.Helper()
+	cat := catalog.Compact(2)
+	clk := simclock.NewAtEpoch()
+	cloud := cloudsim.New(cat, clk, 2024, cloudsim.DefaultParams())
+	db, err := tsdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := collector.DefaultConfig()
+	cfg.ScoreInterval = 30 * time.Minute
+	cfg.AdvisorInterval = 30 * time.Minute
+	cfg.PriceInterval = 30 * time.Minute
+	col, err := collector.New(cloud, db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Run(time.Duration(days) * 24 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	return db, cat, simclock.Epoch, clk.Now()
+}
+
+func TestDailyClassMeans(t *testing.T) {
+	db, cat, from, _ := collectedArchive(t, 4)
+	rows := DailyClassMeans(db, cat, tsdb.DatasetPlacementScore, from, 4)
+	if len(rows) != len(catalog.Classes) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(catalog.Classes))
+	}
+	for cl, row := range rows {
+		if len(row) != 4 {
+			t.Fatalf("class %s has %d days", cl, len(row))
+		}
+		for d, v := range row {
+			if math.IsNaN(v) {
+				t.Errorf("class %s day %d is NaN", cl, d)
+				continue
+			}
+			if v < 1 || v > 3 {
+				t.Errorf("class %s day %d = %v outside score range", cl, d, v)
+			}
+		}
+	}
+	// Section 5.1 structure: accelerated (excluding DL) below general.
+	acc, gen := 0.0, 0.0
+	accN, genN := 0, 0
+	for cl, row := range rows {
+		if cl == catalog.ClassDL {
+			continue
+		}
+		if cl.Accelerated() {
+			acc += Mean(row)
+			accN++
+		} else {
+			gen += Mean(row)
+			genN++
+		}
+	}
+	if acc/float64(accN) >= gen/float64(genN) {
+		t.Errorf("accelerated mean %.2f not below general %.2f", acc/float64(accN), gen/float64(genN))
+	}
+}
+
+func TestRegionClassMeansNACells(t *testing.T) {
+	db, cat, from, to := collectedArchive(t, 2)
+	rows := RegionClassMeans(db, cat, tsdb.DatasetPlacementScore, from, to)
+	naCount, valCount := 0, 0
+	for _, cl := range catalog.Classes {
+		row := rows[cl]
+		if len(row) != cat.NumRegions() {
+			t.Fatalf("class %s row has %d regions", cl, len(row))
+		}
+		for region, v := range row {
+			if math.IsNaN(v) {
+				naCount++
+				// NA must mean genuinely unsupported: no type of this
+				// class offered in the region.
+				for _, tp := range cat.TypesOfClass(cl) {
+					if cat.Supports(tp.Name, region) {
+						t.Errorf("class %s region %s NA but %s supported there", cl, region, tp.Name)
+						break
+					}
+				}
+			} else {
+				valCount++
+			}
+		}
+	}
+	if naCount == 0 {
+		t.Error("no NA cells; Figure 4 expects unsupported (class, region) pairs")
+	}
+	if valCount == 0 {
+		t.Fatal("no populated cells")
+	}
+}
+
+func TestSizeMeansDecline(t *testing.T) {
+	db, cat, from, to := collectedArchive(t, 3)
+	rows := SizeMeans(db, cat, from, to, 0)
+	if len(rows) < 3 {
+		t.Fatalf("only %d size rows", len(rows))
+	}
+	// Ordered small to large.
+	for i := 1; i < len(rows); i++ {
+		if catalog.SizeRank(rows[i-1].Size) >= catalog.SizeRank(rows[i].Size) {
+			t.Error("size rows not ordered")
+		}
+	}
+	// The trend of Figure 5: the small half should outscore the large half
+	// on both metrics.
+	half := len(rows) / 2
+	var smallSPS, largeSPS, smallIF, largeIF []float64
+	for i, r := range rows {
+		if i < half {
+			smallSPS = append(smallSPS, r.MeanSPS)
+			smallIF = append(smallIF, r.MeanIF)
+		} else {
+			largeSPS = append(largeSPS, r.MeanSPS)
+			largeIF = append(largeIF, r.MeanIF)
+		}
+	}
+	if Mean(smallSPS) <= Mean(largeSPS) {
+		t.Errorf("small sizes SPS %.2f not above large %.2f", Mean(smallSPS), Mean(largeSPS))
+	}
+	if Mean(smallIF) <= Mean(largeIF) {
+		t.Errorf("small sizes IF %.2f not above large %.2f", Mean(smallIF), Mean(largeIF))
+	}
+	// minTypes filter prunes sparse sizes.
+	strict := SizeMeans(db, cat, from, to, 5)
+	if len(strict) >= len(rows) {
+		t.Error("minTypes filter did not prune")
+	}
+}
+
+func TestValueDistributionScores(t *testing.T) {
+	db, _, from, to := collectedArchive(t, 3)
+	d := ValueDistribution(db, tsdb.DatasetPlacementScore, from, to, time.Hour)
+	sum := 0.0
+	for v, frac := range d {
+		if v != 1 && v != 2 && v != 3 {
+			t.Errorf("unexpected SPS value %v", v)
+		}
+		sum += frac
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("distribution sums to %v", sum)
+	}
+	if d[3] < d[1] || d[3] < d[2] {
+		t.Errorf("score 3 should dominate: %v", d)
+	}
+	dIF := ValueDistribution(db, tsdb.DatasetInterruptFree, from, to, time.Hour)
+	for v := range dIF {
+		if v < 1 || v > 3 {
+			t.Errorf("unexpected IF value %v", v)
+		}
+	}
+	// IF spreads across at least 4 of the 5 buckets (Table 2's "more
+	// uniform" property).
+	if len(dIF) < 4 {
+		t.Errorf("IF distribution too concentrated: %v", dIF)
+	}
+}
+
+func TestCorrelationsNearZero(t *testing.T) {
+	db, _, from, to := collectedArchive(t, 6)
+	sets := Correlations(db, from, to, time.Hour)
+	if len(sets.SPSvsIF) == 0 || len(sets.SPSvsPrice) == 0 || len(sets.IFvsPrice) == 0 {
+		t.Fatalf("missing correlation sets: %d/%d/%d",
+			len(sets.SPSvsIF), len(sets.IFvsPrice), len(sets.SPSvsPrice))
+	}
+	// Section 5.3: coefficients concentrate near zero.
+	for name, xs := range map[string][]float64{
+		"sps-if": sets.SPSvsIF, "if-price": sets.IFvsPrice, "sps-price": sets.SPSvsPrice,
+	} {
+		m := Mean(xs)
+		if math.Abs(m) > 0.35 {
+			t.Errorf("%s mean correlation %.2f too far from 0", name, m)
+		}
+	}
+}
+
+func TestScoreDifferenceHistogram(t *testing.T) {
+	db, _, from, to := collectedArchive(t, 3)
+	h := ScoreDifferenceHistogram(db, from, to, time.Hour)
+	sum := 0.0
+	for v, frac := range h {
+		if v < 0 || v > 2 {
+			t.Errorf("difference %v outside [0, 2]", v)
+		}
+		sum += frac
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("histogram sums to %v", sum)
+	}
+	// Figure 9: zero difference is the most common single value.
+	for v, frac := range h {
+		if v != 0 && frac > h[0] {
+			t.Errorf("difference %v (%.3f) more common than 0 (%.3f)", v, frac, h[0])
+		}
+	}
+	// And contradictions exist.
+	if h[1.5]+h[2.0] == 0 {
+		t.Error("no contradicting scores at all; paper finds ~24%")
+	}
+}
+
+func TestUpdateIntervalOrdering(t *testing.T) {
+	db, _, _, _ := collectedArchive(t, 8)
+	sps := UpdateIntervalCDF(db, tsdb.DatasetPlacementScore)
+	price := UpdateIntervalCDF(db, tsdb.DatasetPrice)
+	ifs := UpdateIntervalCDF(db, tsdb.DatasetInterruptFree)
+	if sps.N() == 0 || price.N() == 0 {
+		t.Fatalf("no update intervals: sps=%d price=%d if=%d", sps.N(), price.N(), ifs.N())
+	}
+	// Figure 10 ordering: SPS updates most frequently; IF least. Compare
+	// medians where data exists (IF may have very few changes in 8 days —
+	// that itself is the paper's point).
+	spsMed := sps.Quantile(0.5)
+	priceMed := price.Quantile(0.5)
+	if spsMed >= priceMed {
+		t.Errorf("SPS median interval %.1fh not below price %.1fh", spsMed, priceMed)
+	}
+	if ifs.N() > 10 {
+		ifMed := ifs.Quantile(0.5)
+		if priceMed >= ifMed {
+			t.Errorf("price median interval %.1fh not below IF %.1fh", priceMed, ifMed)
+		}
+	}
+	t.Logf("median hours between changes: sps=%.1f price=%.1f if(n=%d)=%.1f",
+		spsMed, priceMed, ifs.N(), ifs.Quantile(0.5))
+}
+
+func TestOverallAndClassMeans(t *testing.T) {
+	db, cat, from, to := collectedArchive(t, 3)
+	overall := OverallMean(db, tsdb.DatasetPlacementScore, from, to)
+	if overall < 2.3 || overall > 3.0 {
+		t.Errorf("overall SPS mean %.2f outside plausible band (paper 2.8)", overall)
+	}
+	cm := ClassMeans(db, cat, tsdb.DatasetPlacementScore, from, to)
+	if cm[catalog.ClassP] >= cm[catalog.ClassM] {
+		t.Errorf("P mean %.2f not below M %.2f", cm[catalog.ClassP], cm[catalog.ClassM])
+	}
+	ifOverall := OverallMean(db, tsdb.DatasetInterruptFree, from, to)
+	if ifOverall >= overall {
+		t.Errorf("IF overall %.2f should sit below SPS overall %.2f (paper: 2.22 vs 2.80)", ifOverall, overall)
+	}
+}

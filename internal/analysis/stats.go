@@ -1,0 +1,213 @@
+// Package analysis provides the statistics toolkit and the figure-level
+// aggregations of the paper's evaluation (Section 5): Pearson correlations
+// across dataset pairs (Figure 8), CDFs (Figures 8, 10, 11), histograms
+// (Figure 9), temporal/spatial heatmap aggregation (Figures 3, 4), size
+// grouping (Figure 5), and value distributions (Table 2).
+package analysis
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, ignoring NaNs. It returns NaN for
+// an empty (or all-NaN) input.
+func Mean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		sum += x
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by linear
+// interpolation of the sorted sample, ignoring NaNs. It returns NaN for an
+// empty input.
+func Quantile(xs []float64, q float64) float64 {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(clean)
+	if q <= 0 {
+		return clean[0]
+	}
+	if q >= 1 {
+		return clean[len(clean)-1]
+	}
+	pos := q * float64(len(clean)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return clean[lo]
+	}
+	frac := pos - float64(lo)
+	return clean[lo]*(1-frac) + clean[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Pearson returns the Pearson correlation coefficient of the paired samples
+// (paper Section 5.3). Pairs containing NaN are skipped. ok is false when
+// fewer than 3 valid pairs remain or either side has zero variance (a
+// constant series has no defined correlation).
+func Pearson(x, y []float64) (r float64, ok bool) {
+	if len(x) != len(y) {
+		return 0, false
+	}
+	var sx, sy float64
+	n := 0
+	for i := range x {
+		if math.IsNaN(x[i]) || math.IsNaN(y[i]) {
+			continue
+		}
+		sx += x[i]
+		sy += y[i]
+		n++
+	}
+	if n < 3 {
+		return 0, false
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var cov, vx, vy float64
+	for i := range x {
+		if math.IsNaN(x[i]) || math.IsNaN(y[i]) {
+			continue
+		}
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0, false
+	}
+	return cov / math.Sqrt(vx*vy), true
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from samples, dropping NaNs.
+func NewCDF(samples []float64) CDF {
+	s := make([]float64, 0, len(samples))
+	for _, v := range samples {
+		if !math.IsNaN(v) {
+			s = append(s, v)
+		}
+	}
+	sort.Float64s(s)
+	return CDF{sorted: s}
+}
+
+// N returns the sample count.
+func (c CDF) N() int { return len(c.sorted) }
+
+// FractionBelow returns P(X <= x).
+func (c CDF) FractionBelow(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile of the sample.
+func (c CDF) Quantile(q float64) float64 {
+	return Quantile(c.sorted, q)
+}
+
+// Points returns (value, cumulative fraction) pairs suitable for plotting,
+// thinned to at most maxPoints.
+func (c CDF) Points(maxPoints int) [][2]float64 {
+	n := len(c.sorted)
+	if n == 0 || maxPoints <= 0 {
+		return nil
+	}
+	stride := 1
+	if n > maxPoints {
+		stride = n / maxPoints
+	}
+	var out [][2]float64
+	for i := 0; i < n; i += stride {
+		out = append(out, [2]float64{c.sorted[i], float64(i+1) / float64(n)})
+	}
+	if last := c.sorted[n-1]; len(out) == 0 || out[len(out)-1][0] != last {
+		out = append(out, [2]float64{last, 1})
+	}
+	return out
+}
+
+// Histogram counts samples into fixed-width bins anchored at edges
+// [edges[i], edges[i+1]). Samples outside the edges are clamped into the
+// first/last bin. It returns per-bin fractions summing to 1 (or nil for no
+// samples).
+func Histogram(samples []float64, edges []float64) []float64 {
+	if len(edges) < 2 {
+		return nil
+	}
+	counts := make([]float64, len(edges)-1)
+	n := 0
+	for _, v := range samples {
+		if math.IsNaN(v) {
+			continue
+		}
+		idx := sort.SearchFloat64s(edges, v)
+		// SearchFloat64s returns the insertion point; convert to bin index.
+		if idx > 0 && (idx == len(edges) || edges[idx] != v) {
+			idx--
+		}
+		if idx >= len(counts) {
+			idx = len(counts) - 1
+		}
+		counts[idx]++
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	for i := range counts {
+		counts[i] /= float64(n)
+	}
+	return counts
+}
+
+// DiscreteDistribution returns the relative frequency of each distinct
+// value in samples, with values rounded to the nearest multiple of quantum
+// (use 0.5 for the paper's score scales; quantum <= 0 keeps raw values).
+func DiscreteDistribution(samples []float64, quantum float64) map[float64]float64 {
+	counts := make(map[float64]float64)
+	n := 0
+	for _, v := range samples {
+		if math.IsNaN(v) {
+			continue
+		}
+		if quantum > 0 {
+			v = math.Round(v/quantum) * quantum
+		}
+		counts[v]++
+		n++
+	}
+	if n == 0 {
+		return counts
+	}
+	for k := range counts {
+		counts[k] /= float64(n)
+	}
+	return counts
+}

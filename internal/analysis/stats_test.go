@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simrand"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean([]float64{1, math.NaN(), 3}); got != 2 {
+		t.Errorf("Mean with NaN = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Median(xs); got != 2.5 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile([]float64{1, 2, 3, 4, 5}, 0.25); got != 2 {
+		t.Errorf("q25 = %v", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) should be NaN")
+	}
+}
+
+func TestPearsonKnownValues(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	yPos := []float64{2, 4, 6, 8, 10}
+	yNeg := []float64{10, 8, 6, 4, 2}
+	if r, ok := Pearson(x, yPos); !ok || !almostEq(r, 1, 1e-12) {
+		t.Errorf("perfect positive r = %v, %v", r, ok)
+	}
+	if r, ok := Pearson(x, yNeg); !ok || !almostEq(r, -1, 1e-12) {
+		t.Errorf("perfect negative r = %v, %v", r, ok)
+	}
+	// Hand-computed: x={1,2,3}, y={1,3,2} -> r = 0.5.
+	if r, ok := Pearson([]float64{1, 2, 3}, []float64{1, 3, 2}); !ok || !almostEq(r, 0.5, 1e-12) {
+		t.Errorf("r = %v, want 0.5", r)
+	}
+}
+
+func TestPearsonDegenerateCases(t *testing.T) {
+	if _, ok := Pearson([]float64{1, 2}, []float64{1, 2, 3}); ok {
+		t.Error("length mismatch accepted")
+	}
+	if _, ok := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); ok {
+		t.Error("zero variance accepted")
+	}
+	if _, ok := Pearson([]float64{1, 2}, []float64{3, 4}); ok {
+		t.Error("n<3 accepted")
+	}
+	// NaN pairs skipped: effective n drops below 3.
+	nan := math.NaN()
+	if _, ok := Pearson([]float64{1, nan, 2}, []float64{1, 5, 2}); ok {
+		t.Error("NaN-reduced n<3 accepted")
+	}
+	if r, ok := Pearson([]float64{1, nan, 2, 3, 4}, []float64{2, 9, 4, 6, 8}); !ok || !almostEq(r, 1, 1e-12) {
+		t.Errorf("NaN-skipping r = %v, %v", r, ok)
+	}
+}
+
+func TestPearsonBoundsProperty(t *testing.T) {
+	rng := simrand.New(7)
+	f := func(seed uint16) bool {
+		r := rng.StreamN("p", int(seed))
+		n := 3 + r.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.Normal(0, 1)
+			y[i] = r.Normal(0, 1)
+		}
+		if rr, ok := Pearson(x, y); ok {
+			return rr >= -1-1e-9 && rr <= 1+1e-9
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3, math.NaN()})
+	if c.N() != 4 {
+		t.Errorf("N = %d, want 4 (NaN dropped)", c.N())
+	}
+	if got := c.FractionBelow(0.5); got != 0 {
+		t.Errorf("F(0.5) = %v", got)
+	}
+	if got := c.FractionBelow(2); got != 0.75 {
+		t.Errorf("F(2) = %v, want 0.75", got)
+	}
+	if got := c.FractionBelow(10); got != 1 {
+		t.Errorf("F(10) = %v", got)
+	}
+	if got := c.Quantile(0.5); !almostEq(got, 2, 1e-12) {
+		t.Errorf("median = %v", got)
+	}
+	if !math.IsNaN(NewCDF(nil).FractionBelow(1)) {
+		t.Error("empty CDF should yield NaN")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = float64(i)
+	}
+	c := NewCDF(samples)
+	pts := c.Points(50)
+	if len(pts) < 40 || len(pts) > 60 {
+		t.Errorf("thinned points = %d", len(pts))
+	}
+	// Monotone in both coordinates, last point reaches 1.
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] || pts[i][1] < pts[i-1][1] {
+			t.Fatal("CDF points not monotone")
+		}
+	}
+	if pts[len(pts)-1][1] != 1 {
+		t.Error("last CDF point fraction != 1")
+	}
+	if NewCDF(nil).Points(10) != nil {
+		t.Error("empty CDF should have no points")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges := []float64{0, 1, 2, 3}
+	h := Histogram([]float64{0.5, 1.5, 1.7, 2.5}, edges)
+	want := []float64{0.25, 0.5, 0.25}
+	for i := range want {
+		if !almostEq(h[i], want[i], 1e-12) {
+			t.Errorf("bin %d = %v, want %v", i, h[i], want[i])
+		}
+	}
+	// Out-of-range samples clamp into edge bins.
+	h = Histogram([]float64{-5, 10}, edges)
+	if h[0] != 0.5 || h[2] != 0.5 {
+		t.Errorf("clamping failed: %v", h)
+	}
+	if Histogram(nil, edges) != nil {
+		t.Error("empty histogram should be nil")
+	}
+	if Histogram([]float64{1}, []float64{0}) != nil {
+		t.Error("too few edges should be nil")
+	}
+}
+
+func TestDiscreteDistribution(t *testing.T) {
+	d := DiscreteDistribution([]float64{3, 3, 2.49, 1.0}, 0.5)
+	if !almostEq(d[3.0], 0.5, 1e-12) {
+		t.Errorf("P(3.0) = %v", d[3.0])
+	}
+	if !almostEq(d[2.5], 0.25, 1e-12) {
+		t.Errorf("P(2.5) = %v (2.49 rounds to 2.5)", d[2.5])
+	}
+	if !almostEq(d[1.0], 0.25, 1e-12) {
+		t.Errorf("P(1.0) = %v", d[1.0])
+	}
+	sum := 0.0
+	for _, v := range d {
+		sum += v
+	}
+	if !almostEq(sum, 1, 1e-12) {
+		t.Errorf("distribution sums to %v", sum)
+	}
+}

@@ -1,0 +1,158 @@
+// Package archive implements SpotLake's serving layer (paper Figure 2): the
+// query service over the time-series archive plus the web API through which
+// users fetch historical spot datasets.
+//
+// The paper's deployment is serverless — static files on object storage, an
+// API gateway, and a query function reading Timestream. Here the same
+// data-plane shape is an http.Handler: stateless handler functions over the
+// tsdb store, plus an embedded static front-end page. Handlers keep no
+// mutable state, preserving the design's scaling property.
+package archive
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/tsdb"
+)
+
+// MaxSeriesPerQuery bounds how many series one query may return, like the
+// paper service's response limits.
+const MaxSeriesPerQuery = 2000
+
+// Service answers archive queries from the time-series store.
+type Service struct {
+	db       *tsdb.DB
+	cat      *catalog.Catalog
+	datasets map[string]bool
+}
+
+// NewService builds the query service over a store and the catalog it was
+// collected from. The four single-vendor datasets are queryable by
+// default; AllowDatasets extends the set (e.g. for multi-vendor archives).
+func NewService(db *tsdb.DB, cat *catalog.Catalog) *Service {
+	s := &Service{db: db, cat: cat, datasets: make(map[string]bool)}
+	s.AllowDatasets(tsdb.DatasetPlacementScore, tsdb.DatasetInterruptFree,
+		tsdb.DatasetPrice, tsdb.DatasetSavings)
+	return s
+}
+
+// AllowDatasets registers additional queryable dataset names.
+func (s *Service) AllowDatasets(names ...string) {
+	for _, n := range names {
+		s.datasets[n] = true
+	}
+}
+
+// Datasets returns the queryable dataset names, sorted.
+func (s *Service) Datasets() []string {
+	out := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DB exposes the underlying store (used by analysis tooling).
+func (s *Service) DB() *tsdb.DB { return s.db }
+
+// Catalog returns the inventory the archive covers.
+func (s *Service) Catalog() *catalog.Catalog { return s.cat }
+
+// QueryRequest selects series and a time window. Empty string fields match
+// anything; zero times mean an unbounded window.
+type QueryRequest struct {
+	Dataset string
+	Type    string
+	Region  string
+	AZ      string
+	From    time.Time
+	To      time.Time
+}
+
+// SeriesResult is one series' points within the requested window.
+type SeriesResult struct {
+	Key    tsdb.SeriesKey `json:"key"`
+	Points []tsdb.Point   `json:"points"`
+}
+
+// Query returns every matching series restricted to the window. It fails
+// when the filter matches more than MaxSeriesPerQuery series.
+func (s *Service) Query(req QueryRequest) ([]SeriesResult, error) {
+	if req.Dataset != "" && !s.datasets[req.Dataset] {
+		return nil, fmt.Errorf("archive: unknown dataset %q", req.Dataset)
+	}
+	from, to := req.From, req.To
+	if to.IsZero() {
+		to = time.Date(9999, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if to.Before(from) {
+		return nil, fmt.Errorf("archive: query window ends (%v) before it starts (%v)", to, from)
+	}
+	keys := s.db.Keys(tsdb.KeyFilter{Dataset: req.Dataset, Type: req.Type, Region: req.Region, AZ: req.AZ})
+	if len(keys) > MaxSeriesPerQuery {
+		return nil, fmt.Errorf("archive: query matches %d series, limit %d; narrow the filter", len(keys), MaxSeriesPerQuery)
+	}
+	out := make([]SeriesResult, 0, len(keys))
+	for _, k := range keys {
+		pts := s.db.Query(k, from, to)
+		if len(pts) == 0 {
+			continue
+		}
+		out = append(out, SeriesResult{Key: k, Points: pts})
+	}
+	return out, nil
+}
+
+// LatestEntry is the current value of one series.
+type LatestEntry struct {
+	Key   tsdb.SeriesKey `json:"key"`
+	At    time.Time      `json:"at"`
+	Value float64        `json:"value"`
+}
+
+// Latest returns the most recent value of every matching series.
+func (s *Service) Latest(req QueryRequest) ([]LatestEntry, error) {
+	keys := s.db.Keys(tsdb.KeyFilter{Dataset: req.Dataset, Type: req.Type, Region: req.Region, AZ: req.AZ})
+	if len(keys) > MaxSeriesPerQuery {
+		return nil, fmt.Errorf("archive: query matches %d series, limit %d; narrow the filter", len(keys), MaxSeriesPerQuery)
+	}
+	out := make([]LatestEntry, 0, len(keys))
+	for _, k := range keys {
+		p, ok := s.db.Last(k)
+		if !ok {
+			continue
+		}
+		out = append(out, LatestEntry{Key: k, At: p.At, Value: p.Value})
+	}
+	return out, nil
+}
+
+// Meta summarizes the archive contents.
+type Meta struct {
+	SeriesCount int            `json:"seriesCount"`
+	PointCount  int            `json:"pointCount"`
+	Datasets    map[string]int `json:"datasets"` // dataset -> series count
+	Types       int            `json:"types"`
+	Regions     int            `json:"regions"`
+	AZs         int            `json:"azs"`
+}
+
+// Meta returns the archive summary.
+func (s *Service) Meta() Meta {
+	m := Meta{
+		SeriesCount: s.db.SeriesCount(),
+		PointCount:  s.db.PointCount(),
+		Datasets:    make(map[string]int),
+		Types:       s.cat.NumTypes(),
+		Regions:     s.cat.NumRegions(),
+		AZs:         s.cat.NumAZs(),
+	}
+	for _, ds := range s.Datasets() {
+		m.Datasets[ds] = len(s.db.Keys(tsdb.KeyFilter{Dataset: ds}))
+	}
+	return m
+}

@@ -1,0 +1,151 @@
+package archive
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// indexHTML is the static front end — the piece served from object storage
+// in the paper's deployment. It fetches dynamic content from the query API,
+// mirroring the AJAX design of Figure 2.
+const indexHTML = `<!DOCTYPE html>
+<html lang="en">
+<head><meta charset="utf-8"><title>SpotLake — Spot Instance Data Archive</title></head>
+<body>
+<h1>SpotLake</h1>
+<p>Historical archive of spot placement scores, interruption ratios, savings,
+and spot prices. Query the API:</p>
+<ul>
+<li><code>GET /api/v1/meta</code> — archive summary</li>
+<li><code>GET /api/v1/query?dataset=sps&amp;type=m5.xlarge&amp;region=us-east-1</code> — historical series</li>
+<li><code>GET /api/v1/latest?dataset=if&amp;region=us-east-1</code> — current values</li>
+<li><code>GET /api/v1/catalog/types</code>, <code>GET /api/v1/catalog/regions</code></li>
+</ul>
+<pre id="meta">loading…</pre>
+<script>
+fetch('/api/v1/meta').then(r => r.json())
+  .then(m => { document.getElementById('meta').textContent = JSON.stringify(m, null, 2); })
+  .catch(e => { document.getElementById('meta').textContent = String(e); });
+</script>
+</body>
+</html>
+`
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// parseQueryRequest extracts the common filter/window parameters.
+func parseQueryRequest(r *http.Request) (QueryRequest, error) {
+	q := r.URL.Query()
+	req := QueryRequest{
+		Dataset: q.Get("dataset"),
+		Type:    q.Get("type"),
+		Region:  q.Get("region"),
+		AZ:      q.Get("az"),
+	}
+	if s := q.Get("from"); s != "" {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			return req, err
+		}
+		req.From = t
+	}
+	if s := q.Get("to"); s != "" {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			return req, err
+		}
+		req.To = t
+	}
+	return req, nil
+}
+
+// Handler returns the HTTP API of the archive service.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /api/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		req, err := parseQueryRequest(r)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := s.Query(req)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("GET /api/v1/latest", func(w http.ResponseWriter, r *http.Request) {
+		req, err := parseQueryRequest(r)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := s.Latest(req)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("GET /api/v1/meta", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Meta())
+	})
+
+	mux.HandleFunc("GET /api/v1/catalog/types", func(w http.ResponseWriter, r *http.Request) {
+		type typeInfo struct {
+			Name  string  `json:"name"`
+			Class string  `json:"class"`
+			Size  string  `json:"size"`
+			VCPU  int     `json:"vcpu"`
+			Mem   float64 `json:"memoryGiB"`
+		}
+		var out []typeInfo
+		for _, t := range s.cat.Types() {
+			out = append(out, typeInfo{Name: t.Name, Class: string(t.Class), Size: string(t.Size), VCPU: t.VCPU, Mem: t.MemoryGiB})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /api/v1/catalog/regions", func(w http.ResponseWriter, r *http.Request) {
+		type regionInfo struct {
+			Code  string   `json:"code"`
+			Short string   `json:"short"`
+			AZs   []string `json:"azs"`
+		}
+		var out []regionInfo
+		for _, reg := range s.cat.Regions() {
+			out = append(out, regionInfo{Code: reg.Code, Short: reg.Short, AZs: reg.AZs})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /api/v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Datasets())
+	})
+
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(indexHTML))
+	})
+
+	return mux
+}

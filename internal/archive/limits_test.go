@@ -1,0 +1,61 @@
+package archive
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/tsdb"
+)
+
+// TestMaxSeriesPerQuery: overly broad filters are rejected instead of
+// producing unbounded responses.
+func TestMaxSeriesPerQuery(t *testing.T) {
+	db, err := tsdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < MaxSeriesPerQuery+10; i++ {
+		k := tsdb.SeriesKey{
+			Dataset: tsdb.DatasetPlacementScore,
+			Type:    "t" + strconv.Itoa(i) + ".xlarge",
+			Region:  "us-east-1",
+			AZ:      "us-east-1a",
+		}
+		if err := db.Append(k, at, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc := NewService(db, catalog.Compact(1))
+	if _, err := svc.Query(QueryRequest{Dataset: tsdb.DatasetPlacementScore}); err == nil {
+		t.Error("unbounded query accepted")
+	}
+	if _, err := svc.Latest(QueryRequest{Dataset: tsdb.DatasetPlacementScore}); err == nil {
+		t.Error("unbounded latest accepted")
+	}
+	// A narrowed query passes.
+	if _, err := svc.Query(QueryRequest{Dataset: tsdb.DatasetPlacementScore, Type: "t1.xlarge"}); err != nil {
+		t.Errorf("narrow query rejected: %v", err)
+	}
+}
+
+func TestDatasetsRegistry(t *testing.T) {
+	db, _ := tsdb.Open("")
+	svc := NewService(db, catalog.Compact(1))
+	if got := len(svc.Datasets()); got != 4 {
+		t.Errorf("default datasets = %d, want 4", got)
+	}
+	svc.AllowDatasets("az-price", "az-price") // idempotent
+	if got := len(svc.Datasets()); got != 5 {
+		t.Errorf("after registration = %d, want 5", got)
+	}
+	// Sorted.
+	ds := svc.Datasets()
+	for i := 1; i < len(ds); i++ {
+		if ds[i-1] >= ds[i] {
+			t.Error("datasets not sorted")
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package archive
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/azuresim"
+	"repro/internal/catalog"
+	"repro/internal/gcpsim"
+	"repro/internal/multicloud"
+	"repro/internal/simclock"
+	"repro/internal/tsdb"
+)
+
+// TestMultiVendorArchive serves a Section 7 style archive (Azure + GCP
+// datasets registered alongside the AWS ones) through the same HTTP API.
+func TestMultiVendorArchive(t *testing.T) {
+	clk := simclock.NewAtEpoch()
+	db, err := tsdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	azure := azuresim.New(clk, 9)
+	gcp := gcpsim.New(clk, 9)
+	mc, err := multicloud.New(clk, db, multicloud.DefaultConfig(), nil, azure, gcp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	svc := NewService(db, catalog.Compact(1))
+	svc.AllowDatasets(multicloud.AllDatasets...)
+
+	// Unregistered dataset names still fail; registered vendor datasets
+	// work.
+	if _, err := svc.Query(QueryRequest{Dataset: "oracle-price"}); err == nil {
+		t.Error("unregistered dataset accepted")
+	}
+	res, err := svc.Query(QueryRequest{Dataset: multicloud.DatasetAzureEvict, Region: "eastus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no azure eviction series for eastus")
+	}
+	for _, sr := range res {
+		if sr.Key.Region != "eastus" {
+			t.Errorf("region filter leak: %v", sr.Key)
+		}
+	}
+
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/v1/latest?dataset=" + multicloud.DatasetGCPPrice + "&region=us-central1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("gcp latest status %d: %s", resp.StatusCode, body)
+	}
+	var entries []LatestEntry
+	if err := json.Unmarshal(body, &entries); err != nil || len(entries) == 0 {
+		t.Fatalf("gcp latest = %d entries, err %v", len(entries), err)
+	}
+
+	resp, err = http.Get(srv.URL + "/api/v1/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var datasets []string
+	if err := json.Unmarshal(body, &datasets); err != nil {
+		t.Fatal(err)
+	}
+	if len(datasets) != len(multicloud.AllDatasets) {
+		t.Errorf("datasets endpoint lists %d, want %d", len(datasets), len(multicloud.AllDatasets))
+	}
+}

@@ -1,0 +1,241 @@
+// Package awsapi is the public API surface of the simulated cloud vendor,
+// with the real-world query constraints that motivate SpotLake's collection
+// heuristics (paper Section 3.1):
+//
+//   - GetSpotPlacementScores allows at most 50 unique queries per account in
+//     a rolling 24-hour window. Query uniqueness is the combination of
+//     instance types, regions, target capacity, and the single-AZ flag;
+//     re-issuing an identical query is free.
+//   - A placement score response carries at most 10 entries; when more
+//     match (e.g. many AZs with SingleAvailabilityZone), only the 10 highest
+//     scores are returned.
+//   - The spot instance advisor has no programmatic API; it is only
+//     available as one bulk website document (FetchAdvisorDocument, the
+//     SpotInfo-style scrape).
+//   - DescribeSpotPriceHistory returns at most the trailing 90 days.
+package awsapi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cloudsim"
+)
+
+// Vendor API limits.
+const (
+	// MaxUniqueQueriesPer24h is the placement-score query quota per account
+	// (paper Section 3.1, confirmed empirically by the authors).
+	MaxUniqueQueriesPer24h = 50
+	// MaxReturnedScores caps the entries in one placement-score response.
+	MaxReturnedScores = 10
+	// MaxTypesPerQuery bounds the instance types in a single query.
+	MaxTypesPerQuery = 50
+	// PriceHistoryWindow is the maximum look-back of the price history API.
+	PriceHistoryWindow = 90 * 24 * time.Hour
+	// QuotaWindow is the rolling window for query uniqueness accounting.
+	QuotaWindow = 24 * time.Hour
+)
+
+// ErrQueryLimitExceeded is returned when an account exhausts its unique
+// placement-score queries for the rolling 24-hour window.
+var ErrQueryLimitExceeded = errors.New("awsapi: MaxSpotPlacementScores query limit exceeded for account")
+
+// PlacementScoreQuery is the request shape of GetSpotPlacementScores.
+type PlacementScoreQuery struct {
+	InstanceTypes          []string
+	Regions                []string
+	TargetCapacity         int
+	SingleAvailabilityZone bool
+}
+
+// Fingerprint returns the canonical uniqueness key of the query: the
+// combination of regions, instance types, capacity, and AZ flag, insensitive
+// to list order.
+func (q PlacementScoreQuery) Fingerprint() string {
+	types := append([]string(nil), q.InstanceTypes...)
+	regions := append([]string(nil), q.Regions...)
+	sort.Strings(types)
+	sort.Strings(regions)
+	var b strings.Builder
+	b.WriteString(strings.Join(types, ","))
+	b.WriteByte('|')
+	b.WriteString(strings.Join(regions, ","))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(q.TargetCapacity))
+	b.WriteByte('|')
+	if q.SingleAvailabilityZone {
+		b.WriteByte('1')
+	} else {
+		b.WriteByte('0')
+	}
+	return b.String()
+}
+
+// PlacementScore is one entry of a placement-score response. AZ is empty
+// for region-level scores.
+type PlacementScore struct {
+	Region string
+	AZ     string
+	Score  int
+}
+
+// Client is an authenticated API client for one cloud account. Each account
+// carries its own placement-score query quota; SpotLake's collector spreads
+// its optimized query plan over many accounts.
+type Client struct {
+	cloud   *cloudsim.Cloud
+	account string
+	// quota tracks first-use times of unique query fingerprints within the
+	// rolling window.
+	quota map[string]time.Time
+}
+
+// NewClient returns a client for the named account. Clients of the same
+// account name share nothing; quota is per client, which models per-account
+// credentials held by one process (as SpotLake's collector does).
+func NewClient(cloud *cloudsim.Cloud, account string) *Client {
+	return &Client{cloud: cloud, account: account, quota: make(map[string]time.Time)}
+}
+
+// Account returns the account name the client authenticates as.
+func (c *Client) Account() string { return c.account }
+
+// UniqueQueriesInWindow reports how many unique placement-score queries the
+// account has used within the current rolling window.
+func (c *Client) UniqueQueriesInWindow() int {
+	c.pruneQuota()
+	return len(c.quota)
+}
+
+func (c *Client) pruneQuota() {
+	cutoff := c.cloud.Clock().Now().Add(-QuotaWindow)
+	for fp, at := range c.quota {
+		if at.Before(cutoff) {
+			delete(c.quota, fp)
+		}
+	}
+}
+
+// GetSpotPlacementScores returns placement scores for the query, enforcing
+// the account quota and the response-size truncation.
+func (c *Client) GetSpotPlacementScores(q PlacementScoreQuery) ([]PlacementScore, error) {
+	if len(q.InstanceTypes) == 0 {
+		return nil, fmt.Errorf("awsapi: query must name at least one instance type")
+	}
+	if len(q.InstanceTypes) > MaxTypesPerQuery {
+		return nil, fmt.Errorf("awsapi: query names %d instance types, limit %d", len(q.InstanceTypes), MaxTypesPerQuery)
+	}
+	if len(q.Regions) == 0 {
+		return nil, fmt.Errorf("awsapi: query must name at least one region")
+	}
+	if q.TargetCapacity <= 0 {
+		return nil, fmt.Errorf("awsapi: target capacity must be positive, got %d", q.TargetCapacity)
+	}
+
+	c.pruneQuota()
+	fp := q.Fingerprint()
+	now := c.cloud.Clock().Now()
+	if _, seen := c.quota[fp]; seen {
+		// Re-issuing an identical query is free and keeps it active.
+		c.quota[fp] = now
+	} else {
+		if len(c.quota) >= MaxUniqueQueriesPer24h {
+			return nil, fmt.Errorf("%w %s (%d unique in 24h)", ErrQueryLimitExceeded, c.account, len(c.quota))
+		}
+		c.quota[fp] = now
+	}
+
+	entries, err := c.cloud.PlacementScores(cloudsim.ScoreRequest{
+		Types:          q.InstanceTypes,
+		Regions:        q.Regions,
+		TargetCapacity: q.TargetCapacity,
+		SingleAZ:       q.SingleAvailabilityZone,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Truncate to the highest MaxReturnedScores scores; ties broken by
+	// region/AZ name for determinism.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Score != entries[j].Score {
+			return entries[i].Score > entries[j].Score
+		}
+		if entries[i].Region != entries[j].Region {
+			return entries[i].Region < entries[j].Region
+		}
+		return entries[i].AZ < entries[j].AZ
+	})
+	if len(entries) > MaxReturnedScores {
+		entries = entries[:MaxReturnedScores]
+	}
+	out := make([]PlacementScore, len(entries))
+	for i, e := range entries {
+		out[i] = PlacementScore{Region: e.Region, AZ: e.AZ, Score: e.Score}
+	}
+	return out, nil
+}
+
+// SpotPrice is one price-history entry.
+type SpotPrice struct {
+	At       time.Time
+	Type     string
+	AZ       string
+	PriceUSD float64
+}
+
+// DescribeSpotPriceHistory returns published price changes for a pool in
+// [from, to], clamped to the vendor's 90-day retention.
+func (c *Client) DescribeSpotPriceHistory(typeName, az string, from, to time.Time) ([]SpotPrice, error) {
+	now := c.cloud.Clock().Now()
+	if to.After(now) {
+		to = now
+	}
+	if oldest := now.Add(-PriceHistoryWindow); from.Before(oldest) {
+		from = oldest
+	}
+	if to.Before(from) {
+		return nil, nil
+	}
+	points, err := c.cloud.PriceHistory(typeName, az, from, to)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SpotPrice, len(points))
+	for i, p := range points {
+		out[i] = SpotPrice{At: p.At, Type: typeName, AZ: az, PriceUSD: p.PriceUSD}
+	}
+	return out, nil
+}
+
+// CurrentSpotPrice returns the pool's current published spot price.
+func (c *Client) CurrentSpotPrice(typeName, az string) (float64, error) {
+	return c.cloud.SpotPriceUSD(typeName, az)
+}
+
+// RequestSpotInstance opens a spot request on behalf of the account.
+func (c *Client) RequestSpotInstance(spec cloudsim.SpotRequestSpec) (*cloudsim.SpotRequest, error) {
+	return c.cloud.Submit(spec)
+}
+
+// AdvisorDocument is the bulk spot-instance-advisor dataset as scraped from
+// the website: every supported (type, region) with its interruption band
+// and savings. There is no filtered or historical access (paper Section 2.2).
+type AdvisorDocument struct {
+	FetchedAt time.Time
+	Entries   []cloudsim.AdvisorEntry
+}
+
+// FetchAdvisorDocument scrapes the advisor website document. It requires no
+// account: the advisor page is public, which is exactly why SpotInfo-style
+// scraping is the only programmatic access path.
+func FetchAdvisorDocument(cloud *cloudsim.Cloud) AdvisorDocument {
+	return AdvisorDocument{
+		FetchedAt: cloud.Clock().Now(),
+		Entries:   cloud.AdvisorSnapshot(),
+	}
+}

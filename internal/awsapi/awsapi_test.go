@@ -1,0 +1,242 @@
+package awsapi
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/cloudsim"
+	"repro/internal/simclock"
+)
+
+func testClient(seed uint64) (*Client, *simclock.Clock, *catalog.Catalog) {
+	cat := catalog.Compact(3)
+	clk := simclock.NewAtEpoch()
+	cloud := cloudsim.New(cat, clk, seed, cloudsim.DefaultParams())
+	return NewClient(cloud, "acct-0"), clk, cat
+}
+
+func anyType(cat *catalog.Catalog) string { return cat.Types()[0].Name }
+
+func TestFingerprintCanonical(t *testing.T) {
+	a := PlacementScoreQuery{
+		InstanceTypes:  []string{"m5.xlarge", "c5.xlarge"},
+		Regions:        []string{"us-east-1", "eu-west-1"},
+		TargetCapacity: 4,
+	}
+	b := PlacementScoreQuery{
+		InstanceTypes:  []string{"c5.xlarge", "m5.xlarge"},
+		Regions:        []string{"eu-west-1", "us-east-1"},
+		TargetCapacity: 4,
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint should be order-insensitive")
+	}
+	c := a
+	c.TargetCapacity = 5
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different capacity should change fingerprint")
+	}
+	d := a
+	d.SingleAvailabilityZone = true
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("single-AZ flag should change fingerprint")
+	}
+}
+
+func TestQueryQuotaEnforced(t *testing.T) {
+	c, _, cat := testClient(1)
+	tn := anyType(cat)
+	region := cat.SupportedRegions(tn)[0].Region
+	// Issue 50 unique queries (distinct capacities).
+	for n := 1; n <= MaxUniqueQueriesPer24h; n++ {
+		if _, err := c.GetSpotPlacementScores(PlacementScoreQuery{
+			InstanceTypes: []string{tn}, Regions: []string{region}, TargetCapacity: n,
+		}); err != nil {
+			t.Fatalf("query %d rejected: %v", n, err)
+		}
+	}
+	if got := c.UniqueQueriesInWindow(); got != 50 {
+		t.Errorf("unique queries = %d, want 50", got)
+	}
+	// The 51st unique query fails.
+	_, err := c.GetSpotPlacementScores(PlacementScoreQuery{
+		InstanceTypes: []string{tn}, Regions: []string{region}, TargetCapacity: 51,
+	})
+	if !errors.Is(err, ErrQueryLimitExceeded) {
+		t.Errorf("51st unique query error = %v, want ErrQueryLimitExceeded", err)
+	}
+	// Repeating an existing query is free.
+	if _, err := c.GetSpotPlacementScores(PlacementScoreQuery{
+		InstanceTypes: []string{tn}, Regions: []string{region}, TargetCapacity: 7,
+	}); err != nil {
+		t.Errorf("repeat query rejected: %v", err)
+	}
+}
+
+func TestQuotaExpiresAfterWindow(t *testing.T) {
+	c, clk, cat := testClient(2)
+	tn := anyType(cat)
+	region := cat.SupportedRegions(tn)[0].Region
+	for n := 1; n <= MaxUniqueQueriesPer24h; n++ {
+		if _, err := c.GetSpotPlacementScores(PlacementScoreQuery{
+			InstanceTypes: []string{tn}, Regions: []string{region}, TargetCapacity: n,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.RunFor(QuotaWindow + time.Minute)
+	if got := c.UniqueQueriesInWindow(); got != 0 {
+		t.Errorf("unique queries after window = %d, want 0", got)
+	}
+	if _, err := c.GetSpotPlacementScores(PlacementScoreQuery{
+		InstanceTypes: []string{tn}, Regions: []string{region}, TargetCapacity: 99,
+	}); err != nil {
+		t.Errorf("query after expiry rejected: %v", err)
+	}
+}
+
+func TestRepeatKeepsQueryActive(t *testing.T) {
+	// A query re-issued every 10 minutes (the collector pattern) must stay
+	// usable indefinitely without consuming extra quota.
+	c, clk, cat := testClient(3)
+	tn := anyType(cat)
+	region := cat.SupportedRegions(tn)[0].Region
+	q := PlacementScoreQuery{InstanceTypes: []string{tn}, Regions: []string{region}, TargetCapacity: 1}
+	for i := 0; i < 200; i++ {
+		if _, err := c.GetSpotPlacementScores(q); err != nil {
+			t.Fatalf("repeat %d rejected: %v", i, err)
+		}
+		clk.RunFor(10 * time.Minute)
+	}
+	if got := c.UniqueQueriesInWindow(); got != 1 {
+		t.Errorf("unique queries = %d, want 1", got)
+	}
+}
+
+func TestResultTruncationTopTen(t *testing.T) {
+	c, _, cat := testClient(4)
+	// A widely-supported type across many regions with SingleAZ yields far
+	// more than 10 AZ scores; only the top 10 come back.
+	var tier0 string
+	for _, tp := range cat.Types() {
+		if tp.Tier == 0 {
+			tier0 = tp.Name
+			break
+		}
+	}
+	if tier0 == "" {
+		t.Fatal("no tier-0 type in compact catalog")
+	}
+	var regions []string
+	total := 0
+	for _, rc := range cat.SupportedRegions(tier0) {
+		regions = append(regions, rc.Region)
+		total += rc.AZCount
+	}
+	if total <= MaxReturnedScores {
+		t.Fatalf("test setup: only %d candidate scores", total)
+	}
+	scores, err := c.GetSpotPlacementScores(PlacementScoreQuery{
+		InstanceTypes: []string{tier0}, Regions: regions,
+		TargetCapacity: 1, SingleAvailabilityZone: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != MaxReturnedScores {
+		t.Fatalf("returned %d scores, want %d", len(scores), MaxReturnedScores)
+	}
+	// Returned scores are the maximum ones: every returned score must be >=
+	// any hypothetical 11th (they are sorted descending).
+	for i := 1; i < len(scores); i++ {
+		if scores[i].Score > scores[i-1].Score {
+			t.Error("scores not sorted descending")
+		}
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	c, _, cat := testClient(5)
+	tn := anyType(cat)
+	region := cat.SupportedRegions(tn)[0].Region
+	bad := []PlacementScoreQuery{
+		{Regions: []string{region}, TargetCapacity: 1},
+		{InstanceTypes: []string{tn}, TargetCapacity: 1},
+		{InstanceTypes: []string{tn}, Regions: []string{region}, TargetCapacity: 0},
+		{InstanceTypes: make([]string, MaxTypesPerQuery+1), Regions: []string{region}, TargetCapacity: 1},
+	}
+	for i, q := range bad {
+		if _, err := c.GetSpotPlacementScores(q); err == nil {
+			t.Errorf("bad query %d accepted", i)
+		}
+	}
+	// Invalid queries must not consume quota.
+	if got := c.UniqueQueriesInWindow(); got != 0 {
+		t.Errorf("invalid queries consumed quota: %d", got)
+	}
+}
+
+func TestPriceHistoryWindowClamped(t *testing.T) {
+	c, clk, cat := testClient(6)
+	pool := cat.Pools()[0]
+	// Observe for 100 days so some history exists beyond the window.
+	for i := 0; i < 100; i++ {
+		clk.RunFor(24 * time.Hour)
+		if _, err := c.CurrentSpotPrice(pool.Type, pool.AZ); err != nil {
+			t.Fatal(err)
+		}
+	}
+	points, err := c.DescribeSpotPriceHistory(pool.Type, pool.AZ, simclock.Epoch, clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldest := clk.Now().Add(-PriceHistoryWindow)
+	for _, p := range points {
+		if p.At.Before(oldest) {
+			t.Errorf("point at %v older than 90-day window", p.At)
+		}
+		if p.Type != pool.Type || p.AZ != pool.AZ {
+			t.Error("point labeled with wrong pool")
+		}
+	}
+	// Reversed window returns nothing.
+	rev, err := c.DescribeSpotPriceHistory(pool.Type, pool.AZ, clk.Now(), simclock.Epoch)
+	if err != nil || rev != nil {
+		t.Errorf("reversed window = %v, %v", rev, err)
+	}
+}
+
+func TestAdvisorDocumentNeedsNoAccount(t *testing.T) {
+	cat := catalog.Compact(3)
+	clk := simclock.NewAtEpoch()
+	cloud := cloudsim.New(cat, clk, 7, cloudsim.DefaultParams())
+	doc := FetchAdvisorDocument(cloud)
+	if len(doc.Entries) == 0 {
+		t.Fatal("advisor document empty")
+	}
+	if !doc.FetchedAt.Equal(clk.Now()) {
+		t.Error("document timestamp wrong")
+	}
+	for _, e := range doc.Entries {
+		if e.Type == "" || e.Region == "" {
+			t.Fatal("advisor entry missing keys")
+		}
+	}
+}
+
+func TestRequestSpotInstancePassthrough(t *testing.T) {
+	c, clk, cat := testClient(8)
+	pool := cat.Pools()[0]
+	od, _ := cat.OnDemandPrice(pool.Type, pool.Region)
+	req, err := c.RequestSpotInstance(cloudsim.SpotRequestSpec{Type: pool.Type, AZ: pool.AZ, BidUSD: od})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.RunFor(time.Minute)
+	if req.Status() == cloudsim.StatusTerminal {
+		t.Error("fresh request already terminal")
+	}
+	req.Close()
+}

@@ -1,0 +1,324 @@
+// Package azuresim simulates Microsoft Azure's Spot Virtual Machines data
+// surface for the paper's Section 7 multi-vendor extension.
+//
+// Azure's public spot datasets differ from AWS's in exactly the ways the
+// paper describes: the current spot price is available programmatically
+// (via the Retail Prices API), while the eviction-rate dataset — Azure's
+// counterpart to the AWS advisor — is exposed only on the web portal, as
+// categorical bands per (VM size, region), with no history and no
+// placement-score equivalent at all. The simulator reproduces that
+// asymmetric surface over its own VM-size catalog and region set.
+package azuresim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/simrand"
+)
+
+// Vendor is the vendor tag used in multi-vendor archives.
+const Vendor = "azure"
+
+// EvictionBand is Azure's categorical eviction rate, published on the
+// portal as one of five bands.
+type EvictionBand int
+
+// Azure's published eviction-rate bands.
+const (
+	Evict0to5 EvictionBand = iota
+	Evict5to10
+	Evict10to15
+	Evict15to20
+	Evict20plus
+)
+
+// String returns the portal label.
+func (b EvictionBand) String() string {
+	switch b {
+	case Evict0to5:
+		return "0-5%"
+	case Evict5to10:
+		return "5-10%"
+	case Evict10to15:
+		return "10-15%"
+	case Evict15to20:
+		return "15-20%"
+	case Evict20plus:
+		return "20+%"
+	}
+	return fmt.Sprintf("EvictionBand(%d)", int(b))
+}
+
+// Score converts the band to the paper's 3.0..1.0 stability scale so
+// cross-vendor analyses can use one unit (Section 7's "global key" idea
+// applied to values).
+func (b EvictionBand) Score() float64 { return 3.0 - 0.5*float64(b) }
+
+// VMSize is one Azure VM size (the instance-type equivalent).
+type VMSize struct {
+	Name      string
+	Family    string // e.g. "Dsv3"
+	VCPU      int
+	MemoryGiB float64
+	// PAYGUSD is the pay-as-you-go hourly price in the baseline region.
+	PAYGUSD float64
+	// GPU marks accelerated sizes (scarcer, churnier — same hierarchy the
+	// paper finds on AWS).
+	GPU bool
+}
+
+// Regions available in the simulated Azure.
+var regions = []string{
+	"eastus", "eastus2", "westus2", "centralus", "northeurope",
+	"westeurope", "uksouth", "southeastasia", "japaneast", "australiaeast",
+}
+
+// sizes is the simulated VM size catalog.
+func sizeCatalog() []VMSize {
+	mk := func(family string, vcpus []int, perVCPUMem float64, perVCPUPrice float64, gpu bool) []VMSize {
+		var out []VMSize
+		for _, v := range vcpus {
+			out = append(out, VMSize{
+				Name:      fmt.Sprintf("Standard_%s%d", family, v),
+				Family:    family,
+				VCPU:      v,
+				MemoryGiB: float64(v) * perVCPUMem,
+				PAYGUSD:   float64(v) * perVCPUPrice,
+				GPU:       gpu,
+			})
+		}
+		return out
+	}
+	var all []VMSize
+	all = append(all, mk("D", []int{2, 4, 8, 16, 32, 48, 64}, 4, 0.048, false)...)     // general
+	all = append(all, mk("Ds", []int{2, 4, 8, 16, 32, 64}, 4, 0.051, false)...)        // general + ssd
+	all = append(all, mk("E", []int{2, 4, 8, 16, 32, 48, 64}, 8, 0.063, false)...)     // memory
+	all = append(all, mk("F", []int{2, 4, 8, 16, 32, 48, 64, 72}, 2, 0.042, false)...) // compute
+	all = append(all, mk("B", []int{1, 2, 4, 8, 12, 16, 20}, 4, 0.021, false)...)      // burstable
+	all = append(all, mk("L", []int{8, 16, 32, 48, 64, 80}, 8, 0.078, false)...)       // storage
+	all = append(all, mk("NC", []int{6, 12, 24}, 9.33, 0.15, true)...)                 // GPU (K80/T4)
+	all = append(all, mk("ND", []int{6, 12, 24, 40}, 18.7, 0.33, true)...)             // GPU (P40/A100)
+	all = append(all, mk("NV", []int{6, 12, 24, 48}, 9.33, 0.19, true)...)             // GPU viz
+	return all
+}
+
+// poolState is the latent state of one (size, region).
+type poolState struct {
+	rng *simrand.Rand
+
+	evictXi   float64 // churn latent; higher = worse
+	evictLast time.Time
+	band      EvictionBand
+	bandAt    time.Time // last portal refresh
+
+	priceLatent float64
+	priceLast   time.Time
+	pubFrac     float64
+	priceInit   bool
+}
+
+// Cloud is the simulated Azure spot surface.
+type Cloud struct {
+	clk   *simclock.Clock
+	root  *simrand.Rand
+	sizes []VMSize
+	byN   map[string]*VMSize
+	pools map[[2]string]*poolState // (size, region)
+}
+
+// New builds the simulated Azure from a seed.
+func New(clk *simclock.Clock, seed uint64) *Cloud {
+	c := &Cloud{
+		clk:   clk,
+		root:  simrand.New(seed).Stream("azure"),
+		sizes: sizeCatalog(),
+		byN:   make(map[string]*VMSize),
+		pools: make(map[[2]string]*poolState),
+	}
+	for i := range c.sizes {
+		c.byN[c.sizes[i].Name] = &c.sizes[i]
+	}
+	return c
+}
+
+// Sizes returns the VM size catalog.
+func (c *Cloud) Sizes() []VMSize { return c.sizes }
+
+// Regions returns the region list.
+func (c *Cloud) Regions() []string { return append([]string(nil), regions...) }
+
+// Size returns a VM size by name.
+func (c *Cloud) Size(name string) (VMSize, bool) {
+	s, ok := c.byN[name]
+	if !ok {
+		return VMSize{}, false
+	}
+	return *s, true
+}
+
+const (
+	// evictionRefresh is the portal's dataset refresh cadence.
+	evictionRefresh = 24 * time.Hour
+	// churn dynamics: slow OU, like the AWS advisor's monthly window.
+	churnTheta = 1.0 / (18 * 24) // per hour
+	churnSigma = 1.0
+	// price dynamics: Azure spot prices move sluggishly.
+	priceTheta   = 1.0 / (14 * 24)
+	priceBase    = 0.12 // spot price floor as a fraction of PAYG
+	priceSpan    = 0.38
+	publishDelta = 0.04
+)
+
+func (c *Cloud) pool(size, region string) (*poolState, error) {
+	sz, ok := c.byN[size]
+	if !ok {
+		return nil, fmt.Errorf("azuresim: unknown VM size %q", size)
+	}
+	valid := false
+	for _, r := range regions {
+		if r == region {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return nil, fmt.Errorf("azuresim: unknown region %q", region)
+	}
+	k := [2]string{size, region}
+	p, ok := c.pools[k]
+	now := c.clk.Now()
+	if !ok {
+		rng := c.root.Stream("pool/" + size + "/" + region)
+		p = &poolState{rng: rng}
+		mean := c.churnMean(sz)
+		p.evictXi = rng.Normal(mean, churnSigma)
+		p.evictLast = now
+		p.band = bandOf(p.evictXi)
+		p.bandAt = now
+		p.priceLatent = rng.NormFloat64()
+		p.priceLast = now
+		c.pools[k] = p
+	}
+	c.advance(p, sz, now)
+	return p, nil
+}
+
+// churnMean sets the stationary churn per size: GPU sizes and very large
+// sizes evict more, mirroring the AWS hierarchy.
+func (c *Cloud) churnMean(sz *VMSize) float64 {
+	m := -1.1
+	if sz.GPU {
+		m = 0.5
+	}
+	m += 0.18 * math.Log2(float64(sz.VCPU)/4)
+	return m
+}
+
+func (c *Cloud) advance(p *poolState, sz *VMSize, now time.Time) {
+	if now.After(p.evictLast) {
+		dtH := now.Sub(p.evictLast).Hours()
+		sigmaDiff := churnSigma * math.Sqrt(2*churnTheta)
+		p.evictXi = p.rng.OUStep(p.evictXi, c.churnMean(sz), churnTheta, sigmaDiff, dtH)
+		p.evictLast = now
+	}
+	// Portal refresh: the published band only moves on the daily refresh.
+	for !p.bandAt.Add(evictionRefresh).After(now) {
+		p.bandAt = p.bandAt.Add(evictionRefresh)
+		p.band = bandOf(p.evictXi)
+	}
+	if now.After(p.priceLast) {
+		dtH := now.Sub(p.priceLast).Hours()
+		sigmaDiff := 1.0 * math.Sqrt(2*priceTheta)
+		p.priceLatent = p.rng.OUStep(p.priceLatent, 0, priceTheta, sigmaDiff, dtH)
+		p.priceLast = now
+	}
+	frac := priceBase + priceSpan*logistic(1.1*p.priceLatent)
+	if !p.priceInit || math.Abs(frac-p.pubFrac) > publishDelta {
+		p.pubFrac = frac
+		p.priceInit = true
+	}
+}
+
+func bandOf(xi float64) EvictionBand {
+	// Map the latent through a logistic to a monthly eviction ratio, then
+	// into Azure's bands.
+	ratio := 0.32 * logistic(xi)
+	switch {
+	case ratio < 0.05:
+		return Evict0to5
+	case ratio < 0.10:
+		return Evict5to10
+	case ratio < 0.15:
+		return Evict10to15
+	case ratio < 0.20:
+		return Evict15to20
+	default:
+		return Evict20plus
+	}
+}
+
+func logistic(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// SpotPriceUSD returns the current spot price of (size, region) — the
+// programmatic API Azure does provide.
+func (c *Cloud) SpotPriceUSD(size, region string) (float64, error) {
+	p, err := c.pool(size, region)
+	if err != nil {
+		return 0, err
+	}
+	sz := c.byN[size]
+	mult := regionPriceMult(region)
+	return sz.PAYGUSD * mult * p.pubFrac, nil
+}
+
+func regionPriceMult(region string) float64 {
+	switch region {
+	case "eastus", "eastus2", "centralus":
+		return 1.0
+	case "westus2", "northeurope":
+		return 1.04
+	case "westeurope", "uksouth":
+		return 1.10
+	case "southeastasia", "japaneast":
+		return 1.18
+	default:
+		return 1.14
+	}
+}
+
+// PortalEntry is one row of the portal's spot dataset: eviction band plus
+// savings, the only place Azure exposes eviction information.
+type PortalEntry struct {
+	Size       string
+	Region     string
+	Band       EvictionBand
+	SavingsPct int
+}
+
+// PortalSnapshot scrapes the whole portal dataset (no filtered access, no
+// history — Section 7's point about Azure).
+func (c *Cloud) PortalSnapshot() ([]PortalEntry, error) {
+	var out []PortalEntry
+	for i := range c.sizes {
+		sz := &c.sizes[i]
+		for _, region := range regions {
+			p, err := c.pool(sz.Name, region)
+			if err != nil {
+				return nil, err
+			}
+			savings := int(math.Round((1 - p.pubFrac) * 100))
+			out = append(out, PortalEntry{Size: sz.Name, Region: region, Band: p.band, SavingsPct: savings})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Size != out[j].Size {
+			return out[i].Size < out[j].Size
+		}
+		return out[i].Region < out[j].Region
+	})
+	return out, nil
+}

@@ -1,0 +1,169 @@
+package azuresim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func TestCatalogShape(t *testing.T) {
+	c := New(simclock.NewAtEpoch(), 1)
+	if len(c.Sizes()) < 40 {
+		t.Errorf("only %d VM sizes", len(c.Sizes()))
+	}
+	if len(c.Regions()) != 10 {
+		t.Errorf("regions = %d, want 10", len(c.Regions()))
+	}
+	gpu := 0
+	for _, s := range c.Sizes() {
+		if s.VCPU <= 0 || s.MemoryGiB <= 0 || s.PAYGUSD <= 0 {
+			t.Errorf("size %s has non-positive specs: %+v", s.Name, s)
+		}
+		if s.GPU {
+			gpu++
+		}
+	}
+	if gpu == 0 {
+		t.Error("no GPU sizes")
+	}
+	if _, ok := c.Size("Standard_D4"); !ok {
+		t.Error("Standard_D4 missing")
+	}
+	if _, ok := c.Size("Standard_Q5000"); ok {
+		t.Error("bogus size found")
+	}
+}
+
+func TestSpotPriceBelowPAYG(t *testing.T) {
+	clk := simclock.NewAtEpoch()
+	c := New(clk, 2)
+	for i := 0; i < 10; i++ {
+		clk.RunFor(12 * time.Hour)
+		for _, s := range c.Sizes()[:8] {
+			for _, r := range c.Regions()[:3] {
+				price, err := c.SpotPriceUSD(s.Name, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if price <= 0 || price >= s.PAYGUSD*regionPriceMult(r) {
+					t.Fatalf("spot %v not in (0, payg) for %s/%s", price, s.Name, r)
+				}
+			}
+		}
+	}
+}
+
+func TestSpotPriceValidation(t *testing.T) {
+	c := New(simclock.NewAtEpoch(), 3)
+	if _, err := c.SpotPriceUSD("Standard_Q1", "eastus"); err == nil {
+		t.Error("unknown size accepted")
+	}
+	if _, err := c.SpotPriceUSD("Standard_D4", "moonbase-1"); err == nil {
+		t.Error("unknown region accepted")
+	}
+}
+
+func TestPortalSnapshotCoversAllPairs(t *testing.T) {
+	c := New(simclock.NewAtEpoch(), 4)
+	entries, err := c.PortalSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(c.Sizes()) * len(c.Regions())
+	if len(entries) != want {
+		t.Errorf("snapshot has %d entries, want %d", len(entries), want)
+	}
+	for _, e := range entries[:20] {
+		if e.Band < Evict0to5 || e.Band > Evict20plus {
+			t.Errorf("band %v out of range", e.Band)
+		}
+		if e.SavingsPct < 40 || e.SavingsPct > 95 {
+			t.Errorf("savings %d%% implausible for Azure spot", e.SavingsPct)
+		}
+	}
+}
+
+func TestGPUSizesEvictMore(t *testing.T) {
+	clk := simclock.NewAtEpoch()
+	c := New(clk, 5)
+	clk.RunFor(24 * time.Hour)
+	entries, err := c.PortalSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gpuSum, cpuSum float64
+	var gpuN, cpuN int
+	for _, e := range entries {
+		s, _ := c.Size(e.Size)
+		if s.GPU {
+			gpuSum += e.Band.Score()
+			gpuN++
+		} else {
+			cpuSum += e.Band.Score()
+			cpuN++
+		}
+	}
+	if gpuSum/float64(gpuN) >= cpuSum/float64(cpuN) {
+		t.Errorf("GPU stability %.2f not below CPU %.2f", gpuSum/float64(gpuN), cpuSum/float64(cpuN))
+	}
+}
+
+func TestBandScoreMapping(t *testing.T) {
+	cases := map[EvictionBand]float64{
+		Evict0to5: 3.0, Evict5to10: 2.5, Evict10to15: 2.0, Evict15to20: 1.5, Evict20plus: 1.0,
+	}
+	for b, want := range cases {
+		if got := b.Score(); got != want {
+			t.Errorf("%v.Score() = %v, want %v", b, got, want)
+		}
+	}
+	if Evict5to10.String() != "5-10%" || Evict20plus.String() != "20+%" {
+		t.Error("band labels wrong")
+	}
+}
+
+func TestBandsChangeOnlyOnPortalRefresh(t *testing.T) {
+	clk := simclock.NewAtEpoch()
+	c := New(clk, 6)
+	size := c.Sizes()[0].Name
+	region := c.Regions()[0]
+	read := func() EvictionBand {
+		p, err := c.pool(size, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.band
+	}
+	first := read()
+	// Within one refresh window the published band cannot move.
+	for i := 0; i < 10; i++ {
+		clk.RunFor(2 * time.Hour)
+		if got := read(); got != first {
+			t.Fatalf("band changed %v->%v within the daily portal refresh", first, got)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		clk := simclock.NewAtEpoch()
+		c := New(clk, 77)
+		var out []float64
+		for i := 0; i < 5; i++ {
+			clk.RunFor(24 * time.Hour)
+			p, err := c.SpotPriceUSD("Standard_E8", "westeurope")
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, p)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed azure runs diverged at %d", i)
+		}
+	}
+}

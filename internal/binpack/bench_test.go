@@ -1,0 +1,52 @@
+package binpack
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func planItems() []Item {
+	// A representative tier-0 instance: all 17 regions with their AZ
+	// counts (63 total, the hardest instance the planner sees).
+	cat := catalog.Standard()
+	var items []Item
+	for _, rc := range cat.SupportedRegions("m5.xlarge") {
+		items = append(items, Item{Label: rc.Region, Weight: rc.AZCount})
+	}
+	return items
+}
+
+func BenchmarkFFD(b *testing.B) {
+	items := planItems()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FirstFitDecreasing(items, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExact(b *testing.B) {
+	items := planItems()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Exact(items, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanFullCatalog(b *testing.B) {
+	cat := catalog.Standard()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := PlanScoreQueries(cat, 10, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(plan.Queries) == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package binpack implements the bin-packing optimization behind SpotLake's
+// placement-score query planner (paper Section 3.2, Figure 1).
+//
+// The planner must fetch per-AZ placement scores for every instance type,
+// but one API query returns at most 10 scores. For each instance type the
+// regions supporting it — each contributing its number of supporting AZs —
+// are therefore packed into queries so that every query's total AZ count
+// stays within the response cap. The paper solves this with Google
+// OR-Tools' COIN-OR CBC mixed-integer solver; this package provides both a
+// first-fit-decreasing heuristic and an exact branch-and-bound solver (the
+// problem instances here are tiny: at most 17 items of weight <= 6 into
+// bins of capacity 10, where exact search is instantaneous).
+package binpack
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Item is one object to pack: a label (a region code in the query-planning
+// use) and its integer weight (the region's supporting-AZ count).
+type Item struct {
+	Label  string
+	Weight int
+}
+
+// Bin is one bin of a packing.
+type Bin struct {
+	Items  []Item
+	Weight int
+}
+
+// validate rejects empty and oversized items.
+func validate(items []Item, capacity int) error {
+	if capacity <= 0 {
+		return fmt.Errorf("binpack: capacity must be positive, got %d", capacity)
+	}
+	for _, it := range items {
+		if it.Weight <= 0 {
+			return fmt.Errorf("binpack: item %q has non-positive weight %d", it.Label, it.Weight)
+		}
+		if it.Weight > capacity {
+			return fmt.Errorf("binpack: item %q weight %d exceeds capacity %d", it.Label, it.Weight, capacity)
+		}
+	}
+	return nil
+}
+
+// LowerBound returns the L1 lower bound ceil(totalWeight / capacity).
+func LowerBound(items []Item, capacity int) int {
+	total := 0
+	for _, it := range items {
+		total += it.Weight
+	}
+	return (total + capacity - 1) / capacity
+}
+
+// sortDecreasing returns the items sorted by decreasing weight (stable by
+// label so packings are deterministic).
+func sortDecreasing(items []Item) []Item {
+	s := append([]Item(nil), items...)
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Weight != s[j].Weight {
+			return s[i].Weight > s[j].Weight
+		}
+		return s[i].Label < s[j].Label
+	})
+	return s
+}
+
+// FirstFitDecreasing packs items into bins of the given capacity with the
+// classic FFD heuristic: sort by decreasing weight, place each item into the
+// first bin it fits, opening a new bin when none fits. FFD uses at most
+// 11/9 OPT + 6/9 bins.
+func FirstFitDecreasing(items []Item, capacity int) ([]Bin, error) {
+	if err := validate(items, capacity); err != nil {
+		return nil, err
+	}
+	var bins []Bin
+	for _, it := range sortDecreasing(items) {
+		placed := false
+		for b := range bins {
+			if bins[b].Weight+it.Weight <= capacity {
+				bins[b].Items = append(bins[b].Items, it)
+				bins[b].Weight += it.Weight
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bins = append(bins, Bin{Items: []Item{it}, Weight: it.Weight})
+		}
+	}
+	return bins, nil
+}
+
+// Exact packs items into the minimum number of bins using branch and bound
+// (the CBC-equivalent for this problem class). The FFD solution seeds the
+// incumbent; search branches on the placement of each item (in decreasing
+// weight order) into existing bins or one new bin, pruning on the L1 lower
+// bound and on bin-symmetry (an item never opens a second bin with the same
+// residual capacity as an existing empty-enough bin it skipped).
+func Exact(items []Item, capacity int) ([]Bin, error) {
+	ffd, err := FirstFitDecreasing(items, capacity)
+	if err != nil {
+		return nil, err
+	}
+	lb := LowerBound(items, capacity)
+	if len(ffd) == lb {
+		return ffd, nil // FFD already optimal
+	}
+
+	sorted := sortDecreasing(items)
+	n := len(sorted)
+	best := len(ffd)
+	bestAssign := make([]int, n) // item index -> bin index under FFD
+	{
+		// Recover FFD's assignment for the incumbent.
+		pos := map[string][]int{}
+		for b, bin := range ffd {
+			for _, it := range bin.Items {
+				pos[fmt.Sprintf("%s/%d", it.Label, it.Weight)] = append(pos[fmt.Sprintf("%s/%d", it.Label, it.Weight)], b)
+			}
+		}
+		for i, it := range sorted {
+			k := fmt.Sprintf("%s/%d", it.Label, it.Weight)
+			bestAssign[i] = pos[k][0]
+			pos[k] = pos[k][1:]
+		}
+	}
+
+	assign := make([]int, n)
+	loads := make([]int, 0, n)
+
+	var remaining int
+	for _, it := range sorted {
+		remaining += it.Weight
+	}
+
+	var dfs func(i, used, rem int)
+	dfs = func(i, used, rem int) {
+		if used >= best {
+			return
+		}
+		// Lower bound on additional bins for the remaining weight: even if
+		// every open bin were filled to capacity, we need at least this
+		// many bins overall.
+		free := 0
+		for _, l := range loads[:used] {
+			free += capacity - l
+		}
+		extra := 0
+		if rem > free {
+			extra = (rem - free + capacity - 1) / capacity
+		}
+		if used+extra >= best {
+			return
+		}
+		if i == n {
+			best = used
+			copy(bestAssign, assign)
+			return
+		}
+		w := sorted[i].Weight
+		seen := make(map[int]bool, used+1)
+		for b := 0; b < used; b++ {
+			if loads[b]+w > capacity {
+				continue
+			}
+			// Symmetry pruning: trying two bins with identical load is
+			// redundant.
+			if seen[loads[b]] {
+				continue
+			}
+			seen[loads[b]] = true
+			loads[b] += w
+			assign[i] = b
+			dfs(i+1, used, rem-w)
+			loads[b] -= w
+		}
+		// Open a new bin (only meaningful if we haven't already tried an
+		// empty one).
+		if !seen[0] && used < best-1 || used == 0 {
+			loads = append(loads[:used], w)
+			assign[i] = used
+			dfs(i+1, used+1, rem-w)
+			loads = loads[:used]
+		}
+	}
+	dfs(0, 0, remaining)
+
+	nBins := 0
+	for _, b := range bestAssign[:n] {
+		if b+1 > nBins {
+			nBins = b + 1
+		}
+	}
+	bins := make([]Bin, nBins)
+	for i, b := range bestAssign {
+		bins[b].Items = append(bins[b].Items, sorted[i])
+		bins[b].Weight += sorted[i].Weight
+	}
+	// Drop any empty bins (possible if incumbent indices were sparse).
+	out := bins[:0]
+	for _, b := range bins {
+		if len(b.Items) > 0 {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}

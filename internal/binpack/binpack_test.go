@@ -1,0 +1,236 @@
+package binpack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+	"repro/internal/simrand"
+)
+
+func checkPacking(t *testing.T, items []Item, bins []Bin, capacity int) {
+	t.Helper()
+	count := map[Item]int{}
+	for _, it := range items {
+		count[it]++
+	}
+	for _, b := range bins {
+		if b.Weight > capacity {
+			t.Fatalf("bin over capacity: %d > %d", b.Weight, capacity)
+		}
+		sum := 0
+		for _, it := range b.Items {
+			count[it]--
+			sum += it.Weight
+		}
+		if sum != b.Weight {
+			t.Fatalf("bin weight %d != item sum %d", b.Weight, sum)
+		}
+		if len(b.Items) == 0 {
+			t.Fatal("empty bin in packing")
+		}
+	}
+	for it, n := range count {
+		if n != 0 {
+			t.Fatalf("item %v packed %d extra/missing times", it, -n)
+		}
+	}
+}
+
+func TestFFDFigure1Example(t *testing.T) {
+	// The paper's p3.2xlarge example: 11 regions with AZ counts summing to
+	// 23 pack into 3 queries of capacity 10.
+	weights := []int{2, 2, 2, 1, 1, 2, 2, 2, 4, 2, 3}
+	items := make([]Item, len(weights))
+	for i, w := range weights {
+		items[i] = Item{Label: string(rune('a' + i)), Weight: w}
+	}
+	bins, err := FirstFitDecreasing(items, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPacking(t, items, bins, 10)
+	if len(bins) != 3 {
+		t.Errorf("FFD used %d bins, want 3 (paper Figure 1)", len(bins))
+	}
+	exact, err := Exact(items, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPacking(t, items, exact, 10)
+	if len(exact) != 3 {
+		t.Errorf("Exact used %d bins, want 3", len(exact))
+	}
+}
+
+func TestExactBeatsFFDWhenPossible(t *testing.T) {
+	// Classic FFD-suboptimal instance: weights {6,5,5,4,4,3,3} capacity 10.
+	// FFD: [6,4],[5,5],[4,3,3] = 3 bins; optimal is 3 too. Use a sharper
+	// case: {5,5,4,4,3,3,3,3} capacity 10 -> optimal 3 (5+5, 4+3+3, 4+3+3),
+	// FFD gives 3 as well. Construct a known FFD-failure:
+	// {4,4,4,3,3,3,3,3,3} capacity 10: FFD -> [4,4],[4,3,3],[3,3,3],[3] = 4
+	// bins; optimal: [4,3,3] x3 = 3 bins.
+	items := []Item{}
+	for i, w := range []int{4, 4, 4, 3, 3, 3, 3, 3, 3} {
+		items = append(items, Item{Label: string(rune('a' + i)), Weight: w})
+	}
+	ffd, err := FirstFitDecreasing(items, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Exact(items, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPacking(t, items, exact, 10)
+	if len(exact) != 3 {
+		t.Errorf("Exact used %d bins, want 3", len(exact))
+	}
+	if len(ffd) < len(exact) {
+		t.Errorf("FFD (%d) beat Exact (%d): impossible", len(ffd), len(exact))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := FirstFitDecreasing([]Item{{"a", 11}}, 10); err == nil {
+		t.Error("oversized item accepted")
+	}
+	if _, err := FirstFitDecreasing([]Item{{"a", 0}}, 10); err == nil {
+		t.Error("zero-weight item accepted")
+	}
+	if _, err := FirstFitDecreasing([]Item{{"a", 1}}, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := Exact([]Item{{"a", -2}}, 10); err == nil {
+		t.Error("negative weight accepted by Exact")
+	}
+}
+
+func TestEmptyItems(t *testing.T) {
+	bins, err := FirstFitDecreasing(nil, 10)
+	if err != nil || len(bins) != 0 {
+		t.Errorf("empty FFD = %v, %v", bins, err)
+	}
+	bins, err = Exact(nil, 10)
+	if err != nil || len(bins) != 0 {
+		t.Errorf("empty Exact = %v, %v", bins, err)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	items := []Item{{"a", 4}, {"b", 4}, {"c", 3}}
+	if lb := LowerBound(items, 10); lb != 2 {
+		t.Errorf("LowerBound = %d, want 2", lb)
+	}
+	if lb := LowerBound(nil, 10); lb != 0 {
+		t.Errorf("LowerBound(nil) = %d, want 0", lb)
+	}
+}
+
+func TestPackingPropertiesRandom(t *testing.T) {
+	// Property-based check over random instances shaped like the planner's
+	// (weights 1..6, up to 17 items, capacity 10): Exact is never worse
+	// than FFD, never better than the lower bound, and both produce valid
+	// packings.
+	rng := simrand.New(1234)
+	f := func(seed uint16) bool {
+		r := rng.StreamN("case", int(seed))
+		n := 1 + r.Intn(17)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{Label: string(rune('a' + i)), Weight: 1 + r.Intn(6)}
+		}
+		ffd, err := FirstFitDecreasing(items, 10)
+		if err != nil {
+			return false
+		}
+		exact, err := Exact(items, 10)
+		if err != nil {
+			return false
+		}
+		checkPacking(t, items, ffd, 10)
+		checkPacking(t, items, exact, 10)
+		lb := LowerBound(items, 10)
+		return len(exact) <= len(ffd) && len(exact) >= lb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanScoreQueriesStandardCatalog(t *testing.T) {
+	// The paper's headline optimization: 9,299 naive queries reduced to
+	// about 2,226 (roughly 4.5x), needing ~45 accounts at 50 queries each.
+	cat := catalog.Standard()
+	plan, err := PlanScoreQueries(cat, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NaiveQueries != 9299 {
+		t.Errorf("naive queries = %d, want 9299 (547 types x 17 regions)", plan.NaiveQueries)
+	}
+	n := len(plan.Queries)
+	t.Logf("optimized queries: %d (paper: 2226), improvement %.2fx, accounts %d (paper: 45)",
+		n, float64(plan.NaiveQueries)/float64(n), plan.AccountsNeeded(50))
+	if n < 1900 || n > 2600 {
+		t.Errorf("optimized plan has %d queries, want within [1900, 2600] (paper 2226)", n)
+	}
+	improvement := float64(plan.NaiveQueries) / float64(n)
+	if improvement < 3.5 {
+		t.Errorf("improvement %.2fx, want >= 3.5x (paper ~4.2x)", improvement)
+	}
+	accounts := plan.AccountsNeeded(50)
+	if accounts < 38 || accounts > 52 {
+		t.Errorf("accounts needed = %d, want within [38, 52] (paper 45)", accounts)
+	}
+	// Every query must respect the response cap and cover each type's
+	// support set exactly once.
+	covered := map[string]map[string]bool{}
+	for _, q := range plan.Queries {
+		if q.ExpectedScores > 10 {
+			t.Fatalf("query for %s expects %d > 10 scores", q.InstanceType, q.ExpectedScores)
+		}
+		m := covered[q.InstanceType]
+		if m == nil {
+			m = map[string]bool{}
+			covered[q.InstanceType] = m
+		}
+		for _, r := range q.Regions {
+			if m[r] {
+				t.Fatalf("region %s queried twice for %s", r, q.InstanceType)
+			}
+			m[r] = true
+		}
+	}
+	for _, tp := range cat.Types() {
+		want := len(cat.SupportedRegions(tp.Name))
+		if got := len(covered[tp.Name]); got != want {
+			t.Fatalf("type %s: %d regions planned, want %d", tp.Name, got, want)
+		}
+	}
+}
+
+func TestPlanExactNotWorseThanFFD(t *testing.T) {
+	cat := catalog.Compact(4)
+	ffd, err := PlanScoreQueries(cat, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := PlanScoreQueries(cat, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exact.Queries) > len(ffd.Queries) {
+		t.Errorf("exact plan (%d) worse than FFD plan (%d)", len(exact.Queries), len(ffd.Queries))
+	}
+}
+
+func TestAccountsNeeded(t *testing.T) {
+	p := Plan{Queries: make([]PlannedQuery, 101)}
+	if got := p.AccountsNeeded(50); got != 3 {
+		t.Errorf("AccountsNeeded(50) = %d, want 3", got)
+	}
+	if got := p.AccountsNeeded(0); got != 0 {
+		t.Errorf("AccountsNeeded(0) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,72 @@
+package binpack
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+)
+
+// PlannedQuery is one optimized placement-score query: a single instance
+// type with the regions packed together so that the per-AZ scores fit one
+// response (paper Figure 1).
+type PlannedQuery struct {
+	InstanceType string
+	Regions      []string
+	// ExpectedScores is the total supporting-AZ count of the packed
+	// regions, i.e. how many per-AZ scores the query yields.
+	ExpectedScores int
+}
+
+// Plan is a full collection plan for the placement-score dataset.
+type Plan struct {
+	Queries []PlannedQuery
+	// NaiveQueries is the unoptimized count: one query per (type, region)
+	// pair, 547 x 17 = 9,299 for the standard catalog.
+	NaiveQueries int
+}
+
+// AccountsNeeded returns how many cloud accounts the plan requires under a
+// unique-query quota per account (paper: 2,226 queries / 50 per account =
+// 45 accounts).
+func (p Plan) AccountsNeeded(quotaPerAccount int) int {
+	if quotaPerAccount <= 0 {
+		return 0
+	}
+	return (len(p.Queries) + quotaPerAccount - 1) / quotaPerAccount
+}
+
+// PlanScoreQueries builds the optimized query plan for every instance type
+// in the catalog. capacity is the vendor's response-size cap (10). When
+// exact is true the branch-and-bound solver is used per type (the CBC
+// substitute); otherwise first-fit-decreasing.
+func PlanScoreQueries(cat *catalog.Catalog, capacity int, exact bool) (Plan, error) {
+	// The naive plan scans every (type, region) combination — the paper's
+	// 547 x 17 = 9,299 — because without the support matrix (which itself
+	// must be discovered) every pair needs a probe.
+	plan := Plan{NaiveQueries: cat.NumTypes() * cat.NumRegions()}
+	for _, t := range cat.Types() {
+		regions := cat.SupportedRegions(t.Name)
+		items := make([]Item, 0, len(regions))
+		for _, rc := range regions {
+			items = append(items, Item{Label: rc.Region, Weight: rc.AZCount})
+		}
+		var bins []Bin
+		var err error
+		if exact {
+			bins, err = Exact(items, capacity)
+		} else {
+			bins, err = FirstFitDecreasing(items, capacity)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("planning %s: %w", t.Name, err)
+		}
+		for _, b := range bins {
+			q := PlannedQuery{InstanceType: t.Name, ExpectedScores: b.Weight}
+			for _, it := range b.Items {
+				q.Regions = append(q.Regions, it.Label)
+			}
+			plan.Queries = append(plan.Queries, q)
+		}
+	}
+	return plan, nil
+}

@@ -1,0 +1,574 @@
+// Package catalog models the static inventory of the simulated cloud: 17
+// regions with 63 availability zones, and 547 spot-eligible instance types
+// spread over the 16 instance classes the paper analyzes (T, M, A, C, R, X,
+// Z, P, G, DL, Inf, F, VT, I, D, H — Figure 3). The counts match the paper's
+// Section 3.1 ("about 547 instance types, 17 regions, and 63 availability
+// zones"), which is what makes the query-optimization arithmetic of Figure 1
+// (547 x 17 = 9,299 queries before optimization) come out the same.
+//
+// The catalog also carries the per-type region/AZ support matrix. Support is
+// generated deterministically from family popularity tiers, so that the
+// bin-packing collector plan lands at the paper's post-optimization query
+// count (~2,226) and Figure 4's NA cells appear for the right classes.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/simrand"
+)
+
+// Class is an instance class (family group) as displayed on the vertical
+// axis of Figures 3 and 4.
+type Class string
+
+// The sixteen instance classes of the paper, in figure display order:
+// general (T, M, A), compute-optimized (C), memory-optimized (R, X, Z),
+// accelerated computing (P, G, DL, Inf, F, VT), storage-optimized (I, D, H).
+const (
+	ClassT   Class = "T"
+	ClassM   Class = "M"
+	ClassA   Class = "A"
+	ClassC   Class = "C"
+	ClassR   Class = "R"
+	ClassX   Class = "X"
+	ClassZ   Class = "Z"
+	ClassP   Class = "P"
+	ClassG   Class = "G"
+	ClassDL  Class = "DL"
+	ClassInf Class = "Inf"
+	ClassF   Class = "F"
+	ClassVT  Class = "VT"
+	ClassI   Class = "I"
+	ClassD   Class = "D"
+	ClassH   Class = "H"
+)
+
+// Classes lists all instance classes in figure display order.
+var Classes = []Class{
+	ClassT, ClassM, ClassA, ClassC, ClassR, ClassX, ClassZ,
+	ClassP, ClassG, ClassDL, ClassInf, ClassF, ClassVT,
+	ClassI, ClassD, ClassH,
+}
+
+// Accelerated reports whether the class belongs to the accelerated-computing
+// family group (the group with the lowest availability in Section 5.1).
+func (c Class) Accelerated() bool {
+	switch c {
+	case ClassP, ClassG, ClassDL, ClassInf, ClassF, ClassVT:
+		return true
+	}
+	return false
+}
+
+// Group returns the paper's family-group label for the class.
+func (c Class) Group() string {
+	switch c {
+	case ClassT, ClassM, ClassA:
+		return "general"
+	case ClassC:
+		return "compute-optimized"
+	case ClassR, ClassX, ClassZ:
+		return "memory-optimized"
+	case ClassP, ClassG, ClassDL, ClassInf, ClassF, ClassVT:
+		return "accelerated-computing"
+	case ClassI, ClassD, ClassH:
+		return "storage-optimized"
+	}
+	return "unknown"
+}
+
+// Size is an instance size suffix ("xlarge", "2xlarge", ...).
+type Size string
+
+// sizeFactor maps a size to its capacity multiple relative to xlarge = 1.
+var sizeFactor = map[Size]float64{
+	"nano": 1.0 / 32, "micro": 1.0 / 16, "small": 1.0 / 8, "medium": 1.0 / 4,
+	"large": 1.0 / 2, "xlarge": 1, "2xlarge": 2, "3xlarge": 3, "4xlarge": 4,
+	"6xlarge": 6, "8xlarge": 8, "9xlarge": 9, "10xlarge": 10, "12xlarge": 12,
+	"16xlarge": 16, "18xlarge": 18, "24xlarge": 24, "32xlarge": 32,
+	"48xlarge": 48, "56xlarge": 56, "112xlarge": 112, "metal": 24,
+}
+
+// SizeFactor returns the capacity multiple of the size relative to xlarge,
+// or 0 for an unknown size.
+func SizeFactor(s Size) float64 { return sizeFactor[s] }
+
+// SizeRank orders sizes from smallest to largest for presentation (Figure 5).
+var sizeRank = map[Size]int{
+	"nano": 0, "micro": 1, "small": 2, "medium": 3, "large": 4, "xlarge": 5,
+	"2xlarge": 6, "3xlarge": 7, "4xlarge": 8, "6xlarge": 9, "8xlarge": 10,
+	"9xlarge": 11, "10xlarge": 12, "12xlarge": 13, "16xlarge": 14,
+	"18xlarge": 15, "24xlarge": 16, "32xlarge": 17, "48xlarge": 18,
+	"56xlarge": 19, "112xlarge": 20, "metal": 21,
+}
+
+// SizeRank returns the presentation order of a size (smaller = smaller
+// instance), or -1 for an unknown size.
+func SizeRank(s Size) int {
+	if r, ok := sizeRank[s]; ok {
+		return r
+	}
+	return -1
+}
+
+// Region is a cloud region with its availability zones.
+type Region struct {
+	// Code is the full region code, e.g. "us-east-1".
+	Code string
+	// Short is the abbreviated code used in Figure 4, e.g. "us-e-1".
+	Short string
+	// AZs are the availability zone names, e.g. "us-east-1a".
+	AZs []string
+	// PriceMultiplier scales on-demand prices relative to us-east-1.
+	PriceMultiplier float64
+	// Popularity rank: 0 is the most popular region. Less popular regions
+	// receive newer instance families later (i.e. support fewer of them).
+	Popularity int
+}
+
+// InstanceType is one spot-eligible instance type.
+type InstanceType struct {
+	// Name is the API name, e.g. "m5.xlarge".
+	Name string
+	// Family is the generation prefix, e.g. "m5".
+	Family string
+	Class  Class
+	Size   Size
+	VCPU   int
+	// MemoryGiB is the instance memory.
+	MemoryGiB float64
+	// Accelerator names the special hardware, if any ("nvidia-v100",
+	// "gaudi", "inferentia", "fpga", "u30", or "" for none).
+	Accelerator string
+	// OnDemandUSD is the hourly on-demand price in the baseline region.
+	OnDemandUSD float64
+	// SizeFactor is the capacity multiple relative to xlarge = 1.
+	SizeFactor float64
+	// Tier is the family's availability tier: 0 = everywhere, larger =
+	// fewer regions/AZs.
+	Tier int
+}
+
+// Pool identifies one spot capacity pool: an instance type in one
+// availability zone.
+type Pool struct {
+	Type   string
+	Region string
+	AZ     string
+}
+
+// String returns the canonical "type@az" pool label.
+func (p Pool) String() string { return p.Type + "@" + p.AZ }
+
+// Catalog is the immutable inventory of the simulated cloud.
+type Catalog struct {
+	regions []Region
+	types   []InstanceType
+
+	regionByCode map[string]*Region
+	typeByName   map[string]*InstanceType
+	// support maps type name -> region code -> supported AZ names (sorted).
+	support map[string]map[string][]string
+	// pools is the flattened list of all supported (type, AZ) pools.
+	pools []Pool
+}
+
+// Regions returns all regions in popularity order.
+func (c *Catalog) Regions() []Region { return c.regions }
+
+// Types returns all instance types, sorted by name.
+func (c *Catalog) Types() []InstanceType { return c.types }
+
+// NumTypes returns the number of instance types.
+func (c *Catalog) NumTypes() int { return len(c.types) }
+
+// NumRegions returns the number of regions.
+func (c *Catalog) NumRegions() int { return len(c.regions) }
+
+// NumAZs returns the total availability zone count across regions.
+func (c *Catalog) NumAZs() int {
+	n := 0
+	for _, r := range c.regions {
+		n += len(r.AZs)
+	}
+	return n
+}
+
+// Region returns the region with the given code.
+func (c *Catalog) Region(code string) (Region, bool) {
+	r, ok := c.regionByCode[code]
+	if !ok {
+		return Region{}, false
+	}
+	return *r, true
+}
+
+// RegionOfAZ returns the region code owning the AZ name (by prefix).
+func (c *Catalog) RegionOfAZ(az string) (string, bool) {
+	// AZ names are region code + one letter.
+	if len(az) < 2 {
+		return "", false
+	}
+	code := az[:len(az)-1]
+	if _, ok := c.regionByCode[code]; ok {
+		return code, true
+	}
+	return "", false
+}
+
+// Type returns the instance type with the given name.
+func (c *Catalog) Type(name string) (InstanceType, bool) {
+	t, ok := c.typeByName[name]
+	if !ok {
+		return InstanceType{}, false
+	}
+	return *t, true
+}
+
+// TypesOfClass returns the instance types belonging to the class, sorted by
+// name.
+func (c *Catalog) TypesOfClass(cl Class) []InstanceType {
+	var out []InstanceType
+	for _, t := range c.types {
+		if t.Class == cl {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TypesOfSize returns the instance types with the given size, sorted by name.
+func (c *Catalog) TypesOfSize(s Size) []InstanceType {
+	var out []InstanceType
+	for _, t := range c.types {
+		if t.Size == s {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// SupportedAZs returns the AZ names of region that support the type.
+func (c *Catalog) SupportedAZs(typeName, regionCode string) []string {
+	m, ok := c.support[typeName]
+	if !ok {
+		return nil
+	}
+	return m[regionCode]
+}
+
+// SupportedRegions returns the region codes supporting the type, in region
+// popularity order, paired with the count of supporting AZs.
+func (c *Catalog) SupportedRegions(typeName string) []RegionAZCount {
+	m, ok := c.support[typeName]
+	if !ok {
+		return nil
+	}
+	var out []RegionAZCount
+	for _, r := range c.regions {
+		if azs := m[r.Code]; len(azs) > 0 {
+			out = append(out, RegionAZCount{Region: r.Code, AZCount: len(azs)})
+		}
+	}
+	return out
+}
+
+// Supports reports whether the type is offered anywhere in the region.
+func (c *Catalog) Supports(typeName, regionCode string) bool {
+	return len(c.SupportedAZs(typeName, regionCode)) > 0
+}
+
+// RegionAZCount pairs a region with the number of its AZs supporting a type.
+type RegionAZCount struct {
+	Region  string
+	AZCount int
+}
+
+// Pools returns every supported (type, AZ) pool. The slice is shared; do not
+// mutate it.
+func (c *Catalog) Pools() []Pool { return c.pools }
+
+// PoolsOfType returns the pools for one instance type.
+func (c *Catalog) PoolsOfType(typeName string) []Pool {
+	var out []Pool
+	m := c.support[typeName]
+	for _, r := range c.regions {
+		for _, az := range m[r.Code] {
+			out = append(out, Pool{Type: typeName, Region: r.Code, AZ: az})
+		}
+	}
+	return out
+}
+
+// OnDemandPrice returns the hourly on-demand price of the type in the given
+// region, applying the regional multiplier. It returns false if the type or
+// region is unknown.
+func (c *Catalog) OnDemandPrice(typeName, regionCode string) (float64, bool) {
+	t, ok := c.typeByName[typeName]
+	if !ok {
+		return 0, false
+	}
+	r, ok := c.regionByCode[regionCode]
+	if !ok {
+		return 0, false
+	}
+	return t.OnDemandUSD * r.PriceMultiplier, true
+}
+
+// build assembles the catalog from a family spec list and generates the
+// support matrix. The internal RNG seed is fixed: the inventory is part of
+// the simulated world, not of any particular experiment.
+func build(specs []familySpec) *Catalog {
+	c := &Catalog{
+		regions:      regions(),
+		regionByCode: make(map[string]*Region),
+		typeByName:   make(map[string]*InstanceType),
+		support:      make(map[string]map[string][]string),
+	}
+	for i := range c.regions {
+		c.regionByCode[c.regions[i].Code] = &c.regions[i]
+	}
+
+	for _, fs := range specs {
+		for _, sz := range fs.sizes {
+			f, ok := sizeFactor[sz]
+			if !ok {
+				panic(fmt.Sprintf("catalog: unknown size %q in family %s", sz, fs.family))
+			}
+			vcpu := int(f * 4)
+			if vcpu < 1 {
+				vcpu = 1
+			}
+			t := InstanceType{
+				Name:        fs.family + "." + string(sz),
+				Family:      fs.family,
+				Class:       fs.class,
+				Size:        sz,
+				VCPU:        vcpu,
+				MemoryGiB:   float64(vcpu) * fs.memPerVCPU,
+				Accelerator: fs.accelerator,
+				OnDemandUSD: fs.xlargeUSD * f,
+				SizeFactor:  f,
+				Tier:        fs.tier,
+			}
+			c.types = append(c.types, t)
+		}
+	}
+	sort.Slice(c.types, func(i, j int) bool { return c.types[i].Name < c.types[j].Name })
+	for i := range c.types {
+		c.typeByName[c.types[i].Name] = &c.types[i]
+	}
+
+	c.generateSupport(specs)
+	return c
+}
+
+// generateSupport fills the per-type region/AZ support matrix from the
+// family tier. Tiers control how widely a family is deployed:
+//
+//	tier 0: all regions, all AZs (mature general-purpose generations)
+//	tier 1: top 13 regions, ~85% of AZs
+//	tier 2: top 8 regions, ~70% of AZs
+//	tier 3: top 4 regions, ~60% of AZs
+//
+// These fractions were chosen so the full catalog needs ~2.2k optimized
+// placement-score queries (Figure 1's "after" count).
+func (c *Catalog) generateSupport(specs []familySpec) {
+	rng := simrand.New(0x5907AC) // fixed: world inventory, not experiment
+	tierRegions := []int{len(c.regions), 13, 8, 4}
+	tierAZFrac := []float64{1.0, 0.85, 0.70, 0.60}
+
+	byPopularity := make([]Region, len(c.regions))
+	copy(byPopularity, c.regions)
+	sort.Slice(byPopularity, func(i, j int) bool {
+		return byPopularity[i].Popularity < byPopularity[j].Popularity
+	})
+
+	famOfType := make(map[string]familySpec)
+	for _, fs := range specs {
+		famOfType[fs.family] = fs
+	}
+
+	for i := range c.types {
+		t := &c.types[i]
+		fs := famOfType[t.Family]
+		nRegions := tierRegions[fs.tier]
+		azFrac := tierAZFrac[fs.tier]
+		frng := rng.Stream("support/" + t.Family)
+
+		m := make(map[string][]string)
+		for ri, r := range byPopularity {
+			if ri >= nRegions {
+				break
+			}
+			// A family deployed to a region is present in a stable subset
+			// of its AZs; the subset depends on the family only, so all
+			// sizes of a family share the footprint (as on AWS).
+			var azs []string
+			for _, az := range r.AZs {
+				if frng.Bool(azFrac) {
+					azs = append(azs, az)
+				}
+			}
+			if len(azs) == 0 && azFrac > 0 {
+				azs = append(azs, r.AZs[0])
+			}
+			sort.Strings(azs)
+			m[r.Code] = azs
+		}
+		c.support[t.Name] = m
+	}
+
+	// Flatten pools in deterministic (type, region, az) order.
+	for _, t := range c.types {
+		m := c.support[t.Name]
+		for _, r := range c.regions {
+			for _, az := range m[r.Code] {
+				c.pools = append(c.pools, Pool{Type: t.Name, Region: r.Code, AZ: az})
+			}
+		}
+	}
+}
+
+// regions returns the 17 regions (63 AZs total) used by the paper's
+// Figure 4, with the short codes shown on its horizontal axis.
+func regions() []Region {
+	mk := func(code, short string, azCount int, mult float64, pop int) Region {
+		azs := make([]string, azCount)
+		for i := range azs {
+			azs[i] = code + string(rune('a'+i))
+		}
+		return Region{Code: code, Short: short, AZs: azs, PriceMultiplier: mult, Popularity: pop}
+	}
+	return []Region{
+		mk("us-east-1", "us-e-1", 6, 1.00, 0),
+		mk("us-east-2", "us-e-2", 4, 1.00, 5),
+		mk("us-west-1", "us-w-1", 3, 1.17, 9),
+		mk("us-west-2", "us-w-2", 4, 1.00, 1),
+		mk("ca-central-1", "ca-c-1", 3, 1.10, 11),
+		mk("sa-east-1", "sa-e-1", 3, 1.59, 12),
+		mk("ap-northeast-1", "ap-ne-1", 4, 1.29, 3),
+		mk("ap-northeast-2", "ap-ne-2", 4, 1.23, 13),
+		mk("ap-northeast-3", "ap-ne-3", 3, 1.29, 16),
+		mk("ap-south-1", "ap-s-1", 3, 1.06, 8),
+		mk("ap-southeast-1", "ap-se-1", 4, 1.25, 6),
+		mk("ap-southeast-2", "ap-se-2", 4, 1.25, 7),
+		mk("eu-central-1", "eu-c-1", 4, 1.15, 4),
+		mk("eu-north-1", "eu-n-1", 3, 1.05, 14),
+		mk("eu-west-1", "eu-w-1", 4, 1.11, 2),
+		mk("eu-west-2", "eu-w-2", 4, 1.16, 10),
+		mk("eu-west-3", "eu-w-3", 3, 1.16, 15),
+	}
+}
+
+// Standard returns the full 547-type catalog. The catalog is rebuilt on each
+// call; callers should reuse the returned value.
+func Standard() *Catalog { return build(standardFamilies()) }
+
+// Compact returns a reduced catalog with at most perClass types per class,
+// chosen to cover the size spectrum of each class. Regions, AZs, and support
+// tiers are unchanged. Compact catalogs make the 181-day collection runs of
+// Figures 3-10 affordable in tests while preserving every class and region.
+func Compact(perClass int) *Catalog {
+	if perClass <= 0 {
+		panic("catalog: Compact perClass must be positive")
+	}
+	full := standardFamilies()
+	std := build(full)
+
+	keep := make(map[string]bool)
+	for _, cl := range Classes {
+		types := std.TypesOfClass(cl)
+		// Order by size rank then name so the selection spreads across
+		// sizes deterministically.
+		sort.Slice(types, func(i, j int) bool {
+			ri, rj := SizeRank(types[i].Size), SizeRank(types[j].Size)
+			if ri != rj {
+				return ri < rj
+			}
+			return types[i].Name < types[j].Name
+		})
+		n := len(types)
+		take := perClass
+		if take > n {
+			take = n
+		}
+		for k := 0; k < take; k++ {
+			// Evenly spaced picks across the size-ordered list.
+			idx := k * n / take
+			keep[types[idx].Name] = true
+		}
+	}
+
+	var specs []familySpec
+	for _, fs := range full {
+		var sizes []Size
+		for _, sz := range fs.sizes {
+			if keep[fs.family+"."+string(sz)] {
+				sizes = append(sizes, sz)
+			}
+		}
+		if len(sizes) > 0 {
+			fs.sizes = sizes
+			specs = append(specs, fs)
+		}
+	}
+	return build(specs)
+}
+
+// Sample returns a reduced catalog keeping roughly frac of each class's
+// types (at least one per class), preserving the standard catalog's class
+// mix. Use it when a measurement must reflect the full inventory's class
+// proportions (e.g. the Table 2 marginals) at reduced cost.
+func Sample(frac float64) *Catalog {
+	if frac <= 0 || frac > 1 {
+		panic("catalog: Sample frac must be in (0, 1]")
+	}
+	full := standardFamilies()
+	std := build(full)
+	keep := make(map[string]bool)
+	for _, cl := range Classes {
+		types := std.TypesOfClass(cl)
+		sort.Slice(types, func(i, j int) bool {
+			ri, rj := SizeRank(types[i].Size), SizeRank(types[j].Size)
+			if ri != rj {
+				return ri < rj
+			}
+			return types[i].Name < types[j].Name
+		})
+		n := len(types)
+		take := int(float64(n)*frac + 0.5)
+		if take < 1 {
+			take = 1
+		}
+		for k := 0; k < take; k++ {
+			keep[types[k*n/take].Name] = true
+		}
+	}
+	var specs []familySpec
+	for _, fs := range full {
+		var sizes []Size
+		for _, sz := range fs.sizes {
+			if keep[fs.family+"."+string(sz)] {
+				sizes = append(sizes, sz)
+			}
+		}
+		if len(sizes) > 0 {
+			fs.sizes = sizes
+			specs = append(specs, fs)
+		}
+	}
+	return build(specs)
+}
+
+// ParseTypeName splits an instance type name into family and size.
+func ParseTypeName(name string) (family string, size Size, err error) {
+	i := strings.IndexByte(name, '.')
+	if i <= 0 || i == len(name)-1 {
+		return "", "", fmt.Errorf("catalog: malformed instance type name %q", name)
+	}
+	return name[:i], Size(name[i+1:]), nil
+}

@@ -1,0 +1,273 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardCounts(t *testing.T) {
+	c := Standard()
+	if got := c.NumTypes(); got != 547 {
+		t.Errorf("NumTypes = %d, want 547 (paper Section 3.1)", got)
+	}
+	if got := c.NumRegions(); got != 17 {
+		t.Errorf("NumRegions = %d, want 17", got)
+	}
+	if got := c.NumAZs(); got != 63 {
+		t.Errorf("NumAZs = %d, want 63", got)
+	}
+}
+
+func TestAllClassesPresent(t *testing.T) {
+	c := Standard()
+	for _, cl := range Classes {
+		if len(c.TypesOfClass(cl)) == 0 {
+			t.Errorf("class %s has no instance types", cl)
+		}
+	}
+}
+
+func TestClassGrouping(t *testing.T) {
+	accel := map[Class]bool{ClassP: true, ClassG: true, ClassDL: true, ClassInf: true, ClassF: true, ClassVT: true}
+	for _, cl := range Classes {
+		if got := cl.Accelerated(); got != accel[cl] {
+			t.Errorf("%s.Accelerated() = %v, want %v", cl, got, accel[cl])
+		}
+	}
+	if g := ClassM.Group(); g != "general" {
+		t.Errorf("ClassM.Group() = %q", g)
+	}
+	if g := ClassI.Group(); g != "storage-optimized" {
+		t.Errorf("ClassI.Group() = %q", g)
+	}
+	if g := ClassDL.Group(); g != "accelerated-computing" {
+		t.Errorf("ClassDL.Group() = %q", g)
+	}
+}
+
+func TestTypeLookup(t *testing.T) {
+	c := Standard()
+	it, ok := c.Type("m5.xlarge")
+	if !ok {
+		t.Fatal("m5.xlarge not found")
+	}
+	if it.Class != ClassM || it.Family != "m5" || it.Size != "xlarge" {
+		t.Errorf("m5.xlarge = %+v", it)
+	}
+	if it.SizeFactor != 1 {
+		t.Errorf("m5.xlarge SizeFactor = %v, want 1", it.SizeFactor)
+	}
+	if _, ok := c.Type("m5.27xlarge"); ok {
+		t.Error("nonexistent type found")
+	}
+}
+
+func TestSizeFactorMonotone(t *testing.T) {
+	// Larger size ranks (excluding metal, whose hardware varies) must have
+	// larger size factors.
+	ordered := []Size{"nano", "micro", "small", "medium", "large", "xlarge",
+		"2xlarge", "3xlarge", "4xlarge", "6xlarge", "8xlarge", "9xlarge",
+		"10xlarge", "12xlarge", "16xlarge", "18xlarge", "24xlarge",
+		"32xlarge", "48xlarge", "56xlarge", "112xlarge"}
+	for i := 1; i < len(ordered); i++ {
+		lo, hi := SizeFactor(ordered[i-1]), SizeFactor(ordered[i])
+		if !(lo < hi) {
+			t.Errorf("SizeFactor(%s)=%v >= SizeFactor(%s)=%v", ordered[i-1], lo, ordered[i], hi)
+		}
+		if SizeRank(ordered[i-1]) >= SizeRank(ordered[i]) {
+			t.Errorf("SizeRank not increasing at %s", ordered[i])
+		}
+	}
+	if SizeFactor("bogus") != 0 {
+		t.Error("unknown size should have factor 0")
+	}
+	if SizeRank("bogus") != -1 {
+		t.Error("unknown size should have rank -1")
+	}
+}
+
+func TestSupportMatrixInvariants(t *testing.T) {
+	c := Standard()
+	for _, it := range c.Types() {
+		regs := c.SupportedRegions(it.Name)
+		if len(regs) == 0 {
+			t.Fatalf("type %s supported nowhere", it.Name)
+		}
+		total := 0
+		for _, rc := range regs {
+			azs := c.SupportedAZs(it.Name, rc.Region)
+			if len(azs) != rc.AZCount {
+				t.Fatalf("type %s region %s: AZCount %d != len(azs) %d", it.Name, rc.Region, rc.AZCount, len(azs))
+			}
+			r, ok := c.Region(rc.Region)
+			if !ok {
+				t.Fatalf("unknown region %s", rc.Region)
+			}
+			if len(azs) > len(r.AZs) {
+				t.Fatalf("type %s region %s: more supported AZs than region has", it.Name, rc.Region)
+			}
+			for _, az := range azs {
+				if !strings.HasPrefix(az, rc.Region) {
+					t.Fatalf("AZ %s not in region %s", az, rc.Region)
+				}
+			}
+			total += len(azs)
+		}
+		if total == 0 {
+			t.Fatalf("type %s has zero supported AZs", it.Name)
+		}
+	}
+}
+
+func TestTier0DeployedEverywhere(t *testing.T) {
+	c := Standard()
+	it, ok := c.Type("m5.xlarge")
+	if !ok || it.Tier != 0 {
+		t.Fatalf("m5.xlarge should exist at tier 0, got %+v ok=%v", it, ok)
+	}
+	regs := c.SupportedRegions("m5.xlarge")
+	if len(regs) != 17 {
+		t.Errorf("tier-0 m5.xlarge in %d regions, want 17", len(regs))
+	}
+	n := 0
+	for _, rc := range regs {
+		n += rc.AZCount
+	}
+	if n != 63 {
+		t.Errorf("tier-0 m5.xlarge in %d AZs, want all 63", n)
+	}
+}
+
+func TestTier3DeployedNarrowly(t *testing.T) {
+	c := Standard()
+	regs := c.SupportedRegions("dl1.24xlarge")
+	if len(regs) == 0 || len(regs) > 4 {
+		t.Errorf("tier-3 dl1.24xlarge in %d regions, want 1..4", len(regs))
+	}
+}
+
+func TestPoolsConsistent(t *testing.T) {
+	c := Standard()
+	pools := c.Pools()
+	if len(pools) == 0 {
+		t.Fatal("no pools")
+	}
+	// Every pool's AZ must belong to its region and be supported.
+	seen := make(map[Pool]bool, len(pools))
+	for _, p := range pools {
+		if seen[p] {
+			t.Fatalf("duplicate pool %v", p)
+		}
+		seen[p] = true
+		reg, ok := c.RegionOfAZ(p.AZ)
+		if !ok || reg != p.Region {
+			t.Fatalf("pool %v: AZ region mismatch (%s)", p, reg)
+		}
+	}
+	// Spot-check aggregate: pools of one type equal its support matrix size.
+	for _, name := range []string{"m5.xlarge", "p3.2xlarge", "dl1.24xlarge"} {
+		want := 0
+		for _, rc := range c.SupportedRegions(name) {
+			want += rc.AZCount
+		}
+		if got := len(c.PoolsOfType(name)); got != want {
+			t.Errorf("PoolsOfType(%s) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestOnDemandPrice(t *testing.T) {
+	c := Standard()
+	base, ok := c.OnDemandPrice("m5.xlarge", "us-east-1")
+	if !ok || base <= 0 {
+		t.Fatalf("OnDemandPrice(m5.xlarge, us-east-1) = %v, %v", base, ok)
+	}
+	twoXL, _ := c.OnDemandPrice("m5.2xlarge", "us-east-1")
+	if twoXL <= base {
+		t.Errorf("2xlarge (%v) should cost more than xlarge (%v)", twoXL, base)
+	}
+	sa, _ := c.OnDemandPrice("m5.xlarge", "sa-east-1")
+	if sa <= base {
+		t.Errorf("sa-east-1 (%v) should cost more than us-east-1 (%v)", sa, base)
+	}
+	if _, ok := c.OnDemandPrice("m5.xlarge", "mars-north-1"); ok {
+		t.Error("price for unknown region should fail")
+	}
+	if _, ok := c.OnDemandPrice("warp9.xlarge", "us-east-1"); ok {
+		t.Error("price for unknown type should fail")
+	}
+}
+
+func TestCompactCatalog(t *testing.T) {
+	c := Compact(4)
+	if c.NumRegions() != 17 || c.NumAZs() != 63 {
+		t.Errorf("compact catalog regions/AZs changed: %d/%d", c.NumRegions(), c.NumAZs())
+	}
+	for _, cl := range Classes {
+		n := len(c.TypesOfClass(cl))
+		if n == 0 {
+			t.Errorf("compact catalog lost class %s", cl)
+		}
+		if n > 4 {
+			t.Errorf("compact catalog class %s has %d types, want <= 4", cl, n)
+		}
+	}
+	if c.NumTypes() >= Standard().NumTypes() {
+		t.Error("compact catalog not smaller than standard")
+	}
+}
+
+func TestCompactDeterministic(t *testing.T) {
+	a, b := Compact(3), Compact(3)
+	if a.NumTypes() != b.NumTypes() {
+		t.Fatalf("compact catalogs differ in size: %d vs %d", a.NumTypes(), b.NumTypes())
+	}
+	for i := range a.Types() {
+		if a.Types()[i].Name != b.Types()[i].Name {
+			t.Fatalf("compact catalogs differ at %d: %s vs %s", i, a.Types()[i].Name, b.Types()[i].Name)
+		}
+	}
+}
+
+func TestParseTypeName(t *testing.T) {
+	fam, sz, err := ParseTypeName("m5.xlarge")
+	if err != nil || fam != "m5" || sz != "xlarge" {
+		t.Errorf("ParseTypeName(m5.xlarge) = %q,%q,%v", fam, sz, err)
+	}
+	for _, bad := range []string{"", "m5", ".xlarge", "m5."} {
+		if _, _, err := ParseTypeName(bad); err == nil {
+			t.Errorf("ParseTypeName(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseTypeNameRoundTripProperty(t *testing.T) {
+	c := Standard()
+	// Property: every catalog type name parses back into its own family and
+	// size.
+	f := func(i uint) bool {
+		it := c.Types()[int(i%uint(c.NumTypes()))]
+		fam, sz, err := ParseTypeName(it.Name)
+		return err == nil && fam == it.Family && sz == it.Size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionShortCodes(t *testing.T) {
+	// Figure 4's axis uses short codes; make sure they are unique and map
+	// back to their regions.
+	c := Standard()
+	seen := map[string]string{}
+	for _, r := range c.Regions() {
+		if prev, dup := seen[r.Short]; dup {
+			t.Errorf("short code %s used by %s and %s", r.Short, prev, r.Code)
+		}
+		seen[r.Short] = r.Code
+		if len(r.AZs) == 0 {
+			t.Errorf("region %s has no AZs", r.Code)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package catalog
+
+// familySpec describes one instance family (generation): which class it
+// belongs to, which sizes it is offered in, its pricing and hardware, and
+// how widely it is deployed (tier).
+type familySpec struct {
+	family      string
+	class       Class
+	sizes       []Size
+	memPerVCPU  float64 // GiB per vCPU
+	accelerator string
+	xlargeUSD   float64 // on-demand $/h for the xlarge-equivalent
+	tier        int     // 0 = deployed everywhere ... 3 = few regions
+}
+
+// Common size ladders.
+var (
+	sizesBurst = []Size{"nano", "micro", "small", "medium", "large", "xlarge", "2xlarge"}
+	sizesGP9   = []Size{"large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "12xlarge", "16xlarge", "24xlarge", "metal"}
+	sizesGP8   = []Size{"large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "12xlarge", "16xlarge", "24xlarge"}
+	sizesGrav9 = []Size{"medium", "large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "12xlarge", "16xlarge", "metal"}
+	sizesGrav8 = []Size{"medium", "large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "12xlarge", "16xlarge"}
+	sizesI10   = []Size{"large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "12xlarge", "16xlarge", "24xlarge", "32xlarge", "metal"}
+	sizesC9    = []Size{"large", "xlarge", "2xlarge", "4xlarge", "9xlarge", "12xlarge", "18xlarge", "24xlarge", "metal"}
+	sizesZN7   = []Size{"large", "xlarge", "2xlarge", "3xlarge", "6xlarge", "12xlarge", "metal"}
+)
+
+// standardFamilies returns the family table producing exactly 547 instance
+// types, matching the paper's count (Section 3.1). The generations mirror
+// the AWS lineup at the paper's collection time (H1 2022).
+func standardFamilies() []familySpec {
+	return []familySpec{
+		// --- General purpose: burstable (T) ---
+		{"t2", ClassT, sizesBurst, 4, "", 0.1856, 0},
+		{"t3", ClassT, sizesBurst, 4, "", 0.1664, 0},
+		{"t3a", ClassT, sizesBurst, 4, "", 0.1504, 1},
+		{"t4g", ClassT, sizesBurst, 4, "", 0.1344, 1},
+
+		// --- General purpose (M) ---
+		{"m4", ClassM, []Size{"large", "xlarge", "2xlarge", "4xlarge", "10xlarge", "16xlarge"}, 4, "", 0.20, 0},
+		{"m5", ClassM, sizesGP9, 4, "", 0.192, 0},
+		{"m5a", ClassM, sizesGP8, 4, "", 0.172, 0},
+		{"m5ad", ClassM, sizesGP8, 4, "", 0.206, 2},
+		{"m5d", ClassM, sizesGP9, 4, "", 0.226, 0},
+		{"m5dn", ClassM, sizesGP9, 4, "", 0.272, 1},
+		{"m5n", ClassM, sizesGP9, 4, "", 0.238, 1},
+		{"m5zn", ClassM, sizesZN7, 4, "", 0.3303, 2},
+		{"m6a", ClassM, []Size{"large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "12xlarge", "16xlarge", "24xlarge", "32xlarge", "48xlarge"}, 4, "", 0.1728, 2},
+		{"m6g", ClassM, sizesGrav9, 4, "", 0.154, 1},
+		{"m6gd", ClassM, sizesGrav9, 4, "", 0.1808, 2},
+		{"m6i", ClassM, sizesI10, 4, "", 0.192, 1},
+		{"m6id", ClassM, sizesI10, 4, "", 0.2373, 2},
+		{"m6idn", ClassM, sizesI10, 4, "", 0.3119, 3},
+		{"m6in", ClassM, sizesI10, 4, "", 0.2786, 3},
+
+		// --- General purpose: Arm first generation (A) ---
+		{"a1", ClassA, []Size{"medium", "large", "xlarge", "2xlarge", "4xlarge", "metal"}, 2, "", 0.102, 2},
+
+		// --- Compute optimized (C) ---
+		{"c4", ClassC, []Size{"large", "xlarge", "2xlarge", "4xlarge", "8xlarge"}, 1.875, "", 0.199, 0},
+		{"c5", ClassC, sizesC9, 2, "", 0.17, 0},
+		{"c5a", ClassC, []Size{"large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "12xlarge", "16xlarge", "24xlarge"}, 2, "", 0.154, 1},
+		{"c5ad", ClassC, []Size{"large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "12xlarge", "16xlarge", "24xlarge"}, 2, "", 0.172, 2},
+		{"c5d", ClassC, sizesC9, 2, "", 0.192, 0},
+		{"c5n", ClassC, []Size{"large", "xlarge", "2xlarge", "4xlarge", "9xlarge", "18xlarge", "metal"}, 2.625, "", 0.216, 1},
+		{"c6a", ClassC, []Size{"large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "12xlarge", "16xlarge", "24xlarge", "32xlarge", "48xlarge", "metal"}, 2, "", 0.153, 2},
+		{"c6g", ClassC, sizesGrav9, 2, "", 0.136, 1},
+		{"c6gd", ClassC, sizesGrav9, 2, "", 0.1536, 2},
+		{"c6gn", ClassC, sizesGrav8, 2, "", 0.1728, 2},
+		{"c6i", ClassC, sizesI10, 2, "", 0.17, 1},
+		{"c6id", ClassC, sizesI10, 2, "", 0.2016, 2},
+		{"c6in", ClassC, sizesI10, 2, "", 0.2268, 3},
+		{"c7g", ClassC, sizesGrav8, 2, "", 0.145, 3},
+
+		// --- Memory optimized (R) ---
+		{"r4", ClassR, []Size{"large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "16xlarge"}, 7.625, "", 0.266, 0},
+		{"r5", ClassR, sizesGP9, 8, "", 0.252, 0},
+		{"r5a", ClassR, sizesGP8, 8, "", 0.226, 0},
+		{"r5ad", ClassR, sizesGP8, 8, "", 0.262, 2},
+		{"r5b", ClassR, sizesGP9, 8, "", 0.298, 1},
+		{"r5d", ClassR, sizesGP9, 8, "", 0.288, 0},
+		{"r5dn", ClassR, sizesGP9, 8, "", 0.334, 1},
+		{"r5n", ClassR, sizesGP9, 8, "", 0.298, 1},
+		{"r6g", ClassR, sizesGrav9, 8, "", 0.2016, 1},
+		{"r6gd", ClassR, sizesGrav9, 8, "", 0.2304, 2},
+		{"r6i", ClassR, sizesI10, 8, "", 0.252, 1},
+		{"r6id", ClassR, sizesI10, 8, "", 0.3024, 2},
+
+		// --- Memory optimized: extra-large memory (X) ---
+		{"x1", ClassX, []Size{"16xlarge", "32xlarge"}, 15.25, "", 0.417, 1},
+		{"x1e", ClassX, []Size{"xlarge", "2xlarge", "4xlarge", "8xlarge", "16xlarge", "32xlarge"}, 30.5, "", 0.834, 0},
+		{"x2gd", ClassX, sizesGrav9, 16, "", 0.334, 1},
+		{"x2idn", ClassX, []Size{"16xlarge", "24xlarge", "32xlarge", "metal"}, 16, "", 0.417, 2},
+		{"x2iedn", ClassX, []Size{"xlarge", "2xlarge", "4xlarge", "8xlarge", "16xlarge", "24xlarge", "32xlarge", "metal"}, 32, "", 0.8335, 2},
+		{"x2iezn", ClassX, []Size{"2xlarge", "4xlarge", "6xlarge", "8xlarge", "12xlarge", "metal"}, 32, "", 0.8336, 2},
+		{"u-3tb1", ClassX, []Size{"56xlarge"}, 13.7, "", 0.4875, 3},
+		{"u-6tb1", ClassX, []Size{"56xlarge", "112xlarge"}, 27.4, "", 0.975, 3},
+
+		// --- Memory optimized: high frequency (Z) ---
+		{"z1d", ClassZ, sizesZN7, 8, "", 0.372, 1},
+
+		// --- Accelerated computing: GPU training (P) ---
+		{"p2", ClassP, []Size{"xlarge", "8xlarge", "16xlarge"}, 15.25, "nvidia-k80", 0.90, 1},
+		{"p3", ClassP, []Size{"2xlarge", "8xlarge", "16xlarge"}, 15.25, "nvidia-v100", 1.53, 1},
+		{"p3dn", ClassP, []Size{"24xlarge"}, 8, "nvidia-v100", 1.2996, 2},
+		{"p4d", ClassP, []Size{"24xlarge"}, 12, "nvidia-a100", 1.3655, 2},
+		{"p4de", ClassP, []Size{"24xlarge"}, 12, "nvidia-a100-80g", 1.7069, 3},
+
+		// --- Accelerated computing: GPU graphics/inference (G) ---
+		{"g2", ClassG, []Size{"2xlarge", "8xlarge"}, 1.875, "nvidia-k520", 0.3250, 2},
+		{"g3s", ClassG, []Size{"xlarge"}, 7.625, "nvidia-m60", 0.75, 2},
+		{"g3", ClassG, []Size{"4xlarge", "8xlarge", "16xlarge"}, 7.625, "nvidia-m60", 0.285, 1},
+		{"g4ad", ClassG, []Size{"xlarge", "2xlarge", "4xlarge", "8xlarge", "16xlarge"}, 4, "amd-v520", 0.3785, 1},
+		{"g4dn", ClassG, []Size{"xlarge", "2xlarge", "4xlarge", "8xlarge", "12xlarge", "16xlarge", "metal"}, 4, "nvidia-t4", 0.526, 1},
+		{"g5", ClassG, []Size{"xlarge", "2xlarge", "4xlarge", "8xlarge", "12xlarge", "16xlarge", "24xlarge", "48xlarge"}, 4, "nvidia-a10g", 1.006, 1},
+		{"g5g", ClassG, []Size{"xlarge", "2xlarge", "4xlarge", "8xlarge", "16xlarge", "metal"}, 4, "nvidia-t4g", 0.42, 2},
+
+		// --- Accelerated computing: DNN training ASIC (DL) ---
+		{"dl1", ClassDL, []Size{"24xlarge"}, 8, "gaudi", 0.5458, 3},
+
+		// --- Accelerated computing: inference ASIC (Inf) ---
+		{"inf1", ClassInf, []Size{"xlarge", "2xlarge", "6xlarge", "24xlarge"}, 2, "inferentia", 0.228, 1},
+
+		// --- Accelerated computing: FPGA (F) ---
+		{"f1", ClassF, []Size{"2xlarge", "4xlarge", "16xlarge"}, 15.25, "fpga", 0.825, 2},
+
+		// --- Accelerated computing: video transcoding (VT) ---
+		{"vt1", ClassVT, []Size{"3xlarge", "6xlarge", "24xlarge"}, 2, "u30", 0.4333, 2},
+
+		// --- Storage optimized: NVMe (I) ---
+		{"i2", ClassI, []Size{"xlarge", "2xlarge", "4xlarge", "8xlarge"}, 7.625, "", 0.853, 2},
+		{"i3", ClassI, []Size{"large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "16xlarge", "metal"}, 7.625, "", 0.312, 0},
+		{"i3en", ClassI, []Size{"large", "xlarge", "2xlarge", "3xlarge", "6xlarge", "12xlarge", "24xlarge", "metal"}, 8, "", 0.452, 1},
+		{"i4i", ClassI, []Size{"large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "16xlarge", "32xlarge", "metal"}, 8, "", 0.343, 1},
+		{"im4gn", ClassI, []Size{"large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "16xlarge"}, 4, "", 0.3638, 2},
+		{"is4gen", ClassI, []Size{"medium", "large", "xlarge", "2xlarge", "4xlarge", "8xlarge"}, 6, "", 0.4608, 2},
+
+		// --- Storage optimized: dense HDD (D) ---
+		{"d2", ClassD, []Size{"xlarge", "2xlarge", "4xlarge", "8xlarge"}, 7.625, "", 0.69, 0},
+		{"d3", ClassD, []Size{"xlarge", "2xlarge", "4xlarge", "8xlarge"}, 8, "", 0.499, 2},
+		{"d3en", ClassD, []Size{"xlarge", "2xlarge", "4xlarge", "6xlarge", "8xlarge", "12xlarge"}, 4, "", 0.5264, 2},
+
+		// --- Storage optimized: HDD throughput (H) ---
+		{"h1", ClassH, []Size{"2xlarge", "4xlarge", "8xlarge", "16xlarge"}, 4, "", 0.234, 2},
+	}
+}

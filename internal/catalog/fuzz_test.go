@@ -1,0 +1,26 @@
+package catalog
+
+import "testing"
+
+func FuzzParseTypeName(f *testing.F) {
+	f.Add("m5.xlarge")
+	f.Add("u-6tb1.112xlarge")
+	f.Add("")
+	f.Add(".")
+	f.Add("m5.")
+	f.Add(".xlarge")
+	f.Add("a.b.c")
+	f.Fuzz(func(t *testing.T, s string) {
+		fam, size, err := ParseTypeName(s)
+		if err != nil {
+			return
+		}
+		if fam == "" || size == "" {
+			t.Fatalf("ParseTypeName(%q) accepted empty component: %q %q", s, fam, size)
+		}
+		// Reconstruction contains the original parts in order.
+		if got := fam + "." + string(size); got != s {
+			t.Fatalf("reconstruction %q != input %q", got, s)
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package cloudsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/simclock"
+)
+
+func BenchmarkPlacementScoresSingleType(b *testing.B) {
+	cat := catalog.Compact(3)
+	clk := simclock.NewAtEpoch()
+	c := New(cat, clk, 1, DefaultParams())
+	tn := cat.Types()[0].Name
+	var regions []string
+	for _, rc := range cat.SupportedRegions(tn) {
+		regions = append(regions, rc.Region)
+	}
+	req := ScoreRequest{Types: []string{tn}, Regions: regions, TargetCapacity: 1, SingleAZ: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.RunFor(time.Second)
+		if _, err := c.PlacementScores(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdvisorSnapshot(b *testing.B) {
+	cat := catalog.Compact(3)
+	clk := simclock.NewAtEpoch()
+	c := New(cat, clk, 2, DefaultParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.RunFor(time.Second)
+		if got := c.AdvisorSnapshot(); len(got) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+func BenchmarkPoolAdvancementDay(b *testing.B) {
+	// The collector's hot path: advance every pool by a day's worth of
+	// 10-minute observations.
+	cat := catalog.Compact(2)
+	clk := simclock.NewAtEpoch()
+	c := New(cat, clk, 3, DefaultParams())
+	pools := cat.Pools()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.RunFor(10 * time.Minute)
+		for _, p := range pools {
+			if _, err := c.PublishedAvailableUnits(p.Type, p.AZ); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package cloudsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/simclock"
+)
+
+// sampleScores runs the cloud for days simulated days, sampling the
+// published single-type placement score (target capacity 1) of every pool
+// every stepHours, and returns the counts of scores 1..3 plus per-class
+// means.
+func sampleScores(t testing.TB, cat *catalog.Catalog, days int, stepHours float64) (dist map[int]int, classMean map[catalog.Class]float64) {
+	t.Helper()
+	clk := simclock.NewAtEpoch()
+	cloud := New(cat, clk, 42, DefaultParams())
+	dist = make(map[int]int)
+	classSum := make(map[catalog.Class]float64)
+	classN := make(map[catalog.Class]int)
+
+	steps := int(float64(days) * 24 / stepHours)
+	for i := 0; i < steps; i++ {
+		clk.RunFor(time.Duration(stepHours * float64(time.Hour)))
+		for _, p := range cat.Pools() {
+			units, err := cloud.PublishedAvailableUnits(p.Type, p.AZ)
+			if err != nil {
+				t.Fatalf("PublishedAvailableUnits(%s,%s): %v", p.Type, p.AZ, err)
+			}
+			score := DiscreteScore(ContinuousScore(units), 3)
+			dist[score]++
+			ct, _ := cat.Type(p.Type)
+			classSum[ct.Class] += float64(score)
+			classN[ct.Class]++
+		}
+	}
+	classMean = make(map[catalog.Class]float64)
+	for cl, s := range classSum {
+		classMean[cl] = s / float64(classN[cl])
+	}
+	return dist, classMean
+}
+
+func TestScoreMarginalDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run")
+	}
+	cat := catalog.Sample(0.12)
+	dist, classMean := sampleScores(t, cat, 30, 6)
+
+	total := 0
+	for _, n := range dist {
+		total += n
+	}
+	f3 := float64(dist[3]) / float64(total)
+	f2 := float64(dist[2]) / float64(total)
+	f1 := float64(dist[1]) / float64(total)
+	t.Logf("SPS distribution: 3.0=%.2f%% 2.0=%.2f%% 1.0=%.2f%% (paper: 87.88 / 3.81 / 8.31)",
+		f3*100, f2*100, f1*100)
+
+	// Reproduction bands around Table 2.
+	if f3 < 0.80 || f3 > 0.94 {
+		t.Errorf("P(score=3) = %.3f, want within [0.80, 0.94] (paper 0.8788)", f3)
+	}
+	if f1 < 0.04 || f1 > 0.14 {
+		t.Errorf("P(score=1) = %.3f, want within [0.04, 0.14] (paper 0.0831)", f1)
+	}
+	if f2 > 0.10 {
+		t.Errorf("P(score=2) = %.3f, want < 0.10 (paper 0.0381)", f2)
+	}
+
+	// Class structure: accelerated classes must sit below the general ones
+	// (Section 5.1), with DL the exception among accelerated.
+	var accSum, accN, genSum, genN float64
+	for cl, m := range classMean {
+		t.Logf("class %-4s mean published score %.2f", cl, m)
+		if cl == catalog.ClassDL {
+			continue
+		}
+		if cl.Accelerated() {
+			accSum += m
+			accN++
+		} else {
+			genSum += m
+			genN++
+		}
+	}
+	if accSum/accN >= genSum/genN {
+		t.Errorf("accelerated classes mean %.2f not below other classes mean %.2f",
+			accSum/accN, genSum/genN)
+	}
+	if classMean[catalog.ClassP] >= classMean[catalog.ClassM] {
+		t.Errorf("P class (%.2f) should score below M class (%.2f)",
+			classMean[catalog.ClassP], classMean[catalog.ClassM])
+	}
+	if classMean[catalog.ClassDL] <= classMean[catalog.ClassP] {
+		t.Errorf("DL class (%.2f) should score above P class (%.2f)",
+			classMean[catalog.ClassDL], classMean[catalog.ClassP])
+	}
+}
+
+func TestAdvisorMarginalDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run")
+	}
+	cat := catalog.Sample(0.12)
+	clk := simclock.NewAtEpoch()
+	cloud := New(cat, clk, 43, DefaultParams())
+
+	counts := make(map[AdvisorBucket]int)
+	classSum := make(map[catalog.Class]float64)
+	classN := make(map[catalog.Class]int)
+	days := 40
+	for d := 0; d < days; d++ {
+		clk.RunFor(24 * time.Hour)
+		for _, e := range cloud.AdvisorSnapshot() {
+			counts[e.Bucket]++
+			ct, _ := cat.Type(e.Type)
+			classSum[ct.Class] += e.Bucket.InterruptionFreeScore()
+			classN[ct.Class]++
+		}
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	frac := func(b AdvisorBucket) float64 { return float64(counts[b]) / float64(total) }
+	t.Logf("IF distribution: 3.0=%.2f%% 2.5=%.2f%% 2.0=%.2f%% 1.5=%.2f%% 1.0=%.2f%% (paper: 33.05/25.92/13.86/6.33/20.84)",
+		frac(BucketLT5)*100, frac(Bucket5to10)*100, frac(Bucket10to15)*100,
+		frac(Bucket15to20)*100, frac(BucketGT20)*100)
+
+	if f := frac(BucketLT5); f < 0.23 || f > 0.43 {
+		t.Errorf("P(<5%%) = %.3f, want within [0.23, 0.43] (paper 0.3305)", f)
+	}
+	if f := frac(BucketGT20); f < 0.12 || f > 0.30 {
+		t.Errorf("P(>20%%) = %.3f, want within [0.12, 0.30] (paper 0.2084)", f)
+	}
+	// The distribution must be far more uniform than the placement score's:
+	// every bucket should carry real mass.
+	for b := BucketLT5; b <= BucketGT20; b++ {
+		if frac(b) < 0.03 {
+			t.Errorf("advisor bucket %s carries %.3f of mass, want >= 0.03", b, frac(b))
+		}
+	}
+
+	for cl := range classSum {
+		t.Logf("class %-4s mean IF score %.2f", cl, classSum[cl]/float64(classN[cl]))
+	}
+	mean := func(cl catalog.Class) float64 { return classSum[cl] / float64(classN[cl]) }
+	if mean(catalog.ClassP) >= mean(catalog.ClassM) {
+		t.Errorf("P class IF (%.2f) should be below M class IF (%.2f)", mean(catalog.ClassP), mean(catalog.ClassM))
+	}
+	if mean(catalog.ClassDL) <= mean(catalog.ClassP) {
+		t.Errorf("DL class IF (%.2f) should be above P class IF (%.2f)", mean(catalog.ClassDL), mean(catalog.ClassP))
+	}
+}
+
+// TestFig7TargetCapacityMatrix prints the Figure 7 matrix: mean region-level
+// published score for representative xlarge types at increasing target
+// capacity, and checks its structural properties.
+func TestFig7TargetCapacityMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run")
+	}
+	cat := catalog.Standard()
+	clk := simclock.NewAtEpoch()
+	cloud := New(cat, clk, 44, DefaultParams())
+
+	reps := map[catalog.Class]string{
+		catalog.ClassT:   "t3.xlarge",
+		catalog.ClassM:   "m5.xlarge",
+		catalog.ClassC:   "c5.xlarge",
+		catalog.ClassR:   "r5.xlarge",
+		catalog.ClassP:   "p3.2xlarge",
+		catalog.ClassG:   "g4dn.xlarge",
+		catalog.ClassInf: "inf1.xlarge",
+		catalog.ClassI:   "i3.xlarge",
+		catalog.ClassD:   "d3en.xlarge",
+	}
+	targets := []int{2, 4, 8, 16, 32, 50}
+	classes := []catalog.Class{catalog.ClassT, catalog.ClassM, catalog.ClassC,
+		catalog.ClassR, catalog.ClassP, catalog.ClassG, catalog.ClassInf,
+		catalog.ClassI, catalog.ClassD}
+
+	// Average over repeated samples across 20 days.
+	means := make(map[catalog.Class][]float64)
+	for _, cl := range classes {
+		means[cl] = make([]float64, len(targets))
+	}
+	samples := 40
+	for s := 0; s < samples; s++ {
+		clk.RunFor(12 * time.Hour)
+		for _, cl := range classes {
+			typeName := reps[cl]
+			var regionCodes []string
+			for _, rc := range cat.SupportedRegions(typeName) {
+				regionCodes = append(regionCodes, rc.Region)
+			}
+			for ti, n := range targets {
+				entries, err := cloud.PlacementScores(ScoreRequest{
+					Types: []string{typeName}, Regions: regionCodes, TargetCapacity: n,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum := 0.0
+				for _, e := range entries {
+					sc := e.Score
+					if sc > 3 {
+						sc = 3
+					}
+					sum += float64(sc)
+				}
+				means[cl][ti] += sum / float64(len(entries)) / float64(samples)
+			}
+		}
+	}
+
+	header := "class"
+	for _, n := range targets {
+		header += fmt.Sprintf("%8d", n)
+	}
+	t.Log(header)
+	for _, cl := range classes {
+		row := fmt.Sprintf("%-5s", cl)
+		for _, m := range means[cl] {
+			row += fmt.Sprintf("%8.2f", m)
+		}
+		t.Log(row)
+	}
+
+	for _, cl := range classes {
+		m := means[cl]
+		// Monotone non-increasing within noise.
+		for i := 1; i < len(m); i++ {
+			if m[i] > m[i-1]+0.12 {
+				t.Errorf("class %s: score rose from %.2f (n=%d) to %.2f (n=%d)",
+					cl, m[i-1], targets[i-1], m[i], targets[i])
+			}
+		}
+	}
+	// Accelerated classes drop far more steeply than general ones (paper's
+	// key finding for Figure 7).
+	dropP := means[catalog.ClassP][0] - means[catalog.ClassP][len(targets)-1]
+	dropM := means[catalog.ClassM][0] - means[catalog.ClassM][len(targets)-1]
+	if dropP <= dropM {
+		t.Errorf("P class drop (%.2f) should exceed M class drop (%.2f)", dropP, dropM)
+	}
+	if means[catalog.ClassM][0] < 2.7 {
+		t.Errorf("M class at n=2 = %.2f, want >= 2.7 (paper 2.94)", means[catalog.ClassM][0])
+	}
+	if means[catalog.ClassP][len(targets)-1] > 1.6 {
+		t.Errorf("P class at n=50 = %.2f, want <= 1.6 (paper 1.11)", means[catalog.ClassP][len(targets)-1])
+	}
+	if means[catalog.ClassI][len(targets)-1] < 2.2 {
+		t.Errorf("I class at n=50 = %.2f, want >= 2.2 (paper 2.63)", means[catalog.ClassI][len(targets)-1])
+	}
+	if means[catalog.ClassD][len(targets)-1] > 1.7 {
+		t.Errorf("D class at n=50 = %.2f, want <= 1.7 (paper 1.01)", means[catalog.ClassD][len(targets)-1])
+	}
+}

@@ -1,0 +1,432 @@
+// Package cloudsim simulates the spot-capacity subsystem of a public cloud.
+//
+// It is the substrate standing in for live AWS EC2 in this reproduction. The
+// simulator maintains, for every (instance family, region), a semi-Markov
+// capacity regime (Healthy / Constrained / Scarce) plus a slow churn latent
+// driving interruptions, and for every (family, availability zone) an
+// Ornstein-Uhlenbeck jitter around the regime mean, a published availability
+// snapshot (what the placement-score API reports), and a post-2017 smoothed
+// spot price. Spot requests run through the Table 1 lifecycle
+// (Pending Evaluation -> Holding -> Fulfilled -> Terminal) against the live
+// state, while the three public datasets the paper archives — placement
+// score, advisor interruption ratio, and spot price — are derived,
+// vendor-delayed views of the same state. The separation between live state
+// and published views is what reproduces the paper's core finding: the
+// datasets disagree with each other and with request outcomes.
+package cloudsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/simclock"
+	"repro/internal/simrand"
+)
+
+// Regime is the capacity state of a (family, region) pair.
+type Regime int
+
+// Capacity regimes, from plentiful to empty.
+const (
+	Healthy Regime = iota
+	Constrained
+	Scarce
+)
+
+// String returns the regime name.
+func (r Regime) String() string {
+	switch r {
+	case Healthy:
+		return "healthy"
+	case Constrained:
+		return "constrained"
+	case Scarce:
+		return "scarce"
+	}
+	return fmt.Sprintf("Regime(%d)", int(r))
+}
+
+// Additional vendor-behavior constants that rarely need tuning. They are
+// package-level rather than Params fields to keep Params focused on the
+// calibration surface.
+const (
+	// scoreRampLo/scoreRampHi bound the linear ramp of the continuous
+	// placement subscore: ratio <= lo -> 1.0, ratio >= hi -> 3.0.
+	scoreRampLo = 0.55
+	scoreRampHi = 2.0
+	// scoreBonusMax/scoreBonusSat shape the saturation bonus above the
+	// ramp: pools with comfortable headroom contribute up to scoreBonusMax
+	// extra to composite queries (Figure 6's "composite >= sum of
+	// singles", strictly greater in ~60% of cases).
+	scoreBonusMax = 0.45
+	scoreBonusSat = 3.5
+	// scoreNoiseSigma is the lognormal sigma of the vendor-side published
+	// availability snapshot noise.
+	scoreNoiseSigma = 0.18
+	// pubRefreshMean/Min/Max bound the vendor's score snapshot refresh
+	// interval per (family, region).
+	pubRefreshMean = 150 * time.Minute
+	pubRefreshMin  = 30 * time.Minute
+	pubRefreshMax  = 8 * time.Hour
+	// advisorRefreshInterval is how often the advisor dataset recomputes.
+	advisorRefreshInterval = 24 * time.Hour
+	// churnOffsetSigma is the stddev of the permanent per-(family, region)
+	// churn identity offset.
+	churnOffsetSigma = 0.80
+	// churnStatSigma is the stationary stddev of the churn OU around its
+	// mean.
+	churnStatSigma = 1.05
+	// sizeChurnSlope worsens churn for larger sizes (Figure 5's declining
+	// interruption-free score).
+	sizeChurnSlope = 0.12
+	// priceHistoryRetention mirrors DescribeSpotPriceHistory's 90-day cap.
+	priceHistoryRetention = 90 * 24 * time.Hour
+	// xiClamp bounds the churn latent inside the hazard exponent.
+	xiClamp = 3.0
+)
+
+type frKey struct{ family, region string }
+
+type faKey struct{ family, az string }
+
+// famRegion is the per-(family, region) dynamic state.
+type famRegion struct {
+	rng *simrand.Rand
+
+	regime      Regime
+	regimeUntil time.Time
+
+	// churn latent xi: OU around xiMu with stationary sd churnStatSigma.
+	xi     float64
+	xiMu   float64
+	xiLast time.Time
+
+	// advisor published view
+	advInit    bool
+	advRatio   float64
+	advBucket  int
+	advRefresh time.Time
+
+	// changed timestamps for published advisor bucket (for analysis tests).
+	advChangedAt time.Time
+}
+
+// famAZ is the per-(family, availability zone) dynamic state.
+type famAZ struct {
+	rng  *simrand.Rand
+	last time.Time
+
+	jitter float64
+	// shockBias is the availability bias applied during the global shock
+	// window (0 for unaffected families).
+	shockBias float64
+
+	// published availability snapshot (vendor-delayed, noisy view of live
+	// availability).
+	pubInit    bool
+	pubA       float64
+	pubRefresh time.Time
+
+	// pricing
+	priceLatent float64
+	priceLast   time.Time
+	pubFrac     float64
+	priceInit   bool
+	priceHist   []FracPoint
+}
+
+// FracPoint is one published spot-price change, expressed as the fraction of
+// the on-demand price.
+type FracPoint struct {
+	At   time.Time
+	Frac float64
+}
+
+// Cloud is the simulated spot subsystem.
+type Cloud struct {
+	cat  *catalog.Catalog
+	clk  *simclock.Clock
+	p    Params
+	root *simrand.Rand
+
+	fr map[frKey]*famRegion
+	fa map[faKey]*famAZ
+
+	shocked   map[string]bool          // family -> affected by the global shock
+	famClass  map[string]catalog.Class // family -> instance class
+	nextReqID int
+}
+
+// New constructs a simulated cloud over the catalog, driven by the clock,
+// with all stochastic state derived from seed.
+func New(cat *catalog.Catalog, clk *simclock.Clock, seed uint64, p Params) *Cloud {
+	c := &Cloud{
+		cat:     cat,
+		clk:     clk,
+		p:       p,
+		root:    simrand.New(seed),
+		fr:      make(map[frKey]*famRegion),
+		fa:      make(map[faKey]*famAZ),
+		shocked: make(map[string]bool),
+	}
+	c.famClass = make(map[string]catalog.Class)
+	for _, t := range cat.Types() {
+		c.famClass[t.Family] = t.Class
+	}
+	// Deterministic order for shock assignment.
+	shockRNG := c.root.Stream("shock")
+	famList := make([]string, 0, len(c.famClass))
+	for f := range c.famClass {
+		famList = append(famList, f)
+	}
+	sort.Strings(famList)
+	for _, f := range famList {
+		c.shocked[f] = shockRNG.Bool(p.ShockFraction)
+	}
+	return c
+}
+
+// familyClass returns the instance class of a family.
+func (c *Cloud) familyClass(family string) catalog.Class {
+	if cl, ok := c.famClass[family]; ok {
+		return cl
+	}
+	return catalog.ClassM
+}
+
+// Catalog returns the inventory the cloud was built over.
+func (c *Cloud) Catalog() *catalog.Catalog { return c.cat }
+
+// Clock returns the simulation clock driving the cloud.
+func (c *Cloud) Clock() *simclock.Clock { return c.clk }
+
+// Params returns the calibration parameters in use.
+func (c *Cloud) Params() Params { return c.p }
+
+// classOf returns the class parameters for an instance family, falling back
+// to ClassM parameters for unknown classes (which cannot happen with catalog
+// types).
+func (c *Cloud) classParams(class catalog.Class) ClassParams {
+	if cp, ok := c.p.Class[class]; ok {
+		return cp
+	}
+	return c.p.Class[catalog.ClassM]
+}
+
+func (c *Cloud) regimeMean(r Regime) float64 {
+	switch r {
+	case Healthy:
+		return c.p.MuHealthy
+	case Constrained:
+		return c.p.MuConstrained
+	default:
+		return c.p.MuScarce
+	}
+}
+
+func (c *Cloud) regimeSigma(r Regime) float64 {
+	switch r {
+	case Healthy:
+		return c.p.SigmaHealthy
+	case Constrained:
+		return c.p.SigmaConstrained
+	default:
+		return c.p.SigmaScarce
+	}
+}
+
+// famRegionState returns (creating lazily) the state for (family, region),
+// advanced to the current simulation time.
+func (c *Cloud) famRegionState(family, region string) *famRegion {
+	k := frKey{family, region}
+	s, ok := c.fr[k]
+	now := c.clk.Now()
+	if !ok {
+		s = c.newFamRegion(family, region, now)
+		c.fr[k] = s
+	}
+	c.advanceFamRegion(s, family, now)
+	return s
+}
+
+func (c *Cloud) newFamRegion(family, region string, now time.Time) *famRegion {
+	cls := c.familyClass(family)
+	cp := c.classParams(cls)
+	rng := c.root.Stream("fr/" + family + "/" + region)
+	s := &famRegion{rng: rng}
+
+	// Initial regime from the stationary distribution; dwell is memoryless
+	// so a fresh draw is exact.
+	h, cc, _ := cp.Stationary()
+	u := rng.Float64()
+	switch {
+	case u < h:
+		s.regime = Healthy
+	case u < h+cc:
+		s.regime = Constrained
+	default:
+		s.regime = Scarce
+	}
+	s.regimeUntil = now.Add(c.sampleDwell(rng, cp, s.regime))
+
+	s.xiMu = cp.ChurnMean + rng.Normal(0, churnOffsetSigma)
+	s.xi = rng.Normal(s.xiMu, churnStatSigma)
+	s.xiLast = now
+
+	s.advRefresh = now.Add(time.Duration(rng.Float64() * float64(advisorRefreshInterval)))
+	s.refreshAdvisor(c, now)
+	return s
+}
+
+func (c *Cloud) sampleDwell(rng *simrand.Rand, cp ClassParams, r Regime) time.Duration {
+	var mean time.Duration
+	switch r {
+	case Healthy:
+		mean = cp.DwellHealthy
+	case Constrained:
+		mean = cp.DwellConstrained
+	default:
+		mean = cp.DwellScarce
+	}
+	return time.Duration(rng.Exponential(float64(mean)))
+}
+
+func (c *Cloud) advanceFamRegion(s *famRegion, family string, now time.Time) {
+	cls := c.familyClass(family)
+	cp := c.classParams(cls)
+
+	// Regime transitions up to now.
+	for !s.regimeUntil.After(now) {
+		switch s.regime {
+		case Healthy:
+			s.regime = Constrained
+		case Constrained:
+			if s.rng.Bool(cp.PCS) {
+				s.regime = Scarce
+			} else {
+				s.regime = Healthy
+			}
+		case Scarce:
+			s.regime = Constrained
+		}
+		s.regimeUntil = s.regimeUntil.Add(c.sampleDwell(s.rng, cp, s.regime))
+	}
+
+	// Churn OU.
+	if now.After(s.xiLast) {
+		dtH := now.Sub(s.xiLast).Hours()
+		theta := c.p.ChurnThetaPerHour
+		sigmaDiff := churnStatSigma * math.Sqrt(2*theta)
+		s.xi = s.rng.OUStep(s.xi, s.xiMu, theta, sigmaDiff, dtH)
+		s.xiLast = now
+	}
+
+	// Advisor refresh.
+	for !s.advRefresh.After(now) {
+		s.refreshAdvisor(c, s.advRefresh)
+		s.advRefresh = s.advRefresh.Add(advisorRefreshInterval)
+	}
+}
+
+// refreshAdvisor recomputes the published advisor ratio and bucket from the
+// churn latent.
+func (s *famRegion) refreshAdvisor(c *Cloud, at time.Time) {
+	r := c.p.AdvisorMaxRatio * logistic(s.xi)
+	b := AdvisorBucketOf(r)
+	if !s.advInit || b != s.advBucket {
+		s.advChangedAt = at
+	}
+	s.advRatio = r
+	s.advBucket = b
+	s.advInit = true
+}
+
+// famAZState returns (creating lazily) the per-(family, AZ) state advanced
+// to now. The caller must have already advanced the owning famRegion.
+func (c *Cloud) famAZState(family, az string, fr *famRegion) *famAZ {
+	k := faKey{family, az}
+	s, ok := c.fa[k]
+	now := c.clk.Now()
+	if !ok {
+		rng := c.root.Stream("fa/" + family + "/" + az)
+		s = &famAZ{rng: rng, last: now}
+		s.jitter = rng.Normal(0, c.regimeSigma(fr.regime))
+		if c.shocked[family] {
+			s.shockBias = c.p.ShockBias
+		}
+		s.priceLatent = rng.NormFloat64()
+		s.priceLast = now
+		s.pubRefresh = now.Add(time.Duration(rng.Range(0, float64(pubRefreshMean))))
+		c.fa[k] = s
+	}
+	c.advanceFamAZ(s, fr, now)
+	return s
+}
+
+func (c *Cloud) advanceFamAZ(s *famAZ, fr *famRegion, now time.Time) {
+	if now.After(s.last) {
+		dtH := now.Sub(s.last).Hours()
+		sigma := c.regimeSigma(fr.regime)
+		sigmaDiff := sigma * math.Sqrt(2*c.p.ThetaPerHour)
+		s.jitter = s.rng.OUStep(s.jitter, 0, c.p.ThetaPerHour, sigmaDiff, dtH)
+		s.last = now
+	}
+	if !s.pubInit {
+		s.snapshotAvailability(c, fr, now)
+		s.pubInit = true
+	}
+	// Vendor-side snapshot cadence: the published availability only changes
+	// at refresh instants, so the API view lags live state by up to the
+	// refresh interval. This staleness is deliberate — it reproduces both
+	// the update-frequency distribution of Figure 10 and the score/reality
+	// mismatches of Table 3.
+	for !s.pubRefresh.After(now) {
+		s.snapshotAvailability(c, fr, now)
+		iv := s.rng.Exponential(float64(pubRefreshMean))
+		if iv < float64(pubRefreshMin) {
+			iv = float64(pubRefreshMin)
+		}
+		if iv > float64(pubRefreshMax) {
+			iv = float64(pubRefreshMax)
+		}
+		s.pubRefresh = s.pubRefresh.Add(time.Duration(iv))
+	}
+}
+
+// snapshotAvailability recomputes the published availability from live state
+// plus vendor measurement noise.
+func (s *famAZ) snapshotAvailability(c *Cloud, fr *famRegion, now time.Time) {
+	live := c.liveAvailability(fr, s, now)
+	noise := math.Exp(s.rng.Normal(0, scoreNoiseSigma))
+	s.pubA = clamp(live*noise, 0, 1)
+}
+
+// liveAvailability computes the live availability fraction for a
+// (family, AZ). The shock bias of Figure 3a applies inside its window for
+// affected families.
+func (c *Cloud) liveAvailability(fr *famRegion, fa *famAZ, at time.Time) float64 {
+	a := c.regimeMean(fr.regime) + fa.jitter
+	if c.shockActiveAt(at) {
+		a += fa.shockBias
+	}
+	return clamp(a, 0, 1)
+}
+
+func (c *Cloud) shockActiveAt(at time.Time) bool {
+	return !at.Before(c.p.ShockStart) && at.Before(c.p.ShockStart.Add(c.p.ShockDuration))
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func logistic(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

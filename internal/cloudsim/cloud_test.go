@@ -1,0 +1,441 @@
+package cloudsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/simclock"
+)
+
+func testCloud(seed uint64) (*Cloud, *simclock.Clock, *catalog.Catalog) {
+	cat := catalog.Compact(3)
+	clk := simclock.NewAtEpoch()
+	return New(cat, clk, seed, DefaultParams()), clk, cat
+}
+
+func TestRegimeString(t *testing.T) {
+	if Healthy.String() != "healthy" || Scarce.String() != "scarce" || Constrained.String() != "constrained" {
+		t.Error("regime names wrong")
+	}
+	if Regime(9).String() == "" {
+		t.Error("unknown regime should still stringify")
+	}
+}
+
+func TestStationaryFractionsSumToOne(t *testing.T) {
+	for cl, cp := range DefaultParams().Class {
+		h, c, s := cp.Stationary()
+		if math.Abs(h+c+s-1) > 1e-9 {
+			t.Errorf("class %s stationary sums to %v", cl, h+c+s)
+		}
+		if h <= 0 || c <= 0 || s <= 0 {
+			t.Errorf("class %s has non-positive stationary fraction", cl)
+		}
+	}
+}
+
+func TestAcceleratedScarcerThanGeneral(t *testing.T) {
+	p := DefaultParams()
+	_, _, sP := p.Class[catalog.ClassP].Stationary()
+	_, _, sM := p.Class[catalog.ClassM].Stationary()
+	if sP <= sM {
+		t.Errorf("P scarce fraction %v should exceed M %v", sP, sM)
+	}
+}
+
+func TestUnitsShrinkWithSize(t *testing.T) {
+	cat := catalog.Standard()
+	c := New(cat, simclock.NewAtEpoch(), 1, DefaultParams())
+	small, ok := cat.Type("m5.large")
+	if !ok {
+		t.Fatal("m5.large missing")
+	}
+	big, ok := cat.Type("m5.24xlarge")
+	if !ok {
+		t.Fatal("m5.24xlarge missing")
+	}
+	if c.UnitsOf(small) <= c.UnitsOf(big) {
+		t.Errorf("units(large)=%v should exceed units(24xlarge)=%v",
+			c.UnitsOf(small), c.UnitsOf(big))
+	}
+}
+
+func TestContinuousScoreShape(t *testing.T) {
+	if got := ContinuousScore(0); got != 1 {
+		t.Errorf("ContinuousScore(0) = %v, want 1", got)
+	}
+	if got := ContinuousScore(2.0); got != 3 {
+		t.Errorf("ContinuousScore(2) = %v, want 3", got)
+	}
+	if got := ContinuousScore(100); got <= 3 || got > 3.5 {
+		t.Errorf("ContinuousScore(100) = %v, want in (3, 3.5]", got)
+	}
+	// Monotone.
+	prev := -1.0
+	for r := 0.0; r < 10; r += 0.05 {
+		s := ContinuousScore(r)
+		if s < prev {
+			t.Fatalf("ContinuousScore not monotone at ratio %v", r)
+		}
+		prev = s
+	}
+}
+
+func TestDiscreteScoreClamps(t *testing.T) {
+	if DiscreteScore(0.2, 3) != 1 {
+		t.Error("low sum should clamp to 1")
+	}
+	if DiscreteScore(2.9, 3) != 2 {
+		t.Error("2.9 should floor to 2")
+	}
+	if DiscreteScore(11.7, 10) != 10 {
+		t.Error("11.7 should clamp to 10")
+	}
+}
+
+func TestPlacementScoresSingleType(t *testing.T) {
+	c, _, cat := testCloud(2)
+	typeName := cat.Types()[0].Name
+	var regions []string
+	for _, rc := range cat.SupportedRegions(typeName) {
+		regions = append(regions, rc.Region)
+	}
+	entries, err := c.PlacementScores(ScoreRequest{
+		Types: []string{typeName}, Regions: regions, TargetCapacity: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(regions) {
+		t.Errorf("got %d region entries, want %d", len(entries), len(regions))
+	}
+	for _, e := range entries {
+		if e.Score < 1 || e.Score > 10 {
+			t.Errorf("region score %d out of range", e.Score)
+		}
+		if e.AZ != "" {
+			t.Errorf("region-level result has AZ %q", e.AZ)
+		}
+	}
+}
+
+func TestPlacementScoresSingleAZ(t *testing.T) {
+	c, _, cat := testCloud(3)
+	typeName := "m5.xlarge"
+	if _, ok := cat.Type(typeName); !ok {
+		typeName = cat.TypesOfClass(catalog.ClassM)[0].Name
+	}
+	regions := cat.SupportedRegions(typeName)
+	region := regions[0].Region
+	entries, err := c.PlacementScores(ScoreRequest{
+		Types: []string{typeName}, Regions: []string{region},
+		TargetCapacity: 1, SingleAZ: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != regions[0].AZCount {
+		t.Errorf("got %d AZ entries, want %d", len(entries), regions[0].AZCount)
+	}
+	for _, e := range entries {
+		if e.AZ == "" {
+			t.Error("single-AZ result missing AZ")
+		}
+		if e.Score < 1 || e.Score > 3 {
+			t.Errorf("single-type AZ score %d outside observed 1..3 range", e.Score)
+		}
+	}
+}
+
+func TestPlacementScoresValidation(t *testing.T) {
+	c, _, cat := testCloud(4)
+	typeName := cat.Types()[0].Name
+	cases := []ScoreRequest{
+		{Types: nil, Regions: []string{"us-east-1"}, TargetCapacity: 1},
+		{Types: []string{typeName}, Regions: nil, TargetCapacity: 1},
+		{Types: []string{typeName}, Regions: []string{"us-east-1"}, TargetCapacity: 0},
+		{Types: []string{typeName}, Regions: []string{"nowhere-1"}, TargetCapacity: 1},
+	}
+	for i, req := range cases {
+		if _, err := c.PlacementScores(req); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestCompositeScoreAtLeastSumOfSingles(t *testing.T) {
+	// The core Figure 6 property, checked at matched observation instants.
+	c, clk, cat := testCloud(5)
+	types := []string{}
+	for _, cl := range []catalog.Class{catalog.ClassM, catalog.ClassC, catalog.ClassR} {
+		ts := cat.TypesOfClass(cl)
+		types = append(types, ts[0].Name)
+	}
+	region := "us-east-1"
+	greater, equal, less := 0, 0, 0
+	for i := 0; i < 200; i++ {
+		clk.RunFor(2 * time.Hour)
+		sumSingles := 0
+		ok := true
+		for _, tn := range types {
+			e, err := c.PlacementScores(ScoreRequest{Types: []string{tn}, Regions: []string{region}, TargetCapacity: 4})
+			if err != nil || len(e) == 0 {
+				ok = false
+				break
+			}
+			s := e[0].Score
+			if s > 3 {
+				s = 3
+			}
+			sumSingles += s
+		}
+		if !ok {
+			continue
+		}
+		comp, err := c.PlacementScores(ScoreRequest{Types: types, Regions: []string{region}, TargetCapacity: 4})
+		if err != nil || len(comp) == 0 {
+			continue
+		}
+		switch {
+		case comp[0].Score > sumSingles:
+			greater++
+		case comp[0].Score == sumSingles:
+			equal++
+		default:
+			less++
+		}
+	}
+	if less > 0 {
+		t.Errorf("composite < sum of singles in %d synchronous cases, want 0", less)
+	}
+	if greater == 0 {
+		t.Error("composite never exceeded sum of singles; bonus mechanism inert")
+	}
+	t.Logf("composite vs singles: greater=%d equal=%d less=%d", greater, equal, less)
+}
+
+func TestAdvisorEntry(t *testing.T) {
+	c, _, cat := testCloud(6)
+	typeName := cat.Types()[0].Name
+	region := cat.SupportedRegions(typeName)[0].Region
+	e, err := c.AdvisorEntryFor(typeName, region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bucket < BucketLT5 || e.Bucket > BucketGT20 {
+		t.Errorf("bucket %v out of range", e.Bucket)
+	}
+	if e.SavingsPct < 40 || e.SavingsPct > 85 {
+		t.Errorf("savings %d%% outside plausible spot band", e.SavingsPct)
+	}
+	if _, err := c.AdvisorEntryFor("bogus.xlarge", region); err == nil {
+		t.Error("unknown type should error")
+	}
+}
+
+func TestAdvisorSnapshotCoversSupportedPairs(t *testing.T) {
+	c, _, cat := testCloud(7)
+	want := 0
+	for _, tp := range cat.Types() {
+		want += len(cat.SupportedRegions(tp.Name))
+	}
+	got := len(c.AdvisorSnapshot())
+	if got != want {
+		t.Errorf("snapshot has %d entries, want %d", got, want)
+	}
+}
+
+func TestBucketConversions(t *testing.T) {
+	cases := []struct {
+		ratio float64
+		want  AdvisorBucket
+		score float64
+	}{
+		{0.01, BucketLT5, 3.0},
+		{0.07, Bucket5to10, 2.5},
+		{0.12, Bucket10to15, 2.0},
+		{0.17, Bucket15to20, 1.5},
+		{0.30, BucketGT20, 1.0},
+	}
+	for _, tc := range cases {
+		if got := AdvisorBucket(AdvisorBucketOf(tc.ratio)); got != tc.want {
+			t.Errorf("AdvisorBucketOf(%v) = %v, want %v", tc.ratio, got, tc.want)
+		}
+		if got := tc.want.InterruptionFreeScore(); got != tc.score {
+			t.Errorf("%v.InterruptionFreeScore() = %v, want %v", tc.want, got, tc.score)
+		}
+	}
+}
+
+func TestSpotPriceBelowOnDemand(t *testing.T) {
+	c, clk, cat := testCloud(8)
+	for i := 0; i < 20; i++ {
+		clk.RunFor(6 * time.Hour)
+		for _, p := range cat.Pools()[:30] {
+			spot, err := c.SpotPriceUSD(p.Type, p.AZ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			od, _ := cat.OnDemandPrice(p.Type, p.Region)
+			if spot <= 0 || spot >= od {
+				t.Fatalf("spot price %v not in (0, od=%v) for %v", spot, od, p)
+			}
+		}
+	}
+}
+
+func TestPriceHistoryWindow(t *testing.T) {
+	c, clk, cat := testCloud(9)
+	p := cat.Pools()[0]
+	// Observe the pool regularly so price changes materialize.
+	for i := 0; i < 24*30; i++ {
+		clk.RunFor(time.Hour)
+		if _, err := c.SpotPriceUSD(p.Type, p.AZ); err != nil {
+			t.Fatal(err)
+		}
+	}
+	from := simclock.Epoch
+	to := clk.Now()
+	hist, err := c.PriceHistory(p.Type, p.AZ, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) == 0 {
+		t.Fatal("no price points in 30 days")
+	}
+	for i, pt := range hist {
+		if pt.At.Before(from) || pt.At.After(to) {
+			t.Errorf("point %d at %v outside window", i, pt.At)
+		}
+		if i > 0 && pt.At.Before(hist[i-1].At) {
+			t.Error("price history not sorted")
+		}
+	}
+	// Sub-window query returns a subset.
+	sub, err := c.PriceHistory(p.Type, p.AZ, from.Add(10*24*time.Hour), to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) > len(hist) {
+		t.Error("sub-window returned more points")
+	}
+}
+
+func TestPriceChangesAreSparse(t *testing.T) {
+	// Post-2017 policy: the price changes far less often than it is
+	// observed (Figure 10).
+	c, clk, cat := testCloud(10)
+	p := cat.Pools()[0]
+	observations := 24 * 14 * 6 // every 10 min for 14 days
+	for i := 0; i < observations; i++ {
+		clk.RunFor(10 * time.Minute)
+		if _, err := c.SpotPriceUSD(p.Type, p.AZ); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist, err := c.PriceHistory(p.Type, p.AZ, simclock.Epoch, clk.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) > observations/20 {
+		t.Errorf("price changed %d times in %d observations; should be sparse", len(hist), observations)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() []int {
+		c, clk, cat := testCloud(77)
+		var scores []int
+		for i := 0; i < 10; i++ {
+			clk.RunFor(13 * time.Hour)
+			for _, p := range cat.Pools()[:25] {
+				u, err := c.PublishedAvailableUnits(p.Type, p.AZ)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scores = append(scores, DiscreteScore(ContinuousScore(u), 3))
+			}
+		}
+		return scores
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed runs diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestResolveRejectsBadPools(t *testing.T) {
+	c, _, cat := testCloud(11)
+	if _, err := c.LiveAvailableUnits("no-such.xlarge", "us-east-1a"); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := c.LiveAvailableUnits(cat.Types()[0].Name, "xx-east-1a"); err == nil {
+		t.Error("unknown AZ accepted")
+	}
+	// A type not offered in some AZ: find a tier-3 type and an AZ outside
+	// its support set.
+	var narrow string
+	for _, tp := range cat.Types() {
+		if tp.Tier == 3 {
+			narrow = tp.Name
+			break
+		}
+	}
+	if narrow != "" {
+		supported := map[string]bool{}
+		for _, rc := range cat.SupportedRegions(narrow) {
+			for _, az := range cat.SupportedAZs(narrow, rc.Region) {
+				supported[az] = true
+			}
+		}
+		for _, r := range cat.Regions() {
+			for _, az := range r.AZs {
+				if !supported[az] {
+					if _, err := c.LiveAvailableUnits(narrow, az); err == nil {
+						t.Errorf("type %s accepted in unsupported AZ %s", narrow, az)
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+func TestShockDepressesScores(t *testing.T) {
+	// Figure 3a: availability dips around June 2, 2022 for most types.
+	cat := catalog.Compact(3)
+	clk := simclock.NewAtEpoch()
+	p := DefaultParams()
+	cloud := New(cat, clk, 123, p)
+
+	meanScore := func() float64 {
+		sum, n := 0.0, 0
+		for _, pl := range cat.Pools() {
+			u, err := cloud.LiveAvailableUnits(pl.Type, pl.AZ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(DiscreteScore(ContinuousScore(u), 3))
+			n++
+		}
+		return sum / float64(n)
+	}
+
+	clk.RunUntil(p.ShockStart.Add(-24 * time.Hour))
+	before := meanScore()
+	clk.RunUntil(p.ShockStart.Add(p.ShockDuration / 2))
+	during := meanScore()
+	clk.RunUntil(p.ShockStart.Add(p.ShockDuration).Add(72 * time.Hour))
+	after := meanScore()
+
+	if during >= before-0.3 {
+		t.Errorf("shock did not depress scores: before=%.2f during=%.2f", before, during)
+	}
+	if after <= during+0.3 {
+		t.Errorf("scores did not recover: during=%.2f after=%.2f", during, after)
+	}
+}

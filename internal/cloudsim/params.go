@@ -1,0 +1,200 @@
+package cloudsim
+
+import (
+	"time"
+
+	"repro/internal/catalog"
+)
+
+// ClassParams are the per-instance-class knobs of the capacity model. They
+// encode the paper's empirical class hierarchy: general-purpose classes are
+// plentiful, accelerated-computing classes are scarce and churny
+// (Section 5.1), and DL is an exception with high availability.
+type ClassParams struct {
+	// Semi-Markov regime chain: every pool cycles Healthy -> Constrained ->
+	// {Healthy | Scarce} -> Constrained -> ... with exponential dwell times.
+	DwellHealthy     time.Duration
+	DwellConstrained time.Duration
+	DwellScarce      time.Duration
+	// PCS is the probability that a pool leaves Constrained downward into
+	// Scarce rather than recovering to Healthy.
+	PCS float64
+
+	// Units is the pool capacity in xlarge-equivalents at full health for an
+	// xlarge instance of this class. Larger sizes divide this (see
+	// Params.SizeExponent).
+	Units float64
+
+	// ChurnMean shifts the stationary mean of the churn latent xi, which
+	// drives the advisor interruption ratio and the interruption hazard.
+	// Higher means churnier (worse interruption-free score).
+	ChurnMean float64
+}
+
+// Params holds every calibration constant of the simulated cloud. The
+// defaults reproduce the marginal statistics published in the paper
+// (Table 2, Figures 3-11); see the calibration tests.
+type Params struct {
+	Class map[catalog.Class]ClassParams
+
+	// Availability latent A(t): Ornstein-Uhlenbeck around a regime mean.
+	MuHealthy, MuConstrained, MuScarce          float64
+	SigmaHealthy, SigmaConstrained, SigmaScarce float64
+	// ThetaPerHour is the OU mean-reversion rate (1/hours).
+	ThetaPerHour float64
+
+	// SizeExponent shrinks pool capacity for larger sizes:
+	// units(type) = ClassUnits / sizeFactor^SizeExponent. It produces the
+	// monotone decline of scores with instance size (Figure 5).
+	SizeExponent float64
+
+	// Placement score thresholds on the ratio availableUnits/targetCount:
+	// ratio >= ScoreHi -> 3, ratio >= ScoreLo -> 2, else 1.
+	ScoreHi, ScoreLo float64
+
+	// Regional stress: a slow shared OU per (class, region) added to every
+	// pool's availability latent. It creates the spatial diversity of
+	// Figure 4 and correlates AZs within a region.
+	StressAmp          float64
+	StressThetaPerHour float64
+
+	// Churn latent xi(t) per (type, region): slow OU with unit stationary
+	// variance around the class ChurnMean.
+	ChurnThetaPerHour float64
+
+	// Advisor mapping: monthly interruption ratio r = MaxRatio *
+	// logistic(xi). Bucket edges follow AWS's published 5/10/15/20% bands.
+	AdvisorMaxRatio float64
+
+	// Post-2017 pricing policy: spot price = onDemand * (PriceBase +
+	// PriceSpan * logistic(priceLatent)), where priceLatent is a very slow
+	// OU; the published price only moves when it drifts by more than
+	// PublishDelta (relative), matching the low update frequency of
+	// Figure 10.
+	PriceThetaPerHour float64
+	PriceBase         float64
+	PriceSpan         float64
+	PublishDelta      float64
+
+	// Spot request fulfillment. At submission an instant fill succeeds with
+	// probability min(InstantFillMax, InstantFillSlope*(ratio-ScoreHi))
+	// where ratio is the live available-units/target ratio. Afterwards the
+	// request fills as a Poisson process with hourly rate
+	// min(FillRateMax, FillRateK*(ratio-FillMinRatio)), zero below
+	// FillMinRatio, evaluated every EvalInterval.
+	InstantFillMax   float64
+	InstantFillSlope float64
+	FillMinRatio     float64
+	FillRateK        float64
+	FillRateMax      float64
+	EvalInterval     time.Duration
+
+	// Interruption hazard (events per hour) for a running instance:
+	// lambda = (HazardBase + HazardChurn*exp(HazardChurnExp*clamp(xi,±3))
+	//        + HazardScarcity*clamp((FillMinRatio-ratio)/FillMinRatio, 0, 1)
+	//        + regime term)
+	//        * (1 + FreshBoost*exp(-age/FreshTau)).
+	// The regime term adds HazardConstrained (or HazardScarce) while the
+	// pool's family-region capacity is Constrained (Scarce): instances that
+	// were squeezed into tight pools get reclaimed quickly. Together with
+	// the fresh-instance boost this produces Figure 11b's early
+	// interruption medians and the paper's observation that low-SPS pools
+	// interrupt faster than low-IF pools.
+	HazardBase        float64
+	HazardChurn       float64
+	HazardChurnExp    float64
+	HazardScarcity    float64
+	HazardConstrained float64
+	HazardScarce      float64
+	FreshBoost        float64
+	FreshTau          time.Duration
+
+	// Capacity shock reproducing the June 2, 2022 dip in Figure 3a: from
+	// ShockStart for ShockDuration, pools of a ShockFraction of types get
+	// ShockBias added to their availability latent.
+	ShockStart    time.Time
+	ShockDuration time.Duration
+	ShockBias     float64
+	ShockFraction float64
+}
+
+// DefaultParams returns the calibrated parameter set.
+func DefaultParams() Params {
+	day := 24 * time.Hour
+	return Params{
+		Class: map[catalog.Class]ClassParams{
+			catalog.ClassT:   {DwellHealthy: 20 * day, DwellConstrained: 10 * time.Hour, DwellScarce: 60 * time.Hour, PCS: 0.22, Units: 48, ChurnMean: -1.55},
+			catalog.ClassM:   {DwellHealthy: 16 * day, DwellConstrained: 10 * time.Hour, DwellScarce: 60 * time.Hour, PCS: 0.25, Units: 44, ChurnMean: -1.30},
+			catalog.ClassA:   {DwellHealthy: 10 * day, DwellConstrained: 12 * time.Hour, DwellScarce: 54 * time.Hour, PCS: 0.28, Units: 30, ChurnMean: -0.95},
+			catalog.ClassC:   {DwellHealthy: 15 * day, DwellConstrained: 10 * time.Hour, DwellScarce: 60 * time.Hour, PCS: 0.25, Units: 42, ChurnMean: -1.20},
+			catalog.ClassR:   {DwellHealthy: 14 * day, DwellConstrained: 12 * time.Hour, DwellScarce: 58 * time.Hour, PCS: 0.27, Units: 38, ChurnMean: -1.20},
+			catalog.ClassX:   {DwellHealthy: 10 * day, DwellConstrained: 14 * time.Hour, DwellScarce: 48 * time.Hour, PCS: 0.32, Units: 20, ChurnMean: -0.90},
+			catalog.ClassZ:   {DwellHealthy: 10 * day, DwellConstrained: 16 * time.Hour, DwellScarce: 48 * time.Hour, PCS: 0.30, Units: 16, ChurnMean: -0.85},
+			catalog.ClassP:   {DwellHealthy: 84 * time.Hour, DwellConstrained: 14 * time.Hour, DwellScarce: 48 * time.Hour, PCS: 0.50, Units: 5.5, ChurnMean: 0.65},
+			catalog.ClassG:   {DwellHealthy: 4 * day, DwellConstrained: 14 * time.Hour, DwellScarce: 48 * time.Hour, PCS: 0.38, Units: 12, ChurnMean: 0.25},
+			catalog.ClassDL:  {DwellHealthy: 18 * day, DwellConstrained: 10 * time.Hour, DwellScarce: 30 * time.Hour, PCS: 0.20, Units: 26, ChurnMean: -1.65},
+			catalog.ClassInf: {DwellHealthy: 3 * day, DwellConstrained: 16 * time.Hour, DwellScarce: 48 * time.Hour, PCS: 0.42, Units: 9, ChurnMean: 0.30},
+			catalog.ClassF:   {DwellHealthy: 4 * day, DwellConstrained: 16 * time.Hour, DwellScarce: 44 * time.Hour, PCS: 0.36, Units: 10, ChurnMean: -0.10},
+			catalog.ClassVT:  {DwellHealthy: 6 * day, DwellConstrained: 14 * time.Hour, DwellScarce: 44 * time.Hour, PCS: 0.34, Units: 11, ChurnMean: -0.20},
+			catalog.ClassI:   {DwellHealthy: 16 * day, DwellConstrained: 10 * time.Hour, DwellScarce: 54 * time.Hour, PCS: 0.23, Units: 40, ChurnMean: -1.20},
+			catalog.ClassD:   {DwellHealthy: 12 * day, DwellConstrained: 12 * time.Hour, DwellScarce: 54 * time.Hour, PCS: 0.28, Units: 9, ChurnMean: -1.15},
+			catalog.ClassH:   {DwellHealthy: 10 * day, DwellConstrained: 12 * time.Hour, DwellScarce: 50 * time.Hour, PCS: 0.28, Units: 10, ChurnMean: -0.95},
+		},
+
+		MuHealthy: 0.82, MuConstrained: 0.42, MuScarce: 0.055,
+		SigmaHealthy: 0.10, SigmaConstrained: 0.09, SigmaScarce: 0.030,
+		ThetaPerHour: 1.0 / 6,
+
+		SizeExponent: 0.60,
+		ScoreHi:      2.0,
+		ScoreLo:      0.9,
+
+		StressAmp:          0.10,
+		StressThetaPerHour: 1.0 / 72,
+
+		ChurnThetaPerHour: 1.0 / (20 * 24),
+		AdvisorMaxRatio:   0.34,
+
+		PriceThetaPerHour: 1.0 / (12 * 24),
+		PriceBase:         0.24,
+		PriceSpan:         0.26,
+		PublishDelta:      0.03,
+
+		InstantFillMax:   0.34,
+		InstantFillSlope: 0.05,
+		FillMinRatio:     1.05,
+		FillRateK:        6.0,
+		FillRateMax:      240,
+		EvalInterval:     5 * time.Second,
+
+		HazardBase:        0.0035,
+		HazardChurn:       0.0038,
+		HazardChurnExp:    0.9,
+		HazardScarcity:    0.50,
+		HazardConstrained: 0.040,
+		HazardScarce:      0.12,
+		FreshBoost:        16,
+		FreshTau:          90 * time.Minute,
+
+		ShockStart:    time.Date(2022, time.June, 2, 0, 0, 0, 0, time.UTC),
+		ShockDuration: 60 * time.Hour,
+		ShockBias:     -0.42,
+		ShockFraction: 0.85,
+	}
+}
+
+// Stationary returns the long-run time fractions (healthy, constrained,
+// scarce) implied by the class's semi-Markov cycle. Exposed for calibration
+// tests.
+func (cp ClassParams) Stationary() (h, c, s float64) {
+	// One renewal cycle starts when the pool enters Healthy. It then visits
+	// Constrained a geometric number of times (success = exit to Healthy,
+	// probability 1-PCS), with one Scarce visit after each failed exit.
+	visitsC := 1 / (1 - cp.PCS)
+	visitsS := visitsC - 1
+	th := cp.DwellHealthy.Hours()
+	tc := visitsC * cp.DwellConstrained.Hours()
+	ts := visitsS * cp.DwellScarce.Hours()
+	total := th + tc + ts
+	return th / total, tc / total, ts / total
+}

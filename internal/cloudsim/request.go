@@ -1,0 +1,351 @@
+package cloudsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/simclock"
+	"repro/internal/simrand"
+)
+
+// RequestStatus is the spot request state machine of the paper's Table 1.
+type RequestStatus int
+
+// Spot request states.
+const (
+	// StatusPendingEvaluation: a valid spot request was submitted and is
+	// being evaluated.
+	StatusPendingEvaluation RequestStatus = iota
+	// StatusHolding: some request constraint cannot currently be met
+	// (price, location, resource availability, ...).
+	StatusHolding
+	// StatusFulfilled: all constraints are met and an instance is running.
+	StatusFulfilled
+	// StatusTerminal: the request is disabled (interruption, user cancel,
+	// out-bid, ...). Persistent requests re-enter PendingEvaluation after
+	// an interruption instead of going Terminal.
+	StatusTerminal
+)
+
+// String returns the Table 1 state name.
+func (s RequestStatus) String() string {
+	switch s {
+	case StatusPendingEvaluation:
+		return "pending-evaluation"
+	case StatusHolding:
+		return "holding"
+	case StatusFulfilled:
+		return "fulfilled"
+	case StatusTerminal:
+		return "terminal"
+	}
+	return fmt.Sprintf("RequestStatus(%d)", int(s))
+}
+
+// HoldReason explains a Holding state.
+type HoldReason string
+
+// Hold reasons, mirroring the vendor's spot request status codes.
+const (
+	HoldCapacity HoldReason = "capacity-not-available"
+	HoldPrice    HoldReason = "price-too-low"
+)
+
+// TerminalReason explains a Terminal state.
+type TerminalReason string
+
+// Terminal reasons.
+const (
+	TermInterrupted TerminalReason = "interrupted-capacity"
+	TermOutbid      TerminalReason = "interrupted-outbid"
+	TermCancelled   TerminalReason = "cancelled-by-user"
+)
+
+// SpotRequestSpec describes one spot instance request. The reproduction's
+// experiments always request a single instance in a specific pool, as in
+// Section 5.4 of the paper.
+type SpotRequestSpec struct {
+	Type string
+	AZ   string
+	// BidUSD is the maximum hourly price. The paper's experiments bid the
+	// on-demand price [45].
+	BidUSD float64
+	// Persistent re-opens the request after an interruption, as the
+	// paper's experiments do.
+	Persistent bool
+}
+
+// RequestEvent is one state transition in a request's history.
+type RequestEvent struct {
+	At     time.Time
+	Status RequestStatus
+	Detail string
+}
+
+// SpotRequest is a live spot request handle.
+type SpotRequest struct {
+	c    *Cloud
+	rng  *simrand.Rand
+	id   int
+	spec SpotRequestSpec
+	t    catalog.InstanceType
+
+	status     RequestStatus
+	holdReason HoldReason
+	termReason TerminalReason
+
+	submittedAt    time.Time
+	fulfillments   []time.Time
+	interruptions  []time.Time
+	events         []RequestEvent
+	firstEval      bool
+	pendingEvent   *simclock.Event
+	closed         bool
+	region         string
+	lastIntrHazard float64 // for tests/inspection
+}
+
+// Submit opens a spot request. The request is evaluated asynchronously on
+// the simulation clock, matching the vendor's asynchronous request model.
+func (c *Cloud) Submit(spec SpotRequestSpec) (*SpotRequest, error) {
+	t, region, err := c.resolve(spec.Type, spec.AZ)
+	if err != nil {
+		return nil, err
+	}
+	if spec.BidUSD <= 0 {
+		return nil, fmt.Errorf("cloudsim: bid must be positive, got %v", spec.BidUSD)
+	}
+	c.nextReqID++
+	r := &SpotRequest{
+		c:           c,
+		rng:         c.root.StreamN("request", c.nextReqID),
+		id:          c.nextReqID,
+		spec:        spec,
+		t:           t,
+		region:      region,
+		status:      StatusPendingEvaluation,
+		submittedAt: c.clk.Now(),
+		firstEval:   true,
+	}
+	r.log(StatusPendingEvaluation, "submitted")
+	// First evaluation lands within about a second, like the live API.
+	delay := time.Duration(r.rng.Range(0.3, 0.9) * float64(time.Second))
+	r.pendingEvent = c.clk.Schedule(c.clk.Now().Add(delay), r.evaluate)
+	return r, nil
+}
+
+func (r *SpotRequest) log(st RequestStatus, detail string) {
+	r.events = append(r.events, RequestEvent{At: r.c.clk.Now(), Status: st, Detail: detail})
+}
+
+// Status returns the current request state.
+func (r *SpotRequest) Status() RequestStatus { return r.status }
+
+// HoldingReason returns the reason while the request is Holding.
+func (r *SpotRequest) HoldingReason() HoldReason { return r.holdReason }
+
+// TerminalReason returns the reason once the request is Terminal.
+func (r *SpotRequest) TerminalReason() TerminalReason { return r.termReason }
+
+// Events returns the state transition history.
+func (r *SpotRequest) Events() []RequestEvent { return r.events }
+
+// Fulfillments returns the times at which the request was fulfilled.
+func (r *SpotRequest) Fulfillments() []time.Time { return r.fulfillments }
+
+// Interruptions returns the times at which a running instance of the
+// request was interrupted.
+func (r *SpotRequest) Interruptions() []time.Time { return r.interruptions }
+
+// SubmittedAt returns the submission time.
+func (r *SpotRequest) SubmittedAt() time.Time { return r.submittedAt }
+
+// Close cancels any future evaluation of the request. A running instance is
+// left as-is; Close is the experiment harness detaching, not a termination.
+func (r *SpotRequest) Close() {
+	r.closed = true
+	if r.pendingEvent != nil {
+		r.pendingEvent.Cancel()
+		r.pendingEvent = nil
+	}
+}
+
+// Cancel terminates the request (and any running instance) by user action.
+func (r *SpotRequest) Cancel() {
+	if r.status == StatusTerminal {
+		return
+	}
+	if r.pendingEvent != nil {
+		r.pendingEvent.Cancel()
+		r.pendingEvent = nil
+	}
+	r.closed = true
+	r.status = StatusTerminal
+	r.termReason = TermCancelled
+	r.log(StatusTerminal, string(TermCancelled))
+}
+
+// liveRatio returns the live available-units ratio for the request's pool
+// (target count is always 1).
+func (r *SpotRequest) liveRatio() float64 {
+	units, err := r.c.LiveAvailableUnits(r.spec.Type, r.spec.AZ)
+	if err != nil {
+		return 0
+	}
+	return units
+}
+
+// evaluate is the vendor's periodic evaluation of a not-yet-fulfilled
+// request.
+func (r *SpotRequest) evaluate(now time.Time) {
+	r.pendingEvent = nil
+	if r.closed || r.status == StatusTerminal || r.status == StatusFulfilled {
+		return
+	}
+	price, err := r.c.SpotPriceUSD(r.spec.Type, r.spec.AZ)
+	if err != nil {
+		// Pool vanished from the catalog: impossible by construction.
+		panic(err)
+	}
+	if price > r.spec.BidUSD {
+		r.hold(HoldPrice)
+		r.scheduleEval(r.c.p.EvalInterval)
+		return
+	}
+	ratio := r.liveRatio()
+	p := r.c.p
+	if ratio < p.FillMinRatio {
+		r.firstEval = false
+		r.hold(HoldCapacity)
+		// Deep shortage cannot resolve within seconds; the vendor backs
+		// off. Near the threshold it keeps the short cadence.
+		backoff := p.EvalInterval
+		if ratio < 0.6*p.FillMinRatio {
+			backoff = 12 * p.EvalInterval
+		}
+		r.scheduleEval(backoff)
+		return
+	}
+	if r.firstEval {
+		r.firstEval = false
+		pInstant := math.Min(p.InstantFillMax, p.InstantFillSlope*math.Max(0, ratio-p.ScoreHi))
+		if r.rng.Bool(pInstant) {
+			r.fulfill(now)
+			return
+		}
+		r.status = StatusPendingEvaluation
+		r.scheduleEval(p.EvalInterval)
+		return
+	}
+	rate := math.Min(p.FillRateMax, p.FillRateK*(ratio-p.FillMinRatio))
+	pFill := 1 - math.Exp(-rate*p.EvalInterval.Hours())
+	if r.rng.Bool(pFill) {
+		r.fulfill(now)
+		return
+	}
+	r.hold(HoldCapacity)
+	r.scheduleEval(p.EvalInterval)
+}
+
+func (r *SpotRequest) hold(reason HoldReason) {
+	if r.status != StatusHolding || r.holdReason != reason {
+		r.status = StatusHolding
+		r.holdReason = reason
+		r.log(StatusHolding, string(reason))
+	}
+}
+
+func (r *SpotRequest) scheduleEval(after time.Duration) {
+	r.pendingEvent = r.c.clk.ScheduleAfter(after, r.evaluate)
+}
+
+func (r *SpotRequest) fulfill(now time.Time) {
+	r.status = StatusFulfilled
+	r.holdReason = ""
+	r.fulfillments = append(r.fulfillments, now)
+	r.log(StatusFulfilled, "instance running")
+	r.scheduleInterruptionCandidate()
+}
+
+// hazardPerHour computes the current interruption hazard of the running
+// instance, including the fresh-instance boost: instances placed into
+// marginal slots face elevated eviction risk right after fulfillment.
+func (r *SpotRequest) hazardPerHour(now time.Time) float64 {
+	p := r.c.p
+	fr := r.c.famRegionState(r.t.Family, r.region)
+	xi := clamp(fr.xi, -xiClamp, xiClamp)
+	xi += sizeChurnSlope * math.Log2(math.Max(r.t.SizeFactor, 0.25))
+	xi = clamp(xi, -xiClamp, xiClamp)
+	ratio := r.liveRatio()
+	scarcity := clamp((p.FillMinRatio-ratio)/p.FillMinRatio, 0, 1)
+	h := p.HazardBase + p.HazardChurn*math.Exp(p.HazardChurnExp*xi) + p.HazardScarcity*scarcity
+	switch fr.regime {
+	case Constrained:
+		h += p.HazardConstrained
+	case Scarce:
+		h += p.HazardScarce
+	}
+	if n := len(r.fulfillments); n > 0 && p.FreshBoost > 0 && p.FreshTau > 0 {
+		age := now.Sub(r.fulfillments[n-1])
+		h *= 1 + p.FreshBoost*math.Exp(-age.Hours()/p.FreshTau.Hours())
+	}
+	r.lastIntrHazard = h
+	return h
+}
+
+// hazardMax bounds the hazard for thinning.
+func (r *SpotRequest) hazardMax() float64 {
+	p := r.c.p
+	regimeMax := p.HazardConstrained
+	if p.HazardScarce > regimeMax {
+		regimeMax = p.HazardScarce
+	}
+	return (p.HazardBase + p.HazardChurn*math.Exp(p.HazardChurnExp*xiClamp) +
+		p.HazardScarcity + regimeMax) * (1 + p.FreshBoost)
+}
+
+// scheduleInterruptionCandidate schedules the next candidate interruption
+// instant via Lewis' thinning: candidates arrive at the maximum hazard rate
+// and are accepted with probability hazard/max.
+func (r *SpotRequest) scheduleInterruptionCandidate() {
+	dtHours := r.rng.Exponential(1 / r.hazardMax())
+	r.pendingEvent = r.c.clk.ScheduleAfter(time.Duration(dtHours*float64(time.Hour)), r.interruptionCandidate)
+}
+
+func (r *SpotRequest) interruptionCandidate(now time.Time) {
+	r.pendingEvent = nil
+	if r.closed || r.status != StatusFulfilled {
+		return
+	}
+	// Out-bid check: the post-2017 price policy makes this rare, but the
+	// mechanism exists (Table 1's "price outbid" terminal cause).
+	price, err := r.c.SpotPriceUSD(r.spec.Type, r.spec.AZ)
+	if err == nil && price > r.spec.BidUSD {
+		r.interrupt(now, TermOutbid)
+		return
+	}
+	if r.rng.Bool(r.hazardPerHour(now) / r.hazardMax()) {
+		r.interrupt(now, TermInterrupted)
+		return
+	}
+	r.scheduleInterruptionCandidate()
+}
+
+func (r *SpotRequest) interrupt(now time.Time, reason TerminalReason) {
+	r.interruptions = append(r.interruptions, now)
+	if r.spec.Persistent {
+		// The paper's experiments use persistent requests: the request
+		// re-enters evaluation shortly after the interruption.
+		r.status = StatusPendingEvaluation
+		r.holdReason = ""
+		r.log(StatusPendingEvaluation, "re-opened after "+string(reason))
+		r.firstEval = true
+		r.scheduleEval(r.c.p.EvalInterval)
+		return
+	}
+	r.status = StatusTerminal
+	r.termReason = reason
+	r.log(StatusTerminal, string(reason))
+}

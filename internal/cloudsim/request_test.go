@@ -1,0 +1,271 @@
+package cloudsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+)
+
+// findPoolByRegime hunts for a pool whose (family, region) is currently in
+// the wanted regime.
+func findPoolByRegime(c *Cloud, cat *catalog.Catalog, want Regime) (catalog.Pool, bool) {
+	for _, p := range cat.Pools() {
+		tp, _ := cat.Type(p.Type)
+		fr := c.famRegionState(tp.Family, p.Region)
+		if fr.regime == want {
+			return p, true
+		}
+	}
+	return catalog.Pool{}, false
+}
+
+func TestRequestLifecycleHealthyPool(t *testing.T) {
+	c, clk, cat := testCloud(21)
+	pool, ok := findPoolByRegime(c, cat, Healthy)
+	if !ok {
+		t.Fatal("no healthy pool found")
+	}
+	od, _ := cat.OnDemandPrice(pool.Type, pool.Region)
+	req, err := c.Submit(SpotRequestSpec{Type: pool.Type, AZ: pool.AZ, BidUSD: od, Persistent: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Status() != StatusPendingEvaluation {
+		t.Errorf("initial status = %v", req.Status())
+	}
+	clk.RunFor(time.Hour)
+	if req.Status() != StatusFulfilled {
+		t.Errorf("healthy pool request not fulfilled after 1h: %v (%v)", req.Status(), req.HoldingReason())
+	}
+	if len(req.Fulfillments()) != 1 {
+		t.Errorf("fulfillments = %d, want 1", len(req.Fulfillments()))
+	}
+	if req.Fulfillments()[0].Before(req.SubmittedAt()) {
+		t.Error("fulfilled before submission")
+	}
+	req.Close()
+}
+
+func TestRequestHoldsOnScarcePool(t *testing.T) {
+	c, clk, cat := testCloud(22)
+	pool, ok := findPoolByRegime(c, cat, Scarce)
+	if !ok {
+		t.Skip("no scarce pool at t0 with this seed")
+	}
+	od, _ := cat.OnDemandPrice(pool.Type, pool.Region)
+	req, err := c.Submit(SpotRequestSpec{Type: pool.Type, AZ: pool.AZ, BidUSD: od})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.RunFor(10 * time.Minute)
+	if req.Status() == StatusFulfilled {
+		t.Skip("pool recovered immediately; acceptable but uninformative")
+	}
+	if req.Status() != StatusHolding {
+		t.Errorf("status = %v, want holding", req.Status())
+	}
+	if req.HoldingReason() != HoldCapacity {
+		t.Errorf("hold reason = %v, want %v", req.HoldingReason(), HoldCapacity)
+	}
+	req.Close()
+}
+
+func TestRequestRejectsBadSpec(t *testing.T) {
+	c, _, cat := testCloud(23)
+	pool := cat.Pools()[0]
+	if _, err := c.Submit(SpotRequestSpec{Type: pool.Type, AZ: pool.AZ, BidUSD: 0}); err == nil {
+		t.Error("zero bid accepted")
+	}
+	if _, err := c.Submit(SpotRequestSpec{Type: "nope.xlarge", AZ: pool.AZ, BidUSD: 1}); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+func TestLowBidHoldsOnPrice(t *testing.T) {
+	c, clk, cat := testCloud(24)
+	pool, ok := findPoolByRegime(c, cat, Healthy)
+	if !ok {
+		t.Fatal("no healthy pool")
+	}
+	// Bid far below any possible spot price (spot >= ~24% of on-demand).
+	od, _ := cat.OnDemandPrice(pool.Type, pool.Region)
+	req, err := c.Submit(SpotRequestSpec{Type: pool.Type, AZ: pool.AZ, BidUSD: od * 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.RunFor(time.Hour)
+	if req.Status() != StatusHolding || req.HoldingReason() != HoldPrice {
+		t.Errorf("status=%v reason=%v, want holding/price-too-low", req.Status(), req.HoldingReason())
+	}
+	req.Close()
+}
+
+func TestCancelTerminates(t *testing.T) {
+	c, clk, cat := testCloud(25)
+	pool := cat.Pools()[0]
+	od, _ := cat.OnDemandPrice(pool.Type, pool.Region)
+	req, err := c.Submit(SpotRequestSpec{Type: pool.Type, AZ: pool.AZ, BidUSD: od})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Cancel()
+	if req.Status() != StatusTerminal || req.TerminalReason() != TermCancelled {
+		t.Errorf("after cancel: %v/%v", req.Status(), req.TerminalReason())
+	}
+	clk.RunFor(time.Hour)
+	if len(req.Fulfillments()) != 0 {
+		t.Error("cancelled request was fulfilled")
+	}
+	req.Cancel() // idempotent
+}
+
+func TestPersistentRequestReopensAfterInterruption(t *testing.T) {
+	// Run many persistent requests on churny pools for a simulated day and
+	// check that interrupted ones re-enter the pipeline.
+	c, clk, cat := testCloud(26)
+	var reqs []*SpotRequest
+	for _, p := range cat.Pools() {
+		tp, _ := cat.Type(p.Type)
+		if tp.Class != catalog.ClassP && tp.Class != catalog.ClassG {
+			continue
+		}
+		od, _ := cat.OnDemandPrice(p.Type, p.Region)
+		r, err := c.Submit(SpotRequestSpec{Type: p.Type, AZ: p.AZ, BidUSD: od, Persistent: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, r)
+		if len(reqs) >= 60 {
+			break
+		}
+	}
+	clk.RunFor(24 * time.Hour)
+	interrupted := 0
+	refulfilled := 0
+	for _, r := range reqs {
+		if len(r.Interruptions()) > 0 {
+			interrupted++
+			if len(r.Fulfillments()) > len(r.Interruptions()) {
+				refulfilled++
+			}
+			if r.Status() == StatusTerminal {
+				t.Error("persistent request went terminal after interruption")
+			}
+		}
+		r.Close()
+	}
+	if interrupted == 0 {
+		t.Error("no interruptions among 60 accelerated-pool requests in 24h; hazard too low")
+	}
+	t.Logf("interrupted=%d refulfilled=%d of %d", interrupted, refulfilled, len(reqs))
+}
+
+func TestNonPersistentGoesTerminalOnInterruption(t *testing.T) {
+	c, clk, cat := testCloud(27)
+	var reqs []*SpotRequest
+	for _, p := range cat.Pools() {
+		tp, _ := cat.Type(p.Type)
+		if !tp.Class.Accelerated() {
+			continue
+		}
+		od, _ := cat.OnDemandPrice(p.Type, p.Region)
+		r, err := c.Submit(SpotRequestSpec{Type: p.Type, AZ: p.AZ, BidUSD: od})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, r)
+		if len(reqs) >= 80 {
+			break
+		}
+	}
+	clk.RunFor(48 * time.Hour)
+	sawTerminal := false
+	for _, r := range reqs {
+		if len(r.Interruptions()) > 0 {
+			if r.Status() != StatusTerminal {
+				t.Errorf("interrupted non-persistent request status = %v", r.Status())
+			}
+			if r.TerminalReason() != TermInterrupted && r.TerminalReason() != TermOutbid {
+				t.Errorf("terminal reason = %v", r.TerminalReason())
+			}
+			sawTerminal = true
+		}
+		r.Close()
+	}
+	if !sawTerminal {
+		t.Error("no interruption observed in 48h across 80 accelerated pools")
+	}
+}
+
+func TestEventLogIsOrdered(t *testing.T) {
+	c, clk, cat := testCloud(28)
+	pool := cat.Pools()[0]
+	od, _ := cat.OnDemandPrice(pool.Type, pool.Region)
+	req, _ := c.Submit(SpotRequestSpec{Type: pool.Type, AZ: pool.AZ, BidUSD: od, Persistent: true})
+	clk.RunFor(12 * time.Hour)
+	ev := req.Events()
+	if len(ev) == 0 {
+		t.Fatal("no events")
+	}
+	if ev[0].Status != StatusPendingEvaluation {
+		t.Errorf("first event = %v, want pending-evaluation", ev[0].Status)
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].At.Before(ev[i-1].At) {
+			t.Error("event log out of order")
+		}
+	}
+	req.Close()
+}
+
+func TestFulfillmentLatencyScalesWithHealth(t *testing.T) {
+	// Requests on healthy pools must fill much faster than on constrained
+	// ones (Figure 11a's ordering).
+	c, clk, cat := testCloud(29)
+	healthyLat := []float64{}
+	constrainedLat := []float64{}
+	for _, p := range cat.Pools() {
+		tp, _ := cat.Type(p.Type)
+		fr := c.famRegionState(tp.Family, p.Region)
+		var bucket *[]float64
+		switch fr.regime {
+		case Healthy:
+			bucket = &healthyLat
+		case Constrained:
+			bucket = &constrainedLat
+		default:
+			continue
+		}
+		if len(*bucket) >= 40 {
+			continue
+		}
+		od, _ := cat.OnDemandPrice(p.Type, p.Region)
+		start := clk.Now()
+		req, err := c.Submit(SpotRequestSpec{Type: p.Type, AZ: p.AZ, BidUSD: od})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk.RunFor(2 * time.Hour)
+		if len(req.Fulfillments()) > 0 {
+			*bucket = append(*bucket, req.Fulfillments()[0].Sub(start).Seconds())
+		}
+		req.Close()
+	}
+	if len(healthyLat) < 10 {
+		t.Skip("not enough healthy fulfillments sampled")
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	t.Logf("healthy mean fill %.1fs (n=%d), constrained mean fill %.1fs (n=%d)",
+		mean(healthyLat), len(healthyLat), mean(constrainedLat), len(constrainedLat))
+	if len(constrainedLat) >= 5 && mean(healthyLat) >= mean(constrainedLat) {
+		t.Errorf("healthy fills (%.1fs) not faster than constrained (%.1fs)",
+			mean(healthyLat), mean(constrainedLat))
+	}
+}

@@ -1,0 +1,438 @@
+package cloudsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+)
+
+// UnitsOf returns the full-health capacity of one (type, AZ) pool in
+// instances of that type. Larger sizes get fewer units (Figure 5's size
+// effect): units = classUnits / sizeFactor^SizeExponent.
+func (c *Cloud) UnitsOf(t catalog.InstanceType) float64 {
+	cp := c.classParams(t.Class)
+	sf := t.SizeFactor
+	if sf < 0.25 {
+		sf = 0.25
+	}
+	return cp.Units / math.Pow(sf, c.p.SizeExponent)
+}
+
+// LiveAvailableUnits returns the live (ground-truth) available capacity of
+// the (type, AZ) pool in instances.
+func (c *Cloud) LiveAvailableUnits(typeName, az string) (float64, error) {
+	t, region, err := c.resolve(typeName, az)
+	if err != nil {
+		return 0, err
+	}
+	fr := c.famRegionState(t.Family, region)
+	fa := c.famAZState(t.Family, az, fr)
+	a := c.liveAvailability(fr, fa, c.clk.Now())
+	return c.UnitsOf(t) * a * a, nil
+}
+
+// PublishedAvailableUnits returns the vendor-published (stale, noisy) view
+// of the pool's available capacity, the basis of the placement score.
+func (c *Cloud) PublishedAvailableUnits(typeName, az string) (float64, error) {
+	t, region, err := c.resolve(typeName, az)
+	if err != nil {
+		return 0, err
+	}
+	fr := c.famRegionState(t.Family, region)
+	fa := c.famAZState(t.Family, az, fr)
+	return c.UnitsOf(t) * fa.pubA * fa.pubA, nil
+}
+
+// resolve validates and resolves a (type, AZ) pool.
+func (c *Cloud) resolve(typeName, az string) (catalog.InstanceType, string, error) {
+	t, ok := c.cat.Type(typeName)
+	if !ok {
+		return catalog.InstanceType{}, "", fmt.Errorf("cloudsim: unknown instance type %q", typeName)
+	}
+	region, ok := c.cat.RegionOfAZ(az)
+	if !ok {
+		return catalog.InstanceType{}, "", fmt.Errorf("cloudsim: unknown availability zone %q", az)
+	}
+	supported := false
+	for _, s := range c.cat.SupportedAZs(typeName, region) {
+		if s == az {
+			supported = true
+			break
+		}
+	}
+	if !supported {
+		return catalog.InstanceType{}, "", fmt.Errorf("cloudsim: type %s not offered in %s", typeName, az)
+	}
+	return t, region, nil
+}
+
+// ContinuousScore maps an available-units/target ratio to the continuous
+// placement subscore in [1.0, 3.0+bonus]. The integer score a single-type
+// query returns is floor of this value clamped to [1,3]; composite queries
+// sum the continuous subscores (Figure 6's behavior: the composite score is
+// bounded below by the sum of single scores).
+func ContinuousScore(ratio float64) float64 {
+	s := 1 + 2*clamp((ratio-scoreRampLo)/(scoreRampHi-scoreRampLo), 0, 1)
+	s += scoreBonusMax * clamp((ratio-scoreRampHi)/(scoreBonusSat-scoreRampHi), 0, 1)
+	return s
+}
+
+// DiscreteScore converts a continuous subscore sum to the integer the API
+// returns, clamped to [1, max].
+func DiscreteScore(sum float64, max int) int {
+	v := int(math.Floor(sum))
+	if v < 1 {
+		v = 1
+	}
+	if v > max {
+		v = max
+	}
+	return v
+}
+
+// ScoreRequest describes a placement-score computation: one or more
+// instance types, one or more regions, the desired instance count, and
+// whether to break results out per availability zone.
+type ScoreRequest struct {
+	Types          []string
+	Regions        []string
+	TargetCapacity int
+	SingleAZ       bool
+}
+
+// ScoreEntry is one returned placement score. AZ is empty for region-level
+// results.
+type ScoreEntry struct {
+	Region string
+	AZ     string
+	Score  int
+	// Continuous is the internal continuous score the integer was derived
+	// from; exposed for calibration and tests, not part of the vendor API.
+	Continuous float64
+}
+
+// PlacementScores computes placement scores from the published availability
+// snapshots. It applies no query quota and no result truncation — those are
+// vendor API-surface constraints enforced by package awsapi.
+func (c *Cloud) PlacementScores(req ScoreRequest) ([]ScoreEntry, error) {
+	if req.TargetCapacity <= 0 {
+		return nil, fmt.Errorf("cloudsim: target capacity must be positive, got %d", req.TargetCapacity)
+	}
+	if len(req.Types) == 0 {
+		return nil, fmt.Errorf("cloudsim: no instance types in score request")
+	}
+	if len(req.Regions) == 0 {
+		return nil, fmt.Errorf("cloudsim: no regions in score request")
+	}
+	var out []ScoreEntry
+	maxScore := 10
+	for _, region := range req.Regions {
+		r, ok := c.cat.Region(region)
+		if !ok {
+			return nil, fmt.Errorf("cloudsim: unknown region %q", region)
+		}
+		if req.SingleAZ {
+			for _, az := range r.AZs {
+				sum, any := c.scoreForAZ(req.Types, region, az, req.TargetCapacity)
+				if !any {
+					continue
+				}
+				out = append(out, ScoreEntry{
+					Region:     region,
+					AZ:         az,
+					Score:      DiscreteScore(sum, maxScore),
+					Continuous: sum,
+				})
+			}
+			continue
+		}
+		sum := 0.0
+		any := false
+		for _, typeName := range req.Types {
+			units := c.publishedUnitsInRegion(typeName, region)
+			if units < 0 {
+				continue
+			}
+			any = true
+			sum += ContinuousScore(units / float64(req.TargetCapacity))
+		}
+		if any {
+			out = append(out, ScoreEntry{
+				Region:     region,
+				Score:      DiscreteScore(sum, maxScore),
+				Continuous: sum,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Region != out[j].Region {
+			return out[i].Region < out[j].Region
+		}
+		return out[i].AZ < out[j].AZ
+	})
+	return out, nil
+}
+
+// scoreForAZ sums continuous subscores across types for one AZ. The second
+// return reports whether any queried type is offered in the AZ.
+func (c *Cloud) scoreForAZ(types []string, region, az string, n int) (float64, bool) {
+	sum := 0.0
+	any := false
+	for _, typeName := range types {
+		t, ok := c.cat.Type(typeName)
+		if !ok {
+			continue
+		}
+		offered := false
+		for _, s := range c.cat.SupportedAZs(typeName, region) {
+			if s == az {
+				offered = true
+				break
+			}
+		}
+		if !offered {
+			continue
+		}
+		any = true
+		fr := c.famRegionState(t.Family, region)
+		fa := c.famAZState(t.Family, az, fr)
+		units := c.UnitsOf(t) * fa.pubA * fa.pubA
+		sum += ContinuousScore(units / float64(n))
+	}
+	return sum, any
+}
+
+// publishedUnitsInRegion sums the published available units of a type over
+// all supporting AZs in the region. It returns -1 when the type is not
+// offered in the region.
+func (c *Cloud) publishedUnitsInRegion(typeName, region string) float64 {
+	t, ok := c.cat.Type(typeName)
+	if !ok {
+		return -1
+	}
+	azs := c.cat.SupportedAZs(typeName, region)
+	if len(azs) == 0 {
+		return -1
+	}
+	fr := c.famRegionState(t.Family, region)
+	units := 0.0
+	for _, az := range azs {
+		fa := c.famAZState(t.Family, az, fr)
+		units += c.UnitsOf(t) * fa.pubA * fa.pubA
+	}
+	return units
+}
+
+// --- Advisor dataset -------------------------------------------------------
+
+// AdvisorBucket labels the five interruption-frequency bands of the spot
+// instance advisor.
+type AdvisorBucket int
+
+// Advisor interruption-frequency bands, in increasing interruption order.
+const (
+	BucketLT5 AdvisorBucket = iota // "<5%"
+	Bucket5to10
+	Bucket10to15
+	Bucket15to20
+	BucketGT20 // ">20%"
+)
+
+// String returns the band label as shown on the advisor website.
+func (b AdvisorBucket) String() string {
+	switch b {
+	case BucketLT5:
+		return "<5%"
+	case Bucket5to10:
+		return "5-10%"
+	case Bucket10to15:
+		return "10-15%"
+	case Bucket15to20:
+		return "15-20%"
+	case BucketGT20:
+		return ">20%"
+	}
+	return fmt.Sprintf("AdvisorBucket(%d)", int(b))
+}
+
+// InterruptionFreeScore converts the bucket to the paper's 1.0-3.0 score
+// representation (Section 5: lowest interruption frequency -> 3.0, highest
+// -> 1.0, steps of 0.5).
+func (b AdvisorBucket) InterruptionFreeScore() float64 {
+	return 3.0 - 0.5*float64(b)
+}
+
+// AdvisorBucketOf buckets a monthly interruption ratio.
+func AdvisorBucketOf(ratio float64) int {
+	switch {
+	case ratio < 0.05:
+		return int(BucketLT5)
+	case ratio < 0.10:
+		return int(Bucket5to10)
+	case ratio < 0.15:
+		return int(Bucket10to15)
+	case ratio < 0.20:
+		return int(Bucket15to20)
+	default:
+		return int(BucketGT20)
+	}
+}
+
+// AdvisorEntry is one row of the spot instance advisor dataset: the
+// interruption band and cost savings for an instance type in a region.
+type AdvisorEntry struct {
+	Type        string
+	Region      string
+	Bucket      AdvisorBucket
+	SavingsPct  int       // percent saved vs on-demand, 0-100
+	LastChanged time.Time // when the bucket last changed (internal, for tests)
+}
+
+// AdvisorEntryFor returns the advisor row of one (type, region).
+func (c *Cloud) AdvisorEntryFor(typeName, region string) (AdvisorEntry, error) {
+	t, ok := c.cat.Type(typeName)
+	if !ok {
+		return AdvisorEntry{}, fmt.Errorf("cloudsim: unknown instance type %q", typeName)
+	}
+	if !c.cat.Supports(typeName, region) {
+		return AdvisorEntry{}, fmt.Errorf("cloudsim: type %s not offered in region %s", typeName, region)
+	}
+	fr := c.famRegionState(t.Family, region)
+	bucket := c.advisorBucketForType(fr, t)
+	savings := c.savingsPct(t, region)
+	return AdvisorEntry{
+		Type:        typeName,
+		Region:      region,
+		Bucket:      bucket,
+		SavingsPct:  savings,
+		LastChanged: fr.advChangedAt,
+	}, nil
+}
+
+// advisorBucketForType applies the size-churn penalty on top of the
+// family-region published ratio: larger sizes interrupt more (Figure 5).
+func (c *Cloud) advisorBucketForType(fr *famRegion, t catalog.InstanceType) AdvisorBucket {
+	ratio := c.p.AdvisorMaxRatio * logistic(logit(fr.advRatio/c.p.AdvisorMaxRatio)+sizeChurnSlope*math.Log2(math.Max(t.SizeFactor, 0.25)))
+	return AdvisorBucket(AdvisorBucketOf(ratio))
+}
+
+func logit(p float64) float64 {
+	p = clamp(p, 1e-9, 1-1e-9)
+	return math.Log(p / (1 - p))
+}
+
+// savingsPct computes the advisor's "savings over on-demand" column from
+// the current average published spot price across the region's AZs.
+func (c *Cloud) savingsPct(t catalog.InstanceType, region string) int {
+	azs := c.cat.SupportedAZs(t.Name, region)
+	if len(azs) == 0 {
+		return 0
+	}
+	fr := c.famRegionState(t.Family, region)
+	sum := 0.0
+	for _, az := range azs {
+		fa := c.famAZState(t.Family, az, fr)
+		c.advancePrice(fa)
+		sum += fa.pubFrac
+	}
+	frac := sum / float64(len(azs))
+	pct := int(math.Round((1 - frac) * 100))
+	if pct < 0 {
+		pct = 0
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	return pct
+}
+
+// AdvisorSnapshot returns the advisor dataset for every supported
+// (type, region) pair, like the website's single JSON document.
+func (c *Cloud) AdvisorSnapshot() []AdvisorEntry {
+	var out []AdvisorEntry
+	for _, t := range c.cat.Types() {
+		for _, rc := range c.cat.SupportedRegions(t.Name) {
+			e, err := c.AdvisorEntryFor(t.Name, rc.Region)
+			if err != nil {
+				continue
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// --- Spot price ------------------------------------------------------------
+
+// advancePrice advances the price latent and republishes the spot price
+// fraction when it has drifted beyond the publication threshold. Price
+// evolution materializes at observation instants; with the paper's
+// 10-minute collection cadence this matches the archive's resolution.
+func (c *Cloud) advancePrice(fa *famAZ) {
+	now := c.clk.Now()
+	if now.After(fa.priceLast) {
+		dtH := now.Sub(fa.priceLast).Hours()
+		theta := c.p.PriceThetaPerHour
+		sigmaDiff := 1.0 * math.Sqrt(2*theta) // unit stationary variance
+		fa.priceLatent = fa.rng.OUStep(fa.priceLatent, 0, theta, sigmaDiff, dtH)
+		fa.priceLast = now
+	}
+	frac := c.p.PriceBase + c.p.PriceSpan*logistic(1.2*fa.priceLatent)
+	if !fa.priceInit || math.Abs(frac-fa.pubFrac) > c.p.PublishDelta {
+		fa.pubFrac = frac
+		fa.priceInit = true
+		fa.priceHist = append(fa.priceHist, FracPoint{At: now, Frac: frac})
+		// Enforce the vendor's 90-day retention.
+		cutoff := now.Add(-priceHistoryRetention)
+		trim := 0
+		for trim < len(fa.priceHist)-1 && fa.priceHist[trim].At.Before(cutoff) {
+			trim++
+		}
+		if trim > 0 {
+			fa.priceHist = append(fa.priceHist[:0], fa.priceHist[trim:]...)
+		}
+	}
+}
+
+// SpotPriceUSD returns the current published spot price of the pool.
+func (c *Cloud) SpotPriceUSD(typeName, az string) (float64, error) {
+	t, region, err := c.resolve(typeName, az)
+	if err != nil {
+		return 0, err
+	}
+	fr := c.famRegionState(t.Family, region)
+	fa := c.famAZState(t.Family, az, fr)
+	c.advancePrice(fa)
+	od, _ := c.cat.OnDemandPrice(typeName, region)
+	return od * fa.pubFrac, nil
+}
+
+// PricePoint is one published spot price change.
+type PricePoint struct {
+	At       time.Time
+	PriceUSD float64
+}
+
+// PriceHistory returns the published price changes of a pool within
+// [from, to], oldest first, subject to the 90-day retention window.
+func (c *Cloud) PriceHistory(typeName, az string, from, to time.Time) ([]PricePoint, error) {
+	t, region, err := c.resolve(typeName, az)
+	if err != nil {
+		return nil, err
+	}
+	fr := c.famRegionState(t.Family, region)
+	fa := c.famAZState(t.Family, az, fr)
+	c.advancePrice(fa)
+	od, _ := c.cat.OnDemandPrice(typeName, region)
+	var out []PricePoint
+	for _, fp := range fa.priceHist {
+		if fp.At.Before(from) || fp.At.After(to) {
+			continue
+		}
+		out = append(out, PricePoint{At: fp.At, PriceUSD: od * fp.Frac})
+	}
+	return out, nil
+}

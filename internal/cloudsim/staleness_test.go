@@ -1,0 +1,199 @@
+package cloudsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/simclock"
+)
+
+// TestPublishedLagsLive verifies the vendor-snapshot mechanism: the
+// published availability diverges from live state between refreshes and
+// matches it (up to noise) on average. This staleness is a load-bearing
+// design element — it produces Figure 10's update cadence and Table 3's
+// score/reality mismatches.
+func TestPublishedLagsLive(t *testing.T) {
+	c, clk, cat := testCloud(41)
+	pool := cat.Pools()[0]
+
+	sameCount, total := 0, 0
+	var lastPub float64
+	pubChanges := 0
+	for i := 0; i < 24*14; i++ { // hourly for 14 days
+		clk.RunFor(time.Hour)
+		live, err := c.LiveAvailableUnits(pool.Type, pool.AZ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pub, err := c.PublishedAvailableUnits(pool.Type, pool.AZ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && pub != lastPub {
+			pubChanges++
+		}
+		lastPub = pub
+		if math.Abs(live-pub) < 1e-9 {
+			sameCount++
+		}
+		total++
+	}
+	// The published value holds still between refreshes, so it changes far
+	// less often than the live value moves.
+	if pubChanges > total/2 {
+		t.Errorf("published value changed %d/%d samples; snapshots should be sticky", pubChanges, total)
+	}
+	if pubChanges == 0 {
+		t.Error("published value never refreshed in 14 days")
+	}
+	// And it is a noisy snapshot: exact equality with live state should be
+	// rare (the live OU moves every hour).
+	if sameCount > total/4 {
+		t.Errorf("published == live in %d/%d samples; staleness mechanism inert", sameCount, total)
+	}
+}
+
+// TestAdvisorChangesOnlyDaily: the advisor's published bucket may only move
+// at its refresh cadence.
+func TestAdvisorChangesOnlyDaily(t *testing.T) {
+	c, clk, cat := testCloud(42)
+	tp := cat.Types()[0]
+	region := cat.SupportedRegions(tp.Name)[0].Region
+
+	var prev AdvisorBucket
+	changes := []time.Time{}
+	for i := 0; i < 24*30; i++ { // hourly for 30 days
+		clk.RunFor(time.Hour)
+		e, err := c.AdvisorEntryFor(tp.Name, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && e.Bucket != prev {
+			changes = append(changes, clk.Now())
+		}
+		prev = e.Bucket
+	}
+	for i := 1; i < len(changes); i++ {
+		if gap := changes[i].Sub(changes[i-1]); gap < 23*time.Hour {
+			t.Errorf("advisor bucket changed %v apart; refresh is daily", gap)
+		}
+	}
+}
+
+// TestHazardIncreasesWithChurn: pools with higher churn latents interrupt
+// more — the Table 3 column ordering depends on it.
+func TestHazardIncreasesWithChurn(t *testing.T) {
+	cat := catalog.Sample(0.2)
+	clk := simclock.NewAtEpoch()
+	c := New(cat, clk, 43, DefaultParams())
+	clk.RunFor(24 * time.Hour)
+
+	// Partition pools by advisor bucket, run persistent requests on both
+	// groups, compare interruption frequency.
+	var calm, churny []catalog.Pool
+	for _, p := range cat.Pools() {
+		e, err := c.AdvisorEntryFor(p.Type, p.Region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		units, _ := c.LiveAvailableUnits(p.Type, p.AZ)
+		if units < 3 { // only compare fulfillable pools
+			continue
+		}
+		switch {
+		case e.Bucket == BucketLT5 && len(calm) < 50:
+			calm = append(calm, p)
+		case e.Bucket == BucketGT20 && len(churny) < 50:
+			churny = append(churny, p)
+		}
+	}
+	if len(calm) < 15 || len(churny) < 15 {
+		t.Skipf("not enough pools in both groups (%d calm, %d churny)", len(calm), len(churny))
+	}
+	runGroup := func(pools []catalog.Pool) (interrupted int) {
+		var reqs []*SpotRequest
+		for _, p := range pools {
+			od, _ := cat.OnDemandPrice(p.Type, p.Region)
+			r, err := c.Submit(SpotRequestSpec{Type: p.Type, AZ: p.AZ, BidUSD: od, Persistent: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs = append(reqs, r)
+		}
+		clk.RunFor(24 * time.Hour)
+		for _, r := range reqs {
+			if len(r.Interruptions()) > 0 {
+				interrupted++
+			}
+			r.Close()
+		}
+		return interrupted
+	}
+	calmIntr := runGroup(calm)
+	churnyIntr := runGroup(churny)
+	calmRate := float64(calmIntr) / float64(len(calm))
+	churnyRate := float64(churnyIntr) / float64(len(churny))
+	t.Logf("24h interruption rate: calm %.2f (n=%d) vs churny %.2f (n=%d)",
+		calmRate, len(calm), churnyRate, len(churny))
+	if churnyRate <= calmRate {
+		t.Errorf("churny pools (%.2f) should interrupt more than calm pools (%.2f)", churnyRate, calmRate)
+	}
+}
+
+// TestFreshBoostFrontLoadsInterruptions: with the boost, interruptions of
+// fresh instances cluster early; removing it spreads them out.
+func TestFreshBoostFrontLoadsInterruptions(t *testing.T) {
+	medianTimeToIntr := func(boost float64) float64 {
+		cat := catalog.Sample(0.2)
+		clk := simclock.NewAtEpoch()
+		p := DefaultParams()
+		p.FreshBoost = boost
+		c := New(cat, clk, 44, p)
+		clk.RunFor(24 * time.Hour)
+		var times []float64
+		var reqs []*SpotRequest
+		for _, pool := range cat.Pools() {
+			tp, _ := cat.Type(pool.Type)
+			if !tp.Class.Accelerated() {
+				continue
+			}
+			od, _ := cat.OnDemandPrice(pool.Type, pool.Region)
+			r, err := c.Submit(SpotRequestSpec{Type: pool.Type, AZ: pool.AZ, BidUSD: od, Persistent: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs = append(reqs, r)
+			if len(reqs) >= 120 {
+				break
+			}
+		}
+		clk.RunFor(24 * time.Hour)
+		for _, r := range reqs {
+			if len(r.Fulfillments()) > 0 && len(r.Interruptions()) > 0 {
+				d := r.Interruptions()[0].Sub(r.Fulfillments()[0])
+				if d > 0 {
+					times = append(times, d.Seconds())
+				}
+			}
+			r.Close()
+		}
+		if len(times) < 8 {
+			t.Skipf("only %d interruptions observed", len(times))
+		}
+		// Median.
+		for i := 1; i < len(times); i++ {
+			for j := i; j > 0 && times[j] < times[j-1]; j-- {
+				times[j], times[j-1] = times[j-1], times[j]
+			}
+		}
+		return times[len(times)/2]
+	}
+	with := medianTimeToIntr(DefaultParams().FreshBoost)
+	without := medianTimeToIntr(0)
+	t.Logf("median time-to-interrupt: %.0fs with boost, %.0fs without", with, without)
+	if with >= without {
+		t.Errorf("fresh boost should front-load interruptions: %.0fs vs %.0fs", with, without)
+	}
+}

@@ -1,0 +1,97 @@
+package collector
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/cloudsim"
+	"repro/internal/simclock"
+	"repro/internal/tsdb"
+)
+
+func TestExactPackingPlan(t *testing.T) {
+	cat := catalog.Compact(2)
+	cloud := cloudsim.New(cat, simclock.NewAtEpoch(), 9, cloudsim.DefaultParams())
+	db, _ := tsdb.Open("")
+
+	cfgFFD := DefaultConfig()
+	colFFD, err := New(cloud, db, cfgFFD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgExact := DefaultConfig()
+	cfgExact.ExactPacking = true
+	colExact, err := New(cloud, db, cfgExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(colExact.Plan().Queries) > len(colFFD.Plan().Queries) {
+		t.Errorf("exact plan (%d) worse than FFD (%d)",
+			len(colExact.Plan().Queries), len(colFFD.Plan().Queries))
+	}
+}
+
+func TestStoreAllSamples(t *testing.T) {
+	run := func(storeAll bool) int {
+		cat := catalog.Compact(1)
+		cloud := cloudsim.New(cat, simclock.NewAtEpoch(), 10, cloudsim.DefaultParams())
+		db, _ := tsdb.Open("")
+		cfg := DefaultConfig()
+		cfg.StoreAllSamples = storeAll
+		col, err := New(cloud, db, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := col.Run(4 * time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		return db.PointCount()
+	}
+	dedup := run(false)
+	raw := run(true)
+	if raw <= dedup {
+		t.Errorf("raw storage (%d) should exceed deduplicated (%d)", raw, dedup)
+	}
+	// Raw mode stores one point per series per tick: 25 ticks (1 + 24).
+	cat := catalog.Compact(1)
+	series := 0
+	for _, tp := range cat.Types() {
+		series += len(cat.PoolsOfType(tp.Name))      // sps
+		series += len(cat.PoolsOfType(tp.Name))      // price
+		series += len(cat.SupportedRegions(tp.Name)) // if
+		series += len(cat.SupportedRegions(tp.Name)) // savings
+	}
+	want := series * 25
+	if raw != want {
+		t.Errorf("raw points = %d, want %d (series x ticks)", raw, want)
+	}
+}
+
+func TestLowQuotaNeedsMoreAccounts(t *testing.T) {
+	cat := catalog.Compact(2)
+	cloud := cloudsim.New(cat, simclock.NewAtEpoch(), 11, cloudsim.DefaultParams())
+	db, _ := tsdb.Open("")
+	cfgFull := DefaultConfig()
+	colFull, err := New(cloud, db, cfgFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgTight := DefaultConfig()
+	cfgTight.QuotaPerAccount = 10
+	colTight, err := New(cloud, db, cfgTight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if colTight.Accounts() <= colFull.Accounts() {
+		t.Errorf("quota 10 needs %d accounts, quota 50 needs %d; tighter quota should need more",
+			colTight.Accounts(), colFull.Accounts())
+	}
+	// And the tight-quota collector must still run without quota errors.
+	if err := colTight.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if colTight.Stats().QueryErrors != 0 {
+		t.Errorf("%d query errors with tight quota", colTight.Stats().QueryErrors)
+	}
+}

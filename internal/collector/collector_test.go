@@ -1,0 +1,190 @@
+package collector
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/awsapi"
+	"repro/internal/catalog"
+	"repro/internal/cloudsim"
+	"repro/internal/simclock"
+	"repro/internal/tsdb"
+)
+
+func testSetup(t *testing.T, seed uint64) (*Collector, *cloudsim.Cloud, *tsdb.DB, *catalog.Catalog) {
+	t.Helper()
+	cat := catalog.Compact(2)
+	clk := simclock.NewAtEpoch()
+	cloud := cloudsim.New(cat, clk, seed, cloudsim.DefaultParams())
+	db, err := tsdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := New(cloud, db, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col, cloud, db, cat
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	cat := catalog.Compact(2)
+	cloud := cloudsim.New(cat, simclock.NewAtEpoch(), 1, cloudsim.DefaultParams())
+	db, _ := tsdb.Open("")
+	bad := []Config{
+		{ScoreInterval: 0, AdvisorInterval: time.Minute, PriceInterval: time.Minute, TargetCapacity: 1, QuotaPerAccount: 50},
+		{ScoreInterval: time.Minute, AdvisorInterval: time.Minute, PriceInterval: time.Minute, TargetCapacity: 0, QuotaPerAccount: 50},
+		{ScoreInterval: time.Minute, AdvisorInterval: time.Minute, PriceInterval: time.Minute, TargetCapacity: 1, QuotaPerAccount: 0},
+		{ScoreInterval: time.Minute, AdvisorInterval: time.Minute, PriceInterval: time.Minute, TargetCapacity: 1, QuotaPerAccount: 99},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cloud, db, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestAccountProvisioningMatchesPlan(t *testing.T) {
+	col, _, _, _ := testSetup(t, 1)
+	wantAccounts := col.Plan().AccountsNeeded(awsapi.MaxUniqueQueriesPer24h)
+	if col.Accounts() != wantAccounts {
+		t.Errorf("accounts = %d, want %d", col.Accounts(), wantAccounts)
+	}
+	if wantAccounts < 2 {
+		t.Skipf("compact plan fits one account (%d queries)", len(col.Plan().Queries))
+	}
+}
+
+func TestCollectScoresCoversAllPools(t *testing.T) {
+	col, _, db, cat := testSetup(t, 2)
+	if err := col.CollectScoresOnce(); err != nil {
+		t.Fatal(err)
+	}
+	keys := db.Keys(tsdb.KeyFilter{Dataset: tsdb.DatasetPlacementScore})
+	if len(keys) != len(cat.Pools()) {
+		t.Errorf("score series = %d, want one per pool %d", len(keys), len(cat.Pools()))
+	}
+	for _, k := range keys[:10] {
+		p, ok := db.Last(k)
+		if !ok {
+			t.Fatalf("series %v empty", k)
+		}
+		if p.Value < 1 || p.Value > 3 {
+			t.Errorf("score %v out of range for %v", p.Value, k)
+		}
+	}
+}
+
+func TestCollectAdvisorCoversTypeRegions(t *testing.T) {
+	col, _, db, cat := testSetup(t, 3)
+	if err := col.CollectAdvisorOnce(); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, tp := range cat.Types() {
+		want += len(cat.SupportedRegions(tp.Name))
+	}
+	ifKeys := db.Keys(tsdb.KeyFilter{Dataset: tsdb.DatasetInterruptFree})
+	if len(ifKeys) != want {
+		t.Errorf("IF series = %d, want %d", len(ifKeys), want)
+	}
+	savKeys := db.Keys(tsdb.KeyFilter{Dataset: tsdb.DatasetSavings})
+	if len(savKeys) != want {
+		t.Errorf("savings series = %d, want %d", len(savKeys), want)
+	}
+	for _, k := range ifKeys[:5] {
+		if k.AZ != "" {
+			t.Error("advisor series should be region-granular (no AZ)")
+		}
+		p, _ := db.Last(k)
+		if p.Value < 1.0 || p.Value > 3.0 {
+			t.Errorf("IF score %v out of range", p.Value)
+		}
+	}
+}
+
+func TestCollectPricesCoversPools(t *testing.T) {
+	col, _, db, cat := testSetup(t, 4)
+	if err := col.CollectPricesOnce(); err != nil {
+		t.Fatal(err)
+	}
+	keys := db.Keys(tsdb.KeyFilter{Dataset: tsdb.DatasetPrice})
+	if len(keys) != len(cat.Pools()) {
+		t.Errorf("price series = %d, want %d", len(keys), len(cat.Pools()))
+	}
+	for _, k := range keys[:10] {
+		p, _ := db.Last(k)
+		od, _ := cat.OnDemandPrice(k.Type, k.Region)
+		if p.Value <= 0 || p.Value >= od {
+			t.Errorf("price %v outside (0, od) for %v", p.Value, k)
+		}
+	}
+}
+
+func TestPeriodicCollectionDedupes(t *testing.T) {
+	col, cloud, db, _ := testSetup(t, 5)
+	if err := col.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cloud.Clock().RunFor(6 * time.Hour)
+	col.Stop()
+	st := col.Stats()
+	if st.ScoreTicks != 37 { // 1 immediate + 36 periodic
+		t.Errorf("score ticks = %d, want 37", st.ScoreTicks)
+	}
+	// Dedup: stored points must be far fewer than samples taken.
+	samples := st.ScoreTicks * len(db.Keys(tsdb.KeyFilter{Dataset: tsdb.DatasetPlacementScore}))
+	if st.PointsStored >= samples/2 {
+		t.Errorf("stored %d of %d samples; dedup ineffective", st.PointsStored, samples)
+	}
+	// After Stop, no more collection happens.
+	before := col.Stats().ScoreTicks
+	cloud.Clock().RunFor(time.Hour)
+	if col.Stats().ScoreTicks != before {
+		t.Error("collection continued after Stop")
+	}
+}
+
+func TestQuotaNeverExceededOverLongRun(t *testing.T) {
+	col, cloud, _, _ := testSetup(t, 6)
+	if err := col.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cloud.Clock().RunFor(30 * time.Hour) // crosses the 24h quota window
+	col.Stop()
+	if e := col.Stats().QueryErrors; e != 0 {
+		t.Errorf("%d query errors over 30h; plan must respect per-account quotas", e)
+	}
+}
+
+func TestScoresChangeOverTime(t *testing.T) {
+	col, cloud, db, _ := testSetup(t, 7)
+	if err := col.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cloud.Clock().RunFor(5 * 24 * time.Hour)
+	col.Stop()
+	changed := 0
+	for _, k := range db.Keys(tsdb.KeyFilter{Dataset: tsdb.DatasetPlacementScore}) {
+		if len(db.ChangeIntervals(k)) > 0 {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("no placement score changed over 5 days; dynamics dead")
+	}
+}
+
+func TestRunConvenience(t *testing.T) {
+	col, cloud, db, _ := testSetup(t, 8)
+	start := cloud.Clock().Now()
+	if err := col.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got := cloud.Clock().Now().Sub(start); got != 2*time.Hour {
+		t.Errorf("Run advanced %v, want 2h", got)
+	}
+	if db.PointCount() == 0 {
+		t.Error("Run stored nothing")
+	}
+}

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/simrand"
+)
+
+// newSampler isolates the experiment's sampling stream from the cloud's.
+func newSampler(seed uint64) *simrand.Rand {
+	return simrand.New(seed).Stream("experiment-sampling")
+}
+
+// sizeRankOf orders candidate types by instance size for the paper's
+// smaller-is-cheaper selection preference.
+func sizeRankOf(cat *catalog.Catalog, typeName string) int {
+	t, ok := cat.Type(typeName)
+	if !ok {
+		return 1 << 20
+	}
+	return catalog.SizeRank(t.Size)
+}
+
+// The three current-value heuristics of Table 4. Each predicts the case
+// outcome from a single live signal, with the thresholds the paper
+// describes: the placement-score mapping is given explicitly (3.0 ->
+// NoInterrupt, 2.0 -> Interrupted, 1.0 -> NoFulfill); the interruption-free
+// and cost-savings thresholds are "set empirically", reproduced here as the
+// analogous monotone cuts.
+
+// PredictBySPS predicts from the current spot placement score.
+func PredictBySPS(sps float64) Outcome {
+	switch {
+	case sps >= 3:
+		return OutcomeNoInterrupt
+	case sps >= 2:
+		return OutcomeInterrupted
+	default:
+		return OutcomeNoFulfill
+	}
+}
+
+// PredictByIF predicts from the current interruption-free score.
+func PredictByIF(ifScore float64) Outcome {
+	switch {
+	case ifScore >= 3:
+		return OutcomeNoInterrupt
+	case ifScore > 1:
+		return OutcomeInterrupted
+	default:
+		return OutcomeNoFulfill
+	}
+}
+
+// PredictByCostSave predicts from the current savings percentage: deeper
+// discounts suggest a glut (stable), shallow discounts suggest pressure.
+func PredictByCostSave(savingsPct float64) Outcome {
+	switch {
+	case savingsPct >= 66:
+		return OutcomeNoInterrupt
+	case savingsPct >= 56:
+		return OutcomeInterrupted
+	default:
+		return OutcomeNoFulfill
+	}
+}

@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func mkCase(family, size, region, az string) Case {
+	return Case{Pool: catalog.Pool{Type: family + "." + size, Region: region, AZ: az}}
+}
+
+func TestDiversifySpreadsFamilies(t *testing.T) {
+	// 12 candidates: 10 from one (family, region), 2 from others.
+	var pool []Case
+	for i := 0; i < 10; i++ {
+		pool = append(pool, mkCase("m5", "xlarge", "us-east-1", fmt.Sprintf("us-east-1%c", 'a'+i%4)))
+	}
+	pool = append(pool, mkCase("c5", "xlarge", "us-east-1", "us-east-1a"))
+	pool = append(pool, mkCase("m5", "xlarge", "eu-west-1", "eu-west-1a"))
+
+	picked := diversify(pool, 3)
+	if len(picked) != 3 {
+		t.Fatalf("picked %d, want 3", len(picked))
+	}
+	seen := map[string]int{}
+	for _, c := range picked {
+		fam, _, _ := catalog.ParseTypeName(c.Pool.Type)
+		seen[fam+"/"+c.Pool.Region]++
+	}
+	// With 3 distinct (family, region) groups available, the first pass
+	// must pick one from each.
+	if len(seen) != 3 {
+		t.Errorf("picked from %d groups, want 3: %v", len(seen), seen)
+	}
+}
+
+func TestDiversifyWidensWhenNeeded(t *testing.T) {
+	// Only one (family, region) group exists: all picks must come from it.
+	var pool []Case
+	for i := 0; i < 6; i++ {
+		pool = append(pool, mkCase("m5", "xlarge", "us-east-1", fmt.Sprintf("us-east-1%c", 'a'+i)))
+	}
+	picked := diversify(pool, 4)
+	if len(picked) != 4 {
+		t.Fatalf("picked %d, want 4 (widening passes)", len(picked))
+	}
+}
+
+func TestDiversifyLimitAtLeastPool(t *testing.T) {
+	pool := []Case{mkCase("m5", "xlarge", "us-east-1", "us-east-1a")}
+	picked := diversify(pool, 5)
+	if len(picked) != 1 {
+		t.Fatalf("picked %d from pool of 1", len(picked))
+	}
+}
+
+func TestDiversifyPreservesOrderWithinGroups(t *testing.T) {
+	// The first candidate of each group must be the earliest in the input
+	// order (the caller's shuffle + size-preference ordering is meaningful).
+	pool := []Case{
+		mkCase("m5", "large", "us-east-1", "us-east-1a"),
+		mkCase("m5", "xlarge", "us-east-1", "us-east-1b"),
+		mkCase("c5", "large", "us-east-1", "us-east-1a"),
+	}
+	picked := diversify(pool, 2)
+	if picked[0].Pool.Type != "m5.large" {
+		t.Errorf("first pick = %s, want m5.large (input order)", picked[0].Pool.Type)
+	}
+	if picked[1].Pool.Type != "c5.large" {
+		t.Errorf("second pick = %s, want c5.large (other group first)", picked[1].Pool.Type)
+	}
+}

@@ -1,0 +1,215 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/catalog"
+	"repro/internal/cloudsim"
+	"repro/internal/simclock"
+)
+
+// runSmall executes a reduced experiment (few cases, short horizon) for
+// unit-level checks.
+func runSmall(t *testing.T, seed uint64, horizon time.Duration, maxPerCat int) *Result {
+	t.Helper()
+	cat := catalog.Sample(0.12)
+	clk := simclock.NewAtEpoch()
+	cloud := cloudsim.New(cat, clk, seed, cloudsim.DefaultParams())
+	// Let the world decorrelate from its initial conditions.
+	clk.RunFor(48 * time.Hour)
+	cfg := DefaultConfig()
+	cfg.Horizon = horizon
+	cfg.MaxPerCategory = maxPerCat
+	cfg.Seed = seed
+	res, err := Run(cloud, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCategoryString(t *testing.T) {
+	want := map[Category]string{CatHH: "H-H", CatHL: "H-L", CatMM: "M-M", CatLH: "L-H", CatLL: "L-L"}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), s)
+		}
+	}
+	if OutcomeNoFulfill.String() != "NoFulfill" || OutcomeInterrupted.String() != "Interrupted" || OutcomeNoInterrupt.String() != "NoInterrupt" {
+		t.Error("outcome names wrong")
+	}
+}
+
+func TestCategorize(t *testing.T) {
+	cases := []struct {
+		sps, ifs float64
+		want     Category
+		ok       bool
+	}{
+		{3, 3, CatHH, true},
+		{3, 1, CatHL, true},
+		{2, 2, CatMM, true},
+		{1, 3, CatLH, true},
+		{1, 1, CatLL, true},
+		{3, 2, 0, false},
+		{2, 3, 0, false},
+		{1, 2.5, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := categorize(c.sps, c.ifs)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("categorize(%v, %v) = %v, %v", c.sps, c.ifs, got, ok)
+		}
+	}
+}
+
+func TestStratifiedSampling(t *testing.T) {
+	res := runSmall(t, 31, 2*time.Hour, 8)
+	counts := map[Category]int{}
+	for _, c := range res.Cases {
+		counts[c.Category]++
+	}
+	// All five categories present and equal-sized (stratified
+	// under-sampling at the rarest combination).
+	first := -1
+	for _, cc := range Categories {
+		n := counts[cc]
+		if n == 0 {
+			t.Fatalf("category %s has no cases", cc)
+		}
+		if first == -1 {
+			first = n
+		}
+		if n != first {
+			t.Errorf("category %s has %d cases, others %d; sampling not stratified", cc, n, first)
+		}
+		if n > 8 {
+			t.Errorf("category %s exceeds MaxPerCategory: %d", cc, n)
+		}
+	}
+}
+
+func TestOutcomesConsistent(t *testing.T) {
+	res := runSmall(t, 32, 3*time.Hour, 10)
+	for _, c := range res.Cases {
+		switch c.Outcome {
+		case OutcomeNoFulfill:
+			if c.Fulfilled || c.Interrupted {
+				t.Errorf("NoFulfill case has fulfilled=%v interrupted=%v", c.Fulfilled, c.Interrupted)
+			}
+		case OutcomeInterrupted:
+			if !c.Fulfilled || !c.Interrupted {
+				t.Errorf("Interrupted case has fulfilled=%v interrupted=%v", c.Fulfilled, c.Interrupted)
+			}
+			if c.TimeToIntr <= 0 {
+				t.Error("Interrupted case without positive time-to-interrupt")
+			}
+		case OutcomeNoInterrupt:
+			if !c.Fulfilled || c.Interrupted {
+				t.Errorf("NoInterrupt case has fulfilled=%v interrupted=%v", c.Fulfilled, c.Interrupted)
+			}
+		}
+		if c.Fulfilled && c.FulfillLatency < 0 {
+			t.Error("negative fulfillment latency")
+		}
+		if c.Fulfilled && c.FulfillLatency > 3*time.Hour {
+			t.Error("fulfillment after horizon recorded")
+		}
+	}
+}
+
+func TestCategoryStatsMatchCases(t *testing.T) {
+	res := runSmall(t, 33, 2*time.Hour, 6)
+	for _, cc := range Categories {
+		st := res.ByCategory[cc]
+		var total, notFul, intr int
+		for _, c := range res.Cases {
+			if c.Category != cc {
+				continue
+			}
+			total++
+			if !c.Fulfilled {
+				notFul++
+			}
+			if c.Interrupted {
+				intr++
+			}
+		}
+		if st.Total != total || st.NotFulfilled != notFul || st.Interrupted != intr {
+			t.Errorf("category %s stats %+v, recomputed %d/%d/%d", cc, st, total, notFul, intr)
+		}
+		if len(st.FulfillLatenciesSec) != total-notFul {
+			t.Errorf("category %s latency count %d, want %d", cc, len(st.FulfillLatenciesSec), total-notFul)
+		}
+		if len(st.TimeToInterruptSec) != intr {
+			t.Errorf("category %s interrupt-time count %d, want %d", cc, len(st.TimeToInterruptSec), intr)
+		}
+	}
+}
+
+func TestHighSPSFulfillsFast(t *testing.T) {
+	res := runSmall(t, 34, 4*time.Hour, 25)
+	hh := res.ByCategory[CatHH]
+	if hh.NotFulfilled != 0 {
+		t.Errorf("H-H not-fulfilled = %d, paper observes 0%%", hh.NotFulfilled)
+	}
+	lh := res.ByCategory[CatLH]
+	ll := res.ByCategory[CatLL]
+	if lh.NotFulfilled+ll.NotFulfilled == 0 {
+		t.Error("low-SPS categories all fulfilled within 4h; scarcity not binding")
+	}
+	if len(hh.FulfillLatenciesSec) > 0 && len(ll.FulfillLatenciesSec) > 0 {
+		hhMed := analysis.Median(hh.FulfillLatenciesSec)
+		llMed := analysis.Median(ll.FulfillLatenciesSec)
+		if hhMed >= llMed {
+			t.Errorf("H-H median fill %.0fs not faster than L-L %.0fs", hhMed, llMed)
+		}
+	}
+}
+
+func TestFeaturesRequireArchive(t *testing.T) {
+	res := runSmall(t, 35, time.Hour, 3)
+	for _, c := range res.Cases {
+		if c.Features != nil {
+			t.Fatal("features present without an archive")
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cat := catalog.Compact(1)
+	cloud := cloudsim.New(cat, simclock.NewAtEpoch(), 1, cloudsim.DefaultParams())
+	cfg := DefaultConfig()
+	cfg.Horizon = 0
+	if _, err := Run(cloud, cfg); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestBaselinePredictors(t *testing.T) {
+	if PredictBySPS(3) != OutcomeNoInterrupt || PredictBySPS(2) != OutcomeInterrupted || PredictBySPS(1) != OutcomeNoFulfill {
+		t.Error("SPS heuristic mapping wrong (paper Section 5.5)")
+	}
+	if PredictByIF(3) != OutcomeNoInterrupt || PredictByIF(2) != OutcomeInterrupted || PredictByIF(1) != OutcomeNoFulfill {
+		t.Error("IF heuristic mapping wrong")
+	}
+	// Cost-save cuts are monotone.
+	if PredictByCostSave(80) != OutcomeNoInterrupt || PredictByCostSave(60) != OutcomeInterrupted || PredictByCostSave(40) != OutcomeNoFulfill {
+		t.Error("cost-save heuristic mapping wrong")
+	}
+}
+
+func TestDeterministicExperiment(t *testing.T) {
+	a := runSmall(t, 36, time.Hour, 4)
+	b := runSmall(t, 36, time.Hour, 4)
+	if len(a.Cases) != len(b.Cases) {
+		t.Fatalf("case counts differ: %d vs %d", len(a.Cases), len(b.Cases))
+	}
+	for i := range a.Cases {
+		if a.Cases[i].Pool != b.Cases[i].Pool || a.Cases[i].Outcome != b.Cases[i].Outcome {
+			t.Fatalf("case %d differs between same-seed runs", i)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package gcpsim simulates Google Cloud's Spot VM data surface for the
+// paper's Section 7 multi-vendor extension.
+//
+// Google Cloud publishes only the *current* spot price, and only on its
+// web portal — no history, no availability signal, no interruption
+// statistics (the paper cites Kadupitige et al. [25], who had to build a
+// statistical preemption model precisely because GCP exposes nothing).
+// Spot prices on GCP are also far stickier than AWS's: they change at most
+// once a month. The simulator reproduces that minimal surface.
+package gcpsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/simclock"
+	"repro/internal/simrand"
+)
+
+// Vendor is the vendor tag used in multi-vendor archives.
+const Vendor = "gcp"
+
+// MachineType is one GCP machine type.
+type MachineType struct {
+	Name      string
+	Family    string // e.g. "n2"
+	VCPU      int
+	MemoryGiB float64
+	// OnDemandUSD is the hourly on-demand price in the baseline region.
+	OnDemandUSD float64
+	// GPU marks accelerator-attached types.
+	GPU bool
+}
+
+var regions = []string{
+	"us-central1", "us-east1", "us-west1", "europe-west1", "europe-west4",
+	"asia-east1", "asia-northeast1", "australia-southeast1",
+}
+
+func machineCatalog() []MachineType {
+	mk := func(family string, vcpus []int, perVCPUMem, perVCPUPrice float64, gpu bool) []MachineType {
+		var out []MachineType
+		for _, v := range vcpus {
+			out = append(out, MachineType{
+				Name:        fmt.Sprintf("%s-standard-%d", family, v),
+				Family:      family,
+				VCPU:        v,
+				MemoryGiB:   float64(v) * perVCPUMem,
+				OnDemandUSD: float64(v) * perVCPUPrice,
+				GPU:         gpu,
+			})
+		}
+		return out
+	}
+	var all []MachineType
+	all = append(all, mk("e2", []int{2, 4, 8, 16, 32}, 4, 0.0335, false)...)
+	all = append(all, mk("n2", []int{2, 4, 8, 16, 32, 48, 64, 80}, 4, 0.0485, false)...)
+	all = append(all, mk("n2d", []int{2, 4, 8, 16, 32, 48, 64, 96}, 4, 0.0422, false)...)
+	all = append(all, mk("c2", []int{4, 8, 16, 30, 60}, 4, 0.0522, false)...)
+	all = append(all, mk("m1", []int{40, 80, 96}, 14.9, 0.0626, false)...)
+	all = append(all, mk("a2-highgpu", []int{12, 24, 48, 96}, 7.08, 0.31, true)...)
+	all = append(all, mk("g2", []int{4, 8, 12, 16, 24, 32, 48}, 4, 0.073, true)...)
+	return all
+}
+
+type poolState struct {
+	rng         *simrand.Rand
+	priceLatent float64
+	priceLast   time.Time
+	pubFrac     float64
+	nextReprice time.Time
+	init        bool
+}
+
+// Cloud is the simulated GCP spot surface.
+type Cloud struct {
+	clk   *simclock.Clock
+	root  *simrand.Rand
+	types []MachineType
+	byN   map[string]*MachineType
+	pools map[[2]string]*poolState
+}
+
+// New builds the simulated GCP from a seed.
+func New(clk *simclock.Clock, seed uint64) *Cloud {
+	c := &Cloud{
+		clk:   clk,
+		root:  simrand.New(seed).Stream("gcp"),
+		types: machineCatalog(),
+		byN:   make(map[string]*MachineType),
+		pools: make(map[[2]string]*poolState),
+	}
+	for i := range c.types {
+		c.byN[c.types[i].Name] = &c.types[i]
+	}
+	return c
+}
+
+// MachineTypes returns the machine type catalog.
+func (c *Cloud) MachineTypes() []MachineType { return c.types }
+
+// Regions returns the region list.
+func (c *Cloud) Regions() []string { return append([]string(nil), regions...) }
+
+// MachineType returns a machine type by name.
+func (c *Cloud) MachineType(name string) (MachineType, bool) {
+	t, ok := c.byN[name]
+	if !ok {
+		return MachineType{}, false
+	}
+	return *t, true
+}
+
+const (
+	// Spot prices reprice at most monthly, with a per-pool phase.
+	repriceInterval = 30 * 24 * time.Hour
+	priceTheta      = 1.0 / (45 * 24)
+	priceBase       = 0.09 // GCP spot discounts reach 91%
+	priceSpan       = 0.31
+)
+
+func (c *Cloud) pool(name, region string) (*poolState, error) {
+	_, ok := c.byN[name]
+	if !ok {
+		return nil, fmt.Errorf("gcpsim: unknown machine type %q", name)
+	}
+	valid := false
+	for _, r := range regions {
+		if r == region {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return nil, fmt.Errorf("gcpsim: unknown region %q", region)
+	}
+	k := [2]string{name, region}
+	p, ok := c.pools[k]
+	now := c.clk.Now()
+	if !ok {
+		rng := c.root.Stream("pool/" + name + "/" + region)
+		p = &poolState{rng: rng}
+		p.priceLatent = rng.NormFloat64()
+		p.priceLast = now
+		p.pubFrac = priceBase + priceSpan*logistic(p.priceLatent)
+		p.init = true
+		p.nextReprice = now.Add(time.Duration(rng.Float64() * float64(repriceInterval)))
+		c.pools[k] = p
+	}
+	c.advance(p, now)
+	return p, nil
+}
+
+func (c *Cloud) advance(p *poolState, now time.Time) {
+	if now.After(p.priceLast) {
+		dtH := now.Sub(p.priceLast).Hours()
+		sigmaDiff := 1.0 * math.Sqrt(2*priceTheta)
+		p.priceLatent = p.rng.OUStep(p.priceLatent, 0, priceTheta, sigmaDiff, dtH)
+		p.priceLast = now
+	}
+	// Monthly repricing: the published fraction only moves on schedule.
+	for !p.nextReprice.After(now) {
+		p.pubFrac = priceBase + priceSpan*logistic(p.priceLatent)
+		p.nextReprice = p.nextReprice.Add(repriceInterval)
+	}
+}
+
+func logistic(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func regionPriceMult(region string) float64 {
+	switch region {
+	case "us-central1", "us-east1", "us-west1":
+		return 1.0
+	case "europe-west1", "europe-west4":
+		return 1.08
+	default:
+		return 1.16
+	}
+}
+
+// PortalPrice is one row of the pricing page.
+type PortalPrice struct {
+	Type     string
+	Region   string
+	SpotUSD  float64
+	OnDemand float64
+}
+
+// PortalSnapshot scrapes the pricing page — the only access GCP offers
+// (current values, whole page, no history).
+func (c *Cloud) PortalSnapshot() ([]PortalPrice, error) {
+	var out []PortalPrice
+	for i := range c.types {
+		t := &c.types[i]
+		for _, region := range regions {
+			p, err := c.pool(t.Name, region)
+			if err != nil {
+				return nil, err
+			}
+			od := t.OnDemandUSD * regionPriceMult(region)
+			out = append(out, PortalPrice{
+				Type: t.Name, Region: region,
+				SpotUSD: od * p.pubFrac, OnDemand: od,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].Region < out[j].Region
+	})
+	return out, nil
+}

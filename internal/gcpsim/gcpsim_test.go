@@ -1,0 +1,112 @@
+package gcpsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func TestCatalogShape(t *testing.T) {
+	c := New(simclock.NewAtEpoch(), 1)
+	if len(c.MachineTypes()) < 30 {
+		t.Errorf("only %d machine types", len(c.MachineTypes()))
+	}
+	if len(c.Regions()) != 8 {
+		t.Errorf("regions = %d, want 8", len(c.Regions()))
+	}
+	gpu := 0
+	for _, m := range c.MachineTypes() {
+		if m.VCPU <= 0 || m.MemoryGiB <= 0 || m.OnDemandUSD <= 0 {
+			t.Errorf("type %s has non-positive specs", m.Name)
+		}
+		if m.GPU {
+			gpu++
+		}
+	}
+	if gpu == 0 {
+		t.Error("no GPU machine types")
+	}
+	if _, ok := c.MachineType("n2-standard-8"); !ok {
+		t.Error("n2-standard-8 missing")
+	}
+	if _, ok := c.MachineType("z9-mega-1"); ok {
+		t.Error("bogus type found")
+	}
+}
+
+func TestPortalPricesBelowOnDemand(t *testing.T) {
+	clk := simclock.NewAtEpoch()
+	c := New(clk, 2)
+	clk.RunFor(24 * time.Hour)
+	entries, err := c.PortalSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(c.MachineTypes()) * len(c.Regions())
+	if len(entries) != want {
+		t.Fatalf("snapshot %d entries, want %d", len(entries), want)
+	}
+	for _, e := range entries {
+		if e.SpotUSD <= 0 || e.SpotUSD >= e.OnDemand {
+			t.Fatalf("spot %v not in (0, od=%v) for %s/%s", e.SpotUSD, e.OnDemand, e.Type, e.Region)
+		}
+		// GCP spot discounts are deep: 60-91%.
+		if disc := 1 - e.SpotUSD/e.OnDemand; disc < 0.5 || disc > 0.95 {
+			t.Fatalf("discount %.2f outside GCP's band for %s/%s", disc, e.Type, e.Region)
+		}
+	}
+}
+
+func TestPricesChangeAtMostMonthly(t *testing.T) {
+	clk := simclock.NewAtEpoch()
+	c := New(clk, 3)
+	name, region := "n2-standard-8", "us-central1"
+	var prices []float64
+	for d := 0; d < 90; d++ {
+		clk.RunFor(24 * time.Hour)
+		p, err := c.pool(name, region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prices = append(prices, p.pubFrac)
+	}
+	changes := 0
+	for i := 1; i < len(prices); i++ {
+		if prices[i] != prices[i-1] {
+			changes++
+		}
+	}
+	if changes > 4 {
+		t.Errorf("price changed %d times in 90 days; GCP reprices at most monthly", changes)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := New(simclock.NewAtEpoch(), 4)
+	if _, err := c.pool("bogus-type", "us-central1"); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := c.pool("n2-standard-8", "mars-central1"); err == nil {
+		t.Error("unknown region accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []PortalPrice {
+		clk := simclock.NewAtEpoch()
+		c := New(clk, 55)
+		clk.RunFor(40 * 24 * time.Hour)
+		out, err := c.PortalSnapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed gcp runs diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package mlearn
+
+import (
+	"testing"
+
+	"repro/internal/simrand"
+)
+
+func benchData(n int) ([][]float64, []int) {
+	rng := simrand.New(4242)
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		c := rng.Intn(3)
+		y[i] = c
+		X[i] = []float64{
+			rng.Normal(float64(c), 1),
+			rng.Normal(float64(c)*2, 1.5),
+			rng.Normal(0, 1),
+			rng.Normal(float64(c%2), 0.8),
+		}
+	}
+	return X, y
+}
+
+func BenchmarkTrainTree(b *testing.B) {
+	X, y := benchData(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainTree(X, y, 3, TreeConfig{}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainForest100(b *testing.B) {
+	X, y := benchData(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainForest(X, y, 3, ForestConfig{NumTrees: 100, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	X, y := benchData(500)
+	f, err := TrainForest(X, y, 3, ForestConfig{NumTrees: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Predict(X[i%len(X)])
+	}
+}

@@ -1,0 +1,195 @@
+package mlearn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/simrand"
+)
+
+// ForestConfig controls random-forest training. The zero value plus
+// defaults mirrors scikit-learn's RandomForestClassifier defaults, which is
+// what the paper uses ("default parameters without tuning").
+type ForestConfig struct {
+	// NumTrees is the ensemble size (scikit default 100).
+	NumTrees int
+	// Tree holds the per-tree settings; Tree.MaxFeatures <= 0 selects
+	// sqrt(d), the scikit default for classification.
+	Tree TreeConfig
+	// Seed drives bootstrap sampling and feature subsampling.
+	Seed uint64
+}
+
+// Forest is a trained bagging ensemble of CART trees.
+type Forest struct {
+	trees    []*Tree
+	nClasses int
+}
+
+// TrainForest fits a random forest on X and labels y in [0, nClasses).
+func TrainForest(X [][]float64, y []int, nClasses int, cfg ForestConfig) (*Forest, error) {
+	if cfg.NumTrees <= 0 {
+		cfg.NumTrees = 100
+	}
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("mlearn: bad training set: %d rows, %d labels", len(X), len(y))
+	}
+	d := len(X[0])
+	if cfg.Tree.MaxFeatures <= 0 {
+		cfg.Tree.MaxFeatures = int(math.Max(1, math.Round(math.Sqrt(float64(d)))))
+	}
+	root := simrand.New(cfg.Seed)
+	f := &Forest{nClasses: nClasses}
+	n := len(X)
+	for t := 0; t < cfg.NumTrees; t++ {
+		rng := root.StreamN("tree", t)
+		// Bootstrap sample with replacement.
+		bx := make([][]float64, n)
+		by := make([]int, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		tree, err := TrainTree(bx, by, nClasses, cfg.Tree, rng)
+		if err != nil {
+			return nil, fmt.Errorf("mlearn: training tree %d: %w", t, err)
+		}
+		f.trees = append(f.trees, tree)
+	}
+	return f, nil
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// Proba returns the ensemble-average class distribution for one sample.
+func (f *Forest) Proba(x []float64) []float64 {
+	out := make([]float64, f.nClasses)
+	for _, t := range f.trees {
+		p := t.Proba(x)
+		for i := range out {
+			out[i] += p[i]
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(f.trees))
+	}
+	return out
+}
+
+// Predict returns the majority-probability class for one sample.
+func (f *Forest) Predict(x []float64) int {
+	p := f.Proba(x)
+	best, bestV := 0, -1.0
+	for i, v := range p {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// PredictAll classifies every row.
+func (f *Forest) PredictAll(X [][]float64) []int {
+	out := make([]int, len(X))
+	for i, x := range X {
+		out[i] = f.Predict(x)
+	}
+	return out
+}
+
+// --- Metrics and splitting --------------------------------------------------
+
+// Accuracy returns the fraction of matching labels.
+func Accuracy(yTrue, yPred []int) float64 {
+	if len(yTrue) == 0 || len(yTrue) != len(yPred) {
+		return math.NaN()
+	}
+	hits := 0
+	for i := range yTrue {
+		if yTrue[i] == yPred[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(yTrue))
+}
+
+// ConfusionMatrix returns m[trueClass][predClass] counts.
+func ConfusionMatrix(yTrue, yPred []int, nClasses int) [][]int {
+	m := make([][]int, nClasses)
+	for i := range m {
+		m[i] = make([]int, nClasses)
+	}
+	for i := range yTrue {
+		if yTrue[i] >= 0 && yTrue[i] < nClasses && yPred[i] >= 0 && yPred[i] < nClasses {
+			m[yTrue[i]][yPred[i]]++
+		}
+	}
+	return m
+}
+
+// MacroF1 returns the unweighted mean of per-class F1 scores (the paper's
+// F1 metric for the 3-class problem). Classes absent from both truth and
+// prediction are skipped.
+func MacroF1(yTrue, yPred []int, nClasses int) float64 {
+	if len(yTrue) == 0 || len(yTrue) != len(yPred) {
+		return math.NaN()
+	}
+	m := ConfusionMatrix(yTrue, yPred, nClasses)
+	total, classes := 0.0, 0
+	for c := 0; c < nClasses; c++ {
+		tp := m[c][c]
+		fp, fn := 0, 0
+		for o := 0; o < nClasses; o++ {
+			if o == c {
+				continue
+			}
+			fp += m[o][c]
+			fn += m[c][o]
+		}
+		if tp+fp+fn == 0 {
+			continue // class absent everywhere
+		}
+		classes++
+		if tp == 0 {
+			continue // F1 = 0 contributes nothing
+		}
+		precision := float64(tp) / float64(tp+fp)
+		recall := float64(tp) / float64(tp+fn)
+		total += 2 * precision * recall / (precision + recall)
+	}
+	if classes == 0 {
+		return math.NaN()
+	}
+	return total / float64(classes)
+}
+
+// TrainTestSplit returns shuffled train/test index sets with the given test
+// fraction (at least one sample each when possible).
+func TrainTestSplit(n int, testFrac float64, seed uint64) (train, test []int) {
+	if n <= 0 {
+		return nil, nil
+	}
+	rng := simrand.New(seed)
+	perm := rng.Perm(n)
+	nTest := int(float64(n) * testFrac)
+	if nTest < 1 && n > 1 {
+		nTest = 1
+	}
+	if nTest >= n {
+		nTest = n - 1
+	}
+	return perm[nTest:], perm[:nTest]
+}
+
+// Subset gathers rows/labels by index.
+func Subset(X [][]float64, y []int, idx []int) ([][]float64, []int) {
+	sx := make([][]float64, len(idx))
+	sy := make([]int, len(idx))
+	for i, j := range idx {
+		sx[i] = X[j]
+		sy[i] = y[j]
+	}
+	return sx, sy
+}

@@ -1,0 +1,288 @@
+package mlearn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simrand"
+)
+
+// xorDataset builds a noiseless XOR-style dataset that a linear model
+// cannot fit but a depth-2 tree can.
+func xorDataset(n int, rng *simrand.Rand) ([][]float64, []int) {
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		a, b := rng.Float64(), rng.Float64()
+		X[i] = []float64{a, b}
+		if (a > 0.5) != (b > 0.5) {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+// gaussDataset builds a 3-class dataset with informative and noise
+// features.
+func gaussDataset(n int, rng *simrand.Rand) ([][]float64, []int) {
+	X := make([][]float64, n)
+	y := make([]int, n)
+	centers := [][]float64{{0, 0}, {3, 0}, {0, 3}}
+	for i := range X {
+		c := rng.Intn(3)
+		y[i] = c
+		X[i] = []float64{
+			rng.Normal(centers[c][0], 0.7),
+			rng.Normal(centers[c][1], 0.7),
+			rng.Normal(0, 1), // pure noise feature
+		}
+	}
+	return X, y
+}
+
+func TestTreeFitsXOR(t *testing.T) {
+	rng := simrand.New(1)
+	X, y := xorDataset(400, rng)
+	tree, err := TrainTree(X, y, 2, TreeConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := make([]int, len(y))
+	for i, x := range X {
+		pred[i] = tree.Predict(x)
+	}
+	if acc := Accuracy(y, pred); acc < 0.99 {
+		t.Errorf("tree training accuracy on XOR = %.3f, want ~1", acc)
+	}
+	if tree.Depth() < 2 {
+		t.Errorf("XOR needs depth >= 2, got %d", tree.Depth())
+	}
+}
+
+func TestTreeMaxDepth(t *testing.T) {
+	rng := simrand.New(2)
+	X, y := xorDataset(300, rng)
+	tree, err := TrainTree(X, y, 2, TreeConfig{MaxDepth: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tree.Depth(); d > 1 {
+		t.Errorf("depth %d exceeds MaxDepth 1", d)
+	}
+}
+
+func TestTreeMinSamplesLeaf(t *testing.T) {
+	rng := simrand.New(3)
+	X, y := gaussDataset(200, rng)
+	tree, err := TrainTree(X, y, 3, TreeConfig{MinSamplesLeaf: 40}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every leaf must hold >= 40 training samples.
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf {
+			total := 0
+			for _, c := range n.counts {
+				total += c
+			}
+			if total < 40 {
+				t.Errorf("leaf with %d < 40 samples", total)
+			}
+			return
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(tree.root)
+}
+
+func TestTreeValidation(t *testing.T) {
+	if _, err := TrainTree(nil, nil, 2, TreeConfig{}, nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := TrainTree([][]float64{{1}}, []int{0}, 1, TreeConfig{}, nil); err == nil {
+		t.Error("single class accepted")
+	}
+	if _, err := TrainTree([][]float64{{1}, {2}}, []int{0, 5}, 2, TreeConfig{}, nil); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	if _, err := TrainTree([][]float64{{1}, {2, 3}}, []int{0, 1}, 2, TreeConfig{}, nil); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestTreeProbaSumsToOne(t *testing.T) {
+	rng := simrand.New(4)
+	X, y := gaussDataset(300, rng)
+	tree, err := TrainTree(X, y, 3, TreeConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		p := tree.Proba(X[i])
+		sum := 0.0
+		for _, v := range p {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("proba sums to %v", sum)
+		}
+	}
+}
+
+func TestForestGeneralizes(t *testing.T) {
+	rng := simrand.New(5)
+	X, y := gaussDataset(600, rng)
+	trainIdx, testIdx := TrainTestSplit(len(X), 0.3, 7)
+	trX, trY := Subset(X, y, trainIdx)
+	teX, teY := Subset(X, y, testIdx)
+	f, err := TrainForest(trX, trY, 3, ForestConfig{NumTrees: 60, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy(teY, f.PredictAll(teX))
+	if acc < 0.9 {
+		t.Errorf("forest test accuracy = %.3f, want >= 0.9 on separable data", acc)
+	}
+}
+
+func TestForestBeatsSingleShallowTree(t *testing.T) {
+	// On noisy data, the ensemble should do at least as well as one
+	// feature-restricted tree.
+	rng := simrand.New(6)
+	X, y := gaussDataset(500, rng)
+	// Inject label noise.
+	for i := 0; i < len(y); i += 10 {
+		y[i] = (y[i] + 1) % 3
+	}
+	trainIdx, testIdx := TrainTestSplit(len(X), 0.3, 8)
+	trX, trY := Subset(X, y, trainIdx)
+	teX, teY := Subset(X, y, testIdx)
+
+	single, err := TrainTree(trX, trY, 3, TreeConfig{MaxFeatures: 1}, simrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	singlePred := make([]int, len(teX))
+	for i, x := range teX {
+		singlePred[i] = single.Predict(x)
+	}
+	forest, err := TrainForest(trX, trY, 3, ForestConfig{NumTrees: 80, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fAcc := Accuracy(teY, forest.PredictAll(teX))
+	sAcc := Accuracy(teY, singlePred)
+	if fAcc+0.02 < sAcc {
+		t.Errorf("forest %.3f clearly worse than one restricted tree %.3f", fAcc, sAcc)
+	}
+}
+
+func TestForestDeterministicGivenSeed(t *testing.T) {
+	rng := simrand.New(7)
+	X, y := gaussDataset(200, rng)
+	f1, err := TrainForest(X, y, 3, ForestConfig{NumTrees: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := TrainForest(X, y, 3, ForestConfig{NumTrees: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if f1.Predict(X[i]) != f2.Predict(X[i]) {
+			t.Fatal("same-seed forests disagree")
+		}
+	}
+}
+
+func TestForestProba(t *testing.T) {
+	rng := simrand.New(8)
+	X, y := gaussDataset(200, rng)
+	f, err := TrainForest(X, y, 3, ForestConfig{NumTrees: 25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumTrees() != 25 {
+		t.Errorf("NumTrees = %d", f.NumTrees())
+	}
+	p := f.Proba(X[0])
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Errorf("probability %v out of range", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("forest proba sums to %v", sum)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{0, 1, 2, 1}, []int{0, 1, 1, 1}); got != 0.75 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	if !math.IsNaN(Accuracy(nil, nil)) {
+		t.Error("empty accuracy should be NaN")
+	}
+	if !math.IsNaN(Accuracy([]int{1}, []int{1, 2})) {
+		t.Error("length mismatch should be NaN")
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	m := ConfusionMatrix([]int{0, 0, 1, 2}, []int{0, 1, 1, 0}, 3)
+	if m[0][0] != 1 || m[0][1] != 1 || m[1][1] != 1 || m[2][0] != 1 {
+		t.Errorf("confusion = %v", m)
+	}
+}
+
+func TestMacroF1KnownValue(t *testing.T) {
+	// Binary case, hand-computed:
+	// true:  1 1 1 0 0
+	// pred:  1 0 1 0 1
+	// class1: tp=2 fp=1 fn=1 -> P=2/3 R=2/3 F1=2/3
+	// class0: tp=1 fp=1 fn=1 -> P=1/2 R=1/2 F1=1/2
+	// macro = 7/12
+	got := MacroF1([]int{1, 1, 1, 0, 0}, []int{1, 0, 1, 0, 1}, 2)
+	if math.Abs(got-7.0/12.0) > 1e-12 {
+		t.Errorf("MacroF1 = %v, want %v", got, 7.0/12.0)
+	}
+}
+
+func TestMacroF1PerfectAndWorst(t *testing.T) {
+	if got := MacroF1([]int{0, 1, 2}, []int{0, 1, 2}, 3); got != 1 {
+		t.Errorf("perfect F1 = %v", got)
+	}
+	if got := MacroF1([]int{0, 0, 0}, []int{1, 1, 1}, 2); got != 0 {
+		t.Errorf("all-wrong F1 = %v", got)
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	train, test := TrainTestSplit(100, 0.3, 1)
+	if len(test) != 30 || len(train) != 70 {
+		t.Errorf("split = %d/%d", len(train), len(test))
+	}
+	seen := make(map[int]bool)
+	for _, i := range append(append([]int{}, train...), test...) {
+		if seen[i] {
+			t.Fatal("index appears twice")
+		}
+		seen[i] = true
+	}
+	if len(seen) != 100 {
+		t.Errorf("split covers %d of 100", len(seen))
+	}
+	// Degenerate sizes.
+	train, test = TrainTestSplit(2, 0.01, 1)
+	if len(test) != 1 || len(train) != 1 {
+		t.Errorf("tiny split = %d/%d", len(train), len(test))
+	}
+	train, test = TrainTestSplit(0, 0.5, 1)
+	if train != nil || test != nil {
+		t.Error("n=0 should return nil")
+	}
+}

@@ -1,0 +1,243 @@
+// Package mlearn implements the machine-learning stack of the paper's
+// Section 5.5: CART decision trees, a bagging random forest classifier
+// (the scikit-learn RandomForestClassifier substitute), train/test
+// splitting, and the accuracy / macro-F1 metrics of Table 4.
+package mlearn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/simrand"
+)
+
+// TreeConfig controls CART training.
+type TreeConfig struct {
+	// MaxDepth limits tree depth; 0 means unlimited (scikit default).
+	MaxDepth int
+	// MinSamplesLeaf is the minimum samples per leaf (default 1).
+	MinSamplesLeaf int
+	// MaxFeatures is the number of features considered per split; 0 means
+	// all features (single trees) — forests default to sqrt(d).
+	MaxFeatures int
+}
+
+type node struct {
+	// Internal nodes route x[feature] <= threshold to left.
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	// Leaves carry the class histogram observed during training.
+	leaf   bool
+	counts []int
+	major  int
+}
+
+// Tree is a trained CART classifier.
+type Tree struct {
+	root     *node
+	nClasses int
+	nFeats   int
+}
+
+// gini returns the Gini impurity of a class histogram with total samples n.
+func gini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	s := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		s -= p * p
+	}
+	return s
+}
+
+func majority(counts []int) int {
+	best, bestN := 0, -1
+	for c, n := range counts {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// TrainTree fits a CART tree on X (rows = samples) and integer labels y in
+// [0, nClasses). rng drives feature subsampling; pass nil for deterministic
+// all-features splits.
+func TrainTree(X [][]float64, y []int, nClasses int, cfg TreeConfig, rng *simrand.Rand) (*Tree, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, fmt.Errorf("mlearn: bad training set: %d rows, %d labels", len(X), len(y))
+	}
+	if nClasses < 2 {
+		return nil, fmt.Errorf("mlearn: need at least 2 classes, got %d", nClasses)
+	}
+	d := len(X[0])
+	for i, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("mlearn: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	for i, label := range y {
+		if label < 0 || label >= nClasses {
+			return nil, fmt.Errorf("mlearn: label %d at row %d outside [0,%d)", label, i, nClasses)
+		}
+	}
+	if cfg.MinSamplesLeaf <= 0 {
+		cfg.MinSamplesLeaf = 1
+	}
+	t := &Tree{nClasses: nClasses, nFeats: d}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(X, y, idx, cfg, rng, 0)
+	return t, nil
+}
+
+func (t *Tree) histogram(y []int, idx []int) []int {
+	counts := make([]int, t.nClasses)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	return counts
+}
+
+func (t *Tree) build(X [][]float64, y []int, idx []int, cfg TreeConfig, rng *simrand.Rand, depth int) *node {
+	counts := t.histogram(y, idx)
+	n := &node{leaf: true, counts: counts, major: majority(counts)}
+	if len(idx) < 2*cfg.MinSamplesLeaf {
+		return n
+	}
+	if cfg.MaxDepth > 0 && depth >= cfg.MaxDepth {
+		return n
+	}
+	if gini(counts, len(idx)) == 0 {
+		return n
+	}
+
+	feats := t.candidateFeatures(cfg, rng)
+	bestFeat, bestThresh, bestScore := -1, 0.0, math.Inf(1)
+
+	// Reused buffers for the sorted scan.
+	order := make([]int, len(idx))
+	leftCounts := make([]int, t.nClasses)
+	rightCounts := make([]int, t.nClasses)
+
+	for _, f := range feats {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		for i := range leftCounts {
+			leftCounts[i] = 0
+		}
+		copy(rightCounts, counts)
+		total := len(order)
+		for i := 0; i < total-1; i++ {
+			c := y[order[i]]
+			leftCounts[c]++
+			rightCounts[c]--
+			// Can only split between distinct feature values.
+			if X[order[i]][f] == X[order[i+1]][f] {
+				continue
+			}
+			nl, nr := i+1, total-i-1
+			if nl < cfg.MinSamplesLeaf || nr < cfg.MinSamplesLeaf {
+				continue
+			}
+			score := (float64(nl)*gini(leftCounts, nl) + float64(nr)*gini(rightCounts, nr)) / float64(total)
+			if score < bestScore {
+				bestScore = score
+				bestFeat = f
+				bestThresh = (X[order[i]][f] + X[order[i+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 || bestScore >= gini(counts, len(idx)) {
+		return n
+	}
+
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThresh {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return n
+	}
+	n.leaf = false
+	n.feature = bestFeat
+	n.threshold = bestThresh
+	n.left = t.build(X, y, leftIdx, cfg, rng, depth+1)
+	n.right = t.build(X, y, rightIdx, cfg, rng, depth+1)
+	return n
+}
+
+func (t *Tree) candidateFeatures(cfg TreeConfig, rng *simrand.Rand) []int {
+	k := cfg.MaxFeatures
+	if k <= 0 || k >= t.nFeats || rng == nil {
+		feats := make([]int, t.nFeats)
+		for i := range feats {
+			feats[i] = i
+		}
+		return feats
+	}
+	perm := rng.Perm(t.nFeats)
+	return perm[:k]
+}
+
+// Predict returns the predicted class of one sample.
+func (t *Tree) Predict(x []float64) int {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.major
+}
+
+// Proba returns the leaf class distribution for one sample.
+func (t *Tree) Proba(x []float64) []float64 {
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	total := 0
+	for _, c := range n.counts {
+		total += c
+	}
+	out := make([]float64, t.nClasses)
+	if total == 0 {
+		return out
+	}
+	for i, c := range n.counts {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// Depth returns the maximum depth of the tree (a single leaf has depth 0).
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *node) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

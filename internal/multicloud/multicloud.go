@@ -1,0 +1,398 @@
+// Package multicloud implements the paper's Section 7 extension: archiving
+// spot datasets from multiple cloud vendors in one place, with the shared
+// collection timestamp as the global key joining them.
+//
+// Each vendor exposes a different slice of spot information (AWS: price +
+// placement score + advisor; Azure: price API + portal-only eviction rates;
+// GCP: portal-only price). The multi-vendor collector runs all of them on
+// one simulation clock so every tick lands at the same instant across
+// vendors, normalizes categorical stability data onto the paper's 1.0-3.0
+// score scale, and stores everything in the same time-series archive under
+// vendor-qualified dataset names. Cross-vendor analyses — cheapest offer
+// for a compute shape, per-vendor freshness and savings — then become
+// simple archive queries.
+package multicloud
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/azuresim"
+	"repro/internal/catalog"
+	"repro/internal/collector"
+	"repro/internal/gcpsim"
+	"repro/internal/simclock"
+	"repro/internal/tsdb"
+)
+
+// Vendor-qualified dataset names. AWS keeps the unqualified names used by
+// the single-vendor SpotLake ("sps", "if", "price", "savings").
+const (
+	DatasetAzurePrice   = "az-price"
+	DatasetAzureEvict   = "az-evict" // stability score, 1.0-3.0
+	DatasetAzureSavings = "az-savings"
+	DatasetGCPPrice     = "gcp-price"
+	DatasetGCPSavings   = "gcp-savings"
+)
+
+// AllDatasets lists every dataset a multi-vendor archive may hold.
+var AllDatasets = []string{
+	tsdb.DatasetPlacementScore, tsdb.DatasetInterruptFree,
+	tsdb.DatasetPrice, tsdb.DatasetSavings,
+	DatasetAzurePrice, DatasetAzureEvict, DatasetAzureSavings,
+	DatasetGCPPrice, DatasetGCPSavings,
+}
+
+// Config controls the multi-vendor collection cadence.
+type Config struct {
+	Interval time.Duration
+}
+
+// DefaultConfig matches the paper's 10-minute cadence.
+func DefaultConfig() Config { return Config{Interval: 10 * time.Minute} }
+
+// Collector federates per-vendor collection on one clock.
+type Collector struct {
+	clk *simclock.Clock
+	db  *tsdb.DB
+	cfg Config
+
+	aws   *collector.Collector // optional
+	azure *azuresim.Cloud      // optional
+	gcp   *gcpsim.Cloud        // optional
+
+	tickers []*simclock.Ticker
+
+	// Stats counters.
+	AzureTicks int
+	GCPTicks   int
+	Points     int
+}
+
+// New builds the federated collector. Any vendor may be nil; at least one
+// must be present.
+func New(clk *simclock.Clock, db *tsdb.DB, cfg Config, aws *collector.Collector, azure *azuresim.Cloud, gcp *gcpsim.Cloud) (*Collector, error) {
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("multicloud: non-positive interval")
+	}
+	if aws == nil && azure == nil && gcp == nil {
+		return nil, fmt.Errorf("multicloud: no vendors configured")
+	}
+	return &Collector{clk: clk, db: db, cfg: cfg, aws: aws, azure: azure, gcp: gcp}, nil
+}
+
+// CollectAzureOnce scrapes the Azure portal dataset and price API.
+func (c *Collector) CollectAzureOnce() error {
+	if c.azure == nil {
+		return nil
+	}
+	now := c.clk.Now()
+	c.AzureTicks++
+	entries, err := c.azure.PortalSnapshot()
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if stored, err := c.db.AppendIfChanged(tsdb.SeriesKey{
+			Dataset: DatasetAzureEvict, Type: e.Size, Region: e.Region,
+		}, now, e.Band.Score()); err != nil {
+			return err
+		} else if stored {
+			c.Points++
+		}
+		if stored, err := c.db.AppendIfChanged(tsdb.SeriesKey{
+			Dataset: DatasetAzureSavings, Type: e.Size, Region: e.Region,
+		}, now, float64(e.SavingsPct)); err != nil {
+			return err
+		} else if stored {
+			c.Points++
+		}
+		price, err := c.azure.SpotPriceUSD(e.Size, e.Region)
+		if err != nil {
+			return err
+		}
+		if stored, err := c.db.AppendIfChanged(tsdb.SeriesKey{
+			Dataset: DatasetAzurePrice, Type: e.Size, Region: e.Region,
+		}, now, price); err != nil {
+			return err
+		} else if stored {
+			c.Points++
+		}
+	}
+	return nil
+}
+
+// CollectGCPOnce scrapes the GCP pricing page.
+func (c *Collector) CollectGCPOnce() error {
+	if c.gcp == nil {
+		return nil
+	}
+	now := c.clk.Now()
+	c.GCPTicks++
+	entries, err := c.gcp.PortalSnapshot()
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if stored, err := c.db.AppendIfChanged(tsdb.SeriesKey{
+			Dataset: DatasetGCPPrice, Type: e.Type, Region: e.Region,
+		}, now, e.SpotUSD); err != nil {
+			return err
+		} else if stored {
+			c.Points++
+		}
+		savings := 0.0
+		if e.OnDemand > 0 {
+			savings = math.Round((1 - e.SpotUSD/e.OnDemand) * 100)
+		}
+		if stored, err := c.db.AppendIfChanged(tsdb.SeriesKey{
+			Dataset: DatasetGCPSavings, Type: e.Type, Region: e.Region,
+		}, now, savings); err != nil {
+			return err
+		} else if stored {
+			c.Points++
+		}
+	}
+	return nil
+}
+
+// Start begins periodic collection for every configured vendor at the
+// shared cadence (plus the AWS collector's own schedule), after one
+// immediate collection.
+func (c *Collector) Start() error {
+	if c.aws != nil {
+		if err := c.aws.Start(); err != nil {
+			return err
+		}
+	}
+	if err := c.CollectAzureOnce(); err != nil {
+		return err
+	}
+	if err := c.CollectGCPOnce(); err != nil {
+		return err
+	}
+	c.tickers = append(c.tickers, c.clk.SchedulePeriodic(c.cfg.Interval, func(time.Time) bool {
+		_ = c.CollectAzureOnce()
+		_ = c.CollectGCPOnce()
+		return true
+	}))
+	return nil
+}
+
+// Stop halts periodic collection.
+func (c *Collector) Stop() {
+	if c.aws != nil {
+		c.aws.Stop()
+	}
+	for _, t := range c.tickers {
+		t.Stop()
+	}
+	c.tickers = nil
+}
+
+// Run is the batch convenience: Start, advance by d, Stop.
+func (c *Collector) Run(d time.Duration) error {
+	if err := c.Start(); err != nil {
+		return err
+	}
+	c.clk.RunFor(d)
+	c.Stop()
+	return nil
+}
+
+// --- Cross-vendor analysis ----------------------------------------------------
+
+// Offer is a vendor-neutral compute offering.
+type Offer struct {
+	Vendor    string
+	Name      string
+	Region    string
+	VCPU      int
+	MemoryGiB float64
+	GPU       bool
+}
+
+// Offers enumerates every (type, region) offering across the configured
+// vendors. Nil vendors are skipped.
+func Offers(aws *catalog.Catalog, azure *azuresim.Cloud, gcp *gcpsim.Cloud) []Offer {
+	var out []Offer
+	if aws != nil {
+		for _, t := range aws.Types() {
+			gpu := t.Class == catalog.ClassP || t.Class == catalog.ClassG
+			for _, rc := range aws.SupportedRegions(t.Name) {
+				out = append(out, Offer{
+					Vendor: "aws", Name: t.Name, Region: rc.Region,
+					VCPU: t.VCPU, MemoryGiB: t.MemoryGiB, GPU: gpu,
+				})
+			}
+		}
+	}
+	if azure != nil {
+		for _, s := range azure.Sizes() {
+			for _, r := range azure.Regions() {
+				out = append(out, Offer{
+					Vendor: azuresim.Vendor, Name: s.Name, Region: r,
+					VCPU: s.VCPU, MemoryGiB: s.MemoryGiB, GPU: s.GPU,
+				})
+			}
+		}
+	}
+	if gcp != nil {
+		for _, t := range gcp.MachineTypes() {
+			for _, r := range gcp.Regions() {
+				out = append(out, Offer{
+					Vendor: gcpsim.Vendor, Name: t.Name, Region: r,
+					VCPU: t.VCPU, MemoryGiB: t.MemoryGiB, GPU: t.GPU,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ShapeQuery is a minimum compute shape.
+type ShapeQuery struct {
+	MinVCPU      int
+	MinMemoryGiB float64
+	GPU          bool // require accelerator
+}
+
+// Matches reports whether the offer satisfies the shape.
+func (q ShapeQuery) Matches(o Offer) bool {
+	if o.VCPU < q.MinVCPU || o.MemoryGiB < q.MinMemoryGiB {
+		return false
+	}
+	if q.GPU && !o.GPU {
+		return false
+	}
+	return true
+}
+
+// PricedOffer is an offer with its archived spot price and stability score
+// at one instant. Stability is NaN when the vendor publishes none (GCP).
+type PricedOffer struct {
+	Offer
+	SpotUSD   float64
+	Stability float64
+}
+
+// CheapestAt returns the topN cheapest offers matching the shape at time
+// at, using the archive's step-function view — the cross-vendor query the
+// paper's Section 7 motivates. Offers with no archived price at that time
+// are skipped.
+func CheapestAt(db *tsdb.DB, offers []Offer, q ShapeQuery, at time.Time, topN int) []PricedOffer {
+	var out []PricedOffer
+	for _, o := range offers {
+		if !q.Matches(o) {
+			continue
+		}
+		po, ok := priceOf(db, o, at)
+		if !ok {
+			continue
+		}
+		out = append(out, po)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SpotUSD != out[j].SpotUSD {
+			return out[i].SpotUSD < out[j].SpotUSD
+		}
+		return out[i].Vendor+out[i].Name+out[i].Region < out[j].Vendor+out[j].Name+out[j].Region
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+func priceOf(db *tsdb.DB, o Offer, at time.Time) (PricedOffer, bool) {
+	po := PricedOffer{Offer: o, Stability: math.NaN()}
+	switch o.Vendor {
+	case "aws":
+		// AWS prices are per AZ: take the region's cheapest AZ.
+		best := math.Inf(1)
+		for _, k := range db.Keys(tsdb.KeyFilter{Dataset: tsdb.DatasetPrice, Type: o.Name, Region: o.Region}) {
+			if v, ok := db.ValueAt(k, at); ok && v < best {
+				best = v
+			}
+		}
+		if math.IsInf(best, 1) {
+			return po, false
+		}
+		po.SpotUSD = best
+		if v, ok := db.ValueAt(tsdb.SeriesKey{Dataset: tsdb.DatasetInterruptFree, Type: o.Name, Region: o.Region}, at); ok {
+			po.Stability = v
+		}
+		return po, true
+	case azuresim.Vendor:
+		v, ok := db.ValueAt(tsdb.SeriesKey{Dataset: DatasetAzurePrice, Type: o.Name, Region: o.Region}, at)
+		if !ok {
+			return po, false
+		}
+		po.SpotUSD = v
+		if s, ok := db.ValueAt(tsdb.SeriesKey{Dataset: DatasetAzureEvict, Type: o.Name, Region: o.Region}, at); ok {
+			po.Stability = s
+		}
+		return po, true
+	case gcpsim.Vendor:
+		v, ok := db.ValueAt(tsdb.SeriesKey{Dataset: DatasetGCPPrice, Type: o.Name, Region: o.Region}, at)
+		if !ok {
+			return po, false
+		}
+		po.SpotUSD = v
+		return po, true
+	}
+	return po, false
+}
+
+// VendorSummary aggregates one vendor's archive footprint.
+type VendorSummary struct {
+	Vendor string
+	// PriceSeries is the number of price series archived.
+	PriceSeries int
+	// MedianSavingsPct is the median archived savings value.
+	MedianSavingsPct float64
+	// MedianPriceChangeHours is the median time between price changes —
+	// the cross-vendor freshness comparison (AWS hours, Azure days, GCP
+	// months).
+	MedianPriceChangeHours float64
+	// HasStabilityData reports whether the vendor publishes any
+	// availability/interruption signal at all.
+	HasStabilityData bool
+}
+
+// Summary computes per-vendor archive summaries.
+func Summary(db *tsdb.DB) []VendorSummary {
+	type spec struct {
+		vendor, price, savings, stability string
+	}
+	specs := []spec{
+		{"aws", tsdb.DatasetPrice, tsdb.DatasetSavings, tsdb.DatasetInterruptFree},
+		{azuresim.Vendor, DatasetAzurePrice, DatasetAzureSavings, DatasetAzureEvict},
+		{gcpsim.Vendor, DatasetGCPPrice, DatasetGCPSavings, ""},
+	}
+	var out []VendorSummary
+	for _, s := range specs {
+		sum := VendorSummary{Vendor: s.vendor}
+		keys := db.Keys(tsdb.KeyFilter{Dataset: s.price})
+		sum.PriceSeries = len(keys)
+		if sum.PriceSeries == 0 {
+			continue
+		}
+		var savings []float64
+		for _, k := range db.Keys(tsdb.KeyFilter{Dataset: s.savings}) {
+			if p, ok := db.Last(k); ok {
+				savings = append(savings, p.Value)
+			}
+		}
+		sum.MedianSavingsPct = analysis.Median(savings)
+		sum.MedianPriceChangeHours = analysis.UpdateIntervalCDF(db, s.price).Quantile(0.5)
+		if s.stability != "" {
+			sum.HasStabilityData = len(db.Keys(tsdb.KeyFilter{Dataset: s.stability})) > 0
+		}
+		out = append(out, sum)
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package multicloud
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/azuresim"
+	"repro/internal/catalog"
+	"repro/internal/cloudsim"
+	"repro/internal/collector"
+	"repro/internal/gcpsim"
+	"repro/internal/simclock"
+	"repro/internal/tsdb"
+)
+
+// fullSetup wires all three vendors on one clock.
+func fullSetup(t *testing.T, seed uint64) (*Collector, *simclock.Clock, *tsdb.DB, *catalog.Catalog, *azuresim.Cloud, *gcpsim.Cloud) {
+	t.Helper()
+	clk := simclock.NewAtEpoch()
+	cat := catalog.Compact(2)
+	aws := cloudsim.New(cat, clk, seed, cloudsim.DefaultParams())
+	db, err := tsdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	awsCol, err := collector.New(aws, db, collector.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	azure := azuresim.New(clk, seed)
+	gcp := gcpsim.New(clk, seed)
+	mc, err := New(clk, db, DefaultConfig(), awsCol, azure, gcp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mc, clk, db, cat, azure, gcp
+}
+
+func TestNewValidation(t *testing.T) {
+	clk := simclock.NewAtEpoch()
+	db, _ := tsdb.Open("")
+	if _, err := New(clk, db, Config{Interval: 0}, nil, azuresim.New(clk, 1), nil); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := New(clk, db, DefaultConfig(), nil, nil, nil); err == nil {
+		t.Error("vendor-less collector accepted")
+	}
+	// Single-vendor configurations are fine.
+	if _, err := New(clk, db, DefaultConfig(), nil, nil, gcpsim.New(clk, 1)); err != nil {
+		t.Errorf("gcp-only rejected: %v", err)
+	}
+}
+
+func TestTimestampIsGlobalKey(t *testing.T) {
+	// Section 7: the shared timestamp joins datasets across vendors. After
+	// one aligned collection, every vendor has points at the identical
+	// instant.
+	mc, clk, db, _, _, _ := fullSetup(t, 1)
+	if err := mc.Run(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	_ = clk
+	at := simclock.Epoch // first tick happened at start
+	for _, ds := range []string{tsdb.DatasetPrice, DatasetAzurePrice, DatasetGCPPrice} {
+		keys := db.Keys(tsdb.KeyFilter{Dataset: ds})
+		if len(keys) == 0 {
+			t.Fatalf("no series for %s", ds)
+		}
+		pts := db.Query(keys[0], at, at)
+		if len(pts) != 1 {
+			t.Errorf("dataset %s has no point at the aligned first tick", ds)
+		}
+	}
+}
+
+func TestAzureDatasets(t *testing.T) {
+	mc, _, db, _, azure, _ := fullSetup(t, 2)
+	if err := mc.CollectAzureOnce(); err != nil {
+		t.Fatal(err)
+	}
+	wantSeries := len(azure.Sizes()) * len(azure.Regions())
+	for _, ds := range []string{DatasetAzurePrice, DatasetAzureEvict, DatasetAzureSavings} {
+		if got := len(db.Keys(tsdb.KeyFilter{Dataset: ds})); got != wantSeries {
+			t.Errorf("%s series = %d, want %d", ds, got, wantSeries)
+		}
+	}
+	// Eviction scores live on the shared 1.0-3.0 scale.
+	for _, k := range db.Keys(tsdb.KeyFilter{Dataset: DatasetAzureEvict})[:10] {
+		p, _ := db.Last(k)
+		if p.Value < 1 || p.Value > 3 {
+			t.Errorf("eviction score %v out of 1..3", p.Value)
+		}
+	}
+}
+
+func TestGCPDatasets(t *testing.T) {
+	mc, _, db, _, _, gcp := fullSetup(t, 3)
+	if err := mc.CollectGCPOnce(); err != nil {
+		t.Fatal(err)
+	}
+	wantSeries := len(gcp.MachineTypes()) * len(gcp.Regions())
+	for _, ds := range []string{DatasetGCPPrice, DatasetGCPSavings} {
+		if got := len(db.Keys(tsdb.KeyFilter{Dataset: ds})); got != wantSeries {
+			t.Errorf("%s series = %d, want %d", ds, got, wantSeries)
+		}
+	}
+}
+
+func TestOffersAndShapeMatching(t *testing.T) {
+	_, _, _, cat, azure, gcp := fullSetup(t, 4)
+	offers := Offers(cat, azure, gcp)
+	vendors := map[string]int{}
+	for _, o := range offers {
+		vendors[o.Vendor]++
+	}
+	for _, v := range []string{"aws", "azure", "gcp"} {
+		if vendors[v] == 0 {
+			t.Errorf("no offers from %s", v)
+		}
+	}
+	q := ShapeQuery{MinVCPU: 8, MinMemoryGiB: 32}
+	for _, o := range offers {
+		if q.Matches(o) && (o.VCPU < 8 || o.MemoryGiB < 32) {
+			t.Fatalf("shape mismatch accepted: %+v", o)
+		}
+	}
+	gq := ShapeQuery{MinVCPU: 1, GPU: true}
+	for _, o := range offers {
+		if gq.Matches(o) && !o.GPU {
+			t.Fatal("GPU filter leaked a non-GPU offer")
+		}
+	}
+	// Nil vendors are skipped.
+	if got := Offers(nil, azure, nil); len(got) != vendors["azure"] {
+		t.Errorf("azure-only offers = %d, want %d", len(got), vendors["azure"])
+	}
+}
+
+func TestCheapestAtCrossVendor(t *testing.T) {
+	mc, clk, db, cat, azure, gcp := fullSetup(t, 5)
+	if err := mc.Run(6 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	offers := Offers(cat, azure, gcp)
+	top := CheapestAt(db, offers, ShapeQuery{MinVCPU: 4, MinMemoryGiB: 16}, clk.Now(), 20)
+	if len(top) != 20 {
+		t.Fatalf("top = %d offers", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].SpotUSD < top[i-1].SpotUSD {
+			t.Fatal("offers not sorted by price")
+		}
+	}
+	for _, o := range top {
+		if o.VCPU < 4 || o.MemoryGiB < 16 {
+			t.Fatalf("shape violated: %+v", o.Offer)
+		}
+		if o.SpotUSD <= 0 {
+			t.Fatal("non-positive price")
+		}
+		if o.Vendor == gcpsim.Vendor && !math.IsNaN(o.Stability) {
+			t.Error("GCP offer has stability data; GCP publishes none")
+		}
+	}
+	// With all vendors collected, the cheap end should not be single-vendor
+	// exclusively (cross-vendor comparison is the point).
+	seen := map[string]bool{}
+	for _, o := range CheapestAt(db, offers, ShapeQuery{MinVCPU: 2}, clk.Now(), 60) {
+		seen[o.Vendor] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("top-60 cheapest come from %d vendor(s); expected a mix", len(seen))
+	}
+}
+
+func TestSummaryPerVendor(t *testing.T) {
+	mc, _, db, _, _, _ := fullSetup(t, 6)
+	if err := mc.Run(3 * 24 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	sums := Summary(db)
+	if len(sums) != 3 {
+		t.Fatalf("summaries = %d, want 3", len(sums))
+	}
+	byVendor := map[string]VendorSummary{}
+	for _, s := range sums {
+		byVendor[s.Vendor] = s
+	}
+	if !byVendor["aws"].HasStabilityData || !byVendor["azure"].HasStabilityData {
+		t.Error("aws/azure should have stability data")
+	}
+	if byVendor["gcp"].HasStabilityData {
+		t.Error("gcp reports stability data; it publishes none")
+	}
+	for v, s := range byVendor {
+		if s.PriceSeries == 0 {
+			t.Errorf("%s has no price series", v)
+		}
+		if s.MedianSavingsPct < 40 || s.MedianSavingsPct > 95 {
+			t.Errorf("%s median savings %.0f%% implausible", v, s.MedianSavingsPct)
+		}
+	}
+}
+
+func TestStatsAndStop(t *testing.T) {
+	mc, clk, _, _, _, _ := fullSetup(t, 7)
+	if err := mc.Run(2 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if mc.AzureTicks != 13 || mc.GCPTicks != 13 { // 1 immediate + 12 periodic
+		t.Errorf("ticks = %d/%d, want 13/13", mc.AzureTicks, mc.GCPTicks)
+	}
+	if mc.Points == 0 {
+		t.Error("no points collected")
+	}
+	before := mc.AzureTicks
+	clk.RunFor(time.Hour)
+	if mc.AzureTicks != before {
+		t.Error("collection continued after Stop")
+	}
+}

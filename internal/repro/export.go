@@ -1,0 +1,260 @@
+package repro
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"repro/internal/analysis"
+	"repro/internal/catalog"
+	"repro/internal/experiment"
+)
+
+// CSV export: the paper's artifact ships Python scripts that regenerate
+// each figure from pickled data; the equivalent here writes every figure's
+// series as CSV files that any plotting tool can consume. One file per
+// figure panel, named after the paper's numbering.
+
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("repro: creating export dir: %w", err)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("repro: creating %s: %w", name, err)
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func fmtF(v float64) string {
+	if math.IsNaN(v) {
+		return "NA"
+	}
+	return strconv.FormatFloat(v, 'f', 4, 64)
+}
+
+// ExportCSV writes table2.csv, figure03*.csv, figure04*.csv, figure05.csv,
+// figure08*.csv, figure09.csv and figure10*.csv into dir.
+func ExportCSV(c *Collected, dir string) error {
+	// Table 2.
+	t2 := Table2(c)
+	var t2rows [][]string
+	for _, v := range []float64{3.0, 2.5, 2.0, 1.5, 1.0} {
+		t2rows = append(t2rows, []string{fmtF(v), fmtF(t2.SPS[v]), fmtF(t2.IF[v])})
+	}
+	if err := writeCSV(dir, "table02.csv", []string{"value", "sps_fraction", "if_fraction"}, t2rows); err != nil {
+		return err
+	}
+
+	// Figure 3: one row per class, one column per day.
+	f3 := Fig3(c)
+	exportHeat := func(name string, byClass map[catalog.Class][]float64) error {
+		header := []string{"class"}
+		for d := 0; d < f3.Days; d++ {
+			header = append(header, "day"+strconv.Itoa(d))
+		}
+		var rows [][]string
+		for _, cl := range catalog.Classes {
+			row := []string{string(cl)}
+			for _, v := range byClass[cl] {
+				row = append(row, fmtF(v))
+			}
+			rows = append(rows, row)
+		}
+		return writeCSV(dir, name, header, rows)
+	}
+	if err := exportHeat("figure03a.csv", f3.SPSByClass); err != nil {
+		return err
+	}
+	if err := exportHeat("figure03b.csv", f3.IFByClass); err != nil {
+		return err
+	}
+
+	// Figure 4: class x region.
+	f4 := Fig4(c)
+	exportSpatial := func(name string, m map[catalog.Class]map[string]float64) error {
+		header := append([]string{"class"}, f4.Regions...)
+		var rows [][]string
+		for _, cl := range catalog.Classes {
+			row := []string{string(cl)}
+			for _, reg := range f4.Regions {
+				row = append(row, fmtF(m[cl][reg]))
+			}
+			rows = append(rows, row)
+		}
+		return writeCSV(dir, name, header, rows)
+	}
+	if err := exportSpatial("figure04a.csv", f4.SPS); err != nil {
+		return err
+	}
+	if err := exportSpatial("figure04b.csv", f4.IF); err != nil {
+		return err
+	}
+
+	// Figure 5.
+	f5 := Fig5(c)
+	var f5rows [][]string
+	for _, r := range f5.Rows {
+		f5rows = append(f5rows, []string{string(r.Size), fmtF(r.MeanSPS), fmtF(r.MeanIF), strconv.Itoa(r.NumTypes)})
+	}
+	if err := writeCSV(dir, "figure05.csv", []string{"size", "sps_mean", "if_mean", "num_types"}, f5rows); err != nil {
+		return err
+	}
+
+	// Figure 8: CDF points per pairing.
+	f8 := Fig8(c)
+	exportCDF := func(name string, samples []float64) error {
+		cdf := analysis.NewCDF(samples)
+		var rows [][]string
+		for _, p := range cdf.Points(500) {
+			rows = append(rows, []string{fmtF(p[0]), fmtF(p[1])})
+		}
+		return writeCSV(dir, name, []string{"value", "cdf"}, rows)
+	}
+	if err := exportCDF("figure08_sps_if.csv", f8.Sets.SPSvsIF); err != nil {
+		return err
+	}
+	if err := exportCDF("figure08_if_price.csv", f8.Sets.IFvsPrice); err != nil {
+		return err
+	}
+	if err := exportCDF("figure08_sps_price.csv", f8.Sets.SPSvsPrice); err != nil {
+		return err
+	}
+
+	// Figure 9.
+	f9 := Fig9(c)
+	var f9rows [][]string
+	for _, d := range []float64{0, 0.5, 1, 1.5, 2} {
+		f9rows = append(f9rows, []string{fmtF(d), fmtF(f9.Histogram[d])})
+	}
+	if err := writeCSV(dir, "figure09.csv", []string{"difference", "fraction"}, f9rows); err != nil {
+		return err
+	}
+
+	// Figure 10: hours-between-changes CDFs.
+	f10 := Fig10(c)
+	if err := exportCDFObj(dir, "figure10_sps.csv", f10.SPS); err != nil {
+		return err
+	}
+	if err := exportCDFObj(dir, "figure10_price.csv", f10.Price); err != nil {
+		return err
+	}
+	return exportCDFObj(dir, "figure10_if.csv", f10.IF)
+}
+
+func exportCDFObj(dir, name string, c analysis.CDF) error {
+	var rows [][]string
+	for _, p := range c.Points(500) {
+		rows = append(rows, []string{fmtF(p[0]), fmtF(p[1])})
+	}
+	return writeCSV(dir, name, []string{"hours", "cdf"}, rows)
+}
+
+// ExportExperimentCSV writes table03.csv and the Figure 11 CDFs into dir.
+func ExportExperimentCSV(r Experiment54Result, dir string) error {
+	var t3rows [][]string
+	for _, cc := range experiment.Categories {
+		st := r.Result.ByCategory[cc]
+		t3rows = append(t3rows, []string{
+			cc.String(),
+			fmtF(st.NotFulfilledPct()),
+			fmtF(st.InterruptedPct()),
+			strconv.Itoa(st.Total),
+		})
+	}
+	if err := writeCSV(dir, "table03.csv", []string{"category", "not_fulfilled_pct", "interrupted_pct", "n"}, t3rows); err != nil {
+		return err
+	}
+	for _, cc := range experiment.Categories {
+		st := r.Result.ByCategory[cc]
+		label := sanitize(cc.String())
+		if err := exportSecondsCDF(dir, "figure11a_"+label+".csv", st.FulfillLatenciesSec); err != nil {
+			return err
+		}
+		if err := exportSecondsCDF(dir, "figure11b_"+label+".csv", st.TimeToInterruptSec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func exportSecondsCDF(dir, name string, samples []float64) error {
+	cdf := analysis.NewCDF(samples)
+	var rows [][]string
+	for _, p := range cdf.Points(500) {
+		rows = append(rows, []string{fmtF(p[0]), fmtF(p[1])})
+	}
+	return writeCSV(dir, name, []string{"seconds", "cdf"}, rows)
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == '-' {
+			r = '_'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// ExportTable4CSV writes table04.csv into dir.
+func ExportTable4CSV(r Table4Result, dir string) error {
+	var rows [][]string
+	for _, m := range r.Methods {
+		rows = append(rows, []string{m.Method, fmtF(m.Accuracy), fmtF(m.F1)})
+	}
+	return writeCSV(dir, "table04.csv", []string{"method", "accuracy", "macro_f1"}, rows)
+}
+
+// ExportFig6CSV writes the scatter counts of Figure 6 into dir.
+func ExportFig6CSV(r Fig6Result, dir string) error {
+	type cell struct {
+		sum, comp, n int
+	}
+	var cells []cell
+	for k, n := range r.Scatter {
+		cells = append(cells, cell{k[0], k[1], n})
+	}
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].sum != cells[j].sum {
+			return cells[i].sum < cells[j].sum
+		}
+		return cells[i].comp < cells[j].comp
+	})
+	var rows [][]string
+	for _, c := range cells {
+		rows = append(rows, []string{strconv.Itoa(c.sum), strconv.Itoa(c.comp), strconv.Itoa(c.n)})
+	}
+	return writeCSV(dir, "figure06.csv", []string{"sum_of_singles", "composite", "count"}, rows)
+}
+
+// ExportFig7CSV writes the Figure 7 matrix into dir.
+func ExportFig7CSV(r Fig7Result, dir string) error {
+	header := []string{"class"}
+	for _, n := range Fig7Targets {
+		header = append(header, "n"+strconv.Itoa(n))
+	}
+	var rows [][]string
+	for _, fc := range Fig7Classes {
+		row := []string{string(fc.Class)}
+		for _, v := range r.Means[fc.Class] {
+			row = append(row, fmtF(v))
+		}
+		rows = append(rows, row)
+	}
+	return writeCSV(dir, "figure07.csv", header, rows)
+}

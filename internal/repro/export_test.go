@@ -1,0 +1,134 @@
+package repro
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func readCSV(t *testing.T, path string) [][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("opening %s: %v", path, err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatalf("parsing %s: %v", path, err)
+	}
+	return rows
+}
+
+func TestExportCSV(t *testing.T) {
+	c := quickCollected(t)
+	dir := t.TempDir()
+	if err := ExportCSV(c, dir); err != nil {
+		t.Fatal(err)
+	}
+	wantFiles := []string{
+		"table02.csv", "figure03a.csv", "figure03b.csv", "figure04a.csv",
+		"figure04b.csv", "figure05.csv", "figure08_sps_if.csv",
+		"figure08_if_price.csv", "figure08_sps_price.csv", "figure09.csv",
+		"figure10_sps.csv", "figure10_price.csv", "figure10_if.csv",
+	}
+	for _, name := range wantFiles {
+		rows := readCSV(t, filepath.Join(dir, name))
+		if len(rows) < 2 {
+			t.Errorf("%s has %d rows; want header + data", name, len(rows))
+		}
+	}
+	// Table 2 structure: 5 value rows, fractions parseable.
+	t2 := readCSV(t, filepath.Join(dir, "table02.csv"))
+	if len(t2) != 6 {
+		t.Errorf("table02.csv has %d rows, want 6", len(t2))
+	}
+	// Figure 3 has one row per class plus header, and days+1 columns.
+	f3 := readCSV(t, filepath.Join(dir, "figure03a.csv"))
+	if len(f3) != 17 {
+		t.Errorf("figure03a.csv has %d rows, want 17 (header + 16 classes)", len(f3))
+	}
+	if len(f3[0]) != c.Days+1 {
+		t.Errorf("figure03a.csv has %d columns, want %d", len(f3[0]), c.Days+1)
+	}
+	// Figure 4 contains NA cells.
+	f4 := readCSV(t, filepath.Join(dir, "figure04a.csv"))
+	foundNA := false
+	for _, row := range f4[1:] {
+		for _, cell := range row[1:] {
+			if cell == "NA" {
+				foundNA = true
+			}
+		}
+	}
+	if !foundNA {
+		t.Error("figure04a.csv has no NA cells")
+	}
+}
+
+func TestExportExperimentCSV(t *testing.T) {
+	opt := DefaultExperiment54Options()
+	opt.SampleFrac = 0.1
+	opt.MaxPerCategory = 10
+	opt.Horizon = 2 * time.Hour
+	res, err := Experiment54(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := ExportExperimentCSV(res, dir); err != nil {
+		t.Fatal(err)
+	}
+	t3 := readCSV(t, filepath.Join(dir, "table03.csv"))
+	if len(t3) != 6 {
+		t.Errorf("table03.csv has %d rows, want 6", len(t3))
+	}
+	// Category CDF files exist (fulfillments happen even in 2h for H-H).
+	if rows := readCSV(t, filepath.Join(dir, "figure11a_H_H.csv")); len(rows) < 2 {
+		t.Error("figure11a_H_H.csv empty")
+	}
+}
+
+func TestExportFig7CSV(t *testing.T) {
+	res, err := Fig7(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := ExportFig7CSV(res, dir); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(dir, "figure07.csv"))
+	if len(rows) != len(Fig7Classes)+1 {
+		t.Errorf("figure07.csv has %d rows, want %d", len(rows), len(Fig7Classes)+1)
+	}
+	if len(rows[0]) != len(Fig7Targets)+1 {
+		t.Errorf("figure07.csv has %d cols, want %d", len(rows[0]), len(Fig7Targets)+1)
+	}
+}
+
+func TestExportFig6CSV(t *testing.T) {
+	res, err := Fig6(9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := ExportFig6CSV(res, dir); err != nil {
+		t.Fatal(err)
+	}
+	rows := readCSV(t, filepath.Join(dir, "figure06.csv"))
+	total := 0
+	for _, row := range rows[1:] {
+		n, err := strconv.Atoi(row[2])
+		if err != nil {
+			t.Fatalf("bad count %q", row[2])
+		}
+		total += n
+	}
+	if total != res.Total() {
+		t.Errorf("scatter counts sum to %d, want %d", total, res.Total())
+	}
+}

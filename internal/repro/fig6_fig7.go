@@ -1,0 +1,275 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/awsapi"
+	"repro/internal/catalog"
+	"repro/internal/cloudsim"
+	"repro/internal/simclock"
+	"repro/internal/simrand"
+)
+
+// --- Figure 6: composite instance type queries ---------------------------------
+
+// PaperFig6 records the published composite-query fractions.
+var PaperFig6 = struct{ Greater, Equal float64 }{0.6062, 0.3881}
+
+// Fig6Result compares composite placement scores against the sum of the
+// individual types' scores.
+type Fig6Result struct {
+	Greater, Equal, Less int
+	// Scatter counts (sum of singles, composite score) pairs, the
+	// scatter-plot data of Figure 6.
+	Scatter map[[2]int]int
+}
+
+// Total returns the experiment size.
+func (r Fig6Result) Total() int { return r.Greater + r.Equal + r.Less }
+
+// FracGreater returns the fraction of composite > sum cases.
+func (r Fig6Result) FracGreater() float64 { return frac(r.Greater, r.Total()) }
+
+// FracEqual returns the fraction of composite == sum cases.
+func (r Fig6Result) FracEqual() float64 { return frac(r.Equal, r.Total()) }
+
+// FracLess returns the fraction of composite < sum cases (the paper saw
+// two such exceptions).
+func (r Fig6Result) FracLess() float64 { return frac(r.Less, r.Total()) }
+
+func frac(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total)
+}
+
+// Fig6 runs the composite-query experiment: random 3-type queries against
+// one region, stratified so each summed-singles value 3..9 contributes
+// equally (the paper's uniform stratification). Queries go through the
+// vendor API under its quota, rotating accounts as the paper's multi-account
+// setup does.
+func Fig6(seed uint64, perStratum int) (Fig6Result, error) {
+	if perStratum <= 0 {
+		return Fig6Result{}, fmt.Errorf("repro: perStratum must be positive")
+	}
+	cat := catalog.Standard()
+	clk := simclock.NewAtEpoch()
+	cloud := cloudsim.New(cat, clk, seed, cloudsim.DefaultParams())
+	rng := simrand.New(seed).Stream("fig6")
+
+	res := Fig6Result{Scatter: make(map[[2]int]int)}
+	strata := make(map[int]int) // summed singles -> count
+	types := cat.Types()
+
+	account := 0
+	client := awsapi.NewClient(cloud, fmt.Sprintf("fig6-%03d", account))
+	queriesOnAccount := 0
+	nextClient := func() *awsapi.Client {
+		// 4 unique queries per iteration; stay clear of the 50/24h quota.
+		if queriesOnAccount+4 > awsapi.MaxUniqueQueriesPer24h {
+			account++
+			client = awsapi.NewClient(cloud, fmt.Sprintf("fig6-%03d", account))
+			queriesOnAccount = 0
+		}
+		return client
+	}
+
+	const target = 4 // instances per query
+	maxIters := perStratum * 7 * 40
+	for iter := 0; iter < maxIters; iter++ {
+		full := true
+		for s := 3; s <= 9; s++ {
+			if strata[s] < perStratum {
+				full = false
+				break
+			}
+		}
+		if full {
+			break
+		}
+		// Let the world move between batches, as real queries would.
+		clk.RunFor(7 * time.Minute)
+
+		region := cat.Regions()[rng.Intn(cat.NumRegions())].Code
+		var picked []string
+		seen := map[string]bool{}
+		for len(picked) < 3 {
+			t := types[rng.Intn(len(types))]
+			if seen[t.Name] || !cat.Supports(t.Name, region) {
+				continue
+			}
+			seen[t.Name] = true
+			picked = append(picked, t.Name)
+		}
+
+		cl := nextClient()
+		sum := 0
+		ok := true
+		for _, tn := range picked {
+			scores, err := cl.GetSpotPlacementScores(awsapi.PlacementScoreQuery{
+				InstanceTypes: []string{tn}, Regions: []string{region}, TargetCapacity: target,
+			})
+			queriesOnAccount++
+			if err != nil || len(scores) == 0 {
+				ok = false
+				break
+			}
+			s := scores[0].Score
+			if s > 3 {
+				s = 3 // single-type scores observed in 1..3 (Section 5.2)
+			}
+			sum += s
+		}
+		if !ok {
+			continue
+		}
+		if strata[sum] >= perStratum {
+			continue
+		}
+		comp, err := cl.GetSpotPlacementScores(awsapi.PlacementScoreQuery{
+			InstanceTypes: picked, Regions: []string{region}, TargetCapacity: target,
+		})
+		queriesOnAccount++
+		if err != nil || len(comp) == 0 {
+			continue
+		}
+		strata[sum]++
+		c := comp[0].Score
+		res.Scatter[[2]int{sum, c}]++
+		switch {
+		case c > sum:
+			res.Greater++
+		case c == sum:
+			res.Equal++
+		default:
+			res.Less++
+		}
+	}
+	if res.Total() == 0 {
+		return res, fmt.Errorf("repro: Fig6 collected no samples")
+	}
+	return res, nil
+}
+
+// String renders the comparison fractions.
+func (r Fig6Result) String() string {
+	return "Figure 6: composite 3-type query score vs sum of single scores\n" +
+		table([]string{"Relation", "Measured", "Paper"}, [][]string{
+			{"composite > sum", pct(r.FracGreater() * 100), pct(PaperFig6.Greater * 100)},
+			{"composite = sum", pct(r.FracEqual() * 100), pct(PaperFig6.Equal * 100)},
+			{"composite < sum", pct(r.FracLess() * 100), "2 cases"},
+		}) +
+		fmt.Sprintf("samples: %d\n", r.Total())
+}
+
+// --- Figure 7: target capacity sweep ---------------------------------------------
+
+// Fig7Targets are the requested-instance counts of Figure 7.
+var Fig7Targets = []int{2, 4, 8, 16, 32, 50}
+
+// Fig7Classes are the classes shown in Figure 7, with the representative
+// xlarge-class type used for each (the paper picks one representative per
+// family, xlarge where available).
+var Fig7Classes = []struct {
+	Class catalog.Class
+	Type  string
+}{
+	{catalog.ClassT, "t3.xlarge"},
+	{catalog.ClassM, "m5.xlarge"},
+	{catalog.ClassC, "c5.xlarge"},
+	{catalog.ClassR, "r5.xlarge"},
+	{catalog.ClassP, "p3.2xlarge"},
+	{catalog.ClassG, "g4dn.xlarge"},
+	{catalog.ClassInf, "inf1.xlarge"},
+	{catalog.ClassI, "i3.xlarge"},
+	{catalog.ClassD, "d3en.xlarge"},
+}
+
+// PaperFig7 is the published score matrix (rows follow Fig7Classes).
+var PaperFig7 = map[catalog.Class][]float64{
+	catalog.ClassT:   {2.98, 2.97, 2.95, 2.87, 2.67, 2.47},
+	catalog.ClassM:   {2.94, 2.91, 2.85, 2.74, 2.54, 2.36},
+	catalog.ClassC:   {2.98, 2.96, 2.91, 2.72, 2.55, 2.45},
+	catalog.ClassR:   {2.94, 2.89, 2.77, 2.53, 2.25, 2.10},
+	catalog.ClassP:   {1.82, 1.69, 1.57, 1.42, 1.22, 1.11},
+	catalog.ClassG:   {2.43, 2.21, 1.98, 1.76, 1.36, 1.10},
+	catalog.ClassInf: {2.56, 2.25, 1.85, 1.32, 1.14, 1.08},
+	catalog.ClassI:   {3.00, 3.00, 2.99, 2.96, 2.82, 2.63},
+	catalog.ClassD:   {2.91, 2.46, 1.91, 1.41, 1.11, 1.01},
+}
+
+// Fig7Result is the measured matrix.
+type Fig7Result struct {
+	Means map[catalog.Class][]float64
+}
+
+// Fig7 sweeps the requested instance count for the representative types,
+// averaging region-level scores across regions and repeated samples.
+func Fig7(seed uint64, samples int) (Fig7Result, error) {
+	if samples <= 0 {
+		return Fig7Result{}, fmt.Errorf("repro: samples must be positive")
+	}
+	cat := catalog.Standard()
+	clk := simclock.NewAtEpoch()
+	cloud := cloudsim.New(cat, clk, seed, cloudsim.DefaultParams())
+
+	means := make(map[catalog.Class][]float64)
+	for _, fc := range Fig7Classes {
+		means[fc.Class] = make([]float64, len(Fig7Targets))
+	}
+	for s := 0; s < samples; s++ {
+		clk.RunFor(12 * time.Hour)
+		for _, fc := range Fig7Classes {
+			var regions []string
+			for _, rc := range cat.SupportedRegions(fc.Type) {
+				regions = append(regions, rc.Region)
+			}
+			for ti, n := range Fig7Targets {
+				entries, err := cloud.PlacementScores(cloudsim.ScoreRequest{
+					Types: []string{fc.Type}, Regions: regions, TargetCapacity: n,
+				})
+				if err != nil {
+					return Fig7Result{}, err
+				}
+				sum := 0.0
+				for _, e := range entries {
+					sc := e.Score
+					if sc > 3 {
+						sc = 3
+					}
+					sum += float64(sc)
+				}
+				means[fc.Class][ti] += sum / float64(len(entries)) / float64(samples)
+			}
+		}
+	}
+	return Fig7Result{Means: means}, nil
+}
+
+// String renders measured-vs-paper rows.
+func (r Fig7Result) String() string {
+	header := []string{"Class"}
+	for _, n := range Fig7Targets {
+		header = append(header, fmt.Sprintf("n=%d", n))
+	}
+	var rows [][]string
+	for _, fc := range Fig7Classes {
+		row := []string{string(fc.Class)}
+		for _, m := range r.Means[fc.Class] {
+			row = append(row, f2(m))
+		}
+		rows = append(rows, row)
+		paperRow := []string{"  paper"}
+		for _, m := range PaperFig7[fc.Class] {
+			paperRow = append(paperRow, f2(m))
+		}
+		rows = append(rows, paperRow)
+	}
+	var b strings.Builder
+	b.WriteString("Figure 7: placement score vs requested instance count\n")
+	b.WriteString(table(header, rows))
+	return b.String()
+}

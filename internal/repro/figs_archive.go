@@ -1,0 +1,389 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/catalog"
+	"repro/internal/tsdb"
+)
+
+// gridStep is the sampling grid used for distribution and correlation
+// analyses over the archive.
+const gridStep = 2 * time.Hour
+
+// --- Table 2: value distribution of the two scores ---------------------------
+
+// PaperTable2SPS and PaperTable2IF are the published Table 2 values.
+var (
+	PaperTable2SPS = map[float64]float64{3.0: 0.8788, 2.0: 0.0381, 1.0: 0.0831}
+	PaperTable2IF  = map[float64]float64{3.0: 0.3305, 2.5: 0.2592, 2.0: 0.1386, 1.5: 0.0633, 1.0: 0.2084}
+)
+
+// Table2Result is the measured value distribution of both scores.
+type Table2Result struct {
+	SPS map[float64]float64
+	IF  map[float64]float64
+}
+
+// Table2 computes the value distributions over the collected archive.
+func Table2(c *Collected) Table2Result {
+	return Table2Result{
+		SPS: analysis.ValueDistribution(c.DB, tsdb.DatasetPlacementScore, c.From, c.To, gridStep),
+		IF:  analysis.ValueDistribution(c.DB, tsdb.DatasetInterruptFree, c.From, c.To, gridStep),
+	}
+}
+
+// String renders the paper-vs-measured table.
+func (r Table2Result) String() string {
+	rows := [][]string{}
+	for _, v := range []float64{3.0, 2.5, 2.0, 1.5, 1.0} {
+		spsPaper, spsOK := PaperTable2SPS[v]
+		spsCell, paperCell := "NA", "NA"
+		if spsOK {
+			paperCell = pct(spsPaper * 100)
+		}
+		if spsOK || r.SPS[v] > 0 {
+			spsCell = pct(r.SPS[v] * 100)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", v),
+			spsCell, paperCell,
+			pct(r.IF[v] * 100), pct(PaperTable2IF[v] * 100),
+		})
+	}
+	return "Table 2: value distribution of spot placement and interruption-free scores\n" +
+		table([]string{"Value", "SPS", "SPS(paper)", "IF", "IF(paper)"}, rows)
+}
+
+// --- Figure 3: temporal heatmap ----------------------------------------------
+
+// Fig3Result holds the daily per-class means of both scores plus the
+// summary statistics the paper quotes.
+type Fig3Result struct {
+	Days       int
+	SPSByClass map[catalog.Class][]float64
+	IFByClass  map[catalog.Class][]float64
+
+	OverallSPS float64 // paper: 2.80
+	OverallIF  float64 // paper: 2.22
+	// AccelGapSPS/IF: relative shortfall of accelerated classes vs overall
+	// (paper: 12.07% and 34.98%).
+	AccelGapSPS float64
+	AccelGapIF  float64
+	// ShockDipDay is the day index with the deepest SPS drop relative to
+	// its neighbors (paper: the June 2 adjustment, day ~152).
+	ShockDipDay int
+}
+
+// Fig3 computes the temporal heatmap data.
+func Fig3(c *Collected) Fig3Result {
+	res := Fig3Result{
+		Days:       c.Days,
+		SPSByClass: analysis.DailyClassMeans(c.DB, c.Cat, tsdb.DatasetPlacementScore, c.From, c.Days),
+		IFByClass:  analysis.DailyClassMeans(c.DB, c.Cat, tsdb.DatasetInterruptFree, c.From, c.Days),
+	}
+	res.OverallSPS = analysis.OverallMean(c.DB, tsdb.DatasetPlacementScore, c.From, c.To)
+	res.OverallIF = analysis.OverallMean(c.DB, tsdb.DatasetInterruptFree, c.From, c.To)
+
+	accelOf := func(byClass map[catalog.Class][]float64) float64 {
+		var sum float64
+		var n int
+		for cl, row := range byClass {
+			if !cl.Accelerated() {
+				continue
+			}
+			m := analysis.Mean(row)
+			if !math.IsNaN(m) {
+				sum += m
+				n++
+			}
+		}
+		if n == 0 {
+			return math.NaN()
+		}
+		return sum / float64(n)
+	}
+	res.AccelGapSPS = 100 * (1 - accelOf(res.SPSByClass)/res.OverallSPS)
+	res.AccelGapIF = 100 * (1 - accelOf(res.IFByClass)/res.OverallIF)
+
+	// Locate the sharpest day-over-day dip in the all-class SPS mean.
+	daily := make([]float64, c.Days)
+	for d := 0; d < c.Days; d++ {
+		var sum float64
+		var n int
+		for _, row := range res.SPSByClass {
+			if d < len(row) && !math.IsNaN(row[d]) {
+				sum += row[d]
+				n++
+			}
+		}
+		if n > 0 {
+			daily[d] = sum / float64(n)
+		} else {
+			daily[d] = math.NaN()
+		}
+	}
+	worst, worstDrop := -1, 0.0
+	for d := 1; d < len(daily); d++ {
+		if math.IsNaN(daily[d]) || math.IsNaN(daily[d-1]) {
+			continue
+		}
+		if drop := daily[d-1] - daily[d]; drop > worstDrop {
+			worstDrop, worst = drop, d
+		}
+	}
+	res.ShockDipDay = worst
+	return res
+}
+
+// String renders per-class means and the headline statistics.
+func (r Fig3Result) String() string {
+	rows := [][]string{}
+	for _, cl := range catalog.Classes {
+		rows = append(rows, []string{
+			string(cl),
+			f2(analysis.Mean(r.SPSByClass[cl])),
+			f2(analysis.Mean(r.IFByClass[cl])),
+		})
+	}
+	var b strings.Builder
+	b.WriteString("Figure 3: temporal class means over the collection period\n")
+	b.WriteString(table([]string{"Class", "SPS mean", "IF mean"}, rows))
+	fmt.Fprintf(&b, "overall SPS %.2f (paper 2.80), overall IF %.2f (paper 2.22)\n", r.OverallSPS, r.OverallIF)
+	fmt.Fprintf(&b, "accelerated shortfall: SPS %.1f%% (paper 12.07%%), IF %.1f%% (paper 34.98%%)\n", r.AccelGapSPS, r.AccelGapIF)
+	fmt.Fprintf(&b, "sharpest availability dip at day %d (paper: ~day 152, June 2 2022)\n", r.ShockDipDay)
+	return b.String()
+}
+
+// --- Figure 4: spatial heatmap -----------------------------------------------
+
+// Fig4Result holds the per-(class, region) means of both scores.
+type Fig4Result struct {
+	SPS map[catalog.Class]map[string]float64
+	IF  map[catalog.Class]map[string]float64
+	// SpatialSpread and TemporalSpread compare variation across regions vs
+	// across days (the paper's key finding: spatial > temporal).
+	SpatialSpread  float64
+	TemporalSpread float64
+	Regions        []string
+}
+
+// Fig4 computes the spatial heatmap data.
+func Fig4(c *Collected) Fig4Result {
+	res := Fig4Result{
+		SPS: analysis.RegionClassMeans(c.DB, c.Cat, tsdb.DatasetPlacementScore, c.From, c.To),
+		IF:  analysis.RegionClassMeans(c.DB, c.Cat, tsdb.DatasetInterruptFree, c.From, c.To),
+	}
+	for _, reg := range c.Cat.Regions() {
+		res.Regions = append(res.Regions, reg.Code)
+	}
+	// Spread measures: mean per-class stddev across regions (spatial) vs
+	// across days (temporal).
+	daily := analysis.DailyClassMeans(c.DB, c.Cat, tsdb.DatasetPlacementScore, c.From, c.Days)
+	var spat, temp []float64
+	for _, cl := range catalog.Classes {
+		var rv []float64
+		for _, v := range res.SPS[cl] {
+			if !math.IsNaN(v) {
+				rv = append(rv, v)
+			}
+		}
+		if sd, ok := stddev(rv); ok {
+			spat = append(spat, sd)
+		}
+		var dv []float64
+		for _, v := range daily[cl] {
+			if !math.IsNaN(v) {
+				dv = append(dv, v)
+			}
+		}
+		if sd, ok := stddev(dv); ok {
+			temp = append(temp, sd)
+		}
+	}
+	res.SpatialSpread = analysis.Mean(spat)
+	res.TemporalSpread = analysis.Mean(temp)
+	return res
+}
+
+func stddev(xs []float64) (float64, bool) {
+	if len(xs) < 2 {
+		return 0, false
+	}
+	m := analysis.Mean(xs)
+	var v float64
+	for _, x := range xs {
+		v += (x - m) * (x - m)
+	}
+	return math.Sqrt(v / float64(len(xs))), true
+}
+
+// String renders the SPS heatmap with NA cells and the spread comparison.
+func (r Fig4Result) String() string {
+	header := []string{"Class"}
+	header = append(header, r.Regions...)
+	rows := [][]string{}
+	for _, cl := range catalog.Classes {
+		row := []string{string(cl)}
+		for _, reg := range r.Regions {
+			v := r.SPS[cl][reg]
+			if math.IsNaN(v) {
+				row = append(row, "NA")
+			} else {
+				row = append(row, f2(v))
+			}
+		}
+		rows = append(rows, row)
+	}
+	var b strings.Builder
+	b.WriteString("Figure 4: spatial variation of the spot placement score\n")
+	b.WriteString(table(header, rows))
+	fmt.Fprintf(&b, "spatial spread %.3f vs temporal spread %.3f (paper: spatial diversity dominates)\n",
+		r.SpatialSpread, r.TemporalSpread)
+	return b.String()
+}
+
+// --- Figure 5: size effect ----------------------------------------------------
+
+// Fig5Result holds the by-size score means.
+type Fig5Result struct {
+	Rows []analysis.SizeMeanRow
+}
+
+// Fig5 computes the by-size means for sizes with more than 10 types (the
+// paper's filter) or, on reduced catalogs, the densest available filter.
+func Fig5(c *Collected) Fig5Result {
+	minTypes := 10
+	rows := analysis.SizeMeans(c.DB, c.Cat, c.From, c.To, minTypes)
+	for len(rows) < 4 && minTypes > 0 {
+		minTypes--
+		rows = analysis.SizeMeans(c.DB, c.Cat, c.From, c.To, minTypes)
+	}
+	return Fig5Result{Rows: rows}
+}
+
+// String renders the size table.
+func (r Fig5Result) String() string {
+	rows := [][]string{}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{string(row.Size), f2(row.MeanSPS), f2(row.MeanIF), fmt.Sprint(row.NumTypes)})
+	}
+	return "Figure 5: scores by instance size (paper: both scores decline with size)\n" +
+		table([]string{"Size", "SPS mean", "IF mean", "#types"}, rows)
+}
+
+// --- Figure 8: correlations ----------------------------------------------------
+
+// Fig8Result holds the correlation CDable sets and the fractions the paper
+// quotes.
+type Fig8Result struct {
+	Sets analysis.CorrelationSets
+	// FracAbsBelow25/50 are the fractions of |r(SPS, IF)| below 0.25 and
+	// 0.5 (paper: 62.57% and 87.64%).
+	FracAbsBelow25 float64
+	FracAbsBelow50 float64
+}
+
+// Fig8 computes the pairwise Pearson correlation distributions.
+func Fig8(c *Collected) Fig8Result {
+	sets := analysis.Correlations(c.DB, c.From, c.To, gridStep)
+	below25, below50 := 0, 0
+	for _, r := range sets.SPSvsIF {
+		if math.Abs(r) < 0.25 {
+			below25++
+		}
+		if math.Abs(r) < 0.5 {
+			below50++
+		}
+	}
+	n := len(sets.SPSvsIF)
+	res := Fig8Result{Sets: sets}
+	if n > 0 {
+		res.FracAbsBelow25 = float64(below25) / float64(n)
+		res.FracAbsBelow50 = float64(below50) / float64(n)
+	}
+	return res
+}
+
+// String renders summary quantiles of the three CDFs.
+func (r Fig8Result) String() string {
+	row := func(name string, xs []float64) []string {
+		c := analysis.NewCDF(xs)
+		return []string{name, fmt.Sprint(c.N()),
+			f2(c.Quantile(0.1)), f2(c.Quantile(0.5)), f2(c.Quantile(0.9))}
+	}
+	rows := [][]string{
+		row("SPS vs IF", r.Sets.SPSvsIF),
+		row("IF vs price", r.Sets.IFvsPrice),
+		row("SPS vs price", r.Sets.SPSvsPrice),
+	}
+	var b strings.Builder
+	b.WriteString("Figure 8: Pearson correlation CDFs across dataset pairs\n")
+	b.WriteString(table([]string{"Pair", "n", "p10", "median", "p90"}, rows))
+	fmt.Fprintf(&b, "|r(SPS,IF)| < 0.25 for %.1f%% (paper 62.57%%), < 0.5 for %.1f%% (paper 87.64%%)\n",
+		r.FracAbsBelow25*100, r.FracAbsBelow50*100)
+	return b.String()
+}
+
+// --- Figure 9: score difference histogram --------------------------------------
+
+// PaperFig9Contradiction is the paper's fraction of complete contradictions
+// (difference 2.0).
+const PaperFig9Contradiction = 0.1741
+
+// Fig9Result is the score-difference histogram.
+type Fig9Result struct {
+	Histogram map[float64]float64
+}
+
+// Fig9 computes the |SPS - IF| distribution.
+func Fig9(c *Collected) Fig9Result {
+	return Fig9Result{Histogram: analysis.ScoreDifferenceHistogram(c.DB, c.From, c.To, gridStep)}
+}
+
+// String renders the histogram.
+func (r Fig9Result) String() string {
+	rows := [][]string{}
+	for _, d := range []float64{0, 0.5, 1, 1.5, 2} {
+		paper := ""
+		if d == 2 {
+			paper = pct(PaperFig9Contradiction * 100)
+		}
+		rows = append(rows, []string{fmt.Sprintf("%.1f", d), pct(r.Histogram[d] * 100), paper})
+	}
+	return "Figure 9: |SPS - interruption-free| score difference distribution\n" +
+		table([]string{"Difference", "Measured", "Paper"}, rows)
+}
+
+// --- Figure 10: update frequency -----------------------------------------------
+
+// Fig10Result holds the change-interval CDFs of the three datasets.
+type Fig10Result struct {
+	SPS   analysis.CDF
+	IF    analysis.CDF
+	Price analysis.CDF
+}
+
+// Fig10 computes the hours-between-changes CDF per dataset.
+func Fig10(c *Collected) Fig10Result {
+	return Fig10Result{
+		SPS:   analysis.UpdateIntervalCDF(c.DB, tsdb.DatasetPlacementScore),
+		IF:    analysis.UpdateIntervalCDF(c.DB, tsdb.DatasetInterruptFree),
+		Price: analysis.UpdateIntervalCDF(c.DB, tsdb.DatasetPrice),
+	}
+}
+
+// String renders interval quantiles (hours).
+func (r Fig10Result) String() string {
+	row := func(name string, c analysis.CDF) []string {
+		return []string{name, fmt.Sprint(c.N()),
+			f2(c.Quantile(0.25)), f2(c.Quantile(0.5)), f2(c.Quantile(0.75))}
+	}
+	return "Figure 10: hours between value changes (paper ordering: SPS < price < IF)\n" +
+		table([]string{"Dataset", "changes", "p25", "median", "p75"},
+			[][]string{row("SPS", r.SPS), row("price", r.Price), row("IF", r.IF)})
+}

@@ -1,0 +1,115 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/cloudsim"
+	"repro/internal/experiment"
+)
+
+func TestFig6Validation(t *testing.T) {
+	if _, err := Fig6(1, 0); err == nil {
+		t.Error("zero perStratum accepted")
+	}
+}
+
+func TestFig7Validation(t *testing.T) {
+	if _, err := Fig7(1, 0); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestTable4Validation(t *testing.T) {
+	opt := DefaultTable4Options()
+	opt.TestFraction = 0
+	if _, err := Table4(opt); err == nil {
+		t.Error("zero test fraction accepted")
+	}
+	opt.TestFraction = 1
+	if _, err := Table4(opt); err == nil {
+		t.Error("test fraction 1 accepted")
+	}
+}
+
+func TestExperiment54ParamsOverride(t *testing.T) {
+	// The ablation hook: overriding params must actually reach the cloud.
+	p := cloudsim.DefaultParams()
+	p.FreshBoost = 0
+	opt := Experiment54Options{
+		Seed: 5, SampleFrac: 0.08, WarmupDays: 1,
+		MaxPerCategory: 5, Horizon: time.Hour, Params: &p,
+	}
+	res, err := Experiment54(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Result.Cases) == 0 {
+		t.Fatal("no cases with overridden params")
+	}
+}
+
+func TestResultStringsMentionPaperAnchors(t *testing.T) {
+	// Rendering smoke tests: every result mentions its paper reference so
+	// printed output is self-describing.
+	c := quickCollected(t)
+	if s := Table2(c).String(); !strings.Contains(s, "87.88") {
+		t.Error("Table2 output lacks the paper column")
+	}
+	if s := Fig3(c).String(); !strings.Contains(s, "2.80") {
+		t.Error("Fig3 output lacks the paper overall mean")
+	}
+	if s := Fig9(c).String(); !strings.Contains(s, "17.41") {
+		t.Error("Fig9 output lacks the paper contradiction rate")
+	}
+	if s := Fig10(c).String(); !strings.Contains(s, "SPS < price < IF") {
+		t.Error("Fig10 output lacks the ordering note")
+	}
+	f4 := Fig4(c)
+	if s := f4.String(); !strings.Contains(s, "NA") {
+		t.Error("Fig4 output lacks NA cells")
+	}
+}
+
+func TestExperiment54CategoriesComplete(t *testing.T) {
+	opt := Experiment54Options{
+		Seed: 6, SampleFrac: 0.1, WarmupDays: 1,
+		MaxPerCategory: 6, Horizon: 2 * time.Hour,
+	}
+	res, err := Experiment54(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cc := range experiment.Categories {
+		if res.Result.ByCategory[cc].Total == 0 {
+			t.Errorf("category %s missing from results", cc)
+		}
+	}
+	// All three render paths work.
+	for _, s := range []string{res.Table3String(), res.Fig11aString(), res.Fig11bString(), res.String()} {
+		if len(s) == 0 {
+			t.Error("empty rendering")
+		}
+	}
+}
+
+func TestCollectUsesRequestedCatalogScale(t *testing.T) {
+	col, err := Collect(CollectOptions{Seed: 1, Days: 1, SampleFrac: 0.05, Interval: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.Cat.NumTypes() >= catalog.Standard().NumTypes() {
+		t.Error("sampled catalog not smaller than standard")
+	}
+	if col.Days != 1 {
+		t.Errorf("Days = %d", col.Days)
+	}
+	if !col.To.After(col.From) {
+		t.Error("empty collection window")
+	}
+	if col.Stats.QueriesIssued == 0 {
+		t.Error("no queries issued")
+	}
+}

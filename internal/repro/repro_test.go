@@ -1,0 +1,366 @@
+package repro
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/catalog"
+	"repro/internal/experiment"
+	"repro/internal/tsdb"
+)
+
+// sharedCollected caches one quick collection run across the archive-driven
+// figure tests.
+var (
+	sharedOnce sync.Once
+	shared     *Collected
+	sharedErr  error
+)
+
+func quickCollected(t *testing.T) *Collected {
+	t.Helper()
+	sharedOnce.Do(func() {
+		opt := QuickCollectOptions()
+		shared, sharedErr = Collect(opt)
+	})
+	if sharedErr != nil {
+		t.Fatal(sharedErr)
+	}
+	return shared
+}
+
+func TestCollectValidation(t *testing.T) {
+	if _, err := Collect(CollectOptions{Days: 0, SampleFrac: 0.1, Interval: time.Hour}); err == nil {
+		t.Error("zero days accepted")
+	}
+	if _, err := Collect(CollectOptions{Days: 1, SampleFrac: 0, Interval: time.Hour}); err == nil {
+		t.Error("zero sample fraction accepted")
+	}
+	if _, err := Collect(CollectOptions{Days: 1, SampleFrac: 2, Interval: time.Hour}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestTable1AllStatesReachable(t *testing.T) {
+	res, err := Table1(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.Reached {
+			t.Errorf("status %q not reached in simulation", row.Status)
+		}
+	}
+	if len(res.Trace) == 0 {
+		t.Error("no transition trace")
+	}
+	if !strings.Contains(res.String(), "Pending Evaluation") {
+		t.Error("rendering lacks status names")
+	}
+}
+
+func TestFig1Reproduction(t *testing.T) {
+	res, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NaiveQueries != 9299 {
+		t.Errorf("naive queries = %d, want 9299", res.NaiveQueries)
+	}
+	if res.OptimizedQueries < 1900 || res.OptimizedQueries > 2600 {
+		t.Errorf("optimized queries = %d, want in [1900, 2600] (paper 2226)", res.OptimizedQueries)
+	}
+	if res.Improvement < 3.5 {
+		t.Errorf("improvement %.2fx < 3.5x (paper ~4.2x)", res.Improvement)
+	}
+	if res.OptimizedAccounts < 38 || res.OptimizedAccounts > 52 {
+		t.Errorf("accounts = %d, want in [38, 52] (paper 45)", res.OptimizedAccounts)
+	}
+	if res.ExactQueries > res.OptimizedQueries {
+		t.Errorf("exact plan (%d) worse than FFD (%d)", res.ExactQueries, res.OptimizedQueries)
+	}
+	for _, sum := range res.ExampleBinSums {
+		if sum > 10 {
+			t.Errorf("example bin sum %d exceeds the 10-result cap", sum)
+		}
+	}
+	t.Log("\n" + res.String())
+}
+
+func TestTable2QuickBands(t *testing.T) {
+	c := quickCollected(t)
+	res := Table2(c)
+	t.Log("\n" + res.String())
+	if f := res.SPS[3.0]; f < 0.78 || f > 0.95 {
+		t.Errorf("P(SPS=3) = %.3f, want in [0.78, 0.95] (paper 0.8788)", f)
+	}
+	if f := res.SPS[1.0]; f < 0.03 || f > 0.16 {
+		t.Errorf("P(SPS=1) = %.3f, want in [0.03, 0.16] (paper 0.0831)", f)
+	}
+	// IF is far more uniform than SPS: top bucket below 0.5, worst bucket
+	// carrying real mass.
+	if res.IF[3.0] > 0.5 {
+		t.Errorf("P(IF=3) = %.3f too concentrated", res.IF[3.0])
+	}
+	if res.IF[1.0] < 0.08 {
+		t.Errorf("P(IF=1) = %.3f, want >= 0.08 (paper 0.2084)", res.IF[1.0])
+	}
+}
+
+func TestFig3QuickShape(t *testing.T) {
+	c := quickCollected(t)
+	res := Fig3(c)
+	t.Log("\n" + res.String())
+	if res.OverallSPS < 2.5 || res.OverallSPS > 3.0 {
+		t.Errorf("overall SPS %.2f outside [2.5, 3.0] (paper 2.80)", res.OverallSPS)
+	}
+	if res.OverallIF < 1.8 || res.OverallIF > 2.7 {
+		t.Errorf("overall IF %.2f outside [1.8, 2.7] (paper 2.22)", res.OverallIF)
+	}
+	if res.OverallIF >= res.OverallSPS {
+		t.Error("IF overall should sit below SPS overall")
+	}
+	if res.AccelGapSPS <= 0 {
+		t.Errorf("accelerated SPS gap %.1f%% should be positive (paper 12.07%%)", res.AccelGapSPS)
+	}
+	if res.AccelGapIF <= res.AccelGapSPS {
+		t.Errorf("accelerated IF gap %.1f%% should exceed SPS gap %.1f%% (paper 34.98%% vs 12.07%%)",
+			res.AccelGapIF, res.AccelGapSPS)
+	}
+}
+
+func TestFig4QuickShape(t *testing.T) {
+	c := quickCollected(t)
+	res := Fig4(c)
+	na := 0
+	for _, cl := range catalog.Classes {
+		for _, v := range res.SPS[cl] {
+			if math.IsNaN(v) {
+				na++
+			}
+		}
+	}
+	if na == 0 {
+		t.Error("no NA cells in the spatial heatmap")
+	}
+	if !(res.SpatialSpread > res.TemporalSpread) {
+		t.Errorf("spatial spread %.3f not above temporal %.3f (paper's key finding)",
+			res.SpatialSpread, res.TemporalSpread)
+	}
+}
+
+func TestFig5QuickShape(t *testing.T) {
+	c := quickCollected(t)
+	res := Fig5(c)
+	if len(res.Rows) < 4 {
+		t.Fatalf("only %d size rows", len(res.Rows))
+	}
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if first.MeanSPS <= last.MeanSPS {
+		t.Errorf("smallest size SPS %.2f not above largest %.2f", first.MeanSPS, last.MeanSPS)
+	}
+	if first.MeanIF <= last.MeanIF {
+		t.Errorf("smallest size IF %.2f not above largest %.2f", first.MeanIF, last.MeanIF)
+	}
+	t.Log("\n" + res.String())
+}
+
+func TestFig8QuickShape(t *testing.T) {
+	c := quickCollected(t)
+	res := Fig8(c)
+	t.Log("\n" + res.String())
+	if len(res.Sets.SPSvsIF) == 0 {
+		t.Fatal("no correlations computed")
+	}
+	med := analysis.Median(res.Sets.SPSvsIF)
+	if math.Abs(med) > 0.4 {
+		t.Errorf("median r(SPS,IF) = %.2f, want near 0", med)
+	}
+	if res.FracAbsBelow50 < 0.5 {
+		t.Errorf("|r|<0.5 fraction = %.2f, want >= 0.5 (paper 0.8764)", res.FracAbsBelow50)
+	}
+	if res.FracAbsBelow25 >= res.FracAbsBelow50 {
+		t.Error("CDF fractions inconsistent")
+	}
+}
+
+func TestFig9QuickShape(t *testing.T) {
+	c := quickCollected(t)
+	res := Fig9(c)
+	t.Log("\n" + res.String())
+	h := res.Histogram
+	for _, d := range []float64{0.5, 1, 1.5, 2} {
+		if h[d] > h[0] {
+			t.Errorf("difference %.1f (%.3f) more common than 0 (%.3f)", d, h[d], h[0])
+		}
+	}
+	if h[2.0] == 0 {
+		t.Error("no complete contradictions observed (paper: 17.41%)")
+	}
+	if h[1.5]+h[2.0] < 0.05 {
+		t.Errorf("contradiction mass %.3f too small (paper ~24%%)", h[1.5]+h[2.0])
+	}
+}
+
+func TestFig10QuickShape(t *testing.T) {
+	c := quickCollected(t)
+	res := Fig10(c)
+	t.Log("\n" + res.String())
+	if res.SPS.N() == 0 || res.Price.N() == 0 {
+		t.Fatal("missing change intervals")
+	}
+	if res.SPS.Quantile(0.5) >= res.Price.Quantile(0.5) {
+		t.Errorf("SPS median interval %.1fh not below price %.1fh (paper: SPS updates most)",
+			res.SPS.Quantile(0.5), res.Price.Quantile(0.5))
+	}
+	if res.IF.N() > 10 && res.Price.Quantile(0.5) >= res.IF.Quantile(0.5) {
+		t.Errorf("price median %.1fh not below IF %.1fh (paper: IF updates least)",
+			res.Price.Quantile(0.5), res.IF.Quantile(0.5))
+	}
+}
+
+func TestExperiment54QuickShape(t *testing.T) {
+	opt := DefaultExperiment54Options()
+	opt.SampleFrac = 0.12
+	opt.MaxPerCategory = 45
+	res, err := Experiment54(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	by := res.Result.ByCategory
+	hh, hl := by[experiment.CatHH], by[experiment.CatHL]
+	mm, lh, ll := by[experiment.CatMM], by[experiment.CatLH], by[experiment.CatLL]
+
+	// Paper's headline: high placement score -> every request fulfilled.
+	if hh.NotFulfilled != 0 {
+		t.Errorf("H-H not-fulfilled = %d, want 0 (paper 0%%)", hh.NotFulfilled)
+	}
+	if hl.NotFulfilledPct() > 8 {
+		t.Errorf("H-L not-fulfilled = %.1f%%, want ~0%%", hl.NotFulfilledPct())
+	}
+	// Low placement score -> fulfillment failures dominate.
+	if lh.NotFulfilledPct() < 25 {
+		t.Errorf("L-H not-fulfilled = %.1f%%, want substantial (paper 58.18%%)", lh.NotFulfilledPct())
+	}
+	if ll.NotFulfilledPct() < 20 {
+		t.Errorf("L-L not-fulfilled = %.1f%%, want substantial (paper 45.61%%)", ll.NotFulfilledPct())
+	}
+	if mm.NotFulfilledPct() >= lh.NotFulfilledPct() {
+		t.Errorf("M-M not-fulfilled %.1f%% should sit below L-H %.1f%%", mm.NotFulfilledPct(), lh.NotFulfilledPct())
+	}
+	// Interruption: H-H is the most reliable.
+	for _, other := range []experiment.Category{experiment.CatHL, experiment.CatLL} {
+		if by[other].InterruptedPct() <= hh.InterruptedPct() {
+			t.Errorf("%s interrupted %.1f%% not above H-H %.1f%%",
+				other, by[other].InterruptedPct(), hh.InterruptedPct())
+		}
+	}
+	// Figure 11a: H-H fills fast; some fills are sub-second; L-L is slow.
+	hhLat := analysis.NewCDF(hh.FulfillLatenciesSec)
+	if hhLat.FractionBelow(1) < 0.1 {
+		t.Errorf("H-H <=1s fills = %.1f%%, want >= 10%% (paper 28.07%%)", hhLat.FractionBelow(1)*100)
+	}
+	if hhLat.Quantile(0.9) > 600 {
+		t.Errorf("H-H p90 fill %.0fs, want <= 600s (paper: 90%% <= 135s)", hhLat.Quantile(0.9))
+	}
+	llLat := analysis.NewCDF(ll.FulfillLatenciesSec)
+	if llLat.N() > 3 && llLat.Quantile(0.5) < hhLat.Quantile(0.5)*10 {
+		t.Errorf("L-L median fill %.0fs not much slower than H-H %.0fs", llLat.Quantile(0.5), hhLat.Quantile(0.5))
+	}
+	// Figure 11b: when interrupted, H-L survives longer than L-H.
+	hlIntr := analysis.NewCDF(hl.TimeToInterruptSec)
+	lhIntr := analysis.NewCDF(lh.TimeToInterruptSec)
+	if hlIntr.N() >= 5 && lhIntr.N() >= 5 && hlIntr.Quantile(0.5) <= lhIntr.Quantile(0.5) {
+		t.Errorf("H-L median run %.0fs not above L-H %.0fs (paper 6872s vs 2859s)",
+			hlIntr.Quantile(0.5), lhIntr.Quantile(0.5))
+	}
+}
+
+func TestTable4QuickShape(t *testing.T) {
+	opt := DefaultTable4Options()
+	opt.CollectDays = 14
+	opt.SampleFrac = 0.35
+	res, err := Table4(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	rf, _ := res.Get("RF")
+	sps, _ := res.Get("SPS")
+	ifm, _ := res.Get("IF")
+	cs, _ := res.Get("CostSave")
+
+	// The paper's finding: history (RF) beats every current-value
+	// heuristic on both metrics.
+	for _, m := range []MethodScore{sps, ifm, cs} {
+		if rf.Accuracy <= m.Accuracy-0.03 {
+			t.Errorf("RF accuracy %.2f not above %s %.2f", rf.Accuracy, m.Method, m.Accuracy)
+		}
+	}
+	if rf.Accuracy < 0.5 {
+		t.Errorf("RF accuracy %.2f too low (paper 0.73)", rf.Accuracy)
+	}
+	if res.TrainSize == 0 || res.TestSize == 0 {
+		t.Error("empty split")
+	}
+}
+
+func TestFig6QuickShape(t *testing.T) {
+	res, err := Fig6(5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	if res.FracLess() > 0.05 {
+		t.Errorf("composite < sum in %.1f%% of cases; should be rare exceptions (paper: 2 cases)",
+			res.FracLess()*100)
+	}
+	if res.FracGreater() < 0.3 {
+		t.Errorf("composite > sum in %.1f%%, want >= 30%% (paper 60.62%%)", res.FracGreater()*100)
+	}
+	if res.FracEqual() < 0.1 {
+		t.Errorf("composite = sum in %.1f%%, want >= 10%% (paper 38.81%%)", res.FracEqual()*100)
+	}
+}
+
+func TestFig7QuickShape(t *testing.T) {
+	res, err := Fig7(6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.String())
+	for _, fc := range Fig7Classes {
+		m := res.Means[fc.Class]
+		for i := 1; i < len(m); i++ {
+			if m[i] > m[i-1]+0.15 {
+				t.Errorf("class %s score rose with target capacity: %.2f -> %.2f", fc.Class, m[i-1], m[i])
+			}
+		}
+	}
+	dropP := res.Means[catalog.ClassP][0] - res.Means[catalog.ClassP][5]
+	dropM := res.Means[catalog.ClassM][0] - res.Means[catalog.ClassM][5]
+	if dropP <= dropM {
+		t.Errorf("P drop %.2f not above M drop %.2f", dropP, dropM)
+	}
+	if res.Means[catalog.ClassI][5] < 2.2 {
+		t.Errorf("I class at n=50 = %.2f, want >= 2.2 (paper 2.63)", res.Means[catalog.ClassI][5])
+	}
+}
+
+// Guard: the archive keys the quick collection produced parse back.
+func TestCollectedKeysWellFormed(t *testing.T) {
+	c := quickCollected(t)
+	for _, k := range c.DB.Keys(tsdb.KeyFilter{})[:50] {
+		if _, err := tsdb.ParseSeriesKey(k.String()); err != nil {
+			t.Fatalf("key %v does not round-trip: %v", k, err)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/awsapi"
+	"repro/internal/binpack"
+	"repro/internal/catalog"
+	"repro/internal/cloudsim"
+	"repro/internal/simclock"
+)
+
+// --- Table 1: spot request status machine ------------------------------------
+
+// Table1Row pairs a request status with its description.
+type Table1Row struct {
+	Status      string
+	Description string
+	Reached     bool
+}
+
+// Table1Result verifies each Table 1 state is reachable in the simulator
+// and carries an example transition trace.
+type Table1Result struct {
+	Rows  []Table1Row
+	Trace []string
+}
+
+// Table1 drives spot requests through every state of the paper's Table 1.
+func Table1(seed uint64) (Table1Result, error) {
+	cat := catalog.Compact(3)
+	clk := simclock.NewAtEpoch()
+	cloud := cloudsim.New(cat, clk, seed, cloudsim.DefaultParams())
+
+	reached := map[cloudsim.RequestStatus]bool{}
+	var trace []string
+	record := func(req *cloudsim.SpotRequest, label string) {
+		for _, ev := range req.Events() {
+			reached[ev.Status] = true
+			trace = append(trace, fmt.Sprintf("[%s] %s -> %s (%s)",
+				label, ev.At.Format("15:04:05"), ev.Status, ev.Detail))
+		}
+	}
+
+	// A healthy pool: Pending Evaluation -> Fulfilled; then cancel ->
+	// Terminal.
+	var healthy, scarceOrAny catalog.Pool
+	bestUnits := -1.0
+	worstUnits := 1e18
+	for _, p := range cat.Pools() {
+		units, err := cloud.LiveAvailableUnits(p.Type, p.AZ)
+		if err != nil {
+			return Table1Result{}, err
+		}
+		if units > bestUnits {
+			bestUnits, healthy = units, p
+		}
+		if units < worstUnits {
+			worstUnits, scarceOrAny = units, p
+		}
+	}
+	od, _ := cat.OnDemandPrice(healthy.Type, healthy.Region)
+	req1, err := cloud.Submit(cloudsim.SpotRequestSpec{Type: healthy.Type, AZ: healthy.AZ, BidUSD: od})
+	if err != nil {
+		return Table1Result{}, err
+	}
+	clk.RunFor(30 * time.Minute)
+	req1.Cancel()
+	record(req1, "healthy")
+
+	// A low bid: Holding (price too low).
+	od2, _ := cat.OnDemandPrice(scarceOrAny.Type, scarceOrAny.Region)
+	req2, err := cloud.Submit(cloudsim.SpotRequestSpec{Type: scarceOrAny.Type, AZ: scarceOrAny.AZ, BidUSD: od2 * 0.01})
+	if err != nil {
+		return Table1Result{}, err
+	}
+	clk.RunFor(time.Minute)
+	record(req2, "low-bid")
+	req2.Close()
+
+	rows := []Table1Row{
+		{"Pending Evaluation", "A valid spot request is submitted", reached[cloudsim.StatusPendingEvaluation]},
+		{"Holding", "Some request constraints cannot be met (price, location, resource availability, ...)", reached[cloudsim.StatusHolding]},
+		{"Fulfilled", "All the spot request constraints are met, and instance status being updated to running", reached[cloudsim.StatusFulfilled]},
+		{"Terminal", "A spot request is disabled possibly by price outbid, resource unavailability, user, ...", reached[cloudsim.StatusTerminal]},
+	}
+	return Table1Result{Rows: rows, Trace: trace}, nil
+}
+
+// String renders the status table with reachability checks.
+func (r Table1Result) String() string {
+	rows := [][]string{}
+	for _, row := range r.Rows {
+		ok := "no"
+		if row.Reached {
+			ok = "yes"
+		}
+		rows = append(rows, []string{row.Status, row.Description, ok})
+	}
+	return "Table 1: spot request status machine (reached = observed in simulation)\n" +
+		table([]string{"Status", "Description", "Reached"}, rows)
+}
+
+// --- Figure 1 / Section 3.2: query optimization --------------------------------
+
+// PaperFig1 records the published optimization numbers.
+var PaperFig1 = struct {
+	NaiveQueries, OptimizedQueries, NaiveAccounts, OptimizedAccounts int
+}{9299, 2226, 186, 45}
+
+// Fig1Result is the measured query-plan optimization.
+type Fig1Result struct {
+	NaiveQueries      int
+	OptimizedQueries  int
+	Improvement       float64
+	NaiveAccounts     int
+	OptimizedAccounts int
+	// Example is the p3.2xlarge packing of Figure 1's illustration.
+	ExampleType    string
+	ExampleBefore  int
+	ExampleAfter   int
+	ExampleBinSums []int
+	// ExactMatchesFFD reports whether the branch-and-bound solver found
+	// the same bin count as FFD on the full catalog (it should: these
+	// instances are easy).
+	ExactQueries int
+}
+
+// Fig1 plans the placement-score collection for the full 547-type catalog
+// with both packers.
+func Fig1() (Fig1Result, error) {
+	cat := catalog.Standard()
+	ffd, err := binpack.PlanScoreQueries(cat, awsapi.MaxReturnedScores, false)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	exact, err := binpack.PlanScoreQueries(cat, awsapi.MaxReturnedScores, true)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	res := Fig1Result{
+		NaiveQueries:      ffd.NaiveQueries,
+		OptimizedQueries:  len(ffd.Queries),
+		Improvement:       float64(ffd.NaiveQueries) / float64(len(ffd.Queries)),
+		NaiveAccounts:     (ffd.NaiveQueries + awsapi.MaxUniqueQueriesPer24h - 1) / awsapi.MaxUniqueQueriesPer24h,
+		OptimizedAccounts: ffd.AccountsNeeded(awsapi.MaxUniqueQueriesPer24h),
+		ExactQueries:      len(exact.Queries),
+	}
+
+	// The paper's illustration type.
+	const example = "p3.2xlarge"
+	res.ExampleType = example
+	regions := cat.SupportedRegions(example)
+	res.ExampleBefore = len(regions)
+	items := make([]binpack.Item, 0, len(regions))
+	for _, rc := range regions {
+		items = append(items, binpack.Item{Label: rc.Region, Weight: rc.AZCount})
+	}
+	bins, err := binpack.Exact(items, awsapi.MaxReturnedScores)
+	if err != nil {
+		return Fig1Result{}, err
+	}
+	res.ExampleAfter = len(bins)
+	for _, b := range bins {
+		res.ExampleBinSums = append(res.ExampleBinSums, b.Weight)
+	}
+	return res, nil
+}
+
+// String renders the optimization summary.
+func (r Fig1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 1 / Section 3.2: placement-score query optimization\n")
+	b.WriteString(table(
+		[]string{"Metric", "Measured", "Paper"},
+		[][]string{
+			{"naive queries", fmt.Sprint(r.NaiveQueries), fmt.Sprint(PaperFig1.NaiveQueries)},
+			{"optimized queries (FFD)", fmt.Sprint(r.OptimizedQueries), fmt.Sprint(PaperFig1.OptimizedQueries)},
+			{"optimized queries (B&B)", fmt.Sprint(r.ExactQueries), ""},
+			{"improvement", fmt.Sprintf("%.2fx", r.Improvement), "4.18x"},
+			{"accounts naive", fmt.Sprint(r.NaiveAccounts), fmt.Sprint(PaperFig1.NaiveAccounts)},
+			{"accounts optimized", fmt.Sprint(r.OptimizedAccounts), fmt.Sprint(PaperFig1.OptimizedAccounts)},
+		}))
+	fmt.Fprintf(&b, "example %s: %d region queries packed into %d (bin sums %v)\n",
+		r.ExampleType, r.ExampleBefore, r.ExampleAfter, r.ExampleBinSums)
+	return b.String()
+}

@@ -1,0 +1,155 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/catalog"
+	"repro/internal/cloudsim"
+	"repro/internal/experiment"
+	"repro/internal/simclock"
+)
+
+// PaperTable3 records the published not-fulfilled / interrupted rates.
+var PaperTable3 = map[experiment.Category][2]float64{
+	experiment.CatHH: {0, 14.71},
+	experiment.CatHL: {0, 40.52},
+	experiment.CatMM: {25.49, 39.22},
+	experiment.CatLH: {58.18, 30.91},
+	experiment.CatLL: {45.61, 45.61},
+}
+
+// Experiment54Options sizes the Section 5.4 run.
+type Experiment54Options struct {
+	Seed uint64
+	// SampleFrac selects the catalog fraction.
+	SampleFrac float64
+	// WarmupDays lets the world decorrelate before selection.
+	WarmupDays int
+	// MaxPerCategory caps the stratified sample (paper: 503 cases over 5
+	// categories, about 101 each).
+	MaxPerCategory int
+	// Horizon is the per-case observation window (paper: 24h).
+	Horizon time.Duration
+	// Params overrides the simulator calibration (nil = defaults). Used by
+	// the ablation benchmarks.
+	Params *cloudsim.Params
+}
+
+// DefaultExperiment54Options returns the paper-scale protocol on a reduced
+// catalog.
+func DefaultExperiment54Options() Experiment54Options {
+	return Experiment54Options{
+		Seed: 33, SampleFrac: 0.5, WarmupDays: 4,
+		MaxPerCategory: 101, Horizon: 24 * time.Hour,
+	}
+}
+
+// Experiment54Result carries Table 3 and both Figure 11 panels.
+type Experiment54Result struct {
+	Result *experiment.Result
+}
+
+// Experiment54 runs the fulfillment/interruption experiment.
+func Experiment54(opt Experiment54Options) (Experiment54Result, error) {
+	var cat *catalog.Catalog
+	if opt.SampleFrac >= 1 {
+		cat = catalog.Standard()
+	} else {
+		cat = catalog.Sample(opt.SampleFrac)
+	}
+	params := cloudsim.DefaultParams()
+	if opt.Params != nil {
+		params = *opt.Params
+	}
+	clk := simclock.NewAtEpoch()
+	cloud := cloudsim.New(cat, clk, opt.Seed, params)
+	clk.RunFor(time.Duration(opt.WarmupDays) * 24 * time.Hour)
+
+	cfg := experiment.DefaultConfig()
+	cfg.Horizon = opt.Horizon
+	cfg.MaxPerCategory = opt.MaxPerCategory
+	cfg.Seed = opt.Seed
+	res, err := experiment.Run(cloud, cfg)
+	if err != nil {
+		return Experiment54Result{}, err
+	}
+	return Experiment54Result{Result: res}, nil
+}
+
+// Table3String renders the Table 3 comparison.
+func (r Experiment54Result) Table3String() string {
+	rows := [][]string{}
+	for _, cc := range experiment.Categories {
+		st := r.Result.ByCategory[cc]
+		paper := PaperTable3[cc]
+		rows = append(rows, []string{
+			cc.String(),
+			pct(st.NotFulfilledPct()), pct(paper[0]),
+			pct(st.InterruptedPct()), pct(paper[1]),
+			fmt.Sprint(st.Total),
+		})
+	}
+	return "Table 3: not-fulfilled and interrupted spot requests by score category\n" +
+		table([]string{"Category", "Not-Fulfilled", "(paper)", "Interrupted", "(paper)", "n"}, rows)
+}
+
+// Fig11aString renders fulfillment latency quantiles per category
+// (Figure 11a; paper anchors: H-H 28.07% <= 1s, >=90% <= 135s; L-L median
+// 1322s).
+func (r Experiment54Result) Fig11aString() string {
+	rows := [][]string{}
+	for _, cc := range experiment.Categories {
+		st := r.Result.ByCategory[cc]
+		c := analysis.NewCDF(st.FulfillLatenciesSec)
+		if c.N() == 0 {
+			rows = append(rows, []string{cc.String(), "0", "-", "-", "-", "-"})
+			continue
+		}
+		rows = append(rows, []string{
+			cc.String(), fmt.Sprint(c.N()),
+			pct(c.FractionBelow(1) * 100),
+			f2(c.Quantile(0.5)),
+			f2(c.Quantile(0.9)),
+			pct(c.FractionBelow(135) * 100),
+		})
+	}
+	return "Figure 11a: fulfillment latency by category (seconds; fulfilled cases)\n" +
+		table([]string{"Category", "n", "<=1s", "median", "p90", "<=135s"}, rows) +
+		"paper anchors: H-H 28.07% <=1s and ~90% <=135s; L-L median 1322s\n"
+}
+
+// Fig11bString renders time-to-interruption quantiles per category
+// (Figure 11b; paper anchors: H-L median 6872s vs L-H median 2859s).
+func (r Experiment54Result) Fig11bString() string {
+	rows := [][]string{}
+	for _, cc := range experiment.Categories {
+		st := r.Result.ByCategory[cc]
+		c := analysis.NewCDF(st.TimeToInterruptSec)
+		if c.N() == 0 {
+			rows = append(rows, []string{cc.String(), "0", "-", "-"})
+			continue
+		}
+		rows = append(rows, []string{
+			cc.String(), fmt.Sprint(c.N()),
+			f2(c.Quantile(0.5)),
+			f2(c.Quantile(0.9)),
+		})
+	}
+	return "Figure 11b: time until interruption by category (seconds; interrupted cases)\n" +
+		table([]string{"Category", "n", "median", "p90"}, rows) +
+		"paper anchors: H-L median 6872s, L-H median 2859s\n"
+}
+
+// String renders all three views.
+func (r Experiment54Result) String() string {
+	var b strings.Builder
+	b.WriteString(r.Table3String())
+	b.WriteByte('\n')
+	b.WriteString(r.Fig11aString())
+	b.WriteByte('\n')
+	b.WriteString(r.Fig11bString())
+	return b.String()
+}

@@ -1,0 +1,171 @@
+package repro
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/mlearn"
+)
+
+// PaperTable4 records the published accuracy / F1 per method.
+var PaperTable4 = map[string][2]float64{
+	"IF":       {0.45, 0.43},
+	"SPS":      {0.64, 0.58},
+	"CostSave": {0.39, 0.28},
+	"RF":       {0.73, 0.73},
+}
+
+// Table4Options sizes the prediction study.
+type Table4Options struct {
+	Seed uint64
+	// CollectDays is the archive length before the experiment (the
+	// history the forest trains on; the paper uses the preceding month).
+	CollectDays int
+	// SampleFrac selects the catalog fraction.
+	SampleFrac float64
+	// Interval is the collection cadence.
+	Interval time.Duration
+	// MaxPerCategory caps the stratified experiment sample.
+	MaxPerCategory int
+	// Horizon is the per-case observation window.
+	Horizon time.Duration
+	// TestFraction is the held-out share.
+	TestFraction float64
+	// Trees is the forest size (scikit default 100).
+	Trees int
+}
+
+// DefaultTable4Options returns the paper-shaped configuration.
+func DefaultTable4Options() Table4Options {
+	return Table4Options{
+		Seed: 44, CollectDays: 31, SampleFrac: 0.5, Interval: time.Hour,
+		MaxPerCategory: 101, Horizon: 24 * time.Hour,
+		TestFraction: 0.3, Trees: 100,
+	}
+}
+
+// MethodScore is one Table 4 row.
+type MethodScore struct {
+	Method   string
+	Accuracy float64
+	F1       float64
+}
+
+// Table4Result carries the per-method scores and the dataset sizes.
+type Table4Result struct {
+	Methods   []MethodScore
+	TrainSize int
+	TestSize  int
+}
+
+// Table4 runs the full prediction study: collect an archive, run the
+// Section 5.4 experiment with history features, train the random forest on
+// the training split, and score all four methods of the paper on the
+// held-out cases.
+func Table4(opt Table4Options) (Table4Result, error) {
+	if opt.TestFraction <= 0 || opt.TestFraction >= 1 {
+		return Table4Result{}, fmt.Errorf("repro: test fraction must be in (0,1)")
+	}
+	// 1. Archive the preceding month.
+	col, err := Collect(CollectOptions{
+		Seed: opt.Seed, Days: opt.CollectDays,
+		SampleFrac: opt.SampleFrac, Interval: opt.Interval,
+	})
+	if err != nil {
+		return Table4Result{}, err
+	}
+
+	// 2. Run the experiment with history features from the archive.
+	cfg := experiment.DefaultConfig()
+	cfg.Horizon = opt.Horizon
+	cfg.MaxPerCategory = opt.MaxPerCategory
+	cfg.Seed = opt.Seed
+	cfg.Archive = col.DB
+	res, err := experiment.Run(col.Cloud, cfg)
+	if err != nil {
+		return Table4Result{}, err
+	}
+
+	// 3. Assemble the classification dataset.
+	var X [][]float64
+	var y []int
+	var current []experiment.Case
+	for _, c := range res.Cases {
+		if c.Features == nil {
+			continue
+		}
+		X = append(X, c.Features)
+		y = append(y, int(c.Outcome))
+		current = append(current, c)
+	}
+	if len(X) < 20 {
+		return Table4Result{}, fmt.Errorf("repro: only %d usable cases", len(X))
+	}
+	trainIdx, testIdx := mlearn.TrainTestSplit(len(X), opt.TestFraction, opt.Seed)
+	trX, trY := mlearn.Subset(X, y, trainIdx)
+	teX, teY := mlearn.Subset(X, y, testIdx)
+
+	// 4. Train the forest (scikit-default shape, untuned, as in the paper).
+	forest, err := mlearn.TrainForest(trX, trY, experiment.NumOutcomes, mlearn.ForestConfig{
+		NumTrees: opt.Trees, Seed: opt.Seed,
+	})
+	if err != nil {
+		return Table4Result{}, err
+	}
+
+	// 5. Score all methods on the held-out cases.
+	rfPred := forest.PredictAll(teX)
+	ifPred := make([]int, len(testIdx))
+	spsPred := make([]int, len(testIdx))
+	csPred := make([]int, len(testIdx))
+	for i, idx := range testIdx {
+		c := current[idx]
+		ifPred[i] = int(experiment.PredictByIF(c.IF))
+		spsPred[i] = int(experiment.PredictBySPS(c.SPS))
+		csPred[i] = int(experiment.PredictByCostSave(c.Savings))
+	}
+	score := func(name string, pred []int) MethodScore {
+		return MethodScore{
+			Method:   name,
+			Accuracy: mlearn.Accuracy(teY, pred),
+			F1:       mlearn.MacroF1(teY, pred, experiment.NumOutcomes),
+		}
+	}
+	return Table4Result{
+		Methods: []MethodScore{
+			score("IF", ifPred),
+			score("SPS", spsPred),
+			score("CostSave", csPred),
+			score("RF", rfPred),
+		},
+		TrainSize: len(trainIdx),
+		TestSize:  len(testIdx),
+	}, nil
+}
+
+// Get returns the score row for a method name.
+func (r Table4Result) Get(method string) (MethodScore, bool) {
+	for _, m := range r.Methods {
+		if m.Method == method {
+			return m, true
+		}
+	}
+	return MethodScore{}, false
+}
+
+// String renders the Table 4 comparison.
+func (r Table4Result) String() string {
+	rows := [][]string{}
+	for _, m := range r.Methods {
+		paper := PaperTable4[m.Method]
+		rows = append(rows, []string{
+			m.Method,
+			f2(m.Accuracy), f2(paper[0]),
+			f2(m.F1), f2(paper[1]),
+		})
+	}
+	return "Table 4: spot instance status prediction (held-out cases)\n" +
+		table([]string{"Method", "Accuracy", "(paper)", "F1", "(paper)"}, rows) +
+		fmt.Sprintf("train=%d test=%d cases\n", r.TrainSize, r.TestSize)
+}

@@ -1,0 +1,186 @@
+// Package simclock provides a virtual clock and a discrete-event scheduler.
+//
+// The entire reproduction runs on simulated time: 181 days of 10-minute
+// collection ticks and 24-hour spot request experiments execute in
+// milliseconds of wall time. Components receive a *Clock and never consult
+// the real time package for the current instant.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. Fire is invoked with the clock already
+// advanced to the event's time.
+type Event struct {
+	at   time.Time
+	seq  uint64 // tie-breaker preserving scheduling order at equal times
+	fire func(now time.Time)
+	// index within the heap, maintained by heap.Interface, -1 once popped.
+	index int
+	// cancelled events stay in the heap but are skipped when popped.
+	cancelled bool
+}
+
+// Cancel marks the event so it will not fire. Cancelling an already-fired
+// event is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// At returns the scheduled time of the event.
+func (e *Event) At() time.Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Clock is a virtual clock with an attached discrete-event queue. It is not
+// safe for concurrent use; the simulator is single-threaded by design so
+// that runs are deterministic.
+type Clock struct {
+	now    time.Time
+	queue  eventQueue
+	nextID uint64
+}
+
+// Epoch is the default simulation start: the collection period in the paper
+// begins January 1, 2022 (Section 5).
+var Epoch = time.Date(2022, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// New returns a clock set to start.
+func New(start time.Time) *Clock {
+	return &Clock{now: start}
+}
+
+// NewAtEpoch returns a clock set to the paper's collection start date.
+func NewAtEpoch() *Clock { return New(Epoch) }
+
+// Now returns the current simulated instant.
+func (c *Clock) Now() time.Time { return c.now }
+
+// Schedule registers fn to run at time at. Scheduling in the past (or at the
+// current instant) panics: that always indicates a bug in simulation logic.
+func (c *Clock) Schedule(at time.Time, fn func(now time.Time)) *Event {
+	if at.Before(c.now) {
+		panic(fmt.Sprintf("simclock: scheduling event at %v before now %v", at, c.now))
+	}
+	e := &Event{at: at, seq: c.nextID, fire: fn}
+	c.nextID++
+	heap.Push(&c.queue, e)
+	return e
+}
+
+// ScheduleAfter registers fn to run after delay d.
+func (c *Clock) ScheduleAfter(d time.Duration, fn func(now time.Time)) *Event {
+	return c.Schedule(c.now.Add(d), fn)
+}
+
+// Ticker is the handle for a periodic schedule created by SchedulePeriodic.
+type Ticker struct {
+	stopped bool
+	current *Event
+}
+
+// Stop cancels the periodic schedule from the next firing onward.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.current != nil {
+		t.current.Cancel()
+	}
+}
+
+// SchedulePeriodic registers fn to run every period, starting one period
+// from now, until fn returns false or the returned ticker is stopped.
+func (c *Clock) SchedulePeriodic(period time.Duration, fn func(now time.Time) bool) *Ticker {
+	if period <= 0 {
+		panic("simclock: non-positive period")
+	}
+	t := &Ticker{}
+	var tick func(now time.Time)
+	tick = func(now time.Time) {
+		if t.stopped {
+			return
+		}
+		if !fn(now) {
+			t.stopped = true
+			return
+		}
+		t.current = c.Schedule(now.Add(period), tick)
+	}
+	t.current = c.Schedule(c.now.Add(period), tick)
+	return t
+}
+
+// Pending reports the number of events (including cancelled ones not yet
+// drained) in the queue.
+func (c *Clock) Pending() int { return len(c.queue) }
+
+// step pops and fires the earliest event. It reports whether an event fired
+// or false when the queue is empty.
+func (c *Clock) step(limit time.Time, bounded bool) bool {
+	for len(c.queue) > 0 {
+		e := c.queue[0]
+		if bounded && e.at.After(limit) {
+			return false
+		}
+		heap.Pop(&c.queue)
+		if e.cancelled {
+			continue
+		}
+		if e.at.Before(c.now) {
+			panic("simclock: event queue time went backwards")
+		}
+		c.now = e.at
+		e.fire(c.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires every event scheduled up to and including t, then sets the
+// clock to t.
+func (c *Clock) RunUntil(t time.Time) {
+	if t.Before(c.now) {
+		panic(fmt.Sprintf("simclock: RunUntil target %v before now %v", t, c.now))
+	}
+	for c.step(t, true) {
+	}
+	c.now = t
+}
+
+// RunFor advances the clock by d, firing all events along the way.
+func (c *Clock) RunFor(d time.Duration) {
+	c.RunUntil(c.now.Add(d))
+}
+
+// Drain fires every remaining event regardless of time.
+func (c *Clock) Drain() {
+	for c.step(time.Time{}, false) {
+	}
+}

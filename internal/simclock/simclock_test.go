@@ -1,0 +1,191 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNowAdvances(t *testing.T) {
+	c := NewAtEpoch()
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("start = %v, want %v", c.Now(), Epoch)
+	}
+	c.RunFor(90 * time.Minute)
+	if want := Epoch.Add(90 * time.Minute); !c.Now().Equal(want) {
+		t.Errorf("after RunFor = %v, want %v", c.Now(), want)
+	}
+}
+
+func TestEventsFireInOrder(t *testing.T) {
+	c := NewAtEpoch()
+	var order []int
+	c.Schedule(Epoch.Add(3*time.Second), func(time.Time) { order = append(order, 3) })
+	c.Schedule(Epoch.Add(1*time.Second), func(time.Time) { order = append(order, 1) })
+	c.Schedule(Epoch.Add(2*time.Second), func(time.Time) { order = append(order, 2) })
+	c.RunFor(5 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("firing order = %v", order)
+	}
+}
+
+func TestEqualTimeEventsFIFO(t *testing.T) {
+	c := NewAtEpoch()
+	at := Epoch.Add(time.Second)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.Schedule(at, func(time.Time) { order = append(order, i) })
+	}
+	c.RunFor(2 * time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestClockIsAtEventTimeDuringFire(t *testing.T) {
+	c := NewAtEpoch()
+	at := Epoch.Add(42 * time.Second)
+	var observed time.Time
+	c.Schedule(at, func(now time.Time) { observed = c.Now() })
+	c.RunFor(time.Minute)
+	if !observed.Equal(at) {
+		t.Errorf("clock during fire = %v, want %v", observed, at)
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	c := NewAtEpoch()
+	fired := false
+	c.Schedule(Epoch.Add(10*time.Second), func(time.Time) { fired = true })
+	c.RunUntil(Epoch.Add(5 * time.Second))
+	if fired {
+		t.Error("event beyond RunUntil boundary fired")
+	}
+	if !c.Now().Equal(Epoch.Add(5 * time.Second)) {
+		t.Errorf("now = %v", c.Now())
+	}
+	c.RunUntil(Epoch.Add(10 * time.Second))
+	if !fired {
+		t.Error("event at boundary should fire (inclusive)")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	c := NewAtEpoch()
+	fired := false
+	e := c.Schedule(Epoch.Add(time.Second), func(time.Time) { fired = true })
+	e.Cancel()
+	c.RunFor(2 * time.Second)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	c := NewAtEpoch()
+	var times []time.Time
+	var chain func(now time.Time)
+	chain = func(now time.Time) {
+		times = append(times, now)
+		if len(times) < 3 {
+			c.ScheduleAfter(time.Second, chain)
+		}
+	}
+	c.ScheduleAfter(time.Second, chain)
+	c.RunFor(10 * time.Second)
+	if len(times) != 3 {
+		t.Fatalf("chain fired %d times, want 3", len(times))
+	}
+	if want := Epoch.Add(3 * time.Second); !times[2].Equal(want) {
+		t.Errorf("third firing at %v, want %v", times[2], want)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	c := NewAtEpoch()
+	c.RunFor(time.Hour)
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past should panic")
+		}
+	}()
+	c.Schedule(Epoch, func(time.Time) {})
+}
+
+func TestRunUntilPastPanics(t *testing.T) {
+	c := NewAtEpoch()
+	c.RunFor(time.Hour)
+	defer func() {
+		if recover() == nil {
+			t.Error("RunUntil into the past should panic")
+		}
+	}()
+	c.RunUntil(Epoch)
+}
+
+func TestPeriodic(t *testing.T) {
+	c := NewAtEpoch()
+	count := 0
+	c.SchedulePeriodic(10*time.Minute, func(time.Time) bool {
+		count++
+		return true
+	})
+	c.RunFor(time.Hour)
+	if count != 6 {
+		t.Errorf("periodic fired %d times in 1h at 10min, want 6", count)
+	}
+}
+
+func TestPeriodicStopsOnFalse(t *testing.T) {
+	c := NewAtEpoch()
+	count := 0
+	c.SchedulePeriodic(time.Minute, func(time.Time) bool {
+		count++
+		return count < 3
+	})
+	c.RunFor(time.Hour)
+	if count != 3 {
+		t.Errorf("periodic fired %d times, want 3 (stops on false)", count)
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	c := NewAtEpoch()
+	count := 0
+	tk := c.SchedulePeriodic(time.Minute, func(time.Time) bool {
+		count++
+		return true
+	})
+	c.RunFor(5 * time.Minute)
+	tk.Stop()
+	c.RunFor(time.Hour)
+	if count != 5 {
+		t.Errorf("ticker fired %d times, want 5 before Stop", count)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	c := NewAtEpoch()
+	fired := 0
+	for i := 1; i <= 4; i++ {
+		c.ScheduleAfter(time.Duration(i)*time.Hour, func(time.Time) { fired++ })
+	}
+	c.Drain()
+	if fired != 4 {
+		t.Errorf("Drain fired %d, want 4", fired)
+	}
+	if c.Pending() != 0 {
+		t.Errorf("Pending after Drain = %d", c.Pending())
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	c := NewAtEpoch()
+	c.ScheduleAfter(time.Hour, func(time.Time) {})
+	c.ScheduleAfter(2*time.Hour, func(time.Time) {})
+	if c.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", c.Pending())
+	}
+}

@@ -1,0 +1,283 @@
+// Package simrand provides a deterministic, splittable pseudo-random number
+// generator and the distribution samplers used throughout the simulator.
+//
+// Every stochastic component of the reproduction derives its randomness from
+// a seed plus a stable string label, so that any experiment is exactly
+// reproducible regardless of the order in which subsystems consume random
+// numbers. The core generator is SplitMix64 (Steele, Lea, Flood 2014), which
+// is small, fast, and passes BigCrush when used as a 64-bit stream.
+package simrand
+
+import (
+	"math"
+)
+
+// splitmix64 advances the state and returns the next 64-bit output.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a deterministic pseudo-random number generator. The zero value is
+// a valid generator seeded with 0; prefer New or (*Rand).Stream to obtain
+// independent generators.
+type Rand struct {
+	state uint64
+	// cached second normal variate from the Box-Muller transform
+	haveGauss bool
+	gauss     float64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *Rand {
+	// Scramble the raw seed once so that adjacent seeds produce unrelated
+	// streams.
+	s := seed
+	splitmix64(&s)
+	return &Rand{state: s}
+}
+
+// hashLabel folds a string into a 64-bit value using FNV-1a. It is used to
+// derive independent substreams from stable names.
+func hashLabel(label string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime
+	}
+	return h
+}
+
+// Stream derives an independent generator from r's seed and the given label.
+// Streams with distinct labels are statistically independent, and deriving a
+// stream does not perturb r. This is the mechanism that keeps per-pool
+// processes reproducible no matter the evaluation order.
+func (r *Rand) Stream(label string) *Rand {
+	s := r.state ^ hashLabel(label)
+	splitmix64(&s) // decorrelate from the parent state
+	return &Rand{state: s}
+}
+
+// StreamN derives an independent generator from r's seed, a label and an
+// integer discriminator (e.g. a shard or replica index).
+func (r *Rand) StreamN(label string, n int) *Rand {
+	s := r.state ^ hashLabel(label) ^ (uint64(n)+1)*0x9e3779b97f4a7c15
+	splitmix64(&s)
+	return &Rand{state: s}
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	return splitmix64(&r.state)
+}
+
+// Int63 returns a non-negative 63-bit integer.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("simrand: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation would be faster, but
+	// the simple modulo of a 64-bit value has negligible bias for the small
+	// bounds used here and keeps the generator easy to verify.
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	// 53 random mantissa bits.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Range returns a uniform value in [lo, hi).
+func (r *Rand) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// NormFloat64 returns a standard normal variate using the Box-Muller
+// transform (with caching of the paired variate).
+func (r *Rand) NormFloat64() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.haveGauss = true
+	return u * f
+}
+
+// Normal returns a normal variate with the given mean and standard deviation.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *Rand) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Exponential returns an exponential variate with the given mean.
+// It panics if mean <= 0.
+func (r *Rand) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		panic("simrand: Exponential called with mean <= 0")
+	}
+	return mean * r.ExpFloat64()
+}
+
+// LogNormal returns a log-normal variate where the underlying normal has
+// parameters mu and sigma.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Zipf returns a value in [0, n) following a Zipf distribution with exponent
+// s > 1 is not required; s = 0 degenerates to uniform. Sampling is by
+// inversion over the precomputed-free harmonic approximation, adequate for
+// the catalog-popularity use cases here (n <= a few thousand).
+func (r *Rand) Zipf(n int, s float64) int {
+	if n <= 0 {
+		panic("simrand: Zipf called with n <= 0")
+	}
+	if n == 1 {
+		return 0
+	}
+	// Rejection-free inverse CDF by linear scan is O(n); the simulator only
+	// samples Zipf during catalog construction, so simplicity wins.
+	total := 0.0
+	for i := 1; i <= n; i++ {
+		total += 1 / math.Pow(float64(i), s)
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i := 1; i <= n; i++ {
+		acc += 1 / math.Pow(float64(i), s)
+		if u < acc {
+			return i - 1
+		}
+	}
+	return n - 1
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// OUStep advances an Ornstein-Uhlenbeck process from value x over an elapsed
+// time dt (in arbitrary but consistent units) using the exact discretization
+//
+//	x' = mu + (x-mu) e^{-theta dt} + sigma sqrt((1-e^{-2 theta dt})/(2 theta)) N(0,1)
+//
+// theta is the mean-reversion rate and sigma the diffusion coefficient. The
+// exact solution lets the simulator advance pool state lazily across
+// arbitrary gaps without accumulating integration error.
+func (r *Rand) OUStep(x, mu, theta, sigma, dt float64) float64 {
+	if dt <= 0 {
+		return x
+	}
+	e := math.Exp(-theta * dt)
+	variance := sigma * sigma * (1 - e*e) / (2 * theta)
+	return mu + (x-mu)*e + math.Sqrt(variance)*r.NormFloat64()
+}
+
+// Poisson returns a Poisson variate with the given mean using Knuth's
+// algorithm for small means and a normal approximation for large ones.
+func (r *Rand) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 60 {
+		// Normal approximation with continuity correction.
+		v := int(math.Round(r.Normal(mean, math.Sqrt(mean))))
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Pick returns a pseudo-random element index weighted by the non-negative
+// weights. It panics if weights is empty or sums to <= 0.
+func (r *Rand) Pick(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("simrand: Pick called with negative weight")
+		}
+		total += w
+	}
+	if len(weights) == 0 || total <= 0 {
+		panic("simrand: Pick called with no positive weights")
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,312 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("adjacent seeds produced %d identical outputs", same)
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	root := New(99)
+	s1 := root.Stream("alpha")
+	s2 := root.Stream("beta")
+	s1b := root.Stream("alpha")
+	if s1.Uint64() != s1b.Uint64() {
+		t.Error("same-label streams must be identical")
+	}
+	if s1.Uint64() == s2.Uint64() {
+		t.Error("distinct-label streams should differ")
+	}
+	// Deriving streams must not perturb the parent.
+	before := *root
+	root.Stream("gamma")
+	if before.state != root.state {
+		t.Error("Stream perturbed parent state")
+	}
+}
+
+func TestStreamNDistinct(t *testing.T) {
+	root := New(5)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 200; i++ {
+		v := root.StreamN("req", i).Uint64()
+		if seen[v] {
+			t.Fatalf("StreamN collision at %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	f := func(_ int) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(13)
+	for _, n := range []int{1, 2, 7, 100} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(17)
+	n := 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(2, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-2) > 0.03 {
+		t.Errorf("normal mean = %v, want ~2", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Errorf("normal stddev = %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(19)
+	n := 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exponential(4)
+		if v < 0 {
+			t.Fatal("negative exponential variate")
+		}
+		sum += v
+	}
+	if mean := sum / float64(n); math.Abs(mean-4) > 0.08 {
+		t.Errorf("exponential mean = %v, want ~4", mean)
+	}
+}
+
+func TestExponentialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Exponential(0) should panic")
+		}
+	}()
+	New(1).Exponential(0)
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(23)
+	for _, mean := range []float64{0.5, 3, 20, 100} {
+		n := 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(mean))
+		}
+		got := sum / float64(n)
+		if math.Abs(got-mean) > mean*0.05+0.05 {
+			t.Errorf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+	if New(1).Poisson(-1) != 0 {
+		t.Error("Poisson of negative mean should be 0")
+	}
+}
+
+func TestOUStepStationary(t *testing.T) {
+	// Long-run OU samples must match the stationary distribution
+	// N(mu, sigma^2/(2 theta)).
+	r := New(29)
+	theta, sigma, mu := 0.5, 0.8, 3.0
+	x := mu
+	n := 100000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x = r.OUStep(x, mu, theta, sigma, 0.7)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(n)
+	sd := math.Sqrt(sumSq/float64(n) - mean*mean)
+	wantSD := sigma / math.Sqrt(2*theta)
+	if math.Abs(mean-mu) > 0.05 {
+		t.Errorf("OU mean = %v, want ~%v", mean, mu)
+	}
+	if math.Abs(sd-wantSD) > 0.05 {
+		t.Errorf("OU stddev = %v, want ~%v", sd, wantSD)
+	}
+}
+
+func TestOUStepZeroDT(t *testing.T) {
+	r := New(31)
+	if got := r.OUStep(1.5, 0, 1, 1, 0); got != 1.5 {
+		t.Errorf("OUStep with dt=0 = %v, want unchanged 1.5", got)
+	}
+}
+
+func TestOUStepMeanReversion(t *testing.T) {
+	// Starting far from the mean, the expected value after dt must contract
+	// by exp(-theta dt). Average many one-step samples.
+	r := New(37)
+	theta := 1.0
+	start, mu, dt := 10.0, 0.0, 0.5
+	n := 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.OUStep(start, mu, theta, 0.5, dt)
+	}
+	want := start * math.Exp(-theta*dt)
+	if got := sum / float64(n); math.Abs(got-want) > 0.05 {
+		t.Errorf("OU one-step mean = %v, want ~%v", got, want)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(41)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New(43)
+	s := []int{1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 28 {
+		t.Errorf("shuffle changed element multiset, sum=%d", sum)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(47)
+	n := 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", frac)
+	}
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	r := New(53)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[r.Pick(w)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight option picked %d times", counts[1])
+	}
+	frac0 := float64(counts[0]) / float64(n)
+	if math.Abs(frac0-0.25) > 0.01 {
+		t.Errorf("Pick weight-1 frequency = %v, want ~0.25", frac0)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(59)
+	counts := make([]int, 10)
+	for i := 0; i < 50000; i++ {
+		counts[r.Zipf(10, 1.2)]++
+	}
+	if !(counts[0] > counts[4] && counts[4] > counts[9]) {
+		t.Errorf("Zipf counts not decreasing: %v", counts)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(61)
+	for i := 0; i < 1000; i++ {
+		if r.LogNormal(0, 1) <= 0 {
+			t.Fatal("lognormal variate not positive")
+		}
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	r := New(67)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Range(2,5) = %v", v)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	db, _ := Open("")
+	k := SeriesKey{Dataset: "sps", Type: "m5.xlarge", Region: "us-east-1", AZ: "us-east-1a"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Append(k, t0.Add(time.Duration(i)*time.Second), float64(i%3)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendIfChangedDedup(b *testing.B) {
+	db, _ := Open("")
+	k := SeriesKey{Dataset: "sps", Type: "m5.xlarge", Region: "us-east-1", AZ: "us-east-1a"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// 90% of samples repeat the previous value, like real score series.
+		v := 3.0
+		if i%10 == 0 {
+			v = float64(i % 3)
+		}
+		if _, err := db.AppendIfChanged(k, t0.Add(time.Duration(i)*time.Second), v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValueAt(b *testing.B) {
+	db, _ := Open("")
+	k := SeriesKey{Dataset: "sps", Type: "m5.xlarge", Region: "us-east-1", AZ: "us-east-1a"}
+	for i := 0; i < 10000; i++ {
+		db.Append(k, t0.Add(time.Duration(i)*time.Minute), float64(i%3))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.ValueAt(k, t0.Add(time.Duration(i%10000)*time.Minute))
+	}
+}
+
+func BenchmarkWindowMean(b *testing.B) {
+	db, _ := Open("")
+	k := SeriesKey{Dataset: "sps", Type: "m5.xlarge", Region: "us-east-1", AZ: "us-east-1a"}
+	for i := 0; i < 10000; i++ {
+		db.Append(k, t0.Add(time.Duration(i)*time.Minute), float64(i%3))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := t0.Add(time.Duration(i%9000) * time.Minute)
+		db.WindowMean(k, from, from.Add(24*time.Hour))
+	}
+}
+
+func BenchmarkWALWrite(b *testing.B) {
+	db, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	k := SeriesKey{Dataset: "price", Type: "m5.xlarge", Region: "us-east-1", AZ: "us-east-1a"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Append(k, t0.Add(time.Duration(i)*time.Second), float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

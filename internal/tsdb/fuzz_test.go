@@ -1,0 +1,37 @@
+package tsdb
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParseSeriesKey(f *testing.F) {
+	f.Add("sps|m5.xlarge|us-east-1|us-east-1a")
+	f.Add("if|p3.2xlarge|eu-west-1|")
+	f.Add("")
+	f.Add("a|b")
+	f.Add("||||")
+	f.Add("price|a|b|c|d")
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := ParseSeriesKey(s)
+		if err != nil {
+			return
+		}
+		// A successfully parsed key must round-trip exactly.
+		back, err := ParseSeriesKey(k.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", k.String(), err)
+		}
+		if back != k {
+			t.Fatalf("round trip mismatch: %v vs %v", back, k)
+		}
+		// Mandatory fields are non-empty on success.
+		if k.Dataset == "" || k.Type == "" || k.Region == "" {
+			t.Fatalf("parse accepted incomplete key from %q", s)
+		}
+		// Exactly three separators in canonical form.
+		if strings.Count(k.String(), "|") != 3 {
+			t.Fatalf("canonical form %q malformed", k.String())
+		}
+	})
+}

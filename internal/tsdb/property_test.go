@@ -1,0 +1,126 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/simrand"
+)
+
+// TestGridMatchesValueAtProperty: every grid sample equals a direct
+// ValueAt lookup at the same instant, for random step functions.
+func TestGridMatchesValueAtProperty(t *testing.T) {
+	rng := simrand.New(99)
+	f := func(seed uint16) bool {
+		r := rng.StreamN("grid", int(seed))
+		db, err := Open("")
+		if err != nil {
+			return false
+		}
+		k := SeriesKey{Dataset: "sps", Type: "x.y", Region: "r", AZ: "ra"}
+		// Random step function: 1-30 points at increasing times.
+		n := 1 + r.Intn(30)
+		at := t0.Add(time.Duration(r.Intn(100)) * time.Minute)
+		for i := 0; i < n; i++ {
+			if err := db.Append(k, at, float64(r.Intn(5))); err != nil {
+				return false
+			}
+			at = at.Add(time.Duration(1+r.Intn(600)) * time.Minute)
+		}
+		from := t0.Add(-time.Hour)
+		to := at.Add(time.Hour)
+		step := time.Duration(1+r.Intn(200)) * time.Minute
+		grid := db.Grid(k, from, to, step)
+		i := 0
+		for ts := from; !ts.After(to); ts = ts.Add(step) {
+			want, ok := db.ValueAt(k, ts)
+			if !ok {
+				if !math.IsNaN(grid[i]) {
+					return false
+				}
+			} else if grid[i] != want {
+				return false
+			}
+			i++
+		}
+		return i == len(grid)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWindowMeanBoundsProperty: the time-weighted mean always lies within
+// the min/max of the covering values.
+func TestWindowMeanBoundsProperty(t *testing.T) {
+	rng := simrand.New(100)
+	f := func(seed uint16) bool {
+		r := rng.StreamN("mean", int(seed))
+		db, err := Open("")
+		if err != nil {
+			return false
+		}
+		k := SeriesKey{Dataset: "price", Type: "x.y", Region: "r", AZ: "ra"}
+		n := 1 + r.Intn(20)
+		at := t0
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			v := r.Range(0, 100)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			if err := db.Append(k, at, v); err != nil {
+				return false
+			}
+			at = at.Add(time.Duration(1+r.Intn(300)) * time.Minute)
+		}
+		mean, ok := db.WindowMean(k, t0, at.Add(time.Hour))
+		if !ok {
+			return false
+		}
+		return mean >= lo-1e-9 && mean <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAppendIfChangedEquivalence: under step semantics, a deduplicated
+// series answers every ValueAt query identically to the raw series.
+func TestAppendIfChangedEquivalence(t *testing.T) {
+	rng := simrand.New(101)
+	f := func(seed uint16) bool {
+		r := rng.StreamN("dedup", int(seed))
+		raw, _ := Open("")
+		dedup, _ := Open("")
+		k := SeriesKey{Dataset: "if", Type: "x.y", Region: "r"}
+		n := 2 + r.Intn(50)
+		at := t0
+		for i := 0; i < n; i++ {
+			v := float64(r.Intn(4))
+			if err := raw.Append(k, at, v); err != nil {
+				return false
+			}
+			if _, err := dedup.AppendIfChanged(k, at, v); err != nil {
+				return false
+			}
+			at = at.Add(10 * time.Minute)
+		}
+		for ts := t0; ts.Before(at.Add(time.Hour)); ts = ts.Add(7 * time.Minute) {
+			a, okA := raw.ValueAt(k, ts)
+			b, okB := dedup.ValueAt(k, ts)
+			if okA != okB || (okA && a != b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,414 @@
+// Package tsdb is an embedded time-series database, the stand-in for the
+// Amazon Timestream service in SpotLake's architecture (paper Figure 2).
+//
+// The archive's datasets are step functions: a placement score, advisor
+// bucket, or spot price holds its value until the next recorded change. The
+// store therefore keeps one append-only, time-ordered point slice per
+// series, deduplicates consecutive equal values on request, and answers
+// range queries, step-aware value-at-time lookups, window means, and
+// change-interval extractions (the primitives behind Figures 3, 4, 5, 8, 9
+// and 10). An optional write-ahead log gives durable persistence with
+// crash-safe replay.
+package tsdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Dataset names used by the SpotLake collector. The store accepts any
+// dataset string; these are the conventional ones.
+const (
+	DatasetPlacementScore = "sps"
+	DatasetInterruptFree  = "if"
+	DatasetPrice          = "price"
+	DatasetSavings        = "savings"
+)
+
+// SeriesKey identifies one time series. AZ is empty for region-granular
+// datasets (the advisor data); Region is always set.
+type SeriesKey struct {
+	Dataset string
+	Type    string
+	Region  string
+	AZ      string
+}
+
+// String renders the key in its canonical "dataset|type|region|az" form.
+func (k SeriesKey) String() string {
+	return k.Dataset + "|" + k.Type + "|" + k.Region + "|" + k.AZ
+}
+
+// ParseSeriesKey parses the canonical key form.
+func ParseSeriesKey(s string) (SeriesKey, error) {
+	parts := strings.Split(s, "|")
+	if len(parts) != 4 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return SeriesKey{}, fmt.Errorf("tsdb: malformed series key %q", s)
+	}
+	return SeriesKey{Dataset: parts[0], Type: parts[1], Region: parts[2], AZ: parts[3]}, nil
+}
+
+// Point is one sample of a series.
+type Point struct {
+	At    time.Time
+	Value float64
+}
+
+type series struct {
+	points []Point
+}
+
+// DB is the time-series store. It is safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	series map[SeriesKey]*series
+	wal    *bufio.Writer
+	walF   *os.File
+	closed bool
+}
+
+// Open opens (or creates) a store. With a non-empty dir, points are
+// persisted to an append-only log inside it and replayed on open. With an
+// empty dir the store is memory-only.
+func Open(dir string) (*DB, error) {
+	db := &DB{series: make(map[SeriesKey]*series)}
+	if dir == "" {
+		return db, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("tsdb: creating dir: %w", err)
+	}
+	path := filepath.Join(dir, "points.wal")
+	if err := db.replay(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: opening wal: %w", err)
+	}
+	db.walF = f
+	db.wal = bufio.NewWriterSize(f, 1<<16)
+	return db, nil
+}
+
+// walRecord layout: u32 crc | u16 keyLen | key bytes | i64 unixNano | f64 bits.
+func appendRecord(buf []byte, key string, at time.Time, v float64) []byte {
+	payload := make([]byte, 0, 2+len(key)+16)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint16(tmp[:2], uint16(len(key)))
+	payload = append(payload, tmp[:2]...)
+	payload = append(payload, key...)
+	binary.LittleEndian.PutUint64(tmp[:], uint64(at.UnixNano()))
+	payload = append(payload, tmp[:]...)
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+	payload = append(payload, tmp[:]...)
+	binary.LittleEndian.PutUint32(tmp[:4], crc32.ChecksumIEEE(payload))
+	buf = append(buf, tmp[:4]...)
+	return append(buf, payload...)
+}
+
+// replay loads the log, tolerating a truncated trailing record (crash).
+func (db *DB) replay(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("tsdb: opening wal for replay: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var head [6]byte
+	for {
+		if _, err := io.ReadFull(r, head[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil // clean end or truncated header: stop replay
+			}
+			return fmt.Errorf("tsdb: replay: %w", err)
+		}
+		crc := binary.LittleEndian.Uint32(head[:4])
+		keyLen := int(binary.LittleEndian.Uint16(head[4:6]))
+		body := make([]byte, keyLen+16)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil // truncated record: ignore tail
+		}
+		full := make([]byte, 0, 2+len(body))
+		full = append(full, head[4:6]...)
+		full = append(full, body...)
+		if crc32.ChecksumIEEE(full) != crc {
+			return nil // corrupt tail: stop replay
+		}
+		key := string(body[:keyLen])
+		at := time.Unix(0, int64(binary.LittleEndian.Uint64(body[keyLen:keyLen+8]))).UTC()
+		v := math.Float64frombits(binary.LittleEndian.Uint64(body[keyLen+8:]))
+		k, err := ParseSeriesKey(key)
+		if err != nil {
+			continue
+		}
+		s := db.series[k]
+		if s == nil {
+			s = &series{}
+			db.series[k] = s
+		}
+		s.points = append(s.points, Point{At: at, Value: v})
+	}
+}
+
+// Append records a point. Appends must be time-ordered per series; an
+// append earlier than the series' last point is rejected.
+func (db *DB) Append(k SeriesKey, at time.Time, v float64) error {
+	if k.Dataset == "" || k.Type == "" || k.Region == "" {
+		return fmt.Errorf("tsdb: incomplete series key %v", k)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errors.New("tsdb: store is closed")
+	}
+	s := db.series[k]
+	if s == nil {
+		s = &series{}
+		db.series[k] = s
+	}
+	if n := len(s.points); n > 0 && at.Before(s.points[n-1].At) {
+		return fmt.Errorf("tsdb: out-of-order append to %v: %v before %v", k, at, s.points[n-1].At)
+	}
+	s.points = append(s.points, Point{At: at, Value: v})
+	if db.wal != nil {
+		rec := appendRecord(nil, k.String(), at, v)
+		if _, err := db.wal.Write(rec); err != nil {
+			return fmt.Errorf("tsdb: wal write: %w", err)
+		}
+	}
+	return nil
+}
+
+// AppendIfChanged records the point only when its value differs from the
+// series' last value (or the series is empty). It reports whether the point
+// was stored. This is how the collector turns 10-minute samples into change
+// events, which both bounds storage and makes Figure 10's
+// time-between-changes analysis a direct read of the series.
+func (db *DB) AppendIfChanged(k SeriesKey, at time.Time, v float64) (bool, error) {
+	db.mu.RLock()
+	s := db.series[k]
+	if s != nil && len(s.points) > 0 && s.points[len(s.points)-1].Value == v {
+		db.mu.RUnlock()
+		return false, nil
+	}
+	db.mu.RUnlock()
+	if err := db.Append(k, at, v); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Query returns the points of a series within [from, to], oldest first.
+func (db *DB) Query(k SeriesKey, from, to time.Time) []Point {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.series[k]
+	if s == nil {
+		return nil
+	}
+	lo := sort.Search(len(s.points), func(i int) bool { return !s.points[i].At.Before(from) })
+	hi := sort.Search(len(s.points), func(i int) bool { return s.points[i].At.After(to) })
+	if lo >= hi {
+		return nil
+	}
+	out := make([]Point, hi-lo)
+	copy(out, s.points[lo:hi])
+	return out
+}
+
+// ValueAt returns the series' value at time t under step semantics: the
+// value of the latest point at or before t. ok is false before the first
+// point or for an unknown series.
+func (db *DB) ValueAt(k SeriesKey, t time.Time) (v float64, ok bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.series[k]
+	if s == nil {
+		return 0, false
+	}
+	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].At.After(t) })
+	if i == 0 {
+		return 0, false
+	}
+	return s.points[i-1].Value, true
+}
+
+// WindowMean returns the time-weighted mean of the step function over
+// [from, to). ok is false when the series has no value anywhere in the
+// window.
+func (db *DB) WindowMean(k SeriesKey, from, to time.Time) (mean float64, ok bool) {
+	if !to.After(from) {
+		return 0, false
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.series[k]
+	if s == nil || len(s.points) == 0 {
+		return 0, false
+	}
+	pts := s.points
+	// Index of first point after from.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].At.After(from) })
+	var cur float64
+	var curSet bool
+	cursor := from
+	if i > 0 {
+		cur = pts[i-1].Value
+		curSet = true
+	}
+	total := 0.0
+	weight := 0.0
+	for ; i < len(pts) && pts[i].At.Before(to); i++ {
+		if curSet {
+			d := pts[i].At.Sub(cursor).Seconds()
+			total += cur * d
+			weight += d
+		}
+		cur = pts[i].Value
+		curSet = true
+		cursor = pts[i].At
+	}
+	if curSet {
+		d := to.Sub(cursor).Seconds()
+		total += cur * d
+		weight += d
+	}
+	if weight == 0 {
+		return 0, false
+	}
+	return total / weight, true
+}
+
+// Grid samples the step function at from, from+step, ... up to and
+// including to. Instants before the first point yield NaN.
+func (db *DB) Grid(k SeriesKey, from, to time.Time, step time.Duration) []float64 {
+	if step <= 0 || to.Before(from) {
+		return nil
+	}
+	var out []float64
+	for t := from; !t.After(to); t = t.Add(step) {
+		if v, ok := db.ValueAt(k, t); ok {
+			out = append(out, v)
+		} else {
+			out = append(out, math.NaN())
+		}
+	}
+	return out
+}
+
+// ChangeIntervals returns the durations between consecutive points of the
+// series. When points are appended via AppendIfChanged these are the
+// value-change intervals of Figure 10.
+func (db *DB) ChangeIntervals(k SeriesKey) []time.Duration {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.series[k]
+	if s == nil || len(s.points) < 2 {
+		return nil
+	}
+	out := make([]time.Duration, 0, len(s.points)-1)
+	for i := 1; i < len(s.points); i++ {
+		out = append(out, s.points[i].At.Sub(s.points[i-1].At))
+	}
+	return out
+}
+
+// Last returns the most recent point of the series.
+func (db *DB) Last(k SeriesKey) (Point, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.series[k]
+	if s == nil || len(s.points) == 0 {
+		return Point{}, false
+	}
+	return s.points[len(s.points)-1], true
+}
+
+// KeyFilter selects series keys; empty fields match anything.
+type KeyFilter struct {
+	Dataset string
+	Type    string
+	Region  string
+	AZ      string
+}
+
+func (f KeyFilter) matches(k SeriesKey) bool {
+	return (f.Dataset == "" || f.Dataset == k.Dataset) &&
+		(f.Type == "" || f.Type == k.Type) &&
+		(f.Region == "" || f.Region == k.Region) &&
+		(f.AZ == "" || f.AZ == k.AZ)
+}
+
+// Keys returns the series keys matching the filter, sorted canonically.
+func (db *DB) Keys(f KeyFilter) []SeriesKey {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []SeriesKey
+	for k := range db.series {
+		if f.matches(k) {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// SeriesCount returns the number of series.
+func (db *DB) SeriesCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.series)
+}
+
+// PointCount returns the total number of stored points.
+func (db *DB) PointCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, s := range db.series {
+		n += len(s.points)
+	}
+	return n
+}
+
+// Flush forces buffered log records to the operating system.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		return nil
+	}
+	if err := db.wal.Flush(); err != nil {
+		return err
+	}
+	return db.walF.Sync()
+}
+
+// Close flushes and closes the store. Further writes fail.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.closed = true
+	if db.wal == nil {
+		return nil
+	}
+	if err := db.wal.Flush(); err != nil {
+		return err
+	}
+	return db.walF.Close()
+}
