@@ -7,7 +7,7 @@
 // Usage:
 //
 //	spotlake-collector -data DIR [-days 30] [-frac 0.12] [-interval 10m]
-//	                   [-seed 22] [-exact]
+//	                   [-seed 22] [-exact] [-snapshot FILE]
 package main
 
 import (
@@ -33,6 +33,7 @@ func main() {
 		interval = flag.Duration("interval", 10*time.Minute, "collection cadence (paper: 10m)")
 		seed     = flag.Uint64("seed", 22, "simulation seed")
 		exact    = flag.Bool("exact", false, "use the exact branch-and-bound query packer instead of FFD")
+		snapshot = flag.String("snapshot", "", "after collecting, save a binary snapshot to this file (reload with spotlake-server -snapshot)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -77,4 +78,10 @@ func main() {
 	log.Printf("score ticks %d, advisor ticks %d, price ticks %d", st.ScoreTicks, st.AdvisorTicks, st.PriceTicks)
 	log.Printf("queries issued %d (errors %d), points stored %d", st.QueriesIssued, st.QueryErrors, st.PointsStored)
 	log.Printf("archive: %d series, %d points in %s", db.SeriesCount(), db.PointCount(), *dataDir)
+	if *snapshot != "" {
+		if err := db.SaveSnapshot(*snapshot); err != nil {
+			log.Fatalf("snapshot: %v", err)
+		}
+		log.Printf("snapshot saved to %s", *snapshot)
+	}
 }

@@ -7,13 +7,15 @@
 // Usage:
 //
 //	spotlake-server [-addr :8080] [-bootstrap-days 14] [-frac 0.12]
-//	                [-data DIR] [-tick 2s] [-seed 22]
+//	                [-data DIR] [-tick 2s] [-seed 22] [-snapshot FILE]
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
 	"time"
 
 	"repro/internal/archive"
@@ -39,6 +41,7 @@ func main() {
 		tick       = flag.Duration("tick", 2*time.Second, "wall-clock interval per live collection tick")
 		seed       = flag.Uint64("seed", 22, "simulation seed")
 		multiCloud = flag.Bool("multicloud", false, "also collect Azure and GCP spot datasets (Section 7)")
+		snapshot   = flag.String("snapshot", "", "snapshot file: loaded at startup when present (skipping that much bootstrap), saved after bootstrap")
 	)
 	flag.Parse()
 
@@ -55,6 +58,25 @@ func main() {
 		log.Fatalf("opening archive store: %v", err)
 	}
 	defer db.Close()
+
+	// A snapshot restores a previous run's archive in one pass. When the
+	// WAL (-data) already replayed the same data on Open, the snapshot is
+	// redundant — loading it would be rejected as overlapping appends.
+	if *snapshot != "" {
+		if db.PointCount() > 0 {
+			log.Printf("store already holds %d points (WAL replay); skipping snapshot load", db.PointCount())
+		} else if n, err := db.LoadSnapshotFile(*snapshot); err == nil {
+			log.Printf("loaded snapshot %s: %d series, %d points", *snapshot, n, db.PointCount())
+		} else if !errors.Is(err, os.ErrNotExist) {
+			log.Fatalf("loading snapshot: %v", err)
+		}
+	}
+	// Restored data (snapshot or WAL) sits in simulated time after the
+	// clock's epoch start: fast-forward so collection continues where the
+	// archive left off instead of appending out of order.
+	if maxAt, ok := db.MaxTime(); ok && maxAt.After(clk.Now()) {
+		clk.RunFor(maxAt.Sub(clk.Now()))
+	}
 
 	cfg := collector.DefaultConfig()
 	col, err := collector.New(cloud, db, cfg)
@@ -86,12 +108,22 @@ func main() {
 			log.Fatalf("starting multi-cloud collector: %v", err)
 		}
 	}
-	clk.RunFor(time.Duration(*bootstrap) * 24 * time.Hour)
+	// Restored data counts toward the bootstrap target: only simulate the
+	// remainder, so a restart with a full snapshot serves immediately.
+	if d := simclock.Epoch.Add(time.Duration(*bootstrap) * 24 * time.Hour).Sub(clk.Now()); d > 0 {
+		clk.RunFor(d)
+	}
 	if err := db.Flush(); err != nil {
 		log.Fatalf("flushing archive: %v", err)
 	}
 	log.Printf("bootstrap done in %v: %d series, %d points",
 		time.Since(start).Round(time.Millisecond), db.SeriesCount(), db.PointCount())
+	if *snapshot != "" {
+		if err := db.SaveSnapshot(*snapshot); err != nil {
+			log.Fatalf("saving snapshot: %v", err)
+		}
+		log.Printf("snapshot saved to %s", *snapshot)
+	}
 
 	// Live mode: one goroutine owns the simulation and advances it one
 	// collection interval per wall tick; HTTP handlers only read the

@@ -11,7 +11,11 @@ package archive
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -22,21 +26,90 @@ import (
 // paper service's response limits.
 const MaxSeriesPerQuery = 2000
 
-// Service answers archive queries from the time-series store.
+// queryCacheSize bounds the LRU result cache. Entries self-invalidate via
+// the store's generation counter, so the size only trades memory for hit
+// rate on repeated identical queries.
+const queryCacheSize = 128
+
+// maxCachedPoints bounds the size of a single cached query result.
+const maxCachedPoints = 100_000
+
+// Service answers archive queries from the time-series store. Queries fan
+// out over matching series with a bounded worker pool sized to the machine,
+// and repeated identical queries are answered from a generation-guarded
+// LRU cache without touching the store.
 type Service struct {
 	db       *tsdb.DB
 	cat      *catalog.Catalog
 	datasets map[string]bool
+	workers  int
+	cache    *resultCache
 }
 
 // NewService builds the query service over a store and the catalog it was
 // collected from. The four single-vendor datasets are queryable by
 // default; AllowDatasets extends the set (e.g. for multi-vendor archives).
 func NewService(db *tsdb.DB, cat *catalog.Catalog) *Service {
-	s := &Service{db: db, cat: cat, datasets: make(map[string]bool)}
+	s := &Service{
+		db:       db,
+		cat:      cat,
+		datasets: make(map[string]bool),
+		workers:  runtime.GOMAXPROCS(0),
+		cache:    newResultCache(queryCacheSize),
+	}
 	s.AllowDatasets(tsdb.DatasetPlacementScore, tsdb.DatasetInterruptFree,
 		tsdb.DatasetPrice, tsdb.DatasetSavings)
 	return s
+}
+
+// SetWorkers overrides the fan-out worker pool size (minimum 1); the
+// default is GOMAXPROCS. Benchmarks use it to measure 1 vs N workers.
+func (s *Service) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.workers = n
+}
+
+// CacheStats reports the result cache's cumulative hits and misses.
+func (s *Service) CacheStats() CacheStats { return s.cache.stats() }
+
+// fanOut runs fn(i) for i in [0, n) on a bounded worker pool and waits.
+// Output slots are per-index, so results are deterministic regardless of
+// scheduling.
+func (s *Service) fanOut(n int, fn func(int)) {
+	workers := s.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// cacheKey renders the (kind, filter, window) tuple canonically.
+func cacheKey(kind string, req QueryRequest) string {
+	return kind + "\x00" + req.Dataset + "\x00" + req.Type + "\x00" + req.Region + "\x00" + req.AZ +
+		"\x00" + strconv.FormatInt(req.From.UnixNano(), 36) + "\x00" + strconv.FormatInt(req.To.UnixNano(), 36)
 }
 
 // AllowDatasets registers additional queryable dataset names.
@@ -92,17 +165,36 @@ func (s *Service) Query(req QueryRequest) ([]SeriesResult, error) {
 	if to.Before(from) {
 		return nil, fmt.Errorf("archive: query window ends (%v) before it starts (%v)", to, from)
 	}
+	// Capture the generation before reading: a write racing the fan-out
+	// makes the cached entry stale immediately, never the reverse.
+	gen := s.db.Generation()
+	ck := cacheKey("query", req)
+	if v, ok := s.cache.get(ck, gen); ok {
+		return v.([]SeriesResult), nil
+	}
 	keys := s.db.Keys(tsdb.KeyFilter{Dataset: req.Dataset, Type: req.Type, Region: req.Region, AZ: req.AZ})
 	if len(keys) > MaxSeriesPerQuery {
 		return nil, fmt.Errorf("archive: query matches %d series, limit %d; narrow the filter", len(keys), MaxSeriesPerQuery)
 	}
+	// Fan out across series; slots keep the sorted key order deterministic.
+	slots := make([][]tsdb.Point, len(keys))
+	s.fanOut(len(keys), func(i int) {
+		slots[i] = s.db.Query(keys[i], from, to)
+	})
 	out := make([]SeriesResult, 0, len(keys))
-	for _, k := range keys {
-		pts := s.db.Query(k, from, to)
-		if len(pts) == 0 {
+	points := 0
+	for i, k := range keys {
+		if len(slots[i]) == 0 {
 			continue
 		}
-		out = append(out, SeriesResult{Key: k, Points: pts})
+		points += len(slots[i])
+		out = append(out, SeriesResult{Key: k, Points: slots[i]})
+	}
+	// Oversized results are not cached: one-off bulk exports (or clients
+	// polling with a unique moving window) would otherwise pin up to 128
+	// full-archive copies in the LRU without ever hitting.
+	if points <= maxCachedPoints {
+		s.cache.put(ck, gen, out)
 	}
 	return out, nil
 }
@@ -116,18 +208,39 @@ type LatestEntry struct {
 
 // Latest returns the most recent value of every matching series.
 func (s *Service) Latest(req QueryRequest) ([]LatestEntry, error) {
+	if req.Dataset != "" && !s.datasets[req.Dataset] {
+		return nil, fmt.Errorf("archive: unknown dataset %q", req.Dataset)
+	}
+	gen := s.db.Generation()
+	// Latest ignores the window, so the key must too — otherwise clients
+	// polling with a moving from/to fragment the cache.
+	filterOnly := req
+	filterOnly.From, filterOnly.To = time.Time{}, time.Time{}
+	ck := cacheKey("latest", filterOnly)
+	if v, ok := s.cache.get(ck, gen); ok {
+		return v.([]LatestEntry), nil
+	}
 	keys := s.db.Keys(tsdb.KeyFilter{Dataset: req.Dataset, Type: req.Type, Region: req.Region, AZ: req.AZ})
 	if len(keys) > MaxSeriesPerQuery {
 		return nil, fmt.Errorf("archive: query matches %d series, limit %d; narrow the filter", len(keys), MaxSeriesPerQuery)
 	}
+	type slot struct {
+		p  tsdb.Point
+		ok bool
+	}
+	slots := make([]slot, len(keys))
+	s.fanOut(len(keys), func(i int) {
+		p, ok := s.db.Last(keys[i])
+		slots[i] = slot{p: p, ok: ok}
+	})
 	out := make([]LatestEntry, 0, len(keys))
-	for _, k := range keys {
-		p, ok := s.db.Last(k)
-		if !ok {
+	for i, k := range keys {
+		if !slots[i].ok {
 			continue
 		}
-		out = append(out, LatestEntry{Key: k, At: p.At, Value: p.Value})
+		out = append(out, LatestEntry{Key: k, At: slots[i].p.At, Value: slots[i].p.Value})
 	}
+	s.cache.put(ck, gen, out)
 	return out, nil
 }
 

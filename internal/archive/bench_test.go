@@ -1,0 +1,113 @@
+package archive
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/tsdb"
+)
+
+// benchDB builds a store with many series so query fan-out has real work.
+func benchDB(b *testing.B, shards int) *tsdb.DB {
+	b.Helper()
+	db, err := tsdb.OpenSharded("", shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	for s := 0; s < 400; s++ {
+		k := tsdb.SeriesKey{
+			Dataset: tsdb.DatasetPlacementScore,
+			Type:    fmt.Sprintf("t%d.xlarge", s%50),
+			Region:  fmt.Sprintf("r%d", s%8),
+			AZ:      fmt.Sprintf("r%da", s%8),
+		}
+		if s >= 200 {
+			k.Dataset = tsdb.DatasetPrice
+		}
+		for i := 0; i < 500; i++ {
+			if err := db.Append(k, base.Add(time.Duration(i)*time.Minute), float64(i%5)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+// BenchmarkQueryFanOut measures a broad archive query (every sps series)
+// across worker-pool sizes and shard counts. Identical repeated queries
+// are excluded from caching here by alternating the window each iteration.
+func BenchmarkQueryFanOut(b *testing.B) {
+	base := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	for _, cfg := range []struct{ shards, workers int }{
+		{1, 1},
+		{tsdb.DefaultShardCount(), 1},
+		{tsdb.DefaultShardCount(), 4},
+		{tsdb.DefaultShardCount(), 16},
+	} {
+		name := fmt.Sprintf("shards=%d/workers=%d", cfg.shards, cfg.workers)
+		b.Run(name, func(b *testing.B) {
+			svc := NewService(benchDB(b, cfg.shards), catalog.Compact(1))
+			svc.SetWorkers(cfg.workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A unique window per iteration so the result cache never hits.
+				from := base.Add(time.Duration(i) * time.Millisecond)
+				res, err := svc.Query(QueryRequest{Dataset: tsdb.DatasetPlacementScore, From: from})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) == 0 {
+					b.Fatal("no results")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryCached measures the same repeated query answered by the
+// generation-guarded LRU cache (paper: the archive is read-heavy and many
+// users ask for the same popular series).
+func BenchmarkQueryCached(b *testing.B) {
+	svc := NewService(benchDB(b, tsdb.DefaultShardCount()), catalog.Compact(1))
+	req := QueryRequest{Dataset: tsdb.DatasetPlacementScore}
+	if _, err := svc.Query(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := svc.Query(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) == 0 {
+			b.Fatal("no results")
+		}
+	}
+	b.StopTimer()
+	if st := svc.CacheStats(); st.Hits == 0 {
+		b.Fatal("cache never hit")
+	}
+}
+
+// BenchmarkLatestFanOut measures the current-values endpoint across the
+// whole archive, the dashboard's hot path.
+func BenchmarkLatestFanOut(b *testing.B) {
+	base := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	db := benchDB(b, tsdb.DefaultShardCount())
+	svc := NewService(db, catalog.Compact(1))
+	k := tsdb.SeriesKey{Dataset: tsdb.DatasetPrice, Type: "tick", Region: "r0", AZ: "r0a"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One write per iteration keeps the generation moving, so this
+		// measures the uncached fan-out path.
+		if err := db.Append(k, base.Add(time.Duration(500+i)*time.Minute), float64(i)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := svc.Latest(QueryRequest{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

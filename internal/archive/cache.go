@@ -1,0 +1,80 @@
+package archive
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// resultCache is a small LRU over query results, keyed on the canonical
+// (filter, window) string. Every entry records the store generation it was
+// computed at; a hit is only served while the store is unchanged, so the
+// cache can never return stale data — the collector's next stored point
+// invalidates everything implicitly.
+type resultCache struct {
+	mu   sync.Mutex
+	cap  int
+	ll   *list.List // front = most recently used
+	m    map[string]*list.Element
+	hits atomic.Uint64
+	miss atomic.Uint64
+}
+
+type cacheEntry struct {
+	key string
+	gen uint64
+	val any
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached value for key if it was computed at generation
+// gen; entries from other generations are evicted on sight.
+func (c *resultCache) get(key string, gen uint64) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.miss.Add(1)
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.gen != gen {
+		c.ll.Remove(el)
+		delete(c.m, key)
+		c.miss.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return e.val, true
+}
+
+func (c *resultCache) put(key string, gen uint64, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.gen, e.val = gen, val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, gen: gen, val: val})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*cacheEntry).key)
+	}
+}
+
+// CacheStats reports cumulative result-cache hits and misses.
+type CacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+func (c *resultCache) stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.miss.Load()}
+}

@@ -77,8 +77,6 @@ type Collector struct {
 	clients []*awsapi.Client
 	// owner[i] is the index of the client that owns plan.Queries[i].
 	owner []int
-	// store writes a point (dedup or raw, per config).
-	store func(k tsdb.SeriesKey, at time.Time, v float64) (bool, error)
 
 	stats Stats
 
@@ -102,12 +100,6 @@ func New(cloud *cloudsim.Cloud, db *tsdb.DB, cfg Config) (*Collector, error) {
 		return nil, fmt.Errorf("collector: planning queries: %w", err)
 	}
 	c := &Collector{cloud: cloud, db: db, cfg: cfg, plan: plan}
-	c.store = db.AppendIfChanged
-	if cfg.StoreAllSamples {
-		c.store = func(k tsdb.SeriesKey, at time.Time, v float64) (bool, error) {
-			return true, db.Append(k, at, v)
-		}
-	}
 	accounts := plan.AccountsNeeded(cfg.QuotaPerAccount)
 	for i := 0; i < accounts; i++ {
 		c.clients = append(c.clients, awsapi.NewClient(cloud, fmt.Sprintf("spotlake-%03d", i)))
@@ -128,6 +120,16 @@ func (c *Collector) Accounts() int { return len(c.clients) }
 // Stats returns the cumulative counters.
 func (c *Collector) Stats() Stats { return c.stats }
 
+// flush stores one tick's batch of points. Batching lets the store group
+// the entries by shard and take each shard lock once per tick instead of
+// once per point (dedup per AppendIfChanged unless StoreAllSamples).
+func (c *Collector) flush(entries []tsdb.Entry) (int, error) {
+	if c.cfg.StoreAllSamples {
+		return c.db.AppendBatch(entries)
+	}
+	return c.db.AppendBatchIfChanged(entries)
+}
+
 // CollectScoresOnce executes the full placement-score plan once, storing
 // per-(type, AZ) scores. Values are deduplicated: a point lands in the
 // archive only when the score changed since the previous tick.
@@ -135,6 +137,7 @@ func (c *Collector) CollectScoresOnce() error {
 	now := c.cloud.Clock().Now()
 	c.stats.ScoreTicks++
 	var firstErr error
+	entries := make([]tsdb.Entry, 0, len(c.plan.Queries)*awsapi.MaxReturnedScores)
 	for qi, pq := range c.plan.Queries {
 		client := c.clients[c.owner[qi]]
 		scores, err := client.GetSpotPlacementScores(awsapi.PlacementScoreQuery{
@@ -152,23 +155,22 @@ func (c *Collector) CollectScoresOnce() error {
 			continue
 		}
 		for _, s := range scores {
-			key := tsdb.SeriesKey{
-				Dataset: tsdb.DatasetPlacementScore,
-				Type:    pq.InstanceType,
-				Region:  s.Region,
-				AZ:      s.AZ,
-			}
-			stored, err := c.store(key, now, float64(s.Score))
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				continue
-			}
-			if stored {
-				c.stats.PointsStored++
-			}
+			entries = append(entries, tsdb.Entry{
+				Key: tsdb.SeriesKey{
+					Dataset: tsdb.DatasetPlacementScore,
+					Type:    pq.InstanceType,
+					Region:  s.Region,
+					AZ:      s.AZ,
+				},
+				At:    now,
+				Value: float64(s.Score),
+			})
 		}
+	}
+	stored, err := c.flush(entries)
+	c.stats.PointsStored += stored
+	if err != nil && firstErr == nil {
+		firstErr = err
 	}
 	return firstErr
 }
@@ -180,26 +182,23 @@ func (c *Collector) CollectAdvisorOnce() error {
 	now := c.cloud.Clock().Now()
 	c.stats.AdvisorTicks++
 	doc := awsapi.FetchAdvisorDocument(c.cloud)
-	var firstErr error
+	entries := make([]tsdb.Entry, 0, 2*len(doc.Entries))
 	for _, e := range doc.Entries {
-		ifKey := tsdb.SeriesKey{Dataset: tsdb.DatasetInterruptFree, Type: e.Type, Region: e.Region}
-		stored, err := c.store(ifKey, now, e.Bucket.InterruptionFreeScore())
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-		if stored {
-			c.stats.PointsStored++
-		}
-		savKey := tsdb.SeriesKey{Dataset: tsdb.DatasetSavings, Type: e.Type, Region: e.Region}
-		stored, err = c.store(savKey, now, float64(e.SavingsPct))
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-		if stored {
-			c.stats.PointsStored++
-		}
+		entries = append(entries,
+			tsdb.Entry{
+				Key:   tsdb.SeriesKey{Dataset: tsdb.DatasetInterruptFree, Type: e.Type, Region: e.Region},
+				At:    now,
+				Value: e.Bucket.InterruptionFreeScore(),
+			},
+			tsdb.Entry{
+				Key:   tsdb.SeriesKey{Dataset: tsdb.DatasetSavings, Type: e.Type, Region: e.Region},
+				At:    now,
+				Value: float64(e.SavingsPct),
+			})
 	}
-	return firstErr
+	stored, err := c.flush(entries)
+	c.stats.PointsStored += stored
+	return err
 }
 
 // CollectPricesOnce samples the current spot price of every pool.
@@ -208,7 +207,9 @@ func (c *Collector) CollectPricesOnce() error {
 	c.stats.PriceTicks++
 	client := c.clients[0]
 	var firstErr error
-	for _, p := range c.cloud.Catalog().Pools() {
+	pools := c.cloud.Catalog().Pools()
+	entries := make([]tsdb.Entry, 0, len(pools))
+	for _, p := range pools {
 		price, err := client.CurrentSpotPrice(p.Type, p.AZ)
 		if err != nil {
 			if firstErr == nil {
@@ -216,17 +217,16 @@ func (c *Collector) CollectPricesOnce() error {
 			}
 			continue
 		}
-		key := tsdb.SeriesKey{Dataset: tsdb.DatasetPrice, Type: p.Type, Region: p.Region, AZ: p.AZ}
-		stored, err := c.store(key, now, price)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		if stored {
-			c.stats.PointsStored++
-		}
+		entries = append(entries, tsdb.Entry{
+			Key:   tsdb.SeriesKey{Dataset: tsdb.DatasetPrice, Type: p.Type, Region: p.Region, AZ: p.AZ},
+			At:    now,
+			Value: price,
+		})
+	}
+	stored, err := c.flush(entries)
+	c.stats.PointsStored += stored
+	if err != nil && firstErr == nil {
+		firstErr = err
 	}
 	return firstErr
 }

@@ -95,34 +95,32 @@ func (c *Collector) CollectAzureOnce() error {
 	if err != nil {
 		return err
 	}
+	batch := make([]tsdb.Entry, 0, 3*len(entries))
 	for _, e := range entries {
-		if stored, err := c.db.AppendIfChanged(tsdb.SeriesKey{
-			Dataset: DatasetAzureEvict, Type: e.Size, Region: e.Region,
-		}, now, e.Band.Score()); err != nil {
-			return err
-		} else if stored {
-			c.Points++
-		}
-		if stored, err := c.db.AppendIfChanged(tsdb.SeriesKey{
-			Dataset: DatasetAzureSavings, Type: e.Size, Region: e.Region,
-		}, now, float64(e.SavingsPct)); err != nil {
-			return err
-		} else if stored {
-			c.Points++
-		}
+		batch = append(batch,
+			tsdb.Entry{
+				Key:   tsdb.SeriesKey{Dataset: DatasetAzureEvict, Type: e.Size, Region: e.Region},
+				At:    now,
+				Value: e.Band.Score(),
+			},
+			tsdb.Entry{
+				Key:   tsdb.SeriesKey{Dataset: DatasetAzureSavings, Type: e.Size, Region: e.Region},
+				At:    now,
+				Value: float64(e.SavingsPct),
+			})
 		price, err := c.azure.SpotPriceUSD(e.Size, e.Region)
 		if err != nil {
 			return err
 		}
-		if stored, err := c.db.AppendIfChanged(tsdb.SeriesKey{
-			Dataset: DatasetAzurePrice, Type: e.Size, Region: e.Region,
-		}, now, price); err != nil {
-			return err
-		} else if stored {
-			c.Points++
-		}
+		batch = append(batch, tsdb.Entry{
+			Key:   tsdb.SeriesKey{Dataset: DatasetAzurePrice, Type: e.Size, Region: e.Region},
+			At:    now,
+			Value: price,
+		})
 	}
-	return nil
+	stored, err := c.db.AppendBatchIfChanged(batch)
+	c.Points += stored
+	return err
 }
 
 // CollectGCPOnce scrapes the GCP pricing page.
@@ -136,27 +134,27 @@ func (c *Collector) CollectGCPOnce() error {
 	if err != nil {
 		return err
 	}
+	batch := make([]tsdb.Entry, 0, 2*len(entries))
 	for _, e := range entries {
-		if stored, err := c.db.AppendIfChanged(tsdb.SeriesKey{
-			Dataset: DatasetGCPPrice, Type: e.Type, Region: e.Region,
-		}, now, e.SpotUSD); err != nil {
-			return err
-		} else if stored {
-			c.Points++
-		}
 		savings := 0.0
 		if e.OnDemand > 0 {
 			savings = math.Round((1 - e.SpotUSD/e.OnDemand) * 100)
 		}
-		if stored, err := c.db.AppendIfChanged(tsdb.SeriesKey{
-			Dataset: DatasetGCPSavings, Type: e.Type, Region: e.Region,
-		}, now, savings); err != nil {
-			return err
-		} else if stored {
-			c.Points++
-		}
+		batch = append(batch,
+			tsdb.Entry{
+				Key:   tsdb.SeriesKey{Dataset: DatasetGCPPrice, Type: e.Type, Region: e.Region},
+				At:    now,
+				Value: e.SpotUSD,
+			},
+			tsdb.Entry{
+				Key:   tsdb.SeriesKey{Dataset: DatasetGCPSavings, Type: e.Type, Region: e.Region},
+				At:    now,
+				Value: savings,
+			})
 	}
-	return nil
+	stored, err := c.db.AppendBatchIfChanged(batch)
+	c.Points += stored
+	return err
 }
 
 // Start begins periodic collection for every configured vendor at the

@@ -1,6 +1,9 @@
 package tsdb
 
 import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -55,6 +58,121 @@ func BenchmarkWindowMean(b *testing.B) {
 		from := t0.Add(time.Duration(i%9000) * time.Minute)
 		db.WindowMean(k, from, from.Add(24*time.Hour))
 	}
+}
+
+// BenchmarkAppendParallel measures concurrent append throughput with the
+// single-lock baseline (shards=1) against the sharded store. Each
+// goroutine owns one series, like the collector's per-pool writes. On a
+// multi-core runner the sharded variants scale with cores while shards=1
+// serializes on its one mutex.
+func BenchmarkAppendParallel(b *testing.B) {
+	for _, shards := range []int{1, DefaultShardCount()} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			db, _ := OpenSharded("", shards)
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				id := seq.Add(1)
+				k := SeriesKey{Dataset: "sps", Type: fmt.Sprintf("g%d.xlarge", id), Region: "us-east-1", AZ: "us-east-1a"}
+				i := 0
+				for pb.Next() {
+					if err := db.Append(k, t0.Add(time.Duration(i)*time.Second), float64(i%3)); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAppendBatch compares per-point appends against one batched
+// call per tick (the collector's write shape: many series, one timestamp).
+func BenchmarkAppendBatch(b *testing.B) {
+	const seriesN = 256
+	keys := make([]SeriesKey, seriesN)
+	for i := range keys {
+		keys[i] = SeriesKey{Dataset: "price", Type: fmt.Sprintf("t%d", i), Region: "us-east-1", AZ: "us-east-1a"}
+	}
+	b.Run("pointwise", func(b *testing.B) {
+		db, _ := Open("")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			at := t0.Add(time.Duration(i) * time.Second)
+			for _, k := range keys {
+				if err := db.Append(k, at, float64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		db, _ := Open("")
+		batch := make([]Entry, seriesN)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			at := t0.Add(time.Duration(i) * time.Second)
+			for j, k := range keys {
+				batch[j] = Entry{Key: k, At: at, Value: float64(i)}
+			}
+			if n, err := db.AppendBatch(batch); err != nil || n != seriesN {
+				b.Fatalf("stored %d, err %v", n, err)
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotLoad compares restoring a populated store from a
+// snapshot against replaying the equivalent WAL.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	const seriesN, pointsN = 200, 200
+	build := func(dir string) *DB {
+		db, err := Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < seriesN; s++ {
+			k := SeriesKey{Dataset: "sps", Type: fmt.Sprintf("t%d", s), Region: "us-east-1", AZ: "us-east-1a"}
+			for i := 0; i < pointsN; i++ {
+				if err := db.Append(k, t0.Add(time.Duration(i)*time.Minute), float64(i%7)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		return db
+	}
+	b.Run("snapshot", func(b *testing.B) {
+		db := build("")
+		var buf bytes.Buffer
+		if err := db.WriteSnapshot(&buf); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			db2, _ := Open("")
+			if _, err := db2.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("wal-replay", func(b *testing.B) {
+		dir := b.TempDir()
+		db := build(dir)
+		if err := db.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			db2, err := Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if db2.PointCount() != seriesN*pointsN {
+				b.Fatalf("replayed %d points", db2.PointCount())
+			}
+			db2.Close()
+		}
+	})
 }
 
 func BenchmarkWALWrite(b *testing.B) {

@@ -1,8 +1,10 @@
 package tsdb
 
 import (
+	"bytes"
 	"strings"
 	"testing"
+	"time"
 )
 
 func FuzzParseSeriesKey(f *testing.F) {
@@ -32,6 +34,69 @@ func FuzzParseSeriesKey(f *testing.F) {
 		// Exactly three separators in canonical form.
 		if strings.Count(k.String(), "|") != 3 {
 			t.Fatalf("canonical form %q malformed", k.String())
+		}
+	})
+}
+
+// fuzzSnapshotSeed builds a valid snapshot to seed the corpus.
+func fuzzSnapshotSeed(seriesN, pointsN int) []byte {
+	db, _ := OpenSharded("", 4)
+	base := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	for s := 0; s < seriesN; s++ {
+		k := SeriesKey{Dataset: "sps", Type: "m5.xlarge", Region: "us-east-1", AZ: string(rune('a' + s))}
+		for i := 0; i < pointsN; i++ {
+			_ = db.Append(k, base.Add(time.Duration(i)*time.Minute), float64(i%5))
+		}
+	}
+	var buf bytes.Buffer
+	_ = db.WriteSnapshot(&buf)
+	return buf.Bytes()
+}
+
+// FuzzSnapshotCodec feeds arbitrary byte streams to LoadSnapshot. Corrupt
+// input must return an error — never panic, never allocate absurdly, never
+// silently drop series. Input that does load must re-encode to an
+// equivalent store (full round trip).
+func FuzzSnapshotCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(snapshotMagic))
+	f.Add(fuzzSnapshotSeed(0, 0))
+	f.Add(fuzzSnapshotSeed(1, 3))
+	f.Add(fuzzSnapshotSeed(3, 7))
+	// A couple of deliberate corruptions as starting points.
+	s := fuzzSnapshotSeed(2, 4)
+	s[len(s)-1] ^= 0xff
+	f.Add(s)
+	s2 := fuzzSnapshotSeed(2, 4)
+	s2[9] ^= 0x01 // version byte
+	f.Add(s2)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		db, _ := OpenSharded("", 2)
+		n, err := db.LoadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			// Malformed input must leave the store untouched.
+			if db.SeriesCount() != 0 || db.PointCount() != 0 {
+				t.Fatalf("failed load modified the store: %d series, %d points",
+					db.SeriesCount(), db.PointCount())
+			}
+			return
+		}
+		if n < db.SeriesCount() {
+			t.Fatalf("loaded %d records but store has %d series", n, db.SeriesCount())
+		}
+		// Round trip: what loaded must encode and reload identically.
+		var buf bytes.Buffer
+		if err := db.WriteSnapshot(&buf); err != nil {
+			t.Fatalf("re-encode of loaded snapshot failed: %v", err)
+		}
+		db2, _ := OpenSharded("", 8)
+		if _, err := db2.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("reload of re-encoded snapshot failed: %v", err)
+		}
+		if db2.SeriesCount() != db.SeriesCount() || db2.PointCount() != db.PointCount() {
+			t.Fatalf("round trip changed contents: %d/%d series, %d/%d points",
+				db.SeriesCount(), db2.SeriesCount(), db.PointCount(), db2.PointCount())
 		}
 	})
 }

@@ -9,6 +9,27 @@
 // change-interval extractions (the primitives behind Figures 3, 4, 5, 8, 9
 // and 10). An optional write-ahead log gives durable persistence with
 // crash-safe replay.
+//
+// # Sharding
+//
+// The store is lock-striped: series keys hash (FNV-1a over the canonical
+// key form) onto a power-of-two number of shards near GOMAXPROCS, each
+// shard owning its own mutex, series map, and point counter. Collector
+// writes and archive reads touching different shards never contend, and
+// the aggregate statistics (SeriesCount, PointCount, Keys, MaxTime) are
+// computed by visiting shards one at a time without any global lock.
+// AppendBatch groups a tick's worth of points by shard so each shard lock
+// is taken once per batch instead of once per point. A monotonically
+// increasing generation counter (Generation) is bumped on every stored
+// point, letting read-side caches detect staleness cheaply.
+//
+// # Snapshots
+//
+// Beyond the WAL, a populated store can be persisted as a one-pass binary
+// snapshot (see snapshot.go): a versioned, CRC-checked, length-prefixed
+// dump of every series. Loading a snapshot is much faster than replaying
+// an equivalent WAL because points arrive grouped by series and are
+// validated per record rather than per point.
 package tsdb
 
 import (
@@ -21,9 +42,11 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -65,24 +88,79 @@ type Point struct {
 	Value float64
 }
 
+// Entry is one point addressed to a series, the unit of batched appends.
+type Entry struct {
+	Key   SeriesKey
+	At    time.Time
+	Value float64
+}
+
 type series struct {
 	points []Point
 }
 
-// DB is the time-series store. It is safe for concurrent use.
-type DB struct {
+// shard is one lock stripe: a mutex, its series, and local statistics.
+type shard struct {
 	mu     sync.RWMutex
 	series map[SeriesKey]*series
-	wal    *bufio.Writer
-	walF   *os.File
-	closed bool
+	points int
 }
 
-// Open opens (or creates) a store. With a non-empty dir, points are
-// persisted to an append-only log inside it and replayed on open. With an
-// empty dir the store is memory-only.
+// DB is the time-series store. It is safe for concurrent use.
+type DB struct {
+	shards []shard
+	mask   uint32
+	gen    atomic.Uint64
+	closed atomic.Bool
+
+	// The WAL is shared across shards; walMu is always acquired while
+	// holding a shard lock (lock order: shard -> wal), which keeps the
+	// per-series record order in the log identical to memory order.
+	walMu sync.Mutex
+	wal   *bufio.Writer
+	walF  *os.File
+}
+
+// DefaultShardCount is the shard count used by Open: the smallest power of
+// two >= GOMAXPROCS, clamped to [8, 256]. The floor keeps lock striping
+// effective on small machines; the ceiling bounds per-shard overhead.
+func DefaultShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	if s < 8 {
+		s = 8
+	}
+	if s > 256 {
+		s = 256
+	}
+	return s
+}
+
+// Open opens (or creates) a store with DefaultShardCount shards. With a
+// non-empty dir, points are persisted to an append-only log inside it and
+// replayed on open. With an empty dir the store is memory-only.
 func Open(dir string) (*DB, error) {
-	db := &DB{series: make(map[SeriesKey]*series)}
+	return OpenSharded(dir, 0)
+}
+
+// OpenSharded opens a store with an explicit shard count (rounded up to a
+// power of two; <= 0 selects DefaultShardCount). A shard count of 1
+// reproduces the single-lock store, which the benchmarks use as baseline.
+func OpenSharded(dir string, shards int) (*DB, error) {
+	if shards <= 0 {
+		shards = DefaultShardCount()
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	db := &DB{shards: make([]shard, n), mask: uint32(n - 1)}
+	for i := range db.shards {
+		db.shards[i].series = make(map[SeriesKey]*series)
+	}
 	if dir == "" {
 		return db, nil
 	}
@@ -102,6 +180,41 @@ func Open(dir string) (*DB, error) {
 	return db, nil
 }
 
+// ShardCount returns the number of lock stripes.
+func (db *DB) ShardCount() int { return len(db.shards) }
+
+// Generation returns a counter that increases whenever a point is stored.
+// Read-side caches compare generations to detect that cached results are
+// still current.
+func (db *DB) Generation() uint64 { return db.gen.Load() }
+
+// shardIndex hashes the key (FNV-1a over the canonical form, without
+// materializing it) onto a shard index.
+func (db *DB) shardIndex(k SeriesKey) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint32(s[i])
+			h *= prime32
+		}
+		h ^= '|'
+		h *= prime32
+	}
+	mix(k.Dataset)
+	mix(k.Type)
+	mix(k.Region)
+	mix(k.AZ)
+	return h & db.mask
+}
+
+func (db *DB) shardFor(k SeriesKey) *shard {
+	return &db.shards[db.shardIndex(k)]
+}
+
 // walRecord layout: u32 crc | u16 keyLen | key bytes | i64 unixNano | f64 bits.
 func appendRecord(buf []byte, key string, at time.Time, v float64) []byte {
 	payload := make([]byte, 0, 2+len(key)+16)
@@ -119,6 +232,7 @@ func appendRecord(buf []byte, key string, at time.Time, v float64) []byte {
 }
 
 // replay loads the log, tolerating a truncated trailing record (crash).
+// It runs single-threaded during Open, before the store is shared.
 func (db *DB) replay(path string) error {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -156,42 +270,71 @@ func (db *DB) replay(path string) error {
 		if err != nil {
 			continue
 		}
-		s := db.series[k]
+		sh := db.shardFor(k)
+		s := sh.series[k]
 		if s == nil {
 			s = &series{}
-			db.series[k] = s
+			sh.series[k] = s
 		}
 		s.points = append(s.points, Point{At: at, Value: v})
+		sh.points++
+		db.gen.Add(1)
 	}
 }
 
-// Append records a point. Appends must be time-ordered per series; an
-// append earlier than the series' last point is rejected.
-func (db *DB) Append(k SeriesKey, at time.Time, v float64) error {
+// maxKeyBytes bounds the canonical key form: both the WAL and the snapshot
+// codec store key lengths as uint16, so longer keys would silently
+// truncate into unreadable records.
+const maxKeyBytes = 1<<16 - 1
+
+func validKey(k SeriesKey) error {
 	if k.Dataset == "" || k.Type == "" || k.Region == "" {
 		return fmt.Errorf("tsdb: incomplete series key %v", k)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
+	if len(k.Dataset)+len(k.Type)+len(k.Region)+len(k.AZ)+3 > maxKeyBytes {
+		return fmt.Errorf("tsdb: series key exceeds %d bytes", maxKeyBytes)
+	}
+	return nil
+}
+
+// appendLocked stores one point into sh, which the caller has write-locked.
+func (db *DB) appendLocked(sh *shard, k SeriesKey, at time.Time, v float64) error {
+	if db.closed.Load() {
 		return errors.New("tsdb: store is closed")
 	}
-	s := db.series[k]
+	s := sh.series[k]
 	if s == nil {
 		s = &series{}
-		db.series[k] = s
+		sh.series[k] = s
 	}
 	if n := len(s.points); n > 0 && at.Before(s.points[n-1].At) {
 		return fmt.Errorf("tsdb: out-of-order append to %v: %v before %v", k, at, s.points[n-1].At)
 	}
 	s.points = append(s.points, Point{At: at, Value: v})
+	sh.points++
+	db.gen.Add(1)
 	if db.wal != nil {
 		rec := appendRecord(nil, k.String(), at, v)
-		if _, err := db.wal.Write(rec); err != nil {
+		db.walMu.Lock()
+		_, err := db.wal.Write(rec)
+		db.walMu.Unlock()
+		if err != nil {
 			return fmt.Errorf("tsdb: wal write: %w", err)
 		}
 	}
 	return nil
+}
+
+// Append records a point. Appends must be time-ordered per series; an
+// append earlier than the series' last point is rejected.
+func (db *DB) Append(k SeriesKey, at time.Time, v float64) error {
+	if err := validKey(k); err != nil {
+		return err
+	}
+	sh := db.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return db.appendLocked(sh, k, at, v)
 }
 
 // AppendIfChanged records the point only when its value differs from the
@@ -200,24 +343,106 @@ func (db *DB) Append(k SeriesKey, at time.Time, v float64) error {
 // events, which both bounds storage and makes Figure 10's
 // time-between-changes analysis a direct read of the series.
 func (db *DB) AppendIfChanged(k SeriesKey, at time.Time, v float64) (bool, error) {
-	db.mu.RLock()
-	s := db.series[k]
-	if s != nil && len(s.points) > 0 && s.points[len(s.points)-1].Value == v {
-		db.mu.RUnlock()
+	if err := validKey(k); err != nil {
+		return false, err
+	}
+	sh := db.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s := sh.series[k]; s != nil && len(s.points) > 0 && s.points[len(s.points)-1].Value == v {
 		return false, nil
 	}
-	db.mu.RUnlock()
-	if err := db.Append(k, at, v); err != nil {
+	if err := db.appendLocked(sh, k, at, v); err != nil {
 		return false, err
 	}
 	return true, nil
 }
 
+// AppendBatch stores the entries, grouping them by shard so each shard
+// lock is acquired once per batch rather than once per point. Entries keep
+// their input order within a shard, so per-series time ordering of the
+// input is preserved. It returns how many points were stored and the first
+// error encountered; later entries are still attempted after an error.
+func (db *DB) AppendBatch(entries []Entry) (int, error) {
+	return db.appendBatch(entries, false)
+}
+
+// AppendBatchIfChanged is AppendBatch with AppendIfChanged's semantics:
+// an entry whose value equals its series' current last value is skipped.
+func (db *DB) AppendBatchIfChanged(entries []Entry) (int, error) {
+	return db.appendBatch(entries, true)
+}
+
+func (db *DB) appendBatch(entries []Entry, dedup bool) (int, error) {
+	if len(entries) == 0 {
+		return 0, nil
+	}
+	// Stable counting sort of entry indices by shard: input order is
+	// preserved within a shard (so per-series time order survives), and
+	// no per-call maps are allocated. Invalid keys land in bucket ns.
+	ns := len(db.shards)
+	var firstErr error
+	shardOf := make([]uint32, len(entries))
+	counts := make([]int, ns+1)
+	for i := range entries {
+		si := uint32(ns)
+		if err := validKey(entries[i].Key); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			si = db.shardIndex(entries[i].Key)
+		}
+		shardOf[i] = si
+		counts[si]++
+	}
+	pos := make([]int, ns+1)
+	sum := 0
+	for s := 0; s <= ns; s++ {
+		pos[s] = sum
+		sum += counts[s]
+	}
+	order := make([]int32, len(entries))
+	fill := append([]int(nil), pos...)
+	for i := range entries {
+		s := shardOf[i]
+		order[fill[s]] = int32(i)
+		fill[s]++
+	}
+	stored := 0
+	for s := 0; s < ns; s++ {
+		lo, hi := pos[s], pos[s]+counts[s]
+		if lo == hi {
+			continue
+		}
+		sh := &db.shards[s]
+		sh.mu.Lock()
+		for _, i := range order[lo:hi] {
+			e := &entries[i]
+			if dedup {
+				if sr := sh.series[e.Key]; sr != nil && len(sr.points) > 0 && sr.points[len(sr.points)-1].Value == e.Value {
+					continue
+				}
+			}
+			if err := db.appendLocked(sh, e.Key, e.At, e.Value); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			stored++
+		}
+		sh.mu.Unlock()
+	}
+	return stored, firstErr
+}
+
 // Query returns the points of a series within [from, to], oldest first.
 func (db *DB) Query(k SeriesKey, from, to time.Time) []Point {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	s := db.series[k]
+	sh := db.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.series[k]
 	if s == nil {
 		return nil
 	}
@@ -235,9 +460,10 @@ func (db *DB) Query(k SeriesKey, from, to time.Time) []Point {
 // value of the latest point at or before t. ok is false before the first
 // point or for an unknown series.
 func (db *DB) ValueAt(k SeriesKey, t time.Time) (v float64, ok bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	s := db.series[k]
+	sh := db.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.series[k]
 	if s == nil {
 		return 0, false
 	}
@@ -255,9 +481,10 @@ func (db *DB) WindowMean(k SeriesKey, from, to time.Time) (mean float64, ok bool
 	if !to.After(from) {
 		return 0, false
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	s := db.series[k]
+	sh := db.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.series[k]
 	if s == nil || len(s.points) == 0 {
 		return 0, false
 	}
@@ -315,9 +542,10 @@ func (db *DB) Grid(k SeriesKey, from, to time.Time, step time.Duration) []float6
 // series. When points are appended via AppendIfChanged these are the
 // value-change intervals of Figure 10.
 func (db *DB) ChangeIntervals(k SeriesKey) []time.Duration {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	s := db.series[k]
+	sh := db.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.series[k]
 	if s == nil || len(s.points) < 2 {
 		return nil
 	}
@@ -330,9 +558,10 @@ func (db *DB) ChangeIntervals(k SeriesKey) []time.Duration {
 
 // Last returns the most recent point of the series.
 func (db *DB) Last(k SeriesKey) (Point, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	s := db.series[k]
+	sh := db.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.series[k]
 	if s == nil || len(s.points) == 0 {
 		return Point{}, false
 	}
@@ -355,14 +584,18 @@ func (f KeyFilter) matches(k SeriesKey) bool {
 }
 
 // Keys returns the series keys matching the filter, sorted canonically.
+// Shards are visited one at a time; no global lock is held.
 func (db *DB) Keys(f KeyFilter) []SeriesKey {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	var out []SeriesKey
-	for k := range db.series {
-		if f.matches(k) {
-			out = append(out, k)
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for k := range sh.series {
+			if f.matches(k) {
+				out = append(out, k)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out
@@ -370,26 +603,54 @@ func (db *DB) Keys(f KeyFilter) []SeriesKey {
 
 // SeriesCount returns the number of series.
 func (db *DB) SeriesCount() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.series)
-}
-
-// PointCount returns the total number of stored points.
-func (db *DB) PointCount() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	n := 0
-	for _, s := range db.series {
-		n += len(s.points)
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		n += len(sh.series)
+		sh.mu.RUnlock()
 	}
 	return n
 }
 
+// PointCount returns the total number of stored points, aggregated from
+// the per-shard counters.
+func (db *DB) PointCount() int {
+	n := 0
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		n += sh.points
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// MaxTime returns the latest point timestamp anywhere in the store. ok is
+// false for an empty store. Snapshot-loading services use it to fast-forward
+// their clock past the restored data.
+func (db *DB) MaxTime() (time.Time, bool) {
+	var max time.Time
+	found := false
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.series {
+			if n := len(s.points); n > 0 {
+				if at := s.points[n-1].At; !found || at.After(max) {
+					max, found = at, true
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return max, found
+}
+
 // Flush forces buffered log records to the operating system.
 func (db *DB) Flush() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
 	if db.wal == nil {
 		return nil
 	}
@@ -399,11 +660,20 @@ func (db *DB) Flush() error {
 	return db.walF.Sync()
 }
 
-// Close flushes and closes the store. Further writes fail.
+// Close flushes and closes the store. Further writes fail. Close quiesces
+// every shard so no append is mid-flight when the WAL is closed.
 func (db *DB) Close() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.closed = true
+	db.closed.Store(true)
+	for i := range db.shards {
+		db.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range db.shards {
+			db.shards[i].mu.Unlock()
+		}
+	}()
+	db.walMu.Lock()
+	defer db.walMu.Unlock()
 	if db.wal == nil {
 		return nil
 	}
