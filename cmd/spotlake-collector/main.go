@@ -4,10 +4,17 @@
 // statistics and exits. The directory can then be served by
 // spotlake-server or analyzed offline.
 //
+// The -data directory uses the segmented layout (MANIFEST, per-shard
+// wal-*.log segments, checkpoint snapshot); directories written by older
+// builds with a single points.wal are migrated automatically on open.
+// Collection checkpoints every -checkpoint-interval of simulated time and
+// once at the end, so a restart replays only the tail written since.
+//
 // Usage:
 //
 //	spotlake-collector -data DIR [-days 30] [-frac 0.12] [-interval 10m]
-//	                   [-seed 22] [-exact] [-snapshot FILE]
+//	                   [-seed 22] [-exact] [-checkpoint-interval 24h]
+//	                   [-snapshot FILE]
 package main
 
 import (
@@ -27,13 +34,14 @@ func main() {
 	log.SetPrefix("spotlake-collector: ")
 
 	var (
-		dataDir  = flag.String("data", "", "tsdb directory (required)")
-		days     = flag.Int("days", 30, "simulated days to collect")
-		frac     = flag.Float64("frac", 0.12, "catalog fraction (1.0 = all 547 types)")
-		interval = flag.Duration("interval", 10*time.Minute, "collection cadence (paper: 10m)")
-		seed     = flag.Uint64("seed", 22, "simulation seed")
-		exact    = flag.Bool("exact", false, "use the exact branch-and-bound query packer instead of FFD")
-		snapshot = flag.String("snapshot", "", "after collecting, save a binary snapshot to this file (reload with spotlake-server -snapshot)")
+		dataDir    = flag.String("data", "", "archive data directory (required; legacy single-WAL dirs migrate automatically)")
+		days       = flag.Int("days", 30, "simulated days to collect")
+		frac       = flag.Float64("frac", 0.12, "catalog fraction (1.0 = all 547 types)")
+		interval   = flag.Duration("interval", 10*time.Minute, "collection cadence (paper: 10m)")
+		seed       = flag.Uint64("seed", 22, "simulation seed")
+		exact      = flag.Bool("exact", false, "use the exact branch-and-bound query packer instead of FFD")
+		cpInterval = flag.Duration("checkpoint-interval", 24*time.Hour, "simulated time between archive checkpoints (0 disables)")
+		snapshot   = flag.String("snapshot", "", "also export a standalone snapshot to this file (deprecated: the data dir checkpoints itself)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -59,6 +67,7 @@ func main() {
 	cfg.AdvisorInterval = *interval
 	cfg.PriceInterval = *interval
 	cfg.ExactPacking = *exact
+	cfg.CheckpointInterval = *cpInterval
 	col, err := collector.New(cloud, db, cfg)
 	if err != nil {
 		log.Fatalf("building collector: %v", err)
@@ -73,10 +82,17 @@ func main() {
 	if err := db.Flush(); err != nil {
 		log.Fatalf("flush: %v", err)
 	}
+	// A final checkpoint folds the run's WAL tail into a snapshot, so the
+	// next open (collector resume or spotlake-server) bulk-loads instead
+	// of replaying the whole collection's log.
+	if err := db.Checkpoint(); err != nil {
+		log.Fatalf("checkpoint: %v", err)
+	}
 	st := col.Stats()
 	log.Printf("collected %d simulated days in %v", *days, time.Since(start).Round(time.Millisecond))
 	log.Printf("score ticks %d, advisor ticks %d, price ticks %d", st.ScoreTicks, st.AdvisorTicks, st.PriceTicks)
 	log.Printf("queries issued %d (errors %d), points stored %d", st.QueriesIssued, st.QueryErrors, st.PointsStored)
+	log.Printf("checkpoints: %d periodic (%d errors) + 1 final", st.Checkpoints, st.CheckpointErrors)
 	log.Printf("archive: %d series, %d points in %s", db.SeriesCount(), db.PointCount(), *dataDir)
 	if *snapshot != "" {
 		if err := db.SaveSnapshot(*snapshot); err != nil {

@@ -4,10 +4,18 @@
 // background (simulated time advances one collection tick per wall-clock
 // interval, like a live deployment).
 //
+// The -data directory uses the segmented layout (MANIFEST, per-shard
+// wal-*.log segments, checkpoint snapshot); directories written by older
+// builds with a single points.wal are migrated automatically on open.
+// With -data set the server checkpoints after bootstrap and then every
+// -checkpoint-interval of simulated time, so restarts bulk-load the
+// snapshot and replay only the per-shard WAL tails.
+//
 // Usage:
 //
 //	spotlake-server [-addr :8080] [-bootstrap-days 14] [-frac 0.12]
-//	                [-data DIR] [-tick 2s] [-seed 22] [-snapshot FILE]
+//	                [-data DIR] [-tick 2s] [-seed 22]
+//	                [-checkpoint-interval 24h] [-snapshot FILE]
 package main
 
 import (
@@ -37,11 +45,12 @@ func main() {
 		addr       = flag.String("addr", ":8080", "HTTP listen address")
 		bootstrap  = flag.Int("bootstrap-days", 14, "simulated days to collect before serving")
 		frac       = flag.Float64("frac", 0.12, "catalog fraction (1.0 = all 547 types)")
-		dataDir    = flag.String("data", "", "tsdb directory for persistence (empty = memory only)")
+		dataDir    = flag.String("data", "", "archive data directory for persistence (empty = memory only; legacy single-WAL dirs migrate automatically)")
 		tick       = flag.Duration("tick", 2*time.Second, "wall-clock interval per live collection tick")
 		seed       = flag.Uint64("seed", 22, "simulation seed")
 		multiCloud = flag.Bool("multicloud", false, "also collect Azure and GCP spot datasets (Section 7)")
-		snapshot   = flag.String("snapshot", "", "snapshot file: loaded at startup when present (skipping that much bootstrap), saved after bootstrap")
+		cpInterval = flag.Duration("checkpoint-interval", 24*time.Hour, "simulated time between archive checkpoints with -data (0 disables)")
+		snapshot   = flag.String("snapshot", "", "standalone snapshot file: loaded at startup when present (skipping that much bootstrap), saved after bootstrap (deprecated with -data: the data dir checkpoints itself)")
 	)
 	flag.Parse()
 
@@ -79,6 +88,7 @@ func main() {
 	}
 
 	cfg := collector.DefaultConfig()
+	cfg.CheckpointInterval = *cpInterval
 	col, err := collector.New(cloud, db, cfg)
 	if err != nil {
 		log.Fatalf("building collector: %v", err)
@@ -118,6 +128,14 @@ func main() {
 	}
 	log.Printf("bootstrap done in %v: %d series, %d points",
 		time.Since(start).Round(time.Millisecond), db.SeriesCount(), db.PointCount())
+	// Checkpoint the bootstrap so a restart bulk-loads it instead of
+	// replaying the whole bootstrap's WAL.
+	if db.Durable() {
+		if err := db.Checkpoint(); err != nil {
+			log.Fatalf("checkpoint: %v", err)
+		}
+		log.Printf("checkpointed archive in %s", *dataDir)
+	}
 	if *snapshot != "" {
 		if err := db.SaveSnapshot(*snapshot); err != nil {
 			log.Fatalf("saving snapshot: %v", err)

@@ -36,8 +36,10 @@ const maxCachedPoints = 100_000
 
 // Service answers archive queries from the time-series store. Queries fan
 // out over matching series with a bounded worker pool sized to the machine,
-// and repeated identical queries are answered from a generation-guarded
-// LRU cache without touching the store.
+// and repeated identical queries are answered from an LRU cache guarded by
+// per-shard generations: an entry stays valid until a write lands in one
+// of the shards its series hash to (or a new series appears anywhere),
+// so collection ticks only evict the entries they actually affect.
 type Service struct {
 	db       *tsdb.DB
 	cat      *catalog.Catalog
@@ -165,11 +167,11 @@ func (s *Service) Query(req QueryRequest) ([]SeriesResult, error) {
 	if to.Before(from) {
 		return nil, fmt.Errorf("archive: query window ends (%v) before it starts (%v)", to, from)
 	}
-	// Capture the generation before reading: a write racing the fan-out
+	// Capture the generations before reading: a write racing the fan-out
 	// makes the cached entry stale immediately, never the reverse.
-	gen := s.db.Generation()
+	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
 	ck := cacheKey("query", req)
-	if v, ok := s.cache.get(ck, gen); ok {
+	if v, ok := s.cache.get(ck, keyGen, genVec); ok {
 		return v.([]SeriesResult), nil
 	}
 	keys := s.db.Keys(tsdb.KeyFilter{Dataset: req.Dataset, Type: req.Type, Region: req.Region, AZ: req.AZ})
@@ -194,9 +196,33 @@ func (s *Service) Query(req QueryRequest) ([]SeriesResult, error) {
 	// polling with a unique moving window) would otherwise pin up to 128
 	// full-archive copies in the LRU without ever hitting.
 	if points <= maxCachedPoints {
-		s.cache.put(ck, gen, out)
+		dep, gens := s.depGenerations(keys, genVec)
+		s.cache.put(ck, keyGen, dep, gens, out)
 	}
 	return out, nil
+}
+
+// depGenerations maps the matched series keys to the sorted unique shard
+// indices they hash to, paired with those shards' generations from the
+// pre-read vector. These are exactly the shards whose writes can change
+// the result (key-set changes are guarded by the key generation).
+func (s *Service) depGenerations(keys []tsdb.SeriesKey, genVec []uint64) ([]uint32, []uint64) {
+	seen := make(map[uint32]struct{}, len(keys))
+	dep := make([]uint32, 0, len(keys))
+	for _, k := range keys {
+		si := uint32(s.db.ShardIndexOf(k))
+		if _, ok := seen[si]; ok {
+			continue
+		}
+		seen[si] = struct{}{}
+		dep = append(dep, si)
+	}
+	sort.Slice(dep, func(i, j int) bool { return dep[i] < dep[j] })
+	gens := make([]uint64, len(dep))
+	for j, si := range dep {
+		gens[j] = genVec[si]
+	}
+	return dep, gens
 }
 
 // LatestEntry is the current value of one series.
@@ -211,13 +237,13 @@ func (s *Service) Latest(req QueryRequest) ([]LatestEntry, error) {
 	if req.Dataset != "" && !s.datasets[req.Dataset] {
 		return nil, fmt.Errorf("archive: unknown dataset %q", req.Dataset)
 	}
-	gen := s.db.Generation()
+	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
 	// Latest ignores the window, so the key must too — otherwise clients
 	// polling with a moving from/to fragment the cache.
 	filterOnly := req
 	filterOnly.From, filterOnly.To = time.Time{}, time.Time{}
 	ck := cacheKey("latest", filterOnly)
-	if v, ok := s.cache.get(ck, gen); ok {
+	if v, ok := s.cache.get(ck, keyGen, genVec); ok {
 		return v.([]LatestEntry), nil
 	}
 	keys := s.db.Keys(tsdb.KeyFilter{Dataset: req.Dataset, Type: req.Type, Region: req.Region, AZ: req.AZ})
@@ -240,11 +266,12 @@ func (s *Service) Latest(req QueryRequest) ([]LatestEntry, error) {
 		}
 		out = append(out, LatestEntry{Key: k, At: slots[i].p.At, Value: slots[i].p.Value})
 	}
-	s.cache.put(ck, gen, out)
+	dep, gens := s.depGenerations(keys, genVec)
+	s.cache.put(ck, keyGen, dep, gens, out)
 	return out, nil
 }
 
-// Meta summarizes the archive contents.
+// Meta summarizes the archive contents and the serving layer's health.
 type Meta struct {
 	SeriesCount int            `json:"seriesCount"`
 	PointCount  int            `json:"pointCount"`
@@ -252,6 +279,7 @@ type Meta struct {
 	Types       int            `json:"types"`
 	Regions     int            `json:"regions"`
 	AZs         int            `json:"azs"`
+	Cache       CacheStats     `json:"cache"`
 }
 
 // Meta returns the archive summary.
@@ -263,6 +291,7 @@ func (s *Service) Meta() Meta {
 		Types:       s.cat.NumTypes(),
 		Regions:     s.cat.NumRegions(),
 		AZs:         s.cat.NumAZs(),
+		Cache:       s.cache.stats(),
 	}
 	for _, ds := range s.Datasets() {
 		m.Datasets[ds] = len(s.db.Keys(tsdb.KeyFilter{Dataset: ds}))

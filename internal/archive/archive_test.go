@@ -2,6 +2,7 @@ package archive
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -123,17 +124,9 @@ func TestHTTPEndpoints(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var buf [1 << 20]byte
-		n, _ := resp.Body.Read(buf[:])
-		body := buf[:n]
-		for {
-			m, err := resp.Body.Read(buf[:])
-			if m > 0 {
-				body = append(body, buf[:m]...)
-			}
-			if err != nil {
-				break
-			}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
 		}
 		return resp, body
 	}

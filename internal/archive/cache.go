@@ -7,32 +7,57 @@ import (
 )
 
 // resultCache is a small LRU over query results, keyed on the canonical
-// (filter, window) string. Every entry records the store generation it was
-// computed at; a hit is only served while the store is unchanged, so the
-// cache can never return stale data — the collector's next stored point
-// invalidates everything implicitly.
+// (filter, window) string. Invalidation is shard-granular: every entry
+// records the key-set generation plus the generation of each store shard
+// the cached result depends on (the shards its series hash to). A hit is
+// served only while all of those are unchanged, so the cache can never
+// return stale data — but a collection tick that writes only other shards
+// leaves the entry alive, where the old store-wide generation guard would
+// have thrown it away.
 type resultCache struct {
-	mu   sync.Mutex
-	cap  int
-	ll   *list.List // front = most recently used
-	m    map[string]*list.Element
-	hits atomic.Uint64
-	miss atomic.Uint64
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	m     map[string]*list.Element
+	hits  atomic.Uint64
+	miss  atomic.Uint64
+	inval atomic.Uint64
 }
 
 type cacheEntry struct {
 	key string
-	gen uint64
-	val any
+	// keyGen guards against series creation: a new series can match the
+	// cached filter while hashing to a shard the result never touched.
+	keyGen uint64
+	// shards (sorted, unique) are the store shards the result's series
+	// hash to; gens[j] is shards[j]'s generation when it was computed.
+	shards []uint32
+	gens   []uint64
+	val    any
 }
 
 func newResultCache(capacity int) *resultCache {
 	return &resultCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
-// get returns the cached value for key if it was computed at generation
-// gen; entries from other generations are evicted on sight.
-func (c *resultCache) get(key string, gen uint64) (any, bool) {
+// valid reports whether the entry is current against the given key-set
+// generation and per-shard generation vector.
+func (e *cacheEntry) valid(keyGen uint64, genVec []uint64) bool {
+	if e.keyGen != keyGen {
+		return false
+	}
+	for j, si := range e.shards {
+		if int(si) >= len(genVec) || e.gens[j] != genVec[si] {
+			return false
+		}
+	}
+	return true
+}
+
+// get returns the cached value for key if every shard it depends on is
+// still at the generation it was computed at; stale entries are evicted on
+// sight and counted as invalidations.
+func (c *resultCache) get(key string, keyGen uint64, genVec []uint64) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
@@ -41,9 +66,10 @@ func (c *resultCache) get(key string, gen uint64) (any, bool) {
 		return nil, false
 	}
 	e := el.Value.(*cacheEntry)
-	if e.gen != gen {
+	if !e.valid(keyGen, genVec) {
 		c.ll.Remove(el)
 		delete(c.m, key)
+		c.inval.Add(1)
 		c.miss.Add(1)
 		return nil, false
 	}
@@ -52,16 +78,16 @@ func (c *resultCache) get(key string, gen uint64) (any, bool) {
 	return e.val, true
 }
 
-func (c *resultCache) put(key string, gen uint64, val any) {
+func (c *resultCache) put(key string, keyGen uint64, shards []uint32, gens []uint64, val any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		e := el.Value.(*cacheEntry)
-		e.gen, e.val = gen, val
+		e.keyGen, e.shards, e.gens, e.val = keyGen, shards, gens, val
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, gen: gen, val: val})
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, keyGen: keyGen, shards: shards, gens: gens, val: val})
 	for c.ll.Len() > c.cap {
 		el := c.ll.Back()
 		c.ll.Remove(el)
@@ -69,12 +95,15 @@ func (c *resultCache) put(key string, gen uint64, val any) {
 	}
 }
 
-// CacheStats reports cumulative result-cache hits and misses.
+// CacheStats reports cumulative result-cache counters. Invalidations
+// counts entries evicted because a depended-on shard (or the key set)
+// changed; they are a subset of misses.
 type CacheStats struct {
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
 }
 
 func (c *resultCache) stats() CacheStats {
-	return CacheStats{Hits: c.hits.Load(), Misses: c.miss.Load()}
+	return CacheStats{Hits: c.hits.Load(), Misses: c.miss.Load(), Invalidations: c.inval.Load()}
 }

@@ -1,0 +1,281 @@
+package archive
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/tsdb"
+)
+
+var cacheT0 = time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// twoShardKeys returns two fully-specified series keys that hash to
+// different shards of db.
+func twoShardKeys(t *testing.T, db *tsdb.DB) (tsdb.SeriesKey, tsdb.SeriesKey) {
+	t.Helper()
+	base := tsdb.SeriesKey{Dataset: tsdb.DatasetPlacementScore, Type: "m5.xlarge", Region: "us-east-1", AZ: "az0"}
+	for i := 1; i < 1000; i++ {
+		k := base
+		k.AZ = fmt.Sprintf("az%d", i)
+		if db.ShardIndexOf(k) != db.ShardIndexOf(base) {
+			return base, k
+		}
+	}
+	t.Fatal("could not find keys in distinct shards")
+	return base, base
+}
+
+// TestPerShardCacheInvalidation is the acceptance test for shard-granular
+// caching: a write to one shard must not invalidate a cached query whose
+// series all live in other shards, while a write to a depended-on shard
+// (or a new series anywhere) must.
+func TestPerShardCacheInvalidation(t *testing.T) {
+	db, err := tsdb.OpenSharded("", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kA, kB := twoShardKeys(t, db)
+	if err := db.Append(kA, cacheT0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(kB, cacheT0, 2); err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(db, catalog.Compact(1))
+
+	reqA := QueryRequest{Dataset: kA.Dataset, Type: kA.Type, Region: kA.Region, AZ: kA.AZ}
+	if _, err := svc.Query(reqA); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.CacheStats(); st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("after first query: %+v", st)
+	}
+	if _, err := svc.Query(reqA); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.CacheStats(); st.Hits != 1 {
+		t.Fatalf("identical repeat did not hit: %+v", st)
+	}
+
+	// A collection tick touching only kB's shard: the kA entry stays hot.
+	if err := db.Append(kB, cacheT0.Add(time.Minute), 3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := svc.Query(reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.CacheStats(); st.Hits != 2 || st.Invalidations != 0 {
+		t.Fatalf("write to foreign shard invalidated the entry: %+v", st)
+	}
+	if len(res) != 1 || len(res[0].Points) != 1 {
+		t.Fatalf("cached result changed shape: %v", res)
+	}
+
+	// A write to kA's own shard must invalidate, and the recomputed
+	// result must include the new point (never stale data).
+	if err := db.Append(kA, cacheT0.Add(time.Minute), 4); err != nil {
+		t.Fatal(err)
+	}
+	res, err = svc.Query(reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.CacheStats(); st.Invalidations != 1 {
+		t.Fatalf("write to depended-on shard did not invalidate: %+v", st)
+	}
+	if len(res) != 1 || len(res[0].Points) != 2 {
+		t.Fatalf("recomputed result stale: %v", res)
+	}
+
+	// A brand-new series anywhere invalidates via the key generation: it
+	// could match a cached filter while hashing to an untracked shard.
+	if _, err := svc.Query(reqA); err != nil { // re-prime
+		t.Fatal(err)
+	}
+	kNew := kA
+	kNew.Type = "c5.large"
+	if err := db.Append(kNew, cacheT0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Query(reqA); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.CacheStats(); st.Invalidations != 2 {
+		t.Fatalf("new series did not invalidate: %+v", st)
+	}
+}
+
+// TestLatestPerShardCache exercises the same shard-granular guard on the
+// Latest path.
+func TestLatestPerShardCache(t *testing.T) {
+	db, err := tsdb.OpenSharded("", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kA, kB := twoShardKeys(t, db)
+	if err := db.Append(kA, cacheT0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(kB, cacheT0, 2); err != nil {
+		t.Fatal(err)
+	}
+	svc := NewService(db, catalog.Compact(1))
+	reqA := QueryRequest{Dataset: kA.Dataset, Type: kA.Type, Region: kA.Region, AZ: kA.AZ}
+	if _, err := svc.Latest(reqA); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(kB, cacheT0.Add(time.Minute), 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Latest(reqA); err != nil {
+		t.Fatal(err)
+	}
+	if st := svc.CacheStats(); st.Hits != 1 || st.Invalidations != 0 {
+		t.Fatalf("latest entry did not survive foreign-shard write: %+v", st)
+	}
+	if err := db.Append(kA, cacheT0.Add(time.Minute), 7); err != nil {
+		t.Fatal(err)
+	}
+	out, err := svc.Latest(reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Value != 7 {
+		t.Fatalf("latest served stale value: %v", out)
+	}
+	if st := svc.CacheStats(); st.Invalidations != 1 {
+		t.Fatalf("own-shard write did not invalidate latest: %+v", st)
+	}
+}
+
+// TestMetaExposesCacheStats checks the /api/v1/meta response carries the
+// cache counters.
+func TestMetaExposesCacheStats(t *testing.T) {
+	s, _ := buildArchive(t)
+	req := QueryRequest{Dataset: tsdb.DatasetPrice}
+	if _, err := s.Query(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(req); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/v1/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Cache CacheStats `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Cache.Hits == 0 || m.Cache.Misses == 0 {
+		t.Errorf("meta cache stats empty: %+v", m.Cache)
+	}
+}
+
+// TestGzipResponses checks that the API compresses for accepting clients
+// and stays uncompressed otherwise, with identical decoded bodies.
+func TestGzipResponses(t *testing.T) {
+	s, cat := buildArchive(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	path := srv.URL + "/api/v1/query?dataset=sps&type=" + cat.Types()[0].Name
+
+	plainReq, _ := http.NewRequest("GET", path, nil)
+	plainReq.Header.Set("Accept-Encoding", "identity")
+	plain, err := http.DefaultTransport.RoundTrip(plainReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Body.Close()
+	if ce := plain.Header.Get("Content-Encoding"); ce != "" {
+		t.Fatalf("identity client got Content-Encoding %q", ce)
+	}
+	plainBody, err := io.ReadAll(plain.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gzReq, _ := http.NewRequest("GET", path, nil)
+	gzReq.Header.Set("Accept-Encoding", "gzip")
+	gz, err := http.DefaultTransport.RoundTrip(gzReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gz.Body.Close()
+	if ce := gz.Header.Get("Content-Encoding"); ce != "gzip" {
+		t.Fatalf("gzip client got Content-Encoding %q", ce)
+	}
+	if vary := gz.Header.Get("Vary"); !strings.Contains(vary, "Accept-Encoding") {
+		t.Errorf("Vary = %q, want Accept-Encoding", vary)
+	}
+	zr, err := gzip.NewReader(gz.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gzBody, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gzBody) != string(plainBody) {
+		t.Fatalf("gzip body (%d bytes decoded) differs from plain body (%d bytes)", len(gzBody), len(plainBody))
+	}
+	if cl := gz.ContentLength; cl > 0 && cl >= int64(len(plainBody)) {
+		t.Errorf("compressed length %d not smaller than plain %d", cl, len(plainBody))
+	}
+
+	// An explicit refusal (q=0) must not be compressed despite the
+	// header containing the substring "gzip".
+	refuseReq, _ := http.NewRequest("GET", path, nil)
+	refuseReq.Header.Set("Accept-Encoding", "gzip;q=0")
+	refuse, err := http.DefaultTransport.RoundTrip(refuseReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refuse.Body.Close()
+	if ce := refuse.Header.Get("Content-Encoding"); ce != "" {
+		t.Errorf("gzip;q=0 client got Content-Encoding %q", ce)
+	}
+}
+
+func TestAcceptsGzip(t *testing.T) {
+	cases := map[string]bool{
+		"":                       false,
+		"gzip":                   true,
+		"gzip, deflate, br":      true,
+		"deflate":                false,
+		"*":                      true,
+		"gzip;q=0":               false,
+		"gzip;q=0.0":             false,
+		"gzip; q=0":              false,
+		"gzip;q=0.5":             true,
+		"gzip;q=1.0":             true,
+		"deflate, gzip;q=0":      false,
+		"identity;q=1, gzip;q=0": false,
+		"gzip;q=0.000;level=1":   false,
+		"gzip;level=1":           true,
+		"gzip;q=0, *":            false,
+		"gzip;q=0, *;q=1":        false,
+		"*;q=0":                  false,
+		"deflate, *":             true,
+		"*, gzip;q=0":            false,
+	}
+	for header, want := range cases {
+		if got := acceptsGzip(header); got != want {
+			t.Errorf("acceptsGzip(%q) = %v, want %v", header, got, want)
+		}
+	}
+}

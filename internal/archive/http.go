@@ -1,8 +1,11 @@
 package archive
 
 import (
+	"compress/gzip"
 	"encoding/json"
 	"net/http"
+	"strings"
+	"sync"
 	"time"
 )
 
@@ -34,6 +37,71 @@ fetch('/api/v1/meta').then(r => r.json())
 
 type apiError struct {
 	Error string `json:"error"`
+}
+
+// gzipPool recycles gzip writers across requests; compressing a large
+// query window allocates a ~800KB state block that would otherwise churn
+// the GC on every response.
+var gzipPool = sync.Pool{New: func() any { return gzip.NewWriter(nil) }}
+
+// gzipResponseWriter routes the body through the gzip writer while
+// headers and status still go to the underlying ResponseWriter.
+type gzipResponseWriter struct {
+	http.ResponseWriter
+	gz *gzip.Writer
+}
+
+func (w gzipResponseWriter) Write(b []byte) (int, error) { return w.gz.Write(b) }
+
+// acceptsGzip parses an Accept-Encoding header: gzip is acceptable when
+// a "gzip" member appears without an explicit zero q-weight, or — with
+// no explicit "gzip" member at all — when a non-refused "*" appears.
+// An explicit "gzip" member always wins over "*" (RFC 9110: the most
+// specific match governs).
+func acceptsGzip(header string) bool {
+	starOK := false
+	for _, part := range strings.Split(header, ",") {
+		coding, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		c := strings.ToLower(strings.TrimSpace(coding))
+		if c != "gzip" && c != "*" {
+			continue
+		}
+		refused := false
+		for _, p := range strings.Split(params, ";") {
+			p = strings.ToLower(strings.ReplaceAll(p, " ", ""))
+			if v, ok := strings.CutPrefix(p, "q="); ok {
+				// A q of 0, 0., 0.0, 0.00, 0.000 means "not acceptable".
+				refused = v != "" && strings.Trim(v, "0.") == "" && v[0] == '0'
+				break
+			}
+		}
+		if c == "gzip" {
+			return !refused
+		}
+		starOK = starOK || !refused
+	}
+	return starOK
+}
+
+// withGzip compresses responses for clients that accept it. Big query
+// windows serialize to many megabytes of highly repetitive JSON; gzip
+// typically cuts them by an order of magnitude.
+func withGzip(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Add("Vary", "Accept-Encoding")
+		if !acceptsGzip(r.Header.Get("Accept-Encoding")) {
+			h.ServeHTTP(w, r)
+			return
+		}
+		gz := gzipPool.Get().(*gzip.Writer)
+		gz.Reset(w)
+		defer func() {
+			gz.Close()
+			gzipPool.Put(gz)
+		}()
+		w.Header().Set("Content-Encoding", "gzip")
+		h.ServeHTTP(gzipResponseWriter{ResponseWriter: w, gz: gz}, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -147,5 +215,5 @@ func (s *Service) Handler() http.Handler {
 		_, _ = w.Write([]byte(indexHTML))
 	})
 
-	return mux
+	return withGzip(mux)
 }

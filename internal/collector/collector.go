@@ -13,6 +13,7 @@ package collector
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	"repro/internal/awsapi"
@@ -43,6 +44,11 @@ type Config struct {
 	// semantics are identical either way because the datasets are step
 	// functions.
 	StoreAllSamples bool
+	// CheckpointInterval, when positive and the store is durable,
+	// checkpoints the archive (snapshot + WAL truncation) every interval
+	// of simulated time, bounding crash-recovery replay to at most one
+	// interval of collected data. Zero disables periodic checkpoints.
+	CheckpointInterval time.Duration
 }
 
 // DefaultConfig returns the paper's collection configuration.
@@ -59,12 +65,14 @@ func DefaultConfig() Config {
 
 // Stats are cumulative collection counters.
 type Stats struct {
-	ScoreTicks    int
-	AdvisorTicks  int
-	PriceTicks    int
-	QueriesIssued int
-	PointsStored  int
-	QueryErrors   int
+	ScoreTicks       int
+	AdvisorTicks     int
+	PriceTicks       int
+	QueriesIssued    int
+	PointsStored     int
+	QueryErrors      int
+	Checkpoints      int
+	CheckpointErrors int
 }
 
 // Collector drives the periodic collection tasks.
@@ -259,6 +267,22 @@ func (c *Collector) Start() error {
 			return true
 		}),
 	)
+	if c.cfg.CheckpointInterval > 0 && c.db.Durable() {
+		c.tickers = append(c.tickers,
+			clk.SchedulePeriodic(c.cfg.CheckpointInterval, func(time.Time) bool {
+				if err := c.db.Checkpoint(); err != nil {
+					// Surface persistent failures (disk full, permissions)
+					// immediately: every miss grows the WAL tails and with
+					// them the next restart's replay time.
+					log.Printf("collector: periodic checkpoint failed: %v", err)
+					c.stats.CheckpointErrors++
+				} else {
+					c.stats.Checkpoints++
+				}
+				return true
+			}),
+		)
+	}
 	return nil
 }
 

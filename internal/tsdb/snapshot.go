@@ -36,35 +36,78 @@ const (
 	maxSnapshotPayload = 1 << 26
 )
 
+// capture collects every series' point slice, sorted by canonical key.
+// Each shard is captured atomically under its lock; points are
+// append-only, so everything below the captured lengths is immutable
+// afterwards and the result can be encoded without further locking.
+func (db *DB) capture() []snapshotSeries {
+	var recs []snapshotSeries
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for k, s := range sh.series {
+			recs = append(recs, snapshotSeries{key: k, points: s.points})
+		}
+		sh.mu.RUnlock()
+	}
+	sortSnapshotSeries(recs)
+	return recs
+}
+
 // WriteSnapshot writes the whole store to w in snapshot format. Concurrent
 // appends during the write are safe: each series is captured atomically
 // under its shard lock, series listed at the start are never dropped, and
 // series created afterwards are simply not included.
 func (db *DB) WriteSnapshot(w io.Writer) error {
-	keys := db.Keys(KeyFilter{})
+	return encodeSnapshot(w, db.capture())
+}
+
+// chunkSnapshotSeries splits any series whose record payload would exceed
+// limit bytes into multiple consecutive records of the same key. The
+// decoder accepts repeated keys (consecutive chunks merge back as ordered
+// bulk appends), so chunking keeps every record below the cap that
+// decodeSnapshot enforces — without it, a series beyond ~4M points would
+// encode into a snapshot that can never be loaded, fatal once a
+// checkpoint has truncated the WAL behind it.
+func chunkSnapshotSeries(recs []snapshotSeries, limit int) []snapshotSeries {
+	out := make([]snapshotSeries, 0, len(recs))
+	for _, rec := range recs {
+		maxPts := (limit - 2 - len(rec.key.String()) - 4) / 16
+		if maxPts < 1 {
+			maxPts = 1 // unreachable: validKey bounds keys far below limit
+		}
+		if len(rec.points) <= maxPts {
+			out = append(out, rec)
+			continue
+		}
+		for start := 0; start < len(rec.points); start += maxPts {
+			end := start + maxPts
+			if end > len(rec.points) {
+				end = len(rec.points)
+			}
+			out = append(out, snapshotSeries{key: rec.key, points: rec.points[start:end]})
+		}
+	}
+	return out
+}
+
+// encodeSnapshot writes the captured records to w in snapshot format.
+// Records must already be sorted by canonical key.
+func encodeSnapshot(w io.Writer, recs []snapshotSeries) error {
+	recs = chunkSnapshotSeries(recs, maxSnapshotPayload)
 	bw := bufio.NewWriterSize(w, 1<<16)
 	var tmp [8]byte
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return fmt.Errorf("tsdb: snapshot write: %w", err)
 	}
 	binary.LittleEndian.PutUint16(tmp[:2], snapshotVersion)
-	binary.LittleEndian.PutUint32(tmp[2:6], uint32(len(keys)))
+	binary.LittleEndian.PutUint32(tmp[2:6], uint32(len(recs)))
 	if _, err := bw.Write(tmp[:6]); err != nil {
 		return fmt.Errorf("tsdb: snapshot write: %w", err)
 	}
-	for _, k := range keys {
-		sh := db.shardFor(k)
-		sh.mu.RLock()
-		s := sh.series[k]
-		// Points are append-only: capturing the slice header under the
-		// lock makes everything below len(pts) immutable afterwards.
-		var pts []Point
-		if s != nil {
-			pts = s.points
-		}
-		sh.mu.RUnlock()
-
-		key := k.String()
+	for _, rec := range recs {
+		pts := rec.points
+		key := rec.key.String()
 		payload := make([]byte, 0, 2+len(key)+4+16*len(pts))
 		binary.LittleEndian.PutUint16(tmp[:2], uint16(len(key)))
 		payload = append(payload, tmp[:2]...)
@@ -92,32 +135,10 @@ func (db *DB) WriteSnapshot(w io.Writer) error {
 	return nil
 }
 
-// SaveSnapshot atomically writes the snapshot to path (temp file + rename).
+// SaveSnapshot atomically writes the snapshot to path (temp file, fsync,
+// rename, directory fsync).
 func (db *DB) SaveSnapshot(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("tsdb: snapshot create: %w", err)
-	}
-	if err := db.WriteSnapshot(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("tsdb: snapshot sync: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("tsdb: snapshot close: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("tsdb: snapshot rename: %w", err)
-	}
-	return nil
+	return atomicWriteFile(path, db.WriteSnapshot)
 }
 
 // snapshotSeries is one fully decoded and validated series record.
@@ -197,16 +218,18 @@ func decodeSnapshot(r io.Reader) ([]snapshotSeries, error) {
 // decoded and validated before anything is applied: on error the store is
 // left unmodified, and hostile input never panics. Loaded series merge
 // into existing ones as bulk appends (a record's first point must not
-// precede the series' current last point). When the store has a WAL open,
-// loaded points are re-logged to it — written and flushed in one pass
-// before the in-memory apply, so a later restart that replays the WAL
-// alone still recovers the full archive, and a failed re-log (e.g. disk
-// full) leaves the in-memory store unmodified. A failed re-log can leave
-// a truncated final record in the log; replay tolerates that, but the
-// archive should then be restored from the snapshot again after freeing
-// space. LoadSnapshot must not run concurrently with appends to the same
-// series (it is a startup/restore operation). It returns the number of
-// series records applied.
+// precede the series' current last point). When the store is durable,
+// loaded points are re-logged to the per-shard WAL segments — written and
+// flushed before the in-memory apply, so a later restart that replays the
+// segments alone still recovers the full archive, and a failed re-log
+// (e.g. disk full) leaves the in-memory store unmodified. A failed re-log
+// can leave a truncated final record in a segment; replay tolerates that,
+// but the archive should then be restored from the snapshot again after
+// freeing space. (Calling Checkpoint after a large restore folds the
+// re-logged records back into a snapshot and truncates the segments.)
+// LoadSnapshot must not run concurrently with appends to the same series
+// (it is a startup/restore operation). It returns the number of series
+// records applied.
 func (db *DB) LoadSnapshot(r io.Reader) (int, error) {
 	all, err := decodeSnapshot(r)
 	if err != nil {
@@ -233,22 +256,47 @@ func (db *DB) LoadSnapshot(r io.Reader) (int, error) {
 		}
 		lastAt[rec.key] = rec.points[len(rec.points)-1].At
 	}
-	if db.wal != nil {
-		var buf []byte
+	// The re-log and the in-memory apply must form one atomic unit with
+	// respect to Checkpoint: a checkpoint cutting a shard between the two
+	// phases would record a WAL offset past the re-logged records while
+	// its snapshot lacks the points, and the next recovery would drop
+	// them. cpMu excludes checkpoints (and layout changes) for the
+	// duration; lock order (cpMu, then one shard at a time) matches
+	// Checkpoint's.
+	db.cpMu.Lock()
+	defer db.cpMu.Unlock()
+	if db.Durable() {
+		// Group records by shard and write each group to that shard's
+		// segment — all groups land durably before the in-memory apply.
+		bufs := make([][]byte, len(db.shards))
 		for _, rec := range all {
+			si := db.shardIndex(rec.key)
 			key := rec.key.String()
 			for _, p := range rec.points {
-				buf = appendRecord(buf, key, p.At, p.Value)
+				bufs[si] = appendRecord(bufs[si], key, p.At, p.Value)
 			}
 		}
-		db.walMu.Lock()
-		_, err := db.wal.Write(buf)
-		if err == nil {
-			err = db.wal.Flush()
-		}
-		db.walMu.Unlock()
-		if err != nil {
-			return 0, fmt.Errorf("tsdb: snapshot wal re-log: %w", err)
+		for si, buf := range bufs {
+			if len(buf) == 0 {
+				continue
+			}
+			sh := &db.shards[si]
+			sh.mu.Lock()
+			if sh.wal == nil {
+				sh.mu.Unlock()
+				return 0, errors.New("tsdb: store is closed")
+			}
+			_, err := sh.wal.Write(buf)
+			if err == nil {
+				err = sh.wal.Flush()
+			}
+			if err == nil {
+				sh.walOff += uint64(len(buf))
+			}
+			sh.mu.Unlock()
+			if err != nil {
+				return 0, fmt.Errorf("tsdb: snapshot wal re-log: %w", err)
+			}
 		}
 	}
 	for _, rec := range all {
@@ -257,14 +305,7 @@ func (db *DB) LoadSnapshot(r io.Reader) (int, error) {
 		}
 		sh := db.shardFor(rec.key)
 		sh.mu.Lock()
-		s := sh.series[rec.key]
-		if s == nil {
-			s = &series{}
-			sh.series[rec.key] = s
-		}
-		s.points = append(s.points, rec.points...)
-		sh.points += len(rec.points)
-		db.gen.Add(uint64(len(rec.points)))
+		db.mergeSeries(sh, rec.key, rec.points...)
 		sh.mu.Unlock()
 	}
 	return len(all), nil

@@ -121,8 +121,12 @@ func TestConcurrentStress(t *testing.T) {
 	if got := db.SeriesCount(); got != writers*seriesPerWrite {
 		t.Errorf("SeriesCount = %d, want %d", got, writers*seriesPerWrite)
 	}
-	if got := db.Generation(); got != uint64(wantPoints) {
-		t.Errorf("Generation = %d, want %d", got, wantPoints)
+	genSum := uint64(0)
+	for _, g := range db.ShardGenerations() {
+		genSum += g
+	}
+	if genSum != uint64(wantPoints) {
+		t.Errorf("sum of shard generations = %d, want %d", genSum, wantPoints)
 	}
 	// Monotonic per-series ordering and full contents.
 	for w := 0; w < writers; w++ {

@@ -19,9 +19,20 @@
 // the aggregate statistics (SeriesCount, PointCount, Keys, MaxTime) are
 // computed by visiting shards one at a time without any global lock.
 // AppendBatch groups a tick's worth of points by shard so each shard lock
-// is taken once per batch instead of once per point. A monotonically
-// increasing generation counter (Generation) is bumped on every stored
-// point, letting read-side caches detect staleness cheaply.
+// is taken once per batch instead of once per point. Every shard carries
+// its own monotonically increasing generation counter (ShardGeneration),
+// bumped on every point stored into it, and the store tracks a separate
+// key-set generation (KeyGeneration) bumped whenever a new series is
+// created anywhere; read-side caches combine the two to detect staleness
+// at shard granularity instead of store granularity.
+//
+// # Durability
+//
+// The write-ahead log is segmented per shard (see wal.go): shard i owns
+// wal-<i>.log, written under shard i's lock, so durable appends to
+// different shards never serialize against each other. A versioned
+// MANIFEST names the layout; snapshots double as checkpoints (Checkpoint)
+// that bound recovery to "load snapshot + replay per-shard tails".
 //
 // # Snapshots
 //
@@ -38,10 +49,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"math"
 	"os"
-	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -99,26 +108,41 @@ type series struct {
 	points []Point
 }
 
-// shard is one lock stripe: a mutex, its series, and local statistics.
+// shard is one lock stripe: a mutex, its series, local statistics, and —
+// for durable stores — its own WAL segment. Segment writes happen under
+// the shard's write lock, so the record order in wal-<i>.log is identical
+// to shard i's memory order with no extra mutex, and appends to different
+// shards never serialize against a shared log.
 type shard struct {
 	mu     sync.RWMutex
 	series map[SeriesKey]*series
 	points int
+	gen    atomic.Uint64
+
+	// Durable state, nil for memory-only stores. walBase is the logical
+	// offset of the segment file's first record (records before it live
+	// in the latest checkpoint snapshot); walOff is the logical end
+	// offset, i.e. walBase + payload bytes appended since the file's
+	// header. Both count only record bytes, never the header.
+	wal     *bufio.Writer
+	walF    *os.File
+	walBase uint64
+	walOff  uint64
 }
 
 // DB is the time-series store. It is safe for concurrent use.
 type DB struct {
 	shards []shard
 	mask   uint32
-	gen    atomic.Uint64
+	keyGen atomic.Uint64
 	closed atomic.Bool
 
-	// The WAL is shared across shards; walMu is always acquired while
-	// holding a shard lock (lock order: shard -> wal), which keeps the
-	// per-series record order in the log identical to memory order.
-	walMu sync.Mutex
-	wal   *bufio.Writer
-	walF  *os.File
+	// Durable layout state. dir is empty for memory-only stores. man is
+	// the manifest as last committed; cpMu serializes Checkpoint, layout
+	// commits, and manifest replacement.
+	dir  string
+	cpMu sync.Mutex
+	man  manifest
 }
 
 // DefaultShardCount is the shard count used by Open: the smallest power of
@@ -167,26 +191,45 @@ func OpenSharded(dir string, shards int) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tsdb: creating dir: %w", err)
 	}
-	path := filepath.Join(dir, "points.wal")
-	if err := db.replay(path); err != nil {
+	db.dir = dir
+	if err := db.openDurable(); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("tsdb: opening wal: %w", err)
-	}
-	db.walF = f
-	db.wal = bufio.NewWriterSize(f, 1<<16)
 	return db, nil
 }
 
 // ShardCount returns the number of lock stripes.
 func (db *DB) ShardCount() int { return len(db.shards) }
 
-// Generation returns a counter that increases whenever a point is stored.
-// Read-side caches compare generations to detect that cached results are
-// still current.
-func (db *DB) Generation() uint64 { return db.gen.Load() }
+// Durable reports whether the store persists to disk (opened with a
+// non-empty directory).
+func (db *DB) Durable() bool { return db.dir != "" }
+
+// ShardGeneration returns the generation counter of one shard; it
+// increases whenever a point is stored into that shard.
+func (db *DB) ShardGeneration(i int) uint64 { return db.shards[i].gen.Load() }
+
+// ShardGenerations returns a snapshot of every shard's generation counter,
+// indexed by shard. Each element is read atomically; the vector as a whole
+// is not an atomic cut, which is fine for staleness checks as long as the
+// vector is captured before the guarded read (a racing write then makes
+// the cached result stale immediately, never the reverse).
+func (db *DB) ShardGenerations() []uint64 {
+	out := make([]uint64, len(db.shards))
+	for i := range db.shards {
+		out[i] = db.shards[i].gen.Load()
+	}
+	return out
+}
+
+// KeyGeneration returns a counter that increases whenever a new series is
+// created anywhere in the store. Filter-based caches must include it in
+// their staleness check: a new series can match an existing filter while
+// living in a shard the cached result never touched.
+func (db *DB) KeyGeneration() uint64 { return db.keyGen.Load() }
+
+// ShardIndexOf returns the shard index the key hashes to.
+func (db *DB) ShardIndexOf(k SeriesKey) int { return int(db.shardIndex(k)) }
 
 // shardIndex hashes the key (FNV-1a over the canonical form, without
 // materializing it) onto a shard index.
@@ -231,57 +274,6 @@ func appendRecord(buf []byte, key string, at time.Time, v float64) []byte {
 	return append(buf, payload...)
 }
 
-// replay loads the log, tolerating a truncated trailing record (crash).
-// It runs single-threaded during Open, before the store is shared.
-func (db *DB) replay(path string) error {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("tsdb: opening wal for replay: %w", err)
-	}
-	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<16)
-	var head [6]byte
-	for {
-		if _, err := io.ReadFull(r, head[:]); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return nil // clean end or truncated header: stop replay
-			}
-			return fmt.Errorf("tsdb: replay: %w", err)
-		}
-		crc := binary.LittleEndian.Uint32(head[:4])
-		keyLen := int(binary.LittleEndian.Uint16(head[4:6]))
-		body := make([]byte, keyLen+16)
-		if _, err := io.ReadFull(r, body); err != nil {
-			return nil // truncated record: ignore tail
-		}
-		full := make([]byte, 0, 2+len(body))
-		full = append(full, head[4:6]...)
-		full = append(full, body...)
-		if crc32.ChecksumIEEE(full) != crc {
-			return nil // corrupt tail: stop replay
-		}
-		key := string(body[:keyLen])
-		at := time.Unix(0, int64(binary.LittleEndian.Uint64(body[keyLen:keyLen+8]))).UTC()
-		v := math.Float64frombits(binary.LittleEndian.Uint64(body[keyLen+8:]))
-		k, err := ParseSeriesKey(key)
-		if err != nil {
-			continue
-		}
-		sh := db.shardFor(k)
-		s := sh.series[k]
-		if s == nil {
-			s = &series{}
-			sh.series[k] = s
-		}
-		s.points = append(s.points, Point{At: at, Value: v})
-		sh.points++
-		db.gen.Add(1)
-	}
-}
-
 // maxKeyBytes bounds the canonical key form: both the WAL and the snapshot
 // codec store key lengths as uint16, so longer keys would silently
 // truncate into unreadable records.
@@ -298,6 +290,8 @@ func validKey(k SeriesKey) error {
 }
 
 // appendLocked stores one point into sh, which the caller has write-locked.
+// The WAL write goes to the shard's own segment under the same lock, so
+// durable appends to different shards proceed fully in parallel.
 func (db *DB) appendLocked(sh *shard, k SeriesKey, at time.Time, v float64) error {
 	if db.closed.Load() {
 		return errors.New("tsdb: store is closed")
@@ -306,21 +300,20 @@ func (db *DB) appendLocked(sh *shard, k SeriesKey, at time.Time, v float64) erro
 	if s == nil {
 		s = &series{}
 		sh.series[k] = s
+		db.keyGen.Add(1)
 	}
 	if n := len(s.points); n > 0 && at.Before(s.points[n-1].At) {
 		return fmt.Errorf("tsdb: out-of-order append to %v: %v before %v", k, at, s.points[n-1].At)
 	}
 	s.points = append(s.points, Point{At: at, Value: v})
 	sh.points++
-	db.gen.Add(1)
-	if db.wal != nil {
+	sh.gen.Add(1)
+	if sh.wal != nil {
 		rec := appendRecord(nil, k.String(), at, v)
-		db.walMu.Lock()
-		_, err := db.wal.Write(rec)
-		db.walMu.Unlock()
-		if err != nil {
+		if _, err := sh.wal.Write(rec); err != nil {
 			return fmt.Errorf("tsdb: wal write: %w", err)
 		}
+		sh.walOff += uint64(len(rec))
 	}
 	return nil
 }
@@ -647,21 +640,53 @@ func (db *DB) MaxTime() (time.Time, bool) {
 	return max, found
 }
 
-// Flush forces buffered log records to the operating system.
+// Flush forces buffered log records of every shard segment to stable
+// storage. Only the (cheap) buffer flush happens under each shard lock;
+// the fsyncs run outside the locks and concurrently across segments, so
+// readers and writers are never blocked behind disk latency and the wall
+// time stays near one fsync rather than one per shard. A segment rotated
+// or closed between the two steps is skipped: rotation (checkpoint
+// compaction) fsyncs the replacement itself, and a closing store syncs
+// in Close.
 func (db *DB) Flush() error {
-	db.walMu.Lock()
-	defer db.walMu.Unlock()
-	if db.wal == nil {
-		return nil
+	errs := make([]error, len(db.shards))
+	files := make([]*os.File, len(db.shards))
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.Lock()
+		if sh.wal != nil {
+			if err := sh.wal.Flush(); err != nil {
+				errs[i] = err
+			} else {
+				files[i] = sh.walF
+			}
+		}
+		sh.mu.Unlock()
 	}
-	if err := db.wal.Flush(); err != nil {
-		return err
+	var wg sync.WaitGroup
+	for i, f := range files {
+		if f == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, f *os.File) {
+			defer wg.Done()
+			if err := f.Sync(); err != nil && !errors.Is(err, os.ErrClosed) {
+				errs[i] = err
+			}
+		}(i, f)
 	}
-	return db.walF.Sync()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("tsdb: flush shard %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // Close flushes and closes the store. Further writes fail. Close quiesces
-// every shard so no append is mid-flight when the WAL is closed.
+// every shard so no append is mid-flight when its segment is closed.
 func (db *DB) Close() error {
 	db.closed.Store(true)
 	for i := range db.shards {
@@ -672,13 +697,26 @@ func (db *DB) Close() error {
 			db.shards[i].mu.Unlock()
 		}
 	}()
-	db.walMu.Lock()
-	defer db.walMu.Unlock()
-	if db.wal == nil {
-		return nil
+	var firstErr error
+	for i := range db.shards {
+		sh := &db.shards[i]
+		if sh.wal == nil {
+			continue
+		}
+		// Flush AND fsync: Close is the durability boundary a clean
+		// shutdown relies on (and Flush's out-of-lock sync treats a
+		// concurrently-closed file as "Close will have synced it").
+		err := sh.wal.Flush()
+		if err == nil {
+			err = sh.walF.Sync()
+		}
+		if cerr := sh.walF.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("tsdb: close shard %d: %w", i, err)
+		}
+		sh.wal, sh.walF = nil, nil
 	}
-	if err := db.wal.Flush(); err != nil {
-		return err
-	}
-	return db.walF.Close()
+	return firstErr
 }

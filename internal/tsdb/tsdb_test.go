@@ -291,8 +291,10 @@ func TestReplayToleratesTruncatedTail(t *testing.T) {
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt the log by chopping off the last 7 bytes (mid-record).
-	path := filepath.Join(dir, "points.wal")
+	// Corrupt the log by chopping 7 bytes off the one non-empty segment
+	// (all ten points share a series, hence a shard, hence a segment).
+	si := db.ShardIndexOf(k)
+	path := filepath.Join(dir, segName(si))
 	st, err := os.Stat(path)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,859 @@
+package tsdb
+
+// Segmented write-ahead log and checkpointing.
+//
+// # On-disk layout (data directory)
+//
+//	MANIFEST               committed layout description (JSON, atomically
+//	                       replaced via temp file + rename)
+//	wal-00000.log ...      one WAL segment per shard; appends to shard i
+//	                       go only to wal-<i>.log, under shard i's lock
+//	checkpoint-000001.snap the checkpoint snapshot the manifest references
+//	                       (snapshot.go codec); at most one is live
+//	points.wal             legacy single-stream WAL from the pre-segment
+//	                       layout; migrated on first open, then removed
+//
+// # Segment format
+//
+//	header: 8-byte magic "SLWALSG1" | u32 shard index | u32 segment count |
+//	        u64 layout epoch | u64 base offset
+//	then:   a run of WAL records (see appendRecord): u32 crc | u16 keyLen |
+//	        key bytes | i64 unixNano | f64 bits
+//
+// Offsets are logical: they count record bytes since the epoch's stream
+// began, never header bytes. The header's base offset says where this
+// file's first record sits in that stream; records before it live in the
+// checkpoint snapshot. Compaction after a checkpoint rewrites a segment
+// to hold only the tail, raising its base — readers never need the
+// manifest updated for that, which is what makes compaction crash-safe.
+//
+// # Commit protocol
+//
+// The manifest rename is the only commit point. Every multi-file change
+// (legacy migration, shard-count change, checkpoint) follows the same
+// order: write new data files and fsync them, rename the new MANIFEST
+// into place, then clean up. A crash before the rename leaves the old
+// layout fully intact; a crash after it leaves stale files that the next
+// open recognizes (wrong epoch, unreferenced checkpoint, leftover
+// points.wal) and ignores or deletes. The layout epoch in the manifest
+// and in every segment header is what makes stale segments detectable:
+// a segment whose epoch differs from the manifest's is treated as empty
+// and recreated.
+//
+// # Recovery
+//
+// Open reads the manifest, bulk-loads the referenced checkpoint snapshot
+// (if any), then replays only each segment's records at logical offsets
+// >= the manifest's per-shard checkpoint offset — one goroutine per
+// segment, each writing only its own shard. Recovery time is therefore
+// bounded by the data written since the last checkpoint, not by the
+// archive's full history.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	manifestName    = "MANIFEST"
+	manifestVersion = 1
+	legacyWALName   = "points.wal"
+
+	segMagic = "SLWALSG1"
+	// segHeaderLen = magic | u32 shard index | u32 segment count |
+	// u64 epoch | u64 base offset.
+	segHeaderLen = len(segMagic) + 4 + 4 + 8 + 8
+)
+
+// errCheckpointFault is returned by the checkpoint fail-point hook; tests
+// use it to simulate a crash at a precise step of the protocol.
+var errCheckpointFault = errors.New("tsdb: checkpoint fault injected")
+
+// snapshotByKey sorts captured series records and their precomputed
+// canonical keys in tandem.
+type snapshotByKey struct {
+	recs  []snapshotSeries
+	canon []string
+}
+
+func (s *snapshotByKey) Len() int           { return len(s.recs) }
+func (s *snapshotByKey) Less(i, j int) bool { return s.canon[i] < s.canon[j] }
+func (s *snapshotByKey) Swap(i, j int) {
+	s.recs[i], s.recs[j] = s.recs[j], s.recs[i]
+	s.canon[i], s.canon[j] = s.canon[j], s.canon[i]
+}
+
+// sortSnapshotSeries sorts records by canonical key. Keys are rendered
+// once up front: String() inside the comparator would allocate on every
+// one of the n log n comparisons.
+func sortSnapshotSeries(recs []snapshotSeries) {
+	canon := make([]string, len(recs))
+	for i := range recs {
+		canon[i] = recs[i].key.String()
+	}
+	sort.Sort(&snapshotByKey{recs: recs, canon: canon})
+}
+
+// manifest is the committed description of the durable layout.
+type manifest struct {
+	Version  int    `json:"version"`
+	Epoch    uint64 `json:"epoch"`
+	Segments int    `json:"segments"`
+	// Checkpoint is the live checkpoint snapshot's file name; empty when
+	// no checkpoint has been taken in this layout.
+	Checkpoint    string `json:"checkpoint,omitempty"`
+	CheckpointSeq uint64 `json:"checkpointSeq"`
+	// Offsets[i] is the logical offset in segment i's stream from which
+	// replay must resume; everything below it is covered by Checkpoint.
+	Offsets []uint64 `json:"offsets"`
+}
+
+func segName(i int) string { return fmt.Sprintf("wal-%05d.log", i) }
+
+// scanSegIndex parses a segment file name's shard index.
+func scanSegIndex(name string, i *int) bool {
+	n, err := fmt.Sscanf(name, "wal-%05d.log", i)
+	return err == nil && n == 1
+}
+func checkpointName(s uint64) string { return fmt.Sprintf("checkpoint-%06d.snap", s) }
+
+// syncDir fsyncs a directory so renames and creations inside it are
+// durable before the caller proceeds.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func readManifest(dir string) (manifest, bool, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, fmt.Errorf("tsdb: reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return manifest{}, false, fmt.Errorf("tsdb: parsing manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return manifest{}, false, fmt.Errorf("tsdb: unsupported manifest version %d", m.Version)
+	}
+	if m.Segments <= 0 || len(m.Offsets) != m.Segments {
+		return manifest{}, false, fmt.Errorf("tsdb: malformed manifest: %d segments, %d offsets", m.Segments, len(m.Offsets))
+	}
+	return m, true, nil
+}
+
+// atomicWriteFile atomically replaces path: temp file, fsync, rename,
+// directory fsync. The write callback produces the contents. Every
+// durable file this package replaces (manifest, checkpoint, standalone
+// snapshot) goes through here so the crash-safety sequence is
+// single-sourced.
+func atomicWriteFile(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("tsdb: create %s: %w", filepath.Base(tmp), err)
+	}
+	err = write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tsdb: write %s: %w", filepath.Base(path), err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tsdb: rename %s: %w", filepath.Base(path), err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// writeManifest atomically replaces the manifest.
+func writeManifest(dir string, m manifest) error {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("tsdb: encoding manifest: %w", err)
+	}
+	return atomicWriteFile(filepath.Join(dir, manifestName), func(w io.Writer) error {
+		_, err := w.Write(raw)
+		return err
+	})
+}
+
+// segHeader is a decoded segment file header.
+type segHeader struct {
+	index int
+	count int
+	epoch uint64
+	base  uint64
+}
+
+func encodeSegHeader(h segHeader) []byte {
+	buf := make([]byte, segHeaderLen)
+	copy(buf, segMagic)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(h.index))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(h.count))
+	binary.LittleEndian.PutUint64(buf[16:], h.epoch)
+	binary.LittleEndian.PutUint64(buf[24:], h.base)
+	return buf
+}
+
+func decodeSegHeader(buf []byte) (segHeader, bool) {
+	if len(buf) < segHeaderLen || string(buf[:len(segMagic)]) != segMagic {
+		return segHeader{}, false
+	}
+	return segHeader{
+		index: int(binary.LittleEndian.Uint32(buf[8:])),
+		count: int(binary.LittleEndian.Uint32(buf[12:])),
+		epoch: binary.LittleEndian.Uint64(buf[16:]),
+		base:  binary.LittleEndian.Uint64(buf[24:]),
+	}, true
+}
+
+// openDurable brings up the durable layout for db.dir: it migrates legacy
+// single-WAL directories, re-shards when the segment count no longer
+// matches, and otherwise loads the checkpoint and replays per-shard tails.
+// It runs single-threaded during Open, before the store is shared.
+func (db *DB) openDurable() error {
+	man, ok, err := readManifest(db.dir)
+	if err != nil {
+		return err
+	}
+	legacy := filepath.Join(db.dir, legacyWALName)
+	switch {
+	case !ok:
+		// Fresh directory, or a legacy layout, or a migration that
+		// crashed before its manifest commit (stale segment/checkpoint
+		// files may exist — commitLayout overwrites them, which is what
+		// makes the migration idempotent).
+		if err := db.replayLegacy(legacy); err != nil {
+			return err
+		}
+		if err := db.commitLayout(1); err != nil {
+			return err
+		}
+		if err := os.Remove(legacy); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("tsdb: removing migrated wal: %w", err)
+		}
+	case man.Segments != len(db.shards):
+		// Shard count changed: load the full state under the old layout,
+		// then commit a fresh layout (new epoch) at the new count. As in
+		// the default branch, a leftover pre-migration WAL is fully
+		// represented in the committed layout and must not linger.
+		db.man = man
+		if _, err := db.loadLayout(man, false); err != nil {
+			return err
+		}
+		if err := db.commitLayout(man.Epoch + 1); err != nil {
+			return err
+		}
+		if err := os.Remove(legacy); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("tsdb: removing migrated wal: %w", err)
+		}
+	default:
+		db.man = man
+		tails, err := db.loadLayout(man, true)
+		if err != nil {
+			return err
+		}
+		if err := db.openSegments(tails); err != nil {
+			return err
+		}
+		// A crash after a migration's manifest commit can leave the old
+		// single-stream WAL behind; it is fully represented in the new
+		// layout, so drop it.
+		if err := os.Remove(legacy); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("tsdb: removing migrated wal: %w", err)
+		}
+	}
+	db.removeStaleFiles()
+	return nil
+}
+
+// replayLegacy loads the single-stream WAL of the pre-segment layout,
+// tolerating a truncated trailing record (crash). Per the migration
+// protocol the file is fsync'd and closed before any segment file is
+// written: its contents must be stable on disk while it remains the only
+// durable copy of the data.
+func (db *DB) replayLegacy(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("tsdb: opening wal for replay: %w", err)
+	}
+	_, replayErr := replayRecords(bufio.NewReaderSize(f, 1<<16), func(k SeriesKey, at time.Time, v float64) {
+		sh := db.shardFor(k)
+		db.applyReplayed(sh, k, at, v)
+	})
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if replayErr != nil {
+		return replayErr
+	}
+	if err != nil {
+		return fmt.Errorf("tsdb: legacy wal sync: %w", err)
+	}
+	return nil
+}
+
+// applyReplayed stores one replayed point directly. Open owns the store
+// exclusively, so no locks are taken; parallel segment replay is safe
+// because each goroutine only touches its own shard.
+func (db *DB) applyReplayed(sh *shard, k SeriesKey, at time.Time, v float64) {
+	db.mergeSeries(sh, k, Point{At: at, Value: v})
+}
+
+// mergeSeries bulk-appends points to a series, maintaining the shard's
+// point counter and generation and the store's key generation. The caller
+// must own sh — either exclusively (recovery during Open) or via its
+// write lock.
+func (db *DB) mergeSeries(sh *shard, k SeriesKey, pts ...Point) {
+	s := sh.series[k]
+	if s == nil {
+		s = &series{}
+		sh.series[k] = s
+		db.keyGen.Add(1)
+	}
+	s.points = append(s.points, pts...)
+	sh.points += len(pts)
+	sh.gen.Add(uint64(len(pts)))
+}
+
+// replayRecords reads WAL records from r until EOF, a truncated record, or
+// a CRC mismatch (all three end replay silently: they are the signature of
+// a crash mid-write). Malformed keys are skipped. It returns how many
+// bytes of complete, CRC-valid records were consumed, so callers can
+// truncate a crashed tail before appending after it.
+func replayRecords(r io.Reader, apply func(SeriesKey, time.Time, float64)) (int64, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<16)
+	}
+	valid := int64(0)
+	var head [6]byte
+	for {
+		if _, err := io.ReadFull(br, head[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return valid, nil // clean end or truncated header: stop replay
+			}
+			return valid, fmt.Errorf("tsdb: replay: %w", err)
+		}
+		crc := binary.LittleEndian.Uint32(head[:4])
+		keyLen := int(binary.LittleEndian.Uint16(head[4:6]))
+		body := make([]byte, keyLen+16)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return valid, nil // truncated record: ignore tail
+		}
+		full := make([]byte, 0, 2+len(body))
+		full = append(full, head[4:6]...)
+		full = append(full, body...)
+		if crc32.ChecksumIEEE(full) != crc {
+			return valid, nil // corrupt tail: stop replay
+		}
+		valid += int64(len(head) + len(body))
+		at := time.Unix(0, int64(binary.LittleEndian.Uint64(body[keyLen:keyLen+8]))).UTC()
+		v := math.Float64frombits(binary.LittleEndian.Uint64(body[keyLen+8:]))
+		k, err := ParseSeriesKey(string(body[:keyLen]))
+		if err != nil {
+			continue
+		}
+		apply(k, at, v)
+	}
+}
+
+// loadLayout restores the store state a committed manifest describes:
+// bulk-load the checkpoint snapshot, then replay each segment's tail.
+// With parallel set (segment count == shard count), segments replay on
+// one goroutine each, writing only their own shard; otherwise (re-shard
+// path) replay is sequential and records re-hash onto the new shards.
+// It returns each segment's logical valid end — the offset after its
+// last complete, CRC-valid record — which openSegments uses to truncate
+// crashed tails before appending after them.
+func (db *DB) loadLayout(man manifest, parallel bool) ([]uint64, error) {
+	if man.Checkpoint != "" {
+		f, err := os.Open(filepath.Join(db.dir, man.Checkpoint))
+		if err != nil {
+			// The checkpoint is the only copy of the truncated history:
+			// refusing to open without it beats silently serving a
+			// partial archive.
+			return nil, fmt.Errorf("tsdb: opening checkpoint: %w", err)
+		}
+		recs, err := decodeSnapshot(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: loading checkpoint: %w", err)
+		}
+		for _, rec := range recs {
+			db.mergeSeries(db.shardFor(rec.key), rec.key, rec.points...)
+		}
+	}
+	tails := make([]uint64, man.Segments)
+	if !parallel {
+		for i := 0; i < man.Segments; i++ {
+			end, err := db.replaySegment(i, man, false)
+			if err != nil {
+				return nil, err
+			}
+			tails[i] = end
+		}
+		return tails, nil
+	}
+	errs := make([]error, man.Segments)
+	var wg sync.WaitGroup
+	for i := 0; i < man.Segments; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tails[i], errs[i] = db.replaySegment(i, man, true)
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return tails, nil
+}
+
+// replaySegment replays segment i's records at logical offsets >=
+// man.Offsets[i]. Missing files, stale epochs, and malformed headers make
+// the segment count as empty — those states only arise from crashes after
+// a manifest commit, where the manifest's checkpoint already covers the
+// data. When strict is set (parallel replay), records that do not hash to
+// shard i are dropped rather than applied, so goroutines never cross
+// shards. The returned offset is the logical end of the last complete,
+// CRC-valid record (never below the checkpoint offset): the position at
+// which new appends may safely resume.
+func (db *DB) replaySegment(i int, man manifest, strict bool) (uint64, error) {
+	resume := man.Offsets[i]
+	f, err := os.Open(filepath.Join(db.dir, segName(i)))
+	if errors.Is(err, os.ErrNotExist) {
+		return resume, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("tsdb: opening segment %d: %w", i, err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	head := make([]byte, segHeaderLen)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return resume, nil // truncated header: empty segment
+	}
+	h, ok := decodeSegHeader(head)
+	if !ok || h.epoch != man.Epoch || h.index != i || h.count != man.Segments {
+		return resume, nil // stale or foreign segment: covered by the checkpoint
+	}
+	// Records below the checkpoint offset are in the snapshot; skip them.
+	// h.base > offset cannot happen under the protocol (compaction runs
+	// only after the manifest referencing the new offset is committed);
+	// replaying from the file start is the safe answer if it ever does.
+	start := h.base
+	if skip := int64(man.Offsets[i]) - int64(h.base); skip > 0 {
+		if _, err := io.CopyN(io.Discard, br, skip); err != nil {
+			return resume, nil // segment shorter than the checkpoint cut: all covered
+		}
+		start = man.Offsets[i]
+	}
+	valid, err := replayRecords(br, func(k SeriesKey, at time.Time, v float64) {
+		sh := db.shardFor(k)
+		if strict && sh != &db.shards[i] {
+			return
+		}
+		db.applyReplayed(sh, k, at, v)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return start + uint64(valid), nil
+}
+
+// openSegments opens every shard's segment for appending, recreating any
+// that is missing, malformed, or from a stale epoch (with base = the
+// manifest's checkpoint offset, since that is where the live stream
+// resumes). With a non-nil tails vector (from loadLayout), each file is
+// truncated to its last complete, CRC-valid record first: appending after
+// a crashed half-written tail would strand the new records behind bytes
+// replay refuses to cross. It must run after loadLayout and with db.man
+// current.
+func (db *DB) openSegments(tails []uint64) error {
+	created := false
+	for i := range db.shards {
+		sh := &db.shards[i]
+		path := filepath.Join(db.dir, segName(i))
+		want := segHeader{index: i, count: len(db.shards), epoch: db.man.Epoch, base: db.man.Offsets[i]}
+		f, h, fresh, err := openSegmentFile(path, want)
+		if err != nil {
+			return err
+		}
+		created = created || fresh
+		end := h.base
+		if st, err := f.Stat(); err != nil {
+			f.Close()
+			return fmt.Errorf("tsdb: segment %d stat: %w", i, err)
+		} else if st.Size() > int64(segHeaderLen) {
+			end = h.base + uint64(st.Size()-int64(segHeaderLen))
+		}
+		if !fresh && tails != nil && i < len(tails) {
+			cut := db.man.Offsets[i]
+			switch {
+			case end < cut:
+				// The file ends below the checkpoint cut (external
+				// truncation); its bytes are all covered by the
+				// checkpoint. Rebase an empty file onto the cut so the
+				// logical-to-physical mapping holds for new appends.
+				f.Close()
+				if f, h, err = createSegmentFile(path, segHeader{index: i, count: len(db.shards), epoch: db.man.Epoch, base: cut}); err != nil {
+					return err
+				}
+				created, end = true, cut
+			case tails[i] < end:
+				// Crashed tail: drop the bytes after the last valid
+				// record before appending.
+				if err := f.Truncate(int64(segHeaderLen) + int64(tails[i]-h.base)); err != nil {
+					f.Close()
+					return fmt.Errorf("tsdb: segment %d truncate: %w", i, err)
+				}
+				if err := f.Sync(); err != nil {
+					f.Close()
+					return fmt.Errorf("tsdb: segment %d sync: %w", i, err)
+				}
+				if _, err := f.Seek(0, io.SeekEnd); err != nil {
+					f.Close()
+					return fmt.Errorf("tsdb: segment %d seek: %w", i, err)
+				}
+				end = tails[i]
+			}
+		}
+		sh.walF = f
+		sh.wal = bufio.NewWriterSize(f, 1<<16)
+		sh.walBase = h.base
+		sh.walOff = end
+	}
+	if created {
+		return syncDir(db.dir)
+	}
+	return nil
+}
+
+// openSegmentFile opens path for appending if its header matches want's
+// epoch/index/count, and otherwise recreates it with the want header.
+// fresh reports whether the file was (re)created.
+func openSegmentFile(path string, want segHeader) (*os.File, segHeader, bool, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err == nil {
+		head := make([]byte, segHeaderLen)
+		if _, rerr := io.ReadFull(f, head); rerr == nil {
+			if h, ok := decodeSegHeader(head); ok && h.epoch == want.epoch && h.index == want.index && h.count == want.count {
+				if _, serr := f.Seek(0, io.SeekEnd); serr != nil {
+					f.Close()
+					return nil, segHeader{}, false, fmt.Errorf("tsdb: segment seek: %w", serr)
+				}
+				return f, h, false, nil
+			}
+		}
+		f.Close()
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, segHeader{}, false, fmt.Errorf("tsdb: opening segment: %w", err)
+	}
+	f, h, err := createSegmentFile(path, want)
+	if err != nil {
+		return nil, segHeader{}, false, err
+	}
+	return f, h, true, nil
+}
+
+// createSegmentFile (re)creates an empty segment file with the given
+// header, replacing whatever was at path.
+func createSegmentFile(path string, h segHeader) (*os.File, segHeader, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, segHeader{}, fmt.Errorf("tsdb: creating segment: %w", err)
+	}
+	if _, err := f.Write(encodeSegHeader(h)); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		return nil, segHeader{}, fmt.Errorf("tsdb: segment header write: %w", err)
+	}
+	return f, h, nil
+}
+
+// commitLayout persists the store's current in-memory state as a brand-new
+// segmented layout at the given epoch: a checkpoint snapshot holding every
+// point (when the store is non-empty), then the manifest (the commit
+// point), then fresh empty segments. Used by the legacy migration, the
+// re-shard path, and fresh-directory initialization. A crash before the
+// manifest rename leaves the previous layout (or the legacy WAL) fully
+// authoritative; a crash after it leaves at worst stale segment files
+// from the old epoch, which openSegments recreates.
+func (db *DB) commitLayout(epoch uint64) error {
+	n := len(db.shards)
+	m := manifest{
+		Version:       manifestVersion,
+		Epoch:         epoch,
+		Segments:      n,
+		CheckpointSeq: db.man.CheckpointSeq,
+		Offsets:       make([]uint64, n),
+	}
+	if db.PointCount() > 0 {
+		m.CheckpointSeq++
+		m.Checkpoint = checkpointName(m.CheckpointSeq)
+		if err := db.writeCheckpointFile(m.Checkpoint, db.capture()); err != nil {
+			return err
+		}
+	}
+	if err := writeManifest(db.dir, m); err != nil {
+		return err
+	}
+	old := db.man
+	db.man = m
+	if err := db.openSegments(nil); err != nil {
+		return err
+	}
+	if old.Checkpoint != "" && old.Checkpoint != m.Checkpoint {
+		os.Remove(filepath.Join(db.dir, old.Checkpoint))
+	}
+	return nil
+}
+
+// writeCheckpointFile writes recs as a snapshot to name inside the data
+// directory (temp file, fsync, rename, directory fsync).
+func (db *DB) writeCheckpointFile(name string, recs []snapshotSeries) error {
+	return atomicWriteFile(filepath.Join(db.dir, name), func(w io.Writer) error {
+		return encodeSnapshot(w, recs)
+	})
+}
+
+// removeStaleFiles deletes segment files beyond the current count and
+// checkpoint files the manifest no longer references — leftovers of
+// crashed checkpoints, migrations, and re-shards. Best-effort.
+func (db *DB) removeStaleFiles() {
+	ents, err := os.ReadDir(db.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		var i int
+		switch {
+		case name == db.man.Checkpoint || name == manifestName || name == legacyWALName:
+		case strings.HasSuffix(name, ".tmp"):
+			os.Remove(filepath.Join(db.dir, name))
+		case scanSegIndex(name, &i) && name == segName(i):
+			if i >= len(db.shards) {
+				os.Remove(filepath.Join(db.dir, name))
+			}
+		case strings.HasPrefix(name, "checkpoint-"):
+			os.Remove(filepath.Join(db.dir, name))
+		}
+	}
+}
+
+// Checkpoint persists the store's current state as a snapshot inside the
+// data directory and truncates the WAL segments it covers, so the next
+// open bulk-loads the snapshot and replays only the records appended
+// afterwards — bounded recovery time regardless of archive age.
+//
+// The snapshot is cut per shard: each shard's contribution is captured
+// together with its segment's logical offset under that shard's lock, so
+// the pair is exact even while appends to other shards continue. Durable
+// order is: flush + fsync segments (so everything at or below the cut is
+// on disk), write the snapshot file, commit the manifest referencing it,
+// then compact each segment down to its tail. A crash between any two
+// steps recovers to a state containing every acknowledged point.
+//
+// Checkpoint returns an error on memory-only stores.
+func (db *DB) Checkpoint() error {
+	if db.dir == "" {
+		return errors.New("tsdb: memory-only store cannot checkpoint")
+	}
+	return db.checkpoint(-1)
+}
+
+// checkpoint is Checkpoint with a fail-point: when failAt is >= 0 the
+// protocol aborts with errCheckpointFault just before durable step failAt
+// (0 = before segment sync, 1 = before snapshot write, 2 = before manifest
+// commit, 3 = before compaction, 4 = midway through compaction). Tests use
+// the fail points to prove crash-consistency at every boundary.
+func (db *DB) checkpoint(failAt int) error {
+	db.cpMu.Lock()
+	defer db.cpMu.Unlock()
+	if db.closed.Load() {
+		return errors.New("tsdb: store is closed")
+	}
+	n := len(db.shards)
+	// Capture a per-shard cut: the segment's logical offset plus every
+	// series' point slice, atomically per shard. Slices are append-only,
+	// so everything below the captured length is immutable afterwards.
+	offs := make([]uint64, n)
+	files := make([]*os.File, n)
+	var recs []snapshotSeries
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.Lock()
+		if sh.wal == nil {
+			sh.mu.Unlock()
+			return errors.New("tsdb: store is closed")
+		}
+		if err := sh.wal.Flush(); err != nil {
+			sh.mu.Unlock()
+			return fmt.Errorf("tsdb: checkpoint flush: %w", err)
+		}
+		offs[i] = sh.walOff
+		files[i] = sh.walF
+		for k, s := range sh.series {
+			recs = append(recs, snapshotSeries{key: k, points: s.points})
+		}
+		sh.mu.Unlock()
+	}
+	sortSnapshotSeries(recs)
+	if failAt == 0 {
+		return errCheckpointFault
+	}
+	// Everything at or below the cut must be durable before a manifest
+	// can claim the snapshot supersedes it.
+	for i := range files {
+		if err := files[i].Sync(); err != nil {
+			return fmt.Errorf("tsdb: checkpoint segment sync: %w", err)
+		}
+	}
+	if failAt == 1 {
+		return errCheckpointFault
+	}
+	m := db.man
+	m.CheckpointSeq++
+	m.Checkpoint = checkpointName(m.CheckpointSeq)
+	m.Offsets = offs
+	if err := db.writeCheckpointFile(m.Checkpoint, recs); err != nil {
+		return err
+	}
+	if failAt == 2 {
+		return errCheckpointFault
+	}
+	if err := writeManifest(db.dir, m); err != nil {
+		return err
+	}
+	old := db.man
+	db.man = m
+	if failAt == 3 {
+		return errCheckpointFault
+	}
+	// Compact: drop each segment's covered prefix. Purely an optimization
+	// from here on — replay skips the prefix via the manifest offset
+	// either way — so a crash mid-loop (some segments rebased, some not)
+	// is consistent: each file's header says where it starts.
+	for i := range db.shards {
+		if failAt == 4 && i >= n/2 {
+			return errCheckpointFault
+		}
+		if err := db.compactSegment(i, offs[i]); err != nil {
+			return err
+		}
+	}
+	if err := syncDir(db.dir); err != nil {
+		return err
+	}
+	if old.Checkpoint != "" && old.Checkpoint != m.Checkpoint {
+		os.Remove(filepath.Join(db.dir, old.Checkpoint))
+	}
+	return nil
+}
+
+// compactSegment rewrites shard i's segment to contain only the records
+// at logical offsets >= upTo, with base = upTo, and swaps the shard's
+// writer onto the new file. The rename is atomic: a crash leaves either
+// the old file (larger, same records) or the new one.
+func (db *DB) compactSegment(i int, upTo uint64) error {
+	sh := &db.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.wal == nil {
+		return errors.New("tsdb: store is closed")
+	}
+	if upTo <= sh.walBase {
+		return nil // nothing below the cut is in this file
+	}
+	if err := sh.wal.Flush(); err != nil {
+		return fmt.Errorf("tsdb: compact flush: %w", err)
+	}
+	path := filepath.Join(db.dir, segName(i))
+	src, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("tsdb: compact open: %w", err)
+	}
+	defer src.Close()
+	if _, err := src.Seek(int64(segHeaderLen)+int64(upTo-sh.walBase), io.SeekStart); err != nil {
+		return fmt.Errorf("tsdb: compact seek: %w", err)
+	}
+	tmp := path + ".tmp"
+	dst, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("tsdb: compact create: %w", err)
+	}
+	h := segHeader{index: i, count: len(db.shards), epoch: db.man.Epoch, base: upTo}
+	_, err = dst.Write(encodeSegHeader(h))
+	if err == nil {
+		_, err = io.Copy(dst, src)
+	}
+	if err == nil {
+		err = dst.Sync()
+	}
+	if cerr := dst.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tsdb: compact write: %w", err)
+	}
+	if err := sh.walF.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tsdb: compact close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		// The old file is gone from our handle but still on disk; reopen
+		// it so the shard keeps appending to a consistent segment.
+		os.Remove(tmp)
+		if f, _, _, rerr := openSegmentFile(path, segHeader{index: i, count: len(db.shards), epoch: db.man.Epoch, base: sh.walBase}); rerr == nil {
+			sh.walF = f
+			sh.wal = bufio.NewWriterSize(f, 1<<16)
+		}
+		return fmt.Errorf("tsdb: compact rename: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("tsdb: compact reopen: %w", err)
+	}
+	sh.walF = f
+	sh.wal = bufio.NewWriterSize(f, 1<<16)
+	sh.walBase = upTo
+	return nil
+}

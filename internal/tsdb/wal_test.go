@@ -1,0 +1,508 @@
+package tsdb
+
+// Tests for the segmented WAL layout: legacy migration (including crash
+// idempotency), shard-count changes, checkpointing (including the
+// crash-point matrix across every durable step of the protocol), and the
+// differential guarantee that segmented recovery equals legacy
+// single-stream recovery for the same append sequence.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// legacyEntries is a deterministic multi-series append sequence used by
+// the migration and differential tests.
+func legacyEntries(n int) []Entry {
+	out := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		k := SeriesKey{
+			Dataset: []string{DatasetPlacementScore, DatasetPrice, DatasetInterruptFree}[i%3],
+			Type:    fmt.Sprintf("t%d.xlarge", i%7),
+			Region:  fmt.Sprintf("r%d", i%4),
+			AZ:      fmt.Sprintf("r%da", i%4),
+		}
+		out = append(out, Entry{Key: k, At: t0.Add(time.Duration(i) * time.Minute), Value: float64(i % 9)})
+	}
+	return out
+}
+
+// writeLegacyWAL writes entries as a pre-segment single-stream points.wal.
+func writeLegacyWAL(t *testing.T, dir string, entries []Entry) {
+	t.Helper()
+	var buf []byte
+	for _, e := range entries {
+		buf = appendRecord(buf, e.Key.String(), e.At, e.Value)
+	}
+	if err := os.WriteFile(filepath.Join(dir, legacyWALName), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// contents flattens a store into key -> points for equality checks.
+func contents(db *DB) map[SeriesKey][]Point {
+	out := make(map[SeriesKey][]Point)
+	for _, k := range db.Keys(KeyFilter{}) {
+		out[k] = db.Query(k, time.Time{}, t0.Add(1000*time.Hour))
+	}
+	return out
+}
+
+func assertSameContents(t *testing.T, got, want map[SeriesKey][]Point) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("series count %d, want %d", len(got), len(want))
+	}
+	for k, wpts := range want {
+		gpts := got[k]
+		if len(gpts) != len(wpts) {
+			t.Fatalf("series %v: %d points, want %d", k, len(gpts), len(wpts))
+		}
+		for i := range wpts {
+			if !gpts[i].At.Equal(wpts[i].At) || gpts[i].Value != wpts[i].Value {
+				t.Fatalf("series %v point %d: %v, want %v", k, i, gpts[i], wpts[i])
+			}
+		}
+	}
+}
+
+func TestLegacyMigration(t *testing.T) {
+	dir := t.TempDir()
+	entries := legacyEntries(300)
+	writeLegacyWAL(t, dir, entries)
+
+	db, err := OpenSharded(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.PointCount() != len(entries) {
+		t.Fatalf("migrated %d points, want %d", db.PointCount(), len(entries))
+	}
+	want := contents(db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The legacy file is gone, the manifest and segments are in place.
+	if _, err := os.Stat(filepath.Join(dir, legacyWALName)); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("legacy WAL still present after migration (err=%v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+		t.Errorf("no manifest after migration: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := os.Stat(filepath.Join(dir, segName(i))); err != nil {
+			t.Errorf("segment %d missing after migration: %v", i, err)
+		}
+	}
+
+	// Reopening the migrated layout yields the same archive, and appends
+	// continue to work and persist.
+	re, err := OpenSharded(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameContents(t, contents(re), want)
+	extra := Entry{Key: entries[0].Key, At: t0.Add(1000 * time.Minute), Value: 42}
+	if err := re.Append(extra.Key, extra.At, extra.Value); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := OpenSharded(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.PointCount() != len(entries)+1 {
+		t.Fatalf("after reopen: %d points, want %d", re2.PointCount(), len(entries)+1)
+	}
+}
+
+// TestLegacyMigrationCrashPoints verifies the migration commit protocol:
+// any crash before the manifest rename re-runs the migration from the
+// untouched legacy WAL; a crash after it must not re-apply the legacy
+// file. Both replays must produce exactly the legacy contents.
+func TestLegacyMigrationCrashPoints(t *testing.T) {
+	entries := legacyEntries(200)
+
+	t.Run("before-manifest", func(t *testing.T) {
+		// Crash state: partially written segment and checkpoint files
+		// exist, but no manifest — the legacy WAL is still authoritative.
+		dir := t.TempDir()
+		writeLegacyWAL(t, dir, entries)
+		if err := os.WriteFile(filepath.Join(dir, segName(0)), []byte("partial garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, checkpointName(1)), []byte("also garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		db, err := OpenSharded(dir, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if db.PointCount() != len(entries) {
+			t.Fatalf("recovered %d points, want %d", db.PointCount(), len(entries))
+		}
+		want := contents(db)
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// And the redo must itself be idempotent.
+		re, err := OpenSharded(dir, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer re.Close()
+		assertSameContents(t, contents(re), want)
+	})
+
+	t.Run("after-manifest", func(t *testing.T) {
+		// Crash state: migration committed, but the legacy WAL was not
+		// yet removed. Reopening must not double-apply it.
+		dir := t.TempDir()
+		writeLegacyWAL(t, dir, entries)
+		db, err := OpenSharded(dir, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := contents(db)
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Resurrect the legacy file, with different trailing content so a
+		// wrongful replay would be visible as extra points.
+		writeLegacyWAL(t, dir, legacyEntries(250))
+		re, err := OpenSharded(dir, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer re.Close()
+		if re.PointCount() != len(entries) {
+			t.Fatalf("reopen after leftover legacy WAL: %d points, want %d", re.PointCount(), len(entries))
+		}
+		assertSameContents(t, contents(re), want)
+		if _, err := os.Stat(filepath.Join(dir, legacyWALName)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("stale legacy WAL not cleaned up (err=%v)", err)
+		}
+	})
+}
+
+// TestShardCountChange reopens a directory with different shard counts;
+// the layout re-commits at the new count with no data loss, in both
+// directions.
+func TestShardCountChange(t *testing.T) {
+	dir := t.TempDir()
+	entries := legacyEntries(400)
+	db, err := OpenSharded(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := db.AppendBatch(entries); err != nil || n != len(entries) {
+		t.Fatalf("stored %d, err %v", n, err)
+	}
+	want := contents(db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for round, shards := range []int{16, 2, 4} {
+		re, err := OpenSharded(dir, shards)
+		if err != nil {
+			t.Fatalf("reopen with %d shards: %v", shards, err)
+		}
+		assertSameContents(t, contents(re), want)
+		// Appends under the new count must persist across another reopen.
+		extra := Entry{Key: entries[0].Key, At: t0.Add(time.Duration(900+round) * time.Hour), Value: float64(shards)}
+		if err := re.Append(extra.Key, extra.At, extra.Value); err != nil {
+			t.Fatal(err)
+		}
+		want[extra.Key] = append(want[extra.Key], Point{At: extra.At, Value: extra.Value})
+		if err := re.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	final, err := OpenSharded(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer final.Close()
+	assertSameContents(t, contents(final), want)
+}
+
+// TestCheckpointBoundedRecovery checks that a checkpoint truncates the
+// segments it covers and that recovery (snapshot + tails) reproduces the
+// full archive.
+func TestCheckpointBoundedRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenSharded(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := legacyEntries(300)
+	if n, err := db.AppendBatch(pre); err != nil || n != len(pre) {
+		t.Fatalf("stored %d, err %v", n, err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Compaction must have dropped the covered records: every segment is
+	// back to (near) header size.
+	for i := 0; i < 4; i++ {
+		st, err := os.Stat(filepath.Join(dir, segName(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() != int64(segHeaderLen) {
+			t.Errorf("segment %d is %d bytes after checkpoint, want %d (header only)", i, st.Size(), segHeaderLen)
+		}
+	}
+	// Tail appends after the checkpoint.
+	k := pre[0].Key
+	for i := 0; i < 50; i++ {
+		if err := db.Append(k, t0.Add(time.Duration(100000+i)*time.Minute), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := contents(db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenSharded(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	assertSameContents(t, contents(re), want)
+	// A second checkpoint over the tail must also work and persist.
+	if err := re.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointCrashMatrix aborts the checkpoint protocol at every
+// durable step boundary (capture/sync, sync/snapshot, snapshot/manifest,
+// manifest/compaction, mid-compaction) and demands that recovery after
+// the simulated crash always reproduces every acknowledged point — and
+// that a subsequent checkpoint succeeds from the crashed state.
+func TestCheckpointCrashMatrix(t *testing.T) {
+	for failAt := 0; failAt <= 4; failAt++ {
+		t.Run(fmt.Sprintf("failAt=%d", failAt), func(t *testing.T) {
+			dir := t.TempDir()
+			db, err := OpenSharded(dir, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pre := legacyEntries(200)
+			if n, err := db.AppendBatch(pre); err != nil || n != len(pre) {
+				t.Fatalf("stored %d, err %v", n, err)
+			}
+			// A first real checkpoint, so the crashed one has a previous
+			// snapshot + offsets to fall back to.
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			mid := make([]Entry, 0, 60)
+			for i := 0; i < 60; i++ {
+				e := pre[i%len(pre)]
+				e.At = t0.Add(time.Duration(50000+i) * time.Minute)
+				e.Value = float64(i)
+				mid = append(mid, e)
+			}
+			if n, err := db.AppendBatch(mid); err != nil || n != len(mid) {
+				t.Fatalf("stored %d, err %v", n, err)
+			}
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.checkpoint(failAt); !errors.Is(err, errCheckpointFault) {
+				t.Fatalf("checkpoint(%d) = %v, want injected fault", failAt, err)
+			}
+			want := contents(db)
+			// Crash: reopen from disk.
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re, err := OpenSharded(dir, 4)
+			if err != nil {
+				t.Fatalf("reopen after fault %d: %v", failAt, err)
+			}
+			assertSameContents(t, contents(re), want)
+			// The store must be able to checkpoint its way out of the
+			// crashed state, and still recover afterwards.
+			if err := re.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint after fault %d: %v", failAt, err)
+			}
+			if err := re.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re2, err := OpenSharded(dir, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re2.Close()
+			assertSameContents(t, contents(re2), want)
+		})
+	}
+}
+
+// TestDifferentialSegmentedVsLegacyRecovery feeds the same append
+// sequence through (a) a legacy single-stream WAL recovered via
+// migration and (b) the segmented WAL recovered via replay, and demands
+// bit-identical archives.
+func TestDifferentialSegmentedVsLegacyRecovery(t *testing.T) {
+	entries := legacyEntries(500)
+
+	legacyDir := t.TempDir()
+	writeLegacyWAL(t, legacyDir, entries)
+	legacyDB, err := OpenSharded(legacyDir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacyDB.Close()
+
+	segDir := t.TempDir()
+	segDB, err := OpenSharded(segDir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := segDB.Append(e.Key, e.At, e.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := segDB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segRe, err := OpenSharded(segDir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer segRe.Close()
+
+	assertSameContents(t, contents(segRe), contents(legacyDB))
+	if segRe.PointCount() != len(entries) || legacyDB.PointCount() != len(entries) {
+		t.Fatalf("point counts %d / %d, want %d", segRe.PointCount(), legacyDB.PointCount(), len(entries))
+	}
+}
+
+// TestSegmentCrashedTailThenAppend corrupts a segment's tail, reopens
+// (dropping the torn record), appends new points, and verifies the new
+// points survive the next recovery — i.e. the crashed tail was truncated
+// before appending, not stranded in front of the new records.
+func TestSegmentCrashedTailThenAppend(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenSharded(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("us-east-1a")
+	for i := 0; i < 20; i++ {
+		if err := db.Append(k, t0.Add(time.Duration(i)*time.Minute), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	si := db.ShardIndexOf(k)
+	path := filepath.Join(dir, segName(si))
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenSharded(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.PointCount(); got != 19 {
+		t.Fatalf("after torn tail: %d points, want 19", got)
+	}
+	for i := 0; i < 5; i++ {
+		if err := re.Append(k, t0.Add(time.Duration(100+i)*time.Minute), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := OpenSharded(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if got := re2.PointCount(); got != 24 {
+		t.Fatalf("appends after torn tail lost: %d points, want 24", got)
+	}
+}
+
+// TestCheckpointConcurrentWithAppends checkpoints repeatedly while
+// writers keep appending (run under -race in CI), then verifies recovery
+// holds every acknowledged point.
+func TestCheckpointConcurrentWithAppends(t *testing.T) {
+	const (
+		writers   = 4
+		perWriter = 300
+	)
+	dir := t.TempDir()
+	db, err := OpenSharded(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			k := SeriesKey{Dataset: "price", Type: fmt.Sprintf("t%d", w), Region: "r", AZ: "a"}
+			for i := 0; i < perWriter; i++ {
+				if err := db.Append(k, t0.Add(time.Duration(i)*time.Second), float64(i)); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := db.Checkpoint(); err != nil {
+					t.Errorf("concurrent checkpoint: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	// One quiescent checkpoint, then crash-reopen and verify.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := contents(db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenSharded(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.PointCount(); got != writers*perWriter {
+		t.Fatalf("recovered %d points, want %d", got, writers*perWriter)
+	}
+	assertSameContents(t, contents(re), want)
+}
