@@ -4,16 +4,21 @@
 // statistics and exits. The directory can then be served by
 // spotlake-server or analyzed offline.
 //
-// The -data directory uses the segmented layout (MANIFEST, per-shard
-// wal-*.log segments, checkpoint snapshot); directories written by older
-// builds with a single points.wal are migrated automatically on open.
-// Collection checkpoints every -checkpoint-interval of simulated time and
-// once at the end, so a restart replays only the tail written since.
+// The -data directory uses the rotated segment layout (MANIFEST, per-shard
+// wal-<shard>-<seq>.log segment chains, checkpoint snapshot); directories
+// written by older builds — a single points.wal, or the one-segment-per-
+// shard v1 layout — are migrated automatically on open. The active segment
+// of each shard seals and rotates past -rotate-bytes. Collection
+// checkpoints every -checkpoint-interval of simulated time, whenever the
+// WAL grows -checkpoint-bytes past the last checkpoint (set 0 to disable
+// either trigger), and once at the end, so a restart's replay is bounded
+// by both wall clock and bytes written.
 //
 // Usage:
 //
 //	spotlake-collector -data DIR [-days 30] [-frac 0.12] [-interval 10m]
 //	                   [-seed 22] [-exact] [-checkpoint-interval 24h]
+//	                   [-checkpoint-bytes 67108864] [-rotate-bytes 8388608]
 //	                   [-snapshot FILE]
 package main
 
@@ -41,6 +46,8 @@ func main() {
 		seed       = flag.Uint64("seed", 22, "simulation seed")
 		exact      = flag.Bool("exact", false, "use the exact branch-and-bound query packer instead of FFD")
 		cpInterval = flag.Duration("checkpoint-interval", 24*time.Hour, "simulated time between archive checkpoints (0 disables)")
+		cpBytes    = flag.Int64("checkpoint-bytes", 64<<20, "checkpoint as soon as the WAL grows this many bytes past the last checkpoint (0 disables the size trigger)")
+		rotBytes   = flag.Int64("rotate-bytes", tsdb.DefaultRotateBytes, "seal and rotate a shard's WAL segment past this many bytes (negative disables rotation)")
 		snapshot   = flag.String("snapshot", "", "also export a standalone snapshot to this file (deprecated: the data dir checkpoints itself)")
 	)
 	flag.Parse()
@@ -56,7 +63,7 @@ func main() {
 	}
 	clk := simclock.NewAtEpoch()
 	cloud := cloudsim.New(cat, clk, *seed, cloudsim.DefaultParams())
-	db, err := tsdb.Open(*dataDir)
+	db, err := tsdb.OpenWithOptions(*dataDir, tsdb.Options{RotateBytes: *rotBytes})
 	if err != nil {
 		log.Fatalf("opening %s: %v", *dataDir, err)
 	}
@@ -68,6 +75,7 @@ func main() {
 	cfg.PriceInterval = *interval
 	cfg.ExactPacking = *exact
 	cfg.CheckpointInterval = *cpInterval
+	cfg.CheckpointAfterBytes = *cpBytes
 	col, err := collector.New(cloud, db, cfg)
 	if err != nil {
 		log.Fatalf("building collector: %v", err)
@@ -92,7 +100,8 @@ func main() {
 	log.Printf("collected %d simulated days in %v", *days, time.Since(start).Round(time.Millisecond))
 	log.Printf("score ticks %d, advisor ticks %d, price ticks %d", st.ScoreTicks, st.AdvisorTicks, st.PriceTicks)
 	log.Printf("queries issued %d (errors %d), points stored %d", st.QueriesIssued, st.QueryErrors, st.PointsStored)
-	log.Printf("checkpoints: %d periodic (%d errors) + 1 final", st.Checkpoints, st.CheckpointErrors)
+	log.Printf("checkpoints: %d periodic + %d size-triggered (%d errors) + 1 final",
+		st.Checkpoints, st.SizeCheckpoints, st.CheckpointErrors)
 	log.Printf("archive: %d series, %d points in %s", db.SeriesCount(), db.PointCount(), *dataDir)
 	if *snapshot != "" {
 		if err := db.SaveSnapshot(*snapshot); err != nil {

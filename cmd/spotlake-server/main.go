@@ -4,18 +4,21 @@
 // background (simulated time advances one collection tick per wall-clock
 // interval, like a live deployment).
 //
-// The -data directory uses the segmented layout (MANIFEST, per-shard
-// wal-*.log segments, checkpoint snapshot); directories written by older
-// builds with a single points.wal are migrated automatically on open.
-// With -data set the server checkpoints after bootstrap and then every
-// -checkpoint-interval of simulated time, so restarts bulk-load the
-// snapshot and replay only the per-shard WAL tails.
+// The -data directory uses the rotated segment layout (MANIFEST, per-shard
+// wal-<shard>-<seq>.log segment chains, checkpoint snapshot); directories
+// written by older builds — a single points.wal, or the one-segment-per-
+// shard v1 layout — are migrated automatically on open. Shard segments
+// rotate past -rotate-bytes. With -data set the server checkpoints after
+// bootstrap, every -checkpoint-interval of simulated time, and whenever
+// the WAL grows -checkpoint-bytes past the last checkpoint, so restarts
+// bulk-load the snapshot and replay only bounded per-shard chain tails.
 //
 // Usage:
 //
 //	spotlake-server [-addr :8080] [-bootstrap-days 14] [-frac 0.12]
 //	                [-data DIR] [-tick 2s] [-seed 22]
-//	                [-checkpoint-interval 24h] [-snapshot FILE]
+//	                [-checkpoint-interval 24h] [-checkpoint-bytes 67108864]
+//	                [-rotate-bytes 8388608] [-snapshot FILE]
 package main
 
 import (
@@ -50,6 +53,8 @@ func main() {
 		seed       = flag.Uint64("seed", 22, "simulation seed")
 		multiCloud = flag.Bool("multicloud", false, "also collect Azure and GCP spot datasets (Section 7)")
 		cpInterval = flag.Duration("checkpoint-interval", 24*time.Hour, "simulated time between archive checkpoints with -data (0 disables)")
+		cpBytes    = flag.Int64("checkpoint-bytes", 64<<20, "checkpoint as soon as the WAL grows this many bytes past the last checkpoint (0 disables the size trigger)")
+		rotBytes   = flag.Int64("rotate-bytes", tsdb.DefaultRotateBytes, "seal and rotate a shard's WAL segment past this many bytes (negative disables rotation)")
 		snapshot   = flag.String("snapshot", "", "standalone snapshot file: loaded at startup when present (skipping that much bootstrap), saved after bootstrap (deprecated with -data: the data dir checkpoints itself)")
 	)
 	flag.Parse()
@@ -62,7 +67,7 @@ func main() {
 	}
 	clk := simclock.NewAtEpoch()
 	cloud := cloudsim.New(cat, clk, *seed, cloudsim.DefaultParams())
-	db, err := tsdb.Open(*dataDir)
+	db, err := tsdb.OpenWithOptions(*dataDir, tsdb.Options{RotateBytes: *rotBytes})
 	if err != nil {
 		log.Fatalf("opening archive store: %v", err)
 	}
@@ -89,6 +94,7 @@ func main() {
 
 	cfg := collector.DefaultConfig()
 	cfg.CheckpointInterval = *cpInterval
+	cfg.CheckpointAfterBytes = *cpBytes
 	col, err := collector.New(cloud, db, cfg)
 	if err != nil {
 		log.Fatalf("building collector: %v", err)

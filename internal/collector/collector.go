@@ -45,10 +45,19 @@ type Config struct {
 	// functions.
 	StoreAllSamples bool
 	// CheckpointInterval, when positive and the store is durable,
-	// checkpoints the archive (snapshot + WAL truncation) every interval
+	// checkpoints the archive (snapshot + WAL compaction) every interval
 	// of simulated time, bounding crash-recovery replay to at most one
 	// interval of collected data. Zero disables periodic checkpoints.
 	CheckpointInterval time.Duration
+	// CheckpointAfterBytes, when positive and the store is durable, fires
+	// a checkpoint as soon as the WAL has grown past this many record
+	// bytes since the last checkpoint, checked after every collection
+	// tick. It bounds crash-recovery replay by bytes written rather than
+	// wall clock — a write-heavy archive checkpoints more often, an idle
+	// one not at all — and composes with CheckpointInterval (whichever
+	// trigger fires first wins; the byte counter resets on every
+	// committed checkpoint either way). Zero disables the size trigger.
+	CheckpointAfterBytes int64
 }
 
 // DefaultConfig returns the paper's collection configuration.
@@ -72,6 +81,7 @@ type Stats struct {
 	PointsStored     int
 	QueryErrors      int
 	Checkpoints      int
+	SizeCheckpoints  int
 	CheckpointErrors int
 }
 
@@ -131,11 +141,38 @@ func (c *Collector) Stats() Stats { return c.stats }
 // flush stores one tick's batch of points. Batching lets the store group
 // the entries by shard and take each shard lock once per tick instead of
 // once per point (dedup per AppendIfChanged unless StoreAllSamples).
+// After the batch lands, the size-based checkpoint trigger runs: ticks
+// are the natural trigger points because they are the only writers, so
+// the WAL can only cross the threshold here.
 func (c *Collector) flush(entries []tsdb.Entry) (int, error) {
+	var (
+		n   int
+		err error
+	)
 	if c.cfg.StoreAllSamples {
-		return c.db.AppendBatch(entries)
+		n, err = c.db.AppendBatch(entries)
+	} else {
+		n, err = c.db.AppendBatchIfChanged(entries)
 	}
-	return c.db.AppendBatchIfChanged(entries)
+	c.maybeCheckpointBySize()
+	return n, err
+}
+
+// maybeCheckpointBySize checkpoints the archive when the WAL has grown
+// past CheckpointAfterBytes since the last checkpoint.
+func (c *Collector) maybeCheckpointBySize() {
+	if c.cfg.CheckpointAfterBytes <= 0 || !c.db.Durable() {
+		return
+	}
+	if c.db.WALBytesSinceCheckpoint() < uint64(c.cfg.CheckpointAfterBytes) {
+		return
+	}
+	if err := c.db.Checkpoint(); err != nil {
+		log.Printf("collector: size-triggered checkpoint failed: %v", err)
+		c.stats.CheckpointErrors++
+	} else {
+		c.stats.SizeCheckpoints++
+	}
 }
 
 // CollectScoresOnce executes the full placement-score plan once, storing

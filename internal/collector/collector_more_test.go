@@ -100,14 +100,17 @@ func TestLowQuotaNeedsMoreAccounts(t *testing.T) {
 
 // TestPeriodicCheckpointing runs a short durable collection with periodic
 // checkpoints enabled and verifies (a) checkpoints actually fire, (b) the
-// WAL segments are truncated down to the post-checkpoint tail, and (c) a
-// reopened store recovers the full archive.
+// sealed WAL segments they cover are deleted, bounding the on-disk tail,
+// and (c) a reopened store recovers the full archive.
 func TestPeriodicCheckpointing(t *testing.T) {
 	dir := t.TempDir()
 	cat := catalog.Compact(2)
 	clk := simclock.NewAtEpoch()
 	cloud := cloudsim.New(cat, clk, 7, cloudsim.DefaultParams())
-	db, err := tsdb.Open(dir)
+	// A small rotation threshold so segments seal often enough for the
+	// periodic checkpoints to have sealed files to delete.
+	const rotateBytes = 4096
+	db, err := tsdb.OpenWithOptions(dir, tsdb.Options{RotateBytes: rotateBytes})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,18 +150,25 @@ func TestPeriodicCheckpointing(t *testing.T) {
 		}
 		return total
 	}
-	afterRun := walBytes()
-	// If periodic checkpoints had not truncated, the segments would hold
-	// the whole run's volume (>30 record bytes per stored point).
-	if fullVolume := int64(db.PointCount()) * 30; afterRun >= fullVolume {
-		t.Fatalf("segments hold %d bytes after run, >= untruncated volume estimate %d", afterRun, fullVolume)
+	// Flush so buffered record bytes are in the files before measuring.
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
 	}
-	// A quiescent checkpoint cuts every segment to its bare header.
+	afterRun := walBytes()
+	// If periodic checkpoints had not deleted covered sealed segments,
+	// the chain would hold the whole run's volume (>30 record bytes per
+	// stored point).
+	if fullVolume := int64(db.PointCount()) * 30; afterRun >= fullVolume {
+		t.Fatalf("segments hold %d bytes after run, >= uncompacted volume estimate %d", afterRun, fullVolume)
+	}
+	// A quiescent checkpoint deletes every remaining sealed segment; what
+	// survives is each shard's active segment, bounded by the rotation
+	// threshold plus one record of overshoot.
 	if err := db.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	if headerOnly := walBytes(); headerOnly > afterRun || headerOnly > 64*int64(db.ShardCount()) {
-		t.Fatalf("quiescent checkpoint left %d segment bytes (was %d)", headerOnly, afterRun)
+	if tail := walBytes(); tail > afterRun || tail > int64(db.ShardCount())*(rotateBytes+512) {
+		t.Fatalf("quiescent checkpoint left %d segment bytes (was %d)", tail, afterRun)
 	}
 	points, series := db.PointCount(), db.SeriesCount()
 	if err := db.Close(); err != nil {
@@ -169,6 +179,64 @@ func TestPeriodicCheckpointing(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer re.Close()
+	if re.PointCount() != points || re.SeriesCount() != series {
+		t.Fatalf("recovered %d points / %d series, want %d / %d",
+			re.PointCount(), re.SeriesCount(), points, series)
+	}
+}
+
+// TestSizeBasedCheckpointTrigger runs a durable collection with only the
+// byte-count checkpoint trigger enabled and verifies (a) it fires as the
+// WAL crosses the threshold, (b) the replay tail a restart faces stays
+// bounded by the threshold rather than the run length, and (c) recovery
+// is lossless.
+func TestSizeBasedCheckpointTrigger(t *testing.T) {
+	dir := t.TempDir()
+	cat := catalog.Compact(2)
+	clk := simclock.NewAtEpoch()
+	cloud := cloudsim.New(cat, clk, 11, cloudsim.DefaultParams())
+	const threshold = 16 << 10
+	db, err := tsdb.OpenWithOptions(dir, tsdb.Options{RotateBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.CheckpointInterval = 0 // size trigger only
+	cfg.CheckpointAfterBytes = threshold
+	col, err := New(cloud, db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Run(6 * time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	st := col.Stats()
+	if st.SizeCheckpoints < 2 {
+		t.Fatalf("size-triggered checkpoints fired %d times; the run writes several times the %d-byte threshold", st.SizeCheckpoints, threshold)
+	}
+	if st.Checkpoints != 0 {
+		t.Fatalf("%d interval checkpoints fired with the interval trigger disabled", st.Checkpoints)
+	}
+	if st.CheckpointErrors != 0 {
+		t.Fatalf("%d checkpoint errors", st.CheckpointErrors)
+	}
+	// The un-checkpointed tail is at most the threshold plus one tick's
+	// worth of overshoot (the trigger runs after each tick's batch).
+	if tail := db.WALBytesSinceCheckpoint(); tail >= 2*threshold {
+		t.Fatalf("WAL tail is %d bytes after the run, want < 2x the %d-byte threshold", tail, threshold)
+	}
+	points, series := db.PointCount(), db.SeriesCount()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := tsdb.OpenWithOptions(dir, tsdb.Options{RotateBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.ReplayedWALBytes(); got >= 2*threshold {
+		t.Fatalf("recovery replayed %d WAL bytes, want < 2x the %d-byte threshold", got, threshold)
+	}
 	if re.PointCount() != points || re.SeriesCount() != series {
 		t.Fatalf("recovered %d points / %d series, want %d / %d",
 			re.PointCount(), re.SeriesCount(), points, series)

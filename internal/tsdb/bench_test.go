@@ -3,6 +3,9 @@ package tsdb
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -282,5 +285,132 @@ func BenchmarkWALWrite(b *testing.B) {
 		if err := db.Append(k, t0.Add(time.Duration(i)*time.Second), float64(i)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRotatedAppend measures the rotation check's cost on the hot
+// durable append path: rotation disabled (one ever-growing segment, the
+// pre-rotation behavior) against a small threshold that seals a segment
+// every ~1300 appends. Rotation must stay within a few percent of the
+// non-rotating baseline at the default threshold — the check is two
+// integer compares, and the seal's three fsyncs amortize over the ~190k
+// records that fill a default-sized segment. The 64KB variant is a
+// deliberate stress case showing the per-seal cost when thresholds are
+// set far too small (one seal per ~1300 appends).
+func BenchmarkRotatedAppend(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		rotate int64
+	}{
+		{"rotate=off", -1},
+		{"rotate=default", DefaultRotateBytes},
+		{"rotate=64KB", 64 << 10},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			db, err := OpenWithOptions(b.TempDir(), Options{Shards: 4, RotateBytes: cfg.rotate})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			k := SeriesKey{Dataset: "price", Type: "m5.xlarge", Region: "us-east-1", AZ: "us-east-1a"}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.Append(k, t0.Add(time.Duration(i)*time.Second), float64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckpointCompaction compares checkpoint cost over a large WAL
+// tail under the two compaction strategies. Both variants pay the same
+// snapshot write for the same data; "unlink" is the rotated store's real
+// checkpoint (compaction = manifest commit + unlink of sealed segments),
+// while "rewrite-baseline" adds the whole-file copy + fsync + rename per
+// segment that the pre-rotation compaction performed — the write
+// amplification that grew with tail size and motivated rotation.
+func BenchmarkCheckpointCompaction(b *testing.B) {
+	build := func(b *testing.B, dir string, rotate int64, tailBytes int) *DB {
+		b.Helper()
+		db, err := OpenWithOptions(dir, Options{Shards: 1, RotateBytes: rotate})
+		if err != nil {
+			b.Fatal(err)
+		}
+		k := SeriesKey{Dataset: "price", Type: "m5.xlarge", Region: "us-east-1", AZ: "us-east-1a"}
+		recLen := 4 + 2 + len(k.String()) + 16
+		n := tailBytes / recLen
+		batch := make([]Entry, 0, 4096)
+		for i := 0; i < n; i++ {
+			batch = append(batch, Entry{Key: k, At: t0.Add(time.Duration(i) * time.Second), Value: float64(i)})
+			if len(batch) == cap(batch) || i == n-1 {
+				if stored, err := db.AppendBatch(batch); err != nil || stored != len(batch) {
+					b.Fatalf("stored %d, err %v", stored, err)
+				}
+				batch = batch[:0]
+			}
+		}
+		if err := db.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	rewriteSegments := func(b *testing.B, dir string) {
+		b.Helper()
+		paths, err := filepath.Glob(filepath.Join(dir, "wal-*-*.log"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range paths {
+			src, err := os.Open(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tmp := p + ".rw"
+			dst, err := os.Create(tmp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(dst, src); err != nil {
+				b.Fatal(err)
+			}
+			if err := dst.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			dst.Close()
+			src.Close()
+			if err := os.Rename(tmp, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, mb := range []int{8, 64} {
+		b.Run(fmt.Sprintf("unlink/tail=%dMB", mb), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir := b.TempDir()
+				db := build(b, dir, 1<<20, mb<<20)
+				b.StartTimer()
+				if err := db.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				db.Close()
+			}
+		})
+		b.Run(fmt.Sprintf("rewrite-baseline/tail=%dMB", mb), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir := b.TempDir()
+				db := build(b, dir, -1, mb<<20)
+				b.StartTimer()
+				if err := db.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+				rewriteSegments(b, dir)
+				b.StopTimer()
+				db.Close()
+			}
+		})
 	}
 }

@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -34,6 +35,62 @@ func FuzzParseSeriesKey(f *testing.F) {
 		// Exactly three separators in canonical form.
 		if strings.Count(k.String(), "|") != 3 {
 			t.Fatalf("canonical form %q malformed", k.String())
+		}
+	})
+}
+
+// FuzzManifestDecode feeds arbitrary bytes to the manifest parser that
+// recovery trusts. Corrupt or hostile input must return an error — never
+// panic, never yield a manifest violating the invariants replay indexes
+// by (segment count matching the shard-layout list, ascending per-shard
+// segment sequences, a plain-filename checkpoint reference). Accepted
+// manifests must re-marshal into something the parser accepts again.
+func FuzzManifestDecode(f *testing.F) {
+	v2, _ := json.Marshal(manifest{
+		Version: 2, Epoch: 3, Segments: 2, Checkpoint: checkpointName(4), CheckpointSeq: 4,
+		Shards: []shardLayout{
+			{Offset: 100, Segs: []segRef{{Seq: 1, Base: 0}, {Seq: 2, Base: 80}}},
+			{Offset: 0, Segs: []segRef{{Seq: 1, Base: 0}}},
+		},
+	})
+	v1, _ := json.Marshal(manifest{Version: 1, Epoch: 1, Segments: 2, Offsets: []uint64{0, 42}})
+	f.Add(v2)
+	f.Add(v1)
+	f.Add([]byte(`{"version":2,"segments":1,"shards":[]}`))
+	f.Add([]byte(`{"version":2,"segments":1,"shards":[{"offset":0,"segs":[]}]}`))
+	f.Add([]byte(`{"version":1,"segments":3,"offsets":[0]}`))
+	f.Add([]byte(`{"version":2,"segments":1,"checkpoint":"../escape","shards":[{"segs":[{"seq":1}]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := parseManifest(data)
+		if err != nil {
+			return
+		}
+		if m.Segments <= 0 || len(m.Shards) != m.Segments {
+			t.Fatalf("accepted manifest with %d segments but %d shard layouts", m.Segments, len(m.Shards))
+		}
+		if m.Version == manifestVersion {
+			for si, sl := range m.Shards {
+				if len(sl.Segs) == 0 {
+					t.Fatalf("accepted v2 manifest with empty segment list for shard %d", si)
+				}
+				for j := 1; j < len(sl.Segs); j++ {
+					if sl.Segs[j].Seq <= sl.Segs[j-1].Seq || sl.Segs[j].Base < sl.Segs[j-1].Base {
+						t.Fatalf("accepted v2 manifest with non-ascending chain for shard %d", si)
+					}
+				}
+			}
+		}
+		if m.Checkpoint != "" && strings.ContainsAny(m.Checkpoint, "/\\") {
+			t.Fatalf("accepted checkpoint reference escaping the data dir: %q", m.Checkpoint)
+		}
+		raw, err := json.Marshal(m)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted manifest failed: %v", err)
+		}
+		if _, err := parseManifest(raw); err != nil {
+			t.Fatalf("re-parse of accepted manifest failed: %v", err)
 		}
 	})
 }

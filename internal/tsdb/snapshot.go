@@ -36,21 +36,47 @@ const (
 	maxSnapshotPayload = 1 << 26
 )
 
-// capture collects every series' point slice, sorted by canonical key.
-// Each shard is captured atomically under its lock; points are
+// captureWith collects every series' point slice, sorted by canonical
+// key. Each shard is captured atomically under its lock; points are
 // append-only, so everything below the captured lengths is immutable
-// afterwards and the result can be encoded without further locking.
-func (db *DB) capture() []snapshotSeries {
+// afterwards and the result can be encoded without further locking. fn,
+// when non-nil, runs per shard while that shard's lock is held — it is
+// how checkpoint records the exact WAL cut (offset, segment list) that
+// matches the captured series, without duplicating this loop. An fn error
+// aborts the capture. A plain capture (fn == nil) only reads, so it takes
+// the shared lock and never stalls concurrent appends or queries; with fn
+// set the exclusive lock is taken, because fn mutates shard state (it
+// flushes the WAL writer and reads the cut offset).
+func (db *DB) captureWith(fn func(i int, sh *shard) error) ([]snapshotSeries, error) {
 	var recs []snapshotSeries
 	for i := range db.shards {
 		sh := &db.shards[i]
-		sh.mu.RLock()
+		if fn == nil {
+			sh.mu.RLock()
+		} else {
+			sh.mu.Lock()
+			if err := fn(i, sh); err != nil {
+				sh.mu.Unlock()
+				return nil, err
+			}
+		}
 		for k, s := range sh.series {
 			recs = append(recs, snapshotSeries{key: k, points: s.points})
 		}
-		sh.mu.RUnlock()
+		if fn == nil {
+			sh.mu.RUnlock()
+		} else {
+			sh.mu.Unlock()
+		}
 	}
 	sortSnapshotSeries(recs)
+	return recs, nil
+}
+
+// capture is the fn-less captureWith, used by plain snapshots and layout
+// commits.
+func (db *DB) capture() []snapshotSeries {
+	recs, _ := db.captureWith(nil)
 	return recs
 }
 
@@ -72,7 +98,7 @@ func (db *DB) WriteSnapshot(w io.Writer) error {
 func chunkSnapshotSeries(recs []snapshotSeries, limit int) []snapshotSeries {
 	out := make([]snapshotSeries, 0, len(recs))
 	for _, rec := range recs {
-		maxPts := (limit - 2 - len(rec.key.String()) - 4) / 16
+		maxPts := (limit - 2 - len(rec.canonKey()) - 4) / 16
 		if maxPts < 1 {
 			maxPts = 1 // unreachable: validKey bounds keys far below limit
 		}
@@ -85,7 +111,7 @@ func chunkSnapshotSeries(recs []snapshotSeries, limit int) []snapshotSeries {
 			if end > len(rec.points) {
 				end = len(rec.points)
 			}
-			out = append(out, snapshotSeries{key: rec.key, points: rec.points[start:end]})
+			out = append(out, snapshotSeries{key: rec.key, canon: rec.canon, points: rec.points[start:end]})
 		}
 	}
 	return out
@@ -107,7 +133,7 @@ func encodeSnapshot(w io.Writer, recs []snapshotSeries) error {
 	}
 	for _, rec := range recs {
 		pts := rec.points
-		key := rec.key.String()
+		key := rec.canonKey()
 		payload := make([]byte, 0, 2+len(key)+4+16*len(pts))
 		binary.LittleEndian.PutUint16(tmp[:2], uint16(len(key)))
 		payload = append(payload, tmp[:2]...)
@@ -138,13 +164,27 @@ func encodeSnapshot(w io.Writer, recs []snapshotSeries) error {
 // SaveSnapshot atomically writes the snapshot to path (temp file, fsync,
 // rename, directory fsync).
 func (db *DB) SaveSnapshot(path string) error {
-	return atomicWriteFile(path, db.WriteSnapshot)
+	return atomicWriteFile(path, db.WriteSnapshot, nil)
 }
 
-// snapshotSeries is one fully decoded and validated series record.
+// snapshotSeries is one series record, either captured from the store or
+// decoded from a snapshot stream.
 type snapshotSeries struct {
-	key    SeriesKey
+	key SeriesKey
+	// canon caches key's canonical string form. sortSnapshotSeries fills
+	// it once; the chunking and encoding passes reuse it instead of
+	// re-rendering the key (previously up to three times per record).
+	canon  string
 	points []Point
+}
+
+// canonKey returns the cached canonical key form, rendering it only for
+// records (e.g. hand-built in tests) that skipped sortSnapshotSeries.
+func (s *snapshotSeries) canonKey() string {
+	if s.canon == "" {
+		s.canon = s.key.String()
+	}
+	return s.canon
 }
 
 // decodeSnapshot parses and validates the full stream before anything is
@@ -292,6 +332,16 @@ func (db *DB) LoadSnapshot(r io.Reader) (int, error) {
 			}
 			if err == nil {
 				sh.walOff += uint64(len(buf))
+				sh.cpBytes.Add(uint64(len(buf)))
+				if db.rotateBytes > 0 && sh.walOff-sh.walBase >= uint64(db.rotateBytes) {
+					// Best-effort: the records are already durable in the
+					// current segment; a failed rotation just leaves it
+					// oversized until a later append rotates it, counted
+					// like the append path's failures.
+					if rerr := db.rotateLocked(sh); rerr != nil {
+						db.rotateFails.Add(1)
+					}
+				}
 			}
 			sh.mu.Unlock()
 			if err != nil {

@@ -28,11 +28,15 @@
 //
 // # Durability
 //
-// The write-ahead log is segmented per shard (see wal.go): shard i owns
-// wal-<i>.log, written under shard i's lock, so durable appends to
-// different shards never serialize against each other. A versioned
-// MANIFEST names the layout; snapshots double as checkpoints (Checkpoint)
-// that bound recovery to "load snapshot + replay per-shard tails".
+// The write-ahead log is segmented per shard and rotates (see wal.go):
+// shard i appends to its active wal-<i>-<seq>.log under shard i's lock,
+// so durable appends to different shards never serialize against each
+// other, and the active segment seals and a new one opens once it exceeds
+// RotateBytes. A versioned MANIFEST names the layout; snapshots double as
+// checkpoints (Checkpoint) that bound recovery to "load snapshot + replay
+// per-shard segment-chain tails", and checkpoint compaction deletes
+// covered sealed segments instead of rewriting files. Checkpoints can be
+// driven by time or by bytes written (WALBytesSinceCheckpoint).
 //
 // # Snapshots
 //
@@ -109,25 +113,37 @@ type series struct {
 }
 
 // shard is one lock stripe: a mutex, its series, local statistics, and —
-// for durable stores — its own WAL segment. Segment writes happen under
-// the shard's write lock, so the record order in wal-<i>.log is identical
-// to shard i's memory order with no extra mutex, and appends to different
-// shards never serialize against a shared log.
+// for durable stores — its own rotating WAL segment chain. Segment writes
+// happen under the shard's write lock, so the record order in the chain is
+// identical to shard i's memory order with no extra mutex, and appends to
+// different shards never serialize against a shared log.
 type shard struct {
 	mu     sync.RWMutex
 	series map[SeriesKey]*series
 	points int
 	gen    atomic.Uint64
 
-	// Durable state, nil for memory-only stores. walBase is the logical
-	// offset of the segment file's first record (records before it live
-	// in the latest checkpoint snapshot); walOff is the logical end
-	// offset, i.e. walBase + payload bytes appended since the file's
-	// header. Both count only record bytes, never the header.
+	// idx is this shard's index in db.shards, fixed at open; rotation
+	// needs it to name the next segment file without pointer arithmetic.
+	idx int
+
+	// Durable state, nil for memory-only stores. walSeq is the active
+	// segment's sequence number; walBase is the logical offset of its
+	// first record (records before it live in earlier segments or the
+	// latest checkpoint snapshot); walOff is the logical end offset, i.e.
+	// walBase + payload bytes appended since the file's header. Offsets
+	// count only record bytes, never headers. sealed lists the shard's
+	// sealed segments still on disk, oldest first — checkpoint unlinks
+	// the ones its snapshot fully covers. cpBytes counts record bytes
+	// appended since the last committed checkpoint, feeding the
+	// size-based checkpoint trigger.
 	wal     *bufio.Writer
 	walF    *os.File
+	walSeq  uint64
 	walBase uint64
 	walOff  uint64
+	sealed  []sealedSeg
+	cpBytes atomic.Uint64
 }
 
 // DB is the time-series store. It is safe for concurrent use.
@@ -139,10 +155,30 @@ type DB struct {
 
 	// Durable layout state. dir is empty for memory-only stores. man is
 	// the manifest as last committed; cpMu serializes Checkpoint, layout
-	// commits, and manifest replacement.
-	dir  string
-	cpMu sync.Mutex
-	man  manifest
+	// commits, and manifest replacement. epoch mirrors man.Epoch but is
+	// written only while Open owns the store single-threaded, so the
+	// rotation fast path can read it under just a shard lock.
+	dir         string
+	cpMu        sync.Mutex
+	man         manifest
+	epoch       uint64
+	rotateBytes int64
+
+	// replayedBytes counts the WAL record bytes the last Open replayed
+	// beyond the checkpoint cut — the observable size of the recovery
+	// tail that checkpointing (time- or size-triggered) bounds.
+	replayedBytes atomic.Uint64
+
+	// rotateFails counts segment rotations that failed on the append
+	// path. The appends themselves succeed (the record is durable in the
+	// still-active segment), so the failure is surfaced here instead of
+	// through their error returns.
+	rotateFails atomic.Uint64
+
+	// testCrash, when armed by the crash-matrix tests, aborts the
+	// rotation/checkpoint protocol at a named durable boundary. Nil in
+	// production.
+	testCrash func(point string) error
 }
 
 // DefaultShardCount is the shard count used by Open: the smallest power of
@@ -163,17 +199,41 @@ func DefaultShardCount() int {
 	return s
 }
 
+// DefaultRotateBytes is the segment rotation threshold used when Options
+// leaves RotateBytes zero: the active WAL segment seals and a new one
+// opens once it holds this many record bytes. Small enough that a
+// checkpoint can reclaim most of a write-heavy tail by unlinking sealed
+// segments; large enough that rotation stays off the hot path for
+// ordinary collection cadences.
+const DefaultRotateBytes = 8 << 20
+
+// Options configures OpenWithOptions.
+type Options struct {
+	// Shards is the lock-stripe count, rounded up to a power of two;
+	// <= 0 selects DefaultShardCount. A shard count of 1 reproduces the
+	// single-lock store, which the benchmarks use as baseline.
+	Shards int
+	// RotateBytes is the active segment's rotation threshold in record
+	// bytes: 0 selects DefaultRotateBytes, negative disables rotation
+	// (one ever-growing segment per shard, the pre-rotation behavior).
+	RotateBytes int64
+}
+
 // Open opens (or creates) a store with DefaultShardCount shards. With a
 // non-empty dir, points are persisted to an append-only log inside it and
 // replayed on open. With an empty dir the store is memory-only.
 func Open(dir string) (*DB, error) {
-	return OpenSharded(dir, 0)
+	return OpenWithOptions(dir, Options{})
 }
 
-// OpenSharded opens a store with an explicit shard count (rounded up to a
-// power of two; <= 0 selects DefaultShardCount). A shard count of 1
-// reproduces the single-lock store, which the benchmarks use as baseline.
+// OpenSharded opens a store with an explicit shard count; see Options.
 func OpenSharded(dir string, shards int) (*DB, error) {
+	return OpenWithOptions(dir, Options{Shards: shards})
+}
+
+// OpenWithOptions opens a store with explicit tuning.
+func OpenWithOptions(dir string, o Options) (*DB, error) {
+	shards := o.Shards
 	if shards <= 0 {
 		shards = DefaultShardCount()
 	}
@@ -182,7 +242,12 @@ func OpenSharded(dir string, shards int) (*DB, error) {
 		n <<= 1
 	}
 	db := &DB{shards: make([]shard, n), mask: uint32(n - 1)}
+	db.rotateBytes = o.RotateBytes
+	if db.rotateBytes == 0 {
+		db.rotateBytes = DefaultRotateBytes
+	}
 	for i := range db.shards {
+		db.shards[i].idx = i
 		db.shards[i].series = make(map[SeriesKey]*series)
 	}
 	if dir == "" {
@@ -204,6 +269,37 @@ func (db *DB) ShardCount() int { return len(db.shards) }
 // Durable reports whether the store persists to disk (opened with a
 // non-empty directory).
 func (db *DB) Durable() bool { return db.dir != "" }
+
+// RotateBytes returns the effective segment rotation threshold (negative
+// when rotation is disabled).
+func (db *DB) RotateBytes() int64 { return db.rotateBytes }
+
+// WALBytesSinceCheckpoint returns the WAL record bytes appended since the
+// last committed checkpoint, summed over shards — the size of the tail a
+// restart would have to replay. Size-based checkpoint schedulers compare
+// it against their threshold after each write burst; it resets (by the
+// captured amount) when a checkpoint commits.
+func (db *DB) WALBytesSinceCheckpoint() uint64 {
+	var n uint64
+	for i := range db.shards {
+		n += db.shards[i].cpBytes.Load()
+	}
+	return n
+}
+
+// ReplayedWALBytes returns how many WAL record bytes the Open that created
+// this store replayed beyond its checkpoint cut — the realized recovery
+// tail. Zero for memory-only stores and for opens that bulk-loaded a
+// checkpoint covering everything.
+func (db *DB) ReplayedWALBytes() uint64 { return db.replayedBytes.Load() }
+
+// RotateFailures returns how many segment rotations have failed since
+// open. The affected appends succeeded (their records are durable in the
+// still-active segment, which keeps growing until a rotation succeeds);
+// a climbing counter means the store cannot create new segment files —
+// disk full or permissions — and checkpoints have stopped reclaiming
+// space.
+func (db *DB) RotateFailures() uint64 { return db.rotateFails.Load() }
 
 // ShardGeneration returns the generation counter of one shard; it
 // increases whenever a point is stored into that shard.
@@ -314,6 +410,17 @@ func (db *DB) appendLocked(sh *shard, k SeriesKey, at time.Time, v float64) erro
 			return fmt.Errorf("tsdb: wal write: %w", err)
 		}
 		sh.walOff += uint64(len(rec))
+		sh.cpBytes.Add(uint64(len(rec)))
+		if db.rotateBytes > 0 && sh.walOff-sh.walBase >= uint64(db.rotateBytes) {
+			// Best-effort: the point is already stored and logged, so a
+			// rotation failure must not be reported as a failed append
+			// (callers would retry and duplicate the point). The active
+			// segment just keeps growing until a later append's rotation
+			// succeeds; RotateFailures exposes the misfires.
+			if err := db.rotateLocked(sh); err != nil {
+				db.rotateFails.Add(1)
+			}
+		}
 	}
 	return nil
 }

@@ -294,7 +294,7 @@ func TestReplayToleratesTruncatedTail(t *testing.T) {
 	// Corrupt the log by chopping 7 bytes off the one non-empty segment
 	// (all ten points share a series, hence a shard, hence a segment).
 	si := db.ShardIndexOf(k)
-	path := filepath.Join(dir, segName(si))
+	path := filepath.Join(dir, rotSegName(si, db.shards[si].walSeq))
 	st, err := os.Stat(path)
 	if err != nil {
 		t.Fatal(err)

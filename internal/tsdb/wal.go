@@ -1,53 +1,87 @@
 package tsdb
 
-// Segmented write-ahead log and checkpointing.
+// Rotating write-ahead log segments and checkpointing.
 //
 // # On-disk layout (data directory)
 //
-//	MANIFEST               committed layout description (JSON, atomically
-//	                       replaced via temp file + rename)
-//	wal-00000.log ...      one WAL segment per shard; appends to shard i
-//	                       go only to wal-<i>.log, under shard i's lock
-//	checkpoint-000001.snap the checkpoint snapshot the manifest references
-//	                       (snapshot.go codec); at most one is live
-//	points.wal             legacy single-stream WAL from the pre-segment
-//	                       layout; migrated on first open, then removed
+//	MANIFEST                 committed layout description (JSON, atomically
+//	                         replaced via temp file + rename)
+//	wal-00000-000001.log ... rotating WAL segments: appends to shard i go
+//	                         only to shard i's active (highest-seq) segment,
+//	                         under shard i's lock; a segment seals when it
+//	                         exceeds RotateBytes and the next seq opens
+//	checkpoint-000001.snap   the checkpoint snapshot the manifest references
+//	                         (snapshot.go codec); at most one is live
+//	wal-00000.log ...        pre-rotation per-shard segments (manifest v1);
+//	                         migrated to the rotated layout on first open
+//	points.wal               legacy single-stream WAL from the pre-segment
+//	                         layout; migrated on first open, then removed
 //
 // # Segment format
 //
-//	header: 8-byte magic "SLWALSG1" | u32 shard index | u32 segment count |
-//	        u64 layout epoch | u64 base offset
+//	header: 8-byte magic "SLWALSG2" | u32 shard index | u32 shard count |
+//	        u64 layout epoch | u64 sequence number | u64 base offset
 //	then:   a run of WAL records (see appendRecord): u32 crc | u16 keyLen |
 //	        key bytes | i64 unixNano | f64 bits
 //
 // Offsets are logical: they count record bytes since the epoch's stream
 // began, never header bytes. The header's base offset says where this
-// file's first record sits in that stream; records before it live in the
-// checkpoint snapshot. Compaction after a checkpoint rewrites a segment
-// to hold only the tail, raising its base — readers never need the
-// manifest updated for that, which is what makes compaction crash-safe.
+// file's first record sits in that stream; within a shard, segments chain:
+// each segment's base equals the previous segment's end, so the chain is
+// reconstructible from headers and file sizes alone. Records below the
+// manifest's per-shard replay offset live in the checkpoint snapshot.
+//
+// # Rotation
+//
+// When a shard's active segment exceeds the store's RotateBytes, the
+// append that crossed the threshold seals it — flush, fsync, close — and
+// creates the next segment (seq+1, base = the current logical end), fsyncs
+// the file and the directory, then swaps the shard's writer over. No
+// manifest commit is involved: recovery discovers segments by scanning the
+// directory and walking each shard's seq-ordered, base-chained file list,
+// so the rotation fast path never serializes on store-wide state. A crash
+// between seal and create leaves the sealed segment as the append target;
+// a crash after create leaves an empty, fully durable new segment.
 //
 // # Commit protocol
 //
 // The manifest rename is the only commit point. Every multi-file change
-// (legacy migration, shard-count change, checkpoint) follows the same
-// order: write new data files and fsync them, rename the new MANIFEST
-// into place, then clean up. A crash before the rename leaves the old
-// layout fully intact; a crash after it leaves stale files that the next
-// open recognizes (wrong epoch, unreferenced checkpoint, leftover
-// points.wal) and ignores or deletes. The layout epoch in the manifest
-// and in every segment header is what makes stale segments detectable:
-// a segment whose epoch differs from the manifest's is treated as empty
-// and recreated.
+// (legacy migration, v1-layout migration, shard-count change, checkpoint)
+// follows the same order: write new data files and fsync them, rename the
+// new MANIFEST into place, then clean up. A crash before the rename leaves
+// the old layout fully intact; a crash after it leaves stale files that
+// the next open recognizes (wrong epoch, unreferenced checkpoint, leftover
+// points.wal or v1 segments) and ignores or deletes.
+//
+// Checkpoint compaction never rewrites a data file: sealed segments whose
+// whole range is covered by the new checkpoint snapshot are unlinked after
+// the manifest commit, and the active segment keeps its covered prefix on
+// disk (replay skips it via the manifest offset) until rotation seals it
+// and a later checkpoint deletes the whole file. Checkpoint cost is
+// therefore bounded by the snapshot write plus O(sealed segments) unlinks,
+// independent of how large the covered tail was.
 //
 // # Recovery
 //
 // Open reads the manifest, bulk-loads the referenced checkpoint snapshot
-// (if any), then replays only each segment's records at logical offsets
-// >= the manifest's per-shard checkpoint offset — one goroutine per
-// segment, each writing only its own shard. Recovery time is therefore
-// bounded by the data written since the last checkpoint, not by the
-// archive's full history.
+// (if any), then replays each shard's segment chain — one goroutine per
+// shard — applying only records at logical offsets >= the manifest's
+// per-shard replay offset. A torn record ends the chain (it is the
+// signature of a crash mid-write; nothing after it was acknowledged as
+// durable), and the torn bytes are truncated before the segment reopens
+// for appending. Recovery time is bounded by the bytes written since the
+// last checkpoint, not by the archive's full history.
+//
+// # Crash points
+//
+// Every durable boundary of the rotation and checkpoint protocols runs
+// through DB.failpoint with a stable name (rotate:seal:*, rotate:create:*,
+// checkpoint:capture, checkpoint:segsync:*, checkpoint:snapshot:*,
+// checkpoint:manifest:*, checkpoint:delete:*). The crash-matrix test
+// harness arms a hook that aborts at exactly one of them — simulating a
+// crash before or after the fsync at that boundary — and asserts recovery
+// is exact against a reference store. No protocol change should land
+// without a matrix cell covering its new boundary.
 
 import (
 	"bufio"
@@ -68,42 +102,76 @@ import (
 
 const (
 	manifestName    = "MANIFEST"
-	manifestVersion = 1
+	manifestVersion = 2
 	legacyWALName   = "points.wal"
 
-	segMagic = "SLWALSG1"
-	// segHeaderLen = magic | u32 shard index | u32 segment count |
-	// u64 epoch | u64 base offset.
-	segHeaderLen = len(segMagic) + 4 + 4 + 8 + 8
+	// v1 (pre-rotation) segment header: magic | u32 shard index |
+	// u32 segment count | u64 epoch | u64 base offset.
+	legacySegMagic     = "SLWALSG1"
+	legacySegHeaderLen = len(legacySegMagic) + 4 + 4 + 8 + 8
+
+	// v2 (rotating) segment header: magic | u32 shard index |
+	// u32 shard count | u64 epoch | u64 seq | u64 base offset.
+	rotSegMagic     = "SLWALSG2"
+	rotSegHeaderLen = len(rotSegMagic) + 4 + 4 + 8 + 8 + 8
 )
 
-// errCheckpointFault is returned by the checkpoint fail-point hook; tests
-// use it to simulate a crash at a precise step of the protocol.
-var errCheckpointFault = errors.New("tsdb: checkpoint fault injected")
+// errCrashPoint is returned by armed crash-point hooks; the crash-matrix
+// tests use it to abort the protocol at a precise durable boundary. Code
+// that cleans up after real failures must leave the disk untouched when it
+// sees this sentinel — the point of the injection is to freeze the exact
+// on-disk state a crash would leave.
+var errCrashPoint = errors.New("tsdb: crash point injected")
 
-// snapshotByKey sorts captured series records and their precomputed
-// canonical keys in tandem.
-type snapshotByKey struct {
-	recs  []snapshotSeries
-	canon []string
-}
-
-func (s *snapshotByKey) Len() int           { return len(s.recs) }
-func (s *snapshotByKey) Less(i, j int) bool { return s.canon[i] < s.canon[j] }
-func (s *snapshotByKey) Swap(i, j int) {
-	s.recs[i], s.recs[j] = s.recs[j], s.recs[i]
-	s.canon[i], s.canon[j] = s.canon[j], s.canon[i]
-}
-
-// sortSnapshotSeries sorts records by canonical key. Keys are rendered
-// once up front: String() inside the comparator would allocate on every
-// one of the n log n comparisons.
-func sortSnapshotSeries(recs []snapshotSeries) {
-	canon := make([]string, len(recs))
-	for i := range recs {
-		canon[i] = recs[i].key.String()
+// failpoint invokes the test crash hook, if armed, with the named protocol
+// boundary. Production stores have no hook and pay one nil check.
+func (db *DB) failpoint(point string) error {
+	if db.testCrash == nil {
+		return nil
 	}
-	sort.Sort(&snapshotByKey{recs: recs, canon: canon})
+	return db.testCrash(point)
+}
+
+// cpHook adapts the crash hook for atomicWriteFile's stage callbacks,
+// prefixing stages with the protocol step ("checkpoint:manifest" +
+// ":before-sync" etc.). Returns nil when no hook is armed so the common
+// path stays allocation-free.
+func (db *DB) cpHook(prefix string) func(string) error {
+	if db.testCrash == nil {
+		return nil
+	}
+	return func(stage string) error { return db.testCrash(prefix + ":" + stage) }
+}
+
+// sortSnapshotSeries fills each record's canonical key form (unless the
+// caller already rendered it) and sorts by it. Keys are rendered once here
+// and reused by the chunking and encoding passes — String() inside a
+// comparator, or re-rendered per pass, would allocate per comparison.
+func sortSnapshotSeries(recs []snapshotSeries) {
+	for i := range recs {
+		if recs[i].canon == "" {
+			recs[i].canon = recs[i].key.String()
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].canon < recs[j].canon })
+}
+
+// segRef locates one segment of a shard's chain in the manifest: its
+// sequence number and the logical offset of its first record.
+type segRef struct {
+	Seq  uint64 `json:"seq"`
+	Base uint64 `json:"base"`
+}
+
+// shardLayout is one shard's entry in the manifest.
+type shardLayout struct {
+	// Offset is the logical offset from which replay must resume;
+	// everything below it is covered by the manifest's checkpoint.
+	Offset uint64 `json:"offset"`
+	// Segs lists the shard's segments at commit time, seq-ascending; the
+	// last entry is the active segment. Segments rotated in after the
+	// commit are discovered by directory scan and header chaining.
+	Segs []segRef `json:"segs"`
 }
 
 // manifest is the committed description of the durable layout.
@@ -115,22 +183,39 @@ type manifest struct {
 	// no checkpoint has been taken in this layout.
 	Checkpoint    string `json:"checkpoint,omitempty"`
 	CheckpointSeq uint64 `json:"checkpointSeq"`
-	// Offsets[i] is the logical offset in segment i's stream from which
-	// replay must resume; everything below it is covered by Checkpoint.
-	Offsets []uint64 `json:"offsets"`
+	// Shards[i] is shard i's replay offset and segment list (version 2).
+	Shards []shardLayout `json:"shards,omitempty"`
+	// Offsets is the version 1 form: one non-rotating segment per shard,
+	// replay resuming at Offsets[i]. Parsed for migration only;
+	// parseManifest normalizes it into Shards.
+	Offsets []uint64 `json:"offsets,omitempty"`
 }
 
 func segName(i int) string { return fmt.Sprintf("wal-%05d.log", i) }
 
-// scanSegIndex parses a segment file name's shard index.
+// scanSegIndex parses a v1 segment file name's shard index.
 func scanSegIndex(name string, i *int) bool {
 	n, err := fmt.Sscanf(name, "wal-%05d.log", i)
-	return err == nil && n == 1
+	return err == nil && n == 1 && name == segName(*i)
 }
+
+func rotSegName(i int, seq uint64) string { return fmt.Sprintf("wal-%05d-%06d.log", i, seq) }
+
+// scanRotSegName parses a rotating segment file name's shard index and
+// sequence number. The seq scan is width-free: %06d is only a minimum
+// width in rotSegName, so sequence numbers past 999999 print more digits
+// and a width-limited scan would silently drop those files — and the
+// acknowledged records in them — at the next recovery. The round trip
+// through rotSegName still rejects non-canonical spellings.
+func scanRotSegName(name string, i *int, seq *uint64) bool {
+	n, err := fmt.Sscanf(name, "wal-%05d-%d.log", i, seq)
+	return err == nil && n == 2 && name == rotSegName(*i, *seq)
+}
+
 func checkpointName(s uint64) string { return fmt.Sprintf("checkpoint-%06d.snap", s) }
 
-// syncDir fsyncs a directory so renames and creations inside it are
-// durable before the caller proceeds.
+// syncDir fsyncs a directory so renames, creations, and unlinks inside it
+// are durable before the caller proceeds.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
@@ -143,6 +228,53 @@ func syncDir(dir string) error {
 	return err
 }
 
+// parseManifest decodes and validates a manifest. Version 1 manifests
+// (one non-rotating segment per shard) are accepted and normalized: their
+// per-shard offsets become Shards[i].Offset with an empty segment list,
+// and Version stays 1 so openDurable knows to migrate. The validation
+// must hold for every manifest recovery trusts: hostile or corrupt input
+// errors, never panics, never makes recovery index out of range.
+func parseManifest(raw []byte) (manifest, error) {
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return manifest{}, fmt.Errorf("tsdb: parsing manifest: %w", err)
+	}
+	if m.Segments <= 0 {
+		return manifest{}, fmt.Errorf("tsdb: malformed manifest: %d segments", m.Segments)
+	}
+	if m.Checkpoint != "" && (m.Checkpoint != filepath.Base(m.Checkpoint) || !strings.HasPrefix(m.Checkpoint, "checkpoint-")) {
+		return manifest{}, fmt.Errorf("tsdb: malformed manifest: checkpoint name %q", m.Checkpoint)
+	}
+	switch m.Version {
+	case 1:
+		if len(m.Offsets) != m.Segments {
+			return manifest{}, fmt.Errorf("tsdb: malformed manifest: %d segments, %d offsets", m.Segments, len(m.Offsets))
+		}
+		m.Shards = make([]shardLayout, m.Segments)
+		for i, off := range m.Offsets {
+			m.Shards[i] = shardLayout{Offset: off}
+		}
+	case manifestVersion:
+		if len(m.Shards) != m.Segments {
+			return manifest{}, fmt.Errorf("tsdb: malformed manifest: %d segments, %d shard layouts", m.Segments, len(m.Shards))
+		}
+		for si := range m.Shards {
+			segs := m.Shards[si].Segs
+			if len(segs) == 0 {
+				return manifest{}, fmt.Errorf("tsdb: malformed manifest: shard %d has no segments", si)
+			}
+			for j := 1; j < len(segs); j++ {
+				if segs[j].Seq <= segs[j-1].Seq || segs[j].Base < segs[j-1].Base {
+					return manifest{}, fmt.Errorf("tsdb: malformed manifest: shard %d segment list not ascending", si)
+				}
+			}
+		}
+	default:
+		return manifest{}, fmt.Errorf("tsdb: unsupported manifest version %d", m.Version)
+	}
+	return m, nil
+}
+
 func readManifest(dir string) (manifest, bool, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if errors.Is(err, os.ErrNotExist) {
@@ -151,15 +283,9 @@ func readManifest(dir string) (manifest, bool, error) {
 	if err != nil {
 		return manifest{}, false, fmt.Errorf("tsdb: reading manifest: %w", err)
 	}
-	var m manifest
-	if err := json.Unmarshal(raw, &m); err != nil {
-		return manifest{}, false, fmt.Errorf("tsdb: parsing manifest: %w", err)
-	}
-	if m.Version != manifestVersion {
-		return manifest{}, false, fmt.Errorf("tsdb: unsupported manifest version %d", m.Version)
-	}
-	if m.Segments <= 0 || len(m.Offsets) != m.Segments {
-		return manifest{}, false, fmt.Errorf("tsdb: malformed manifest: %d segments, %d offsets", m.Segments, len(m.Offsets))
+	m, err := parseManifest(raw)
+	if err != nil {
+		return manifest{}, false, err
 	}
 	return m, true, nil
 }
@@ -168,33 +294,52 @@ func readManifest(dir string) (manifest, bool, error) {
 // directory fsync. The write callback produces the contents. Every
 // durable file this package replaces (manifest, checkpoint, standalone
 // snapshot) goes through here so the crash-safety sequence is
-// single-sourced.
-func atomicWriteFile(path string, write func(io.Writer) error) error {
+// single-sourced. The optional hook fires at the sequence's internal
+// boundaries ("before-sync": tmp written, unsynced; "synced": tmp durable,
+// not yet renamed; "committed": renamed and directory-synced) — the
+// crash-matrix tests arm it, everything else passes nil. A hook abort
+// leaves the temp file in place, exactly as a crash would.
+func atomicWriteFile(path string, write func(io.Writer) error, hook func(stage string) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("tsdb: create %s: %w", filepath.Base(tmp), err)
 	}
 	err = write(f)
+	if err == nil && hook != nil {
+		err = hook("before-sync")
+	}
 	if err == nil {
 		err = f.Sync()
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
+	if err == nil && hook != nil {
+		err = hook("synced")
+	}
 	if err != nil {
-		os.Remove(tmp)
+		if !errors.Is(err, errCrashPoint) {
+			os.Remove(tmp)
+		}
 		return fmt.Errorf("tsdb: write %s: %w", filepath.Base(path), err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("tsdb: rename %s: %w", filepath.Base(path), err)
 	}
-	return syncDir(filepath.Dir(path))
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return err
+	}
+	if hook != nil {
+		return hook("committed")
+	}
+	return nil
 }
 
-// writeManifest atomically replaces the manifest.
-func writeManifest(dir string, m manifest) error {
+// writeManifest atomically replaces the manifest; this rename is the
+// commit point of every multi-file layout change.
+func writeManifest(dir string, m manifest, hook func(stage string) error) error {
 	raw, err := json.Marshal(m)
 	if err != nil {
 		return fmt.Errorf("tsdb: encoding manifest: %w", err)
@@ -202,20 +347,54 @@ func writeManifest(dir string, m manifest) error {
 	return atomicWriteFile(filepath.Join(dir, manifestName), func(w io.Writer) error {
 		_, err := w.Write(raw)
 		return err
-	})
+	}, hook)
 }
 
-// segHeader is a decoded segment file header.
-type segHeader struct {
+// rotHeader is a decoded rotating segment file header.
+type rotHeader struct {
+	index int
+	count int
+	epoch uint64
+	seq   uint64
+	base  uint64
+}
+
+func encodeRotHeader(h rotHeader) []byte {
+	buf := make([]byte, rotSegHeaderLen)
+	copy(buf, rotSegMagic)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(h.index))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(h.count))
+	binary.LittleEndian.PutUint64(buf[16:], h.epoch)
+	binary.LittleEndian.PutUint64(buf[24:], h.seq)
+	binary.LittleEndian.PutUint64(buf[32:], h.base)
+	return buf
+}
+
+func decodeRotHeader(buf []byte) (rotHeader, bool) {
+	if len(buf) < rotSegHeaderLen || string(buf[:len(rotSegMagic)]) != rotSegMagic {
+		return rotHeader{}, false
+	}
+	return rotHeader{
+		index: int(binary.LittleEndian.Uint32(buf[8:])),
+		count: int(binary.LittleEndian.Uint32(buf[12:])),
+		epoch: binary.LittleEndian.Uint64(buf[16:]),
+		seq:   binary.LittleEndian.Uint64(buf[24:]),
+		base:  binary.LittleEndian.Uint64(buf[32:]),
+	}, true
+}
+
+// legacySegHeader is a decoded v1 (non-rotating) segment header, read only
+// during migration of v1 layouts.
+type legacySegHeader struct {
 	index int
 	count int
 	epoch uint64
 	base  uint64
 }
 
-func encodeSegHeader(h segHeader) []byte {
-	buf := make([]byte, segHeaderLen)
-	copy(buf, segMagic)
+func encodeLegacySegHeader(h legacySegHeader) []byte {
+	buf := make([]byte, legacySegHeaderLen)
+	copy(buf, legacySegMagic)
 	binary.LittleEndian.PutUint32(buf[8:], uint32(h.index))
 	binary.LittleEndian.PutUint32(buf[12:], uint32(h.count))
 	binary.LittleEndian.PutUint64(buf[16:], h.epoch)
@@ -223,11 +402,11 @@ func encodeSegHeader(h segHeader) []byte {
 	return buf
 }
 
-func decodeSegHeader(buf []byte) (segHeader, bool) {
-	if len(buf) < segHeaderLen || string(buf[:len(segMagic)]) != segMagic {
-		return segHeader{}, false
+func decodeLegacySegHeader(buf []byte) (legacySegHeader, bool) {
+	if len(buf) < legacySegHeaderLen || string(buf[:len(legacySegMagic)]) != legacySegMagic {
+		return legacySegHeader{}, false
 	}
-	return segHeader{
+	return legacySegHeader{
 		index: int(binary.LittleEndian.Uint32(buf[8:])),
 		count: int(binary.LittleEndian.Uint32(buf[12:])),
 		epoch: binary.LittleEndian.Uint64(buf[16:]),
@@ -236,9 +415,10 @@ func decodeSegHeader(buf []byte) (segHeader, bool) {
 }
 
 // openDurable brings up the durable layout for db.dir: it migrates legacy
-// single-WAL directories, re-shards when the segment count no longer
-// matches, and otherwise loads the checkpoint and replays per-shard tails.
-// It runs single-threaded during Open, before the store is shared.
+// single-WAL directories and v1 (non-rotating) layouts, re-shards when the
+// segment count no longer matches, and otherwise loads the checkpoint and
+// replays per-shard segment chains. It runs single-threaded during Open,
+// before the store is shared.
 func (db *DB) openDurable() error {
 	man, ok, err := readManifest(db.dir)
 	if err != nil {
@@ -247,8 +427,8 @@ func (db *DB) openDurable() error {
 	legacy := filepath.Join(db.dir, legacyWALName)
 	switch {
 	case !ok:
-		// Fresh directory, or a legacy layout, or a migration that
-		// crashed before its manifest commit (stale segment/checkpoint
+		// Fresh directory, or a legacy single-stream layout, or a migration
+		// that crashed before its manifest commit (stale segment/checkpoint
 		// files may exist — commitLayout overwrites them, which is what
 		// makes the migration idempotent).
 		if err := db.replayLegacy(legacy); err != nil {
@@ -257,39 +437,42 @@ func (db *DB) openDurable() error {
 		if err := db.commitLayout(1); err != nil {
 			return err
 		}
-		if err := os.Remove(legacy); err != nil && !errors.Is(err, os.ErrNotExist) {
-			return fmt.Errorf("tsdb: removing migrated wal: %w", err)
-		}
-	case man.Segments != len(db.shards):
-		// Shard count changed: load the full state under the old layout,
-		// then commit a fresh layout (new epoch) at the new count. As in
-		// the default branch, a leftover pre-migration WAL is fully
-		// represented in the committed layout and must not linger.
+	case man.Version == 1 || man.Segments != len(db.shards):
+		// A v1 (non-rotating) layout, or a shard-count change: load the
+		// full state under the committed layout, then re-commit a fresh
+		// rotated layout at a new epoch. A crash before the new manifest
+		// rename leaves the old manifest authoritative (the redo replays
+		// the same files); a crash after it leaves stale old-layout files
+		// that removeStaleFiles deletes without replaying.
 		db.man = man
-		if _, err := db.loadLayout(man, false); err != nil {
-			return err
+		if man.Version == 1 {
+			if err := db.loadV1Layout(man); err != nil {
+				return err
+			}
+		} else {
+			if _, err := db.loadRotLayout(man, false); err != nil {
+				return err
+			}
 		}
 		if err := db.commitLayout(man.Epoch + 1); err != nil {
 			return err
 		}
-		if err := os.Remove(legacy); err != nil && !errors.Is(err, os.ErrNotExist) {
-			return fmt.Errorf("tsdb: removing migrated wal: %w", err)
-		}
 	default:
 		db.man = man
-		tails, err := db.loadLayout(man, true)
+		db.epoch = man.Epoch
+		chains, err := db.loadRotLayout(man, true)
 		if err != nil {
 			return err
 		}
-		if err := db.openSegments(tails); err != nil {
+		if err := db.openActiveSegments(chains); err != nil {
 			return err
 		}
-		// A crash after a migration's manifest commit can leave the old
-		// single-stream WAL behind; it is fully represented in the new
-		// layout, so drop it.
-		if err := os.Remove(legacy); err != nil && !errors.Is(err, os.ErrNotExist) {
-			return fmt.Errorf("tsdb: removing migrated wal: %w", err)
-		}
+	}
+	// A crash after a migration's manifest commit can leave the old
+	// single-stream WAL behind; it is fully represented in the committed
+	// layout, so drop it.
+	if err := os.Remove(legacy); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("tsdb: removing migrated wal: %w", err)
 	}
 	db.removeStaleFiles()
 	return nil
@@ -326,7 +509,7 @@ func (db *DB) replayLegacy(path string) error {
 }
 
 // applyReplayed stores one replayed point directly. Open owns the store
-// exclusively, so no locks are taken; parallel segment replay is safe
+// exclusively, so no locks are taken; parallel chain replay is safe
 // because each goroutine only touches its own shard.
 func (db *DB) applyReplayed(sh *shard, k SeriesKey, at time.Time, v float64) {
 	db.mergeSeries(sh, k, Point{At: at, Value: v})
@@ -390,42 +573,153 @@ func replayRecords(r io.Reader, apply func(SeriesKey, time.Time, float64)) (int6
 	}
 }
 
-// loadLayout restores the store state a committed manifest describes:
-// bulk-load the checkpoint snapshot, then replay each segment's tail.
-// With parallel set (segment count == shard count), segments replay on
-// one goroutine each, writing only their own shard; otherwise (re-shard
-// path) replay is sequential and records re-hash onto the new shards.
-// It returns each segment's logical valid end — the offset after its
-// last complete, CRC-valid record — which openSegments uses to truncate
-// crashed tails before appending after them.
-func (db *DB) loadLayout(man manifest, parallel bool) ([]uint64, error) {
+// loadCheckpointFile bulk-loads the named checkpoint snapshot into the
+// store. The checkpoint is the only copy of the truncated history:
+// refusing to open without it beats silently serving a partial archive.
+func (db *DB) loadCheckpointFile(name string) error {
+	f, err := os.Open(filepath.Join(db.dir, name))
+	if err != nil {
+		return fmt.Errorf("tsdb: opening checkpoint: %w", err)
+	}
+	recs, err := decodeSnapshot(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("tsdb: loading checkpoint: %w", err)
+	}
+	for _, rec := range recs {
+		db.mergeSeries(db.shardFor(rec.key), rec.key, rec.points...)
+	}
+	return nil
+}
+
+// loadV1Layout restores the state a committed v1 (non-rotating) manifest
+// describes: bulk-load its checkpoint, then replay each wal-<i>.log from
+// its per-shard offset. Replay is sequential and records hash onto the
+// current shards (whose count may differ from the v1 layout's); the caller
+// re-commits a rotated layout afterwards, so no v1 file is opened for
+// appending.
+func (db *DB) loadV1Layout(man manifest) error {
 	if man.Checkpoint != "" {
-		f, err := os.Open(filepath.Join(db.dir, man.Checkpoint))
-		if err != nil {
-			// The checkpoint is the only copy of the truncated history:
-			// refusing to open without it beats silently serving a
-			// partial archive.
-			return nil, fmt.Errorf("tsdb: opening checkpoint: %w", err)
-		}
-		recs, err := decodeSnapshot(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("tsdb: loading checkpoint: %w", err)
-		}
-		for _, rec := range recs {
-			db.mergeSeries(db.shardFor(rec.key), rec.key, rec.points...)
+		if err := db.loadCheckpointFile(man.Checkpoint); err != nil {
+			return err
 		}
 	}
-	tails := make([]uint64, man.Segments)
+	for i := 0; i < man.Segments; i++ {
+		if err := db.replayV1Segment(i, man); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayV1Segment replays v1 segment i's records at logical offsets >=
+// man.Shards[i].Offset. Missing files, stale epochs, and malformed headers
+// make the segment count as empty — those states only arise from crashes
+// after a manifest commit, where the manifest's checkpoint already covers
+// the data.
+func (db *DB) replayV1Segment(i int, man manifest) error {
+	f, err := os.Open(filepath.Join(db.dir, segName(i)))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("tsdb: opening segment %d: %w", i, err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	head := make([]byte, legacySegHeaderLen)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil // truncated header: empty segment
+	}
+	h, ok := decodeLegacySegHeader(head)
+	if !ok || h.epoch != man.Epoch || h.index != i || h.count != man.Segments {
+		return nil // stale or foreign segment: covered by the checkpoint
+	}
+	if skip := int64(man.Shards[i].Offset) - int64(h.base); skip > 0 {
+		if _, err := io.CopyN(io.Discard, br, skip); err != nil {
+			return nil // segment shorter than the checkpoint cut: all covered
+		}
+	}
+	_, err = replayRecords(br, func(k SeriesKey, at time.Time, v float64) {
+		db.applyReplayed(db.shardFor(k), k, at, v)
+	})
+	return err
+}
+
+// rotSegOnDisk is one segment file a directory scan found for a shard.
+type rotSegOnDisk struct {
+	seq  uint64
+	path string
+}
+
+// sealedSeg is a shard's in-memory record of one sealed (no longer
+// written) segment still on disk: its sequence number and logical range.
+// Checkpoint deletes sealed segments whose end falls at or below the cut.
+type sealedSeg struct {
+	seq, base, end uint64
+}
+
+// shardChain is the outcome of replaying one shard's segment chain: the
+// sealed segments to retain, and the identity and extent of the segment
+// that should become the append target.
+type shardChain struct {
+	sealed   []sealedSeg
+	seq      uint64 // active segment sequence number
+	base     uint64 // active segment base offset
+	validEnd uint64 // logical end of its last complete, CRC-valid record
+	sizeEnd  uint64 // size-implied end (> validEnd when the tail is torn)
+	found    bool   // an active segment file exists on disk
+}
+
+// scanRotSegments lists every rotating segment file in the directory,
+// grouped by shard index (0..segments-1) and sorted by sequence number.
+func scanRotSegments(dir string, segments int) ([][]rotSegOnDisk, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: scanning segments: %w", err)
+	}
+	out := make([][]rotSegOnDisk, segments)
+	for _, e := range ents {
+		var i int
+		var seq uint64
+		if !scanRotSegName(e.Name(), &i, &seq) || i < 0 || i >= segments {
+			continue
+		}
+		out[i] = append(out[i], rotSegOnDisk{seq: seq, path: filepath.Join(dir, e.Name())})
+	}
+	for i := range out {
+		sort.Slice(out[i], func(a, b int) bool { return out[i][a].seq < out[i][b].seq })
+	}
+	return out, nil
+}
+
+// loadRotLayout restores the store state a committed v2 manifest
+// describes: bulk-load the checkpoint snapshot, then replay each shard's
+// segment chain. With parallel set (segment count == shard count), chains
+// replay on one goroutine each, writing only their own shard; otherwise
+// (re-shard path) replay is sequential and records re-hash onto the new
+// shards. The returned chains tell openActiveSegments where each shard's
+// append stream resumes.
+func (db *DB) loadRotLayout(man manifest, parallel bool) ([]shardChain, error) {
+	if man.Checkpoint != "" {
+		if err := db.loadCheckpointFile(man.Checkpoint); err != nil {
+			return nil, err
+		}
+	}
+	found, err := scanRotSegments(db.dir, man.Segments)
+	if err != nil {
+		return nil, err
+	}
+	chains := make([]shardChain, man.Segments)
 	if !parallel {
 		for i := 0; i < man.Segments; i++ {
-			end, err := db.replaySegment(i, man, false)
+			c, err := db.replayShardChain(i, man, false, found[i])
 			if err != nil {
 				return nil, err
 			}
-			tails[i] = end
+			chains[i] = c
 		}
-		return tails, nil
+		return chains, nil
 	}
 	errs := make([]error, man.Segments)
 	var wg sync.WaitGroup
@@ -433,188 +727,268 @@ func (db *DB) loadLayout(man manifest, parallel bool) ([]uint64, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			tails[i], errs[i] = db.replaySegment(i, man, true)
+			chains[i], errs[i] = db.replayShardChain(i, man, true, found[i])
 		}(i)
 	}
 	wg.Wait()
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
-	return tails, nil
+	return chains, nil
 }
 
-// replaySegment replays segment i's records at logical offsets >=
-// man.Offsets[i]. Missing files, stale epochs, and malformed headers make
-// the segment count as empty — those states only arise from crashes after
-// a manifest commit, where the manifest's checkpoint already covers the
-// data. When strict is set (parallel replay), records that do not hash to
-// shard i are dropped rather than applied, so goroutines never cross
-// shards. The returned offset is the logical end of the last complete,
-// CRC-valid record (never below the checkpoint offset): the position at
-// which new appends may safely resume.
-func (db *DB) replaySegment(i int, man manifest, strict bool) (uint64, error) {
-	resume := man.Offsets[i]
-	f, err := os.Open(filepath.Join(db.dir, segName(i)))
-	if errors.Is(err, os.ErrNotExist) {
-		return resume, nil
-	}
-	if err != nil {
-		return 0, fmt.Errorf("tsdb: opening segment %d: %w", i, err)
-	}
-	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<16)
-	head := make([]byte, segHeaderLen)
-	if _, err := io.ReadFull(br, head); err != nil {
-		return resume, nil // truncated header: empty segment
-	}
-	h, ok := decodeSegHeader(head)
-	if !ok || h.epoch != man.Epoch || h.index != i || h.count != man.Segments {
-		return resume, nil // stale or foreign segment: covered by the checkpoint
-	}
-	// Records below the checkpoint offset are in the snapshot; skip them.
-	// h.base > offset cannot happen under the protocol (compaction runs
-	// only after the manifest referencing the new offset is committed);
-	// replaying from the file start is the safe answer if it ever does.
-	start := h.base
-	if skip := int64(man.Offsets[i]) - int64(h.base); skip > 0 {
-		if _, err := io.CopyN(io.Discard, br, skip); err != nil {
-			return resume, nil // segment shorter than the checkpoint cut: all covered
+// replayShardChain walks shard i's seq-ordered segment files, applying
+// every record at logical offsets >= the manifest's replay offset. The
+// chain invariant — each segment's base equals the previous segment's
+// end — is checked from headers and file sizes; a break (gap, overlap, or
+// torn record) ends the chain there, because nothing past a break was
+// acknowledged as durable before a crash. Files with foreign or stale
+// headers are skipped (leftovers of crashed rotations and old epochs;
+// removeStaleFiles reaps them). When strict is set (parallel replay),
+// records that do not hash to shard i are dropped rather than applied, so
+// goroutines never cross shards.
+func (db *DB) replayShardChain(i int, man manifest, strict bool, segs []rotSegOnDisk) (shardChain, error) {
+	lay := man.Shards[i]
+	var c shardChain
+	offset := lay.Offset
+	for _, sg := range segs {
+		f, err := os.Open(sg.path)
+		if errors.Is(err, os.ErrNotExist) {
+			continue
 		}
-		start = man.Offsets[i]
-	}
-	valid, err := replayRecords(br, func(k SeriesKey, at time.Time, v float64) {
-		sh := db.shardFor(k)
-		if strict && sh != &db.shards[i] {
-			return
+		if err != nil {
+			return c, fmt.Errorf("tsdb: opening segment %s: %w", filepath.Base(sg.path), err)
 		}
-		db.applyReplayed(sh, k, at, v)
-	})
-	if err != nil {
-		return 0, err
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return c, fmt.Errorf("tsdb: segment %s stat: %w", filepath.Base(sg.path), err)
+		}
+		head := make([]byte, rotSegHeaderLen)
+		if _, err := io.ReadFull(f, head); err != nil {
+			f.Close()
+			continue // truncated header: crashed creation, not part of the chain
+		}
+		h, ok := decodeRotHeader(head)
+		if !ok || h.epoch != man.Epoch || h.index != i || h.count != man.Segments || h.seq != sg.seq {
+			f.Close()
+			continue // stale or foreign segment
+		}
+		if c.found && h.base != c.validEnd {
+			// Chain break: this segment does not continue the stream where
+			// the previous one ended (a gap from a lost file, or an overlap
+			// from a crashed rotation). Nothing from here on is reachable.
+			f.Close()
+			break
+		}
+		if c.found {
+			c.sealed = append(c.sealed, sealedSeg{seq: c.seq, base: c.base, end: c.validEnd})
+		}
+		c.seq, c.base, c.found = h.seq, h.base, true
+		c.sizeEnd = h.base
+		if st.Size() > int64(rotSegHeaderLen) {
+			c.sizeEnd = h.base + uint64(st.Size()-int64(rotSegHeaderLen))
+		}
+		if c.sizeEnd <= offset {
+			// Fully covered by the checkpoint: nothing to replay. The file
+			// sticks around as a sealed entry so the next checkpoint
+			// deletes it (it survived a crash between manifest commit and
+			// sealed-segment deletion).
+			c.validEnd = c.sizeEnd
+			f.Close()
+			continue
+		}
+		br := bufio.NewReaderSize(f, 1<<16)
+		start := h.base
+		if skip := int64(offset) - int64(h.base); skip > 0 {
+			if _, err := io.CopyN(io.Discard, br, skip); err != nil {
+				// sizeEnd > offset proved the file long enough for the
+				// skip, so this is a real read failure, not a short file.
+				// Records in [offset, sizeEnd) are the only copy of that
+				// range; refusing to open beats silently serving an
+				// archive with a hole the next checkpoint would make
+				// permanent.
+				f.Close()
+				return c, fmt.Errorf("tsdb: segment %s: skipping to checkpoint offset: %w", filepath.Base(sg.path), err)
+			}
+			start = offset
+		}
+		valid, err := replayRecords(br, func(k SeriesKey, at time.Time, v float64) {
+			sh := db.shardFor(k)
+			if strict && sh != &db.shards[i] {
+				return
+			}
+			db.applyReplayed(sh, k, at, v)
+		})
+		f.Close()
+		if err != nil {
+			return c, err
+		}
+		c.validEnd = start + uint64(valid)
+		db.replayedBytes.Add(uint64(valid))
+		if c.validEnd < c.sizeEnd {
+			// Torn record: the signature of a crash mid-append. Nothing at
+			// or past it — in this segment or any later one — was durable.
+			break
+		}
 	}
-	return start + uint64(valid), nil
+	if !c.found {
+		// No usable segment on disk (fresh layout after a crash, or every
+		// file covered and deleted): resume the stream at the manifest cut
+		// under the last committed sequence number.
+		seq := uint64(1)
+		if n := len(lay.Segs); n > 0 {
+			seq = lay.Segs[n-1].Seq
+		}
+		c.seq, c.base, c.validEnd, c.sizeEnd = seq, offset, offset, offset
+	}
+	return c, nil
 }
 
-// openSegments opens every shard's segment for appending, recreating any
-// that is missing, malformed, or from a stale epoch (with base = the
-// manifest's checkpoint offset, since that is where the live stream
-// resumes). With a non-nil tails vector (from loadLayout), each file is
-// truncated to its last complete, CRC-valid record first: appending after
-// a crashed half-written tail would strand the new records behind bytes
-// replay refuses to cross. It must run after loadLayout and with db.man
-// current.
-func (db *DB) openSegments(tails []uint64) error {
-	created := false
+// openActiveSegments opens each shard's active segment for appending,
+// applying the chain replay's verdicts: a torn tail is truncated to the
+// last complete record first (appending after a crashed half-written tail
+// would strand the new records behind bytes replay refuses to cross), and
+// a missing or fully-covered active segment is (re)created rebased at the
+// manifest's replay offset. It must run after loadRotLayout with db.man
+// and db.epoch current.
+func (db *DB) openActiveSegments(chains []shardChain) error {
+	n := len(db.shards)
 	for i := range db.shards {
 		sh := &db.shards[i]
-		path := filepath.Join(db.dir, segName(i))
-		want := segHeader{index: i, count: len(db.shards), epoch: db.man.Epoch, base: db.man.Offsets[i]}
-		f, h, fresh, err := openSegmentFile(path, want)
-		if err != nil {
-			return err
-		}
-		created = created || fresh
-		end := h.base
-		if st, err := f.Stat(); err != nil {
-			f.Close()
-			return fmt.Errorf("tsdb: segment %d stat: %w", i, err)
-		} else if st.Size() > int64(segHeaderLen) {
-			end = h.base + uint64(st.Size()-int64(segHeaderLen))
-		}
-		if !fresh && tails != nil && i < len(tails) {
-			cut := db.man.Offsets[i]
-			switch {
-			case end < cut:
-				// The file ends below the checkpoint cut (external
-				// truncation); its bytes are all covered by the
-				// checkpoint. Rebase an empty file onto the cut so the
-				// logical-to-physical mapping holds for new appends.
-				f.Close()
-				if f, h, err = createSegmentFile(path, segHeader{index: i, count: len(db.shards), epoch: db.man.Epoch, base: cut}); err != nil {
-					return err
-				}
-				created, end = true, cut
-			case tails[i] < end:
-				// Crashed tail: drop the bytes after the last valid
-				// record before appending.
-				if err := f.Truncate(int64(segHeaderLen) + int64(tails[i]-h.base)); err != nil {
+		c := chains[i]
+		offset := db.man.Shards[i].Offset
+		path := filepath.Join(db.dir, rotSegName(i, c.seq))
+		var f *os.File
+		var err error
+		if !c.found || c.validEnd < offset {
+			// Fresh, or the file's valid extent sits entirely below the
+			// checkpoint cut (external truncation): rebase an empty file
+			// onto the cut so the logical-to-physical mapping holds.
+			f, err = createRotSegmentFile(path, rotHeader{index: i, count: n, epoch: db.epoch, seq: c.seq, base: offset})
+			if err != nil {
+				return err
+			}
+			c.base, c.validEnd = offset, offset
+		} else {
+			f, err = os.OpenFile(path, os.O_RDWR, 0o644)
+			if err != nil {
+				return fmt.Errorf("tsdb: opening segment %s: %w", filepath.Base(path), err)
+			}
+			if c.sizeEnd > c.validEnd {
+				if err := f.Truncate(int64(rotSegHeaderLen) + int64(c.validEnd-c.base)); err != nil {
 					f.Close()
-					return fmt.Errorf("tsdb: segment %d truncate: %w", i, err)
+					return fmt.Errorf("tsdb: segment %s truncate: %w", filepath.Base(path), err)
 				}
 				if err := f.Sync(); err != nil {
 					f.Close()
-					return fmt.Errorf("tsdb: segment %d sync: %w", i, err)
+					return fmt.Errorf("tsdb: segment %s sync: %w", filepath.Base(path), err)
 				}
-				if _, err := f.Seek(0, io.SeekEnd); err != nil {
-					f.Close()
-					return fmt.Errorf("tsdb: segment %d seek: %w", i, err)
-				}
-				end = tails[i]
+			}
+			if _, err := f.Seek(0, io.SeekEnd); err != nil {
+				f.Close()
+				return fmt.Errorf("tsdb: segment %s seek: %w", filepath.Base(path), err)
 			}
 		}
 		sh.walF = f
 		sh.wal = bufio.NewWriterSize(f, 1<<16)
-		sh.walBase = h.base
-		sh.walOff = end
+		sh.walSeq = c.seq
+		sh.walBase = c.base
+		sh.walOff = c.validEnd
+		sh.sealed = c.sealed
 	}
-	if created {
-		return syncDir(db.dir)
+	return syncDir(db.dir)
+}
+
+// createRotSegmentFile (re)creates an empty rotating segment file with the
+// given header, replacing whatever was at path, and fsyncs it.
+func createRotSegmentFile(path string, h rotHeader) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: creating segment: %w", err)
 	}
+	if _, err := f.Write(encodeRotHeader(h)); err == nil {
+		err = f.Sync()
+	} else {
+		f.Close()
+		return nil, fmt.Errorf("tsdb: segment header write: %w", err)
+	}
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tsdb: segment header sync: %w", err)
+	}
+	return f, nil
+}
+
+// rotateLocked seals the shard's active segment and opens the next one in
+// the sequence. The caller holds sh.mu. Durable order: flush and fsync the
+// active file (seal — everything in it is now stable), create
+// wal-<shard>-<seq+1>.log with base = the current logical end, fsync the
+// file and the directory, then swap the shard's writer. A crash between
+// seal and create leaves the sealed segment as the append target on the
+// next open (recovery finds no higher seq); a crash after create leaves an
+// empty, fully durable new segment that recovery chains onto. On a real
+// (non-injected) failure the shard keeps appending to the current segment
+// and the half-created file, if any, is removed.
+func (db *DB) rotateLocked(sh *shard) error {
+	if err := sh.wal.Flush(); err != nil {
+		return fmt.Errorf("tsdb: rotate flush: %w", err)
+	}
+	if err := db.failpoint("rotate:seal:before-sync"); err != nil {
+		return err
+	}
+	if err := sh.walF.Sync(); err != nil {
+		return fmt.Errorf("tsdb: rotate seal sync: %w", err)
+	}
+	if err := db.failpoint("rotate:seal:after-sync"); err != nil {
+		return err
+	}
+	seq := sh.walSeq + 1
+	path := filepath.Join(db.dir, rotSegName(sh.idx, seq))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("tsdb: rotate create: %w", err)
+	}
+	_, err = f.Write(encodeRotHeader(rotHeader{index: sh.idx, count: len(db.shards), epoch: db.epoch, seq: seq, base: sh.walOff}))
+	if err == nil {
+		err = db.failpoint("rotate:create:before-sync")
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if err == nil {
+		err = syncDir(db.dir)
+	}
+	if err == nil {
+		err = db.failpoint("rotate:create:after-sync")
+	}
+	if err != nil {
+		f.Close()
+		if !errors.Is(err, errCrashPoint) {
+			os.Remove(path)
+		}
+		return err
+	}
+	// Swap over. The sealed file's close error is ignored: its bytes were
+	// fsync'd above and nothing will write to it again.
+	sh.walF.Close()
+	sh.sealed = append(sh.sealed, sealedSeg{seq: sh.walSeq, base: sh.walBase, end: sh.walOff})
+	sh.walF = f
+	sh.wal.Reset(f)
+	sh.walSeq = seq
+	sh.walBase = sh.walOff
 	return nil
 }
 
-// openSegmentFile opens path for appending if its header matches want's
-// epoch/index/count, and otherwise recreates it with the want header.
-// fresh reports whether the file was (re)created.
-func openSegmentFile(path string, want segHeader) (*os.File, segHeader, bool, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
-	if err == nil {
-		head := make([]byte, segHeaderLen)
-		if _, rerr := io.ReadFull(f, head); rerr == nil {
-			if h, ok := decodeSegHeader(head); ok && h.epoch == want.epoch && h.index == want.index && h.count == want.count {
-				if _, serr := f.Seek(0, io.SeekEnd); serr != nil {
-					f.Close()
-					return nil, segHeader{}, false, fmt.Errorf("tsdb: segment seek: %w", serr)
-				}
-				return f, h, false, nil
-			}
-		}
-		f.Close()
-	} else if !errors.Is(err, os.ErrNotExist) {
-		return nil, segHeader{}, false, fmt.Errorf("tsdb: opening segment: %w", err)
-	}
-	f, h, err := createSegmentFile(path, want)
-	if err != nil {
-		return nil, segHeader{}, false, err
-	}
-	return f, h, true, nil
-}
-
-// createSegmentFile (re)creates an empty segment file with the given
-// header, replacing whatever was at path.
-func createSegmentFile(path string, h segHeader) (*os.File, segHeader, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return nil, segHeader{}, fmt.Errorf("tsdb: creating segment: %w", err)
-	}
-	if _, err := f.Write(encodeSegHeader(h)); err == nil {
-		err = f.Sync()
-	}
-	if err != nil {
-		f.Close()
-		return nil, segHeader{}, fmt.Errorf("tsdb: segment header write: %w", err)
-	}
-	return f, h, nil
-}
-
 // commitLayout persists the store's current in-memory state as a brand-new
-// segmented layout at the given epoch: a checkpoint snapshot holding every
+// rotated layout at the given epoch: a checkpoint snapshot holding every
 // point (when the store is non-empty), then the manifest (the commit
-// point), then fresh empty segments. Used by the legacy migration, the
-// re-shard path, and fresh-directory initialization. A crash before the
-// manifest rename leaves the previous layout (or the legacy WAL) fully
-// authoritative; a crash after it leaves at worst stale segment files
-// from the old epoch, which openSegments recreates.
+// point), then one fresh empty segment per shard at seq 1. Used by the
+// legacy migration, the v1-layout migration, the re-shard path, and
+// fresh-directory initialization. A crash before the manifest rename
+// leaves the previous layout (or the legacy WAL) fully authoritative; a
+// crash after it leaves at worst stale files from the old layout, which
+// the next open recreates or deletes.
 func (db *DB) commitLayout(epoch uint64) error {
 	n := len(db.shards)
 	m := manifest{
@@ -622,7 +996,10 @@ func (db *DB) commitLayout(epoch uint64) error {
 		Epoch:         epoch,
 		Segments:      n,
 		CheckpointSeq: db.man.CheckpointSeq,
-		Offsets:       make([]uint64, n),
+		Shards:        make([]shardLayout, n),
+	}
+	for i := range m.Shards {
+		m.Shards[i] = shardLayout{Segs: []segRef{{Seq: 1, Base: 0}}}
 	}
 	if db.PointCount() > 0 {
 		m.CheckpointSeq++
@@ -631,12 +1008,27 @@ func (db *DB) commitLayout(epoch uint64) error {
 			return err
 		}
 	}
-	if err := writeManifest(db.dir, m); err != nil {
+	if err := writeManifest(db.dir, m, nil); err != nil {
 		return err
 	}
 	old := db.man
 	db.man = m
-	if err := db.openSegments(nil); err != nil {
+	db.epoch = epoch
+	for i := range db.shards {
+		sh := &db.shards[i]
+		f, err := createRotSegmentFile(filepath.Join(db.dir, rotSegName(i, 1)), rotHeader{index: i, count: n, epoch: epoch, seq: 1})
+		if err != nil {
+			return err
+		}
+		sh.walF = f
+		sh.wal = bufio.NewWriterSize(f, 1<<16)
+		sh.walSeq = 1
+		sh.walBase = 0
+		sh.walOff = 0
+		sh.sealed = nil
+		sh.cpBytes.Store(0)
+	}
+	if err := syncDir(db.dir); err != nil {
 		return err
 	}
 	if old.Checkpoint != "" && old.Checkpoint != m.Checkpoint {
@@ -650,28 +1042,42 @@ func (db *DB) commitLayout(epoch uint64) error {
 func (db *DB) writeCheckpointFile(name string, recs []snapshotSeries) error {
 	return atomicWriteFile(filepath.Join(db.dir, name), func(w io.Writer) error {
 		return encodeSnapshot(w, recs)
-	})
+	}, db.cpHook("checkpoint:snapshot"))
 }
 
-// removeStaleFiles deletes segment files beyond the current count and
-// checkpoint files the manifest no longer references — leftovers of
-// crashed checkpoints, migrations, and re-shards. Best-effort.
+// removeStaleFiles deletes files the committed layout does not own:
+// temp files, checkpoints the manifest no longer references, v1 segment
+// files superseded by the rotated layout, and rotating segment files that
+// are neither a shard's active segment nor one of its retained sealed
+// segments — leftovers of crashed rotations, checkpoints, migrations, and
+// re-shards. Runs at the end of Open, single-threaded. Best-effort.
 func (db *DB) removeStaleFiles() {
 	ents, err := os.ReadDir(db.dir)
 	if err != nil {
 		return
 	}
+	live := make(map[string]bool, len(db.shards)*2)
+	for i := range db.shards {
+		sh := &db.shards[i]
+		live[rotSegName(i, sh.walSeq)] = true
+		for _, sg := range sh.sealed {
+			live[rotSegName(i, sg.seq)] = true
+		}
+	}
 	for _, e := range ents {
 		name := e.Name()
 		var i int
+		var seq uint64
 		switch {
 		case name == db.man.Checkpoint || name == manifestName || name == legacyWALName:
 		case strings.HasSuffix(name, ".tmp"):
 			os.Remove(filepath.Join(db.dir, name))
-		case scanSegIndex(name, &i) && name == segName(i):
-			if i >= len(db.shards) {
+		case scanRotSegName(name, &i, &seq):
+			if !live[name] {
 				os.Remove(filepath.Join(db.dir, name))
 			}
+		case scanSegIndex(name, &i):
+			os.Remove(filepath.Join(db.dir, name))
 		case strings.HasPrefix(name, "checkpoint-"):
 			os.Remove(filepath.Join(db.dir, name))
 		}
@@ -679,181 +1085,155 @@ func (db *DB) removeStaleFiles() {
 }
 
 // Checkpoint persists the store's current state as a snapshot inside the
-// data directory and truncates the WAL segments it covers, so the next
-// open bulk-loads the snapshot and replays only the records appended
+// data directory and drops the WAL segments it covers, so the next open
+// bulk-loads the snapshot and replays only the records appended
 // afterwards — bounded recovery time regardless of archive age.
 //
 // The snapshot is cut per shard: each shard's contribution is captured
-// together with its segment's logical offset under that shard's lock, so
-// the pair is exact even while appends to other shards continue. Durable
-// order is: flush + fsync segments (so everything at or below the cut is
-// on disk), write the snapshot file, commit the manifest referencing it,
-// then compact each segment down to its tail. A crash between any two
-// steps recovers to a state containing every acknowledged point.
+// together with its segment chain's logical offset under that shard's
+// lock, so the pair is exact even while appends to other shards continue.
+// Durable order is: flush + fsync active segments (so everything at or
+// below the cut is on disk; sealed segments were fsync'd when they
+// sealed), write the snapshot file, commit the manifest referencing it,
+// then unlink the sealed segments the snapshot fully covers. No data file
+// is ever rewritten: compaction is the manifest commit plus unlinks, so
+// its cost is independent of how much history the snapshot absorbed. A
+// crash between any two steps recovers to a state containing every
+// acknowledged point.
 //
 // Checkpoint returns an error on memory-only stores.
 func (db *DB) Checkpoint() error {
 	if db.dir == "" {
 		return errors.New("tsdb: memory-only store cannot checkpoint")
 	}
-	return db.checkpoint(-1)
+	return db.checkpoint()
 }
 
-// checkpoint is Checkpoint with a fail-point: when failAt is >= 0 the
-// protocol aborts with errCheckpointFault just before durable step failAt
-// (0 = before segment sync, 1 = before snapshot write, 2 = before manifest
-// commit, 3 = before compaction, 4 = midway through compaction). Tests use
-// the fail points to prove crash-consistency at every boundary.
-func (db *DB) checkpoint(failAt int) error {
+func (db *DB) checkpoint() error {
 	db.cpMu.Lock()
 	defer db.cpMu.Unlock()
 	if db.closed.Load() {
 		return errors.New("tsdb: store is closed")
 	}
 	n := len(db.shards)
-	// Capture a per-shard cut: the segment's logical offset plus every
-	// series' point slice, atomically per shard. Slices are append-only,
-	// so everything below the captured length is immutable afterwards.
+	// Capture a per-shard cut: the chain's logical offset, the surviving
+	// segment list, and every series' point slice, atomically per shard.
+	// Point slices are append-only, so everything below the captured
+	// length is immutable afterwards.
 	offs := make([]uint64, n)
 	files := make([]*os.File, n)
-	var recs []snapshotSeries
-	for i := range db.shards {
-		sh := &db.shards[i]
-		sh.mu.Lock()
+	layouts := make([]shardLayout, n)
+	pres := make([]uint64, n)
+	recs, err := db.captureWith(func(i int, sh *shard) error {
 		if sh.wal == nil {
-			sh.mu.Unlock()
 			return errors.New("tsdb: store is closed")
 		}
 		if err := sh.wal.Flush(); err != nil {
-			sh.mu.Unlock()
 			return fmt.Errorf("tsdb: checkpoint flush: %w", err)
 		}
 		offs[i] = sh.walOff
 		files[i] = sh.walF
-		for k, s := range sh.series {
-			recs = append(recs, snapshotSeries{key: k, points: s.points})
-		}
-		sh.mu.Unlock()
+		pres[i] = sh.cpBytes.Load()
+		// The manifest lists exactly the active segment: every sealed
+		// segment's end was the shard's walOff when it sealed, so under
+		// this lock all of them sit at or below the cut — the snapshot
+		// covers them fully and the delete phase unlinks them. Segments
+		// rotated in after this commit are found by directory scan and
+		// base-chaining, never the manifest.
+		layouts[i] = shardLayout{Offset: offs[i], Segs: []segRef{{Seq: sh.walSeq, Base: sh.walBase}}}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	sortSnapshotSeries(recs)
-	if failAt == 0 {
-		return errCheckpointFault
+	if err := db.failpoint("checkpoint:capture"); err != nil {
+		return err
 	}
 	// Everything at or below the cut must be durable before a manifest
-	// can claim the snapshot supersedes it.
+	// can claim the snapshot supersedes it. The fsyncs run concurrently
+	// (as in Flush) so the stall under cpMu is one disk round trip, not
+	// one per shard. A file rotation sealed (and therefore fsync'd)
+	// between capture and here reports ErrClosed — already durable.
+	syncErrs := make([]error, n)
+	var syncWG sync.WaitGroup
 	for i := range files {
-		if err := files[i].Sync(); err != nil {
-			return fmt.Errorf("tsdb: checkpoint segment sync: %w", err)
-		}
+		syncWG.Add(1)
+		go func(i int) {
+			defer syncWG.Done()
+			if err := files[i].Sync(); err != nil && !errors.Is(err, os.ErrClosed) {
+				syncErrs[i] = err
+			}
+		}(i)
 	}
-	if failAt == 1 {
-		return errCheckpointFault
+	syncWG.Wait()
+	if err := errors.Join(syncErrs...); err != nil {
+		return fmt.Errorf("tsdb: checkpoint segment sync: %w", err)
 	}
-	m := db.man
-	m.CheckpointSeq++
+	if err := db.failpoint("checkpoint:segsync:after"); err != nil {
+		return err
+	}
+	m := manifest{
+		Version:       manifestVersion,
+		Epoch:         db.epoch,
+		Segments:      n,
+		CheckpointSeq: db.man.CheckpointSeq + 1,
+		Shards:        layouts,
+	}
 	m.Checkpoint = checkpointName(m.CheckpointSeq)
-	m.Offsets = offs
 	if err := db.writeCheckpointFile(m.Checkpoint, recs); err != nil {
 		return err
 	}
-	if failAt == 2 {
-		return errCheckpointFault
-	}
-	if err := writeManifest(db.dir, m); err != nil {
+	if err := writeManifest(db.dir, m, db.cpHook("checkpoint:manifest")); err != nil {
 		return err
 	}
 	old := db.man
 	db.man = m
-	if failAt == 3 {
-		return errCheckpointFault
-	}
-	// Compact: drop each segment's covered prefix. Purely an optimization
-	// from here on — replay skips the prefix via the manifest offset
-	// either way — so a crash mid-loop (some segments rebased, some not)
-	// is consistent: each file's header says where it starts.
+	// The commit succeeded: the captured bytes no longer count toward the
+	// size-based checkpoint trigger. Appends that raced past the cut keep
+	// their contribution (atomic subtract, not a reset).
 	for i := range db.shards {
-		if failAt == 4 && i >= n/2 {
-			return errCheckpointFault
+		if pres[i] != 0 {
+			db.shards[i].cpBytes.Add(^pres[i] + 1)
 		}
-		if err := db.compactSegment(i, offs[i]); err != nil {
+	}
+	// Compact: unlink every sealed segment the snapshot fully covers.
+	// Purely an optimization from here on — replay skips covered records
+	// via the manifest offset either way — so a crash mid-loop (some
+	// segments deleted, some not) is consistent.
+	removed := false
+	for i := range db.shards {
+		if i == n/2 {
+			if err := db.failpoint("checkpoint:delete:mid"); err != nil {
+				return err
+			}
+		}
+		sh := &db.shards[i]
+		sh.mu.Lock()
+		keep := sh.sealed[:0]
+		for _, sg := range sh.sealed {
+			if sg.end <= offs[i] {
+				os.Remove(filepath.Join(db.dir, rotSegName(i, sg.seq)))
+				removed = true
+			} else {
+				keep = append(keep, sg)
+			}
+		}
+		sh.sealed = keep
+		sh.mu.Unlock()
+	}
+	if err := db.failpoint("checkpoint:delete:before-sync"); err != nil {
+		return err
+	}
+	if removed {
+		if err := syncDir(db.dir); err != nil {
 			return err
 		}
 	}
-	if err := syncDir(db.dir); err != nil {
+	if err := db.failpoint("checkpoint:delete:after-sync"); err != nil {
 		return err
 	}
 	if old.Checkpoint != "" && old.Checkpoint != m.Checkpoint {
 		os.Remove(filepath.Join(db.dir, old.Checkpoint))
 	}
-	return nil
-}
-
-// compactSegment rewrites shard i's segment to contain only the records
-// at logical offsets >= upTo, with base = upTo, and swaps the shard's
-// writer onto the new file. The rename is atomic: a crash leaves either
-// the old file (larger, same records) or the new one.
-func (db *DB) compactSegment(i int, upTo uint64) error {
-	sh := &db.shards[i]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if sh.wal == nil {
-		return errors.New("tsdb: store is closed")
-	}
-	if upTo <= sh.walBase {
-		return nil // nothing below the cut is in this file
-	}
-	if err := sh.wal.Flush(); err != nil {
-		return fmt.Errorf("tsdb: compact flush: %w", err)
-	}
-	path := filepath.Join(db.dir, segName(i))
-	src, err := os.Open(path)
-	if err != nil {
-		return fmt.Errorf("tsdb: compact open: %w", err)
-	}
-	defer src.Close()
-	if _, err := src.Seek(int64(segHeaderLen)+int64(upTo-sh.walBase), io.SeekStart); err != nil {
-		return fmt.Errorf("tsdb: compact seek: %w", err)
-	}
-	tmp := path + ".tmp"
-	dst, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("tsdb: compact create: %w", err)
-	}
-	h := segHeader{index: i, count: len(db.shards), epoch: db.man.Epoch, base: upTo}
-	_, err = dst.Write(encodeSegHeader(h))
-	if err == nil {
-		_, err = io.Copy(dst, src)
-	}
-	if err == nil {
-		err = dst.Sync()
-	}
-	if cerr := dst.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("tsdb: compact write: %w", err)
-	}
-	if err := sh.walF.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("tsdb: compact close: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		// The old file is gone from our handle but still on disk; reopen
-		// it so the shard keeps appending to a consistent segment.
-		os.Remove(tmp)
-		if f, _, _, rerr := openSegmentFile(path, segHeader{index: i, count: len(db.shards), epoch: db.man.Epoch, base: sh.walBase}); rerr == nil {
-			sh.walF = f
-			sh.wal = bufio.NewWriterSize(f, 1<<16)
-		}
-		return fmt.Errorf("tsdb: compact rename: %w", err)
-	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("tsdb: compact reopen: %w", err)
-	}
-	sh.walF = f
-	sh.wal = bufio.NewWriterSize(f, 1<<16)
-	sh.walBase = upTo
 	return nil
 }

@@ -96,7 +96,7 @@ func TestLegacyMigration(t *testing.T) {
 		t.Errorf("no manifest after migration: %v", err)
 	}
 	for i := 0; i < 8; i++ {
-		if _, err := os.Stat(filepath.Join(dir, segName(i))); err != nil {
+		if _, err := os.Stat(filepath.Join(dir, rotSegName(i, 1))); err != nil {
 			t.Errorf("segment %d missing after migration: %v", i, err)
 		}
 	}
@@ -137,7 +137,7 @@ func TestLegacyMigrationCrashPoints(t *testing.T) {
 		// exist, but no manifest — the legacy WAL is still authoritative.
 		dir := t.TempDir()
 		writeLegacyWAL(t, dir, entries)
-		if err := os.WriteFile(filepath.Join(dir, segName(0)), []byte("partial garbage"), 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, rotSegName(0, 1)), []byte("partial garbage"), 0o644); err != nil {
 			t.Fatal(err)
 		}
 		if err := os.WriteFile(filepath.Join(dir, checkpointName(1)), []byte("also garbage"), 0o644); err != nil {
@@ -235,12 +235,14 @@ func TestShardCountChange(t *testing.T) {
 	assertSameContents(t, contents(final), want)
 }
 
-// TestCheckpointBoundedRecovery checks that a checkpoint truncates the
-// segments it covers and that recovery (snapshot + tails) reproduces the
-// full archive.
+// TestCheckpointBoundedRecovery checks that a checkpoint drops the sealed
+// segments it covers and that recovery (snapshot + chain tails) reproduces
+// the full archive.
 func TestCheckpointBoundedRecovery(t *testing.T) {
 	dir := t.TempDir()
-	db, err := OpenSharded(dir, 4)
+	// A tiny rotation threshold so the workload seals several segments
+	// per shard before the checkpoint.
+	db, err := OpenWithOptions(dir, Options{Shards: 4, RotateBytes: 512})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,18 +250,39 @@ func TestCheckpointBoundedRecovery(t *testing.T) {
 	if n, err := db.AppendBatch(pre); err != nil || n != len(pre) {
 		t.Fatalf("stored %d, err %v", n, err)
 	}
+	sealedBefore := 0
+	for i := range db.shards {
+		sealedBefore += len(db.shards[i].sealed)
+	}
+	if sealedBefore == 0 {
+		t.Fatal("workload sealed no segments; rotation threshold too large for the test")
+	}
 	if err := db.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	// Compaction must have dropped the covered records: every segment is
-	// back to (near) header size.
+	// Compaction must have unlinked every covered sealed segment: only
+	// each shard's active segment file remains, and the total tail left
+	// on disk is bounded by the rotation threshold per shard.
 	for i := 0; i < 4; i++ {
-		st, err := os.Stat(filepath.Join(dir, segName(i)))
+		sh := &db.shards[i]
+		if len(sh.sealed) != 0 {
+			t.Errorf("shard %d retains %d sealed segments after checkpoint", i, len(sh.sealed))
+		}
+		segs, err := filepath.Glob(filepath.Join(dir, fmt.Sprintf("wal-%05d-*.log", i)))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if st.Size() != int64(segHeaderLen) {
-			t.Errorf("segment %d is %d bytes after checkpoint, want %d (header only)", i, st.Size(), segHeaderLen)
+		if len(segs) != 1 {
+			t.Errorf("shard %d has %d segment files after checkpoint, want 1 (active only)", i, len(segs))
+		}
+		for _, p := range segs {
+			st, err := os.Stat(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Size() > int64(rotSegHeaderLen)+512+256 {
+				t.Errorf("segment %s is %d bytes after checkpoint; tail should be bounded by the rotation threshold", filepath.Base(p), st.Size())
+			}
 		}
 	}
 	// Tail appends after the checkpoint.
@@ -285,71 +308,9 @@ func TestCheckpointBoundedRecovery(t *testing.T) {
 	}
 }
 
-// TestCheckpointCrashMatrix aborts the checkpoint protocol at every
-// durable step boundary (capture/sync, sync/snapshot, snapshot/manifest,
-// manifest/compaction, mid-compaction) and demands that recovery after
-// the simulated crash always reproduces every acknowledged point — and
-// that a subsequent checkpoint succeeds from the crashed state.
-func TestCheckpointCrashMatrix(t *testing.T) {
-	for failAt := 0; failAt <= 4; failAt++ {
-		t.Run(fmt.Sprintf("failAt=%d", failAt), func(t *testing.T) {
-			dir := t.TempDir()
-			db, err := OpenSharded(dir, 4)
-			if err != nil {
-				t.Fatal(err)
-			}
-			pre := legacyEntries(200)
-			if n, err := db.AppendBatch(pre); err != nil || n != len(pre) {
-				t.Fatalf("stored %d, err %v", n, err)
-			}
-			// A first real checkpoint, so the crashed one has a previous
-			// snapshot + offsets to fall back to.
-			if err := db.Checkpoint(); err != nil {
-				t.Fatal(err)
-			}
-			mid := make([]Entry, 0, 60)
-			for i := 0; i < 60; i++ {
-				e := pre[i%len(pre)]
-				e.At = t0.Add(time.Duration(50000+i) * time.Minute)
-				e.Value = float64(i)
-				mid = append(mid, e)
-			}
-			if n, err := db.AppendBatch(mid); err != nil || n != len(mid) {
-				t.Fatalf("stored %d, err %v", n, err)
-			}
-			if err := db.Flush(); err != nil {
-				t.Fatal(err)
-			}
-			if err := db.checkpoint(failAt); !errors.Is(err, errCheckpointFault) {
-				t.Fatalf("checkpoint(%d) = %v, want injected fault", failAt, err)
-			}
-			want := contents(db)
-			// Crash: reopen from disk.
-			if err := db.Close(); err != nil {
-				t.Fatal(err)
-			}
-			re, err := OpenSharded(dir, 4)
-			if err != nil {
-				t.Fatalf("reopen after fault %d: %v", failAt, err)
-			}
-			assertSameContents(t, contents(re), want)
-			// The store must be able to checkpoint its way out of the
-			// crashed state, and still recover afterwards.
-			if err := re.Checkpoint(); err != nil {
-				t.Fatalf("checkpoint after fault %d: %v", failAt, err)
-			}
-			if err := re.Close(); err != nil {
-				t.Fatal(err)
-			}
-			re2, err := OpenSharded(dir, 4)
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer re2.Close()
-			assertSameContents(t, contents(re2), want)
-		})
-	}
-}
+// The checkpoint/rotation crash matrix lives in rotation_test.go
+// (TestRotationCrashMatrix): every protocol boundary × crash before/after
+// fsync, verified against the differential reference store.
 
 // TestDifferentialSegmentedVsLegacyRecovery feeds the same append
 // sequence through (a) a legacy single-stream WAL recovered via
@@ -411,7 +372,7 @@ func TestSegmentCrashedTailThenAppend(t *testing.T) {
 		t.Fatal(err)
 	}
 	si := db.ShardIndexOf(k)
-	path := filepath.Join(dir, segName(si))
+	path := filepath.Join(dir, rotSegName(si, db.shards[si].walSeq))
 	st, err := os.Stat(path)
 	if err != nil {
 		t.Fatal(err)
