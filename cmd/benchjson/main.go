@@ -1,0 +1,151 @@
+// Command benchjson converts `go test -bench` text output into the
+// BENCH_pr*.json artifact schema the CI bench job records, so per-PR
+// performance numbers accumulate in a machine-readable series instead of
+// scrolling away in build logs.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchmem -cpu=1,4 ./... | benchjson > BENCH.json
+//	benchjson bench-output.txt > BENCH.json
+//
+// Schema (one object):
+//
+//	{
+//	  "schema": "spotlake-bench/v1",
+//	  "goos": "linux", "goarch": "amd64", "cpu": "...",   // from the bench header
+//	  "benchmarks": [
+//	    {"name": "BenchmarkAppendParallel", "cpus": 4,
+//	     "fullName": "BenchmarkAppendParallel-4", "iterations": 3181405,
+//	     "nsPerOp": 377.5, "bytesPerOp": 48, "allocsPerOp": 2}
+//	  ]
+//	}
+//
+// The -N suffix go test appends to benchmark names is the GOMAXPROCS the
+// run used (absent means 1); it is split out as "cpus" so a -cpu=1,4
+// matrix yields comparable pairs under one bare name. Lines that are not
+// benchmark results (headers, PASS, ok) set metadata or are ignored, so
+// the tool can be fed a whole `go test` transcript.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	Name       string  `json:"name"`
+	CPUs       int     `json:"cpus"`
+	FullName   string  `json:"fullName"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"nsPerOp"`
+	// No omitempty: a genuine 0 B/op / 0 allocs/op measurement (the very
+	// result an allocation fix aims for) must stay distinguishable in
+	// the artifact from "not measured" in run-over-run diffs.
+	BytesPerOp  float64 `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+type benchFile struct {
+	Schema     string        `json:"schema"`
+	GOOS       string        `json:"goos,omitempty"`
+	GOARCH     string        `json:"goarch,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// benchLine matches one result line. Columns after ns/op are optional
+// and order-fixed (-benchmem emits "B/op" then "allocs/op"; throughput
+// columns like MB/s are skipped by the filler pattern).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+var (
+	bytesCol  = regexp.MustCompile(`([0-9.]+) B/op`)
+	allocsCol = regexp.MustCompile(`(\d+) allocs/op`)
+	cpuSuffix = regexp.MustCompile(`-(\d+)$`)
+)
+
+func parse(r io.Reader) (benchFile, error) {
+	out := benchFile{Schema: "spotlake-bench/v1", Benchmarks: []benchResult{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			out.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		full := m[1]
+		name, cpus := full, 1
+		if sm := cpuSuffix.FindStringSubmatch(full); sm != nil {
+			// go test appends the -N GOMAXPROCS suffix only when N > 1,
+			// so a trailing -1 is always part of the benchmark's own name
+			// (e.g. .../region=us-east-1) and must not be stripped.
+			if n, err := strconv.Atoi(sm[1]); err == nil && n > 1 {
+				name, cpus = strings.TrimSuffix(full, sm[0]), n
+			}
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return out, fmt.Errorf("benchjson: iterations in %q: %w", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return out, fmt.Errorf("benchjson: ns/op in %q: %w", line, err)
+		}
+		res := benchResult{Name: name, CPUs: cpus, FullName: full, Iterations: iters, NsPerOp: ns}
+		if bm := bytesCol.FindStringSubmatch(m[4]); bm != nil {
+			res.BytesPerOp, _ = strconv.ParseFloat(bm[1], 64)
+		}
+		if am := allocsCol.FindStringSubmatch(m[4]); am != nil {
+			res.AllocsPerOp, _ = strconv.ParseInt(am[1], 10, 64)
+		}
+		out.Benchmarks = append(out.Benchmarks, res)
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	in := io.Reader(os.Stdin)
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	out, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines in input")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	const in = `goos: linux
+goarch: amd64
+pkg: repro/internal/tsdb
+cpu: AMD EPYC 7B13
+BenchmarkAppendParallel      	 3181405	       377.5 ns/op	      48 B/op	       2 allocs/op
+BenchmarkAppendParallel-4    	 5000000	       210.0 ns/op	      47 B/op	       2 allocs/op
+BenchmarkRecovery/full-replay-4         	      66	  16500000 ns/op
+BenchmarkQueryFanOut/shards=8/workers=16-4         	     480	   2450000 ns/op	  512000 B/op	    4096 allocs/op
+PASS
+ok  	repro/internal/tsdb	12.3s
+`
+	out, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.GOOS != "linux" || out.GOARCH != "amd64" || out.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header metadata: %+v", out)
+	}
+	if len(out.Benchmarks) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(out.Benchmarks), out.Benchmarks)
+	}
+	b0 := out.Benchmarks[0]
+	if b0.Name != "BenchmarkAppendParallel" || b0.CPUs != 1 || b0.NsPerOp != 377.5 || b0.AllocsPerOp != 2 || b0.BytesPerOp != 48 {
+		t.Fatalf("cpu=1 line: %+v", b0)
+	}
+	b1 := out.Benchmarks[1]
+	if b1.Name != "BenchmarkAppendParallel" || b1.CPUs != 4 || b1.FullName != "BenchmarkAppendParallel-4" {
+		t.Fatalf("cpu=4 line: %+v", b1)
+	}
+	b2 := out.Benchmarks[2]
+	if b2.Name != "BenchmarkRecovery/full-replay" || b2.CPUs != 4 || b2.AllocsPerOp != 0 {
+		t.Fatalf("sub-benchmark line: %+v", b2)
+	}
+	b3 := out.Benchmarks[3]
+	if b3.Name != "BenchmarkQueryFanOut/shards=8/workers=16" || b3.CPUs != 4 || b3.AllocsPerOp != 4096 {
+		t.Fatalf("nested sub-benchmark line: %+v", b3)
+	}
+}
+
+// TestParseKeepsIntrinsicDashOne pins the GOMAXPROCS-suffix heuristic: go
+// test appends -N only for N > 1, so a name's own trailing -1 (a region
+// like us-east-1 at cpu=1, where no suffix is added) must survive — else
+// the cpu=1 and cpu=4 rows of the same benchmark stop pairing by name.
+func TestParseKeepsIntrinsicDashOne(t *testing.T) {
+	const in = `BenchmarkQuery/region=us-east-1      	     100	   1000 ns/op
+BenchmarkQuery/region=us-east-1-4    	     100	    500 ns/op
+`
+	out, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Benchmarks) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(out.Benchmarks))
+	}
+	for i, wantCPU := range []int{1, 4} {
+		b := out.Benchmarks[i]
+		if b.Name != "BenchmarkQuery/region=us-east-1" || b.CPUs != wantCPU {
+			t.Fatalf("row %d: name %q cpus %d, want the intrinsic -1 kept and cpus %d", i, b.Name, b.CPUs, wantCPU)
+		}
+	}
+}

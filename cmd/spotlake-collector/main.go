@@ -2,23 +2,33 @@
 // cloud for the requested number of days, collecting all three spot
 // datasets into a persistent archive directory, then prints collection
 // statistics and exits. The directory can then be served by
-// spotlake-server or analyzed offline.
+// spotlake-server, analyzed offline, or resumed: re-running against a
+// non-empty directory fast-forwards the simulation past the recovered
+// data and appends -days more on top (an interrupted run's replayed WAL
+// tail counts toward -checkpoint-bytes, so the first over-threshold tick
+// of the resumed run folds it into a checkpoint).
 //
 // The -data directory uses the rotated segment layout (MANIFEST, per-shard
 // wal-<shard>-<seq>.log segment chains, checkpoint snapshot); directories
 // written by older builds — a single points.wal, or the one-segment-per-
 // shard v1 layout — are migrated automatically on open. The active segment
-// of each shard seals and rotates past -rotate-bytes. Collection
-// checkpoints every -checkpoint-interval of simulated time, whenever the
-// WAL grows -checkpoint-bytes past the last checkpoint (set 0 to disable
-// either trigger), and once at the end, so a restart's replay is bounded
-// by both wall clock and bytes written.
+// of each shard seals and rotates past -rotate-bytes.
+//
+// The store maintains itself: a daemon inside the tsdb (polling every
+// -maintenance-interval of wall time) checkpoints whenever the WAL grows
+// -checkpoint-bytes past the last checkpoint or any shard accumulates
+// -max-sealed-segments sealed WAL segments, and the sealed-chain cap is
+// additionally enforced on the append path, so no chain ever exceeds it.
+// Collection also checkpoints every -checkpoint-interval of simulated
+// time and once at the end, so a restart's replay is bounded by wall
+// clock, bytes written, and chain length. Set 0 to disable any trigger.
 //
 // Usage:
 //
 //	spotlake-collector -data DIR [-days 30] [-frac 0.12] [-interval 10m]
 //	                   [-seed 22] [-exact] [-checkpoint-interval 24h]
 //	                   [-checkpoint-bytes 67108864] [-rotate-bytes 8388608]
+//	                   [-max-sealed-segments 64] [-maintenance-interval 1s]
 //	                   [-snapshot FILE]
 package main
 
@@ -46,8 +56,10 @@ func main() {
 		seed       = flag.Uint64("seed", 22, "simulation seed")
 		exact      = flag.Bool("exact", false, "use the exact branch-and-bound query packer instead of FFD")
 		cpInterval = flag.Duration("checkpoint-interval", 24*time.Hour, "simulated time between archive checkpoints (0 disables)")
-		cpBytes    = flag.Int64("checkpoint-bytes", 64<<20, "checkpoint as soon as the WAL grows this many bytes past the last checkpoint (0 disables the size trigger)")
+		cpBytes    = flag.Int64("checkpoint-bytes", 64<<20, "checkpoint as soon as the WAL grows this many bytes past the last checkpoint (0 disables the size trigger; enforced by the store's maintenance daemon)")
 		rotBytes   = flag.Int64("rotate-bytes", tsdb.DefaultRotateBytes, "seal and rotate a shard's WAL segment past this many bytes (negative disables rotation)")
+		maxSealed  = flag.Int("max-sealed-segments", 64, "checkpoint before any shard accumulates this many sealed WAL segments (0 disables the cap)")
+		maintIv    = flag.Duration("maintenance-interval", tsdb.DefaultMaintenanceInterval, "store maintenance daemon poll period (negative disables the daemon)")
 		snapshot   = flag.String("snapshot", "", "also export a standalone snapshot to this file (deprecated: the data dir checkpoints itself)")
 	)
 	flag.Parse()
@@ -63,11 +75,25 @@ func main() {
 	}
 	clk := simclock.NewAtEpoch()
 	cloud := cloudsim.New(cat, clk, *seed, cloudsim.DefaultParams())
-	db, err := tsdb.OpenWithOptions(*dataDir, tsdb.Options{RotateBytes: *rotBytes})
+	db, err := tsdb.OpenWithOptions(*dataDir, tsdb.Options{
+		RotateBytes:          *rotBytes,
+		CheckpointAfterBytes: *cpBytes,
+		MaxSealedSegments:    *maxSealed,
+		MaintenanceInterval:  *maintIv,
+	})
 	if err != nil {
 		log.Fatalf("opening %s: %v", *dataDir, err)
 	}
 	defer db.Close()
+
+	// Resume support: recovered data (checkpoint + WAL tail) sits in
+	// simulated time after the clock's epoch start; fast-forward so the
+	// new run appends after it instead of failing out-of-order. The same
+	// catch-up spotlake-server does.
+	if maxAt, ok := db.MaxTime(); ok && maxAt.After(clk.Now()) {
+		log.Printf("resuming archive with %d points through %s", db.PointCount(), maxAt.Format(time.RFC3339))
+		clk.RunFor(maxAt.Sub(clk.Now()))
+	}
 
 	cfg := collector.DefaultConfig()
 	cfg.ScoreInterval = *interval
@@ -75,6 +101,9 @@ func main() {
 	cfg.PriceInterval = *interval
 	cfg.ExactPacking = *exact
 	cfg.CheckpointInterval = *cpInterval
+	// Deprecation shim: the byte trigger lives in the store now; the
+	// collector's own copy stands down when the store self-maintains but
+	// keeps old configs working against stores opened without the option.
 	cfg.CheckpointAfterBytes = *cpBytes
 	col, err := collector.New(cloud, db, cfg)
 	if err != nil {
@@ -100,8 +129,9 @@ func main() {
 	log.Printf("collected %d simulated days in %v", *days, time.Since(start).Round(time.Millisecond))
 	log.Printf("score ticks %d, advisor ticks %d, price ticks %d", st.ScoreTicks, st.AdvisorTicks, st.PriceTicks)
 	log.Printf("queries issued %d (errors %d), points stored %d", st.QueriesIssued, st.QueryErrors, st.PointsStored)
-	log.Printf("checkpoints: %d periodic + %d size-triggered (%d errors) + 1 final",
-		st.Checkpoints, st.SizeCheckpoints, st.CheckpointErrors)
+	log.Printf("checkpoints: %d periodic + %d size-triggered (%d errors) + %d store-maintenance (%d by-bytes, %d chain-cap, %d errors) + 1 final",
+		st.Checkpoints, st.SizeCheckpoints, st.CheckpointErrors,
+		st.MaintenanceCheckpoints, st.ForcedByBytes, st.ForcedByChainLength, st.MaintenanceErrors)
 	log.Printf("archive: %d series, %d points in %s", db.SeriesCount(), db.PointCount(), *dataDir)
 	if *snapshot != "" {
 		if err := db.SaveSnapshot(*snapshot); err != nil {

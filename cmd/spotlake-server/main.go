@@ -8,17 +8,22 @@
 // wal-<shard>-<seq>.log segment chains, checkpoint snapshot); directories
 // written by older builds — a single points.wal, or the one-segment-per-
 // shard v1 layout — are migrated automatically on open. Shard segments
-// rotate past -rotate-bytes. With -data set the server checkpoints after
-// bootstrap, every -checkpoint-interval of simulated time, and whenever
-// the WAL grows -checkpoint-bytes past the last checkpoint, so restarts
-// bulk-load the snapshot and replay only bounded per-shard chain tails.
+// rotate past -rotate-bytes. With -data set the store maintains itself:
+// its internal daemon (polling every -maintenance-interval) checkpoints
+// whenever the WAL grows -checkpoint-bytes past the last checkpoint or a
+// shard accumulates -max-sealed-segments sealed segments — covering the
+// bootstrap writer and snapshot restores, not just collection ticks —
+// and the server additionally checkpoints after bootstrap and every
+// -checkpoint-interval of simulated time. Restarts bulk-load the
+// snapshot and replay only bounded per-shard chain tails.
 //
 // Usage:
 //
 //	spotlake-server [-addr :8080] [-bootstrap-days 14] [-frac 0.12]
 //	                [-data DIR] [-tick 2s] [-seed 22]
 //	                [-checkpoint-interval 24h] [-checkpoint-bytes 67108864]
-//	                [-rotate-bytes 8388608] [-snapshot FILE]
+//	                [-rotate-bytes 8388608] [-max-sealed-segments 64]
+//	                [-maintenance-interval 1s] [-snapshot FILE]
 package main
 
 import (
@@ -55,6 +60,8 @@ func main() {
 		cpInterval = flag.Duration("checkpoint-interval", 24*time.Hour, "simulated time between archive checkpoints with -data (0 disables)")
 		cpBytes    = flag.Int64("checkpoint-bytes", 64<<20, "checkpoint as soon as the WAL grows this many bytes past the last checkpoint (0 disables the size trigger)")
 		rotBytes   = flag.Int64("rotate-bytes", tsdb.DefaultRotateBytes, "seal and rotate a shard's WAL segment past this many bytes (negative disables rotation)")
+		maxSealed  = flag.Int("max-sealed-segments", 64, "checkpoint before any shard accumulates this many sealed WAL segments (0 disables the cap)")
+		maintIv    = flag.Duration("maintenance-interval", tsdb.DefaultMaintenanceInterval, "store maintenance daemon poll period (negative disables the daemon)")
 		snapshot   = flag.String("snapshot", "", "standalone snapshot file: loaded at startup when present (skipping that much bootstrap), saved after bootstrap (deprecated with -data: the data dir checkpoints itself)")
 	)
 	flag.Parse()
@@ -67,7 +74,12 @@ func main() {
 	}
 	clk := simclock.NewAtEpoch()
 	cloud := cloudsim.New(cat, clk, *seed, cloudsim.DefaultParams())
-	db, err := tsdb.OpenWithOptions(*dataDir, tsdb.Options{RotateBytes: *rotBytes})
+	db, err := tsdb.OpenWithOptions(*dataDir, tsdb.Options{
+		RotateBytes:          *rotBytes,
+		CheckpointAfterBytes: *cpBytes,
+		MaxSealedSegments:    *maxSealed,
+		MaintenanceInterval:  *maintIv,
+	})
 	if err != nil {
 		log.Fatalf("opening archive store: %v", err)
 	}
@@ -94,6 +106,10 @@ func main() {
 
 	cfg := collector.DefaultConfig()
 	cfg.CheckpointInterval = *cpInterval
+	// Deprecation shim: the store's maintenance daemon owns the byte
+	// trigger now; the collector's copy stands down when the store
+	// self-maintains (it does here) and only matters for stores opened
+	// without the option.
 	cfg.CheckpointAfterBytes = *cpBytes
 	col, err := collector.New(cloud, db, cfg)
 	if err != nil {

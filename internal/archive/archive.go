@@ -108,10 +108,14 @@ func (s *Service) fanOut(n int, fn func(int)) {
 	wg.Wait()
 }
 
-// cacheKey renders the (kind, filter, window) tuple canonically.
+// cacheKey renders the (kind, filter, window, page) tuple canonically.
+// The page window is part of the key: two requests that differ only in
+// limit/offset return different point sets, and a cache that ignored the
+// page would serve page 0 for every page.
 func cacheKey(kind string, req QueryRequest) string {
 	return kind + "\x00" + req.Dataset + "\x00" + req.Type + "\x00" + req.Region + "\x00" + req.AZ +
-		"\x00" + strconv.FormatInt(req.From.UnixNano(), 36) + "\x00" + strconv.FormatInt(req.To.UnixNano(), 36)
+		"\x00" + strconv.FormatInt(req.From.UnixNano(), 36) + "\x00" + strconv.FormatInt(req.To.UnixNano(), 36) +
+		"\x00" + strconv.Itoa(req.Offset) + "\x00" + strconv.Itoa(req.Limit)
 }
 
 // AllowDatasets registers additional queryable dataset names.
@@ -138,7 +142,9 @@ func (s *Service) DB() *tsdb.DB { return s.db }
 func (s *Service) Catalog() *catalog.Catalog { return s.cat }
 
 // QueryRequest selects series and a time window. Empty string fields match
-// anything; zero times mean an unbounded window.
+// anything; zero times mean an unbounded window. Limit and Offset select a
+// page of the result's point stream (see QueryPaged); both zero means the
+// full window.
 type QueryRequest struct {
 	Dataset string
 	Type    string
@@ -146,6 +152,8 @@ type QueryRequest struct {
 	AZ      string
 	From    time.Time
 	To      time.Time
+	Limit   int
+	Offset  int
 }
 
 // SeriesResult is one series' points within the requested window.
@@ -154,29 +162,54 @@ type SeriesResult struct {
 	Points []tsdb.Point   `json:"points"`
 }
 
-// Query returns every matching series restricted to the window. It fails
-// when the filter matches more than MaxSeriesPerQuery series.
-func (s *Service) Query(req QueryRequest) ([]SeriesResult, error) {
+// checkWindow validates the request's dataset against the allowlist and
+// normalizes its window (zero To = unbounded). Shared by every query
+// entry point so paginated and unpaginated requests can never diverge on
+// validation semantics.
+func (s *Service) checkWindow(req QueryRequest) (from, to time.Time, err error) {
 	if req.Dataset != "" && !s.datasets[req.Dataset] {
-		return nil, fmt.Errorf("archive: unknown dataset %q", req.Dataset)
+		return from, to, fmt.Errorf("archive: unknown dataset %q", req.Dataset)
 	}
-	from, to := req.From, req.To
+	from, to = req.From, req.To
 	if to.IsZero() {
 		to = time.Date(9999, 1, 1, 0, 0, 0, 0, time.UTC)
 	}
 	if to.Before(from) {
-		return nil, fmt.Errorf("archive: query window ends (%v) before it starts (%v)", to, from)
+		return from, to, fmt.Errorf("archive: query window ends (%v) before it starts (%v)", to, from)
+	}
+	return from, to, nil
+}
+
+// matchedKeys lists the series keys the request's filter selects,
+// enforcing the per-query series limit.
+func (s *Service) matchedKeys(req QueryRequest) ([]tsdb.SeriesKey, error) {
+	keys := s.db.Keys(tsdb.KeyFilter{Dataset: req.Dataset, Type: req.Type, Region: req.Region, AZ: req.AZ})
+	if len(keys) > MaxSeriesPerQuery {
+		return nil, fmt.Errorf("archive: query matches %d series, limit %d; narrow the filter", len(keys), MaxSeriesPerQuery)
+	}
+	return keys, nil
+}
+
+// Query returns every matching series restricted to the window. It fails
+// when the filter matches more than MaxSeriesPerQuery series.
+func (s *Service) Query(req QueryRequest) ([]SeriesResult, error) {
+	from, to, err := s.checkWindow(req)
+	if err != nil {
+		return nil, err
 	}
 	// Capture the generations before reading: a write racing the fan-out
 	// makes the cached entry stale immediately, never the reverse.
 	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
+	// Query always returns the full window; zero the page fields so a
+	// caller that set them doesn't fragment the cache.
+	req.Limit, req.Offset = 0, 0
 	ck := cacheKey("query", req)
 	if v, ok := s.cache.get(ck, keyGen, genVec); ok {
 		return v.([]SeriesResult), nil
 	}
-	keys := s.db.Keys(tsdb.KeyFilter{Dataset: req.Dataset, Type: req.Type, Region: req.Region, AZ: req.AZ})
-	if len(keys) > MaxSeriesPerQuery {
-		return nil, fmt.Errorf("archive: query matches %d series, limit %d; narrow the filter", len(keys), MaxSeriesPerQuery)
+	keys, err := s.matchedKeys(req)
+	if err != nil {
+		return nil, err
 	}
 	// Fan out across series; slots keep the sorted key order deterministic.
 	slots := make([][]tsdb.Point, len(keys))
@@ -232,23 +265,27 @@ type LatestEntry struct {
 	Value float64        `json:"value"`
 }
 
-// Latest returns the most recent value of every matching series.
+// Latest returns the most recent value of every matching series. The
+// window it validates is discarded — Latest ignores it — but running the
+// shared check keeps a malformed request rejected identically here and
+// in Query.
 func (s *Service) Latest(req QueryRequest) ([]LatestEntry, error) {
-	if req.Dataset != "" && !s.datasets[req.Dataset] {
-		return nil, fmt.Errorf("archive: unknown dataset %q", req.Dataset)
+	if _, _, err := s.checkWindow(req); err != nil {
+		return nil, err
 	}
 	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
-	// Latest ignores the window, so the key must too — otherwise clients
-	// polling with a moving from/to fragment the cache.
+	// Latest ignores the window and the page, so the key must too —
+	// otherwise clients polling with a moving from/to fragment the cache.
 	filterOnly := req
 	filterOnly.From, filterOnly.To = time.Time{}, time.Time{}
+	filterOnly.Limit, filterOnly.Offset = 0, 0
 	ck := cacheKey("latest", filterOnly)
 	if v, ok := s.cache.get(ck, keyGen, genVec); ok {
 		return v.([]LatestEntry), nil
 	}
-	keys := s.db.Keys(tsdb.KeyFilter{Dataset: req.Dataset, Type: req.Type, Region: req.Region, AZ: req.AZ})
-	if len(keys) > MaxSeriesPerQuery {
-		return nil, fmt.Errorf("archive: query matches %d series, limit %d; narrow the filter", len(keys), MaxSeriesPerQuery)
+	keys, err := s.matchedKeys(req)
+	if err != nil {
+		return nil, err
 	}
 	type slot struct {
 		p  tsdb.Point
@@ -280,6 +317,24 @@ type Meta struct {
 	Regions     int            `json:"regions"`
 	AZs         int            `json:"azs"`
 	Cache       CacheStats     `json:"cache"`
+	Store       StoreMeta      `json:"store"`
+}
+
+// StoreMeta surfaces the tsdb's durability health: the size of the
+// un-checkpointed WAL tail a crash right now would replay, the tail the
+// last open actually replayed, rotation failures (climbing = the store
+// cannot create segment files), sealed segments awaiting reclamation,
+// and the maintenance daemon's counters.
+type StoreMeta struct {
+	Durable                 bool                  `json:"durable"`
+	WALBytesSinceCheckpoint uint64                `json:"walBytesSinceCheckpoint"`
+	ReplayedWALBytes        uint64                `json:"replayedWALBytes"`
+	RotateFailures          uint64                `json:"rotateFailures"`
+	SealedSegments          int                   `json:"sealedSegments"`
+	MaxSealedSegments       int                   `json:"maxSealedSegments"`
+	CheckpointAfterBytes    int64                 `json:"checkpointAfterBytes"`
+	MaintainerActive        bool                  `json:"maintainerActive"`
+	Maintenance             tsdb.MaintenanceStats `json:"maintenance"`
 }
 
 // Meta returns the archive summary.
@@ -292,6 +347,17 @@ func (s *Service) Meta() Meta {
 		Regions:     s.cat.NumRegions(),
 		AZs:         s.cat.NumAZs(),
 		Cache:       s.cache.stats(),
+		Store: StoreMeta{
+			Durable:                 s.db.Durable(),
+			WALBytesSinceCheckpoint: s.db.WALBytesSinceCheckpoint(),
+			ReplayedWALBytes:        s.db.ReplayedWALBytes(),
+			RotateFailures:          s.db.RotateFailures(),
+			SealedSegments:          s.db.SealedSegments(),
+			MaxSealedSegments:       s.db.MaxSealedSegments(),
+			CheckpointAfterBytes:    s.db.CheckpointAfterBytes(),
+			MaintainerActive:        s.db.MaintainerActive(),
+			Maintenance:             s.db.MaintenanceStats(),
+		},
 	}
 	for _, ds := range s.Datasets() {
 		m.Datasets[ds] = len(s.db.Keys(tsdb.KeyFilter{Dataset: ds}))

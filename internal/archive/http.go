@@ -3,7 +3,10 @@ package archive
 import (
 	"compress/gzip"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -21,7 +24,8 @@ const indexHTML = `<!DOCTYPE html>
 and spot prices. Query the API:</p>
 <ul>
 <li><code>GET /api/v1/meta</code> — archive summary</li>
-<li><code>GET /api/v1/query?dataset=sps&amp;type=m5.xlarge&amp;region=us-east-1</code> — historical series</li>
+<li><code>GET /api/v1/query?dataset=sps&amp;type=m5.xlarge&amp;region=us-east-1</code> — historical series
+(paginate big windows with <code>&amp;limit=N&amp;offset=M</code>; follow the <code>X-Next-Offset</code> header)</li>
 <li><code>GET /api/v1/latest?dataset=if&amp;region=us-east-1</code> — current values</li>
 <li><code>GET /api/v1/catalog/types</code>, <code>GET /api/v1/catalog/regions</code></li>
 </ul>
@@ -139,7 +143,46 @@ func parseQueryRequest(r *http.Request) (QueryRequest, error) {
 		}
 		req.To = t
 	}
+	if s := q.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return req, fmt.Errorf("archive: limit must be a non-negative integer, got %q", s)
+		}
+		req.Limit = n
+	}
+	if s := q.Get("offset"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return req, fmt.Errorf("archive: offset must be a non-negative integer, got %q", s)
+		}
+		req.Offset = n
+	}
 	return req, nil
+}
+
+// streamSeriesJSON writes a JSON array of series results one series at a
+// time: each element is encoded and flushed to the (possibly gzip'd)
+// response as it is produced, so a multi-megabyte window never
+// materializes a second time as one contiguous JSON buffer. The body
+// shape is identical to json.Marshal of the slice.
+func streamSeriesJSON(w http.ResponseWriter, status int, series []SeriesResult) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if len(series) == 0 {
+		_, _ = io.WriteString(w, "[]\n")
+		return
+	}
+	_, _ = io.WriteString(w, "[")
+	enc := json.NewEncoder(w)
+	for i := range series {
+		if i > 0 {
+			_, _ = io.WriteString(w, ",")
+		}
+		// Encode appends a newline — interelement whitespace, still one
+		// valid JSON array.
+		_ = enc.Encode(series[i])
+	}
+	_, _ = io.WriteString(w, "]\n")
 }
 
 // Handler returns the HTTP API of the archive service.
@@ -152,12 +195,39 @@ func (s *Service) Handler() http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
+		// A limit or offset selects the paginated path; the body stays a
+		// JSON array of series (the page's slice of the point stream),
+		// with the page metadata in headers so unpaginated clients keep
+		// working unchanged.
+		if req.Limit > 0 || req.Offset > 0 {
+			page, err := s.QueryPaged(req)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+			w.Header().Set("X-Total-Points", strconv.Itoa(page.TotalPoints))
+			if page.NextOffset >= 0 {
+				w.Header().Set("X-Next-Offset", strconv.Itoa(page.NextOffset))
+				next := r.URL.Query()
+				next.Set("offset", strconv.Itoa(page.NextOffset))
+				nu := *r.URL
+				nu.RawQuery = next.Encode()
+				w.Header().Set("Link", `<`+nu.RequestURI()+`>; rel="next"`)
+			}
+			streamSeriesJSON(w, http.StatusOK, page.Series)
+			return
+		}
 		res, err := s.Query(req)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, res)
+		total := 0
+		for i := range res {
+			total += len(res[i].Points)
+		}
+		w.Header().Set("X-Total-Points", strconv.Itoa(total))
+		streamSeriesJSON(w, http.StatusOK, res)
 	})
 
 	mux.HandleFunc("GET /api/v1/latest", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,218 @@
+package archive
+
+// Tests for the paginated query API: page concatenation reproduces the
+// unpaginated response exactly, page metadata (total, next) is correct at
+// both the service and HTTP layers, the page window is part of the cache
+// key, and malformed page parameters are rejected.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"repro/internal/tsdb"
+)
+
+// flatten renders a result as the flattened deterministic point stream:
+// series in canonical key order, points in time order within each.
+type flatPoint struct {
+	key string
+	p   tsdb.Point
+}
+
+func flatten(series []SeriesResult) []flatPoint {
+	var out []flatPoint
+	for _, sr := range series {
+		k := sr.Key.String()
+		for _, p := range sr.Points {
+			out = append(out, flatPoint{key: k, p: p})
+		}
+	}
+	return out
+}
+
+func TestQueryPagedConcatenationEqualsUnpaginated(t *testing.T) {
+	s, _ := buildArchive(t)
+	req := QueryRequest{Dataset: tsdb.DatasetPlacementScore}
+	full, err := s.Query(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := flatten(full)
+	if len(want) < 50 {
+		t.Fatalf("archive too small for a pagination test: %d points", len(want))
+	}
+	for _, limit := range []int{1, 7, 64, len(want) + 10} {
+		var got []flatPoint
+		pages := 0
+		for off := 0; ; {
+			preq := req
+			preq.Limit, preq.Offset = limit, off
+			page, err := s.QueryPaged(preq)
+			if err != nil {
+				t.Fatalf("limit %d offset %d: %v", limit, off, err)
+			}
+			if page.TotalPoints != len(want) {
+				t.Fatalf("limit %d: TotalPoints %d, want %d", limit, page.TotalPoints, len(want))
+			}
+			pts := flatten(page.Series)
+			if len(pts) > limit {
+				t.Fatalf("limit %d: page holds %d points", limit, len(pts))
+			}
+			got = append(got, pts...)
+			pages++
+			if page.NextOffset < 0 {
+				break
+			}
+			if page.NextOffset != off+len(pts) {
+				t.Fatalf("limit %d: NextOffset %d after %d+%d", limit, page.NextOffset, off, len(pts))
+			}
+			off = page.NextOffset
+		}
+		if wantPages := (len(want) + limit - 1) / limit; pages != wantPages {
+			t.Fatalf("limit %d: walked %d pages, want %d", limit, pages, wantPages)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("limit %d: concatenated %d points, want %d", limit, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("limit %d: point %d differs: got %+v want %+v", limit, i, got[i], want[i])
+			}
+		}
+	}
+	// Offset past the end: empty page, correct total, no next.
+	preq := req
+	preq.Limit, preq.Offset = 10, len(want)+5
+	page, err := s.QueryPaged(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Series) != 0 || page.NextOffset != -1 || page.TotalPoints != len(want) {
+		t.Fatalf("past-the-end page: %+v", page)
+	}
+	// A limit near MaxInt must not overflow the window math into an
+	// empty page: offset 1 + huge limit = everything but the first point.
+	preq = req
+	preq.Limit, preq.Offset = int(^uint(0)>>1), 1
+	page, err = s.QueryPaged(preq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := flatten(page.Series); len(got) != len(want)-1 || page.NextOffset != -1 {
+		t.Fatalf("huge-limit page: %d points (want %d), next %d", len(got), len(want)-1, page.NextOffset)
+	}
+}
+
+// TestQueryPagedCacheKeyedByPage asserts two pages of the same filter
+// never collide in the result cache, and that a repeated page request is
+// served from it.
+func TestQueryPagedCacheKeyedByPage(t *testing.T) {
+	s, _ := buildArchive(t)
+	req := QueryRequest{Dataset: tsdb.DatasetPlacementScore, Limit: 5}
+	p0, err := s.QueryPaged(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req1 := req
+	req1.Offset = 5
+	p1, err := s.QueryPaged(req1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0, f1 := flatten(p0.Series), flatten(p1.Series)
+	if len(f0) == 0 || len(f1) == 0 {
+		t.Fatal("empty pages")
+	}
+	if f0[0] == f1[0] {
+		t.Fatalf("page 0 and page 1 start with the same point %+v: cache key ignores the page window", f0[0])
+	}
+	before := s.CacheStats()
+	again, err := s.QueryPaged(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CacheStats().Hits != before.Hits+1 {
+		t.Fatalf("repeated page request missed the cache: %+v -> %+v", before, s.CacheStats())
+	}
+	if len(flatten(again.Series)) != len(f0) {
+		t.Fatal("cached page differs from the original")
+	}
+}
+
+func TestQueryPagedHTTP(t *testing.T) {
+	s, _ := buildArchive(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	get := func(url string) (*http.Response, []SeriesResult) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out []SeriesResult
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil && resp.StatusCode == http.StatusOK {
+			t.Fatalf("%s: body not a series array: %v", url, err)
+		}
+		return resp, out
+	}
+
+	resp, full := get("/api/v1/query?dataset=sps")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unpaginated query: %d", resp.StatusCode)
+	}
+	want := flatten(full)
+	if tp, _ := strconv.Atoi(resp.Header.Get("X-Total-Points")); tp != len(want) {
+		t.Fatalf("unpaginated X-Total-Points %q, want %d", resp.Header.Get("X-Total-Points"), len(want))
+	}
+
+	// Walk the pages through the HTTP layer via X-Next-Offset.
+	const limit = 23
+	var got []flatPoint
+	for off := 0; ; {
+		resp, series := get("/api/v1/query?dataset=sps&limit=" + strconv.Itoa(limit) + "&offset=" + strconv.Itoa(off))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("page at %d: status %d", off, resp.StatusCode)
+		}
+		if tp, _ := strconv.Atoi(resp.Header.Get("X-Total-Points")); tp != len(want) {
+			t.Fatalf("page at %d: X-Total-Points %q", off, resp.Header.Get("X-Total-Points"))
+		}
+		got = append(got, flatten(series)...)
+		next := resp.Header.Get("X-Next-Offset")
+		if next == "" {
+			break
+		}
+		n, err := strconv.Atoi(next)
+		if err != nil || n <= off {
+			t.Fatalf("page at %d: X-Next-Offset %q", off, next)
+		}
+		if resp.Header.Get("Link") == "" {
+			t.Fatalf("page at %d: next page without a Link header", off)
+		}
+		off = n
+	}
+	if len(got) != len(want) {
+		t.Fatalf("HTTP pages concatenate to %d points, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("HTTP point %d differs: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Malformed page parameters are rejected.
+	for _, u := range []string{
+		"/api/v1/query?dataset=sps&limit=-1",
+		"/api/v1/query?dataset=sps&limit=x",
+		"/api/v1/query?dataset=sps&offset=-3",
+		"/api/v1/query?dataset=sps&offset=1.5",
+	} {
+		if resp, _ := get(u); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", u, resp.StatusCode)
+		}
+	}
+}

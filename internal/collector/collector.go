@@ -57,6 +57,13 @@ type Config struct {
 	// one not at all — and composes with CheckpointInterval (whichever
 	// trigger fires first wins; the byte counter resets on every
 	// committed checkpoint either way). Zero disables the size trigger.
+	//
+	// Deprecated shim: when the store was opened with its own
+	// tsdb.Options.CheckpointAfterBytes (it self-maintains), the
+	// collector stands down and leaves the size trigger to the store's
+	// maintenance daemon — setting both does not double-fire. Prefer the
+	// store option: it also covers non-collector writers such as bulk
+	// snapshot restores.
 	CheckpointAfterBytes int64
 }
 
@@ -72,17 +79,27 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats are cumulative collection counters.
+// Stats are cumulative collection counters. The maintenance fields
+// mirror the store's own counters (tsdb.MaintenanceStats) so one Stats
+// read reports every checkpoint source: collector-driven (Checkpoints,
+// SizeCheckpoints, CheckpointErrors) and store-driven
+// (MaintenanceCheckpoints split by trigger, with MaintenanceErrors
+// counting the store's failed attempts — a climbing value means the
+// replay tail is not actually being bounded).
 type Stats struct {
-	ScoreTicks       int
-	AdvisorTicks     int
-	PriceTicks       int
-	QueriesIssued    int
-	PointsStored     int
-	QueryErrors      int
-	Checkpoints      int
-	SizeCheckpoints  int
-	CheckpointErrors int
+	ScoreTicks             int
+	AdvisorTicks           int
+	PriceTicks             int
+	QueriesIssued          int
+	PointsStored           int
+	QueryErrors            int
+	Checkpoints            int
+	SizeCheckpoints        int
+	CheckpointErrors       int
+	MaintenanceCheckpoints uint64
+	ForcedByBytes          uint64
+	ForcedByChainLength    uint64
+	MaintenanceErrors      uint64
 }
 
 // Collector drives the periodic collection tasks.
@@ -135,8 +152,17 @@ func (c *Collector) Plan() binpack.Plan { return c.plan }
 // Accounts returns the number of provisioned accounts.
 func (c *Collector) Accounts() int { return len(c.clients) }
 
-// Stats returns the cumulative counters.
-func (c *Collector) Stats() Stats { return c.stats }
+// Stats returns the cumulative counters, folding in the store's own
+// maintenance counters.
+func (c *Collector) Stats() Stats {
+	st := c.stats
+	m := c.db.MaintenanceStats()
+	st.MaintenanceCheckpoints = m.Checkpoints
+	st.ForcedByBytes = m.ForcedByBytes
+	st.ForcedByChainLength = m.ForcedByChainLength
+	st.MaintenanceErrors = m.Errors
+	return st
+}
 
 // flush stores one tick's batch of points. Batching lets the store group
 // the entries by shard and take each shard lock once per tick instead of
@@ -159,9 +185,16 @@ func (c *Collector) flush(entries []tsdb.Entry) (int, error) {
 }
 
 // maybeCheckpointBySize checkpoints the archive when the WAL has grown
-// past CheckpointAfterBytes since the last checkpoint.
+// past CheckpointAfterBytes since the last checkpoint. When the store
+// carries its own byte threshold (tsdb.Options.CheckpointAfterBytes) the
+// collector stands down: the store enforces it synchronously on the
+// append path — every tick's batch checks it before storing, daemon or
+// no daemon — so firing here too would just stack redundant snapshots.
 func (c *Collector) maybeCheckpointBySize() {
 	if c.cfg.CheckpointAfterBytes <= 0 || !c.db.Durable() {
+		return
+	}
+	if c.db.CheckpointAfterBytes() > 0 {
 		return
 	}
 	if c.db.WALBytesSinceCheckpoint() < uint64(c.cfg.CheckpointAfterBytes) {

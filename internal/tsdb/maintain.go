@@ -1,0 +1,287 @@
+package tsdb
+
+// Store-internal maintenance: the checkpoint daemon and the sealed-chain
+// cap.
+//
+// PR 3 left checkpoint scheduling to callers — the collector checked
+// WALBytesSinceCheckpoint after each tick and called Checkpoint itself.
+// That leaves every non-collector writer (the server's bootstrap loop,
+// bulk snapshot restores, analysis tools appending directly) with an
+// unbounded replay tail, and sealed WAL segments are only ever reclaimed
+// when something happens to checkpoint. The maintainer moves both
+// responsibilities inside the store:
+//
+//   - A per-store daemon goroutine (started by OpenWithOptions when any
+//     maintenance trigger is configured, stopped by Close) polls every
+//     Options.MaintenanceInterval and checkpoints when either trigger
+//     fires: WALBytesSinceCheckpoint >= Options.CheckpointAfterBytes, or
+//     any shard's sealed-segment chain at or past
+//     Options.MaxSealedSegments.
+//
+//   - Both triggers are additionally enforced synchronously on the
+//     append path: an append (or batch) that observes a shard at the cap,
+//     or the un-checkpointed WAL at or past the byte threshold,
+//     checkpoints before storing — so a store opened with
+//     MaxSealedSegments=N never holds more than N sealed segments per
+//     shard between appends, and the replay tail stays bounded by
+//     CheckpointAfterBytes plus one batch even for writers that compress
+//     months of simulated time into one wall-clock second (where a
+//     wall-clock poll alone would let the tail grow by seconds of write
+//     rate). The checks are two atomic loads (a store-level
+//     shards-at-cap count and a store-level byte total), so the hot path
+//     pays nothing while neither trigger is hot.
+//
+// # Single-flight
+//
+// Every checkpoint — manual Checkpoint(), daemon, append-path force —
+// serializes on cpMu, and the maintenance paths re-check their trigger
+// *after* acquiring it (daemon) or only TryLock and skip (append path).
+// A manual checkpoint that lands first therefore satisfies the daemon's
+// trigger: the daemon wakes, finds the counters already reset, and does
+// nothing, instead of queueing a redundant snapshot behind the manual
+// one. The append-path force never blocks behind an in-flight
+// checkpoint: whoever holds cpMu is already reclaiming the chain.
+
+import (
+	"time"
+)
+
+// DefaultMaintenanceInterval is the daemon's poll period when Options
+// leaves MaintenanceInterval zero. The interval only bounds how long a
+// *quiesced* store can sit above a trigger threshold: the append path
+// enforces the chain cap synchronously and rotations wake the daemon
+// immediately, so a shorter interval buys little.
+const DefaultMaintenanceInterval = time.Second
+
+// maintenanceRetryBackoff is how long the append path stands down after
+// a failed maintenance checkpoint. A latched trigger only clears when a
+// checkpoint succeeds, so without the backoff a persistent failure
+// (disk full, unwritable directory) would make every append re-attempt
+// a full snapshot write synchronously. The daemon's ticker paces its
+// own retries.
+const maintenanceRetryBackoff = 5 * time.Second
+
+// MaintenanceStats are cumulative counters of the store-driven
+// checkpoints. Manual Checkpoint() calls are not counted here.
+type MaintenanceStats struct {
+	// Checkpoints is how many checkpoints the maintainer committed
+	// (daemon ticks and append-path forces together).
+	Checkpoints uint64 `json:"checkpoints"`
+	// ForcedByBytes counts maintenance checkpoints whose byte trigger
+	// (WALBytesSinceCheckpoint >= CheckpointAfterBytes) was live when the
+	// checkpoint ran.
+	ForcedByBytes uint64 `json:"forcedByBytes"`
+	// ForcedByChainLength counts maintenance checkpoints whose
+	// sealed-chain trigger (some shard at or past MaxSealedSegments) was
+	// live when the checkpoint ran. A checkpoint with both triggers live
+	// counts in both.
+	ForcedByChainLength uint64 `json:"forcedByChainLength"`
+	// Errors counts maintenance checkpoints that failed. The daemon
+	// retries on its next tick; a climbing counter means the store cannot
+	// write snapshots (disk full, permissions).
+	Errors uint64 `json:"errors"`
+}
+
+// MaintenanceStats returns the cumulative maintainer counters.
+func (db *DB) MaintenanceStats() MaintenanceStats {
+	return MaintenanceStats{
+		Checkpoints:         db.maintCP.Load(),
+		ForcedByBytes:       db.maintByBytes.Load(),
+		ForcedByChainLength: db.maintByChain.Load(),
+		Errors:              db.maintErrs.Load(),
+	}
+}
+
+// CheckpointAfterBytes returns the store's own size trigger threshold
+// (0 = disabled).
+func (db *DB) CheckpointAfterBytes() int64 { return db.cpAfterBytes }
+
+// MaxSealedSegments returns the per-shard sealed-chain cap (0 = no cap).
+func (db *DB) MaxSealedSegments() int { return db.maxSealed }
+
+// SelfMaintains reports whether the store drives its own checkpoints:
+// it is durable and at least one maintenance trigger is configured.
+func (db *DB) SelfMaintains() bool {
+	return db.dir != "" && (db.cpAfterBytes > 0 || db.maxSealed > 0)
+}
+
+// MaintainerActive reports whether the maintenance daemon goroutine is
+// running. Even without it, both triggers are still enforced on the
+// append path; the daemon additionally covers stores that go idle above
+// a threshold (nothing appending, so nothing to enforce on).
+func (db *DB) MaintainerActive() bool { return db.maintStop != nil }
+
+// SealedSegments returns the total number of sealed WAL segments on disk
+// across all shards — files a checkpoint would reclaim.
+func (db *DB) SealedSegments() int {
+	n := 0
+	for i := range db.shards {
+		n += int(db.shards[i].sealedN.Load())
+	}
+	return n
+}
+
+// ShardSealedSegments returns shard i's sealed-chain length.
+func (db *DB) ShardSealedSegments(i int) int { return int(db.shards[i].sealedN.Load()) }
+
+// setSealed records shard sh's sealed-chain length and maintains the
+// store-level count of shards at or past the cap (the append path's
+// one-atomic-load trigger check). Called wherever sh.sealed changes:
+// under sh's write lock on the rotation and checkpoint-delete paths, or
+// single-threaded during Open — so per-shard transitions never race.
+func (db *DB) setSealed(sh *shard, n int) {
+	old := sh.sealedN.Swap(int64(n))
+	if db.maxSealed <= 0 {
+		return
+	}
+	was, now := old >= int64(db.maxSealed), n >= db.maxSealed
+	switch {
+	case now && !was:
+		db.chainOver.Add(1)
+	case was && !now:
+		db.chainOver.Add(-1)
+	}
+}
+
+// startMaintainer launches the daemon goroutine if the options call for
+// one. Runs at the end of OpenWithOptions, after recovery, so the daemon
+// only ever sees a fully open store.
+func (db *DB) startMaintainer(interval time.Duration) {
+	if !db.SelfMaintains() || interval < 0 {
+		return
+	}
+	if interval == 0 {
+		interval = DefaultMaintenanceInterval
+	}
+	db.maintStop = make(chan struct{})
+	db.maintDone = make(chan struct{})
+	go db.maintainLoop(interval)
+}
+
+// maintainLoop is the daemon: poll every interval, and additionally wake
+// immediately when a rotation pushes a chain to the cap (maintWake).
+func (db *DB) maintainLoop(interval time.Duration) {
+	defer close(db.maintDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.maintStop:
+			return
+		case <-t.C:
+		case <-db.maintWake:
+		}
+		db.maintainOnce()
+	}
+}
+
+// maintainOnce checkpoints if a trigger is live. The trigger is
+// re-evaluated after acquiring cpMu: a manual checkpoint (or an
+// append-path force) that committed while we blocked has already reset
+// the counters, and the daemon must not stack a redundant snapshot on
+// top of it.
+func (db *DB) maintainOnce() {
+	if db.closed.Load() || !db.triggerLive() {
+		return
+	}
+	db.cpMu.Lock()
+	defer db.cpMu.Unlock()
+	if db.closed.Load() {
+		return
+	}
+	db.runMaintenanceCheckpointLocked()
+}
+
+// chainTriggerHot and byteTriggerHot are the single definition of the
+// two maintenance triggers; the daemon's poll, the under-lock re-check,
+// and the append path's fast check all call these, so the three sites
+// can never enforce different bounds.
+func (db *DB) chainTriggerHot() bool {
+	return db.maxSealed > 0 && db.chainOver.Load() > 0
+}
+
+func (db *DB) byteTriggerHot() bool {
+	return db.dir != "" && db.cpAfterBytes > 0 && db.cpBytesTotal.Load() >= uint64(db.cpAfterBytes)
+}
+
+// triggerLive reports whether either maintenance trigger currently fires.
+func (db *DB) triggerLive() bool {
+	return db.chainTriggerHot() || db.byteTriggerHot()
+}
+
+// runMaintenanceCheckpointLocked re-checks the triggers and checkpoints.
+// The caller holds cpMu.
+func (db *DB) runMaintenanceCheckpointLocked() {
+	byChain := db.chainTriggerHot()
+	byBytes := db.byteTriggerHot()
+	if !byChain && !byBytes {
+		return
+	}
+	if err := db.checkpointLocked(); err != nil {
+		db.maintErrs.Add(1)
+		db.maintRetryAt.Store(time.Now().Add(maintenanceRetryBackoff).UnixNano())
+		return
+	}
+	db.maintRetryAt.Store(0)
+	db.maintCP.Add(1)
+	if byBytes {
+		db.maintByBytes.Add(1)
+	}
+	if byChain {
+		db.maintByChain.Add(1)
+	}
+}
+
+// enforceMaintenance runs on the append path, before any shard lock is
+// taken: when some shard sits at the sealed-chain cap, or the
+// un-checkpointed WAL has reached the byte threshold, checkpoint now —
+// so the append about to happen cannot grow a chain past the cap, and
+// the replay tail cannot outrun the threshold by more than one batch no
+// matter how fast the writer is relative to the daemon's wall-clock
+// poll. TryLock is the single-flight: if a checkpoint is already in
+// flight (manual, daemon, or another appender's force), it will clear
+// the trigger — this append proceeds without stacking a second one
+// behind it.
+func (db *DB) enforceMaintenance() {
+	if !db.chainTriggerHot() && !db.byteTriggerHot() {
+		return
+	}
+	// After a failed attempt, stand down for the backoff window instead
+	// of re-running a doomed full snapshot on every append. The trigger
+	// stays latched, so enforcement resumes once the window passes.
+	if ra := db.maintRetryAt.Load(); ra != 0 && time.Now().UnixNano() < ra {
+		return
+	}
+	if !db.cpMu.TryLock() {
+		return
+	}
+	defer db.cpMu.Unlock()
+	if db.closed.Load() {
+		return
+	}
+	db.runMaintenanceCheckpointLocked()
+}
+
+// wakeMaintainer nudges the daemon outside its poll cadence; called by
+// rotation when a chain reaches the cap so an idle-after-burst store is
+// reclaimed promptly. Non-blocking: a pending wake is enough.
+func (db *DB) wakeMaintainer() {
+	if db.maintWake == nil {
+		return
+	}
+	select {
+	case db.maintWake <- struct{}{}:
+	default:
+	}
+}
+
+// stopMaintainer halts the daemon and waits for it to exit. An in-flight
+// maintenance checkpoint completes first, so the caller (Close) never
+// closes segment files out from under it.
+func (db *DB) stopMaintainer() {
+	if db.maintStop == nil {
+		return
+	}
+	close(db.maintStop)
+	<-db.maintDone
+}

@@ -1,0 +1,52 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestQueryRangeWindowing pins CountRange/QueryRange slicing against the
+// full Query result, including the overflow edges (skip past the end,
+// max near MaxInt).
+func TestQueryRangeWindowing(t *testing.T) {
+	db, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	k := SeriesKey{Dataset: DatasetPrice, Type: "m5.xlarge", Region: "us-east-1", AZ: "us-east-1a"}
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := db.Append(k, t0.Add(time.Duration(i)*time.Minute), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	from, to := t0.Add(5*time.Minute), t0.Add(30*time.Minute)
+	full := db.Query(k, from, to)
+	if got := db.CountRange(k, from, to); got != len(full) {
+		t.Fatalf("CountRange %d, Query %d", got, len(full))
+	}
+	for _, tc := range []struct {
+		skip, max, wantLo, wantN int
+	}{
+		{0, -1, 0, len(full)},
+		{0, 7, 0, 7},
+		{7, 7, 7, 7},
+		{len(full) - 3, 100, len(full) - 3, 3},
+		{len(full) + 5, 10, 0, 0},            // skip past the end
+		{1, math.MaxInt, 1, len(full) - 1},   // huge max must not overflow
+		{0, 0, 0, 0},                         // zero max = empty
+		{math.MaxInt - 1, math.MaxInt, 0, 0}, // both huge
+	} {
+		got := db.QueryRange(k, from, to, tc.skip, tc.max)
+		if len(got) != tc.wantN {
+			t.Fatalf("QueryRange(skip=%d, max=%d): %d points, want %d", tc.skip, tc.max, len(got), tc.wantN)
+		}
+		for j, p := range got {
+			if p != full[tc.wantLo+j] {
+				t.Fatalf("QueryRange(skip=%d, max=%d)[%d] = %+v, want %+v", tc.skip, tc.max, j, p, full[tc.wantLo+j])
+			}
+		}
+	}
+}

@@ -333,6 +333,7 @@ func (db *DB) LoadSnapshot(r io.Reader) (int, error) {
 			if err == nil {
 				sh.walOff += uint64(len(buf))
 				sh.cpBytes.Add(uint64(len(buf)))
+				db.cpBytesTotal.Add(uint64(len(buf)))
 				if db.rotateBytes > 0 && sh.walOff-sh.walBase >= uint64(db.rotateBytes) {
 					// Best-effort: the records are already durable in the
 					// current segment; a failed rotation just leaves it

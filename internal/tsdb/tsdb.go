@@ -35,8 +35,13 @@
 // RotateBytes. A versioned MANIFEST names the layout; snapshots double as
 // checkpoints (Checkpoint) that bound recovery to "load snapshot + replay
 // per-shard segment-chain tails", and checkpoint compaction deletes
-// covered sealed segments instead of rewriting files. Checkpoints can be
-// driven by time or by bytes written (WALBytesSinceCheckpoint).
+// covered sealed segments instead of rewriting files. The store maintains
+// itself (see maintain.go): a daemon started by OpenWithOptions
+// checkpoints when the un-checkpointed WAL crosses
+// Options.CheckpointAfterBytes or a shard's sealed chain reaches
+// Options.MaxSealedSegments, and the chain cap is enforced synchronously
+// on the append path — no caller cooperation needed for bounded replay
+// tails or bounded sealed-segment disk use.
 //
 // # Snapshots
 //
@@ -144,6 +149,11 @@ type shard struct {
 	walOff  uint64
 	sealed  []sealedSeg
 	cpBytes atomic.Uint64
+
+	// sealedN mirrors len(sealed) atomically so the maintainer and the
+	// append path's chain-cap check can read chain lengths without the
+	// shard lock. Updated via DB.setSealed wherever sealed changes.
+	sealedN atomic.Int64
 }
 
 // DB is the time-series store. It is safe for concurrent use.
@@ -174,6 +184,32 @@ type DB struct {
 	// still-active segment), so the failure is surfaced here instead of
 	// through their error returns.
 	rotateFails atomic.Uint64
+
+	// Maintenance state (see maintain.go). cpAfterBytes and maxSealed are
+	// the trigger thresholds, fixed at open; chainOver counts shards whose
+	// sealed chain sits at or past the cap (the append path's one-load
+	// trigger check). The channels belong to the daemon goroutine.
+	cpAfterBytes int64
+	maxSealed    int
+	chainOver    atomic.Int64
+	// maintRetryAt (UnixNano) gates the append path's enforcement after
+	// a failed maintenance checkpoint: a trigger stays latched until a
+	// checkpoint succeeds, and without the gate every append would
+	// synchronously re-attempt a full snapshot against e.g. a full disk.
+	maintRetryAt atomic.Int64
+	// cpBytesTotal mirrors the sum of the per-shard cpBytes counters so
+	// the append path can evaluate the byte trigger with one atomic load
+	// (summing 256 shards per append would not be free). The per-shard
+	// counters remain authoritative for checkpoint's exact per-shard
+	// capture accounting; every site that moves one moves the other.
+	cpBytesTotal atomic.Uint64
+	maintWake    chan struct{}
+	maintStop    chan struct{}
+	maintDone    chan struct{}
+	maintCP      atomic.Uint64
+	maintByBytes atomic.Uint64
+	maintByChain atomic.Uint64
+	maintErrs    atomic.Uint64
 
 	// testCrash, when armed by the crash-matrix tests, aborts the
 	// rotation/checkpoint protocol at a named durable boundary. Nil in
@@ -217,6 +253,24 @@ type Options struct {
 	// bytes: 0 selects DefaultRotateBytes, negative disables rotation
 	// (one ever-growing segment per shard, the pre-rotation behavior).
 	RotateBytes int64
+	// CheckpointAfterBytes, when positive on a durable store, makes the
+	// store checkpoint itself once WALBytesSinceCheckpoint crosses the
+	// threshold — regardless of who is writing (collector, bootstrap,
+	// bulk snapshot restore). Zero disables the store's own size trigger
+	// (callers may still schedule checkpoints themselves).
+	CheckpointAfterBytes int64
+	// MaxSealedSegments, when positive on a durable store, caps each
+	// shard's sealed-segment chain: an append that observes a shard at
+	// the cap checkpoints first (reclaiming every covered segment), so no
+	// shard ever accumulates more than this many sealed segments even if
+	// nothing else calls Checkpoint. Zero means no cap.
+	MaxSealedSegments int
+	// MaintenanceInterval is the maintenance daemon's poll period: 0
+	// selects DefaultMaintenanceInterval, negative disables the daemon
+	// (the append-path chain-cap enforcement still applies). The daemon
+	// only starts when the store is durable and at least one of
+	// CheckpointAfterBytes / MaxSealedSegments is set.
+	MaintenanceInterval time.Duration
 }
 
 // Open opens (or creates) a store with DefaultShardCount shards. With a
@@ -246,6 +300,9 @@ func OpenWithOptions(dir string, o Options) (*DB, error) {
 	if db.rotateBytes == 0 {
 		db.rotateBytes = DefaultRotateBytes
 	}
+	db.cpAfterBytes = o.CheckpointAfterBytes
+	db.maxSealed = o.MaxSealedSegments
+	db.maintWake = make(chan struct{}, 1)
 	for i := range db.shards {
 		db.shards[i].idx = i
 		db.shards[i].series = make(map[SeriesKey]*series)
@@ -260,6 +317,7 @@ func OpenWithOptions(dir string, o Options) (*DB, error) {
 	if err := db.openDurable(); err != nil {
 		return nil, err
 	}
+	db.startMaintainer(o.MaintenanceInterval)
 	return db, nil
 }
 
@@ -275,16 +333,12 @@ func (db *DB) Durable() bool { return db.dir != "" }
 func (db *DB) RotateBytes() int64 { return db.rotateBytes }
 
 // WALBytesSinceCheckpoint returns the WAL record bytes appended since the
-// last committed checkpoint, summed over shards — the size of the tail a
-// restart would have to replay. Size-based checkpoint schedulers compare
-// it against their threshold after each write burst; it resets (by the
-// captured amount) when a checkpoint commits.
+// last committed checkpoint — the size of the tail a restart would have
+// to replay. Size-based checkpoint schedulers compare it against their
+// threshold after each write burst; it resets (by the captured amount)
+// when a checkpoint commits. One atomic load.
 func (db *DB) WALBytesSinceCheckpoint() uint64 {
-	var n uint64
-	for i := range db.shards {
-		n += db.shards[i].cpBytes.Load()
-	}
-	return n
+	return db.cpBytesTotal.Load()
 }
 
 // ReplayedWALBytes returns how many WAL record bytes the Open that created
@@ -411,6 +465,7 @@ func (db *DB) appendLocked(sh *shard, k SeriesKey, at time.Time, v float64) erro
 		}
 		sh.walOff += uint64(len(rec))
 		sh.cpBytes.Add(uint64(len(rec)))
+		db.cpBytesTotal.Add(uint64(len(rec)))
 		if db.rotateBytes > 0 && sh.walOff-sh.walBase >= uint64(db.rotateBytes) {
 			// Best-effort: the point is already stored and logged, so a
 			// rotation failure must not be reported as a failed append
@@ -431,6 +486,7 @@ func (db *DB) Append(k SeriesKey, at time.Time, v float64) error {
 	if err := validKey(k); err != nil {
 		return err
 	}
+	db.enforceMaintenance()
 	sh := db.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -446,6 +502,7 @@ func (db *DB) AppendIfChanged(k SeriesKey, at time.Time, v float64) (bool, error
 	if err := validKey(k); err != nil {
 		return false, err
 	}
+	db.enforceMaintenance()
 	sh := db.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -477,6 +534,7 @@ func (db *DB) appendBatch(entries []Entry, dedup bool) (int, error) {
 	if len(entries) == 0 {
 		return 0, nil
 	}
+	db.enforceMaintenance()
 	// Stable counting sort of entry indices by shard: input order is
 	// preserved within a shard (so per-series time order survives), and
 	// no per-call maps are allocated. Invalid keys land in bucket ns.
@@ -539,6 +597,45 @@ func (db *DB) appendBatch(entries []Entry, dedup bool) (int, error) {
 
 // Query returns the points of a series within [from, to], oldest first.
 func (db *DB) Query(k SeriesKey, from, to time.Time) []Point {
+	return db.QueryRange(k, from, to, 0, -1)
+}
+
+// rangeBounds returns the index window [lo, hi) of s.points falling
+// within [from, to]. The caller holds the owning shard's lock. This is
+// the single source of window semantics for CountRange and QueryRange —
+// pagination relies on the count pass and the copy pass agreeing
+// exactly.
+func rangeBounds(s *series, from, to time.Time) (lo, hi int) {
+	lo = sort.Search(len(s.points), func(i int) bool { return !s.points[i].At.Before(from) })
+	hi = sort.Search(len(s.points), func(i int) bool { return s.points[i].At.After(to) })
+	return lo, hi
+}
+
+// CountRange returns how many points of the series fall within [from, to]
+// without copying any of them — two binary searches under the shard's
+// read lock. Pagination uses it to size pages and locate offsets before
+// materializing only the requested window.
+func (db *DB) CountRange(k SeriesKey, from, to time.Time) int {
+	sh := db.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.series[k]
+	if s == nil {
+		return 0
+	}
+	lo, hi := rangeBounds(s, from, to)
+	if lo >= hi {
+		return 0
+	}
+	return hi - lo
+}
+
+// QueryRange returns up to max points of the series within [from, to],
+// oldest first, skipping the first skip in-window points. A negative max
+// means "all remaining". Only the returned points are copied, so a
+// paginated reader of a large window allocates one page at a time instead
+// of the full range.
+func (db *DB) QueryRange(k SeriesKey, from, to time.Time, skip, max int) []Point {
 	sh := db.shardFor(k)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -546,8 +643,20 @@ func (db *DB) Query(k SeriesKey, from, to time.Time) []Point {
 	if s == nil {
 		return nil
 	}
-	lo := sort.Search(len(s.points), func(i int) bool { return !s.points[i].At.Before(from) })
-	hi := sort.Search(len(s.points), func(i int) bool { return s.points[i].At.After(to) })
+	lo, hi := rangeBounds(s, from, to)
+	// Compare skip and max against the remainder rather than adding them
+	// to an index: lo+skip or lo+max overflows for values near MaxInt,
+	// and a wrapped-negative bound would drop (or worse, mis-slice) the
+	// result.
+	if skip > 0 {
+		if skip >= hi-lo {
+			return nil
+		}
+		lo += skip
+	}
+	if max >= 0 && max < hi-lo {
+		hi = lo + max
+	}
 	if lo >= hi {
 		return nil
 	}
@@ -793,9 +902,13 @@ func (db *DB) Flush() error {
 }
 
 // Close flushes and closes the store. Further writes fail. Close quiesces
-// every shard so no append is mid-flight when its segment is closed.
+// every shard so no append is mid-flight when its segment is closed. The
+// maintenance daemon, if any, is stopped first — an in-flight maintenance
+// checkpoint completes before any segment file is closed.
 func (db *DB) Close() error {
-	db.closed.Store(true)
+	if db.closed.CompareAndSwap(false, true) {
+		db.stopMaintainer()
+	}
 	for i := range db.shards {
 		db.shards[i].mu.Lock()
 	}

@@ -896,6 +896,17 @@ func (db *DB) openActiveSegments(chains []shardChain) error {
 		sh.walBase = c.base
 		sh.walOff = c.validEnd
 		sh.sealed = c.sealed
+		db.setSealed(sh, len(sh.sealed))
+		// Seed the checkpoint byte counters with the replayed tail: the
+		// records between the manifest cut and the chain's valid end are
+		// exactly the bytes the next restart would replay again. Left at
+		// zero, a writer crashing just under the threshold every run
+		// would grow the tail without ever arming the size trigger.
+		if c.validEnd > offset {
+			tail := c.validEnd - offset
+			sh.cpBytes.Store(tail)
+			db.cpBytesTotal.Add(tail)
+		}
 	}
 	return syncDir(db.dir)
 }
@@ -977,6 +988,13 @@ func (db *DB) rotateLocked(sh *shard) error {
 	sh.wal.Reset(f)
 	sh.walSeq = seq
 	sh.walBase = sh.walOff
+	db.setSealed(sh, len(sh.sealed))
+	if db.maxSealed > 0 && len(sh.sealed) >= db.maxSealed {
+		// The chain just reached the cap. The next append will checkpoint
+		// before storing, but if the writer goes idle right here the wake
+		// lets the daemon reclaim the chain now instead of next poll.
+		db.wakeMaintainer()
+	}
 	return nil
 }
 
@@ -1026,8 +1044,10 @@ func (db *DB) commitLayout(epoch uint64) error {
 		sh.walBase = 0
 		sh.walOff = 0
 		sh.sealed = nil
+		db.setSealed(sh, 0)
 		sh.cpBytes.Store(0)
 	}
+	db.cpBytesTotal.Store(0)
 	if err := syncDir(db.dir); err != nil {
 		return err
 	}
@@ -1106,12 +1126,18 @@ func (db *DB) Checkpoint() error {
 	if db.dir == "" {
 		return errors.New("tsdb: memory-only store cannot checkpoint")
 	}
-	return db.checkpoint()
-}
-
-func (db *DB) checkpoint() error {
 	db.cpMu.Lock()
 	defer db.cpMu.Unlock()
+	return db.checkpointLocked()
+}
+
+// checkpointLocked runs the checkpoint protocol; the caller holds cpMu.
+// Both the manual Checkpoint entry point and the maintainer (daemon tick
+// or append-path chain-cap force) funnel through here, each already
+// serialized on cpMu — the maintainer additionally re-checks its trigger
+// under the lock, so a manual checkpoint that got there first satisfies
+// it and no redundant snapshot is stacked behind it (single-flight).
+func (db *DB) checkpointLocked() error {
 	if db.closed.Load() {
 		return errors.New("tsdb: store is closed")
 	}
@@ -1191,10 +1217,15 @@ func (db *DB) checkpoint() error {
 	// The commit succeeded: the captured bytes no longer count toward the
 	// size-based checkpoint trigger. Appends that raced past the cut keep
 	// their contribution (atomic subtract, not a reset).
+	var captured uint64
 	for i := range db.shards {
 		if pres[i] != 0 {
 			db.shards[i].cpBytes.Add(^pres[i] + 1)
+			captured += pres[i]
 		}
+	}
+	if captured != 0 {
+		db.cpBytesTotal.Add(^captured + 1)
 	}
 	// Compact: unlink every sealed segment the snapshot fully covers.
 	// Purely an optimization from here on — replay skips covered records
@@ -1219,6 +1250,7 @@ func (db *DB) checkpoint() error {
 			}
 		}
 		sh.sealed = keep
+		db.setSealed(sh, len(keep))
 		sh.mu.Unlock()
 	}
 	if err := db.failpoint("checkpoint:delete:before-sync"); err != nil {
