@@ -89,10 +89,15 @@ func main() {
 	// Resume support: recovered data (checkpoint + WAL tail) sits in
 	// simulated time after the clock's epoch start; fast-forward so the
 	// new run appends after it instead of failing out-of-order. The same
-	// catch-up spotlake-server does.
-	if maxAt, ok := db.MaxTime(); ok && maxAt.After(clk.Now()) {
+	// catch-up spotlake-server does. Land one tick PAST the last
+	// recovered timestamp, not on it: the collector's first action is an
+	// immediate collection at clk.Now(), and the store accepts same-
+	// timestamp appends (only strictly-earlier ones are out of order), so
+	// resuming exactly onto MaxTime would write duplicate-timestamp
+	// points next to the recovered ones.
+	if maxAt, ok := db.MaxTime(); ok && !maxAt.Before(clk.Now()) {
 		log.Printf("resuming archive with %d points through %s", db.PointCount(), maxAt.Format(time.RFC3339))
-		clk.RunFor(maxAt.Sub(clk.Now()))
+		clk.RunFor(maxAt.Add(*interval).Sub(clk.Now()))
 	}
 
 	cfg := collector.DefaultConfig()

@@ -97,14 +97,18 @@ func main() {
 			log.Fatalf("loading snapshot: %v", err)
 		}
 	}
+	cfg := collector.DefaultConfig()
 	// Restored data (snapshot or WAL) sits in simulated time after the
 	// clock's epoch start: fast-forward so collection continues where the
-	// archive left off instead of appending out of order.
-	if maxAt, ok := db.MaxTime(); ok && maxAt.After(clk.Now()) {
-		clk.RunFor(maxAt.Sub(clk.Now()))
+	// archive left off instead of appending out of order. Land one tick
+	// PAST the last recovered timestamp, not on it: collector.Start
+	// collects immediately at clk.Now(), and the store accepts same-
+	// timestamp appends, so resuming exactly onto MaxTime would write
+	// duplicate-timestamp points next to the recovered ones.
+	if maxAt, ok := db.MaxTime(); ok && !maxAt.Before(clk.Now()) {
+		clk.RunFor(maxAt.Add(cfg.ScoreInterval).Sub(clk.Now()))
 	}
 
-	cfg := collector.DefaultConfig()
 	cfg.CheckpointInterval = *cpInterval
 	// Deprecation shim: the store's maintenance daemon owns the byte
 	// trigger now; the collector's copy stands down when the store

@@ -109,13 +109,14 @@ func (s *Service) fanOut(n int, fn func(int)) {
 }
 
 // cacheKey renders the (kind, filter, window, page) tuple canonically.
-// The page window is part of the key: two requests that differ only in
-// limit/offset return different point sets, and a cache that ignored the
-// page would serve page 0 for every page.
+// The page window — offset/limit or cursor token — is part of the key:
+// two requests that differ only in their page return different point
+// sets, and a cache that ignored the page would serve page 0 for every
+// page.
 func cacheKey(kind string, req QueryRequest) string {
 	return kind + "\x00" + req.Dataset + "\x00" + req.Type + "\x00" + req.Region + "\x00" + req.AZ +
 		"\x00" + strconv.FormatInt(req.From.UnixNano(), 36) + "\x00" + strconv.FormatInt(req.To.UnixNano(), 36) +
-		"\x00" + strconv.Itoa(req.Offset) + "\x00" + strconv.Itoa(req.Limit)
+		"\x00" + strconv.Itoa(req.Offset) + "\x00" + strconv.Itoa(req.Limit) + "\x00" + req.Cursor
 }
 
 // AllowDatasets registers additional queryable dataset names.
@@ -144,7 +145,8 @@ func (s *Service) Catalog() *catalog.Catalog { return s.cat }
 // QueryRequest selects series and a time window. Empty string fields match
 // anything; zero times mean an unbounded window. Limit and Offset select a
 // page of the result's point stream (see QueryPaged); both zero means the
-// full window.
+// full window. Cursor resumes a keyset-cursor walk (see QueryCursor) and
+// is mutually exclusive with Offset.
 type QueryRequest struct {
 	Dataset string
 	Type    string
@@ -154,6 +156,7 @@ type QueryRequest struct {
 	To      time.Time
 	Limit   int
 	Offset  int
+	Cursor  string
 }
 
 // SeriesResult is one series' points within the requested window.
@@ -202,7 +205,7 @@ func (s *Service) Query(req QueryRequest) ([]SeriesResult, error) {
 	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
 	// Query always returns the full window; zero the page fields so a
 	// caller that set them doesn't fragment the cache.
-	req.Limit, req.Offset = 0, 0
+	req.Limit, req.Offset, req.Cursor = 0, 0, ""
 	ck := cacheKey("query", req)
 	if v, ok := s.cache.get(ck, keyGen, genVec); ok {
 		return v.([]SeriesResult), nil
@@ -278,7 +281,7 @@ func (s *Service) Latest(req QueryRequest) ([]LatestEntry, error) {
 	// otherwise clients polling with a moving from/to fragment the cache.
 	filterOnly := req
 	filterOnly.From, filterOnly.To = time.Time{}, time.Time{}
-	filterOnly.Limit, filterOnly.Offset = 0, 0
+	filterOnly.Limit, filterOnly.Offset, filterOnly.Cursor = 0, 0, ""
 	ck := cacheKey("latest", filterOnly)
 	if v, ok := s.cache.get(ck, keyGen, genVec); ok {
 		return v.([]LatestEntry), nil

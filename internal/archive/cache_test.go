@@ -272,6 +272,24 @@ func TestAcceptsGzip(t *testing.T) {
 		"*;q=0":                  false,
 		"deflate, *":             true,
 		"*, gzip;q=0":            false,
+		// Malformed or creatively-spelled q-values: every spelling of
+		// zero refuses (RFC 9110 §12.4.2), and garbage that never names
+		// a positive weight refuses too.
+		"gzip;q=.0":    false,
+		"gzip;q=.000":  false,
+		"gzip;q=0.":    false,
+		"gzip;q=.":     false,
+		"gzip;q=":      false,
+		"gzip;q=x":     false,
+		"gzip;q=+0":    false,
+		"gzip;q=-1":    false,
+		"gzip;q=nan":   false,
+		"gzip;q=-inf":  false,
+		"gzip;q=.5":    true,
+		"gzip;q=0.001": true,
+		"*;q=.0":       false,
+		"*;q=.0, gzip": true,
+		"gzip;q=.0, *": false,
 	}
 	for header, want := range cases {
 		if got := acceptsGzip(header); got != want {

@@ -1,0 +1,284 @@
+package archive
+
+// Keyset-cursor pagination over the query result's point stream.
+//
+// Offset pagination (paging.go) windows the flattened stream by counting
+// from its start, so a collector tick that appends points before the
+// client's current offset shifts every later point and the next page
+// re-serves (or skips) data. A cursor instead names a fixed position in
+// the stream — the canonical key and timestamp of the last point already
+// delivered — and the next page resumes strictly after it. Because the
+// archive is append-only and per-series time-ordered, that position
+// never moves: concatenated cursor pages contain every point that
+// existed when the walk started exactly once, no matter how many appends
+// land between page requests. This is the keyset/token pattern of the
+// paper backend's own pagination (Timestream-style next tokens) adapted
+// to the flattened (series, time) order the archive serves.
+//
+// The token is opaque and URL-safe: a base64url encoding of a version
+// byte, a 64-bit scope hash of the request's filter and window, the
+// last-delivered timestamp, a sequence count, and the canonical series
+// key. The sequence count says how many points at exactly that
+// timestamp have been delivered: the store accepts equal-timestamp
+// appends (and pre-resume-fix archives contain them), so a bare
+// timestamp cannot address a page boundary inside such a run — without
+// the count, the run's undelivered remainder would be silently skipped
+// on resume. The scope hash pins a token to the exact query that minted
+// it — replaying a cursor against a different filter or window would
+// silently skip or duplicate data, so it is rejected instead (tokens
+// "expire" when the query changes). Clients must treat the token as a
+// black box.
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// ErrBadCursor is wrapped by every cursor-token rejection: malformed
+// encodings and tokens minted by a different filter or window. The HTTP
+// layer maps it to a 400 with the token-specific message.
+var ErrBadCursor = errors.New("archive: invalid cursor")
+
+const cursorVersion = 1
+
+// cursorScope hashes the request fields a cursor token must match: the
+// series filter and the time window (FNV-1a 64, with '|' separators so
+// adjacent fields cannot alias). Limit is deliberately excluded — a
+// client may change page sizes mid-walk without losing its position.
+func cursorScope(req QueryRequest) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	mix := func(s string) {
+		_, _ = h.Write([]byte(s))
+		_, _ = h.Write([]byte{'|'})
+	}
+	mixInt := func(v int64) {
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		_, _ = h.Write(b[:])
+	}
+	mix(req.Dataset)
+	mix(req.Type)
+	mix(req.Region)
+	mix(req.AZ)
+	mixInt(req.From.UnixNano())
+	mixInt(req.To.UnixNano())
+	return h.Sum64()
+}
+
+// encodeCursor mints the token for a position: the page ended with the
+// seq-th point at time at of series key, under the given request scope.
+func encodeCursor(scope uint64, key string, at time.Time, seq uint32) string {
+	buf := make([]byte, 1+8+8+4, 1+8+8+4+len(key))
+	buf[0] = cursorVersion
+	binary.LittleEndian.PutUint64(buf[1:9], scope)
+	binary.LittleEndian.PutUint64(buf[9:17], uint64(at.UnixNano()))
+	binary.LittleEndian.PutUint32(buf[17:21], seq)
+	buf = append(buf, key...)
+	return base64.RawURLEncoding.EncodeToString(buf)
+}
+
+// decodeCursor validates and unpacks a token against the scope of the
+// request presenting it. Every failure wraps ErrBadCursor.
+func decodeCursor(token string, scope uint64) (key string, at time.Time, seq int, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil || len(raw) < 1+8+8+4 {
+		return "", time.Time{}, 0, fmt.Errorf("%w: malformed token", ErrBadCursor)
+	}
+	if raw[0] != cursorVersion {
+		return "", time.Time{}, 0, fmt.Errorf("%w: unknown token version %d", ErrBadCursor, raw[0])
+	}
+	if got := binary.LittleEndian.Uint64(raw[1:9]); got != scope {
+		return "", time.Time{}, 0, fmt.Errorf("%w: token was issued for a different filter or window (cursors expire when the query changes)", ErrBadCursor)
+	}
+	key = string(raw[21:])
+	if _, err := tsdb.ParseSeriesKey(key); err != nil {
+		return "", time.Time{}, 0, fmt.Errorf("%w: malformed series key", ErrBadCursor)
+	}
+	at = time.Unix(0, int64(binary.LittleEndian.Uint64(raw[9:17]))).UTC()
+	seq = int(binary.LittleEndian.Uint32(raw[17:21]))
+	return key, at, seq, nil
+}
+
+// CursorPage is one page of a query's point stream located by cursor.
+type CursorPage struct {
+	// Series holds the page's points grouped by series, canonical key
+	// order, ascending time within each series — the same order as the
+	// unpaginated response, restricted to the page.
+	Series []SeriesResult `json:"series"`
+	// NextCursor resumes the walk after this page's last point; empty
+	// when the page exhausted the stream as counted at request time.
+	NextCursor string `json:"nextCursor"`
+	// Limit echoes the request (0 = everything from the cursor on).
+	Limit int `json:"limit"`
+}
+
+// QueryCursor returns the page of the query's point stream that starts
+// after req.Cursor's position (or at the stream's start for an empty
+// cursor), holding at most req.Limit points (0 = all remaining). It uses
+// the same span mapping and per-series copy fan-out as QueryPaged (the
+// count pass runs sequentially so it can stop at the page boundary),
+// and the page is cached under the cursor token with the same
+// generation guard, so a repeated page request hits while any write to
+// a depended-on shard invalidates. Unlike an offset page, the result is stable under live
+// appends: the resume position is a fixed (key, timestamp) pair, so
+// concurrent collection can only add points after it, never shift it.
+func (s *Service) QueryCursor(req QueryRequest) (*CursorPage, error) {
+	if req.Limit < 0 {
+		return nil, fmt.Errorf("archive: negative limit")
+	}
+	if req.Offset != 0 {
+		return nil, fmt.Errorf("archive: cursor and offset are mutually exclusive")
+	}
+	from, to, err := s.checkWindow(req)
+	if err != nil {
+		return nil, err
+	}
+	scope := cursorScope(req)
+	var curKey string
+	var curAt time.Time
+	var curSeq int
+	resuming := req.Cursor != ""
+	if resuming {
+		if curKey, curAt, curSeq, err = decodeCursor(req.Cursor, scope); err != nil {
+			return nil, err
+		}
+		// Genuine tokens are minted from in-window points, so a position
+		// outside [from, to] is tampering (the scope hash is integrity
+		// against accidents, not a MAC): reject it, because the seek
+		// primitives resume from the position's timestamp and would
+		// otherwise serve the cursor series' pre-window points.
+		if curAt.Before(from) || curAt.After(to) {
+			return nil, fmt.Errorf("%w: token position lies outside the query window", ErrBadCursor)
+		}
+	}
+	// Capture the generations before reading, like every query path.
+	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
+	ck := cacheKey("cursor", req)
+	if v, ok := s.cache.get(ck, keyGen, genVec); ok {
+		return v.(*CursorPage), nil
+	}
+	keys, err := s.matchedKeys(req)
+	if err != nil {
+		return nil, err
+	}
+	// Seek: binary-search the sorted key list for the cursor's series.
+	// Series before it are already fully delivered and are never counted
+	// or locked again — a deep cursor page does O(log series) work to
+	// skip the prefix an equivalent offset page would re-count in full.
+	start := 0
+	if resuming {
+		start = sort.Search(len(keys), func(i int) bool { return keys[i].String() >= curKey })
+	}
+	rest := keys[start:]
+	// Only the first remaining series can be the cursor's own (keys are
+	// sorted unique); decide it once instead of rendering every
+	// remaining key's canonical form in both passes.
+	cursorOwn := resuming && len(rest) > 0 && rest[0].String() == curKey
+	// Pass 1: count the remaining in-window points per series, in key
+	// order, stopping as soon as the page is provably full (limit points
+	// plus at least one more to decide NextCursor). The cursor's own
+	// series counts only points past the cursor position; later series
+	// count their whole window. Unlike the offset path, no total is
+	// reported — it would be stale the moment it was computed — so a
+	// page never pays to count the series still ahead of it, and each
+	// page of a walk is O(series in the page), not O(series remaining).
+	// A zero limit means "everything after the cursor": that single page
+	// necessarily counts it all.
+	counts := make([]int, 0, len(rest))
+	total := 0
+	for i := range rest {
+		var c int
+		if i == 0 && cursorOwn {
+			c = s.db.CountAfter(rest[i], curAt, curSeq, to)
+		} else {
+			c = s.db.CountRange(rest[i], from, to)
+		}
+		counts = append(counts, c)
+		total += c
+		if req.Limit > 0 && total > req.Limit {
+			break
+		}
+	}
+	// The page is the first hi points of the counted stream; spans map
+	// it onto per-series prefixes (the remainder always starts at the
+	// cursor, so no span skips within its series). total > limit is the
+	// "more points exist" signal: the count loop above only stops early
+	// once it has proven it.
+	hi := total
+	if req.Limit > 0 && req.Limit < total {
+		hi = req.Limit
+	}
+	var spans []pageSpan
+	cum := 0
+	for i, c := range counts {
+		if n := min(hi-cum, c); n > 0 {
+			spans = append(spans, pageSpan{key: i, n: n})
+		}
+		cum += c
+		if cum >= hi {
+			break
+		}
+	}
+	// Pass 2: copy only the page's points. Appends racing this pass can
+	// only grow series beyond the counted prefix, so each span still
+	// resolves to exactly the points pass 1 counted.
+	slots := make([][]tsdb.Point, len(spans))
+	s.fanOut(len(spans), func(j int) {
+		sp := spans[j]
+		k := rest[sp.key]
+		if sp.key == 0 && cursorOwn {
+			slots[j] = s.db.QueryAfter(k, curAt, curSeq, to, sp.n)
+		} else {
+			slots[j] = s.db.QueryRange(k, from, to, 0, sp.n)
+		}
+	})
+	page := &CursorPage{
+		Series: make([]SeriesResult, 0, len(spans)),
+		Limit:  req.Limit,
+	}
+	points := 0
+	var lastKey string
+	var lastAt time.Time
+	var lastSlice []tsdb.Point
+	lastSpan := -1
+	for j, sp := range spans {
+		if len(slots[j]) == 0 {
+			continue
+		}
+		points += len(slots[j])
+		page.Series = append(page.Series, SeriesResult{Key: rest[sp.key], Points: slots[j]})
+		lastKey = rest[sp.key].String()
+		lastSlice = slots[j]
+		lastAt = lastSlice[len(lastSlice)-1].At
+		lastSpan = sp.key
+	}
+	if hi < total && points > 0 {
+		// The next position is (lastAt, n): n counts the points at
+		// exactly lastAt already delivered, so a boundary inside an
+		// equal-timestamp run resumes at the run's remainder instead of
+		// skipping it. n is the trailing equal-timestamp run of this
+		// page's last slice — plus the incoming cursor's own count when
+		// this page never advanced past the position it resumed at
+		// (same series, same timestamp, whole slice inside the run).
+		n := 0
+		for i := len(lastSlice) - 1; i >= 0 && lastSlice[i].At.Equal(lastAt); i-- {
+			n++
+		}
+		if n == len(lastSlice) && lastSpan == 0 && cursorOwn && curAt.Equal(lastAt) {
+			n += curSeq
+		}
+		page.NextCursor = encodeCursor(scope, lastKey, lastAt, uint32(n))
+	}
+	if points <= maxCachedPoints {
+		dep, gens := s.depGenerations(keys, genVec)
+		s.cache.put(ck, keyGen, dep, gens, page)
+	}
+	return page, nil
+}

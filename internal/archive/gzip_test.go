@@ -1,0 +1,119 @@
+package archive
+
+// Regression tests for the gzip middleware's commit semantics: the
+// compressed path must attach lazily on the first body byte (a bodyless
+// response carries no Content-Encoding and no 20-byte empty gzip frame)
+// and a failed terminal flush must abort the connection instead of
+// letting a truncated stream read as success.
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestGzipBodylessResponseUncommitted: a handler that sets a status but
+// never writes must produce a genuinely empty response — no
+// Content-Encoding header, no gzip frame bytes — for a gzip-accepting
+// client.
+func TestGzipBodylessResponseUncommitted(t *testing.T) {
+	for name, handler := range map[string]http.HandlerFunc{
+		"explicit 204": func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusNoContent)
+		},
+		"implicit 200": func(w http.ResponseWriter, r *http.Request) {},
+	} {
+		srv := httptest.NewServer(withGzip(http.Handler(handler)))
+		req, _ := http.NewRequest("GET", srv.URL, nil)
+		req.Header.Set("Accept-Encoding", "gzip")
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		if err != nil {
+			srv.Close()
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		srv.Close()
+		if ce := resp.Header.Get("Content-Encoding"); ce != "" {
+			t.Errorf("%s: bodyless response committed Content-Encoding %q", name, ce)
+		}
+		if len(body) != 0 {
+			t.Errorf("%s: bodyless response carried %d body bytes (the empty gzip frame?)", name, len(body))
+		}
+	}
+	// The recorded status still reaches the client.
+	srv := httptest.NewServer(withGzip(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})))
+	defer srv.Close()
+	req, _ := http.NewRequest("GET", srv.URL, nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("bodyless status = %d, want 204", resp.StatusCode)
+	}
+}
+
+// TestGzipStatusAndBodyStillCompressed: the lazy path still compresses
+// a normal body and forwards a non-200 status set before the first
+// write.
+func TestGzipStatusAndBodyStillCompressed(t *testing.T) {
+	srv := httptest.NewServer(withGzip(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		_, _ = io.WriteString(w, "short and stout")
+	})))
+	defer srv.Close()
+	req, _ := http.NewRequest("GET", srv.URL, nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTeapot {
+		t.Errorf("status = %d, want 418", resp.StatusCode)
+	}
+	if ce := resp.Header.Get("Content-Encoding"); ce != "gzip" {
+		t.Errorf("Content-Encoding = %q, want gzip", ce)
+	}
+}
+
+// failingResponseWriter accepts headers but fails every body write,
+// modeling a client that vanished mid-response: the gzip writer's
+// terminal flush in Close is then the first place the failure surfaces.
+type failingResponseWriter struct {
+	h http.Header
+}
+
+func (f *failingResponseWriter) Header() http.Header       { return f.h }
+func (f *failingResponseWriter) WriteHeader(int)           {}
+func (f *failingResponseWriter) Write([]byte) (int, error) { return 0, errors.New("sink broken") }
+
+// TestGzipCloseErrorAbortsConnection: when the terminal flush fails, the
+// middleware must panic with http.ErrAbortHandler (net/http's sanctioned
+// "drop the connection" signal) rather than return normally — a normal
+// return would end the chunked stream cleanly and the client would
+// parse a truncated body as a complete response.
+func TestGzipCloseErrorAbortsConnection(t *testing.T) {
+	h := withGzip(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "doomed body")
+	}))
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("failed gzip close returned normally — truncated response would read as success")
+		}
+		if err, ok := r.(error); !ok || !errors.Is(err, http.ErrAbortHandler) {
+			t.Fatalf("panicked with %v, want http.ErrAbortHandler", r)
+		}
+	}()
+	h.ServeHTTP(&failingResponseWriter{h: make(http.Header)}, req)
+}

@@ -25,7 +25,9 @@ and spot prices. Query the API:</p>
 <ul>
 <li><code>GET /api/v1/meta</code> — archive summary</li>
 <li><code>GET /api/v1/query?dataset=sps&amp;type=m5.xlarge&amp;region=us-east-1</code> — historical series
-(paginate big windows with <code>&amp;limit=N&amp;offset=M</code>; follow the <code>X-Next-Offset</code> header)</li>
+(paginate big windows with <code>&amp;limit=N&amp;cursor=</code> and follow the <code>X-Next-Cursor</code>
+header — stable under live collection; <code>&amp;limit=N&amp;offset=M</code> /
+<code>X-Next-Offset</code> remain for random access)</li>
 <li><code>GET /api/v1/latest?dataset=if&amp;region=us-east-1</code> — current values</li>
 <li><code>GET /api/v1/catalog/types</code>, <code>GET /api/v1/catalog/regions</code></li>
 </ul>
@@ -48,20 +50,67 @@ type apiError struct {
 // the GC on every response.
 var gzipPool = sync.Pool{New: func() any { return gzip.NewWriter(nil) }}
 
-// gzipResponseWriter routes the body through the gzip writer while
-// headers and status still go to the underlying ResponseWriter.
+// gzipResponseWriter routes the body through a gzip writer that is
+// attached lazily on the first Write: until a body byte exists, no
+// Content-Encoding header is committed and no gzip frame is emitted, so
+// a bodyless response (204, 304, a HEAD-style handler) stays genuinely
+// empty instead of carrying a 20-byte compressed-nothing frame. The
+// handler's WriteHeader is deferred for the same reason — the status is
+// recorded and only sent downstream once the body/no-body question is
+// settled.
 type gzipResponseWriter struct {
 	http.ResponseWriter
-	gz *gzip.Writer
+	gz     *gzip.Writer
+	status int
 }
 
-func (w gzipResponseWriter) Write(b []byte) (int, error) { return w.gz.Write(b) }
+func (w *gzipResponseWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+}
+
+func (w *gzipResponseWriter) Write(b []byte) (int, error) {
+	if w.gz == nil {
+		w.Header().Set("Content-Encoding", "gzip")
+		// Any pre-set length describes the uncompressed body.
+		w.Header().Del("Content-Length")
+		if w.status == 0 {
+			w.status = http.StatusOK
+		}
+		w.ResponseWriter.WriteHeader(w.status)
+		gz := gzipPool.Get().(*gzip.Writer)
+		gz.Reset(w.ResponseWriter)
+		w.gz = gz
+	}
+	return w.gz.Write(b)
+}
+
+// finish flushes the compressed stream after the handler returns. With
+// no body written it forwards the bare status (if any); otherwise it
+// closes the gzip stream and reports the close error — which is the
+// only place a failed terminal flush surfaces, since the handler already
+// returned success.
+func (w *gzipResponseWriter) finish() error {
+	if w.gz == nil {
+		if w.status != 0 {
+			w.ResponseWriter.WriteHeader(w.status)
+		}
+		return nil
+	}
+	err := w.gz.Close()
+	// Reset on the next Get clears any error state, so the writer is
+	// reusable even after a failed close.
+	gzipPool.Put(w.gz)
+	w.gz = nil
+	return err
+}
 
 // acceptsGzip parses an Accept-Encoding header: gzip is acceptable when
-// a "gzip" member appears without an explicit zero q-weight, or — with
-// no explicit "gzip" member at all — when a non-refused "*" appears.
-// An explicit "gzip" member always wins over "*" (RFC 9110: the most
-// specific match governs).
+// a "gzip" member appears without a zero q-weight, or — with no explicit
+// "gzip" member at all — when a non-refused "*" appears. An explicit
+// "gzip" member always wins over "*" (RFC 9110: the most specific match
+// governs).
 func acceptsGzip(header string) bool {
 	starOK := false
 	for _, part := range strings.Split(header, ",") {
@@ -74,8 +123,14 @@ func acceptsGzip(header string) bool {
 		for _, p := range strings.Split(params, ";") {
 			p = strings.ToLower(strings.ReplaceAll(p, " ", ""))
 			if v, ok := strings.CutPrefix(p, "q="); ok {
-				// A q of 0, 0., 0.0, 0.00, 0.000 means "not acceptable".
-				refused = v != "" && strings.Trim(v, "0.") == "" && v[0] == '0'
+				// RFC 9110 §12.4.2: a weight of zero refuses the coding.
+				// Parse numerically so every spelling of zero (0, 0.0,
+				// .0, 0.000) refuses, and treat an unparseable weight as
+				// a refusal too — garbage never asked for the coding.
+				// The negated comparison keeps NaN (which ParseFloat
+				// accepts) in the refused branch.
+				q, err := strconv.ParseFloat(v, 64)
+				refused = err != nil || !(q > 0)
 				break
 			}
 		}
@@ -89,7 +144,11 @@ func acceptsGzip(header string) bool {
 
 // withGzip compresses responses for clients that accept it. Big query
 // windows serialize to many megabytes of highly repetitive JSON; gzip
-// typically cuts them by an order of magnitude.
+// typically cuts them by an order of magnitude. Compression is committed
+// lazily on the first body byte (see gzipResponseWriter), and a failed
+// terminal flush aborts the connection: ending the chunked stream
+// normally would hand the client a silently truncated body that still
+// parses as a complete successful response.
 func withGzip(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Add("Vary", "Accept-Encoding")
@@ -97,14 +156,22 @@ func withGzip(h http.Handler) http.Handler {
 			h.ServeHTTP(w, r)
 			return
 		}
-		gz := gzipPool.Get().(*gzip.Writer)
-		gz.Reset(w)
+		gw := &gzipResponseWriter{ResponseWriter: w}
+		// Recycle the pooled writer even when the handler panics past
+		// its first body byte (finish never runs then): the connection
+		// is being torn down, so no terminal flush is owed to it, but
+		// dropping the ~KBs of flate state to GC on every aborted
+		// request would defeat the pool. Get's Reset clears the state.
 		defer func() {
-			gz.Close()
-			gzipPool.Put(gz)
+			if gw.gz != nil {
+				gzipPool.Put(gw.gz)
+				gw.gz = nil
+			}
 		}()
-		w.Header().Set("Content-Encoding", "gzip")
-		h.ServeHTTP(gzipResponseWriter{ResponseWriter: w, gz: gz}, r)
+		h.ServeHTTP(gw, r)
+		if err := gw.finish(); err != nil {
+			panic(http.ErrAbortHandler)
+		}
 	})
 }
 
@@ -157,6 +224,7 @@ func parseQueryRequest(r *http.Request) (QueryRequest, error) {
 		}
 		req.Offset = n
 	}
+	req.Cursor = q.Get("cursor")
 	return req, nil
 }
 
@@ -195,10 +263,38 @@ func (s *Service) Handler() http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		// A limit or offset selects the paginated path; the body stays a
-		// JSON array of series (the page's slice of the point stream),
-		// with the page metadata in headers so unpaginated clients keep
-		// working unchanged.
+		// A cursor parameter — even an empty one, which starts a walk at
+		// the head of the stream — selects keyset pagination: the page
+		// position is a fixed (series, timestamp) token, so slow walkers
+		// stay consistent under live collection where offsets would
+		// drift. Offset and cursor name positions in incompatible ways,
+		// so presenting both is rejected rather than guessed at.
+		if q := r.URL.Query(); q.Has("cursor") {
+			if q.Has("offset") {
+				writeErr(w, http.StatusBadRequest,
+					fmt.Errorf("archive: cursor and offset are mutually exclusive; walk with one or the other"))
+				return
+			}
+			page, err := s.QueryCursor(req)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+			if page.NextCursor != "" {
+				w.Header().Set("X-Next-Cursor", page.NextCursor)
+				next := q
+				next.Set("cursor", page.NextCursor)
+				nu := *r.URL
+				nu.RawQuery = next.Encode()
+				w.Header().Set("Link", `<`+nu.RequestURI()+`>; rel="next"`)
+			}
+			streamSeriesJSON(w, http.StatusOK, page.Series)
+			return
+		}
+		// A limit or offset selects the offset-paginated path; the body
+		// stays a JSON array of series (the page's slice of the point
+		// stream), with the page metadata in headers so unpaginated
+		// clients keep working unchanged.
 		if req.Limit > 0 || req.Offset > 0 {
 			page, err := s.QueryPaged(req)
 			if err != nil {

@@ -67,6 +67,9 @@ func (s *Service) QueryPaged(req QueryRequest) (*QueryPage, error) {
 		return nil, err
 	}
 	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
+	// The offset path ignores a cursor; zero it so a stray token can't
+	// fragment the cache (the HTTP layer rejects the combination).
+	req.Cursor = ""
 	ck := cacheKey("page", req)
 	if v, ok := s.cache.get(ck, keyGen, genVec); ok {
 		return v.(*QueryPage), nil

@@ -10,7 +10,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/tsdb"
 )
@@ -104,6 +106,63 @@ func TestQueryPagedConcatenationEqualsUnpaginated(t *testing.T) {
 	if got := flatten(page.Series); len(got) != len(want)-1 || page.NextOffset != -1 {
 		t.Fatalf("huge-limit page: %d points (want %d), next %d", len(got), len(want)-1, page.NextOffset)
 	}
+}
+
+// TestQueryPagedConcurrentAppendRace pins QueryPaged's documented
+// behavior under live collection: the two passes (CountRange then
+// QueryRange) race concurrent appends, and the contract is that pages
+// stay well-formed — no panic, never more than limit points, totals and
+// next offsets self-consistent — not that they are mutually stable
+// (that is the cursor path's job). Run under -race in CI.
+func TestQueryPagedConcurrentAppendRace(t *testing.T) {
+	const (
+		nSeries = 8
+		nPoints = 100
+		rounds  = 300
+	)
+	s, db := buildCursorStore(t, nSeries, nPoints)
+	req := QueryRequest{Dataset: tsdb.DatasetPlacementScore}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			batch := make([]tsdb.Entry, 0, nSeries)
+			at := cursorT0.Add(time.Duration(nPoints+r) * time.Minute)
+			for i := 0; i < nSeries; i++ {
+				batch = append(batch, tsdb.Entry{Key: cursorStoreKey(i), At: at, Value: float64(r)})
+			}
+			if _, err := db.AppendBatch(batch); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+
+	lastTotal := 0
+	for i := 0; i < 400; i++ {
+		preq := req
+		preq.Limit = 1 + i%17
+		preq.Offset = (i * 13) % (nSeries * nPoints)
+		page, err := s.QueryPaged(preq)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if got := len(flatten(page.Series)); got > preq.Limit {
+			t.Fatalf("iteration %d: page holds %d points, limit %d", i, got, preq.Limit)
+		}
+		// The archive is append-only and the cache is generation-guarded,
+		// so the pass-1 total can only grow across requests.
+		if page.TotalPoints < lastTotal {
+			t.Fatalf("iteration %d: TotalPoints went backwards %d -> %d", i, lastTotal, page.TotalPoints)
+		}
+		lastTotal = page.TotalPoints
+		if page.NextOffset != -1 && page.NextOffset <= preq.Offset {
+			t.Fatalf("iteration %d: NextOffset %d not past offset %d", i, page.NextOffset, preq.Offset)
+		}
+	}
+	wg.Wait()
 }
 
 // TestQueryPagedCacheKeyedByPage asserts two pages of the same filter

@@ -1,0 +1,119 @@
+package collector
+
+// Regression test for the resume catch-up bug: both cmds fast-forward
+// the simulation clock past recovered data before collecting again, and
+// the first thing Start does is an immediate collection at clk.Now().
+// The store accepts same-timestamp appends (only strictly-earlier ones
+// are rejected as out of order), so a catch-up that lands exactly ON
+// MaxTime writes duplicate-timestamp points next to the recovered ones
+// whenever the simulated value changed. The catch-up must land one tick
+// PAST the recovered maximum.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/cloudsim"
+	"repro/internal/simclock"
+	"repro/internal/tsdb"
+)
+
+// resumeLeg opens the durable archive in dir and collects d of simulated
+// time on a fresh simulation, applying the cmds' resume catch-up first:
+// onePast selects the fixed recipe (land one tick past MaxTime) versus
+// the buggy one (land exactly on it).
+func resumeLeg(t *testing.T, dir string, d time.Duration, onePast bool) {
+	t.Helper()
+	cat := catalog.Compact(2)
+	clk := simclock.NewAtEpoch()
+	cloud := cloudsim.New(cat, clk, 7, cloudsim.DefaultParams())
+	db, err := tsdb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	cfg := DefaultConfig()
+	if maxAt, ok := db.MaxTime(); ok && !maxAt.Before(clk.Now()) {
+		target := maxAt
+		if onePast {
+			target = maxAt.Add(cfg.ScoreInterval)
+		}
+		clk.RunFor(target.Sub(clk.Now()))
+	}
+	col, err := New(cloud, db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Run(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// duplicateTimestamps counts per-series adjacent equal timestamps across
+// the whole archive.
+func duplicateTimestamps(t *testing.T, dir string) int {
+	t.Helper()
+	db, err := tsdb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	dups := 0
+	for _, k := range db.Keys(tsdb.KeyFilter{}) {
+		pts := db.Query(k, time.Time{}, time.Time{}.AddDate(9000, 0, 0))
+		for i := 1; i < len(pts); i++ {
+			if pts[i].At.Equal(pts[i-1].At) {
+				dups++
+			}
+		}
+	}
+	return dups
+}
+
+func TestResumeRoundTripNoDuplicateTimestamps(t *testing.T) {
+	dir := t.TempDir()
+	resumeLeg(t, dir, 2*time.Hour, true)
+	first := duplicateTimestamps(t, dir)
+	if first != 0 {
+		t.Fatalf("fresh run already holds %d duplicate timestamps", first)
+	}
+	// Resume twice more; each leg must continue strictly after the
+	// recovered data.
+	resumeLeg(t, dir, 2*time.Hour, true)
+	resumeLeg(t, dir, 1*time.Hour, true)
+	if dups := duplicateTimestamps(t, dir); dups != 0 {
+		t.Fatalf("resumed archive holds %d duplicate-timestamp points", dups)
+	}
+	// And the resumes actually appended new data rather than skipping.
+	db, err := tsdb.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	maxAt, ok := db.MaxTime()
+	if !ok || maxAt.Before(simclock.Epoch.Add(4*time.Hour)) {
+		t.Fatalf("resumed archive ends at %v; the legs did not continue collection", maxAt)
+	}
+}
+
+// TestResumeOntoMaxTimeWouldDuplicate documents why the catch-up must
+// overshoot: the same round-trip with the pre-fix recipe (clock landed
+// exactly on MaxTime) stores duplicate-timestamp points, because the
+// resumed simulation's values at that instant differ from the recovered
+// run's and AppendIfChanged only dedups equal values.
+func TestResumeOntoMaxTimeWouldDuplicate(t *testing.T) {
+	dir := t.TempDir()
+	resumeLeg(t, dir, 2*time.Hour, false)
+	resumeLeg(t, dir, 2*time.Hour, false)
+	if dups := duplicateTimestamps(t, dir); dups == 0 {
+		t.Skip("simulation happened to reproduce identical values at the resume instant; nothing to demonstrate")
+	}
+}

@@ -665,6 +665,80 @@ func (db *DB) QueryRange(k SeriesKey, from, to time.Time, skip, max int) []Point
 	return out
 }
 
+// afterBounds returns the index window [lo, hi) of s.points after the
+// position (after, seq) and at or before `to`. The caller holds the
+// owning shard's lock. This is the seek primitive behind keyset-cursor
+// pagination: the position names the seq-th point at timestamp `after`
+// (every earlier point plus the first seq points at exactly `after` are
+// consumed), so a resumed read starts at a fixed place in the
+// append-only series, unlike an offset, which shifts when earlier
+// points arrive. The store accepts equal-timestamp appends, so a bare
+// timestamp cannot address a position inside such a run — the sequence
+// component is what lets a page boundary fall there without dropping
+// the run's remainder.
+func afterBounds(s *series, after time.Time, seq int, to time.Time) (lo, hi int) {
+	lo = sort.Search(len(s.points), func(i int) bool { return !s.points[i].At.Before(after) })
+	if seq > 0 {
+		// seq consumes points at exactly `after`, never beyond its run:
+		// a forged or overshot count clamps to the run's end instead of
+		// eating later timestamps.
+		runEnd := sort.Search(len(s.points), func(i int) bool { return s.points[i].At.After(after) })
+		if seq > runEnd-lo {
+			lo = runEnd
+		} else {
+			lo += seq
+		}
+	}
+	hi = sort.Search(len(s.points), func(i int) bool { return s.points[i].At.After(to) })
+	return lo, hi
+}
+
+// CountAfter returns how many points of the series lie after the
+// position (after, seq) — see afterBounds — and at or before `to`,
+// without copying any of them: two binary searches under the shard's
+// read lock. Cursor pagination uses it to size the remainder of a
+// series the cursor position has partially consumed.
+func (db *DB) CountAfter(k SeriesKey, after time.Time, seq int, to time.Time) int {
+	sh := db.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.series[k]
+	if s == nil {
+		return 0
+	}
+	lo, hi := afterBounds(s, after, seq, to)
+	if lo >= hi {
+		return 0
+	}
+	return hi - lo
+}
+
+// QueryAfter returns up to max points of the series after the position
+// (after, seq) and at or before `to`, oldest first. A negative max means
+// "all remaining". Because the store is append-only and per-series
+// time-ordered, a fixed (timestamp, sequence) position never moves as
+// new points arrive — the property that keeps cursor pagination stable
+// under live collection, where a skipped offset would drift.
+func (db *DB) QueryAfter(k SeriesKey, after time.Time, seq int, to time.Time, max int) []Point {
+	sh := db.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.series[k]
+	if s == nil {
+		return nil
+	}
+	lo, hi := afterBounds(s, after, seq, to)
+	if max >= 0 && max < hi-lo {
+		hi = lo + max
+	}
+	if lo >= hi {
+		return nil
+	}
+	out := make([]Point, hi-lo)
+	copy(out, s.points[lo:hi])
+	return out
+}
+
 // ValueAt returns the series' value at time t under step semantics: the
 // value of the latest point at or before t. ok is false before the first
 // point or for an unknown series.
@@ -793,7 +867,10 @@ func (f KeyFilter) matches(k SeriesKey) bool {
 }
 
 // Keys returns the series keys matching the filter, sorted canonically.
-// Shards are visited one at a time; no global lock is held.
+// Shards are visited one at a time; no global lock is held. The
+// canonical forms are rendered once before sorting — comparing via
+// String() inside the sort would allocate two strings per comparison,
+// the dominant cost of every broad query's key-matching phase.
 func (db *DB) Keys(f KeyFilter) []SeriesKey {
 	var out []SeriesKey
 	for i := range db.shards {
@@ -806,8 +883,26 @@ func (db *DB) Keys(f KeyFilter) []SeriesKey {
 		}
 		sh.mu.RUnlock()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	canon := make([]string, len(out))
+	for i := range out {
+		canon[i] = out[i].String()
+	}
+	sort.Sort(&keysByCanon{keys: out, canon: canon})
 	return out
+}
+
+// keysByCanon sorts a key slice by its precomputed canonical forms,
+// keeping the two slices paired through swaps.
+type keysByCanon struct {
+	keys  []SeriesKey
+	canon []string
+}
+
+func (s *keysByCanon) Len() int           { return len(s.keys) }
+func (s *keysByCanon) Less(i, j int) bool { return s.canon[i] < s.canon[j] }
+func (s *keysByCanon) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.canon[i], s.canon[j] = s.canon[j], s.canon[i]
 }
 
 // SeriesCount returns the number of series.
