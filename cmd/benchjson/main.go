@@ -1,7 +1,7 @@
-// Command benchjson converts `go test -bench` text output into the
-// BENCH_pr*.json artifact schema the CI bench job records, so per-PR
-// performance numbers accumulate in a machine-readable series instead of
-// scrolling away in build logs.
+// Command benchjson converts `go test -bench` text output — and
+// spotlake-loadgen result rows — into the BENCH_pr*.json artifact schema
+// the CI bench job records, so per-PR performance numbers accumulate in
+// a machine-readable series instead of scrolling away in build logs.
 //
 // Usage:
 //
@@ -11,20 +11,29 @@
 // Schema (one object):
 //
 //	{
-//	  "schema": "spotlake-bench/v1",
+//	  "schema": "spotlake-bench/v2",
 //	  "goos": "linux", "goarch": "amd64", "cpu": "...",   // from the bench header
 //	  "benchmarks": [
 //	    {"name": "BenchmarkAppendParallel", "cpus": 4,
 //	     "fullName": "BenchmarkAppendParallel-4", "iterations": 3181405,
 //	     "nsPerOp": 377.5, "bytesPerOp": 48, "allocsPerOp": 2}
+//	  ],
+//	  "latency": [
+//	    {"class": "cursor", "concurrency": 5, "requests": 1234, "ok": 1230,
+//	     "throttled": 4, "shed": 0, "errors": 0, "rps": 123.4,
+//	     "p50Ms": 0.52, "p99Ms": 2.31}
 //	  ]
 //	}
 //
 // The -N suffix go test appends to benchmark names is the GOMAXPROCS the
 // run used (absent means 1); it is split out as "cpus" so a -cpu=1,4
-// matrix yields comparable pairs under one bare name. Lines that are not
-// benchmark results (headers, PASS, ok) set metadata or are ignored, so
-// the tool can be fed a whole `go test` transcript.
+// matrix yields comparable pairs under one bare name. `loadgen:` rows
+// (see cmd/spotlake-loadgen) become the `latency` section: p50/p99
+// wall-clock latency at a fixed offered load (the row's concurrency),
+// per traffic class plus the "all" aggregate — the latency-under-load
+// series microbenchmarks cannot measure. Other lines (headers, PASS,
+// ok) set metadata or are ignored, so the tool can be fed a whole
+// `go test` transcript with a loadgen run appended.
 package main
 
 import (
@@ -51,12 +60,31 @@ type benchResult struct {
 	AllocsPerOp int64   `json:"allocsPerOp"`
 }
 
+// latencyResult is one loadgen row: percentile latency at a fixed
+// offered load. P50Ms/P99Ms are null (absent) when the row had no
+// successful requests to measure.
+type latencyResult struct {
+	Class       string   `json:"class"`
+	Concurrency int      `json:"concurrency"`
+	Requests    int64    `json:"requests"`
+	OK          int64    `json:"ok"`
+	Throttled   int64    `json:"throttled"`
+	Shed        int64    `json:"shed"`
+	Errors      int64    `json:"errors"`
+	RPS         float64  `json:"rps"`
+	P50Ms       *float64 `json:"p50Ms"`
+	P99Ms       *float64 `json:"p99Ms"`
+}
+
 type benchFile struct {
 	Schema     string        `json:"schema"`
 	GOOS       string        `json:"goos,omitempty"`
 	GOARCH     string        `json:"goarch,omitempty"`
 	CPU        string        `json:"cpu,omitempty"`
 	Benchmarks []benchResult `json:"benchmarks"`
+	// Latency holds loadgen rows; omitted entirely for pure
+	// microbenchmark transcripts so pre-v2 consumers see no change.
+	Latency []latencyResult `json:"latency,omitempty"`
 }
 
 // benchLine matches one result line. Columns after ns/op are optional
@@ -71,12 +99,46 @@ var (
 	cpuSuffix = regexp.MustCompile(`-(\d+)$`)
 )
 
+// loadgenLine matches one spotlake-loadgen result row. p50/p99 are NaN
+// when the row measured no successful request.
+var loadgenLine = regexp.MustCompile(
+	`^loadgen: class=(\S+) concurrency=(\d+) requests=(\d+) ok=(\d+) throttled=(\d+) shed=(\d+) errors=(\d+) rps=([0-9.]+) p50ms=([0-9.]+|NaN) p99ms=([0-9.]+|NaN)$`)
+
+// parseLoadgen unpacks a loadgenLine submatch; the regexp guarantees the
+// numeric fields parse.
+func parseLoadgen(m []string) latencyResult {
+	atoi := func(s string) int64 { n, _ := strconv.ParseInt(s, 10, 64); return n }
+	res := latencyResult{
+		Class:       m[1],
+		Concurrency: int(atoi(m[2])),
+		Requests:    atoi(m[3]),
+		OK:          atoi(m[4]),
+		Throttled:   atoi(m[5]),
+		Shed:        atoi(m[6]),
+		Errors:      atoi(m[7]),
+	}
+	res.RPS, _ = strconv.ParseFloat(m[8], 64)
+	if m[9] != "NaN" {
+		v, _ := strconv.ParseFloat(m[9], 64)
+		res.P50Ms = &v
+	}
+	if m[10] != "NaN" {
+		v, _ := strconv.ParseFloat(m[10], 64)
+		res.P99Ms = &v
+	}
+	return res
+}
+
 func parse(r io.Reader) (benchFile, error) {
-	out := benchFile{Schema: "spotlake-bench/v1", Benchmarks: []benchResult{}}
+	out := benchFile{Schema: "spotlake-bench/v2", Benchmarks: []benchResult{}}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
+		if lm := loadgenLine.FindStringSubmatch(line); lm != nil {
+			out.Latency = append(out.Latency, parseLoadgen(lm))
+			continue
+		}
 		switch {
 		case strings.HasPrefix(line, "goos: "):
 			out.GOOS = strings.TrimPrefix(line, "goos: ")
@@ -138,8 +200,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if len(out.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines in input")
+	if len(out.Benchmarks) == 0 && len(out.Latency) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark or loadgen result lines in input")
 		os.Exit(1)
 	}
 	enc := json.NewEncoder(os.Stdout)

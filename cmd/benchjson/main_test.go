@@ -45,6 +45,54 @@ ok  	repro/internal/tsdb	12.3s
 	}
 }
 
+// TestParseLoadgenRows: spotlake-loadgen result rows interleaved with a
+// bench transcript become the artifact's latency section, with NaN
+// percentiles (no successful request to measure) kept distinguishable
+// from genuine zeros as JSON nulls.
+func TestParseLoadgenRows(t *testing.T) {
+	const in = `goos: linux
+BenchmarkAppendParallel      	 3181405	       377.5 ns/op
+loadgen: class=cursor concurrency=5 requests=1234 ok=1230 throttled=4 shed=0 errors=0 rps=123.4 p50ms=0.520 p99ms=2.310
+loadgen: class=all concurrency=16 requests=3000 ok=0 throttled=3000 shed=0 errors=0 rps=300.0 p50ms=NaN p99ms=NaN
+PASS
+`
+	out, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != "spotlake-bench/v2" {
+		t.Fatalf("schema = %q, want spotlake-bench/v2", out.Schema)
+	}
+	if len(out.Benchmarks) != 1 || len(out.Latency) != 2 {
+		t.Fatalf("parsed %d benchmarks / %d latency rows, want 1 / 2", len(out.Benchmarks), len(out.Latency))
+	}
+	l0 := out.Latency[0]
+	if l0.Class != "cursor" || l0.Concurrency != 5 || l0.Requests != 1234 || l0.OK != 1230 ||
+		l0.Throttled != 4 || l0.RPS != 123.4 {
+		t.Fatalf("cursor row: %+v", l0)
+	}
+	if l0.P50Ms == nil || *l0.P50Ms != 0.52 || l0.P99Ms == nil || *l0.P99Ms != 2.31 {
+		t.Fatalf("cursor row percentiles: %+v %+v", l0.P50Ms, l0.P99Ms)
+	}
+	l1 := out.Latency[1]
+	if l1.Class != "all" || l1.Throttled != 3000 || l1.P50Ms != nil || l1.P99Ms != nil {
+		t.Fatalf("all-throttled row: %+v", l1)
+	}
+}
+
+// TestParseLoadgenOnly: a transcript with only loadgen rows (no
+// microbenchmarks) is still a valid artifact.
+func TestParseLoadgenOnly(t *testing.T) {
+	out, err := parse(strings.NewReader(
+		"loadgen: class=hot concurrency=8 requests=100 ok=100 throttled=0 shed=0 errors=0 rps=10.0 p50ms=1.000 p99ms=2.000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Latency) != 1 || len(out.Benchmarks) != 0 {
+		t.Fatalf("latency %d benchmarks %d, want 1 and 0", len(out.Latency), len(out.Benchmarks))
+	}
+}
+
 // TestParseKeepsIntrinsicDashOne pins the GOMAXPROCS-suffix heuristic: go
 // test appends -N only for N > 1, so a name's own trailing -1 (a region
 // like us-east-1 at cpu=1, where no suffix is added) must survive — else

@@ -17,6 +17,13 @@
 // -checkpoint-interval of simulated time. Restarts bulk-load the
 // snapshot and replay only bounded per-shard chain tails.
 //
+// The HTTP front is hardened for public traffic: the listener runs with
+// read/write/idle timeouts (a slowloris client cannot hold a goroutine
+// forever), and the admission layer throttles per-client request rates
+// (429 + Retry-After), bounds concurrent in-flight requests, and sheds
+// the excess with 503 once a bounded queue wait expires. SIGINT/SIGTERM
+// drain in-flight requests before the store closes.
+//
 // Usage:
 //
 //	spotlake-server [-addr :8080] [-bootstrap-days 14] [-frac 0.12]
@@ -24,14 +31,19 @@
 //	                [-checkpoint-interval 24h] [-checkpoint-bytes 67108864]
 //	                [-rotate-bytes 8388608] [-max-sealed-segments 64]
 //	                [-maintenance-interval 1s] [-snapshot FILE]
+//	                [-max-in-flight 256] [-queue-wait 100ms]
+//	                [-rate-limit 50] [-rate-burst 100] [-drain-timeout 15s]
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/archive"
@@ -63,6 +75,11 @@ func main() {
 		maxSealed  = flag.Int("max-sealed-segments", 64, "checkpoint before any shard accumulates this many sealed WAL segments (0 disables the cap)")
 		maintIv    = flag.Duration("maintenance-interval", tsdb.DefaultMaintenanceInterval, "store maintenance daemon poll period (negative disables the daemon)")
 		snapshot   = flag.String("snapshot", "", "standalone snapshot file: loaded at startup when present (skipping that much bootstrap), saved after bootstrap (deprecated with -data: the data dir checkpoints itself)")
+		maxInFl    = flag.Int("max-in-flight", 256, "cap on concurrently executing requests; the excess queues briefly then is shed with 503 (0 = unlimited)")
+		queueWait  = flag.Duration("queue-wait", 100*time.Millisecond, "how long an over-cap request may wait for an in-flight slot before being shed")
+		rateLimit  = flag.Float64("rate-limit", 50, "per-client sustained requests/sec before 429 + Retry-After (0 disables throttling)")
+		rateBurst  = flag.Float64("rate-burst", 100, "per-client burst allowance above the sustained rate")
+		drainTO    = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests to drain")
 	)
 	flag.Parse()
 
@@ -185,8 +202,51 @@ func main() {
 	if *multiCloud {
 		svc.AllowDatasets(multicloud.AllDatasets...)
 	}
-	log.Printf("serving on %s (simulated time advances %v per %v)", *addr, cfg.ScoreInterval, *tick)
-	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
+	svc.SetAdmission(archive.NewAdmission(archive.AdmissionConfig{
+		MaxInFlight: *maxInFl,
+		MaxQueue:    *maxInFl,
+		QueueWait:   *queueWait,
+		RatePerSec:  *rateLimit,
+		Burst:       *rateBurst,
+	}))
+
+	// A configured server, not bare ListenAndServe: without timeouts one
+	// slowloris client per goroutine holds connections (and memory) until
+	// the process dies. WriteTimeout bounds the whole response, so it is
+	// sized for the largest streamed window, not a socket write.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("serving on %s (simulated time advances %v per %v; admission: %d in-flight, %.3g req/s per client)",
+		*addr, cfg.ScoreInterval, *tick, *maxInFl, *rateLimit)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		// The listener died on its own; nothing to drain. Close the store
+		// explicitly — log.Fatalf skips deferred calls.
+		if closeErr := db.Close(); closeErr != nil {
+			log.Printf("closing store: %v", closeErr)
+		}
 		log.Fatalf("http: %v", err)
+	case <-ctx.Done():
+		// Graceful shutdown: stop accepting, let in-flight requests
+		// finish (bounded), then the deferred db.Close checkpoints and
+		// closes the store with no readers left.
+		stop()
+		log.Printf("shutdown signal; draining in-flight requests (up to %v)", *drainTO)
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		log.Printf("drained; closing store")
 	}
 }

@@ -1,0 +1,337 @@
+package archive
+
+// Admission control for the serving layer: the piece the paper's
+// deployment gets from its API gateway, done here as middleware in
+// front of the query handlers.
+//
+// Two gates run in order, cheapest first:
+//
+//  1. Per-client token buckets (keyed off the first X-Forwarded-For hop,
+//     falling back to RemoteAddr) throttle abusive clients with 429 +
+//     Retry-After before they can occupy a slot. Buckets refill lazily
+//     and the client table is LRU-bounded, so a scan across a million
+//     source addresses cannot grow it without bound.
+//  2. A global in-flight cap bounds concurrent requests actually
+//     executing. When the server is saturated a request waits in a
+//     bounded queue for a bounded time; past either bound it is shed
+//     with 503 + Retry-After rather than piling one goroutine per
+//     queued client onto a node that is already behind.
+//
+// /api/v1/meta is exempt so an overloaded server can still be observed;
+// every other endpoint pays the (two-atomic-loads) admission cost.
+// Admitted requests record their handler latency in a fixed-size ring,
+// from which Stats derives rolling p50/p99 — the signal an operator
+// (or a future latency-adaptive controller) watches under load.
+
+import (
+	"container/list"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AdmissionConfig tunes the controller. Zero values disable the
+// corresponding gate, so AdmissionConfig{} admits everything (but still
+// counts and measures).
+type AdmissionConfig struct {
+	// MaxInFlight caps requests executing concurrently (0 = unlimited).
+	MaxInFlight int
+	// MaxQueue caps how many requests may wait for a slot when the cap
+	// is reached; arrivals beyond it are shed immediately (0 = no queue:
+	// shed as soon as the cap is hit).
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits for a slot before
+	// being shed.
+	QueueWait time.Duration
+	// RatePerSec is each client's sustained request rate (0 = no
+	// per-client throttling); Burst is the bucket size — how many
+	// requests a client may issue back-to-back after an idle period
+	// (values below 1 are raised to 1, or to RatePerSec if larger).
+	RatePerSec float64
+	Burst      float64
+	// MaxClients bounds the tracked-client table; the least recently
+	// seen client is evicted first (its bucket restarts full if it
+	// returns). Default 16384.
+	MaxClients int
+	// RetryAfter is the Retry-After hint attached to 503 sheds (429
+	// throttles compute theirs from the client's own refill rate).
+	// Default 1s.
+	RetryAfter time.Duration
+}
+
+// Admission is the serving layer's traffic controller. One instance
+// fronts one Service's handler (see Service.SetAdmission); its counters
+// feed /api/v1/meta.
+type Admission struct {
+	cfg   AdmissionConfig
+	slots chan struct{} // nil = unlimited
+
+	queued    atomic.Int64
+	inFlight  atomic.Int64
+	admitted  atomic.Uint64
+	throttled atomic.Uint64
+	shed      atomic.Uint64
+
+	lat latencyRing
+
+	clients clientBuckets
+
+	// now is a test seam for the token-bucket clock.
+	now func() time.Time
+}
+
+// NewAdmission builds a controller from cfg, applying the documented
+// defaults for unset bookkeeping fields.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = 16384
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.RatePerSec > 0 && cfg.Burst < 1 {
+		cfg.Burst = max(1, cfg.RatePerSec)
+	}
+	a := &Admission{cfg: cfg, now: time.Now}
+	if cfg.MaxInFlight > 0 {
+		a.slots = make(chan struct{}, cfg.MaxInFlight)
+	}
+	a.lat.init(2048)
+	a.clients.init(cfg.MaxClients)
+	return a
+}
+
+// AdmissionStats is the controller's health snapshot, surfaced in
+// /api/v1/meta. Admitted/Throttled/Shed partition every non-exempt
+// request seen; P50/P99 are over the last ~2048 admitted requests'
+// handler latencies (0 until the first completes).
+type AdmissionStats struct {
+	Admitted    uint64  `json:"admitted"`
+	Throttled   uint64  `json:"throttled"`
+	Shed        uint64  `json:"shed"`
+	InFlight    int64   `json:"inFlight"`
+	Queued      int64   `json:"queued"`
+	MaxInFlight int     `json:"maxInFlight"`
+	RatePerSec  float64 `json:"ratePerSec"`
+	P50Ms       float64 `json:"p50Ms"`
+	P99Ms       float64 `json:"p99Ms"`
+}
+
+// Stats snapshots the controller.
+func (a *Admission) Stats() AdmissionStats {
+	p50, p99 := a.lat.percentiles()
+	return AdmissionStats{
+		Admitted:    a.admitted.Load(),
+		Throttled:   a.throttled.Load(),
+		Shed:        a.shed.Load(),
+		InFlight:    a.inFlight.Load(),
+		Queued:      a.queued.Load(),
+		MaxInFlight: a.cfg.MaxInFlight,
+		RatePerSec:  a.cfg.RatePerSec,
+		P50Ms:       float64(p50) / float64(time.Millisecond),
+		P99Ms:       float64(p99) / float64(time.Millisecond),
+	}
+}
+
+// clientKey identifies the client for rate limiting: the first
+// X-Forwarded-For hop when a fronting proxy supplies one, else the
+// connection's source address without its ephemeral port.
+func clientKey(r *http.Request) string {
+	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+		first, _, _ := strings.Cut(xff, ",")
+		if ip := strings.TrimSpace(first); ip != "" {
+			return ip
+		}
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// withAdmission gates h behind the controller. A nil controller serves
+// h directly.
+func withAdmission(a *Admission, h http.Handler) http.Handler {
+	if a == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Meta stays reachable during overload: it is how overload is
+		// diagnosed.
+		if r.URL.Path == "/api/v1/meta" {
+			h.ServeHTTP(w, r)
+			return
+		}
+		if a.cfg.RatePerSec > 0 {
+			if wait, ok := a.clients.take(clientKey(r), a.cfg.RatePerSec, a.cfg.Burst, a.now()); !ok {
+				a.throttled.Add(1)
+				writeRetry(w, http.StatusTooManyRequests, wait,
+					fmt.Errorf("archive: client rate limit exceeded (%.3g req/s sustained); retry after the Retry-After delay", a.cfg.RatePerSec))
+				return
+			}
+		}
+		release, ok := a.acquireSlot(r)
+		if !ok {
+			a.shed.Add(1)
+			writeRetry(w, http.StatusServiceUnavailable, a.cfg.RetryAfter,
+				fmt.Errorf("archive: server at capacity (%d in-flight requests); retry after the Retry-After delay", a.cfg.MaxInFlight))
+			return
+		}
+		a.admitted.Add(1)
+		a.inFlight.Add(1)
+		start := time.Now()
+		// The deferred release must survive handler panics (the gzip
+		// layer aborts connections via http.ErrAbortHandler): a leaked
+		// slot would permanently shrink the server's capacity.
+		defer func() {
+			a.lat.record(time.Since(start))
+			a.inFlight.Add(-1)
+			release()
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// acquireSlot takes an in-flight slot, waiting in the bounded queue when
+// the cap is reached. It returns the release func and whether the
+// request was admitted; a false return means shed (queue full, wait
+// exhausted, or the client gave up).
+func (a *Admission) acquireSlot(r *http.Request) (release func(), ok bool) {
+	if a.slots == nil {
+		return func() {}, true
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return a.releaseSlot, true
+	default:
+	}
+	// Saturated: join the bounded queue for a bounded time.
+	if a.cfg.MaxQueue <= 0 || a.cfg.QueueWait <= 0 {
+		return nil, false
+	}
+	if a.queued.Add(1) > int64(a.cfg.MaxQueue) {
+		a.queued.Add(-1)
+		return nil, false
+	}
+	defer a.queued.Add(-1)
+	t := time.NewTimer(a.cfg.QueueWait)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return a.releaseSlot, true
+	case <-t.C:
+		return nil, false
+	case <-r.Context().Done():
+		return nil, false
+	}
+}
+
+func (a *Admission) releaseSlot() { <-a.slots }
+
+// writeRetry rejects a request with a Retry-After hint (whole seconds,
+// rounded up, minimum 1 — RFC 9110 delay-seconds).
+func writeRetry(w http.ResponseWriter, status int, after time.Duration, err error) {
+	secs := int64((after + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeErr(w, status, err)
+}
+
+// clientBuckets is the LRU-bounded table of per-client token buckets.
+type clientBuckets struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently seen
+	m   map[string]*list.Element
+}
+
+type clientBucket struct {
+	key    string
+	tokens float64
+	last   time.Time
+}
+
+func (c *clientBuckets) init(capacity int) {
+	c.cap = capacity
+	c.ll = list.New()
+	c.m = make(map[string]*list.Element)
+}
+
+// take spends one token from key's bucket, creating it full on first
+// sight. When the bucket is empty it reports how long until the next
+// token accrues.
+func (c *clientBuckets) take(key string, rate, burst float64, now time.Time) (wait time.Duration, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.m[key]
+	var b *clientBucket
+	if found {
+		b = el.Value.(*clientBucket)
+		// Lazy refill; a negative elapsed (clock step in tests) adds
+		// nothing rather than draining the bucket.
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens = min(burst, b.tokens+dt*rate)
+		}
+		b.last = now
+		c.ll.MoveToFront(el)
+	} else {
+		b = &clientBucket{key: key, tokens: burst, last: now}
+		c.m[key] = c.ll.PushFront(b)
+		for c.ll.Len() > c.cap {
+			back := c.ll.Back()
+			c.ll.Remove(back)
+			delete(c.m, back.Value.(*clientBucket).key)
+		}
+	}
+	if b.tokens < 1 {
+		return time.Duration((1 - b.tokens) / rate * float64(time.Second)), false
+	}
+	b.tokens--
+	return 0, true
+}
+
+// latencyRing keeps the last cap handler latencies for rolling
+// percentiles. Both sides take the mutex: recording is a single store
+// under it (negligible next to the request it measures), and snapshots
+// only run for /api/v1/meta.
+type latencyRing struct {
+	mu  sync.Mutex
+	buf []time.Duration
+	n   uint64 // total recorded ever
+}
+
+func (r *latencyRing) init(capacity int) { r.buf = make([]time.Duration, capacity) }
+
+func (r *latencyRing) record(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.n%uint64(len(r.buf))] = d
+	r.n++
+	r.mu.Unlock()
+}
+
+// percentiles returns the rolling p50/p99 over the ring's samples
+// (zeros before the first sample lands).
+func (r *latencyRing) percentiles() (p50, p99 time.Duration) {
+	r.mu.Lock()
+	filled := int(min(r.n, uint64(len(r.buf))))
+	samples := make([]time.Duration, filled)
+	copy(samples, r.buf[:filled])
+	r.mu.Unlock()
+	if filled == 0 {
+		return 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := func(p float64) time.Duration {
+		i := int(p * float64(filled-1))
+		return samples[i]
+	}
+	return idx(0.50), idx(0.99)
+}

@@ -46,6 +46,11 @@ type Service struct {
 	datasets map[string]bool
 	workers  int
 	cache    *resultCache
+	// flight coalesces identical uncached computations onto one store
+	// read (see singleflight.go); admission, when set, gates the HTTP
+	// layer (see admission.go).
+	flight    flightGroup
+	admission *Admission
 }
 
 // NewService builds the query service over a store and the catalog it was
@@ -73,8 +78,21 @@ func (s *Service) SetWorkers(n int) {
 	s.workers = n
 }
 
-// CacheStats reports the result cache's cumulative hits and misses.
-func (s *Service) CacheStats() CacheStats { return s.cache.stats() }
+// CacheStats reports the result cache's cumulative hits and misses plus
+// the singleflight group's coalesced-request count. A coalesced request
+// is a subset of the misses (it missed the cache, then piggybacked on an
+// identical in-flight computation), so actual store computations are
+// Misses - Coalesced.
+func (s *Service) CacheStats() CacheStats {
+	st := s.cache.stats()
+	st.Coalesced = s.flight.coalesced.Load()
+	return st
+}
+
+// SetAdmission installs an admission controller: Handler() wraps the API
+// in it, and Meta() surfaces its counters. Nil (the default) serves
+// without admission control.
+func (s *Service) SetAdmission(a *Admission) { s.admission = a }
 
 // fanOut runs fn(i) for i in [0, n) on a bounded worker pool and waits.
 // Output slots are per-index, so results are deterministic regardless of
@@ -194,22 +212,36 @@ func (s *Service) matchedKeys(req QueryRequest) ([]tsdb.SeriesKey, error) {
 }
 
 // Query returns every matching series restricted to the window. It fails
-// when the filter matches more than MaxSeriesPerQuery series.
+// when the filter matches more than MaxSeriesPerQuery series. Cache
+// misses go through the singleflight group: concurrent identical cold
+// queries collapse onto one store computation whose result (and
+// generation capture, via the cache entry the leader publishes) every
+// coalesced caller shares.
 func (s *Service) Query(req QueryRequest) ([]SeriesResult, error) {
 	from, to, err := s.checkWindow(req)
 	if err != nil {
 		return nil, err
 	}
-	// Capture the generations before reading: a write racing the fan-out
-	// makes the cached entry stale immediately, never the reverse.
-	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
 	// Query always returns the full window; zero the page fields so a
 	// caller that set them doesn't fragment the cache.
 	req.Limit, req.Offset, req.Cursor = 0, 0, ""
 	ck := cacheKey("query", req)
-	if v, ok := s.cache.get(ck, keyGen, genVec); ok {
+	if v, ok := s.cache.get(ck, s.db.KeyGeneration(), s.db.ShardGenerations()); ok {
 		return v.([]SeriesResult), nil
 	}
+	v, err := s.flight.do(ck, func() (any, error) { return s.queryCold(req, ck, from, to) })
+	if err != nil {
+		return nil, err
+	}
+	return v.([]SeriesResult), nil
+}
+
+// queryCold is the leader's computation for a Query cache miss.
+func (s *Service) queryCold(req QueryRequest, ck string, from, to time.Time) (any, error) {
+	// Capture the generations before reading: a write racing the fan-out
+	// makes the cached entry stale immediately, never the reverse. The
+	// capture is the leader's own — coalesced followers share it.
+	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
 	keys, err := s.matchedKeys(req)
 	if err != nil {
 		return nil, err
@@ -276,16 +308,25 @@ func (s *Service) Latest(req QueryRequest) ([]LatestEntry, error) {
 	if _, _, err := s.checkWindow(req); err != nil {
 		return nil, err
 	}
-	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
 	// Latest ignores the window and the page, so the key must too —
 	// otherwise clients polling with a moving from/to fragment the cache.
 	filterOnly := req
 	filterOnly.From, filterOnly.To = time.Time{}, time.Time{}
 	filterOnly.Limit, filterOnly.Offset, filterOnly.Cursor = 0, 0, ""
 	ck := cacheKey("latest", filterOnly)
-	if v, ok := s.cache.get(ck, keyGen, genVec); ok {
+	if v, ok := s.cache.get(ck, s.db.KeyGeneration(), s.db.ShardGenerations()); ok {
 		return v.([]LatestEntry), nil
 	}
+	v, err := s.flight.do(ck, func() (any, error) { return s.latestCold(req, ck) })
+	if err != nil {
+		return nil, err
+	}
+	return v.([]LatestEntry), nil
+}
+
+// latestCold is the leader's computation for a Latest cache miss.
+func (s *Service) latestCold(req QueryRequest, ck string) (any, error) {
+	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
 	keys, err := s.matchedKeys(req)
 	if err != nil {
 		return nil, err
@@ -321,6 +362,9 @@ type Meta struct {
 	AZs         int            `json:"azs"`
 	Cache       CacheStats     `json:"cache"`
 	Store       StoreMeta      `json:"store"`
+	// Admission reports the traffic controller's counters and rolling
+	// handler-latency percentiles; absent when no controller is set.
+	Admission *AdmissionStats `json:"admission,omitempty"`
 }
 
 // StoreMeta surfaces the tsdb's durability health: the size of the
@@ -349,7 +393,7 @@ func (s *Service) Meta() Meta {
 		Types:       s.cat.NumTypes(),
 		Regions:     s.cat.NumRegions(),
 		AZs:         s.cat.NumAZs(),
-		Cache:       s.cache.stats(),
+		Cache:       s.CacheStats(),
 		Store: StoreMeta{
 			Durable:                 s.db.Durable(),
 			WALBytesSinceCheckpoint: s.db.WALBytesSinceCheckpoint(),
@@ -361,6 +405,10 @@ func (s *Service) Meta() Meta {
 			MaintainerActive:        s.db.MaintainerActive(),
 			Maintenance:             s.db.MaintenanceStats(),
 		},
+	}
+	if s.admission != nil {
+		st := s.admission.Stats()
+		m.Admission = &st
 	}
 	for _, ds := range s.Datasets() {
 		m.Datasets[ds] = len(s.db.Keys(tsdb.KeyFilter{Dataset: ds}))

@@ -97,11 +97,15 @@ func (c *resultCache) put(key string, keyGen uint64, shards []uint32, gens []uin
 
 // CacheStats reports cumulative result-cache counters. Invalidations
 // counts entries evicted because a depended-on shard (or the key set)
-// changed; they are a subset of misses.
+// changed; they are a subset of misses. Coalesced counts misses that
+// joined an identical in-flight computation instead of computing (also
+// a subset of misses — filled in by Service.CacheStats, not here), so
+// Misses - Coalesced is the number of store computations performed.
 type CacheStats struct {
 	Hits          uint64 `json:"hits"`
 	Misses        uint64 `json:"misses"`
 	Invalidations uint64 `json:"invalidations"`
+	Coalesced     uint64 `json:"coalesced"`
 }
 
 func (c *resultCache) stats() CacheStats {

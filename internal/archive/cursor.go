@@ -158,12 +158,26 @@ func (s *Service) QueryCursor(req QueryRequest) (*CursorPage, error) {
 			return nil, fmt.Errorf("%w: token position lies outside the query window", ErrBadCursor)
 		}
 	}
-	// Capture the generations before reading, like every query path.
-	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
 	ck := cacheKey("cursor", req)
-	if v, ok := s.cache.get(ck, keyGen, genVec); ok {
+	if v, ok := s.cache.get(ck, s.db.KeyGeneration(), s.db.ShardGenerations()); ok {
 		return v.(*CursorPage), nil
 	}
+	// Concurrent identical cold page requests (many clients replaying the
+	// same walk position) collapse onto one computation.
+	v, err := s.flight.do(ck, func() (any, error) {
+		return s.cursorCold(req, ck, from, to, curKey, curAt, curSeq, resuming)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*CursorPage), nil
+}
+
+// cursorCold is the leader's computation for a QueryCursor cache miss.
+func (s *Service) cursorCold(req QueryRequest, ck string, from, to time.Time, curKey string, curAt time.Time, curSeq int, resuming bool) (any, error) {
+	// Capture the generations before reading, like every query path.
+	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
+	scope := cursorScope(req)
 	keys, err := s.matchedKeys(req)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -84,6 +85,25 @@ func (w *gzipResponseWriter) Write(b []byte) (int, error) {
 		w.gz = gz
 	}
 	return w.gz.Write(b)
+}
+
+// Flush implements http.Flusher so streaming handlers can push partial
+// responses through the compression layer. Before the first body byte
+// it is a no-op — flushing nothing must not commit headers or emit an
+// empty gzip frame, preserving the lazy-commit semantics for bodyless
+// responses. Afterwards it drains the gzip stream (a sync flush, so the
+// bytes emitted decode without waiting for the trailer) and then pushes
+// the underlying writer.
+func (w *gzipResponseWriter) Flush() {
+	if w.gz == nil {
+		return
+	}
+	// A flush error is sticky in the gzip writer: the next Write returns
+	// it, which is where streaming handlers abort.
+	_ = w.gz.Flush()
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // finish flushes the compressed stream after the handler returns. With
@@ -180,7 +200,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		// The body is (at best) partially written under a success status;
+		// ending the stream normally would hand the client a truncated
+		// document that parses as complete. Kill the connection instead.
+		panic(http.ErrAbortHandler)
+	}
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
@@ -199,14 +224,17 @@ func parseQueryRequest(r *http.Request) (QueryRequest, error) {
 	if s := q.Get("from"); s != "" {
 		t, err := time.Parse(time.RFC3339, s)
 		if err != nil {
-			return req, err
+			// Name the offending parameter: a raw time.Parse error tells
+			// the client what was malformed but not which of its (possibly
+			// many) parameters carried it.
+			return req, fmt.Errorf("archive: from must be an RFC 3339 timestamp (e.g. 2022-01-01T00:00:00Z), got %q", s)
 		}
 		req.From = t
 	}
 	if s := q.Get("to"); s != "" {
 		t, err := time.Parse(time.RFC3339, s)
 		if err != nil {
-			return req, err
+			return req, fmt.Errorf("archive: to must be an RFC 3339 timestamp (e.g. 2022-01-01T00:00:00Z), got %q", s)
 		}
 		req.To = t
 	}
@@ -231,26 +259,64 @@ func parseQueryRequest(r *http.Request) (QueryRequest, error) {
 // streamSeriesJSON writes a JSON array of series results one series at a
 // time: each element is encoded and flushed to the (possibly gzip'd)
 // response as it is produced, so a multi-megabyte window never
-// materializes a second time as one contiguous JSON buffer. The body
+// materializes a second time as one contiguous JSON buffer and the
+// client sees the first series without waiting for the last. The body
 // shape is identical to json.Marshal of the slice.
+//
+// The first write error stops the stream and aborts the connection
+// (http.ErrAbortHandler): the usual cause is a client that vanished,
+// and for anything else a truncated array must not be deliverable as a
+// complete response. Under gzip the abort also skips the terminal
+// flush, so the compressed stream ends torn rather than well-formed.
 func streamSeriesJSON(w http.ResponseWriter, status int, series []SeriesResult) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
+	write := func(s string) {
+		if _, err := io.WriteString(w, s); err != nil {
+			panic(http.ErrAbortHandler)
+		}
+	}
 	if len(series) == 0 {
-		_, _ = io.WriteString(w, "[]\n")
+		write("[]\n")
 		return
 	}
-	_, _ = io.WriteString(w, "[")
+	flusher, _ := w.(http.Flusher)
+	write("[")
 	enc := json.NewEncoder(w)
 	for i := range series {
 		if i > 0 {
-			_, _ = io.WriteString(w, ",")
+			write(",")
 		}
 		// Encode appends a newline — interelement whitespace, still one
 		// valid JSON array.
-		_ = enc.Encode(series[i])
+		if err := enc.Encode(series[i]); err != nil {
+			panic(http.ErrAbortHandler)
+		}
+		// Push the finished element to the client (through the gzip
+		// layer, which forwards Flush) so a slow fan-out streams page by
+		// page instead of buffering the whole response.
+		if flusher != nil {
+			flusher.Flush()
+		}
 	}
-	_, _ = io.WriteString(w, "]\n")
+	write("]\n")
+}
+
+// setNextLink advertises the next page of a paginated walk: hdr carries
+// the bare value and Link a ready-to-follow URL with param replaced.
+// The URL is built on a deep copy of the request's parsed query —
+// mutating the url.Values a handler is still holding (the old code
+// shared the map) would silently rewrite every later read of it.
+func setNextLink(w http.ResponseWriter, r *http.Request, hdr, param, value string) {
+	w.Header().Set(hdr, value)
+	next := make(url.Values, len(r.URL.Query())+1)
+	for k, vs := range r.URL.Query() {
+		next[k] = append([]string(nil), vs...)
+	}
+	next.Set(param, value)
+	nu := *r.URL
+	nu.RawQuery = next.Encode()
+	w.Header().Set("Link", `<`+nu.RequestURI()+`>; rel="next"`)
 }
 
 // Handler returns the HTTP API of the archive service.
@@ -281,12 +347,7 @@ func (s *Service) Handler() http.Handler {
 				return
 			}
 			if page.NextCursor != "" {
-				w.Header().Set("X-Next-Cursor", page.NextCursor)
-				next := q
-				next.Set("cursor", page.NextCursor)
-				nu := *r.URL
-				nu.RawQuery = next.Encode()
-				w.Header().Set("Link", `<`+nu.RequestURI()+`>; rel="next"`)
+				setNextLink(w, r, "X-Next-Cursor", "cursor", page.NextCursor)
 			}
 			streamSeriesJSON(w, http.StatusOK, page.Series)
 			return
@@ -303,12 +364,7 @@ func (s *Service) Handler() http.Handler {
 			}
 			w.Header().Set("X-Total-Points", strconv.Itoa(page.TotalPoints))
 			if page.NextOffset >= 0 {
-				w.Header().Set("X-Next-Offset", strconv.Itoa(page.NextOffset))
-				next := r.URL.Query()
-				next.Set("offset", strconv.Itoa(page.NextOffset))
-				nu := *r.URL
-				nu.RawQuery = next.Encode()
-				w.Header().Set("Link", `<`+nu.RequestURI()+`>; rel="next"`)
+				setNextLink(w, r, "X-Next-Offset", "offset", strconv.Itoa(page.NextOffset))
 			}
 			streamSeriesJSON(w, http.StatusOK, page.Series)
 			return
@@ -381,5 +437,10 @@ func (s *Service) Handler() http.Handler {
 		_, _ = w.Write([]byte(indexHTML))
 	})
 
-	return withGzip(mux)
+	// Admission is the outermost layer so throttled and shed requests pay
+	// the absolute minimum (two atomic checks and a tiny JSON error), and
+	// the recorded handler latency covers compression like everything
+	// else a client waits on. With no controller set this is the bare
+	// gzip'd mux.
+	return withAdmission(s.admission, withGzip(mux))
 }

@@ -26,6 +26,7 @@ package archive
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/tsdb"
 )
@@ -66,14 +67,25 @@ func (s *Service) QueryPaged(req QueryRequest) (*QueryPage, error) {
 	if err != nil {
 		return nil, err
 	}
-	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
 	// The offset path ignores a cursor; zero it so a stray token can't
 	// fragment the cache (the HTTP layer rejects the combination).
 	req.Cursor = ""
 	ck := cacheKey("page", req)
-	if v, ok := s.cache.get(ck, keyGen, genVec); ok {
+	if v, ok := s.cache.get(ck, s.db.KeyGeneration(), s.db.ShardGenerations()); ok {
 		return v.(*QueryPage), nil
 	}
+	// Concurrent identical cold page requests collapse onto one
+	// computation (see singleflight.go).
+	v, err := s.flight.do(ck, func() (any, error) { return s.pageCold(req, ck, from, to) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*QueryPage), nil
+}
+
+// pageCold is the leader's computation for a QueryPaged cache miss.
+func (s *Service) pageCold(req QueryRequest, ck string, from, to time.Time) (any, error) {
+	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
 	keys, err := s.matchedKeys(req)
 	if err != nil {
 		return nil, err
