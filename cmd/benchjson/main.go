@@ -11,7 +11,7 @@
 // Schema (one object):
 //
 //	{
-//	  "schema": "spotlake-bench/v2",
+//	  "schema": "spotlake-bench/v3",
 //	  "goos": "linux", "goarch": "amd64", "cpu": "...",   // from the bench header
 //	  "benchmarks": [
 //	    {"name": "BenchmarkAppendParallel", "cpus": 4,
@@ -22,6 +22,10 @@
 //	    {"class": "cursor", "concurrency": 5, "requests": 1234, "ok": 1230,
 //	     "throttled": 4, "shed": 0, "errors": 0, "rps": 123.4,
 //	     "p50Ms": 0.52, "p99Ms": 2.31}
+//	  ],
+//	  "memory": [
+//	    {"scenario": "cold-sealed", "points": 327680,
+//	     "heapBytes": 1310720, "bytesPerPoint": 4.0}
 //	  ]
 //	}
 //
@@ -31,9 +35,14 @@
 // (see cmd/spotlake-loadgen) become the `latency` section: p50/p99
 // wall-clock latency at a fixed offered load (the row's concurrency),
 // per traffic class plus the "all" aggregate — the latency-under-load
-// series microbenchmarks cannot measure. Other lines (headers, PASS,
-// ok) set metadata or are ignored, so the tool can be fed a whole
-// `go test` transcript with a loadgen run appended.
+// series microbenchmarks cannot measure. `memstat:` rows (emitted by
+// BenchmarkResidentHeap in internal/tsdb) become the `memory` section:
+// resident heap bytes per point for each storage scenario, the number
+// the cold block tier exists to shrink. bytesPerPoint is null when the
+// scenario held no points, mirroring the nullable latency percentiles.
+// Other lines (headers, PASS, ok) set metadata or are ignored, so the
+// tool can be fed a whole `go test` transcript with a loadgen run
+// appended.
 package main
 
 import (
@@ -58,6 +67,9 @@ type benchResult struct {
 	// the artifact from "not measured" in run-over-run diffs.
 	BytesPerOp  float64 `json:"bytesPerOp"`
 	AllocsPerOp int64   `json:"allocsPerOp"`
+	// Extra carries custom b.ReportMetric columns (unit -> value), e.g.
+	// BenchmarkSeal's compressed/raw ratio and points/s throughput.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // latencyResult is one loadgen row: percentile latency at a fixed
@@ -76,6 +88,16 @@ type latencyResult struct {
 	P99Ms       *float64 `json:"p99Ms"`
 }
 
+// memoryResult is one memstat row: the measured resident heap of a
+// recovered store under one storage scenario. BytesPerPoint is null
+// (absent) when the scenario held no points.
+type memoryResult struct {
+	Scenario      string   `json:"scenario"`
+	Points        int64    `json:"points"`
+	HeapBytes     int64    `json:"heapBytes"`
+	BytesPerPoint *float64 `json:"bytesPerPoint"`
+}
+
 type benchFile struct {
 	Schema     string        `json:"schema"`
 	GOOS       string        `json:"goos,omitempty"`
@@ -85,6 +107,9 @@ type benchFile struct {
 	// Latency holds loadgen rows; omitted entirely for pure
 	// microbenchmark transcripts so pre-v2 consumers see no change.
 	Latency []latencyResult `json:"latency,omitempty"`
+	// Memory holds memstat rows; omitted for transcripts without a
+	// resident-heap run, so pre-v3 consumers see no change.
+	Memory []memoryResult `json:"memory,omitempty"`
 }
 
 // benchLine matches one result line. Columns after ns/op are optional
@@ -96,6 +121,7 @@ var benchLine = regexp.MustCompile(
 var (
 	bytesCol  = regexp.MustCompile(`([0-9.]+) B/op`)
 	allocsCol = regexp.MustCompile(`(\d+) allocs/op`)
+	metricCol = regexp.MustCompile(`([0-9.]+(?:e[+-]?\d+)?) (\S+)`)
 	cpuSuffix = regexp.MustCompile(`-(\d+)$`)
 )
 
@@ -103,6 +129,24 @@ var (
 // when the row measured no successful request.
 var loadgenLine = regexp.MustCompile(
 	`^loadgen: class=(\S+) concurrency=(\d+) requests=(\d+) ok=(\d+) throttled=(\d+) shed=(\d+) errors=(\d+) rps=([0-9.]+) p50ms=([0-9.]+|NaN) p99ms=([0-9.]+|NaN)$`)
+
+// memstatLine matches one resident-heap row. bytesPerPoint is NaN when
+// the scenario held no points.
+var memstatLine = regexp.MustCompile(
+	`^memstat: scenario=(\S+) points=(\d+) heapBytes=(\d+) bytesPerPoint=([0-9.]+|NaN)$`)
+
+// parseMemstat unpacks a memstatLine submatch; the regexp guarantees
+// the numeric fields parse.
+func parseMemstat(m []string) memoryResult {
+	res := memoryResult{Scenario: m[1]}
+	res.Points, _ = strconv.ParseInt(m[2], 10, 64)
+	res.HeapBytes, _ = strconv.ParseInt(m[3], 10, 64)
+	if m[4] != "NaN" {
+		v, _ := strconv.ParseFloat(m[4], 64)
+		res.BytesPerPoint = &v
+	}
+	return res
+}
 
 // parseLoadgen unpacks a loadgenLine submatch; the regexp guarantees the
 // numeric fields parse.
@@ -130,13 +174,17 @@ func parseLoadgen(m []string) latencyResult {
 }
 
 func parse(r io.Reader) (benchFile, error) {
-	out := benchFile{Schema: "spotlake-bench/v2", Benchmarks: []benchResult{}}
+	out := benchFile{Schema: "spotlake-bench/v3", Benchmarks: []benchResult{}}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if lm := loadgenLine.FindStringSubmatch(line); lm != nil {
 			out.Latency = append(out.Latency, parseLoadgen(lm))
+			continue
+		}
+		if mm := memstatLine.FindStringSubmatch(line); mm != nil {
+			out.Memory = append(out.Memory, parseMemstat(mm))
 			continue
 		}
 		switch {
@@ -179,6 +227,22 @@ func parse(r io.Reader) (benchFile, error) {
 		if am := allocsCol.FindStringSubmatch(m[4]); am != nil {
 			res.AllocsPerOp, _ = strconv.ParseInt(am[1], 10, 64)
 		}
+		// Any remaining "<value> <unit>" column is a custom
+		// b.ReportMetric the benchmark chose to record — keep it.
+		for _, xm := range metricCol.FindAllStringSubmatch(m[4], -1) {
+			switch xm[2] {
+			case "B/op", "allocs/op":
+				continue
+			}
+			v, err := strconv.ParseFloat(xm[1], 64)
+			if err != nil {
+				continue
+			}
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra[xm[2]] = v
+		}
 		out.Benchmarks = append(out.Benchmarks, res)
 	}
 	return out, sc.Err()
@@ -200,8 +264,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if len(out.Benchmarks) == 0 && len(out.Latency) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark or loadgen result lines in input")
+	if len(out.Benchmarks) == 0 && len(out.Latency) == 0 && len(out.Memory) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark, loadgen, or memstat result lines in input")
 		os.Exit(1)
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -60,8 +60,8 @@ PASS
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Schema != "spotlake-bench/v2" {
-		t.Fatalf("schema = %q, want spotlake-bench/v2", out.Schema)
+	if out.Schema != "spotlake-bench/v3" {
+		t.Fatalf("schema = %q, want spotlake-bench/v3", out.Schema)
 	}
 	if len(out.Benchmarks) != 1 || len(out.Latency) != 2 {
 		t.Fatalf("parsed %d benchmarks / %d latency rows, want 1 / 2", len(out.Benchmarks), len(out.Latency))
@@ -77,6 +77,62 @@ PASS
 	l1 := out.Latency[1]
 	if l1.Class != "all" || l1.Throttled != 3000 || l1.P50Ms != nil || l1.P99Ms != nil {
 		t.Fatalf("all-throttled row: %+v", l1)
+	}
+}
+
+// TestParseCustomMetrics: custom b.ReportMetric columns (BenchmarkSeal's
+// compression ratio and throughput) land in the row's extra map; the
+// standard -benchmem columns stay in their own fields.
+func TestParseCustomMetrics(t *testing.T) {
+	const in = `BenchmarkSeal 	       1	  11145487 ns/op	         0.03494 compressed/raw	  10290084 points/s
+BenchmarkAppend 	 1000000	       377.5 ns/op	      48 B/op	       2 allocs/op
+`
+	out, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Benchmarks) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(out.Benchmarks))
+	}
+	b0 := out.Benchmarks[0]
+	if b0.Extra["compressed/raw"] != 0.03494 || b0.Extra["points/s"] != 10290084 {
+		t.Fatalf("extra metrics: %+v", b0.Extra)
+	}
+	b1 := out.Benchmarks[1]
+	if b1.Extra != nil || b1.BytesPerOp != 48 || b1.AllocsPerOp != 2 {
+		t.Fatalf("benchmem row grew extra metrics: %+v", b1)
+	}
+}
+
+// TestParseMemstatRows: BenchmarkResidentHeap memstat rows interleaved
+// with a bench transcript become the artifact's memory section, with a
+// NaN bytes-per-point (scenario held no points) kept as JSON null.
+func TestParseMemstatRows(t *testing.T) {
+	const in = `goos: linux
+memstat: scenario=all-hot points=327680 heapBytes=10766288 bytesPerPoint=32.86
+BenchmarkResidentHeap/all-hot      	       1	 488771698 ns/op	        32.86 heapB/point
+memstat: scenario=cold-sealed points=327680 heapBytes=1082040 bytesPerPoint=3.30
+memstat: scenario=empty points=0 heapBytes=0 bytesPerPoint=NaN
+PASS
+`
+	out, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Memory) != 3 || len(out.Benchmarks) != 1 {
+		t.Fatalf("parsed %d memory rows / %d benchmarks, want 3 / 1", len(out.Memory), len(out.Benchmarks))
+	}
+	m0 := out.Memory[0]
+	if m0.Scenario != "all-hot" || m0.Points != 327680 || m0.HeapBytes != 10766288 ||
+		m0.BytesPerPoint == nil || *m0.BytesPerPoint != 32.86 {
+		t.Fatalf("all-hot row: %+v", m0)
+	}
+	m1 := out.Memory[1]
+	if m1.Scenario != "cold-sealed" || m1.BytesPerPoint == nil || *m1.BytesPerPoint != 3.30 {
+		t.Fatalf("cold-sealed row: %+v", m1)
+	}
+	if m2 := out.Memory[2]; m2.Points != 0 || m2.BytesPerPoint != nil {
+		t.Fatalf("empty row: %+v", m2)
 	}
 }
 

@@ -60,6 +60,10 @@ func main() {
 		rotBytes   = flag.Int64("rotate-bytes", tsdb.DefaultRotateBytes, "seal and rotate a shard's WAL segment past this many bytes (negative disables rotation)")
 		maxSealed  = flag.Int("max-sealed-segments", 64, "checkpoint before any shard accumulates this many sealed WAL segments (0 disables the cap)")
 		maintIv    = flag.Duration("maintenance-interval", tsdb.DefaultMaintenanceInterval, "store maintenance daemon poll period (negative disables the daemon)")
+		hotTail    = flag.Int("hot-tail", 0, "per-series points kept hot (uncompressed) ahead of the sealed block tier; 0 = default, negative disables sealing")
+		blockPts   = flag.Int("block-points", 0, "points per compressed cold block (0 = default)")
+		blockCache = flag.Int64("block-cache-bytes", 0, "decoded cold-block LRU cache budget in bytes (0 = default, negative disables)")
+		sealAfter  = flag.Int64("seal-after-hot-points", 0, "maintenance seals history once this many hot points accumulate past the last seal (0 disables the trigger)")
 		snapshot   = flag.String("snapshot", "", "also export a standalone snapshot to this file (deprecated: the data dir checkpoints itself)")
 	)
 	flag.Parse()
@@ -80,6 +84,10 @@ func main() {
 		CheckpointAfterBytes: *cpBytes,
 		MaxSealedSegments:    *maxSealed,
 		MaintenanceInterval:  *maintIv,
+		HotTailPoints:        *hotTail,
+		BlockPoints:          *blockPts,
+		BlockCacheBytes:      *blockCache,
+		SealAfterHotPoints:   *sealAfter,
 	})
 	if err != nil {
 		log.Fatalf("opening %s: %v", *dataDir, err)

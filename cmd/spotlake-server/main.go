@@ -74,6 +74,10 @@ func main() {
 		rotBytes   = flag.Int64("rotate-bytes", tsdb.DefaultRotateBytes, "seal and rotate a shard's WAL segment past this many bytes (negative disables rotation)")
 		maxSealed  = flag.Int("max-sealed-segments", 64, "checkpoint before any shard accumulates this many sealed WAL segments (0 disables the cap)")
 		maintIv    = flag.Duration("maintenance-interval", tsdb.DefaultMaintenanceInterval, "store maintenance daemon poll period (negative disables the daemon)")
+		hotTail    = flag.Int("hot-tail", 0, "per-series points kept hot (uncompressed) ahead of the sealed block tier; 0 = default, negative disables sealing")
+		blockPts   = flag.Int("block-points", 0, "points per compressed cold block (0 = default)")
+		blockCache = flag.Int64("block-cache-bytes", 0, "decoded cold-block LRU cache budget in bytes (0 = default, negative disables)")
+		sealAfter  = flag.Int64("seal-after-hot-points", 0, "maintenance seals history once this many hot points accumulate past the last seal (0 disables the trigger)")
 		snapshot   = flag.String("snapshot", "", "standalone snapshot file: loaded at startup when present (skipping that much bootstrap), saved after bootstrap (deprecated with -data: the data dir checkpoints itself)")
 		maxInFl    = flag.Int("max-in-flight", 256, "cap on concurrently executing requests; the excess queues briefly then is shed with 503 (0 = unlimited)")
 		queueWait  = flag.Duration("queue-wait", 100*time.Millisecond, "how long an over-cap request may wait for an in-flight slot before being shed")
@@ -96,6 +100,10 @@ func main() {
 		CheckpointAfterBytes: *cpBytes,
 		MaxSealedSegments:    *maxSealed,
 		MaintenanceInterval:  *maintIv,
+		HotTailPoints:        *hotTail,
+		BlockPoints:          *blockPts,
+		BlockCacheBytes:      *blockCache,
+		SealAfterHotPoints:   *sealAfter,
 	})
 	if err != nil {
 		log.Fatalf("opening archive store: %v", err)

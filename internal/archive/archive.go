@@ -371,7 +371,10 @@ type Meta struct {
 // un-checkpointed WAL tail a crash right now would replay, the tail the
 // last open actually replayed, rotation failures (climbing = the store
 // cannot create segment files), sealed segments awaiting reclamation,
-// and the maintenance daemon's counters.
+// the maintenance daemon's counters, and the hot/cold storage split —
+// resident tail points versus block-compressed history, the on-disk
+// size of that history, block-cache effectiveness, and cold read
+// failures (climbing = block files are corrupt or unreadable).
 type StoreMeta struct {
 	Durable                 bool                  `json:"durable"`
 	WALBytesSinceCheckpoint uint64                `json:"walBytesSinceCheckpoint"`
@@ -382,6 +385,13 @@ type StoreMeta struct {
 	CheckpointAfterBytes    int64                 `json:"checkpointAfterBytes"`
 	MaintainerActive        bool                  `json:"maintainerActive"`
 	Maintenance             tsdb.MaintenanceStats `json:"maintenance"`
+	HotPoints               int64                 `json:"hotPoints"`
+	ColdPoints              int64                 `json:"coldPoints"`
+	SealedBlocks            int64                 `json:"sealedBlocks"`
+	ColdCompressedBytes     int64                 `json:"coldCompressedBytes"`
+	HotTailPoints           int                   `json:"hotTailPoints"`
+	ColdReadErrors          uint64                `json:"coldReadErrors"`
+	BlockCache              tsdb.BlockCacheStats  `json:"blockCache"`
 }
 
 // Meta returns the archive summary.
@@ -404,6 +414,13 @@ func (s *Service) Meta() Meta {
 			CheckpointAfterBytes:    s.db.CheckpointAfterBytes(),
 			MaintainerActive:        s.db.MaintainerActive(),
 			Maintenance:             s.db.MaintenanceStats(),
+			HotPoints:               s.db.HotPointCount(),
+			ColdPoints:              s.db.ColdPointCount(),
+			SealedBlocks:            s.db.SealedBlocks(),
+			ColdCompressedBytes:     s.db.ColdCompressedBytes(),
+			HotTailPoints:           s.db.HotTailPoints(),
+			ColdReadErrors:          s.db.ColdReadErrors(),
+			BlockCache:              s.db.BlockCacheStats(),
 		},
 	}
 	if s.admission != nil {

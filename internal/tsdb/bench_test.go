@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -410,6 +412,177 @@ func BenchmarkCheckpointCompaction(b *testing.B) {
 				rewriteSegments(b, dir)
 				b.StopTimer()
 				db.Close()
+			}
+		})
+	}
+}
+
+// benchFill appends seriesN x perSeries points through batched ticks
+// (one timestamp across all series per batch, the collector's shape) and
+// returns the keys. Values repeat in short runs and timestamps step
+// uniformly — the score-series shape the block codec is built for.
+func benchFill(b *testing.B, db *DB, seriesN, perSeries int) []SeriesKey {
+	b.Helper()
+	keys := make([]SeriesKey, seriesN)
+	for i := range keys {
+		keys[i] = SeriesKey{Dataset: "sps", Type: fmt.Sprintf("t%d", i), Region: "us-east-1", AZ: "us-east-1a"}
+	}
+	batch := make([]Entry, seriesN)
+	for t := 0; t < perSeries; t++ {
+		at := t0.Add(time.Duration(t) * time.Minute)
+		for j, k := range keys {
+			batch[j] = Entry{Key: k, At: at, Value: float64(((t + j) / 7) % 5)}
+		}
+		if n, err := db.AppendBatch(batch); err != nil || n != seriesN {
+			b.Fatalf("stored %d, err %v", n, err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return keys
+}
+
+// BenchmarkSeal measures the cost of the seal step itself: a checkpoint
+// over a hot archive that compresses everything behind the tail into
+// block files. Reported alongside ns/op: sealed points per second of
+// timed work, and the on-disk compression ratio (sealed bytes over the
+// 16-byte-per-point raw snapshot encoding — the ISSUE target is <= 0.25).
+func BenchmarkSeal(b *testing.B) {
+	const seriesN, perSeries = 32, 4096
+	var sealedPts, sealedBytes int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		db, err := OpenWithOptions(dir, Options{Shards: 4, HotTailPoints: 64, BlockPoints: 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchFill(b, db, seriesN, perSeries)
+		b.StartTimer()
+		if err := db.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		sealedPts += db.ColdPointCount()
+		sealedBytes += db.ColdCompressedBytes()
+		db.Close()
+	}
+	if sealedPts == 0 {
+		b.Fatal("checkpoint sealed nothing")
+	}
+	b.ReportMetric(float64(sealedPts)/b.Elapsed().Seconds(), "points/s")
+	b.ReportMetric(float64(sealedBytes)/float64(16*sealedPts), "compressed/raw")
+}
+
+// BenchmarkColdQuery measures windowed reads over deep history when that
+// history lives in compressed cold blocks (decoded on demand through the
+// block cache) against the all-hot baseline where every point is a
+// resident []Point entry. The cold path pays decode on cache misses and
+// a copy on hits; the baseline is the memory ceiling the block tier
+// exists to remove.
+func BenchmarkColdQuery(b *testing.B) {
+	const seriesN, perSeries, window = 8, 8192, 512
+	for _, cfg := range []struct {
+		name string
+		opts Options
+		seal bool
+	}{
+		{"all-hot", Options{Shards: 4, HotTailPoints: -1}, false},
+		{"cold-blocks", Options{Shards: 4, HotTailPoints: 256, BlockPoints: 512}, true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			db, err := OpenWithOptions(b.TempDir(), cfg.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			keys := benchFill(b, db, seriesN, perSeries)
+			if cfg.seal {
+				if err := db.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+				if db.SealedBlocks() == 0 {
+					b.Fatal("checkpoint sealed nothing")
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Windows rotate through the sealed region, far behind the
+				// hot tail, so the cold variant reads blocks, not the tail.
+				from := t0.Add(time.Duration((i*613)%(perSeries-window-512)) * time.Minute)
+				pts := db.Query(keys[i%seriesN], from, from.Add(window*time.Minute))
+				if len(pts) == 0 {
+					b.Fatal("empty window")
+				}
+			}
+		})
+	}
+}
+
+// residentHeapPrinted dedups memstat rows across the b.N calibration
+// reruns (and the -cpu matrix) so each scenario lands in the bench
+// transcript — and the BENCH artifact's memory section — exactly once.
+var residentHeapPrinted sync.Map
+
+// BenchmarkResidentHeap measures the steady-state heap of a recovered
+// archive under the two storage layouts: every point resident ([]Point
+// hot series) versus sealed history (compressed blocks on disk, only the
+// hot tail and block index resident). It prints one machine-readable
+// `memstat:` line per scenario for cmd/benchjson's memory section; the
+// ISSUE target is a >= 4x drop for the cold-dominated layout. The build
+// runs inside the timed region on purpose: the expensive setup keeps the
+// calibration loop at a handful of iterations.
+func BenchmarkResidentHeap(b *testing.B) {
+	const seriesN, perSeries = 40, 8192
+	for _, cfg := range []struct {
+		name string
+		opts Options
+	}{
+		{"all-hot", Options{Shards: 4, HotTailPoints: -1}},
+		{"cold-sealed", Options{Shards: 4}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dir := b.TempDir()
+				db, err := OpenWithOptions(dir, cfg.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchFill(b, db, seriesN, perSeries)
+				if err := db.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+				if err := db.Close(); err != nil {
+					b.Fatal(err)
+				}
+				runtime.GC()
+				var before runtime.MemStats
+				runtime.ReadMemStats(&before)
+				db, err = OpenWithOptions(dir, cfg.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runtime.GC()
+				var after runtime.MemStats
+				runtime.ReadMemStats(&after)
+				points := int64(db.PointCount())
+				if points != seriesN*perSeries {
+					b.Fatalf("recovered %d points", points)
+				}
+				heap := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+				if heap < 0 {
+					heap = 0
+				}
+				perPoint := float64(heap) / float64(points)
+				if _, dup := residentHeapPrinted.LoadOrStore(cfg.name, true); !dup {
+					fmt.Printf("memstat: scenario=%s points=%d heapBytes=%d bytesPerPoint=%.2f\n",
+						cfg.name, points, heap, perPoint)
+				}
+				b.ReportMetric(perPoint, "heapB/point")
+				if err := db.Close(); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

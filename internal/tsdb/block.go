@@ -1,0 +1,615 @@
+package tsdb
+
+// Compressed immutable block tier (cold storage).
+//
+// A checkpoint seals history older than each series' hot tail into an
+// immutable block file, so resident memory is bounded by hot tail + block
+// cache instead of total history. Sealed points live on disk
+// Gorilla-style compressed — delta-of-delta timestamps and XOR-encoded
+// float values in one interleaved bitstream per fixed-size block — and
+// are decoded on demand, one block at a time, through the store's LRU
+// block cache (blockcache.go).
+//
+// # File format (blocks-<seq>.blk)
+//
+//	header: 8-byte magic "SLBLOCKS" | u16 version (1)
+//	data:   the compressed blocks, back to back, no framing (the index
+//	        carries every block's offset/length/CRC)
+//	index:  u32 series count | per series:
+//	          u16 keyLen | canonical key bytes | u32 block count |
+//	          per block: u64 offset | u32 length | u32 point count |
+//	                     i64 min unix-nanos | i64 max unix-nanos |
+//	                     u32 CRC-32 (IEEE) of the block bytes
+//	footer: u64 index offset | u32 index length | u32 index CRC |
+//	        8-byte magic "SLBLKIDX"
+//
+// All integers are little-endian. Series appear sorted by canonical key
+// and a series' blocks appear in time order, so identical seals encode
+// to identical bytes. The file is written once via the atomic
+// temp+fsync+rename sequence and never modified afterwards; the MANIFEST
+// lists the live block files, and the manifest rename is the commit
+// point (see wal.go). Opening a file parses only its index — blocks stay
+// on disk until a read decodes them — so recovery cost is O(index), not
+// O(history).
+//
+// # Block encoding
+//
+// Each block holds 1..maxBlockPoints points of one series as a single
+// bitstream, timestamps and values interleaved per point:
+//
+//   - point 0: 64 raw bits of unix-nanos, 64 raw bits of the float.
+//   - timestamps i>0: dod = (t[i]-t[i-1]) - (t[i-1]-t[i-2]) (the first
+//     delta's predecessor is 0), zigzag-encoded and bucketed:
+//     '0' for dod == 0; '10' + 16 bits; '110' + 32 bits; '1110' + 48
+//     bits; '1111' + 64 bits.
+//   - values i>0: xor = bits(v[i]) ^ bits(v[i-1]); '0' when xor == 0;
+//     '10' + the meaningful bits reusing the previous leading/sigbits
+//     window when it still fits; '11' + 5 bits leading-zero count +
+//     6 bits significant-bit count (64 encodes as 0) + the bits.
+//
+// Regular collection cadences make dod 0 almost always (1 bit/point) and
+// step-function values repeat or share exponents, which is what buys the
+// tier its compression. The decoder takes the expected point count from
+// the (CRC-validated) index, bounds-checks every read, and returns
+// errors on truncated or bit-flipped input — never panics, never
+// allocates more than maxBlockPoints points (FuzzBlockDecode holds it to
+// that).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"math/bits"
+	"os"
+	"time"
+)
+
+const (
+	blockFileMagic = "SLBLOCKS"
+	blockIdxMagic  = "SLBLKIDX"
+	blockFileVer   = 1
+	blockHeaderLen = len(blockFileMagic) + 2
+	blockFooterLen = 8 + 4 + 4 + len(blockIdxMagic)
+	blockIdxEntLen = 8 + 4 + 4 + 8 + 8 + 4
+	// maxBlockPoints bounds one block's point count: the index stores it
+	// as u32, and the decoder pre-allocates the result, so a corrupt
+	// count must not trigger a huge allocation.
+	maxBlockPoints = 1 << 16
+	// maxBlockBytes bounds one block's encoded length. The worst case per
+	// point is 68 timestamp bits + 77 value bits ≈ 19 bytes; 32 covers it
+	// with slack for the two raw leading values.
+	maxBlockBytes = maxBlockPoints*32 + 64
+	// maxBlockIndexBytes bounds the index section of one block file, the
+	// same cap the snapshot codec uses per record, so a corrupt footer
+	// cannot ask for an absurd allocation.
+	maxBlockIndexBytes = 1 << 26
+)
+
+func blockFileName(seq uint64) string { return fmt.Sprintf("blocks-%06d.blk", seq) }
+
+// scanBlockFileName parses a block file name's sequence number. Width-free
+// for the same reason as scanRotSegName: %06d is a minimum width.
+func scanBlockFileName(name string, seq *uint64) bool {
+	n, err := fmt.Sscanf(name, "blocks-%d.blk", seq)
+	return err == nil && n == 1 && name == blockFileName(*seq)
+}
+
+// bitWriter appends bits MSB-first to a byte slice.
+type bitWriter struct {
+	data []byte
+	// free is how many low bits of the last byte are still unset (0 when
+	// the stream ends on a byte boundary).
+	free uint8
+}
+
+func (w *bitWriter) writeBit(bit bool) {
+	if w.free == 0 {
+		w.data = append(w.data, 0)
+		w.free = 8
+	}
+	if bit {
+		w.data[len(w.data)-1] |= 1 << (w.free - 1)
+	}
+	w.free--
+}
+
+func (w *bitWriter) writeByte(b byte) {
+	if w.free == 0 {
+		w.data = append(w.data, b)
+		return
+	}
+	i := len(w.data) - 1
+	w.data[i] |= b >> (8 - w.free)
+	w.data = append(w.data, b<<w.free)
+}
+
+// writeBits writes the low n bits of v, MSB-first. n must be in [0, 64].
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n >= 8 {
+		n -= 8
+		w.writeByte(byte(v >> n))
+	}
+	for n > 0 {
+		n--
+		w.writeBit(v>>n&1 == 1)
+	}
+}
+
+var errBlockTruncated = errors.New("tsdb: block truncated")
+
+// bitReader consumes bits MSB-first from a byte slice, erroring (never
+// panicking) past the end.
+type bitReader struct {
+	data []byte
+	// pos is the bit position of the next unread bit.
+	pos uint64
+}
+
+func (r *bitReader) readBit() (bool, error) {
+	i := r.pos >> 3
+	if i >= uint64(len(r.data)) {
+		return false, errBlockTruncated
+	}
+	bit := r.data[i]>>(7-r.pos&7)&1 == 1
+	r.pos++
+	return bit, nil
+}
+
+// readBits reads n bits, MSB-first. n must be in [0, 64].
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	if r.pos+uint64(n) > uint64(len(r.data))*8 {
+		return 0, errBlockTruncated
+	}
+	var v uint64
+	for n >= 8 {
+		i := r.pos >> 3
+		shift := r.pos & 7
+		b := r.data[i] << shift
+		if shift > 0 && i+1 < uint64(len(r.data)) {
+			b |= r.data[i+1] >> (8 - shift)
+		}
+		v = v<<8 | uint64(b)
+		r.pos += 8
+		n -= 8
+	}
+	for n > 0 {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v <<= 1
+		if bit {
+			v |= 1
+		}
+		n--
+	}
+	return v, nil
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// encodedBlock is one compressed block staged for a block file write.
+type encodedBlock struct {
+	data  []byte
+	count uint32
+	minAt int64
+	maxAt int64
+}
+
+// encodeBlock compresses pts (time-ordered, 1..maxBlockPoints of them)
+// into one block bitstream.
+func encodeBlock(pts []Point) encodedBlock {
+	var w bitWriter
+	w.data = make([]byte, 0, 16+len(pts)*2)
+	var prevT, prevDelta int64
+	var prevBits uint64
+	// prevLead == 0xff marks "no reusable window yet".
+	prevLead, prevSig := uint8(0xff), uint8(0)
+	for i, p := range pts {
+		t := p.At.UnixNano()
+		v := math.Float64bits(p.Value)
+		if i == 0 {
+			w.writeBits(uint64(t), 64)
+			w.writeBits(v, 64)
+			prevT, prevDelta, prevBits = t, 0, v
+			continue
+		}
+		delta := t - prevT
+		dod := delta - prevDelta
+		prevT, prevDelta = t, delta
+		switch z := zigzag(dod); {
+		case z == 0:
+			w.writeBit(false)
+		case z < 1<<16:
+			w.writeBits(0b10, 2)
+			w.writeBits(z, 16)
+		case z < 1<<32:
+			w.writeBits(0b110, 3)
+			w.writeBits(z, 32)
+		case z < 1<<48:
+			w.writeBits(0b1110, 4)
+			w.writeBits(z, 48)
+		default:
+			w.writeBits(0b1111, 4)
+			w.writeBits(z, 64)
+		}
+		xor := v ^ prevBits
+		prevBits = v
+		if xor == 0 {
+			w.writeBit(false)
+			continue
+		}
+		lead := uint8(bits.LeadingZeros64(xor))
+		if lead > 31 {
+			lead = 31 // 5-bit field; extra leading zeros ride in the payload
+		}
+		trail := uint8(bits.TrailingZeros64(xor))
+		if prevLead != 0xff && lead >= prevLead && trail >= 64-prevLead-prevSig {
+			// The previous window still covers every meaningful bit.
+			w.writeBits(0b10, 2)
+			w.writeBits(xor>>(64-prevLead-prevSig), uint(prevSig))
+			continue
+		}
+		sig := 64 - lead - trail
+		w.writeBits(0b11, 2)
+		w.writeBits(uint64(lead), 5)
+		w.writeBits(uint64(sig&0x3f), 6) // 64 significant bits encode as 0
+		w.writeBits(xor>>trail, uint(sig))
+		prevLead, prevSig = lead, sig
+	}
+	return encodedBlock{
+		data:  w.data,
+		count: uint32(len(pts)),
+		minAt: pts[0].At.UnixNano(),
+		maxAt: pts[len(pts)-1].At.UnixNano(),
+	}
+}
+
+// decodeBlock decompresses a block bitstream holding count points. It is
+// the trust boundary for on-disk block bytes: any count outside
+// [1, maxBlockPoints], truncation, or trailing garbage is an error, and
+// nothing larger than count points is ever allocated.
+func decodeBlock(data []byte, count int) ([]Point, error) {
+	if count < 1 || count > maxBlockPoints {
+		return nil, fmt.Errorf("tsdb: block point count %d out of range", count)
+	}
+	if len(data) > maxBlockBytes {
+		return nil, fmt.Errorf("tsdb: block length %d out of range", len(data))
+	}
+	r := bitReader{data: data}
+	pts := make([]Point, 0, count)
+	var prevT, prevDelta int64
+	var prevBits uint64
+	prevLead, prevSig := uint8(0xff), uint8(0)
+	for i := 0; i < count; i++ {
+		if i == 0 {
+			t, err := r.readBits(64)
+			if err != nil {
+				return nil, err
+			}
+			v, err := r.readBits(64)
+			if err != nil {
+				return nil, err
+			}
+			prevT, prevBits = int64(t), v
+			pts = append(pts, Point{At: time.Unix(0, prevT).UTC(), Value: math.Float64frombits(v)})
+			continue
+		}
+		// Timestamp: read the dod bucket prefix.
+		var dod int64
+		bit, err := r.readBit()
+		if err != nil {
+			return nil, err
+		}
+		if bit {
+			n := uint(16)
+			for _, wider := range []uint{32, 48, 64} {
+				more, err := r.readBit()
+				if err != nil {
+					return nil, err
+				}
+				if !more {
+					break
+				}
+				n = wider
+			}
+			z, err := r.readBits(n)
+			if err != nil {
+				return nil, err
+			}
+			dod = unzigzag(z)
+		}
+		prevDelta += dod
+		prevT += prevDelta
+		// Value: XOR control bits.
+		bit, err = r.readBit()
+		if err != nil {
+			return nil, err
+		}
+		if bit {
+			windowed, err := r.readBit()
+			if err != nil {
+				return nil, err
+			}
+			if windowed {
+				lead, err := r.readBits(5)
+				if err != nil {
+					return nil, err
+				}
+				sigRaw, err := r.readBits(6)
+				if err != nil {
+					return nil, err
+				}
+				prevLead = uint8(lead)
+				prevSig = uint8(sigRaw)
+				if prevSig == 0 {
+					prevSig = 64
+				}
+				if int(prevLead)+int(prevSig) > 64 {
+					return nil, fmt.Errorf("tsdb: block value window %d+%d overflows", prevLead, prevSig)
+				}
+			} else if prevLead == 0xff {
+				return nil, errors.New("tsdb: block reuses value window before defining one")
+			}
+			mbits, err := r.readBits(uint(prevSig))
+			if err != nil {
+				return nil, err
+			}
+			prevBits ^= mbits << (64 - prevLead - prevSig)
+		}
+		pts = append(pts, Point{At: time.Unix(0, prevT).UTC(), Value: math.Float64frombits(prevBits)})
+		if pts[i].At.Before(pts[i-1].At) {
+			return nil, errors.New("tsdb: block timestamps out of order")
+		}
+	}
+	// Trailing data beyond the final byte's bit padding means the index's
+	// count disagrees with the stream — corruption either way.
+	if (r.pos+7)/8 != uint64(len(data)) {
+		return nil, errors.New("tsdb: block has trailing data")
+	}
+	return pts, nil
+}
+
+// blockSealEntry is one series' staged contribution to a block file
+// write: its encoded blocks, time-ordered.
+type blockSealEntry struct {
+	key    SeriesKey
+	canon  string
+	blocks []encodedBlock
+}
+
+// writeBlockFileTo writes a complete block file (header, blocks, index,
+// footer) to w. Entries must be sorted by canonical key. mid, when
+// non-nil, runs after the data blocks and before the index — the
+// crash-matrix harness uses it to freeze a file with data but no index.
+func writeBlockFileTo(w io.Writer, entries []blockSealEntry, mid func() error) error {
+	var tmp [8]byte
+	if _, err := io.WriteString(w, blockFileMagic); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint16(tmp[:2], blockFileVer)
+	if _, err := w.Write(tmp[:2]); err != nil {
+		return err
+	}
+	off := uint64(blockHeaderLen)
+	// The index is assembled while the data blocks stream out, then
+	// written in one piece so its CRC covers exactly the bytes on disk.
+	idx := make([]byte, 0, 64*len(entries))
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(entries)))
+	idx = append(idx, tmp[:4]...)
+	for _, e := range entries {
+		binary.LittleEndian.PutUint16(tmp[:2], uint16(len(e.canon)))
+		idx = append(idx, tmp[:2]...)
+		idx = append(idx, e.canon...)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(e.blocks)))
+		idx = append(idx, tmp[:4]...)
+		for _, b := range e.blocks {
+			if _, err := w.Write(b.data); err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(tmp[:], off)
+			idx = append(idx, tmp[:8]...)
+			binary.LittleEndian.PutUint32(tmp[:4], uint32(len(b.data)))
+			idx = append(idx, tmp[:4]...)
+			binary.LittleEndian.PutUint32(tmp[:4], b.count)
+			idx = append(idx, tmp[:4]...)
+			binary.LittleEndian.PutUint64(tmp[:], uint64(b.minAt))
+			idx = append(idx, tmp[:8]...)
+			binary.LittleEndian.PutUint64(tmp[:], uint64(b.maxAt))
+			idx = append(idx, tmp[:8]...)
+			binary.LittleEndian.PutUint32(tmp[:4], crc32.ChecksumIEEE(b.data))
+			idx = append(idx, tmp[:4]...)
+			off += uint64(len(b.data))
+		}
+	}
+	if mid != nil {
+		if err := mid(); err != nil {
+			return err
+		}
+	}
+	if _, err := w.Write(idx); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(tmp[:], off)
+	if _, err := w.Write(tmp[:8]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(idx)))
+	if _, err := w.Write(tmp[:4]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], crc32.ChecksumIEEE(idx))
+	if _, err := w.Write(tmp[:4]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, blockIdxMagic)
+	return err
+}
+
+// coldSegment is one open block file shared by every series with blocks
+// in it. Reads go through ReadAt, so concurrent block decodes never
+// contend on a seek position.
+type coldSegment struct {
+	seq  uint64
+	f    *os.File
+	size int64
+}
+
+// blockMeta locates one sealed block of a series: where its bytes live,
+// what they decode to, and where the block starts in the series' global
+// point index (cold points first, then the hot tail).
+type blockMeta struct {
+	seg    *coldSegment
+	off    uint64
+	length uint32
+	count  uint32
+	crc    uint32
+	minAt  time.Time
+	maxAt  time.Time
+	start  int
+}
+
+// coldSeries is a series' sealed history: its block list in time order,
+// the total cold point count, and the last cold timestamp (the
+// out-of-order guard when the hot tail is empty).
+type coldSeries struct {
+	blocks []blockMeta
+	n      int
+	lastAt time.Time
+}
+
+// blockIndexEntry is one series' decoded index entry from a block file.
+// The blocks carry file-local metadata only; the caller attaches them to
+// a segment and assigns global start indices.
+type blockIndexEntry struct {
+	key    SeriesKey
+	blocks []blockMeta
+}
+
+// readBlockIndex opens a block file's index: header and footer are
+// validated, the index section is CRC-checked and parsed, and every
+// block's extent is bounds-checked against the data section. Blocks are
+// not decoded. Like the snapshot decoder this is a trust boundary:
+// corrupt input errors, never panics, never over-allocates.
+func readBlockIndex(f *os.File, size int64) ([]blockIndexEntry, error) {
+	if size < int64(blockHeaderLen+blockFooterLen) {
+		return nil, errors.New("tsdb: block file too short")
+	}
+	head := make([]byte, blockHeaderLen)
+	if _, err := f.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("tsdb: block file header: %w", err)
+	}
+	if string(head[:len(blockFileMagic)]) != blockFileMagic {
+		return nil, errors.New("tsdb: block file: bad magic")
+	}
+	if v := binary.LittleEndian.Uint16(head[len(blockFileMagic):]); v != blockFileVer {
+		return nil, fmt.Errorf("tsdb: block file: unsupported version %d", v)
+	}
+	foot := make([]byte, blockFooterLen)
+	if _, err := f.ReadAt(foot, size-int64(blockFooterLen)); err != nil {
+		return nil, fmt.Errorf("tsdb: block file footer: %w", err)
+	}
+	if string(foot[16:]) != blockIdxMagic {
+		return nil, errors.New("tsdb: block file: bad footer magic")
+	}
+	idxOff := binary.LittleEndian.Uint64(foot[:8])
+	idxLen := binary.LittleEndian.Uint32(foot[8:12])
+	idxCRC := binary.LittleEndian.Uint32(foot[12:16])
+	if idxLen > maxBlockIndexBytes || idxOff < uint64(blockHeaderLen) ||
+		idxOff+uint64(idxLen) != uint64(size-int64(blockFooterLen)) {
+		return nil, errors.New("tsdb: block file: index bounds corrupt")
+	}
+	idx := make([]byte, idxLen)
+	if _, err := f.ReadAt(idx, int64(idxOff)); err != nil {
+		return nil, fmt.Errorf("tsdb: block file index: %w", err)
+	}
+	if crc32.ChecksumIEEE(idx) != idxCRC {
+		return nil, errors.New("tsdb: block file: index CRC mismatch")
+	}
+	if len(idx) < 4 {
+		return nil, errors.New("tsdb: block file: index too short")
+	}
+	nSeries := binary.LittleEndian.Uint32(idx)
+	pos := 4
+	// Each series entry costs at least 2+1(key)+4 bytes, so nSeries is
+	// bounded by the index length before anything is allocated.
+	if uint64(nSeries) > uint64(len(idx)-4)/7+1 {
+		return nil, errors.New("tsdb: block file: series count corrupt")
+	}
+	out := make([]blockIndexEntry, 0, nSeries)
+	for si := uint32(0); si < nSeries; si++ {
+		if pos+2 > len(idx) {
+			return nil, errors.New("tsdb: block file: index truncated")
+		}
+		keyLen := int(binary.LittleEndian.Uint16(idx[pos:]))
+		pos += 2
+		if pos+keyLen+4 > len(idx) {
+			return nil, errors.New("tsdb: block file: index truncated")
+		}
+		key, err := ParseSeriesKey(string(idx[pos : pos+keyLen]))
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: block file index: %w", err)
+		}
+		pos += keyLen
+		nBlocks := int(binary.LittleEndian.Uint32(idx[pos:]))
+		pos += 4
+		if nBlocks < 1 || nBlocks > (len(idx)-pos)/blockIdxEntLen {
+			return nil, errors.New("tsdb: block file: block count corrupt")
+		}
+		blocks := make([]blockMeta, nBlocks)
+		for bi := range blocks {
+			off := binary.LittleEndian.Uint64(idx[pos:])
+			length := binary.LittleEndian.Uint32(idx[pos+8:])
+			count := binary.LittleEndian.Uint32(idx[pos+12:])
+			minAt := int64(binary.LittleEndian.Uint64(idx[pos+16:]))
+			maxAt := int64(binary.LittleEndian.Uint64(idx[pos+24:]))
+			crc := binary.LittleEndian.Uint32(idx[pos+32:])
+			pos += blockIdxEntLen
+			if count < 1 || count > maxBlockPoints || length > maxBlockBytes ||
+				off < uint64(blockHeaderLen) || off+uint64(length) > idxOff {
+				return nil, fmt.Errorf("tsdb: block file: block %d of %v out of bounds", bi, key)
+			}
+			if maxAt < minAt {
+				return nil, fmt.Errorf("tsdb: block file: block %d of %v time range inverted", bi, key)
+			}
+			if bi > 0 && minAt < blocks[bi-1].maxAt.UnixNano() {
+				return nil, fmt.Errorf("tsdb: block file: blocks of %v out of order", key)
+			}
+			blocks[bi] = blockMeta{
+				off:    off,
+				length: length,
+				count:  count,
+				crc:    crc,
+				minAt:  time.Unix(0, minAt).UTC(),
+				maxAt:  time.Unix(0, maxAt).UTC(),
+			}
+		}
+		out = append(out, blockIndexEntry{key: key, blocks: blocks})
+	}
+	if pos != len(idx) {
+		return nil, errors.New("tsdb: block file: trailing index data")
+	}
+	return out, nil
+}
+
+// readBlockData reads and decodes one block's bytes from its segment,
+// verifying the index's CRC first so a bit flip in the data section is
+// reported as corruption rather than decoded into garbage points.
+func readBlockData(b *blockMeta) ([]Point, error) {
+	buf := make([]byte, b.length)
+	if _, err := b.seg.f.ReadAt(buf, int64(b.off)); err != nil {
+		return nil, fmt.Errorf("tsdb: block read: %w", err)
+	}
+	if crc32.ChecksumIEEE(buf) != b.crc {
+		return nil, errors.New("tsdb: block CRC mismatch")
+	}
+	pts, err := decodeBlock(buf, int(b.count))
+	if err != nil {
+		return nil, err
+	}
+	return pts, nil
+}

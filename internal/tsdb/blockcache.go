@@ -1,0 +1,154 @@
+package tsdb
+
+// blockCache is the store-wide, size-bounded LRU over decoded cold
+// blocks. Cold reads decode whole blocks (the unit of compression), so
+// a window scan touching B blocks costs B decodes the first time and
+// map lookups afterwards; the bound is in bytes of decoded points
+// (16 per point — one Point's timestamp and value payload), which is
+// the number resident-memory budgeting cares about.
+//
+// The cache is keyed by (block file sequence, block offset): block
+// files are immutable and never reused under the same sequence number,
+// so an entry can never go stale — eviction exists purely for the size
+// bound. Entries are whole decoded []Point slices shared read-only by
+// every reader (callers must not mutate them). A singleflight per key
+// is deliberately absent: duplicate concurrent decodes of one block
+// are harmless (last store wins) and rarer than the lock traffic a
+// per-key wait channel would add on every hit.
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultBlockCacheBytes is the block cache's size bound when Options
+// leaves BlockCacheBytes zero: enough for ~4M decoded cold points.
+const DefaultBlockCacheBytes = 64 << 20
+
+type blockCacheKey struct {
+	seq uint64
+	off uint64
+}
+
+type blockCacheEntry struct {
+	key  blockCacheKey
+	pts  []Point
+	cost int64
+}
+
+type blockCache struct {
+	mu    sync.Mutex
+	max   int64
+	size  int64
+	lru   *list.List // front = most recent
+	index map[blockCacheKey]*list.Element
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// newBlockCache builds a cache bounded to max bytes of decoded points.
+// max <= 0 disables caching: every cold read decodes its blocks.
+func newBlockCache(max int64) *blockCache {
+	return &blockCache{max: max, lru: list.New(), index: make(map[blockCacheKey]*list.Element)}
+}
+
+func (c *blockCache) get(key blockCacheKey) ([]Point, bool) {
+	if c.max <= 0 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.index[key]
+	if ok {
+		c.lru.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*blockCacheEntry).pts, true
+}
+
+func (c *blockCache) put(key blockCacheKey, pts []Point) {
+	if c.max <= 0 {
+		return
+	}
+	cost := int64(len(pts)) * 16
+	if cost > c.max {
+		return // a block larger than the whole budget would just thrash
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		// A concurrent decode of the same immutable block landed first;
+		// keep it.
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.index[key] = c.lru.PushFront(&blockCacheEntry{key: key, pts: pts, cost: cost})
+	c.size += cost
+	for c.size > c.max {
+		last := c.lru.Back()
+		if last == nil {
+			break
+		}
+		ent := last.Value.(*blockCacheEntry)
+		c.lru.Remove(last)
+		delete(c.index, ent.key)
+		c.size -= ent.cost
+		c.evictions.Add(1)
+	}
+}
+
+// BlockCacheStats are the cumulative block-cache counters plus its
+// current residency, surfaced through /api/v1/meta.
+type BlockCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// Bytes is the decoded-point bytes currently resident; MaxBytes is
+	// the configured bound (0 = caching disabled).
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"maxBytes"`
+}
+
+// BlockCacheStats returns the block cache's counters and residency.
+func (db *DB) BlockCacheStats() BlockCacheStats {
+	c := db.bcache
+	if c == nil {
+		return BlockCacheStats{}
+	}
+	c.mu.Lock()
+	size := c.size
+	c.mu.Unlock()
+	return BlockCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Bytes:     size,
+		MaxBytes:  max(c.max, 0),
+	}
+}
+
+// coldBlockPoints returns one sealed block's decoded points, consulting
+// the cache first. The returned slice is shared and must not be
+// mutated. Decode failures (bit rot, a vanished file) are surfaced to
+// the caller; read paths count them and degrade to hot-only results
+// rather than panic — see coldErr.
+func (db *DB) coldBlockPoints(b *blockMeta) ([]Point, error) {
+	key := blockCacheKey{seq: b.seg.seq, off: b.off}
+	if pts, ok := db.bcache.get(key); ok {
+		return pts, nil
+	}
+	pts, err := readBlockData(b)
+	if err != nil {
+		return nil, err
+	}
+	db.bcache.put(key, pts)
+	return pts, nil
+}

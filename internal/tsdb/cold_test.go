@@ -1,0 +1,676 @@
+package tsdb
+
+// Tests for the cold block tier: codec round trips, differential
+// equality between a sealed store and never-sealed references (including
+// cursor walks that cross the tier boundary, and under -race with a
+// concurrent writer), the seal-boundary crash matrix, the seal
+// maintenance trigger, and recovery/accounting invariants.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sealKeys is a small key universe that gives each series enough depth
+// to seal multiple blocks under the tiny test block sizes.
+func sealKeys() []SeriesKey {
+	return []SeriesKey{
+		{Dataset: DatasetPrice, Type: "m5.xlarge", Region: "us-east-1", AZ: "us-east-1a"},
+		{Dataset: DatasetPrice, Type: "c5.large", Region: "eu-west-1", AZ: "eu-west-1b"},
+		{Dataset: DatasetPlacementScore, Type: "p3.8xlarge", Region: "us-east-1", AZ: ""},
+		{Dataset: DatasetInterruptFree, Type: "r5.2xlarge", Region: "ap-northeast-2", AZ: "ap-northeast-2c"},
+	}
+}
+
+// sealEntries builds n time-ordered entries round-robined over sealKeys,
+// with occasional equal-timestamp runs so cursor positions inside a run
+// get exercised, and values drawn from a small set (the compressible
+// shape real spot prices have).
+func sealEntries(n, startSec int) []Entry {
+	keys := sealKeys()
+	out := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		sec := startSec + i
+		if (i/len(keys))%7 == 3 {
+			// Duplicate the same series' previous timestamp: equal-timestamp
+			// runs are legal, and cursor positions inside them must resolve.
+			sec -= len(keys)
+		}
+		out = append(out, Entry{
+			Key:   keys[i%len(keys)],
+			At:    t0.Add(time.Duration(sec) * 4 * time.Second),
+			Value: float64((i / 7) % 5),
+		})
+	}
+	return out
+}
+
+// TestBlockCodecRoundTrip drives encodeBlock/decodeBlock over value and
+// timestamp shapes chosen to hit every dod bucket and XOR branch.
+func TestBlockCodecRoundTrip(t *testing.T) {
+	mk := func(n int, at func(i int) time.Time, v func(i int) float64) []Point {
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{At: at(i).UTC(), Value: v(i)}
+		}
+		return pts
+	}
+	everySec := func(i int) time.Time { return t0.Add(time.Duration(i) * time.Second) }
+	cases := map[string][]Point{
+		"single":   mk(1, everySec, func(int) float64 { return 3.25 }),
+		"constant": mk(500, everySec, func(int) float64 { return 0.0912 }),
+		"steps":    mk(500, everySec, func(i int) float64 { return float64(i / 50) }),
+		"ramp":     mk(300, everySec, func(i int) float64 { return 0.001 * float64(i) }),
+		"jitter": mk(400, func(i int) time.Time {
+			return t0.Add(time.Duration(i)*time.Minute + time.Duration(i*i%977)*time.Millisecond)
+		}, func(i int) float64 { return math.Sin(float64(i)) }),
+		"dups": mk(64, func(i int) time.Time { return t0.Add(time.Duration(i/4) * time.Hour) },
+			func(i int) float64 { return float64(i % 3) }),
+		"extremes": {
+			{At: t0, Value: 0},
+			{At: t0.Add(time.Nanosecond), Value: math.Inf(1)},
+			{At: t0.Add(365 * 24 * time.Hour), Value: math.SmallestNonzeroFloat64},
+			{At: t0.Add(400 * 24 * time.Hour), Value: -math.MaxFloat64},
+			{At: t0.Add(400 * 24 * time.Hour), Value: math.Copysign(0, -1)},
+		},
+	}
+	for name, pts := range cases {
+		eb := encodeBlock(pts)
+		if int(eb.count) != len(pts) {
+			t.Fatalf("%s: encoded count %d, want %d", name, eb.count, len(pts))
+		}
+		if eb.minAt != pts[0].At.UnixNano() || eb.maxAt != pts[len(pts)-1].At.UnixNano() {
+			t.Fatalf("%s: encoded extent [%d, %d] disagrees with points", name, eb.minAt, eb.maxAt)
+		}
+		got, err := decodeBlock(eb.data, len(pts))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		for i := range pts {
+			if !got[i].At.Equal(pts[i].At) || math.Float64bits(got[i].Value) != math.Float64bits(pts[i].Value) {
+				t.Fatalf("%s: point %d = %v (bits %x), want %v (bits %x)",
+					name, i, got[i], math.Float64bits(got[i].Value), pts[i], math.Float64bits(pts[i].Value))
+			}
+		}
+		// A grossly wrong count must error, not mis-decode or over-read.
+		// (Off-by-one counts can hide inside the final byte's bit padding —
+		// which is why the count lives in the CRC-protected index, never
+		// in the stream itself.)
+		if _, err := decodeBlock(eb.data, len(pts)+64); err == nil {
+			t.Fatalf("%s: decode with inflated count succeeded", name)
+		}
+	}
+}
+
+// sealedOpts are the tiny tiers the differential tests run under: a
+// 4-point hot tail, 8-point blocks, and a cache small enough to evict.
+func sealedOpts() Options {
+	return Options{Shards: 4, RotateBytes: 2048, HotTailPoints: 4, BlockPoints: 8, BlockCacheBytes: 1 << 12}
+}
+
+// walkCursor pages through the series with QueryAfter, advancing a
+// keyset cursor exactly the way the archive's pagination does, and
+// returns the concatenation of all pages plus the page count.
+func walkCursor(db *DB, k SeriesKey, to time.Time, page int) ([]Point, int) {
+	var out []Point
+	var after time.Time
+	seq := 0
+	pages := 0
+	for {
+		pts := db.QueryAfter(k, after, seq, to, page)
+		if len(pts) == 0 {
+			return out, pages
+		}
+		pages++
+		for _, p := range pts {
+			if p.At.Equal(after) {
+				seq++
+			} else {
+				after, seq = p.At, 1
+			}
+		}
+		out = append(out, pts...)
+	}
+}
+
+// TestSealedStoreMatchesReference drives a sealing store, a never-sealed
+// memory store, and the naive reference through the same workload with
+// interleaved checkpoints, and demands every read path agree exactly —
+// including float paths (same arithmetic, so bitwise equality) and
+// cursor walks whose pages straddle the hot/cold boundary.
+func TestSealedStoreMatchesReference(t *testing.T) {
+	dir := t.TempDir()
+	opts := sealedOpts()
+	db, err := OpenWithOptions(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := OpenWithOptions("", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newRefDB()
+
+	apply := func(entries []Entry) {
+		t.Helper()
+		if n, err := db.AppendBatch(entries); err != nil || n != len(entries) {
+			t.Fatalf("sealed stored %d, err %v", n, err)
+		}
+		if n, err := mem.AppendBatch(entries); err != nil || n != len(entries) {
+			t.Fatalf("memory stored %d, err %v", n, err)
+		}
+		refApplyAll(t, ref, entries)
+	}
+
+	compare := func(stage string) {
+		t.Helper()
+		end := t0.Add(1000 * time.Hour)
+		assertSameContents(t, contents(db), refContents(ref))
+		for _, k := range sealKeys() {
+			all := mem.Query(k, time.Time{}, end)
+			// Cursor walk in small pages: boundaries land inside cold
+			// blocks, inside the hot tail, and across the seam.
+			got, pages := walkCursor(db, k, end, 5)
+			if len(got) != len(all) {
+				t.Fatalf("%s: %v cursor walk returned %d points over %d pages, want %d", stage, k, len(got), pages, len(all))
+			}
+			for i := range all {
+				if !got[i].At.Equal(all[i].At) || got[i].Value != all[i].Value {
+					t.Fatalf("%s: %v cursor walk point %d = %v, want %v", stage, k, i, got[i], all[i])
+				}
+			}
+			if len(all) == 0 {
+				continue
+			}
+			// Window reads anchored at points around the tier boundary.
+			for _, i := range []int{0, len(all) / 3, len(all) / 2, len(all) - 1} {
+				from, to := all[i].At, all[min(i+17, len(all)-1)].At
+				if g, w := db.CountRange(k, from, to), mem.CountRange(k, from, to); g != w {
+					t.Fatalf("%s: %v CountRange[%d] = %d, want %d", stage, k, i, g, w)
+				}
+				if g, w := db.QueryRange(k, from, to, 3, 11), mem.QueryRange(k, from, to, 3, 11); len(g) != len(w) {
+					t.Fatalf("%s: %v QueryRange[%d] = %d points, want %d", stage, k, i, len(g), len(w))
+				}
+				if g, w := db.CountAfter(k, from, 1, end), mem.CountAfter(k, from, 1, end); g != w {
+					t.Fatalf("%s: %v CountAfter[%d] = %d, want %d", stage, k, i, g, w)
+				}
+				gv, gok := db.ValueAt(k, from.Add(time.Second))
+				wv, wok := mem.ValueAt(k, from.Add(time.Second))
+				if gok != wok || math.Float64bits(gv) != math.Float64bits(wv) {
+					t.Fatalf("%s: %v ValueAt[%d] = (%v,%v), want (%v,%v)", stage, k, i, gv, gok, wv, wok)
+				}
+				gm, gok2 := db.WindowMean(k, from, to.Add(time.Second))
+				wm, wok2 := mem.WindowMean(k, from, to.Add(time.Second))
+				if gok2 != wok2 || math.Float64bits(gm) != math.Float64bits(wm) {
+					t.Fatalf("%s: %v WindowMean[%d] = (%v,%v), want (%v,%v)", stage, k, i, gm, gok2, wm, wok2)
+				}
+			}
+			gg := db.Grid(k, all[0].At, all[len(all)-1].At, 97*time.Second)
+			wg := mem.Grid(k, all[0].At, all[len(all)-1].At, 97*time.Second)
+			if len(gg) != len(wg) {
+				t.Fatalf("%s: %v Grid length %d, want %d", stage, k, len(gg), len(wg))
+			}
+			for i := range wg {
+				if math.Float64bits(gg[i]) != math.Float64bits(wg[i]) {
+					t.Fatalf("%s: %v Grid[%d] = %v, want %v", stage, k, i, gg[i], wg[i])
+				}
+			}
+			gc, wc := db.ChangeIntervals(k), mem.ChangeIntervals(k)
+			if len(gc) != len(wc) {
+				t.Fatalf("%s: %v ChangeIntervals length %d, want %d", stage, k, len(gc), len(wc))
+			}
+			for i := range wc {
+				if gc[i] != wc[i] {
+					t.Fatalf("%s: %v ChangeIntervals[%d] = %v, want %v", stage, k, i, gc[i], wc[i])
+				}
+			}
+			gl, glok := db.Last(k)
+			wl, wlok := mem.Last(k)
+			if glok != wlok || !gl.At.Equal(wl.At) || gl.Value != wl.Value {
+				t.Fatalf("%s: %v Last = (%v,%v), want (%v,%v)", stage, k, gl, glok, wl, wlok)
+			}
+		}
+	}
+
+	// Three rounds of append → seal → read, so later rounds append after
+	// sealed history and re-seal on top of existing blocks.
+	n := 0
+	for round := 0; round < 3; round++ {
+		batch := sealEntries(400, n*2)
+		n += 400
+		apply(batch)
+		compare(fmt.Sprintf("round %d pre-seal", round))
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		compare(fmt.Sprintf("round %d post-seal", round))
+	}
+	if db.SealedBlocks() == 0 || db.ColdPointCount() == 0 {
+		t.Fatalf("workload sealed nothing: %d blocks, %d cold points", db.SealedBlocks(), db.ColdPointCount())
+	}
+	if hot, total := db.HotPointCount(), int64(db.PointCount()); hot+db.ColdPointCount() != total {
+		t.Fatalf("hot %d + cold %d != total %d", hot, db.ColdPointCount(), total)
+	}
+	cs := db.BlockCacheStats()
+	if cs.Misses == 0 || cs.Hits == 0 {
+		t.Fatalf("cold reads never exercised the block cache: %+v", cs)
+	}
+
+	// Recovery: reopen from disk (index-only block open + hot snapshot +
+	// WAL tail) and run the full comparison again.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err = OpenWithOptions(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	defer mem.Close()
+	if db.SealedBlocks() == 0 {
+		t.Fatal("reopen lost the sealed blocks")
+	}
+	compare("reopened")
+
+	// The exported snapshot must still be the complete archive: load it
+	// into a fresh memory store and compare.
+	var buf bytes.Buffer
+	if err := db.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full, err := OpenSharded("", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	if _, err := full.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	assertSameContents(t, contents(full), refContents(ref))
+}
+
+// TestSealedConcurrentReadsExact runs (under -race) a writer appending
+// live points, a checkpointer sealing underneath it, and readers
+// asserting that an immutable historical window — one that crosses the
+// tier boundary as seals land — returns exactly the same points on every
+// read.
+func TestSealedConcurrentReadsExact(t *testing.T) {
+	dir := t.TempDir()
+	opts := sealedOpts()
+	db, err := OpenWithOptions(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	k := sealKeys()[0]
+	const frozen = 320
+	want := make([]Point, 0, frozen)
+	for i := 0; i < frozen; i++ {
+		p := Point{At: t0.Add(time.Duration(i) * time.Second), Value: float64(i % 4)}
+		if err := db.Append(k, p.At, p.Value); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, p)
+	}
+	frozenEnd := want[frozen-1].At
+
+	var wg sync.WaitGroup
+	writerDone := make(chan struct{})
+	errCh := make(chan error, 4)
+	report := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	wg.Add(1)
+	go func() { // writer: live appends beyond the frozen window
+		defer wg.Done()
+		defer close(writerDone)
+		for i := 0; i < 3000; i++ {
+			at := frozenEnd.Add(time.Duration(i+1) * time.Second)
+			if err := db.Append(k, at, float64(i%7)); err != nil {
+				report(fmt.Errorf("live append %d: %w", i, err))
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // checkpointer: seals repeatedly while reads and writes run
+		defer wg.Done()
+		for {
+			select {
+			case <-writerDone:
+				return
+			default:
+			}
+			if err := db.Checkpoint(); err != nil {
+				report(fmt.Errorf("concurrent checkpoint: %w", err))
+				return
+			}
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) { // readers: the frozen window must never change
+			defer wg.Done()
+			for it := 0; ; it++ {
+				select {
+				case <-writerDone:
+					return
+				default:
+				}
+				got := db.Query(k, t0, frozenEnd)
+				if len(got) != frozen {
+					report(fmt.Errorf("reader %d it %d: frozen window has %d points, want %d", r, it, len(got), frozen))
+					return
+				}
+				for i := range got {
+					if !got[i].At.Equal(want[i].At) || got[i].Value != want[i].Value {
+						report(fmt.Errorf("reader %d it %d: point %d = %v, want %v", r, it, i, got[i], want[i]))
+						return
+					}
+				}
+				if pts, _ := walkCursor(db, k, frozenEnd, 7); len(pts) != frozen {
+					report(fmt.Errorf("reader %d it %d: cursor walk returned %d points, want %d", r, it, len(pts), frozen))
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if db.SealedBlocks() == 0 {
+		t.Fatal("concurrent run sealed nothing; the race surface was not exercised")
+	}
+}
+
+// TestSealCrashMatrix extends the crash matrix across the seal protocol's
+// durable boundaries — block data write, block index write, block file
+// commit, manifest commit, covered-WAL unlink — × before/after fsync,
+// asserting recovery after each cell is exactly the reference state, and
+// that the store seals its way out of the crashed state.
+func TestSealCrashMatrix(t *testing.T) {
+	cells := []struct {
+		point  string
+		mutate func(t *testing.T, env *matrixEnv)
+	}{
+		{point: "checkpoint:blocks:data-written",
+			mutate: func(t *testing.T, env *matrixEnv) {
+				// The index never started: freeze the temp file right after
+				// its data section (the write stopped mid-file).
+				truncateHalf(t, env.dir, "blocks-*.blk.tmp")
+			}},
+		{point: "checkpoint:blocks:before-sync",
+			mutate: func(t *testing.T, env *matrixEnv) {
+				truncateHalf(t, env.dir, "blocks-*.blk.tmp")
+			}},
+		{point: "checkpoint:blocks:synced"},
+		{point: "checkpoint:blocks:committed"},
+		{point: "checkpoint:snapshot:before-sync",
+			mutate: func(t *testing.T, env *matrixEnv) {
+				truncateHalf(t, env.dir, "checkpoint-*.snap.tmp")
+			}},
+		{point: "checkpoint:snapshot:committed"},
+		{point: "checkpoint:manifest:before-sync",
+			mutate: func(t *testing.T, env *matrixEnv) {
+				truncateHalf(t, env.dir, manifestName+".tmp")
+			}},
+		{point: "checkpoint:manifest:committed"},
+		{point: "checkpoint:delete:before-sync",
+			mutate: func(t *testing.T, env *matrixEnv) {
+				// The covered-WAL unlinks never became durable.
+				for name, raw := range env.preCopies {
+					p := filepath.Join(env.dir, name)
+					if _, err := os.Stat(p); errors.Is(err, os.ErrNotExist) {
+						if err := os.WriteFile(p, raw, 0o644); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}},
+		{point: "checkpoint:delete:after-sync"},
+	}
+
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.point, func(t *testing.T) {
+			dir := t.TempDir()
+			opts := sealedOpts()
+			db, err := OpenWithOptions(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := newRefDB()
+
+			// Workload A and a clean checkpoint: the crashed seal below has
+			// committed blocks and a committed manifest to fall back to.
+			a := sealEntries(400, 0)
+			if n, err := db.AppendBatch(a); err != nil || n != len(a) {
+				t.Fatalf("stored %d, err %v", n, err)
+			}
+			refApplyAll(t, ref, a)
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			if db.SealedBlocks() == 0 {
+				t.Fatal("baseline checkpoint sealed nothing; the matrix would not cross seal boundaries")
+			}
+			b := sealEntries(400, 800)
+			if n, err := db.AppendBatch(b); err != nil || n != len(b) {
+				t.Fatalf("stored %d, err %v", n, err)
+			}
+			refApplyAll(t, ref, b)
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			assertSameContents(t, contents(db), refContents(ref))
+			want := refContents(ref)
+			env := &matrixEnv{dir: dir, preCopies: copySegments(t, dir)}
+
+			db.testCrash = func(point string) error {
+				if point == cell.point {
+					return errCrashPoint
+				}
+				return nil
+			}
+			if err := db.Checkpoint(); !errors.Is(err, errCrashPoint) {
+				t.Fatalf("%s: checkpoint returned %v, want injected crash", cell.point, err)
+			}
+			db.testCrash = nil
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if cell.mutate != nil {
+				cell.mutate(t, env)
+			}
+
+			re, err := OpenWithOptions(dir, opts)
+			if err != nil {
+				t.Fatalf("reopen after %s: %v", cell.point, err)
+			}
+			assertSameContents(t, contents(re), want)
+			// The store must seal its way out of the crashed state and
+			// still recover exactly.
+			if err := re.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint after %s: %v", cell.point, err)
+			}
+			if re.SealedBlocks() == 0 {
+				t.Fatalf("%s: store lost the ability to seal", cell.point)
+			}
+			if err := re.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re2, err := OpenWithOptions(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re2.Close()
+			assertSameContents(t, contents(re2), want)
+		})
+	}
+}
+
+// TestSealTriggerMaintenance proves SealAfterHotPoints drives the store
+// to seal on its own: no manual Checkpoint call, hot growth alone forces
+// one, and the trigger re-arms on the post-seal floor instead of
+// re-firing on the unsealable residual.
+func TestSealTriggerMaintenance(t *testing.T) {
+	dir := t.TempDir()
+	opts := sealedOpts()
+	opts.SealAfterHotPoints = 64
+	opts.MaintenanceInterval = -1 // append-path enforcement only: deterministic
+	db, err := OpenWithOptions(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if !db.SelfMaintains() {
+		t.Fatal("SealAfterHotPoints alone did not enable self-maintenance")
+	}
+	k := sealKeys()[0]
+	for i := 0; i < 600; i++ {
+		if err := db.Append(k, t0.Add(time.Duration(i)*time.Second), float64(i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.MaintenanceStats()
+	if st.ForcedBySeal == 0 || db.SealedBlocks() == 0 {
+		t.Fatalf("hot growth forced no seal: stats %+v, %d blocks", st, db.SealedBlocks())
+	}
+	if hot := db.HotPointCount(); hot >= 600 {
+		t.Fatalf("all %d points still hot after seal-triggered maintenance", hot)
+	}
+	// The floor re-armed: the residual alone must not keep the trigger
+	// hot, or every future append would force a useless checkpoint.
+	if db.sealTriggerHot() {
+		t.Fatalf("seal trigger still hot after checkpoint (hot=%d floor=%d)",
+			db.hotPts.Load(), db.sealFloor.Load())
+	}
+}
+
+// TestSealAccountingAndReap pins the bookkeeping around a seal: manifest
+// carries the block list, counters survive reopen, orphan block files
+// from a crashed seal are reaped, and a disabled tier (negative
+// HotTailPoints) never seals.
+func TestSealAccountingAndReap(t *testing.T) {
+	dir := t.TempDir()
+	opts := sealedOpts()
+	db, err := OpenWithOptions(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sealEntries(600, 0)
+	if n, err := db.AppendBatch(a); err != nil || n != len(a) {
+		t.Fatalf("stored %d, err %v", n, err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	blocks, coldPts, coldBytes := db.SealedBlocks(), db.ColdPointCount(), db.ColdCompressedBytes()
+	if blocks == 0 || coldPts == 0 || coldBytes == 0 {
+		t.Fatalf("seal accounted nothing: %d blocks, %d points, %d bytes", blocks, coldPts, coldBytes)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An orphan block file (crashed seal: renamed but never committed to
+	// the manifest) must be reaped on open and never loaded.
+	orphan := filepath.Join(dir, blockFileName(99))
+	if err := os.WriteFile(orphan, []byte("orphan of a crashed seal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenWithOptions(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.SealedBlocks(); got != blocks {
+		t.Fatalf("reopen restored %d blocks, want %d", got, blocks)
+	}
+	if got := re.ColdPointCount(); got != coldPts {
+		t.Fatalf("reopen restored %d cold points, want %d", got, coldPts)
+	}
+	if got := re.ColdCompressedBytes(); got != coldBytes {
+		t.Fatalf("reopen restored %d cold bytes, want %d", got, coldBytes)
+	}
+	if _, err := os.Stat(orphan); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("orphan block file survived open (err=%v)", err)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sealing disabled: the same workload keeps everything hot.
+	dir2 := t.TempDir()
+	off := sealedOpts()
+	off.HotTailPoints = -1
+	db2, err := OpenWithOptions(dir2, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.SealsCold() {
+		t.Fatal("negative HotTailPoints did not disable sealing")
+	}
+	if n, err := db2.AppendBatch(a); err != nil || n != len(a) {
+		t.Fatalf("stored %d, err %v", n, err)
+	}
+	if err := db2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if db2.SealedBlocks() != 0 || db2.ColdPointCount() != 0 {
+		t.Fatalf("disabled tier sealed %d blocks / %d points", db2.SealedBlocks(), db2.ColdPointCount())
+	}
+}
+
+// TestSealedAppendOrderingGuard pins the out-of-order check against a
+// fully sealed series: with the hot slice empty after recovery... the
+// guard must fall back to the last sealed timestamp rather than accept a
+// point that travels back in time behind the blocks.
+func TestSealedAppendOrderingGuard(t *testing.T) {
+	dir := t.TempDir()
+	opts := sealedOpts()
+	db, err := OpenWithOptions(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	k := sealKeys()[0]
+	for i := 0; i < 100; i++ {
+		if err := db.Append(k, t0.Add(time.Duration(i)*time.Minute), float64(i%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if db.SealedBlocks() == 0 {
+		t.Fatal("workload sealed nothing")
+	}
+	// In order after the hot tail: fine.
+	if err := db.Append(k, t0.Add(100*time.Minute), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Before the hot tail (and before sealed history): rejected.
+	if err := db.Append(k, t0.Add(-time.Minute), 1); err == nil {
+		t.Fatal("append before sealed history succeeded")
+	}
+	// Equal to the newest timestamp: accepted (equal-timestamp runs are
+	// legal), exactly as on a never-sealed store.
+	if err := db.Append(k, t0.Add(100*time.Minute), 2); err != nil {
+		t.Fatal(err)
+	}
+}

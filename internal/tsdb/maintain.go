@@ -76,6 +76,10 @@ type MaintenanceStats struct {
 	// live when the checkpoint ran. A checkpoint with both triggers live
 	// counts in both.
 	ForcedByChainLength uint64 `json:"forcedByChainLength"`
+	// ForcedBySeal counts maintenance checkpoints whose hot-point trigger
+	// (hot points grown by SealAfterHotPoints since the last checkpoint)
+	// was live when the checkpoint ran.
+	ForcedBySeal uint64 `json:"forcedBySeal"`
 	// Errors counts maintenance checkpoints that failed. The daemon
 	// retries on its next tick; a climbing counter means the store cannot
 	// write snapshots (disk full, permissions).
@@ -88,6 +92,7 @@ func (db *DB) MaintenanceStats() MaintenanceStats {
 		Checkpoints:         db.maintCP.Load(),
 		ForcedByBytes:       db.maintByBytes.Load(),
 		ForcedByChainLength: db.maintByChain.Load(),
+		ForcedBySeal:        db.maintBySeal.Load(),
 		Errors:              db.maintErrs.Load(),
 	}
 }
@@ -102,7 +107,7 @@ func (db *DB) MaxSealedSegments() int { return db.maxSealed }
 // SelfMaintains reports whether the store drives its own checkpoints:
 // it is durable and at least one maintenance trigger is configured.
 func (db *DB) SelfMaintains() bool {
-	return db.dir != "" && (db.cpAfterBytes > 0 || db.maxSealed > 0)
+	return db.dir != "" && (db.cpAfterBytes > 0 || db.maxSealed > 0 || db.sealAfterHot > 0)
 }
 
 // MaintainerActive reports whether the maintenance daemon goroutine is
@@ -204,9 +209,19 @@ func (db *DB) byteTriggerHot() bool {
 	return db.dir != "" && db.cpAfterBytes > 0 && db.cpBytesTotal.Load() >= uint64(db.cpAfterBytes)
 }
 
-// triggerLive reports whether either maintenance trigger currently fires.
+// sealTriggerHot fires when hot memory has grown by SealAfterHotPoints
+// points since the last checkpoint re-armed the floor. Growth-relative,
+// not absolute: the unsealable residual (per-series hot tails and
+// partial blocks) stays resident forever, so an absolute threshold would
+// re-fire on every tick once the residual alone crossed it.
+func (db *DB) sealTriggerHot() bool {
+	return db.sealAfterHot > 0 && db.SealsCold() &&
+		db.hotPts.Load() >= db.sealFloor.Load()+db.sealAfterHot
+}
+
+// triggerLive reports whether any maintenance trigger currently fires.
 func (db *DB) triggerLive() bool {
-	return db.chainTriggerHot() || db.byteTriggerHot()
+	return db.chainTriggerHot() || db.byteTriggerHot() || db.sealTriggerHot()
 }
 
 // runMaintenanceCheckpointLocked re-checks the triggers and checkpoints.
@@ -214,7 +229,8 @@ func (db *DB) triggerLive() bool {
 func (db *DB) runMaintenanceCheckpointLocked() {
 	byChain := db.chainTriggerHot()
 	byBytes := db.byteTriggerHot()
-	if !byChain && !byBytes {
+	bySeal := db.sealTriggerHot()
+	if !byChain && !byBytes && !bySeal {
 		return
 	}
 	if err := db.checkpointLocked(); err != nil {
@@ -230,6 +246,9 @@ func (db *DB) runMaintenanceCheckpointLocked() {
 	if byChain {
 		db.maintByChain.Add(1)
 	}
+	if bySeal {
+		db.maintBySeal.Add(1)
+	}
 }
 
 // enforceMaintenance runs on the append path, before any shard lock is
@@ -243,7 +262,7 @@ func (db *DB) runMaintenanceCheckpointLocked() {
 // the trigger — this append proceeds without stacking a second one
 // behind it.
 func (db *DB) enforceMaintenance() {
-	if !db.chainTriggerHot() && !db.byteTriggerHot() {
+	if !db.triggerLive() {
 		return
 	}
 	// After a failed attempt, stand down for the backoff window instead

@@ -73,10 +73,33 @@ func (db *DB) captureWith(fn func(i int, sh *shard) error) ([]snapshotSeries, er
 	return recs, nil
 }
 
-// capture is the fn-less captureWith, used by plain snapshots and layout
-// commits.
+// capture is the fn-less captureWith, used by layout commits and the
+// checkpoint protocol. It captures only hot (in-memory) points: on a
+// store with sealed history, cold blocks are carried by the manifest's
+// block list and must not be duplicated into checkpoint snapshots.
 func (db *DB) capture() []snapshotSeries {
 	recs, _ := db.captureWith(nil)
+	return recs
+}
+
+// captureFull collects every series' complete history — sealed blocks
+// decoded and placed ahead of the hot tail — sorted by canonical key.
+// This is the capture behind WriteSnapshot/SaveSnapshot, whose output
+// must be a self-contained re-loadable archive regardless of how the
+// store tiers it internally. Unreadable cold blocks are skipped (and
+// counted in ColdReadErrors), matching the query paths' degrade
+// behavior.
+func (db *DB) captureFull() []snapshotSeries {
+	var recs []snapshotSeries
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for k, s := range sh.series {
+			recs = append(recs, snapshotSeries{key: k, points: db.getPointsLocked(s, 0, seriesTotal(s))})
+		}
+		sh.mu.RUnlock()
+	}
+	sortSnapshotSeries(recs)
 	return recs
 }
 
@@ -85,7 +108,7 @@ func (db *DB) capture() []snapshotSeries {
 // under its shard lock, series listed at the start are never dropped, and
 // series created afterwards are simply not included.
 func (db *DB) WriteSnapshot(w io.Writer) error {
-	return encodeSnapshot(w, db.capture())
+	return encodeSnapshot(w, db.captureFull())
 }
 
 // chunkSnapshotSeries splits any series whose record payload would exceed

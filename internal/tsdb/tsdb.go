@@ -114,7 +114,15 @@ type Entry struct {
 }
 
 type series struct {
+	// points is the in-memory tail of the series (all of it until the
+	// first seal). Sealed history lives compressed on disk behind cold.
 	points []Point
+	// cold is the series' sealed history, nil until a checkpoint seals
+	// one: block metadata only — the points themselves stay on disk and
+	// decode on demand through the store's block cache. A point's global
+	// index is cold.n + its offset in points; the read paths resolve the
+	// two tiers through the shared search/fetch helpers below.
+	cold *coldSeries
 }
 
 // shard is one lock stripe: a mutex, its series, local statistics, and —
@@ -173,6 +181,31 @@ type DB struct {
 	man         manifest
 	epoch       uint64
 	rotateBytes int64
+
+	// Cold-tier state (see block.go). bcache is the store-wide LRU over
+	// decoded blocks; coldSegs the open block files (appended under cpMu
+	// at seal time, closed by Close under all shard locks). hotTail,
+	// blockPoints, and sealAfterHot are fixed at open. hotPts/coldPts
+	// mirror the resident-vs-sealed split of the per-shard point
+	// counters; sealedBlks and coldBytes count sealed blocks and their
+	// compressed on-disk bytes; coldErrs counts cold reads that failed
+	// (bit rot, vanished file) and were degraded to hot-only results.
+	// sealFloor is the store's hot point count right after the last
+	// checkpoint, so the seal trigger fires on hot growth since then
+	// rather than on an absolute size a full hot tail can never drop
+	// below.
+	bcache       *blockCache
+	coldSegs     []*coldSegment
+	hotTail      int
+	blockPoints  int
+	sealAfterHot int64
+	hotPts       atomic.Int64
+	coldPts      atomic.Int64
+	sealedBlks   atomic.Int64
+	coldBytes    atomic.Int64
+	coldErrs     atomic.Uint64
+	sealFloor    atomic.Int64
+	maintBySeal  atomic.Uint64
 
 	// replayedBytes counts the WAL record bytes the last Open replayed
 	// beyond the checkpoint cut — the observable size of the recovery
@@ -243,6 +276,18 @@ func DefaultShardCount() int {
 // ordinary collection cadences.
 const DefaultRotateBytes = 8 << 20
 
+// DefaultHotTailPoints is the per-series hot tail kept in memory when
+// Options leaves HotTailPoints zero. Checkpoint seals older points into
+// compressed blocks; the tail keeps recent-window queries, dedup checks,
+// and out-of-order validation entirely in memory.
+const DefaultHotTailPoints = 256
+
+// DefaultBlockPoints is the sealed block size (points per block) when
+// Options leaves BlockPoints zero. Bigger blocks compress better and
+// shrink the in-memory index; smaller blocks make narrow cold reads
+// decode less. Only whole blocks seal — a partial remainder stays hot.
+const DefaultBlockPoints = 512
+
 // Options configures OpenWithOptions.
 type Options struct {
 	// Shards is the lock-stripe count, rounded up to a power of two;
@@ -269,8 +314,31 @@ type Options struct {
 	// selects DefaultMaintenanceInterval, negative disables the daemon
 	// (the append-path chain-cap enforcement still applies). The daemon
 	// only starts when the store is durable and at least one of
-	// CheckpointAfterBytes / MaxSealedSegments is set.
+	// CheckpointAfterBytes / MaxSealedSegments / SealAfterHotPoints is
+	// set.
 	MaintenanceInterval time.Duration
+	// HotTailPoints is the per-series in-memory tail a checkpoint keeps
+	// when sealing history into compressed blocks: 0 selects
+	// DefaultHotTailPoints, negative disables sealing entirely (every
+	// point stays hot, the pre-block-tier behavior). The tail is never
+	// smaller than one point, so Last, dedup, and the out-of-order check
+	// stay in-memory for live series.
+	HotTailPoints int
+	// BlockPoints is the sealed block size in points: 0 selects
+	// DefaultBlockPoints; values are clamped to [2, 65536].
+	BlockPoints int
+	// BlockCacheBytes bounds the decoded-block LRU cache: 0 selects
+	// DefaultBlockCacheBytes, negative disables caching (cold reads
+	// decode every time).
+	BlockCacheBytes int64
+	// SealAfterHotPoints, when positive on a durable store with sealing
+	// enabled, checkpoints (and therefore seals) once the store-wide hot
+	// point count has grown by this many points since the last
+	// checkpoint — the memory-bound seal trigger that joins the
+	// byte/chain triggers in the maintenance daemon and the append-path
+	// enforcement. Zero disables the trigger (checkpoints triggered any
+	// other way still seal).
+	SealAfterHotPoints int64
 }
 
 // Open opens (or creates) a store with DefaultShardCount shards. With a
@@ -302,6 +370,29 @@ func OpenWithOptions(dir string, o Options) (*DB, error) {
 	}
 	db.cpAfterBytes = o.CheckpointAfterBytes
 	db.maxSealed = o.MaxSealedSegments
+	db.hotTail = o.HotTailPoints
+	switch {
+	case db.hotTail == 0:
+		db.hotTail = DefaultHotTailPoints
+	case db.hotTail < 0:
+		db.hotTail = -1 // sealing disabled
+	}
+	db.blockPoints = o.BlockPoints
+	if db.blockPoints <= 0 {
+		db.blockPoints = DefaultBlockPoints
+	}
+	if db.blockPoints < 2 {
+		db.blockPoints = 2
+	}
+	if db.blockPoints > maxBlockPoints {
+		db.blockPoints = maxBlockPoints
+	}
+	db.sealAfterHot = o.SealAfterHotPoints
+	cacheBytes := o.BlockCacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = DefaultBlockCacheBytes
+	}
+	db.bcache = newBlockCache(cacheBytes)
 	db.maintWake = make(chan struct{}, 1)
 	for i := range db.shards {
 		db.shards[i].idx = i
@@ -317,6 +408,9 @@ func OpenWithOptions(dir string, o Options) (*DB, error) {
 	if err := db.openDurable(); err != nil {
 		return nil, err
 	}
+	// Arm the seal trigger relative to the recovered hot tail: what
+	// survived recovery unsealed is the residual, not growth.
+	db.sealFloor.Store(db.hotPts.Load())
 	db.startMaintainer(o.MaintenanceInterval)
 	return db, nil
 }
@@ -452,11 +546,16 @@ func (db *DB) appendLocked(sh *shard, k SeriesKey, at time.Time, v float64) erro
 		sh.series[k] = s
 		db.keyGen.Add(1)
 	}
-	if n := len(s.points); n > 0 && at.Before(s.points[n-1].At) {
-		return fmt.Errorf("tsdb: out-of-order append to %v: %v before %v", k, at, s.points[n-1].At)
+	if n := len(s.points); n > 0 {
+		if at.Before(s.points[n-1].At) {
+			return fmt.Errorf("tsdb: out-of-order append to %v: %v before %v", k, at, s.points[n-1].At)
+		}
+	} else if s.cold != nil && at.Before(s.cold.lastAt) {
+		return fmt.Errorf("tsdb: out-of-order append to %v: %v before sealed %v", k, at, s.cold.lastAt)
 	}
 	s.points = append(s.points, Point{At: at, Value: v})
 	sh.points++
+	db.hotPts.Add(1)
 	sh.gen.Add(1)
 	if sh.wal != nil {
 		rec := appendRecord(nil, k.String(), at, v)
@@ -506,8 +605,10 @@ func (db *DB) AppendIfChanged(k SeriesKey, at time.Time, v float64) (bool, error
 	sh := db.shardFor(k)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if s := sh.series[k]; s != nil && len(s.points) > 0 && s.points[len(s.points)-1].Value == v {
-		return false, nil
+	if s := sh.series[k]; s != nil {
+		if p, ok := db.lastPointLocked(s); ok && p.Value == v {
+			return false, nil
+		}
 	}
 	if err := db.appendLocked(sh, k, at, v); err != nil {
 		return false, err
@@ -578,8 +679,10 @@ func (db *DB) appendBatch(entries []Entry, dedup bool) (int, error) {
 		for _, i := range order[lo:hi] {
 			e := &entries[i]
 			if dedup {
-				if sr := sh.series[e.Key]; sr != nil && len(sr.points) > 0 && sr.points[len(sr.points)-1].Value == e.Value {
-					continue
+				if sr := sh.series[e.Key]; sr != nil {
+					if p, ok := db.lastPointLocked(sr); ok && p.Value == e.Value {
+						continue
+					}
 				}
 			}
 			if err := db.appendLocked(sh, e.Key, e.At, e.Value); err != nil {
@@ -600,14 +703,153 @@ func (db *DB) Query(k SeriesKey, from, to time.Time) []Point {
 	return db.QueryRange(k, from, to, 0, -1)
 }
 
-// rangeBounds returns the index window [lo, hi) of s.points falling
-// within [from, to]. The caller holds the owning shard's lock. This is
-// the single source of window semantics for CountRange and QueryRange —
-// pagination relies on the count pass and the copy pass agreeing
-// exactly.
-func rangeBounds(s *series, from, to time.Time) (lo, hi int) {
-	lo = sort.Search(len(s.points), func(i int) bool { return !s.points[i].At.Before(from) })
-	hi = sort.Search(len(s.points), func(i int) bool { return s.points[i].At.After(to) })
+// The tier-merging read primitives. A series' points form one logical
+// time-ordered sequence indexed 0..total-1: the sealed (cold) points
+// first, then the hot in-memory tail. Every read path below — range and
+// cursor windows, step lookups, window means, grids, intervals — resolves
+// its window through these four helpers, so hot and cold tiers can never
+// disagree about where a timestamp falls. The caller holds the owning
+// shard's lock throughout.
+//
+// Cold blocks decode on demand through the block cache. A block that
+// fails to decode (bit rot, vanished file) is counted in ColdReadErrors
+// and its points are skipped — the read APIs have no error returns, and
+// a degraded partial answer with a climbing counter beats a panic.
+
+// seriesTotal returns the series' logical point count across both tiers.
+func seriesTotal(s *series) int {
+	if s.cold == nil {
+		return len(s.points)
+	}
+	return s.cold.n + len(s.points)
+}
+
+// searchSeries returns the smallest global index whose point timestamp
+// satisfies pred, or the total count when none does. pred must be
+// monotone in time (false then true), which both window predicates
+// (!Before(from), After(to)) are. Cold blocks are located by their
+// min/max timestamps alone; a block is decoded only when the boundary
+// falls strictly inside it.
+func (db *DB) searchSeries(s *series, pred func(time.Time) bool) int {
+	if cold := s.cold; cold != nil {
+		nb := len(cold.blocks)
+		bi := sort.Search(nb, func(i int) bool { return pred(cold.blocks[i].maxAt) })
+		if bi < nb {
+			b := &cold.blocks[bi]
+			if pred(b.minAt) {
+				return b.start
+			}
+			pts, err := db.coldBlockPoints(b)
+			if err != nil {
+				db.coldErrs.Add(1)
+				// Degrade: treat the unreadable block's points as not
+				// matching; the boundary moves to the next block.
+				return b.start + int(b.count)
+			}
+			return b.start + sort.Search(len(pts), func(i int) bool { return pred(pts[i].At) })
+		}
+	}
+	coldN := 0
+	if s.cold != nil {
+		coldN = s.cold.n
+	}
+	return coldN + sort.Search(len(s.points), func(i int) bool { return pred(s.points[i].At) })
+}
+
+// getPointsLocked copies the global index window [lo, hi) into a fresh
+// slice, decoding whichever cold blocks it overlaps and finishing in the
+// hot tail. Unreadable blocks are skipped (counted in ColdReadErrors).
+func (db *DB) getPointsLocked(s *series, lo, hi int) []Point {
+	if total := seriesTotal(s); hi > total {
+		hi = total
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return nil
+	}
+	out := make([]Point, 0, hi-lo)
+	coldN := 0
+	if cold := s.cold; cold != nil {
+		coldN = cold.n
+		if lo < coldN {
+			bi := sort.Search(len(cold.blocks), func(i int) bool {
+				return cold.blocks[i].start+int(cold.blocks[i].count) > lo
+			})
+			for ; bi < len(cold.blocks) && cold.blocks[bi].start < hi; bi++ {
+				b := &cold.blocks[bi]
+				pts, err := db.coldBlockPoints(b)
+				if err != nil {
+					db.coldErrs.Add(1)
+					continue
+				}
+				from, to := 0, int(b.count)
+				if lo > b.start {
+					from = lo - b.start
+				}
+				if hi < b.start+to {
+					to = hi - b.start
+				}
+				out = append(out, pts[from:to]...)
+			}
+		}
+	}
+	if hi > coldN {
+		from := 0
+		if lo > coldN {
+			from = lo - coldN
+		}
+		out = append(out, s.points[from:hi-coldN]...)
+	}
+	return out
+}
+
+// pointAtLocked returns the point at global index i.
+func (db *DB) pointAtLocked(s *series, i int) (Point, bool) {
+	coldN := 0
+	if cold := s.cold; cold != nil {
+		coldN = cold.n
+		if i >= 0 && i < coldN {
+			bi := sort.Search(len(cold.blocks), func(k int) bool {
+				return cold.blocks[k].start+int(cold.blocks[k].count) > i
+			})
+			b := &cold.blocks[bi]
+			pts, err := db.coldBlockPoints(b)
+			if err != nil {
+				db.coldErrs.Add(1)
+				return Point{}, false
+			}
+			return pts[i-b.start], true
+		}
+	}
+	if i < coldN || i >= coldN+len(s.points) {
+		return Point{}, false
+	}
+	return s.points[i-coldN], true
+}
+
+// lastPointLocked returns the series' most recent point. For live series
+// the hot tail always holds at least one point (seals keep a non-empty
+// tail); the cold fallback covers a tier state only reachable through
+// recovery of a partially written layout.
+func (db *DB) lastPointLocked(s *series) (Point, bool) {
+	if n := len(s.points); n > 0 {
+		return s.points[n-1], true
+	}
+	if s.cold == nil || s.cold.n == 0 {
+		return Point{}, false
+	}
+	return db.pointAtLocked(s, s.cold.n-1)
+}
+
+// rangeBounds returns the global index window [lo, hi) of the series'
+// points falling within [from, to]. This is the single source of window
+// semantics for every range read — pagination relies on the count pass
+// and the copy pass agreeing exactly, across both tiers.
+func (db *DB) rangeBounds(s *series, from, to time.Time) (lo, hi int) {
+	lo = db.searchSeries(s, func(t time.Time) bool { return !t.Before(from) })
+	hi = db.searchSeries(s, func(t time.Time) bool { return t.After(to) })
 	return lo, hi
 }
 
@@ -623,7 +865,7 @@ func (db *DB) CountRange(k SeriesKey, from, to time.Time) int {
 	if s == nil {
 		return 0
 	}
-	lo, hi := rangeBounds(s, from, to)
+	lo, hi := db.rangeBounds(s, from, to)
 	if lo >= hi {
 		return 0
 	}
@@ -643,7 +885,7 @@ func (db *DB) QueryRange(k SeriesKey, from, to time.Time, skip, max int) []Point
 	if s == nil {
 		return nil
 	}
-	lo, hi := rangeBounds(s, from, to)
+	lo, hi := db.rangeBounds(s, from, to)
 	// Compare skip and max against the remainder rather than adding them
 	// to an index: lo+skip or lo+max overflows for values near MaxInt,
 	// and a wrapped-negative bound would drop (or worse, mis-slice) the
@@ -657,39 +899,37 @@ func (db *DB) QueryRange(k SeriesKey, from, to time.Time, skip, max int) []Point
 	if max >= 0 && max < hi-lo {
 		hi = lo + max
 	}
-	if lo >= hi {
-		return nil
-	}
-	out := make([]Point, hi-lo)
-	copy(out, s.points[lo:hi])
-	return out
+	return db.getPointsLocked(s, lo, hi)
 }
 
-// afterBounds returns the index window [lo, hi) of s.points after the
-// position (after, seq) and at or before `to`. The caller holds the
-// owning shard's lock. This is the seek primitive behind keyset-cursor
-// pagination: the position names the seq-th point at timestamp `after`
-// (every earlier point plus the first seq points at exactly `after` are
-// consumed), so a resumed read starts at a fixed place in the
-// append-only series, unlike an offset, which shifts when earlier
-// points arrive. The store accepts equal-timestamp appends, so a bare
-// timestamp cannot address a position inside such a run — the sequence
-// component is what lets a page boundary fall there without dropping
-// the run's remainder.
-func afterBounds(s *series, after time.Time, seq int, to time.Time) (lo, hi int) {
-	lo = sort.Search(len(s.points), func(i int) bool { return !s.points[i].At.Before(after) })
+// afterBounds returns the global index window [lo, hi) of the series'
+// points after the position (after, seq) and at or before `to`. The
+// caller holds the owning shard's lock. This is the seek primitive
+// behind keyset-cursor pagination: the position names the seq-th point
+// at timestamp `after` (every earlier point plus the first seq points at
+// exactly `after` are consumed), so a resumed read starts at a fixed
+// place in the append-only series, unlike an offset, which shifts when
+// earlier points arrive. The store accepts equal-timestamp appends, so a
+// bare timestamp cannot address a position inside such a run — the
+// sequence component is what lets a page boundary fall there without
+// dropping the run's remainder. Positions resolve identically whether
+// the addressed points are hot or have been sealed into cold blocks —
+// sealing never reorders or renumbers, so a cursor taken before a seal
+// resumes exactly where it left off after one.
+func (db *DB) afterBounds(s *series, after time.Time, seq int, to time.Time) (lo, hi int) {
+	lo = db.searchSeries(s, func(t time.Time) bool { return !t.Before(after) })
 	if seq > 0 {
 		// seq consumes points at exactly `after`, never beyond its run:
 		// a forged or overshot count clamps to the run's end instead of
 		// eating later timestamps.
-		runEnd := sort.Search(len(s.points), func(i int) bool { return s.points[i].At.After(after) })
+		runEnd := db.searchSeries(s, func(t time.Time) bool { return t.After(after) })
 		if seq > runEnd-lo {
 			lo = runEnd
 		} else {
 			lo += seq
 		}
 	}
-	hi = sort.Search(len(s.points), func(i int) bool { return s.points[i].At.After(to) })
+	hi = db.searchSeries(s, func(t time.Time) bool { return t.After(to) })
 	return lo, hi
 }
 
@@ -706,7 +946,7 @@ func (db *DB) CountAfter(k SeriesKey, after time.Time, seq int, to time.Time) in
 	if s == nil {
 		return 0
 	}
-	lo, hi := afterBounds(s, after, seq, to)
+	lo, hi := db.afterBounds(s, after, seq, to)
 	if lo >= hi {
 		return 0
 	}
@@ -727,16 +967,11 @@ func (db *DB) QueryAfter(k SeriesKey, after time.Time, seq int, to time.Time, ma
 	if s == nil {
 		return nil
 	}
-	lo, hi := afterBounds(s, after, seq, to)
+	lo, hi := db.afterBounds(s, after, seq, to)
 	if max >= 0 && max < hi-lo {
 		hi = lo + max
 	}
-	if lo >= hi {
-		return nil
-	}
-	out := make([]Point, hi-lo)
-	copy(out, s.points[lo:hi])
-	return out
+	return db.getPointsLocked(s, lo, hi)
 }
 
 // ValueAt returns the series' value at time t under step semantics: the
@@ -750,11 +985,12 @@ func (db *DB) ValueAt(k SeriesKey, t time.Time) (v float64, ok bool) {
 	if s == nil {
 		return 0, false
 	}
-	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].At.After(t) })
+	i := db.searchSeries(s, func(at time.Time) bool { return at.After(t) })
 	if i == 0 {
 		return 0, false
 	}
-	return s.points[i-1].Value, true
+	p, ok := db.pointAtLocked(s, i-1)
+	return p.Value, ok
 }
 
 // WindowMean returns the time-weighted mean of the step function over
@@ -768,30 +1004,33 @@ func (db *DB) WindowMean(k SeriesKey, from, to time.Time) (mean float64, ok bool
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	s := sh.series[k]
-	if s == nil || len(s.points) == 0 {
+	if s == nil || seriesTotal(s) == 0 {
 		return 0, false
 	}
-	pts := s.points
-	// Index of first point after from.
-	i := sort.Search(len(pts), func(i int) bool { return pts[i].At.After(from) })
+	// Window bounds through the shared search: [i, j) are the points
+	// strictly inside (from, to); i-1, when present, carries the step
+	// value into the window.
+	i := db.searchSeries(s, func(t time.Time) bool { return t.After(from) })
+	j := db.searchSeries(s, func(t time.Time) bool { return !t.Before(to) })
 	var cur float64
 	var curSet bool
 	cursor := from
 	if i > 0 {
-		cur = pts[i-1].Value
-		curSet = true
+		if p, ok := db.pointAtLocked(s, i-1); ok {
+			cur, curSet = p.Value, true
+		}
 	}
 	total := 0.0
 	weight := 0.0
-	for ; i < len(pts) && pts[i].At.Before(to); i++ {
+	for _, p := range db.getPointsLocked(s, i, j) {
 		if curSet {
-			d := pts[i].At.Sub(cursor).Seconds()
+			d := p.At.Sub(cursor).Seconds()
 			total += cur * d
 			weight += d
 		}
-		cur = pts[i].Value
+		cur = p.Value
 		curSet = true
-		cursor = pts[i].At
+		cursor = p.At
 	}
 	if curSet {
 		d := to.Sub(cursor).Seconds()
@@ -805,15 +1044,43 @@ func (db *DB) WindowMean(k SeriesKey, from, to time.Time) (mean float64, ok bool
 }
 
 // Grid samples the step function at from, from+step, ... up to and
-// including to. Instants before the first point yield NaN.
+// including to. Instants before the first point yield NaN. The whole
+// grid is computed under one shard read lock with one window fetch —
+// the same bounds Query uses — instead of a binary search per instant,
+// so hot and cold tiers resolve identically for every sample.
 func (db *DB) Grid(k SeriesKey, from, to time.Time, step time.Duration) []float64 {
 	if step <= 0 || to.Before(from) {
 		return nil
 	}
+	sh := db.shardFor(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.series[k]
 	var out []float64
+	if s == nil {
+		for t := from; !t.After(to); t = t.Add(step) {
+			out = append(out, math.NaN())
+		}
+		return out
+	}
+	i := db.searchSeries(s, func(t time.Time) bool { return t.After(from) })
+	var cur float64
+	var curSet bool
+	if i > 0 {
+		if p, ok := db.pointAtLocked(s, i-1); ok {
+			cur, curSet = p.Value, true
+		}
+	}
+	hi := db.searchSeries(s, func(t time.Time) bool { return t.After(to) })
+	pts := db.getPointsLocked(s, i, hi)
+	pi := 0
 	for t := from; !t.After(to); t = t.Add(step) {
-		if v, ok := db.ValueAt(k, t); ok {
-			out = append(out, v)
+		for pi < len(pts) && !pts[pi].At.After(t) {
+			cur, curSet = pts[pi].Value, true
+			pi++
+		}
+		if curSet {
+			out = append(out, cur)
 		} else {
 			out = append(out, math.NaN())
 		}
@@ -829,12 +1096,16 @@ func (db *DB) ChangeIntervals(k SeriesKey) []time.Duration {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	s := sh.series[k]
-	if s == nil || len(s.points) < 2 {
+	if s == nil || seriesTotal(s) < 2 {
 		return nil
 	}
-	out := make([]time.Duration, 0, len(s.points)-1)
-	for i := 1; i < len(s.points); i++ {
-		out = append(out, s.points[i].At.Sub(s.points[i-1].At))
+	pts := db.getPointsLocked(s, 0, seriesTotal(s))
+	if len(pts) < 2 {
+		return nil
+	}
+	out := make([]time.Duration, 0, len(pts)-1)
+	for i := 1; i < len(pts); i++ {
+		out = append(out, pts[i].At.Sub(pts[i-1].At))
 	}
 	return out
 }
@@ -845,10 +1116,10 @@ func (db *DB) Last(k SeriesKey) (Point, bool) {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	s := sh.series[k]
-	if s == nil || len(s.points) == 0 {
+	if s == nil {
 		return Point{}, false
 	}
-	return s.points[len(s.points)-1], true
+	return db.lastPointLocked(s)
 }
 
 // KeyFilter selects series keys; empty fields match anything.
@@ -940,10 +1211,16 @@ func (db *DB) MaxTime() (time.Time, bool) {
 		sh := &db.shards[i]
 		sh.mu.RLock()
 		for _, s := range sh.series {
+			var at time.Time
 			if n := len(s.points); n > 0 {
-				if at := s.points[n-1].At; !found || at.After(max) {
-					max, found = at, true
-				}
+				at = s.points[n-1].At
+			} else if s.cold != nil && s.cold.n > 0 {
+				at = s.cold.lastAt // index metadata: no block decode needed
+			} else {
+				continue
+			}
+			if !found || at.After(max) {
+				max, found = at, true
 			}
 		}
 		sh.mu.RUnlock()
@@ -1033,5 +1310,41 @@ func (db *DB) Close() error {
 		}
 		sh.wal, sh.walF = nil, nil
 	}
+	// Block files close while every shard lock is held, so no cold read
+	// can be mid-decode against a closing handle.
+	for _, seg := range db.coldSegs {
+		if err := seg.f.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("tsdb: close block file %d: %w", seg.seq, err)
+		}
+	}
+	db.coldSegs = nil
 	return firstErr
 }
+
+// HotPointCount returns how many points are resident in memory (the hot
+// tails of every series).
+func (db *DB) HotPointCount() int64 { return db.hotPts.Load() }
+
+// ColdPointCount returns how many points have been sealed into
+// compressed blocks on disk.
+func (db *DB) ColdPointCount() int64 { return db.coldPts.Load() }
+
+// SealedBlocks returns how many compressed blocks the cold tier holds.
+func (db *DB) SealedBlocks() int64 { return db.sealedBlks.Load() }
+
+// ColdCompressedBytes returns the cold tier's compressed on-disk block
+// bytes (data sections only, excluding per-file index overhead).
+func (db *DB) ColdCompressedBytes() int64 { return db.coldBytes.Load() }
+
+// ColdReadErrors returns how many cold block reads failed and were
+// degraded to partial results — nonzero means on-disk corruption or a
+// vanished block file.
+func (db *DB) ColdReadErrors() uint64 { return db.coldErrs.Load() }
+
+// HotTailPoints returns the per-series hot tail the store keeps when
+// sealing (-1 when sealing is disabled).
+func (db *DB) HotTailPoints() int { return db.hotTail }
+
+// SealsCold reports whether checkpoints seal history into the cold
+// tier: the store is durable and sealing was not disabled.
+func (db *DB) SealsCold() bool { return db.dir != "" && db.hotTail > 0 }

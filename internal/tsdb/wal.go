@@ -11,7 +11,13 @@ package tsdb
 //	                         under shard i's lock; a segment seals when it
 //	                         exceeds RotateBytes and the next seq opens
 //	checkpoint-000001.snap   the checkpoint snapshot the manifest references
-//	                         (snapshot.go codec); at most one is live
+//	                         (snapshot.go codec); at most one is live; with
+//	                         sealing enabled it holds only the hot tails
+//	blocks-000001.blk ...    immutable compressed block files (block.go):
+//	                         history a checkpoint sealed out of memory; the
+//	                         manifest lists the live ones, and they
+//	                         accumulate (never rewritten) until retention
+//	                         policies exist to drop them
 //	wal-00000.log ...        pre-rotation per-shard segments (manifest v1);
 //	                         migrated to the rotated layout on first open
 //	points.wal               legacy single-stream WAL from the pre-segment
@@ -76,7 +82,9 @@ package tsdb
 //
 // Every durable boundary of the rotation and checkpoint protocols runs
 // through DB.failpoint with a stable name (rotate:seal:*, rotate:create:*,
-// checkpoint:capture, checkpoint:segsync:*, checkpoint:snapshot:*,
+// checkpoint:capture, checkpoint:segsync:*, checkpoint:blocks:* —
+// including checkpoint:blocks:data-written, frozen mid-file between the
+// data blocks and the index — checkpoint:snapshot:*,
 // checkpoint:manifest:*, checkpoint:delete:*). The crash-matrix test
 // harness arms a hook that aborts at exactly one of them — simulating a
 // crash before or after the fsync at that boundary — and asserts recovery
@@ -189,6 +197,12 @@ type manifest struct {
 	// replay resuming at Offsets[i]. Parsed for migration only;
 	// parseManifest normalizes it into Shards.
 	Offsets []uint64 `json:"offsets,omitempty"`
+	// Blocks lists the live compressed block files by sequence number,
+	// ascending — the cold tier's committed contents. BlockSeq is the
+	// last block file sequence ever committed (it only grows, so a
+	// crashed seal's orphan file is overwritten on retry, never adopted).
+	Blocks   []uint64 `json:"blocks,omitempty"`
+	BlockSeq uint64   `json:"blockSeq,omitempty"`
 }
 
 func segName(i int) string { return fmt.Sprintf("wal-%05d.log", i) }
@@ -254,6 +268,8 @@ func parseManifest(raw []byte) (manifest, error) {
 		for i, off := range m.Offsets {
 			m.Shards[i] = shardLayout{Offset: off}
 		}
+		// v1 layouts predate the block tier; a block list here is noise.
+		m.Blocks, m.BlockSeq = nil, 0
 	case manifestVersion:
 		if len(m.Shards) != m.Segments {
 			return manifest{}, fmt.Errorf("tsdb: malformed manifest: %d segments, %d shard layouts", m.Segments, len(m.Shards))
@@ -267,6 +283,14 @@ func parseManifest(raw []byte) (manifest, error) {
 				if segs[j].Seq <= segs[j-1].Seq || segs[j].Base < segs[j-1].Base {
 					return manifest{}, fmt.Errorf("tsdb: malformed manifest: shard %d segment list not ascending", si)
 				}
+			}
+		}
+		for j := range m.Blocks {
+			if j > 0 && m.Blocks[j] <= m.Blocks[j-1] {
+				return manifest{}, errors.New("tsdb: malformed manifest: block list not ascending")
+			}
+			if m.Blocks[j] > m.BlockSeq {
+				return manifest{}, fmt.Errorf("tsdb: malformed manifest: block %d above blockSeq %d", m.Blocks[j], m.BlockSeq)
 			}
 		}
 	default:
@@ -450,6 +474,13 @@ func (db *DB) openDurable() error {
 				return err
 			}
 		} else {
+			// Blocks attach before the snapshot and WAL tail load: the
+			// cold prefix must be in place before hot points append after
+			// it. Block files are shard-agnostic (series re-hash onto the
+			// current shards at attach), so a re-shard carries them as-is.
+			if err := db.openBlocks(man); err != nil {
+				return err
+			}
 			if _, err := db.loadRotLayout(man, false); err != nil {
 				return err
 			}
@@ -460,6 +491,9 @@ func (db *DB) openDurable() error {
 	default:
 		db.man = man
 		db.epoch = man.Epoch
+		if err := db.openBlocks(man); err != nil {
+			return err
+		}
 		chains, err := db.loadRotLayout(man, true)
 		if err != nil {
 			return err
@@ -528,7 +562,77 @@ func (db *DB) mergeSeries(sh *shard, k SeriesKey, pts ...Point) {
 	}
 	s.points = append(s.points, pts...)
 	sh.points += len(pts)
+	db.hotPts.Add(int64(len(pts)))
 	sh.gen.Add(uint64(len(pts)))
+}
+
+// openBlocks opens every block file the manifest lists and attaches
+// their per-series indexes to the shards: block metadata only, no
+// decode — recovery cost is O(index), independent of how much history
+// has gone cold. Runs single-threaded during Open, before the
+// checkpoint snapshot loads and the WAL tail replays (both append hot
+// points after the cold prefix this establishes).
+func (db *DB) openBlocks(man manifest) error {
+	fail := func(err error) error {
+		for _, seg := range db.coldSegs {
+			seg.f.Close()
+		}
+		db.coldSegs = nil
+		return err
+	}
+	for _, seq := range man.Blocks {
+		name := blockFileName(seq)
+		f, err := os.Open(filepath.Join(db.dir, name))
+		if err != nil {
+			return fail(fmt.Errorf("tsdb: opening block file: %w", err))
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return fail(fmt.Errorf("tsdb: %s: %w", name, err))
+		}
+		entries, err := readBlockIndex(f, st.Size())
+		if err != nil {
+			f.Close()
+			return fail(fmt.Errorf("tsdb: %s: %w", name, err))
+		}
+		seg := &coldSegment{seq: seq, f: f, size: st.Size()}
+		db.coldSegs = append(db.coldSegs, seg)
+		for _, ent := range entries {
+			sh := db.shardFor(ent.key)
+			s := sh.series[ent.key]
+			if s == nil {
+				s = &series{}
+				sh.series[ent.key] = s
+				db.keyGen.Add(1)
+			}
+			if s.cold == nil {
+				s.cold = &coldSeries{}
+			}
+			if s.cold.n > 0 && ent.blocks[0].minAt.Before(s.cold.lastAt) {
+				// Later files must continue where earlier ones ended; the
+				// seal protocol never commits an overlap.
+				return fail(fmt.Errorf("tsdb: %s: blocks of %v overlap an earlier file", name, ent.key))
+			}
+			total := 0
+			var bytes int64
+			for _, b := range ent.blocks {
+				b.seg = seg
+				b.start = s.cold.n
+				s.cold.blocks = append(s.cold.blocks, b)
+				s.cold.n += int(b.count)
+				total += int(b.count)
+				bytes += int64(b.length)
+			}
+			s.cold.lastAt = ent.blocks[len(ent.blocks)-1].maxAt
+			sh.points += total
+			sh.gen.Add(uint64(total))
+			db.coldPts.Add(int64(total))
+			db.sealedBlks.Add(int64(len(ent.blocks)))
+			db.coldBytes.Add(bytes)
+		}
+	}
+	return nil
 }
 
 // replayRecords reads WAL records from r until EOF, a truncated record, or
@@ -1014,6 +1118,8 @@ func (db *DB) commitLayout(epoch uint64) error {
 		Epoch:         epoch,
 		Segments:      n,
 		CheckpointSeq: db.man.CheckpointSeq,
+		Blocks:        db.man.Blocks,
+		BlockSeq:      db.man.BlockSeq,
 		Shards:        make([]shardLayout, n),
 	}
 	for i := range m.Shards {
@@ -1084,6 +1190,10 @@ func (db *DB) removeStaleFiles() {
 			live[rotSegName(i, sg.seq)] = true
 		}
 	}
+	liveBlocks := make(map[uint64]bool, len(db.man.Blocks))
+	for _, seq := range db.man.Blocks {
+		liveBlocks[seq] = true
+	}
 	for _, e := range ents {
 		name := e.Name()
 		var i int
@@ -1094,6 +1204,13 @@ func (db *DB) removeStaleFiles() {
 			os.Remove(filepath.Join(db.dir, name))
 		case scanRotSegName(name, &i, &seq):
 			if !live[name] {
+				os.Remove(filepath.Join(db.dir, name))
+			}
+		case scanBlockFileName(name, &seq):
+			// A block file outside the manifest's list is a crashed seal's
+			// orphan: its manifest commit never happened, so its points are
+			// still fully covered by the snapshot + WAL.
+			if !liveBlocks[seq] {
 				os.Remove(filepath.Join(db.dir, name))
 			}
 		case scanSegIndex(name, &i):
@@ -1198,22 +1315,146 @@ func (db *DB) checkpointLocked() error {
 	if err := db.failpoint("checkpoint:segsync:after"); err != nil {
 		return err
 	}
+	// Seal: carve whole blocks off each captured series' prefix, keeping
+	// at least hotTail points hot (and with it the in-memory dedup and
+	// out-of-order state). recs is rewritten in place to the post-seal hot
+	// tails, so the checkpoint snapshot below holds exactly what stays in
+	// memory — blocks and snapshot partition the history, never overlap.
+	// The block file must be durable before the manifest (the commit
+	// point) references it; the read handle is also opened before the
+	// commit, so an open failure aborts the whole checkpoint while the old
+	// manifest is still authoritative. Either abort leaves an orphan
+	// blocks file that the next successful seal overwrites (BlockSeq only
+	// advances on commit) and removeStaleFiles reaps at open.
+	var (
+		sealEntries []blockSealEntry
+		sealCounts  []int // points sealed out of recs[i]; parallel to recs
+		newSeg      *coldSegment
+	)
+	if db.SealsCold() {
+		sealCounts = make([]int, len(recs))
+		for i := range recs {
+			rec := &recs[i]
+			sealable := len(rec.points) - db.hotTail
+			if sealable < db.blockPoints {
+				continue
+			}
+			nseal := sealable - sealable%db.blockPoints
+			ent := blockSealEntry{key: rec.key, canon: rec.canonKey()}
+			for off := 0; off < nseal; off += db.blockPoints {
+				ent.blocks = append(ent.blocks, encodeBlock(rec.points[off:off+db.blockPoints]))
+			}
+			sealEntries = append(sealEntries, ent)
+			sealCounts[i] = nseal
+			rec.points = rec.points[nseal:]
+		}
+		if len(sealEntries) > 0 {
+			seq := db.man.BlockSeq + 1
+			path := filepath.Join(db.dir, blockFileName(seq))
+			err := atomicWriteFile(path, func(w io.Writer) error {
+				return writeBlockFileTo(w, sealEntries, func() error {
+					return db.failpoint("checkpoint:blocks:data-written")
+				})
+			}, db.cpHook("checkpoint:blocks"))
+			if err != nil {
+				return err
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return fmt.Errorf("tsdb: reopening sealed block file: %w", err)
+			}
+			st, err := f.Stat()
+			if err != nil {
+				f.Close()
+				return fmt.Errorf("tsdb: sealed block file: %w", err)
+			}
+			newSeg = &coldSegment{seq: seq, f: f, size: st.Size()}
+		}
+	}
 	m := manifest{
 		Version:       manifestVersion,
 		Epoch:         db.epoch,
 		Segments:      n,
 		CheckpointSeq: db.man.CheckpointSeq + 1,
+		Blocks:        db.man.Blocks,
+		BlockSeq:      db.man.BlockSeq,
 		Shards:        layouts,
+	}
+	if newSeg != nil {
+		m.Blocks = append(append([]uint64(nil), db.man.Blocks...), newSeg.seq)
+		m.BlockSeq = newSeg.seq
 	}
 	m.Checkpoint = checkpointName(m.CheckpointSeq)
 	if err := db.writeCheckpointFile(m.Checkpoint, recs); err != nil {
+		if newSeg != nil {
+			newSeg.f.Close()
+		}
 		return err
 	}
 	if err := writeManifest(db.dir, m, db.cpHook("checkpoint:manifest")); err != nil {
+		if newSeg != nil {
+			newSeg.f.Close()
+		}
 		return err
 	}
 	old := db.man
 	db.man = m
+	// The manifest committed: attach the sealed blocks and drop the sealed
+	// prefixes from memory. Offsets and CRCs are recomputed exactly as
+	// writeBlockFileTo laid them out (same entry order, data starts at
+	// blockHeaderLen), so no re-read of the file is needed. Each series
+	// swaps under its shard lock; a reader between two swaps sees some
+	// series already trimmed and others not, which is fine — the cold
+	// blocks and the untrimmed hot slice are never both visible for one
+	// series.
+	if newSeg != nil {
+		db.coldSegs = append(db.coldSegs, newSeg)
+		off := uint64(blockHeaderLen)
+		si := 0
+		for i := range recs {
+			if sealCounts[i] == 0 {
+				continue
+			}
+			ent := &sealEntries[si]
+			si++
+			metas := make([]blockMeta, len(ent.blocks))
+			var bytes int64
+			for j, b := range ent.blocks {
+				metas[j] = blockMeta{
+					seg:    newSeg,
+					off:    off,
+					length: uint32(len(b.data)),
+					count:  b.count,
+					crc:    crc32.ChecksumIEEE(b.data),
+					minAt:  time.Unix(0, b.minAt).UTC(),
+					maxAt:  time.Unix(0, b.maxAt).UTC(),
+				}
+				off += uint64(len(b.data))
+				bytes += int64(len(b.data))
+			}
+			sh := db.shardFor(ent.key)
+			sh.mu.Lock()
+			s := sh.series[ent.key]
+			if s.cold == nil {
+				s.cold = &coldSeries{}
+			}
+			for j := range metas {
+				metas[j].start = s.cold.n
+				s.cold.blocks = append(s.cold.blocks, metas[j])
+				s.cold.n += int(metas[j].count)
+			}
+			s.cold.lastAt = metas[len(metas)-1].maxAt
+			// Copy the tail to a fresh slice so the sealed prefix's backing
+			// array is released to the GC — keeping the original array alive
+			// would defeat the memory bound sealing exists for.
+			s.points = append([]Point(nil), s.points[sealCounts[i]:]...)
+			sh.mu.Unlock()
+			db.coldPts.Add(int64(sealCounts[i]))
+			db.hotPts.Add(int64(-sealCounts[i]))
+			db.sealedBlks.Add(int64(len(metas)))
+			db.coldBytes.Add(bytes)
+		}
+	}
 	// The commit succeeded: the captured bytes no longer count toward the
 	// size-based checkpoint trigger. Appends that raced past the cut keep
 	// their contribution (atomic subtract, not a reset).
@@ -1267,5 +1508,11 @@ func (db *DB) checkpointLocked() error {
 	if old.Checkpoint != "" && old.Checkpoint != m.Checkpoint {
 		os.Remove(filepath.Join(db.dir, old.Checkpoint))
 	}
+	// Re-arm the seal trigger relative to the hot points that remain: the
+	// residual (per-series tails plus partial blocks) can never seal, so an
+	// absolute threshold would re-fire forever once the residual alone
+	// crossed it. The floor makes the trigger count only growth since this
+	// checkpoint.
+	db.sealFloor.Store(db.hotPts.Load())
 	return nil
 }
