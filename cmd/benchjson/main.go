@@ -11,7 +11,7 @@
 // Schema (one object):
 //
 //	{
-//	  "schema": "spotlake-bench/v3",
+//	  "schema": "spotlake-bench/v4",
 //	  "goos": "linux", "goarch": "amd64", "cpu": "...",   // from the bench header
 //	  "benchmarks": [
 //	    {"name": "BenchmarkAppendParallel", "cpus": 4,
@@ -26,6 +26,9 @@
 //	  "memory": [
 //	    {"scenario": "cold-sealed", "points": 327680,
 //	     "heapBytes": 1310720, "bytesPerPoint": 4.0}
+//	  ],
+//	  "rollup": [
+//	    {"tier": "1h", "windowDays": 90, "points": 2160, "scannedPoints": 2160}
 //	  ]
 //	}
 //
@@ -40,6 +43,10 @@
 // resident heap bytes per point for each storage scenario, the number
 // the cold block tier exists to shrink. bytesPerPoint is null when the
 // scenario held no points, mirroring the nullable latency percentiles.
+// `rollupstat:` rows (emitted by BenchmarkRollupQuery in internal/tsdb)
+// become the `rollup` section: how many points each resolution tier
+// returned and scanned for the same 90-day window, the scan-reduction
+// series the rollup tiers exist to provide.
 // Other lines (headers, PASS, ok) set metadata or are ignored, so the
 // tool can be fed a whole `go test` transcript with a loadgen run
 // appended.
@@ -98,6 +105,16 @@ type memoryResult struct {
 	BytesPerPoint *float64 `json:"bytesPerPoint"`
 }
 
+// rollupResult is one rollupstat row: the points a resolution tier
+// returned and scanned serving the benchmark's fixed window. The raw
+// tier's scannedPoints is the denominator of the reduction ratio.
+type rollupResult struct {
+	Tier          string `json:"tier"`
+	WindowDays    int    `json:"windowDays"`
+	Points        int64  `json:"points"`
+	ScannedPoints int64  `json:"scannedPoints"`
+}
+
 type benchFile struct {
 	Schema     string        `json:"schema"`
 	GOOS       string        `json:"goos,omitempty"`
@@ -110,6 +127,9 @@ type benchFile struct {
 	// Memory holds memstat rows; omitted for transcripts without a
 	// resident-heap run, so pre-v3 consumers see no change.
 	Memory []memoryResult `json:"memory,omitempty"`
+	// Rollup holds rollupstat rows; omitted for transcripts without a
+	// rollup-query run, so pre-v4 consumers see no change.
+	Rollup []rollupResult `json:"rollup,omitempty"`
 }
 
 // benchLine matches one result line. Columns after ns/op are optional
@@ -134,6 +154,21 @@ var loadgenLine = regexp.MustCompile(
 // the scenario held no points.
 var memstatLine = regexp.MustCompile(
 	`^memstat: scenario=(\S+) points=(\d+) heapBytes=(\d+) bytesPerPoint=([0-9.]+|NaN)$`)
+
+// rollupstatLine matches one rollup-tier row from BenchmarkRollupQuery.
+var rollupstatLine = regexp.MustCompile(
+	`^rollupstat: tier=(\S+) windowDays=(\d+) points=(\d+) scanned=(\d+)$`)
+
+// parseRollupstat unpacks a rollupstatLine submatch; the regexp
+// guarantees the numeric fields parse.
+func parseRollupstat(m []string) rollupResult {
+	res := rollupResult{Tier: m[1]}
+	days, _ := strconv.ParseInt(m[2], 10, 64)
+	res.WindowDays = int(days)
+	res.Points, _ = strconv.ParseInt(m[3], 10, 64)
+	res.ScannedPoints, _ = strconv.ParseInt(m[4], 10, 64)
+	return res
+}
 
 // parseMemstat unpacks a memstatLine submatch; the regexp guarantees
 // the numeric fields parse.
@@ -174,7 +209,7 @@ func parseLoadgen(m []string) latencyResult {
 }
 
 func parse(r io.Reader) (benchFile, error) {
-	out := benchFile{Schema: "spotlake-bench/v3", Benchmarks: []benchResult{}}
+	out := benchFile{Schema: "spotlake-bench/v4", Benchmarks: []benchResult{}}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -185,6 +220,10 @@ func parse(r io.Reader) (benchFile, error) {
 		}
 		if mm := memstatLine.FindStringSubmatch(line); mm != nil {
 			out.Memory = append(out.Memory, parseMemstat(mm))
+			continue
+		}
+		if rm := rollupstatLine.FindStringSubmatch(line); rm != nil {
+			out.Rollup = append(out.Rollup, parseRollupstat(rm))
 			continue
 		}
 		switch {

@@ -60,8 +60,8 @@ PASS
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Schema != "spotlake-bench/v3" {
-		t.Fatalf("schema = %q, want spotlake-bench/v3", out.Schema)
+	if out.Schema != "spotlake-bench/v4" {
+		t.Fatalf("schema = %q, want spotlake-bench/v4", out.Schema)
 	}
 	if len(out.Benchmarks) != 1 || len(out.Latency) != 2 {
 		t.Fatalf("parsed %d benchmarks / %d latency rows, want 1 / 2", len(out.Benchmarks), len(out.Latency))
@@ -133,6 +133,32 @@ PASS
 	}
 	if m2 := out.Memory[2]; m2.Points != 0 || m2.BytesPerPoint != nil {
 		t.Fatalf("empty row: %+v", m2)
+	}
+}
+
+// TestParseRollupstatRows: BenchmarkRollupQuery rollupstat rows become
+// the artifact's rollup section.
+func TestParseRollupstatRows(t *testing.T) {
+	const in = `goos: linux
+rollupstat: tier=raw windowDays=90 points=129600 scanned=129600
+BenchmarkRollupQuery/raw      	       1	   1316011 ns/op	    129600 points	    129600 scanned
+rollupstat: tier=1h windowDays=90 points=2158 scanned=2158
+rollupstat: tier=1d windowDays=90 points=89 scanned=89
+PASS
+`
+	out, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rollup) != 3 || len(out.Benchmarks) != 1 {
+		t.Fatalf("parsed %d rollup rows / %d benchmarks, want 3 / 1", len(out.Rollup), len(out.Benchmarks))
+	}
+	r0 := out.Rollup[0]
+	if r0.Tier != "raw" || r0.WindowDays != 90 || r0.Points != 129600 || r0.ScannedPoints != 129600 {
+		t.Fatalf("raw row: %+v", r0)
+	}
+	if r1 := out.Rollup[1]; r1.Tier != "1h" || r1.ScannedPoints != 2158 {
+		t.Fatalf("1h row: %+v", r1)
 	}
 }
 

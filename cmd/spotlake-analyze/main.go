@@ -55,7 +55,10 @@ func main() {
 	// Determine the archive's time span from its series.
 	var from, to time.Time
 	for _, k := range db.Keys(tsdb.KeyFilter{}) {
-		pts := db.Query(k, time.Time{}, time.Date(9999, 1, 1, 0, 0, 0, 0, time.UTC))
+		pts, err := db.Query(k, time.Time{}, time.Date(9999, 1, 1, 0, 0, 0, 0, time.UTC))
+		if err != nil {
+			log.Fatalf("query %v: %v", k, err)
+		}
 		if len(pts) == 0 {
 			continue
 		}

@@ -65,6 +65,7 @@ func main() {
 		blockCache = flag.Int64("block-cache-bytes", 0, "decoded cold-block LRU cache budget in bytes (0 = default, negative disables)")
 		sealAfter  = flag.Int64("seal-after-hot-points", 0, "maintenance seals history once this many hot points accumulate past the last seal (0 disables the trigger)")
 		snapshot   = flag.String("snapshot", "", "also export a standalone snapshot to this file (deprecated: the data dir checkpoints itself)")
+		retainRaw  = flag.String("retain-raw", "", "per-dataset raw retention horizons, comma-separated <dataset>=<horizon> (e.g. price=90d,sps=720h); raw points past the horizon are dropped once 1h/1d rollups cover them (requires sealing)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -79,6 +80,13 @@ func main() {
 	}
 	clk := simclock.NewAtEpoch()
 	cloud := cloudsim.New(cat, clk, *seed, cloudsim.DefaultParams())
+	var retain map[string]time.Duration
+	if *retainRaw != "" {
+		var err error
+		if retain, err = tsdb.ParseRetainRaw(*retainRaw); err != nil {
+			log.Fatalf("parsing -retain-raw: %v", err)
+		}
+	}
 	db, err := tsdb.OpenWithOptions(*dataDir, tsdb.Options{
 		RotateBytes:          *rotBytes,
 		CheckpointAfterBytes: *cpBytes,
@@ -88,6 +96,7 @@ func main() {
 		BlockPoints:          *blockPts,
 		BlockCacheBytes:      *blockCache,
 		SealAfterHotPoints:   *sealAfter,
+		RetainRaw:            retain,
 	})
 	if err != nil {
 		log.Fatalf("opening %s: %v", *dataDir, err)

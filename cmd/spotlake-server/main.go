@@ -78,6 +78,7 @@ func main() {
 		blockPts   = flag.Int("block-points", 0, "points per compressed cold block (0 = default)")
 		blockCache = flag.Int64("block-cache-bytes", 0, "decoded cold-block LRU cache budget in bytes (0 = default, negative disables)")
 		sealAfter  = flag.Int64("seal-after-hot-points", 0, "maintenance seals history once this many hot points accumulate past the last seal (0 disables the trigger)")
+		retainRaw  = flag.String("retain-raw", "", "per-dataset raw retention horizons, comma-separated <dataset>=<horizon> (e.g. price=90d,sps=720h); raw points past the horizon are dropped once 1h/1d rollups cover them (requires -data and sealing)")
 		snapshot   = flag.String("snapshot", "", "standalone snapshot file: loaded at startup when present (skipping that much bootstrap), saved after bootstrap (deprecated with -data: the data dir checkpoints itself)")
 		maxInFl    = flag.Int("max-in-flight", 256, "cap on concurrently executing requests; the excess queues briefly then is shed with 503 (0 = unlimited)")
 		queueWait  = flag.Duration("queue-wait", 100*time.Millisecond, "how long an over-cap request may wait for an in-flight slot before being shed")
@@ -95,6 +96,13 @@ func main() {
 	}
 	clk := simclock.NewAtEpoch()
 	cloud := cloudsim.New(cat, clk, *seed, cloudsim.DefaultParams())
+	var retain map[string]time.Duration
+	if *retainRaw != "" {
+		var err error
+		if retain, err = tsdb.ParseRetainRaw(*retainRaw); err != nil {
+			log.Fatalf("parsing -retain-raw: %v", err)
+		}
+	}
 	db, err := tsdb.OpenWithOptions(*dataDir, tsdb.Options{
 		RotateBytes:          *rotBytes,
 		CheckpointAfterBytes: *cpBytes,
@@ -104,6 +112,7 @@ func main() {
 		BlockPoints:          *blockPts,
 		BlockCacheBytes:      *blockCache,
 		SealAfterHotPoints:   *sealAfter,
+		RetainRaw:            retain,
 	})
 	if err != nil {
 		log.Fatalf("opening archive store: %v", err)

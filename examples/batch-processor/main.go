@@ -95,13 +95,13 @@ func selectPools(cloud *cloudsim.Cloud, cat *catalog.Catalog, db *tsdb.DB, clk *
 				continue
 			}
 			for _, p := range cat.PoolsOfType(t.Name) {
-				price, ok := db.ValueAt(tsdb.SeriesKey{Dataset: tsdb.DatasetPrice, Type: p.Type, Region: p.Region, AZ: p.AZ}, clk.Now())
+				price, ok, _ := db.ValueAt(tsdb.SeriesKey{Dataset: tsdb.DatasetPrice, Type: p.Type, Region: p.Region, AZ: p.AZ}, clk.Now())
 				if !ok {
 					continue
 				}
 				if useArchive {
-					sps, ok1 := db.ValueAt(tsdb.SeriesKey{Dataset: tsdb.DatasetPlacementScore, Type: p.Type, Region: p.Region, AZ: p.AZ}, clk.Now())
-					ifs, ok2 := db.ValueAt(tsdb.SeriesKey{Dataset: tsdb.DatasetInterruptFree, Type: p.Type, Region: p.Region}, clk.Now())
+					sps, ok1, _ := db.ValueAt(tsdb.SeriesKey{Dataset: tsdb.DatasetPlacementScore, Type: p.Type, Region: p.Region, AZ: p.AZ}, clk.Now())
+					ifs, ok2, _ := db.ValueAt(tsdb.SeriesKey{Dataset: tsdb.DatasetInterruptFree, Type: p.Type, Region: p.Region}, clk.Now())
 					if !ok1 || !ok2 || sps < 3 || ifs < 2.5 {
 						continue
 					}

@@ -58,9 +58,9 @@ func main() {
 	for _, cl := range []catalog.Class{catalog.ClassG, catalog.ClassP} {
 		for _, t := range cat.TypesOfClass(cl) {
 			for _, p := range cat.PoolsOfType(t.Name) {
-				sps, ok1 := db.ValueAt(tsdb.SeriesKey{Dataset: tsdb.DatasetPlacementScore, Type: p.Type, Region: p.Region, AZ: p.AZ}, clk.Now())
-				ifs, ok2 := db.ValueAt(tsdb.SeriesKey{Dataset: tsdb.DatasetInterruptFree, Type: p.Type, Region: p.Region}, clk.Now())
-				price, ok3 := db.ValueAt(tsdb.SeriesKey{Dataset: tsdb.DatasetPrice, Type: p.Type, Region: p.Region, AZ: p.AZ}, clk.Now())
+				sps, ok1, _ := db.ValueAt(tsdb.SeriesKey{Dataset: tsdb.DatasetPlacementScore, Type: p.Type, Region: p.Region, AZ: p.AZ}, clk.Now())
+				ifs, ok2, _ := db.ValueAt(tsdb.SeriesKey{Dataset: tsdb.DatasetInterruptFree, Type: p.Type, Region: p.Region}, clk.Now())
+				price, ok3, _ := db.ValueAt(tsdb.SeriesKey{Dataset: tsdb.DatasetPrice, Type: p.Type, Region: p.Region, AZ: p.AZ}, clk.Now())
 				if ok1 && ok2 && ok3 {
 					candidates = append(candidates, candidate{p, sps, ifs, price})
 				}

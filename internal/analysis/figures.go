@@ -40,8 +40,8 @@ func DailyClassMeans(db *tsdb.DB, cat *catalog.Catalog, dataset string, start ti
 		}
 		for d := 0; d < days; d++ {
 			from := start.Add(time.Duration(d) * 24 * time.Hour)
-			mean, ok := db.WindowMean(k, from, from.Add(24*time.Hour))
-			if !ok {
+			mean, ok, err := db.WindowMean(k, from, from.Add(24*time.Hour))
+			if err != nil || !ok {
 				continue
 			}
 			a := accs[d][t.Class]
@@ -81,8 +81,8 @@ func RegionClassMeans(db *tsdb.DB, cat *catalog.Catalog, dataset string, from, t
 		if !ok {
 			continue
 		}
-		mean, ok := db.WindowMean(k, from, to)
-		if !ok {
+		mean, ok, err := db.WindowMean(k, from, to)
+		if err != nil || !ok {
 			continue
 		}
 		m := accs[t.Class]
@@ -139,8 +139,8 @@ func SizeMeans(db *tsdb.DB, cat *catalog.Catalog, from, to time.Time, minTypes i
 			if !ok {
 				continue
 			}
-			mean, ok := db.WindowMean(k, from, to)
-			if !ok {
+			mean, ok, err := db.WindowMean(k, from, to)
+			if err != nil || !ok {
 				continue
 			}
 			sum[t.Size] += mean
@@ -187,7 +187,11 @@ func sortRows(rows []SizeMeanRow) {
 func ValueDistribution(db *tsdb.DB, dataset string, from, to time.Time, step time.Duration) map[float64]float64 {
 	var samples []float64
 	for _, k := range db.Keys(tsdb.KeyFilter{Dataset: dataset}) {
-		samples = append(samples, db.Grid(k, from, to, step)...)
+		g, err := db.Grid(k, from, to, step)
+		if err != nil {
+			continue
+		}
+		samples = append(samples, g...)
 	}
 	return DiscreteDistribution(samples, 0.5)
 }
@@ -206,9 +210,12 @@ type CorrelationSets struct {
 func Correlations(db *tsdb.DB, from, to time.Time, step time.Duration) CorrelationSets {
 	var out CorrelationSets
 	for _, k := range db.Keys(tsdb.KeyFilter{Dataset: tsdb.DatasetPlacementScore}) {
-		sps := db.Grid(k, from, to, step)
-		ifs := db.Grid(ifKeyOf(k), from, to, step)
-		price := db.Grid(priceKeyOf(k), from, to, step)
+		sps, err1 := db.Grid(k, from, to, step)
+		ifs, err2 := db.Grid(ifKeyOf(k), from, to, step)
+		price, err3 := db.Grid(priceKeyOf(k), from, to, step)
+		if err1 != nil || err2 != nil || err3 != nil {
+			continue
+		}
 		if r, ok := Pearson(sps, ifs); ok {
 			out.SPSvsIF = append(out.SPSvsIF, r)
 		}
@@ -229,8 +236,11 @@ func Correlations(db *tsdb.DB, from, to time.Time, step time.Duration) Correlati
 func ScoreDifferenceHistogram(db *tsdb.DB, from, to time.Time, step time.Duration) map[float64]float64 {
 	var diffs []float64
 	for _, k := range db.Keys(tsdb.KeyFilter{Dataset: tsdb.DatasetPlacementScore}) {
-		sps := db.Grid(k, from, to, step)
-		ifs := db.Grid(ifKeyOf(k), from, to, step)
+		sps, err1 := db.Grid(k, from, to, step)
+		ifs, err2 := db.Grid(ifKeyOf(k), from, to, step)
+		if err1 != nil || err2 != nil {
+			continue
+		}
 		for i := range sps {
 			if math.IsNaN(sps[i]) || math.IsNaN(ifs[i]) {
 				continue
@@ -246,7 +256,11 @@ func ScoreDifferenceHistogram(db *tsdb.DB, from, to time.Time, step time.Duratio
 func UpdateIntervalCDF(db *tsdb.DB, dataset string) CDF {
 	var hours []float64
 	for _, k := range db.Keys(tsdb.KeyFilter{Dataset: dataset}) {
-		for _, iv := range db.ChangeIntervals(k) {
+		ivs, err := db.ChangeIntervals(k)
+		if err != nil {
+			continue
+		}
+		for _, iv := range ivs {
 			hours = append(hours, iv.Hours())
 		}
 	}
@@ -259,7 +273,7 @@ func UpdateIntervalCDF(db *tsdb.DB, dataset string) CDF {
 func OverallMean(db *tsdb.DB, dataset string, from, to time.Time) float64 {
 	var means []float64
 	for _, k := range db.Keys(tsdb.KeyFilter{Dataset: dataset}) {
-		if m, ok := db.WindowMean(k, from, to); ok {
+		if m, ok, err := db.WindowMean(k, from, to); err == nil && ok {
 			means = append(means, m)
 		}
 	}
@@ -275,7 +289,7 @@ func ClassMeans(db *tsdb.DB, cat *catalog.Catalog, dataset string, from, to time
 		if !ok {
 			continue
 		}
-		if m, ok := db.WindowMean(k, from, to); ok {
+		if m, ok, err := db.WindowMean(k, from, to); err == nil && ok {
 			sums[t.Class] += m
 			ns[t.Class]++
 		}

@@ -33,7 +33,11 @@ func TestSingleflightColdQueryCoalesces(t *testing.T) {
 	const clients = 32
 	s, _ := buildArchive(t)
 	req := QueryRequest{Dataset: tsdb.DatasetPlacementScore}
-	ck := cacheKey("query", req)
+	// Query normalizes resolution/agg before building its cache key;
+	// mirror that so the barrier hooks the right flight.
+	normalized := req
+	normalized.Resolution, normalized.Agg = "raw", "mean"
+	ck := cacheKey("query", normalized)
 
 	// The leader blocks until every follower has provably joined its
 	// flight, so exactly clients-1 coalesce — no timing luck involved.

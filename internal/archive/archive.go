@@ -126,15 +126,18 @@ func (s *Service) fanOut(n int, fn func(int)) {
 	wg.Wait()
 }
 
-// cacheKey renders the (kind, filter, window, page) tuple canonically.
-// The page window — offset/limit or cursor token — is part of the key:
-// two requests that differ only in their page return different point
-// sets, and a cache that ignored the page would serve page 0 for every
-// page.
+// cacheKey renders the (kind, filter, window, resolution, page) tuple
+// canonically. The page window — offset/limit or cursor token — is part
+// of the key: two requests that differ only in their page return
+// different point sets, and a cache that ignored the page would serve
+// page 0 for every page. Resolution and aggregate are included after
+// normalization (resolveRead), so `auto` shares entries with the
+// explicit resolution it picked.
 func cacheKey(kind string, req QueryRequest) string {
 	return kind + "\x00" + req.Dataset + "\x00" + req.Type + "\x00" + req.Region + "\x00" + req.AZ +
 		"\x00" + strconv.FormatInt(req.From.UnixNano(), 36) + "\x00" + strconv.FormatInt(req.To.UnixNano(), 36) +
-		"\x00" + strconv.Itoa(req.Offset) + "\x00" + strconv.Itoa(req.Limit) + "\x00" + req.Cursor
+		"\x00" + strconv.Itoa(req.Offset) + "\x00" + strconv.Itoa(req.Limit) + "\x00" + req.Cursor +
+		"\x00" + req.Resolution + "\x00" + req.Agg
 }
 
 // AllowDatasets registers additional queryable dataset names.
@@ -175,6 +178,14 @@ type QueryRequest struct {
 	Limit   int
 	Offset  int
 	Cursor  string
+	// Resolution selects the tier serving the points: "raw" (default),
+	// "1h" or "1d" (rollup tiers), or "auto" (picked from the window
+	// span — see resolution.go). Normalized to the effective value by
+	// resolveRead.
+	Resolution string
+	// Agg selects the rollup aggregate ("min", "max", "mean", "last";
+	// default mean). Ignored at raw resolution.
+	Agg string
 }
 
 // SeriesResult is one series' points within the requested window.
@@ -225,11 +236,15 @@ func (s *Service) Query(req QueryRequest) ([]SeriesResult, error) {
 	// Query always returns the full window; zero the page fields so a
 	// caller that set them doesn't fragment the cache.
 	req.Limit, req.Offset, req.Cursor = 0, 0, ""
+	plan, err := s.resolveRead(&req, from, to)
+	if err != nil {
+		return nil, err
+	}
 	ck := cacheKey("query", req)
 	if v, ok := s.cache.get(ck, s.db.KeyGeneration(), s.db.ShardGenerations()); ok {
 		return v.([]SeriesResult), nil
 	}
-	v, err := s.flight.do(ck, func() (any, error) { return s.queryCold(req, ck, from, to) })
+	v, err := s.flight.do(ck, func() (any, error) { return s.queryCold(req, plan, ck, from, to) })
 	if err != nil {
 		return nil, err
 	}
@@ -237,10 +252,13 @@ func (s *Service) Query(req QueryRequest) ([]SeriesResult, error) {
 }
 
 // queryCold is the leader's computation for a Query cache miss.
-func (s *Service) queryCold(req QueryRequest, ck string, from, to time.Time) (any, error) {
+func (s *Service) queryCold(req QueryRequest, plan readPlan, ck string, from, to time.Time) (any, error) {
 	// Capture the generations before reading: a write racing the fan-out
 	// makes the cached entry stale immediately, never the reverse. The
-	// capture is the leader's own — coalesced followers share it.
+	// capture is the leader's own — coalesced followers share it. Rollup
+	// reads are guarded by the RAW store's generations too: rollup series
+	// only change at checkpoint time, and every checkpoint was preceded by
+	// the raw appends (gen bumps) whose points it rolls up.
 	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
 	keys, err := s.matchedKeys(req)
 	if err != nil {
@@ -248,9 +266,13 @@ func (s *Service) queryCold(req QueryRequest, ck string, from, to time.Time) (an
 	}
 	// Fan out across series; slots keep the sorted key order deterministic.
 	slots := make([][]tsdb.Point, len(keys))
+	errs := make([]error, len(keys))
 	s.fanOut(len(keys), func(i int) {
-		slots[i] = s.db.Query(keys[i], from, to)
+		slots[i], errs[i] = plan.db.Query(plan.key(keys[i]), from, to)
 	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
 	out := make([]SeriesResult, 0, len(keys))
 	points := 0
 	for i, k := range keys {
@@ -268,6 +290,18 @@ func (s *Service) queryCold(req QueryRequest, ck string, from, to time.Time) (an
 		s.cache.put(ck, keyGen, dep, gens, out)
 	}
 	return out, nil
+}
+
+// firstErr returns the first non-nil error of a fan-out's per-slot error
+// vector, so a failed cold-block read surfaces instead of truncating the
+// response.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // depGenerations maps the matched series keys to the sorted unique shard
@@ -336,10 +370,14 @@ func (s *Service) latestCold(req QueryRequest, ck string) (any, error) {
 		ok bool
 	}
 	slots := make([]slot, len(keys))
+	errs := make([]error, len(keys))
 	s.fanOut(len(keys), func(i int) {
-		p, ok := s.db.Last(keys[i])
-		slots[i] = slot{p: p, ok: ok}
+		p, ok, err := s.db.Last(keys[i])
+		slots[i], errs[i] = slot{p: p, ok: ok}, err
 	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
 	out := make([]LatestEntry, 0, len(keys))
 	for i, k := range keys {
 		if !slots[i].ok {
@@ -392,6 +430,13 @@ type StoreMeta struct {
 	HotTailPoints           int                   `json:"hotTailPoints"`
 	ColdReadErrors          uint64                `json:"coldReadErrors"`
 	BlockCache              tsdb.BlockCacheStats  `json:"blockCache"`
+	// RollupTiers reports whether the store maintains 1h/1d rollup
+	// series (resolution= is servable beyond raw).
+	RollupTiers bool `json:"rollupTiers"`
+	// Retention lists the per-dataset raw retention horizons with each
+	// dataset's committed cut, rollup coverage, and points dropped so
+	// far; absent when no -retain-raw is configured.
+	Retention []tsdb.RetentionStat `json:"retention,omitempty"`
 }
 
 // Meta returns the archive summary.
@@ -421,6 +466,8 @@ func (s *Service) Meta() Meta {
 			HotTailPoints:           s.db.HotTailPoints(),
 			ColdReadErrors:          s.db.ColdReadErrors(),
 			BlockCache:              s.db.BlockCacheStats(),
+			RollupTiers:             s.db.Rollups() != nil,
+			Retention:               s.db.RetentionStats(),
 		},
 	}
 	if s.admission != nil {

@@ -69,6 +69,14 @@ func cursorScope(req QueryRequest) uint64 {
 	mix(req.AZ)
 	mixInt(req.From.UnixNano())
 	mixInt(req.To.UnixNano())
+	// Resolution and aggregate are scoped after normalization
+	// (resolveRead): a token minted at one tier addresses that tier's
+	// point stream and must not resume a walk at another — the streams
+	// differ in both density and values. `auto` normalizes to the tier it
+	// picked, so auto-minted tokens interoperate with the equivalent
+	// explicit request.
+	mix(req.Resolution)
+	mix(req.Agg)
 	return h.Sum64()
 }
 
@@ -140,6 +148,10 @@ func (s *Service) QueryCursor(req QueryRequest) (*CursorPage, error) {
 	if err != nil {
 		return nil, err
 	}
+	plan, err := s.resolveRead(&req, from, to)
+	if err != nil {
+		return nil, err
+	}
 	scope := cursorScope(req)
 	var curKey string
 	var curAt time.Time
@@ -157,6 +169,19 @@ func (s *Service) QueryCursor(req QueryRequest) (*CursorPage, error) {
 		if curAt.Before(from) || curAt.After(to) {
 			return nil, fmt.Errorf("%w: token position lies outside the query window", ErrBadCursor)
 		}
+		// A raw-tier token can point into history that retention has since
+		// dropped (rolled up, then aged out). Resuming there would
+		// silently skip from the cut to the first surviving point —
+		// exactly the hole this walk was promised not to have — so the
+		// token expires instead; the client restarts at the current head
+		// or re-queries a rollup tier, which retention never drops.
+		if plan.res == "raw" {
+			if sk, err := tsdb.ParseSeriesKey(curKey); err == nil {
+				if cut, ok := s.db.RetentionCut(sk.Dataset); ok && curAt.Before(cut) {
+					return nil, fmt.Errorf("%w: token position precedes dataset %q's raw retention horizon (raw points there have been rolled up and dropped); restart the walk or query resolution=1h/1d", ErrBadCursor, sk.Dataset)
+				}
+			}
+		}
 	}
 	ck := cacheKey("cursor", req)
 	if v, ok := s.cache.get(ck, s.db.KeyGeneration(), s.db.ShardGenerations()); ok {
@@ -165,7 +190,7 @@ func (s *Service) QueryCursor(req QueryRequest) (*CursorPage, error) {
 	// Concurrent identical cold page requests (many clients replaying the
 	// same walk position) collapse onto one computation.
 	v, err := s.flight.do(ck, func() (any, error) {
-		return s.cursorCold(req, ck, from, to, curKey, curAt, curSeq, resuming)
+		return s.cursorCold(req, plan, ck, from, to, curKey, curAt, curSeq, resuming)
 	})
 	if err != nil {
 		return nil, err
@@ -174,7 +199,7 @@ func (s *Service) QueryCursor(req QueryRequest) (*CursorPage, error) {
 }
 
 // cursorCold is the leader's computation for a QueryCursor cache miss.
-func (s *Service) cursorCold(req QueryRequest, ck string, from, to time.Time, curKey string, curAt time.Time, curSeq int, resuming bool) (any, error) {
+func (s *Service) cursorCold(req QueryRequest, plan readPlan, ck string, from, to time.Time, curKey string, curAt time.Time, curSeq int, resuming bool) (any, error) {
 	// Capture the generations before reading, like every query path.
 	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
 	scope := cursorScope(req)
@@ -209,10 +234,14 @@ func (s *Service) cursorCold(req QueryRequest, ck string, from, to time.Time, cu
 	total := 0
 	for i := range rest {
 		var c int
+		var err error
 		if i == 0 && cursorOwn {
-			c = s.db.CountAfter(rest[i], curAt, curSeq, to)
+			c, err = plan.db.CountAfter(plan.key(rest[i]), curAt, curSeq, to)
 		} else {
-			c = s.db.CountRange(rest[i], from, to)
+			c, err = plan.db.CountRange(plan.key(rest[i]), from, to)
+		}
+		if err != nil {
+			return nil, err
 		}
 		counts = append(counts, c)
 		total += c
@@ -244,15 +273,19 @@ func (s *Service) cursorCold(req QueryRequest, ck string, from, to time.Time, cu
 	// only grow series beyond the counted prefix, so each span still
 	// resolves to exactly the points pass 1 counted.
 	slots := make([][]tsdb.Point, len(spans))
+	spanErrs := make([]error, len(spans))
 	s.fanOut(len(spans), func(j int) {
 		sp := spans[j]
-		k := rest[sp.key]
+		k := plan.key(rest[sp.key])
 		if sp.key == 0 && cursorOwn {
-			slots[j] = s.db.QueryAfter(k, curAt, curSeq, to, sp.n)
+			slots[j], spanErrs[j] = plan.db.QueryAfter(k, curAt, curSeq, to, sp.n)
 		} else {
-			slots[j] = s.db.QueryRange(k, from, to, 0, sp.n)
+			slots[j], spanErrs[j] = plan.db.QueryRange(k, from, to, 0, sp.n)
 		}
 	})
+	if err := firstErr(spanErrs); err != nil {
+		return nil, err
+	}
 	page := &CursorPage{
 		Series: make([]SeriesResult, 0, len(spans)),
 		Limit:  req.Limit,

@@ -3,6 +3,7 @@ package archive
 import (
 	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/tsdb"
 )
 
 // indexHTML is the static front end — the piece served from object storage
@@ -253,7 +256,22 @@ func parseQueryRequest(r *http.Request) (QueryRequest, error) {
 		req.Offset = n
 	}
 	req.Cursor = q.Get("cursor")
+	req.Resolution = q.Get("resolution")
+	req.Agg = q.Get("agg")
 	return req, nil
+}
+
+// queryErr maps a query-path failure to its response: a cold-block read
+// failure is the store's fault and must be a 500 — returning 400 (or
+// worse, a truncated 200) would blame the client for corrupt block
+// files — while everything else (bad parameters, bad cursor tokens,
+// unknown datasets) stays a 400.
+func queryErr(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	if errors.Is(err, tsdb.ErrColdRead) {
+		status = http.StatusInternalServerError
+	}
+	writeErr(w, status, err)
 }
 
 // streamSeriesJSON writes a JSON array of series results one series at a
@@ -329,6 +347,12 @@ func (s *Service) Handler() http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
+		// Echo the tier the request resolves to, so `auto` clients know
+		// which resolution answered. Resolution errors surface through
+		// the query call below, with the window validated identically.
+		if res, rerr := s.EffectiveResolution(req); rerr == nil {
+			w.Header().Set("X-Resolution", res)
+		}
 		// A cursor parameter — even an empty one, which starts a walk at
 		// the head of the stream — selects keyset pagination: the page
 		// position is a fixed (series, timestamp) token, so slow walkers
@@ -343,7 +367,7 @@ func (s *Service) Handler() http.Handler {
 			}
 			page, err := s.QueryCursor(req)
 			if err != nil {
-				writeErr(w, http.StatusBadRequest, err)
+				queryErr(w, err)
 				return
 			}
 			if page.NextCursor != "" {
@@ -359,7 +383,7 @@ func (s *Service) Handler() http.Handler {
 		if req.Limit > 0 || req.Offset > 0 {
 			page, err := s.QueryPaged(req)
 			if err != nil {
-				writeErr(w, http.StatusBadRequest, err)
+				queryErr(w, err)
 				return
 			}
 			w.Header().Set("X-Total-Points", strconv.Itoa(page.TotalPoints))
@@ -371,7 +395,7 @@ func (s *Service) Handler() http.Handler {
 		}
 		res, err := s.Query(req)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			queryErr(w, err)
 			return
 		}
 		total := 0
@@ -390,7 +414,7 @@ func (s *Service) Handler() http.Handler {
 		}
 		res, err := s.Latest(req)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			queryErr(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)

@@ -70,13 +70,17 @@ func (s *Service) QueryPaged(req QueryRequest) (*QueryPage, error) {
 	// The offset path ignores a cursor; zero it so a stray token can't
 	// fragment the cache (the HTTP layer rejects the combination).
 	req.Cursor = ""
+	plan, err := s.resolveRead(&req, from, to)
+	if err != nil {
+		return nil, err
+	}
 	ck := cacheKey("page", req)
 	if v, ok := s.cache.get(ck, s.db.KeyGeneration(), s.db.ShardGenerations()); ok {
 		return v.(*QueryPage), nil
 	}
 	// Concurrent identical cold page requests collapse onto one
 	// computation (see singleflight.go).
-	v, err := s.flight.do(ck, func() (any, error) { return s.pageCold(req, ck, from, to) })
+	v, err := s.flight.do(ck, func() (any, error) { return s.pageCold(req, plan, ck, from, to) })
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +88,7 @@ func (s *Service) QueryPaged(req QueryRequest) (*QueryPage, error) {
 }
 
 // pageCold is the leader's computation for a QueryPaged cache miss.
-func (s *Service) pageCold(req QueryRequest, ck string, from, to time.Time) (any, error) {
+func (s *Service) pageCold(req QueryRequest, plan readPlan, ck string, from, to time.Time) (any, error) {
 	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
 	keys, err := s.matchedKeys(req)
 	if err != nil {
@@ -92,9 +96,13 @@ func (s *Service) pageCold(req QueryRequest, ck string, from, to time.Time) (any
 	}
 	// Pass 1: count in-window points per series (no copying).
 	counts := make([]int, len(keys))
+	errs := make([]error, len(keys))
 	s.fanOut(len(keys), func(i int) {
-		counts[i] = s.db.CountRange(keys[i], from, to)
+		counts[i], errs[i] = plan.db.CountRange(plan.key(keys[i]), from, to)
 	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, c := range counts {
 		total += c
@@ -117,10 +125,14 @@ func (s *Service) pageCold(req QueryRequest, ck string, from, to time.Time) (any
 	}
 	// Pass 2: copy only the page's points.
 	slots := make([][]tsdb.Point, len(spans))
+	spanErrs := make([]error, len(spans))
 	s.fanOut(len(spans), func(j int) {
 		sp := spans[j]
-		slots[j] = s.db.QueryRange(keys[sp.key], from, to, sp.skip, sp.n)
+		slots[j], spanErrs[j] = plan.db.QueryRange(plan.key(keys[sp.key]), from, to, sp.skip, sp.n)
 	})
+	if err := firstErr(spanErrs); err != nil {
+		return nil, err
+	}
 	page := &QueryPage{
 		Series:      make([]SeriesResult, 0, len(spans)),
 		TotalPoints: total,

@@ -1,0 +1,122 @@
+package archive
+
+// Query-time resolution selection over the rollup tiers.
+//
+// The tsdb maintains downsampled rollup series (min/max/mean/last at 1h
+// and 1d) in a nested rollup store (see internal/tsdb/rollup.go). The
+// serving layer exposes them through `resolution=` on /api/v1/query:
+// `raw` reads the raw series as before, `1h`/`1d` read the matching
+// rollup series, and `auto` picks from the window span so long-horizon
+// dashboards get the cheap tier without asking. The aggregate defaults
+// to mean; `agg=` selects min/max/last.
+//
+// Resolution is normalized to its effective value ("raw", "1h", "1d")
+// before the cache key and cursor scope are built: an `auto` request
+// whose window resolves to 1h shares cache entries — and cursor tokens —
+// with the equivalent explicit request, instead of fragmenting both.
+//
+// Responses are keyed by the RAW series key regardless of resolution:
+// which physical series served the points is an implementation detail,
+// and clients correlate rollup pages against raw ones by the same key.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// Auto-pick thresholds: windows of at least autoDaily span read the 1d
+// tier, at least autoHourly the 1h tier, anything shorter raw. Unbounded
+// windows normalize to a span of millennia and land on 1d.
+const (
+	autoHourly = 48 * time.Hour
+	autoDaily  = 60 * 24 * time.Hour
+)
+
+// readPlan is a resolved read target: the store to read points from and
+// the key transform from the raw series key the request matched to the
+// physical series key holding the data.
+type readPlan struct {
+	db *tsdb.DB
+	// res is the effective resolution ("raw", "1h", "1d") after auto
+	// resolution; echoed in the X-Resolution header.
+	res string
+	// rollup is the parsed resolution when res != "raw".
+	rollup time.Duration
+	agg    tsdb.Agg
+}
+
+// key maps a raw series key to the physical key the plan reads.
+func (p *readPlan) key(k tsdb.SeriesKey) tsdb.SeriesKey {
+	if p.res == "raw" {
+		return k
+	}
+	return tsdb.RollupKey(k, p.rollup, p.agg)
+}
+
+// EffectiveResolution reports the tier a request will be served from
+// ("raw", "1h", "1d") after auto resolution, without running the query.
+// The HTTP layer echoes it as X-Resolution so `auto` clients know which
+// tier answered.
+func (s *Service) EffectiveResolution(req QueryRequest) (string, error) {
+	from, to, err := s.checkWindow(req)
+	if err != nil {
+		return "", err
+	}
+	plan, err := s.resolveRead(&req, from, to)
+	if err != nil {
+		return "", err
+	}
+	return plan.res, nil
+}
+
+// resolveRead validates req's Resolution/Agg and resolves auto against
+// the window, returning the read plan. It normalizes req.Resolution and
+// req.Agg in place so cache keys and cursor scopes are built from the
+// effective values. Unknown values fail naming the parameter; an
+// explicit 1h/1d against a store without rollup tiers fails too, while
+// auto degrades to raw there (the caller asked for "whatever is
+// cheapest", and raw is all that exists).
+func (s *Service) resolveRead(req *QueryRequest, from, to time.Time) (readPlan, error) {
+	agg := tsdb.AggMean
+	if req.Agg != "" {
+		a, ok := tsdb.ParseAgg(req.Agg)
+		if !ok {
+			return readPlan{}, fmt.Errorf("archive: agg must be one of min, max, mean, last, got %q", req.Agg)
+		}
+		agg = a
+	}
+	req.Agg = agg.String()
+
+	res := req.Resolution
+	if res == "" {
+		res = "raw"
+	}
+	ro := s.db.Rollups()
+	switch res {
+	case "raw":
+	case "auto":
+		res = "raw"
+		if ro != nil {
+			switch span := to.Sub(from); {
+			case span >= autoDaily:
+				res = "1d"
+			case span >= autoHourly:
+				res = "1h"
+			}
+		}
+	case "1h", "1d":
+		if ro == nil {
+			return readPlan{}, fmt.Errorf("archive: resolution %q is unavailable: this store has no rollup tiers (memory-only or sealing disabled)", res)
+		}
+	default:
+		return readPlan{}, fmt.Errorf("archive: resolution must be one of raw, 1h, 1d, auto, got %q", req.Resolution)
+	}
+	req.Resolution = res
+	if res == "raw" {
+		return readPlan{db: s.db, res: "raw", agg: agg}, nil
+	}
+	d, _ := tsdb.ParseResolution(res)
+	return readPlan{db: ro, res: res, rollup: d, agg: agg}, nil
+}

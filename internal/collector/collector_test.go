@@ -65,7 +65,7 @@ func TestCollectScoresCoversAllPools(t *testing.T) {
 		t.Errorf("score series = %d, want one per pool %d", len(keys), len(cat.Pools()))
 	}
 	for _, k := range keys[:10] {
-		p, ok := db.Last(k)
+		p, ok := noerr2(db.Last(k))
 		if !ok {
 			t.Fatalf("series %v empty", k)
 		}
@@ -96,7 +96,7 @@ func TestCollectAdvisorCoversTypeRegions(t *testing.T) {
 		if k.AZ != "" {
 			t.Error("advisor series should be region-granular (no AZ)")
 		}
-		p, _ := db.Last(k)
+		p, _ := noerr2(db.Last(k))
 		if p.Value < 1.0 || p.Value > 3.0 {
 			t.Errorf("IF score %v out of range", p.Value)
 		}
@@ -113,7 +113,7 @@ func TestCollectPricesCoversPools(t *testing.T) {
 		t.Errorf("price series = %d, want %d", len(keys), len(cat.Pools()))
 	}
 	for _, k := range keys[:10] {
-		p, _ := db.Last(k)
+		p, _ := noerr2(db.Last(k))
 		od, _ := cat.OnDemandPrice(k.Type, k.Region)
 		if p.Value <= 0 || p.Value >= od {
 			t.Errorf("price %v outside (0, od) for %v", p.Value, k)
@@ -166,7 +166,7 @@ func TestScoresChangeOverTime(t *testing.T) {
 	col.Stop()
 	changed := 0
 	for _, k := range db.Keys(tsdb.KeyFilter{Dataset: tsdb.DatasetPlacementScore}) {
-		if len(db.ChangeIntervals(k)) > 0 {
+		if len(noerr(db.ChangeIntervals(k))) > 0 {
 			changed++
 		}
 	}

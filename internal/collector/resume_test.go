@@ -68,7 +68,7 @@ func duplicateTimestamps(t *testing.T, dir string) int {
 	defer db.Close()
 	dups := 0
 	for _, k := range db.Keys(tsdb.KeyFilter{}) {
-		pts := db.Query(k, time.Time{}, time.Time{}.AddDate(9000, 0, 0))
+		pts := noerr(db.Query(k, time.Time{}, time.Time{}.AddDate(9000, 0, 0)))
 		for i := 1; i < len(pts); i++ {
 			if pts[i].At.Equal(pts[i-1].At) {
 				dups++

@@ -433,7 +433,7 @@ func historyFeatures(db *tsdb.DB, c Case, now time.Time, window time.Duration) [
 
 // seriesStats returns mean, std, min, frac(==3), frac(==1), last.
 func seriesStats(db *tsdb.DB, k tsdb.SeriesKey, from, to time.Time, step time.Duration) []float64 {
-	grid := db.Grid(k, from, to, step)
+	grid, _ := db.Grid(k, from, to, step)
 	var sum, sumSq, minV float64
 	var frac3, frac1 float64
 	n := 0

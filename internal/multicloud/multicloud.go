@@ -312,7 +312,7 @@ func priceOf(db *tsdb.DB, o Offer, at time.Time) (PricedOffer, bool) {
 		// AWS prices are per AZ: take the region's cheapest AZ.
 		best := math.Inf(1)
 		for _, k := range db.Keys(tsdb.KeyFilter{Dataset: tsdb.DatasetPrice, Type: o.Name, Region: o.Region}) {
-			if v, ok := db.ValueAt(k, at); ok && v < best {
+			if v, ok, _ := db.ValueAt(k, at); ok && v < best {
 				best = v
 			}
 		}
@@ -320,22 +320,22 @@ func priceOf(db *tsdb.DB, o Offer, at time.Time) (PricedOffer, bool) {
 			return po, false
 		}
 		po.SpotUSD = best
-		if v, ok := db.ValueAt(tsdb.SeriesKey{Dataset: tsdb.DatasetInterruptFree, Type: o.Name, Region: o.Region}, at); ok {
+		if v, ok, _ := db.ValueAt(tsdb.SeriesKey{Dataset: tsdb.DatasetInterruptFree, Type: o.Name, Region: o.Region}, at); ok {
 			po.Stability = v
 		}
 		return po, true
 	case azuresim.Vendor:
-		v, ok := db.ValueAt(tsdb.SeriesKey{Dataset: DatasetAzurePrice, Type: o.Name, Region: o.Region}, at)
+		v, ok, _ := db.ValueAt(tsdb.SeriesKey{Dataset: DatasetAzurePrice, Type: o.Name, Region: o.Region}, at)
 		if !ok {
 			return po, false
 		}
 		po.SpotUSD = v
-		if s, ok := db.ValueAt(tsdb.SeriesKey{Dataset: DatasetAzureEvict, Type: o.Name, Region: o.Region}, at); ok {
+		if s, ok, _ := db.ValueAt(tsdb.SeriesKey{Dataset: DatasetAzureEvict, Type: o.Name, Region: o.Region}, at); ok {
 			po.Stability = s
 		}
 		return po, true
 	case gcpsim.Vendor:
-		v, ok := db.ValueAt(tsdb.SeriesKey{Dataset: DatasetGCPPrice, Type: o.Name, Region: o.Region}, at)
+		v, ok, _ := db.ValueAt(tsdb.SeriesKey{Dataset: DatasetGCPPrice, Type: o.Name, Region: o.Region}, at)
 		if !ok {
 			return po, false
 		}
@@ -381,7 +381,7 @@ func Summary(db *tsdb.DB) []VendorSummary {
 		}
 		var savings []float64
 		for _, k := range db.Keys(tsdb.KeyFilter{Dataset: s.savings}) {
-			if p, ok := db.Last(k); ok {
+			if p, ok, _ := db.Last(k); ok {
 				savings = append(savings, p.Value)
 			}
 		}

@@ -67,7 +67,7 @@ func TestTimestampIsGlobalKey(t *testing.T) {
 		if len(keys) == 0 {
 			t.Fatalf("no series for %s", ds)
 		}
-		pts := db.Query(keys[0], at, at)
+		pts := noerr(db.Query(keys[0], at, at))
 		if len(pts) != 1 {
 			t.Errorf("dataset %s has no point at the aligned first tick", ds)
 		}
@@ -87,7 +87,7 @@ func TestAzureDatasets(t *testing.T) {
 	}
 	// Eviction scores live on the shared 1.0-3.0 scale.
 	for _, k := range db.Keys(tsdb.KeyFilter{Dataset: DatasetAzureEvict})[:10] {
-		p, _ := db.Last(k)
+		p, _ := noerr2(db.Last(k))
 		if p.Value < 1 || p.Value > 3 {
 			t.Errorf("eviction score %v out of 1..3", p.Value)
 		}

@@ -511,7 +511,7 @@ func BenchmarkColdQuery(b *testing.B) {
 				// Windows rotate through the sealed region, far behind the
 				// hot tail, so the cold variant reads blocks, not the tail.
 				from := t0.Add(time.Duration((i*613)%(perSeries-window-512)) * time.Minute)
-				pts := db.Query(keys[i%seriesN], from, from.Add(window*time.Minute))
+				pts := noerr(db.Query(keys[i%seriesN], from, from.Add(window*time.Minute)))
 				if len(pts) == 0 {
 					b.Fatal("empty window")
 				}
@@ -584,6 +584,123 @@ func BenchmarkResidentHeap(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// rollupBenchFill appends `days` of one-point-per-minute price data on a
+// single series and seals it, so the 1h rollup holds 24*days buckets and
+// the 1d rollup `days`.
+func rollupBenchFill(b *testing.B, db *DB, days int) SeriesKey {
+	b.Helper()
+	k := SeriesKey{Dataset: DatasetPrice, Type: "m5.xlarge", Region: "us-east-1", AZ: "us-east-1a"}
+	const perDay = 24 * 60
+	batch := make([]Entry, 0, perDay)
+	for d := 0; d < days; d++ {
+		batch = batch[:0]
+		for i := 0; i < perDay; i++ {
+			at := t0.Add(time.Duration(d*perDay+i) * time.Minute)
+			batch = append(batch, Entry{Key: k, At: at, Value: float64((d*perDay + i) % 97)})
+		}
+		if n, err := db.AppendBatch(batch); err != nil || n != len(batch) {
+			b.Fatalf("day %d: stored %d, err %v", d, n, err)
+		}
+	}
+	return k
+}
+
+// rollupStatPrinted dedups rollupstat rows across the b.N calibration
+// reruns so each tier lands in the BENCH artifact's rollup section once.
+var rollupStatPrinted sync.Map
+
+// BenchmarkRollupQuery measures the same 90-day window served from each
+// resolution tier of one sealed store: the raw series against its 1h and
+// 1d mean rollups. The printed `rollupstat:` rows carry the scan counts
+// for cmd/benchjson's rollup section — the ISSUE target is the 1h tier
+// scanning >= 50x fewer points than raw.
+func BenchmarkRollupQuery(b *testing.B) {
+	const days = 90
+	opts := Options{Shards: 2, RotateBytes: 8 << 20, HotTailPoints: 64, BlockPoints: 512, BlockCacheBytes: 4 << 20}
+	db, err := OpenWithOptions(b.TempDir(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	k := rollupBenchFill(b, db, days)
+	if err := db.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	ro := db.Rollups()
+	from, to := t0, t0.Add(days*24*time.Hour)
+	for _, tier := range []struct {
+		name string
+		db   *DB
+		key  SeriesKey
+	}{
+		{"raw", db, k},
+		{"1h", ro, RollupKey(k, Res1h, AggMean)},
+		{"1d", ro, RollupKey(k, Res1d, AggMean)},
+	} {
+		b.Run(tier.name, func(b *testing.B) {
+			var pts []Point
+			s0 := tier.db.ScannedPoints()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pts = noerr(tier.db.Query(tier.key, from, to))
+				if len(pts) == 0 {
+					b.Fatal("empty window")
+				}
+			}
+			b.StopTimer()
+			scanned := (tier.db.ScannedPoints() - s0) / uint64(b.N)
+			b.ReportMetric(float64(len(pts)), "points")
+			b.ReportMetric(float64(scanned), "scanned")
+			if _, dup := rollupStatPrinted.LoadOrStore(tier.name, true); !dup {
+				fmt.Printf("rollupstat: tier=%s windowDays=%d points=%d scanned=%d\n",
+					tier.name, days, len(pts), scanned)
+			}
+		})
+	}
+}
+
+// BenchmarkRollupBuild measures the checkpoint that seals 30 days of raw
+// data, without rollup tiers (seal only) and with them (seal + the
+// incremental rollup build), so the build's marginal cost is the delta
+// between the two rows.
+func BenchmarkRollupBuild(b *testing.B) {
+	const days = 30
+	for _, cfg := range []struct {
+		name      string
+		noRollups bool
+	}{
+		{"seal-only", true},
+		{"seal+rollup", false},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var built int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				opts := Options{Shards: 2, RotateBytes: 8 << 20, HotTailPoints: 64, BlockPoints: 512, BlockCacheBytes: 4 << 20}
+				opts.noRollups = cfg.noRollups
+				db, err := OpenWithOptions(b.TempDir(), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rollupBenchFill(b, db, days)
+				b.StartTimer()
+				if err := db.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if ro := db.Rollups(); ro != nil {
+					built += int64(ro.PointCount())
+				}
+				db.Close()
+			}
+			if !cfg.noRollups && built == 0 {
+				b.Fatal("checkpoint built no rollup points")
+			}
+			b.ReportMetric(float64(days*24*60)/b.Elapsed().Seconds()*float64(b.N), "raw-points/s")
 		})
 	}
 }

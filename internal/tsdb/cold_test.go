@@ -124,7 +124,7 @@ func walkCursor(db *DB, k SeriesKey, to time.Time, page int) ([]Point, int) {
 	seq := 0
 	pages := 0
 	for {
-		pts := db.QueryAfter(k, after, seq, to, page)
+		pts := noerr(db.QueryAfter(k, after, seq, to, page))
 		if len(pts) == 0 {
 			return out, pages
 		}
@@ -174,7 +174,7 @@ func TestSealedStoreMatchesReference(t *testing.T) {
 		end := t0.Add(1000 * time.Hour)
 		assertSameContents(t, contents(db), refContents(ref))
 		for _, k := range sealKeys() {
-			all := mem.Query(k, time.Time{}, end)
+			all := noerr(mem.Query(k, time.Time{}, end))
 			// Cursor walk in small pages: boundaries land inside cold
 			// blocks, inside the hot tail, and across the seam.
 			got, pages := walkCursor(db, k, end, 5)
@@ -192,28 +192,28 @@ func TestSealedStoreMatchesReference(t *testing.T) {
 			// Window reads anchored at points around the tier boundary.
 			for _, i := range []int{0, len(all) / 3, len(all) / 2, len(all) - 1} {
 				from, to := all[i].At, all[min(i+17, len(all)-1)].At
-				if g, w := db.CountRange(k, from, to), mem.CountRange(k, from, to); g != w {
+				if g, w := noerr(db.CountRange(k, from, to)), noerr(mem.CountRange(k, from, to)); g != w {
 					t.Fatalf("%s: %v CountRange[%d] = %d, want %d", stage, k, i, g, w)
 				}
-				if g, w := db.QueryRange(k, from, to, 3, 11), mem.QueryRange(k, from, to, 3, 11); len(g) != len(w) {
+				if g, w := noerr(db.QueryRange(k, from, to, 3, 11)), noerr(mem.QueryRange(k, from, to, 3, 11)); len(g) != len(w) {
 					t.Fatalf("%s: %v QueryRange[%d] = %d points, want %d", stage, k, i, len(g), len(w))
 				}
-				if g, w := db.CountAfter(k, from, 1, end), mem.CountAfter(k, from, 1, end); g != w {
+				if g, w := noerr(db.CountAfter(k, from, 1, end)), noerr(mem.CountAfter(k, from, 1, end)); g != w {
 					t.Fatalf("%s: %v CountAfter[%d] = %d, want %d", stage, k, i, g, w)
 				}
-				gv, gok := db.ValueAt(k, from.Add(time.Second))
-				wv, wok := mem.ValueAt(k, from.Add(time.Second))
+				gv, gok := noerr2(db.ValueAt(k, from.Add(time.Second)))
+				wv, wok := noerr2(mem.ValueAt(k, from.Add(time.Second)))
 				if gok != wok || math.Float64bits(gv) != math.Float64bits(wv) {
 					t.Fatalf("%s: %v ValueAt[%d] = (%v,%v), want (%v,%v)", stage, k, i, gv, gok, wv, wok)
 				}
-				gm, gok2 := db.WindowMean(k, from, to.Add(time.Second))
-				wm, wok2 := mem.WindowMean(k, from, to.Add(time.Second))
+				gm, gok2 := noerr2(db.WindowMean(k, from, to.Add(time.Second)))
+				wm, wok2 := noerr2(mem.WindowMean(k, from, to.Add(time.Second)))
 				if gok2 != wok2 || math.Float64bits(gm) != math.Float64bits(wm) {
 					t.Fatalf("%s: %v WindowMean[%d] = (%v,%v), want (%v,%v)", stage, k, i, gm, gok2, wm, wok2)
 				}
 			}
-			gg := db.Grid(k, all[0].At, all[len(all)-1].At, 97*time.Second)
-			wg := mem.Grid(k, all[0].At, all[len(all)-1].At, 97*time.Second)
+			gg := noerr(db.Grid(k, all[0].At, all[len(all)-1].At, 97*time.Second))
+			wg := noerr(mem.Grid(k, all[0].At, all[len(all)-1].At, 97*time.Second))
 			if len(gg) != len(wg) {
 				t.Fatalf("%s: %v Grid length %d, want %d", stage, k, len(gg), len(wg))
 			}
@@ -222,7 +222,7 @@ func TestSealedStoreMatchesReference(t *testing.T) {
 					t.Fatalf("%s: %v Grid[%d] = %v, want %v", stage, k, i, gg[i], wg[i])
 				}
 			}
-			gc, wc := db.ChangeIntervals(k), mem.ChangeIntervals(k)
+			gc, wc := noerr(db.ChangeIntervals(k)), noerr(mem.ChangeIntervals(k))
 			if len(gc) != len(wc) {
 				t.Fatalf("%s: %v ChangeIntervals length %d, want %d", stage, k, len(gc), len(wc))
 			}
@@ -231,8 +231,8 @@ func TestSealedStoreMatchesReference(t *testing.T) {
 					t.Fatalf("%s: %v ChangeIntervals[%d] = %v, want %v", stage, k, i, gc[i], wc[i])
 				}
 			}
-			gl, glok := db.Last(k)
-			wl, wlok := mem.Last(k)
+			gl, glok := noerr2(db.Last(k))
+			wl, wlok := noerr2(mem.Last(k))
 			if glok != wlok || !gl.At.Equal(wl.At) || gl.Value != wl.Value {
 				t.Fatalf("%s: %v Last = (%v,%v), want (%v,%v)", stage, k, gl, glok, wl, wlok)
 			}
@@ -368,7 +368,7 @@ func TestSealedConcurrentReadsExact(t *testing.T) {
 					return
 				default:
 				}
-				got := db.Query(k, t0, frozenEnd)
+				got := noerr(db.Query(k, t0, frozenEnd))
 				if len(got) != frozen {
 					report(fmt.Errorf("reader %d it %d: frozen window has %d points, want %d", r, it, len(got), frozen))
 					return

@@ -1,0 +1,99 @@
+package tsdb
+
+// Regression tests for the silent cold-read hole: getPointsLocked used to
+// `continue` past a cold block whose decode failed, so a long-window
+// query over a corrupted (or unreadable) block file returned a silently
+// truncated result with a nil error. Every read path must surface
+// ErrColdRead instead.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// corruptFirstColdBlock flips one byte inside the first data block of the
+// store's first block file. The block index and its CRC are untouched, so
+// a reopen succeeds — only decoding the damaged block can detect it.
+func corruptFirstColdBlock(t *testing.T, dir string) {
+	t.Helper()
+	path := filepath.Join(dir, blockFileName(1))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) <= blockHeaderLen {
+		t.Fatalf("block file %s has no data section", path)
+	}
+	raw[blockHeaderLen] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColdReadErrorSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Shards: 4, RotateBytes: 1 << 16, HotTailPoints: 4, BlockPoints: 8, BlockCacheBytes: 1 << 12}
+	db, err := OpenWithOptions(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One series only, so the file's first block is guaranteed to be hers.
+	k := SeriesKey{Dataset: DatasetPrice, Type: "m5.large", Region: "us-east-1", AZ: "us-east-1a"}
+	entries := make([]Entry, 100)
+	for i := range entries {
+		entries[i] = Entry{Key: k, At: t0.Add(time.Duration(i) * time.Minute), Value: float64(i)}
+	}
+	if n, err := db.AppendBatch(entries); err != nil || n != len(entries) {
+		t.Fatalf("stored %d, err %v", n, err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	corruptFirstColdBlock(t, dir)
+
+	// Reopen so the decoded-block cache is cold: the only way to the
+	// damaged bytes is through a real disk read + CRC check.
+	db, err = OpenWithOptions(dir, opts)
+	if err != nil {
+		t.Fatalf("reopen after data-section corruption must succeed (index is intact): %v", err)
+	}
+	defer db.Close()
+
+	end := t0.Add(1000 * time.Hour)
+	if _, err := db.Query(k, time.Time{}, end); !errors.Is(err, ErrColdRead) {
+		t.Fatalf("Query error = %v, want ErrColdRead", err)
+	}
+	// Paged read landing on the damaged block (page 1 of the stream).
+	if _, err := db.QueryRange(k, time.Time{}, end, 0, 10); !errors.Is(err, ErrColdRead) {
+		t.Fatalf("QueryRange error = %v, want ErrColdRead", err)
+	}
+	if _, err := db.QueryAfter(k, t0, 0, end, 10); !errors.Is(err, ErrColdRead) {
+		t.Fatalf("QueryAfter error = %v, want ErrColdRead", err)
+	}
+	if _, err := db.ChangeIntervals(k); !errors.Is(err, ErrColdRead) {
+		t.Fatalf("ChangeIntervals error = %v, want ErrColdRead", err)
+	}
+	if _, _, err := db.WindowMean(k, time.Time{}, end); !errors.Is(err, ErrColdRead) {
+		t.Fatalf("WindowMean error = %v, want ErrColdRead", err)
+	}
+	if _, err := db.Grid(k, t0, t0.Add(90*time.Minute), 10*time.Minute); !errors.Is(err, ErrColdRead) {
+		t.Fatalf("Grid error = %v, want ErrColdRead", err)
+	}
+
+	// Counting never decodes blocks (counts live in the CRC'd index), and
+	// the hot tail is still in memory: both must keep working so the
+	// store degrades read-by-read, not wholesale.
+	if n, err := db.CountRange(k, time.Time{}, end); err != nil || n != len(entries) {
+		t.Fatalf("CountRange = (%d, %v), want (%d, nil)", n, err, len(entries))
+	}
+	if p, ok, err := db.Last(k); err != nil || !ok || p.Value != 99 {
+		t.Fatalf("Last = (%+v, %v, %v), want the hot-tail point", p, ok, err)
+	}
+}

@@ -161,7 +161,7 @@ func TestDifferentialAgainstReference(t *testing.T) {
 						k := randKey()
 						from := randTime()
 						to := from.Add(time.Duration(r.Intn(5000)) * time.Second)
-						got := db.Query(k, from, to)
+						got := noerr(db.Query(k, from, to))
 						want := ref.query(k, from, to)
 						if len(got) != len(want) {
 							t.Fatalf("op %d: Query(%v) = %d points, ref %d", op, k, len(got), len(want))
@@ -173,12 +173,12 @@ func TestDifferentialAgainstReference(t *testing.T) {
 						}
 					default: // point lookups
 						k, at := randKey(), randTime()
-						gv, gok := db.ValueAt(k, at)
+						gv, gok := noerr2(db.ValueAt(k, at))
 						wv, wok := ref.valueAt(k, at)
 						if gok != wok || (gok && gv != wv) {
 							t.Fatalf("op %d: ValueAt(%v, %v) = (%v, %v), ref (%v, %v)", op, k, at, gv, gok, wv, wok)
 						}
-						gp, gok2 := db.Last(k)
+						gp, gok2 := noerr2(db.Last(k))
 						wp, wok2 := ref.last(k)
 						if gok2 != wok2 || (gok2 && (gp.Value != wp.Value || !gp.At.Equal(wp.At))) {
 							t.Fatalf("op %d: Last(%v) = (%v, %v), ref (%v, %v)", op, k, gp, gok2, wp, wok2)
@@ -206,13 +206,13 @@ func TestDifferentialAgainstReference(t *testing.T) {
 				}
 				// Every series' full contents, including window means.
 				for k, pts := range ref.series {
-					got := db.Query(k, t0.Add(-time.Hour), t0.Add(20000*time.Second))
+					got := noerr(db.Query(k, t0.Add(-time.Hour), t0.Add(20000*time.Second)))
 					if len(got) != len(pts) {
 						t.Fatalf("series %v: %d points, ref %d", k, len(got), len(pts))
 					}
 					from := t0
 					to := t0.Add(10000 * time.Second)
-					gm, gok := db.WindowMean(k, from, to)
+					gm, gok := noerr2(db.WindowMean(k, from, to))
 					if gok && (math.IsNaN(gm) || math.IsInf(gm, 0)) {
 						t.Fatalf("series %v: WindowMean = %v", k, gm)
 					}

@@ -1,0 +1,19 @@
+package tsdb
+
+// noerr and noerr2 unwrap the error of a read-API call in tests whose
+// store cannot fail the read (memory-only, or intact block files),
+// panicking otherwise so an unexpected failure still surfaces with a
+// stack instead of being silently discarded.
+func noerr[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func noerr2[A, B any](a A, b B, err error) (A, B) {
+	if err != nil {
+		panic(err)
+	}
+	return a, b
+}

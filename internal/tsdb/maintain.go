@@ -80,6 +80,11 @@ type MaintenanceStats struct {
 	// (hot points grown by SealAfterHotPoints since the last checkpoint)
 	// was live when the checkpoint ran.
 	ForcedBySeal uint64 `json:"forcedBySeal"`
+	// ForcedByRetention counts maintenance checkpoints whose retention
+	// trigger (some dataset's raw points droppable past its horizon,
+	// beyond what the last enforcement evaluated) was live when the
+	// checkpoint ran.
+	ForcedByRetention uint64 `json:"forcedByRetention"`
 	// Errors counts maintenance checkpoints that failed. The daemon
 	// retries on its next tick; a climbing counter means the store cannot
 	// write snapshots (disk full, permissions).
@@ -93,6 +98,7 @@ func (db *DB) MaintenanceStats() MaintenanceStats {
 		ForcedByBytes:       db.maintByBytes.Load(),
 		ForcedByChainLength: db.maintByChain.Load(),
 		ForcedBySeal:        db.maintBySeal.Load(),
+		ForcedByRetention:   db.maintByRet.Load(),
 		Errors:              db.maintErrs.Load(),
 	}
 }
@@ -107,7 +113,7 @@ func (db *DB) MaxSealedSegments() int { return db.maxSealed }
 // SelfMaintains reports whether the store drives its own checkpoints:
 // it is durable and at least one maintenance trigger is configured.
 func (db *DB) SelfMaintains() bool {
-	return db.dir != "" && (db.cpAfterBytes > 0 || db.maxSealed > 0 || db.sealAfterHot > 0)
+	return db.dir != "" && (db.cpAfterBytes > 0 || db.maxSealed > 0 || db.sealAfterHot > 0 || len(db.retain) > 0)
 }
 
 // MaintainerActive reports whether the maintenance daemon goroutine is
@@ -221,7 +227,7 @@ func (db *DB) sealTriggerHot() bool {
 
 // triggerLive reports whether any maintenance trigger currently fires.
 func (db *DB) triggerLive() bool {
-	return db.chainTriggerHot() || db.byteTriggerHot() || db.sealTriggerHot()
+	return db.chainTriggerHot() || db.byteTriggerHot() || db.sealTriggerHot() || db.retentionTriggerHot()
 }
 
 // runMaintenanceCheckpointLocked re-checks the triggers and checkpoints.
@@ -230,7 +236,8 @@ func (db *DB) runMaintenanceCheckpointLocked() {
 	byChain := db.chainTriggerHot()
 	byBytes := db.byteTriggerHot()
 	bySeal := db.sealTriggerHot()
-	if !byChain && !byBytes && !bySeal {
+	byRet := db.retentionTriggerHot()
+	if !byChain && !byBytes && !bySeal && !byRet {
 		return
 	}
 	if err := db.checkpointLocked(); err != nil {
@@ -248,6 +255,9 @@ func (db *DB) runMaintenanceCheckpointLocked() {
 	}
 	if bySeal {
 		db.maintBySeal.Add(1)
+	}
+	if byRet {
+		db.maintByRet.Add(1)
 	}
 }
 

@@ -32,10 +32,10 @@ func TestGridMatchesValueAtProperty(t *testing.T) {
 		from := t0.Add(-time.Hour)
 		to := at.Add(time.Hour)
 		step := time.Duration(1+r.Intn(200)) * time.Minute
-		grid := db.Grid(k, from, to, step)
+		grid := noerr(db.Grid(k, from, to, step))
 		i := 0
 		for ts := from; !ts.After(to); ts = ts.Add(step) {
-			want, ok := db.ValueAt(k, ts)
+			want, ok := noerr2(db.ValueAt(k, ts))
 			if !ok {
 				if !math.IsNaN(grid[i]) {
 					return false
@@ -79,7 +79,7 @@ func TestWindowMeanBoundsProperty(t *testing.T) {
 			}
 			at = at.Add(time.Duration(1+r.Intn(300)) * time.Minute)
 		}
-		mean, ok := db.WindowMean(k, t0, at.Add(time.Hour))
+		mean, ok := noerr2(db.WindowMean(k, t0, at.Add(time.Hour)))
 		if !ok {
 			return false
 		}
@@ -112,8 +112,8 @@ func TestAppendIfChangedEquivalence(t *testing.T) {
 			at = at.Add(10 * time.Minute)
 		}
 		for ts := t0; ts.Before(at.Add(time.Hour)); ts = ts.Add(7 * time.Minute) {
-			a, okA := raw.ValueAt(k, ts)
-			b, okB := dedup.ValueAt(k, ts)
+			a, okA := noerr2(raw.ValueAt(k, ts))
+			b, okB := noerr2(dedup.ValueAt(k, ts))
 			if okA != okB || (okA && a != b) {
 				return false
 			}

@@ -23,16 +23,16 @@ func TestQueryAfterSeek(t *testing.T) {
 		}
 	}
 	from, to := t0.Add(5*time.Minute), t0.Add(30*time.Minute)
-	full := db.Query(k, from, to)
+	full := noerr(db.Query(k, from, to))
 	if len(full) == 0 {
 		t.Fatal("empty window")
 	}
 	for i := range full {
 		rest := full[i+1:]
-		if got := db.CountAfter(k, full[i].At, 1, to); got != len(rest) {
+		if got := noerr(db.CountAfter(k, full[i].At, 1, to)); got != len(rest) {
 			t.Fatalf("CountAfter(%v) = %d, want %d", full[i].At, got, len(rest))
 		}
-		got := db.QueryAfter(k, full[i].At, 1, to, -1)
+		got := noerr(db.QueryAfter(k, full[i].At, 1, to, -1))
 		if len(got) != len(rest) {
 			t.Fatalf("QueryAfter(%v) = %d points, want %d", full[i].At, len(got), len(rest))
 		}
@@ -43,35 +43,35 @@ func TestQueryAfterSeek(t *testing.T) {
 		}
 	}
 	// A position before the window's first point yields the whole window.
-	if got := db.QueryAfter(k, from.Add(-time.Second), 0, to, -1); len(got) != len(full) {
+	if got := noerr(db.QueryAfter(k, from.Add(-time.Second), 0, to, -1)); len(got) != len(full) {
 		t.Fatalf("pre-window seek: %d points, want %d", len(got), len(full))
 	}
 	// A position at or past the last point yields nothing.
-	if got := db.QueryAfter(k, full[len(full)-1].At, 1, to, -1); got != nil {
+	if got := noerr(db.QueryAfter(k, full[len(full)-1].At, 1, to, -1)); got != nil {
 		t.Fatalf("seek at last point returned %d points", len(got))
 	}
-	if got := db.CountAfter(k, to, 1, to); got != 0 {
+	if got := noerr(db.CountAfter(k, to, 1, to)); got != 0 {
 		t.Fatalf("CountAfter at window end = %d", got)
 	}
 	// max caps the page; zero max is empty; negative is unbounded.
-	if got := db.QueryAfter(k, full[0].At, 1, to, 3); len(got) != 3 || got[0] != full[1] {
+	if got := noerr(db.QueryAfter(k, full[0].At, 1, to, 3)); len(got) != 3 || got[0] != full[1] {
 		t.Fatalf("capped seek: %+v", got)
 	}
-	if got := db.QueryAfter(k, full[0].At, 1, to, 0); got != nil {
+	if got := noerr(db.QueryAfter(k, full[0].At, 1, to, 0)); got != nil {
 		t.Fatalf("zero-max seek returned %d points", len(got))
 	}
 	// Unknown series: empty, no panic.
 	none := SeriesKey{Dataset: DatasetPrice, Type: "nope", Region: "r", AZ: "a"}
-	if db.CountAfter(none, from, 0, to) != 0 || db.QueryAfter(none, from, 0, to, -1) != nil {
+	if noerr(db.CountAfter(none, from, 0, to)) != 0 || noerr(db.QueryAfter(none, from, 0, to, -1)) != nil {
 		t.Fatal("unknown series not empty")
 	}
 	// Appends after a fixed seek position never change what the position
 	// resolves to — the stability property cursors rely on.
-	before := db.QueryAfter(k, full[2].At, 1, to, 5)
+	before := noerr(db.QueryAfter(k, full[2].At, 1, to, 5))
 	if err := db.Append(k, t0.Add((n+1)*time.Minute), 99); err != nil {
 		t.Fatal(err)
 	}
-	after := db.QueryAfter(k, full[2].At, 1, to, 5)
+	after := noerr(db.QueryAfter(k, full[2].At, 1, to, 5))
 	if len(before) != len(after) {
 		t.Fatalf("append moved the seek window: %d -> %d points", len(before), len(after))
 	}
@@ -109,22 +109,22 @@ func TestQueryAfterEqualTimestampRun(t *testing.T) {
 		{3, 2}, // the whole T run consumed: both U points remain
 		{9, 2}, // forged overshoot clamps to the run, never into U
 	} {
-		got := db.QueryAfter(k, T, tc.seq, to, -1)
+		got := noerr(db.QueryAfter(k, T, tc.seq, to, -1))
 		if len(got) != tc.want {
 			t.Fatalf("QueryAfter(T, seq=%d): %d points, want %d", tc.seq, len(got), tc.want)
 		}
-		if n := db.CountAfter(k, T, tc.seq, to); n != tc.want {
+		if n := noerr(db.CountAfter(k, T, tc.seq, to)); n != tc.want {
 			t.Fatalf("CountAfter(T, seq=%d) = %d, want %d", tc.seq, n, tc.want)
 		}
 	}
 	// seq=9 overshoots the T run; the clamp must not eat the U points:
 	// the first returned point is the first U point.
-	if got := db.QueryAfter(k, T, 9, to, -1); got[0].Value != 3 {
+	if got := noerr(db.QueryAfter(k, T, 9, to, -1)); got[0].Value != 3 {
 		t.Fatalf("overshot seq resumed at %+v, want the first U point", got[0])
 	}
 	// Values confirm position, not just count: (T, 1) starts at the
 	// second T point.
-	if got := db.QueryAfter(k, T, 1, to, 2); got[0].Value != 1 || got[1].Value != 2 {
+	if got := noerr(db.QueryAfter(k, T, 1, to, 2)); got[0].Value != 1 || got[1].Value != 2 {
 		t.Fatalf("(T,1) page = %+v, want the 2nd and 3rd T points", got)
 	}
 }

@@ -23,8 +23,8 @@ func TestQueryRangeWindowing(t *testing.T) {
 		}
 	}
 	from, to := t0.Add(5*time.Minute), t0.Add(30*time.Minute)
-	full := db.Query(k, from, to)
-	if got := db.CountRange(k, from, to); got != len(full) {
+	full := noerr(db.Query(k, from, to))
+	if got := noerr(db.CountRange(k, from, to)); got != len(full) {
 		t.Fatalf("CountRange %d, Query %d", got, len(full))
 	}
 	for _, tc := range []struct {
@@ -39,7 +39,7 @@ func TestQueryRangeWindowing(t *testing.T) {
 		{0, 0, 0, 0},                         // zero max = empty
 		{math.MaxInt - 1, math.MaxInt, 0, 0}, // both huge
 	} {
-		got := db.QueryRange(k, from, to, tc.skip, tc.max)
+		got := noerr(db.QueryRange(k, from, to, tc.skip, tc.max))
 		if len(got) != tc.wantN {
 			t.Fatalf("QueryRange(skip=%d, max=%d): %d points, want %d", tc.skip, tc.max, len(got), tc.wantN)
 		}

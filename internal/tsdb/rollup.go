@@ -1,0 +1,799 @@
+package tsdb
+
+// Materialized rollup tiers and per-dataset raw retention.
+//
+// Long-horizon queries (the paper's month-scale Figures 6/7 views) should
+// not pay to decode every raw tick: the maintenance cycle materializes
+// downsampled rollups — min/max/mean/last at 1h and 1d — as ordinary
+// series in a dedicated nested store at <dir>/rollup, built incrementally
+// from sealed history at checkpoint time. Query-time resolution selection
+// (internal/archive's resolution= parameter) then reads ~2k 1h buckets
+// for a 90-day window instead of ~130k raw points.
+//
+// # Build protocol
+//
+// The builder runs at the tail of every checkpoint, under cpMu, after the
+// seal attach. Only *finalized* buckets are materialized: appends are
+// monotone per series and every hot point sits at or after cold.lastAt,
+// so a bucket [t, t+res) is immutable exactly when t+res <= cold.lastAt —
+// equivalently, when t < bucketStart(lastAt). Finalized buckets therefore
+// contain only sealed points, and the build reads them through the same
+// seriesView iteration the query paths use, one decoded block resident at
+// a time, outside the shard locks.
+//
+// Restartability rides the rollup store's own contents: each of a series'
+// eight rollup series (4 aggregates x 2 resolutions) carries its own
+// high-water mark — its last bucket timestamp — and the build appends
+// only buckets strictly after it. The marks are per-aggregate, not
+// per-series: the four aggregate series hash to different rollup shards
+// and a batch append is not atomic across shards, so a crash mid-build
+// can persist an aggregate subset of a bucket; on retry each aggregate
+// resumes from its own mark and no equal-timestamp duplicate is ever
+// appended. Raw blocks are immutable, so rebuilding a bucket from the
+// same sealed points is bitwise deterministic (mean is summed in time
+// order), which is what the differential tests assert.
+//
+// # Retention protocol
+//
+// Per-dataset retention (Options.RetainRaw) drops raw *cold blocks*
+// whose entire range precedes the dataset's cut. The invariant — never
+// drop a raw point no committed rollup covers — is structural:
+//
+//	cut = min(maxAt - horizon, coverage)
+//	coverage = min over the dataset's sealed series of bucketStart_1d(lastAt)
+//
+// so cut <= coverage <= every series' finalized frontier, and a dropped
+// block's points (all below cut) lie in finalized, already-built buckets.
+// Backfilled series drag coverage down and simply postpone the cut. The
+// enforcement order is: build rollups (same cpMu hold, so coverage is
+// exact, not a stale atomic), checkpoint the rollup store (covering
+// buckets are durable), commit the parent manifest carrying the cut and
+// the shrunk block-file list (the usual rename commit point), detach the
+// dropped blocks in memory under the shard locks, then unlink block files
+// that became entirely dead. Partially-dead files stay; their dropped
+// blocks are re-dropped at open by replaying the manifest's committed
+// cuts against freshly built coverage. File handles stay open until
+// Close, so a reader holding a pre-drop seriesView keeps working.
+//
+// Hot points are never dropped: retention is a cold-tier policy, and the
+// hot tail is bounded by sealing already.
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Rollup resolutions. Each finalized raw bucket of these widths is
+// materialized as four rollup series (see Agg).
+const (
+	Res1h = time.Hour
+	Res1d = 24 * time.Hour
+)
+
+// rollupResolutions lists the materialized resolutions, finest first.
+var rollupResolutions = [...]time.Duration{Res1h, Res1d}
+
+// ResName returns the canonical name of a rollup resolution ("1h", "1d"),
+// or "" for a width the store does not materialize.
+func ResName(res time.Duration) string {
+	switch res {
+	case Res1h:
+		return "1h"
+	case Res1d:
+		return "1d"
+	}
+	return ""
+}
+
+// ParseResolution parses a canonical rollup resolution name. It reports
+// false for anything else — including "raw" and "auto", which are query
+// protocol concepts, not stored resolutions.
+func ParseResolution(s string) (time.Duration, bool) {
+	switch s {
+	case "1h":
+		return Res1h, true
+	case "1d":
+		return Res1d, true
+	}
+	return 0, false
+}
+
+// Agg identifies one downsampling aggregate.
+type Agg uint8
+
+const (
+	AggMin Agg = iota
+	AggMax
+	AggMean
+	AggLast
+)
+
+// rollupAggs lists every materialized aggregate, in stored order.
+var rollupAggs = [...]Agg{AggMin, AggMax, AggMean, AggLast}
+
+func (a Agg) String() string {
+	switch a {
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggMean:
+		return "mean"
+	case AggLast:
+		return "last"
+	}
+	return fmt.Sprintf("agg(%d)", uint8(a))
+}
+
+// ParseAgg parses a canonical aggregate name.
+func ParseAgg(s string) (Agg, bool) {
+	switch s {
+	case "min":
+		return AggMin, true
+	case "max":
+		return AggMax, true
+	case "mean":
+		return AggMean, true
+	case "last":
+		return AggLast, true
+	}
+	return 0, false
+}
+
+// RollupKey maps a raw series key to the rollup series holding one of its
+// aggregates at one resolution. The rollup series lives in the nested
+// rollup store, keyed by a dataset suffix ("price~1h~mean") — '~' cannot
+// collide with the canonical form's '|' separator, so rollup keys survive
+// the WAL and snapshot round trips like any other key.
+func RollupKey(k SeriesKey, res time.Duration, agg Agg) SeriesKey {
+	k.Dataset = k.Dataset + "~" + ResName(res) + "~" + agg.String()
+	return k
+}
+
+// bucketStart floors a unix-nano timestamp to its bucket's start.
+func bucketStart(at int64, res time.Duration) int64 {
+	r := int64(res)
+	m := at % r
+	if m < 0 {
+		m += r
+	}
+	return at - m
+}
+
+// noCut marks an unknown timestamp in the retention atomics (no append
+// seen yet, no coverage built yet, no cut committed yet).
+const noCut = math.MinInt64
+
+// retentionState is one retained dataset's live bookkeeping. All fields
+// are atomics: the append path bumps maxAt, the maintenance trigger reads
+// everything lock-free, and the authoritative transitions (coverage, cut)
+// happen under cpMu.
+type retentionState struct {
+	horizon time.Duration
+	// maxAt is the dataset's newest raw timestamp (simulated time, not
+	// wall clock — the archive replays history far faster than reality).
+	maxAt atomic.Int64
+	// coverage is the dataset's rollup frontier as of the last build:
+	// every raw point below it lies in a materialized finalized bucket.
+	coverage atomic.Int64
+	// cut is the committed retention cut (manifest Retain): raw cold
+	// blocks wholly below it have been dropped.
+	cut atomic.Int64
+	// lastEval is the cut estimate at the last enforcement evaluation.
+	// The trigger fires only when the estimate moves past it, so a store
+	// with nothing new to drop does not checkpoint every tick.
+	lastEval atomic.Int64
+	// dropped counts raw points dropped by retention since open.
+	dropped atomic.Int64
+}
+
+// casMax raises a to v if v is larger.
+func casMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// cutEstimate returns the dataset's current retention cut candidate:
+// min(maxAt - horizon, coverage). ok is false until an append exists.
+// Unknown coverage (no build has run yet — e.g. a fresh store before its
+// first checkpoint) is treated optimistically as unbounded so the
+// trigger can arm and drive the checkpoint that builds it; this cannot
+// over-drop, because enforcement evaluates after the build under the
+// same lock, when coverage is real — and a dataset whose coverage is
+// still unknown then has no sealed blocks to drop at all.
+func (rs *retentionState) cutEstimate() (int64, bool) {
+	maxAt, cov := rs.maxAt.Load(), rs.coverage.Load()
+	if maxAt == noCut {
+		return 0, false
+	}
+	est := maxAt - int64(rs.horizon)
+	if cov != noCut && cov < est {
+		est = cov
+	}
+	return est, true
+}
+
+// noteAppend records a raw append's timestamp for the dataset's retention
+// trigger. Called from the append path only when retention is configured.
+func (db *DB) noteAppend(ds string, at time.Time) {
+	if rs := db.retain[ds]; rs != nil {
+		casMax(&rs.maxAt, at.UnixNano())
+	}
+}
+
+// Rollups returns the nested store holding the materialized rollup
+// series, or nil when the store does not maintain rollups (memory-only,
+// sealing disabled, or the rollup store itself). Query it with RollupKey.
+func (db *DB) Rollups() *DB { return db.rollup }
+
+// RetentionCut returns the dataset's committed retention cut: raw points
+// before it may have been dropped (rollups still cover them). ok is false
+// when the dataset has no retention configured or nothing was ever cut.
+func (db *DB) RetentionCut(dataset string) (time.Time, bool) {
+	rs := db.retain[dataset]
+	if rs == nil {
+		return time.Time{}, false
+	}
+	cut := rs.cut.Load()
+	if cut == noCut {
+		return time.Time{}, false
+	}
+	return time.Unix(0, cut).UTC(), true
+}
+
+// RetentionStat is one retained dataset's surfaced state.
+type RetentionStat struct {
+	// Dataset is the retained dataset.
+	Dataset string
+	// Horizon is the configured raw horizon behind the dataset's newest
+	// point.
+	Horizon time.Duration
+	// Cut is the committed retention cut; zero when nothing was cut yet.
+	Cut time.Time
+	// CoveredThrough is the rollup coverage frontier from the last build;
+	// zero before the first build. The cut never passes it.
+	CoveredThrough time.Time
+	// DroppedPoints counts raw points retention dropped since open.
+	DroppedPoints int64
+}
+
+// RetentionStats returns every retained dataset's state, sorted by
+// dataset.
+func (db *DB) RetentionStats() []RetentionStat {
+	out := make([]RetentionStat, 0, len(db.retain))
+	for ds, rs := range db.retain {
+		st := RetentionStat{Dataset: ds, Horizon: rs.horizon, DroppedPoints: rs.dropped.Load()}
+		if cut := rs.cut.Load(); cut != noCut {
+			st.Cut = time.Unix(0, cut).UTC()
+		}
+		if cov := rs.coverage.Load(); cov != noCut {
+			st.CoveredThrough = time.Unix(0, cov).UTC()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dataset < out[j].Dataset })
+	return out
+}
+
+// ParseRetainRaw parses a -retain-raw flag value: comma-separated
+// <dataset>=<horizon> pairs where horizon is a Go duration ("720h") or a
+// day count ("90d").
+func ParseRetainRaw(s string) (map[string]time.Duration, error) {
+	out := make(map[string]time.Duration)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ds, spec, ok := strings.Cut(part, "=")
+		if !ok || ds == "" || spec == "" {
+			return nil, fmt.Errorf("tsdb: retain-raw entry %q: want <dataset>=<horizon>", part)
+		}
+		var d time.Duration
+		if days, dok := strings.CutSuffix(spec, "d"); dok {
+			n, err := strconv.Atoi(days)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("tsdb: retain-raw horizon %q: want a positive day count", spec)
+			}
+			d = time.Duration(n) * 24 * time.Hour
+		} else {
+			var err error
+			d, err = time.ParseDuration(spec)
+			if err != nil {
+				return nil, fmt.Errorf("tsdb: retain-raw horizon %q: %v", spec, err)
+			}
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("tsdb: retain-raw horizon %q: must be positive", spec)
+		}
+		if _, dup := out[ds]; dup {
+			return nil, fmt.Errorf("tsdb: retain-raw dataset %q repeated", ds)
+		}
+		out[ds] = d
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tsdb: retain-raw %q: no entries", s)
+	}
+	return out, nil
+}
+
+// rollupCoverage is one build's outcome: each sealed series' finalized
+// frontier at the coarsest resolution (every raw point below it lies in a
+// materialized bucket at every resolution), and the per-dataset minimum
+// that bounds the retention cut.
+type rollupCoverage struct {
+	perSeries  map[SeriesKey]int64
+	perDataset map[string]int64
+}
+
+// buildRollupsLocked incrementally materializes rollups for every sealed
+// series and returns the resulting coverage. The caller holds cpMu (the
+// checkpoint tail, or Open before the store is shared); shard locks are
+// taken only to capture views, so writers stall for a map walk, not for
+// block decodes.
+func (db *DB) buildRollupsLocked() (rollupCoverage, error) {
+	cov := rollupCoverage{
+		perSeries:  make(map[SeriesKey]int64),
+		perDataset: make(map[string]int64),
+	}
+	if db.rollup == nil {
+		return cov, nil
+	}
+	type job struct {
+		key    SeriesKey
+		canon  string
+		v      seriesView
+		lastAt int64
+	}
+	var jobs []job
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for k, s := range sh.series {
+			if s.cold == nil || s.cold.n == 0 {
+				continue
+			}
+			jobs = append(jobs, job{key: k, canon: k.String(), v: viewLocked(s), lastAt: s.cold.lastAt.UnixNano()})
+		}
+		sh.mu.RUnlock()
+	}
+	// Canonical order makes the build deterministic — same series order,
+	// same batch order, same rollup WAL bytes — which the crash-matrix
+	// harness relies on to reproduce a mid-build crash exactly.
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].canon < jobs[j].canon })
+	for ji := range jobs {
+		if ji == len(jobs)/2 {
+			if err := db.failpoint("rollup:build:mid"); err != nil {
+				return cov, err
+			}
+		}
+		j := &jobs[ji]
+		seriesCov := int64(math.MaxInt64)
+		for _, res := range rollupResolutions {
+			finalEnd := bucketStart(j.lastAt, res)
+			if err := db.buildSeriesRollup(j.key, j.v, res, finalEnd); err != nil {
+				return cov, fmt.Errorf("tsdb: rollup build for %v at %s: %w", j.key, ResName(res), err)
+			}
+			if finalEnd < seriesCov {
+				seriesCov = finalEnd
+			}
+		}
+		cov.perSeries[j.key] = seriesCov
+		if cur, ok := cov.perDataset[j.key.Dataset]; !ok || seriesCov < cur {
+			cov.perDataset[j.key.Dataset] = seriesCov
+		}
+	}
+	for ds, rs := range db.retain {
+		if c, ok := cov.perDataset[ds]; ok {
+			rs.coverage.Store(c)
+		}
+	}
+	return cov, nil
+}
+
+// buildSeriesRollup materializes one series' finalized buckets at one
+// resolution, resuming each aggregate from its own high-water mark.
+func (db *DB) buildSeriesRollup(k SeriesKey, v seriesView, res time.Duration, finalEnd int64) error {
+	ro := db.rollup
+	// next[i] is the first bucket start aggregate i still needs: one
+	// resolution past its last persisted bucket, or everything when the
+	// aggregate series does not exist yet.
+	var next [len(rollupAggs)]int64
+	startFrom := int64(math.MaxInt64)
+	for i, a := range rollupAggs {
+		p, ok, err := ro.Last(RollupKey(k, res, a))
+		if err != nil {
+			return err
+		}
+		if ok {
+			next[i] = p.At.UnixNano() + int64(res)
+		} else {
+			next[i] = noCut
+		}
+		if next[i] < startFrom {
+			startFrom = next[i]
+		}
+	}
+	if startFrom >= finalEnd {
+		return nil
+	}
+	lo := 0
+	if startFrom != noCut {
+		var err error
+		lo, err = db.searchView(v, func(t time.Time) bool { return t.UnixNano() >= startFrom })
+		if err != nil {
+			return err
+		}
+	}
+	hi, err := db.searchView(v, func(t time.Time) bool { return t.UnixNano() >= finalEnd })
+	if err != nil {
+		return err
+	}
+	if lo >= hi {
+		return nil
+	}
+	var (
+		batch []Entry
+		cur   struct {
+			start               int64
+			min, max, sum, last float64
+			n                   int64
+		}
+		open bool
+	)
+	flush := func() {
+		if !open {
+			return
+		}
+		open = false
+		at := time.Unix(0, cur.start).UTC()
+		// Mean divides a time-ordered sum: rebuilding the bucket from the
+		// same immutable points reproduces it bit for bit.
+		vals := [len(rollupAggs)]float64{cur.min, cur.max, cur.sum / float64(cur.n), cur.last}
+		for i, a := range rollupAggs {
+			if cur.start >= next[i] {
+				batch = append(batch, Entry{Key: RollupKey(k, res, a), At: at, Value: vals[i]})
+			}
+		}
+	}
+	err = db.iterateView(v, lo, hi, func(pts []Point) error {
+		for _, p := range pts {
+			bs := bucketStart(p.At.UnixNano(), res)
+			if !open || bs != cur.start {
+				flush()
+				cur.start = bs
+				cur.min, cur.max, cur.sum, cur.last, cur.n = p.Value, p.Value, p.Value, p.Value, 1
+				open = true
+				continue
+			}
+			if p.Value < cur.min {
+				cur.min = p.Value
+			}
+			if p.Value > cur.max {
+				cur.max = p.Value
+			}
+			cur.sum += p.Value
+			cur.last = p.Value
+			cur.n++
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	flush()
+	if len(batch) == 0 {
+		return nil
+	}
+	if _, err := ro.AppendBatch(batch); err != nil {
+		return err
+	}
+	return nil
+}
+
+// dropColdBelow drops, for every series, the prefix of sealed blocks
+// whose maxAt precedes cut(key) (noCut return = keep everything). Each
+// affected series gets a fresh coldSeries with re-based start indices, so
+// previously captured seriesViews stay valid; counters and generations
+// adjust under the shard locks. It returns per-block-file dropped and
+// total block counts (keyed by file sequence number) so the caller can
+// unlink files that became entirely dead. The caller holds cpMu, so the
+// cold tier cannot change underfoot.
+func (db *DB) dropColdBelow(cut func(SeriesKey) int64, onDrop func(ds string, pts int64)) (dropped, total map[uint64]int) {
+	dropped, total = make(map[uint64]int), make(map[uint64]int)
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.Lock()
+		for k, s := range sh.series {
+			if s.cold == nil {
+				continue
+			}
+			for bi := range s.cold.blocks {
+				total[s.cold.blocks[bi].seg.seq]++
+			}
+			c := cut(k)
+			if c == noCut {
+				continue
+			}
+			// Blocks are time-ordered and non-overlapping, so the
+			// droppable set is a prefix.
+			idx := 0
+			for idx < len(s.cold.blocks) && s.cold.blocks[idx].maxAt.UnixNano() < c {
+				idx++
+			}
+			if idx == 0 {
+				continue
+			}
+			var pts int64
+			var bytes int64
+			for bi := 0; bi < idx; bi++ {
+				b := &s.cold.blocks[bi]
+				pts += int64(b.count)
+				bytes += int64(b.length)
+				dropped[b.seg.seq]++
+			}
+			// lastAt survives even a full drop: it is the out-of-order
+			// guard, and retention must not reopen the past to writes.
+			nc := &coldSeries{lastAt: s.cold.lastAt}
+			for _, b := range s.cold.blocks[idx:] {
+				b.start = nc.n
+				nc.blocks = append(nc.blocks, b)
+				nc.n += int(b.count)
+			}
+			s.cold = nc
+			sh.points -= int(pts)
+			sh.gen.Add(uint64(pts))
+			db.coldPts.Add(-pts)
+			db.sealedBlks.Add(int64(-idx))
+			db.coldBytes.Add(-bytes)
+			if onDrop != nil {
+				onDrop(k.Dataset, pts)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return dropped, total
+}
+
+// enforceRetentionLocked evaluates every retained dataset against the
+// coverage the build just produced (same cpMu hold — never a stale
+// atomic) and, when raw cold blocks have fallen wholly below a dataset's
+// cut, drops them. Durable order: rollup-store checkpoint (the covering
+// buckets must survive a crash before any raw byte is condemned), parent
+// manifest commit carrying the new cuts and the shrunk block-file list
+// (the rename commit point), in-memory detach, then unlink of files with
+// no live blocks left. A crash between any two steps recovers to a state
+// where every surviving raw point is intact and every dropped one has a
+// durable rollup covering it.
+func (db *DB) enforceRetentionLocked(cov rollupCoverage) error {
+	cuts := make(map[string]int64)
+	for ds, rs := range db.retain {
+		est, ok := rs.cutEstimate()
+		if !ok {
+			continue
+		}
+		rs.lastEval.Store(est)
+		if est > rs.cut.Load() {
+			cuts[ds] = est
+		}
+	}
+	if len(cuts) == 0 {
+		return nil
+	}
+	cutFor := func(k SeriesKey) int64 {
+		if c, ok := cuts[k.Dataset]; ok {
+			return c
+		}
+		return noCut
+	}
+	// Dry scan first (metadata only, read locks): commit nothing when no
+	// block is droppable yet — the common case while the horizon chases a
+	// young archive.
+	droppable := false
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for k, s := range sh.series {
+			c := cutFor(k)
+			if c == noCut || s.cold == nil || len(s.cold.blocks) == 0 {
+				continue
+			}
+			if s.cold.blocks[0].maxAt.UnixNano() < c {
+				droppable = true
+				break
+			}
+		}
+		sh.mu.RUnlock()
+		if droppable {
+			break
+		}
+	}
+	if !droppable {
+		return nil
+	}
+	if err := db.failpoint("retention:before-rollup-sync"); err != nil {
+		return err
+	}
+	// The rollup store checkpoints itself on its own byte trigger, but
+	// the drop below must not outrun durability: buckets covering the
+	// condemned blocks go to disk now.
+	if err := db.rollup.Checkpoint(); err != nil {
+		return fmt.Errorf("tsdb: retention rollup checkpoint: %w", err)
+	}
+	m := db.man
+	m.Retain = make(map[string]int64, len(db.man.Retain)+len(cuts))
+	for ds, c := range db.man.Retain {
+		m.Retain[ds] = c
+	}
+	for ds, c := range cuts {
+		if old, ok := m.Retain[ds]; !ok || c > old {
+			m.Retain[ds] = c
+		}
+	}
+	// Predict which block files die entirely so the committed manifest
+	// stops listing them; the actual detach below must agree, and does —
+	// both walk the same immutable cold state under cpMu.
+	predDropped, predTotal := make(map[uint64]int), make(map[uint64]int)
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for k, s := range sh.series {
+			if s.cold == nil {
+				continue
+			}
+			c := cutFor(k)
+			for bi := range s.cold.blocks {
+				b := &s.cold.blocks[bi]
+				predTotal[b.seg.seq]++
+				if c != noCut && b.maxAt.UnixNano() < c {
+					predDropped[b.seg.seq]++
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	var dead []uint64
+	keepBlocks := m.Blocks[:0:0]
+	for _, seq := range m.Blocks {
+		if t := predTotal[seq]; t > 0 && predDropped[seq] == t {
+			dead = append(dead, seq)
+			continue
+		}
+		keepBlocks = append(keepBlocks, seq)
+	}
+	m.Blocks = keepBlocks
+	if err := writeManifest(db.dir, m, db.cpHook("retention:manifest")); err != nil {
+		return err
+	}
+	db.man = m
+	// Committed: detach in memory and settle the per-dataset state.
+	db.dropColdBelow(cutFor, func(ds string, pts int64) {
+		db.retain[ds].dropped.Add(pts)
+	})
+	for ds, c := range cuts {
+		casMax(&db.retain[ds].cut, c)
+	}
+	// Unlink files with no live blocks. Handles stay open (db.coldSegs,
+	// closed by Close), so a reader holding a pre-drop view still decodes
+	// fine; a crash mid-loop leaves orphans removeStaleFiles reaps (they
+	// left the manifest's Blocks list above).
+	removed := false
+	for i, seq := range dead {
+		if i == len(dead)/2 {
+			if err := db.failpoint("retention:unlink:mid"); err != nil {
+				return err
+			}
+		}
+		os.Remove(filepath.Join(db.dir, blockFileName(seq)))
+		removed = true
+	}
+	if removed {
+		if err := syncDir(db.dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyRetainCutsLocked re-applies the manifest's committed retention
+// cuts in memory at open. Partially-dead block files stay in the layout
+// after a drop (only entirely-dead files are unlinked and delisted), so
+// openBlocks re-attaches their dropped blocks; this replays the drop.
+// The guard is per-series, not just the committed cut: a block is
+// dropped only when the coverage just rebuilt proves every point in it
+// sits in a materialized bucket — a series backfilled after the cut
+// committed keeps its uncovered blocks even below the cut. The caller
+// holds cpMu with the open-time build's coverage in hand.
+func (db *DB) applyRetainCutsLocked(cov rollupCoverage) {
+	if len(db.man.Retain) == 0 {
+		return
+	}
+	db.dropColdBelow(func(k SeriesKey) int64 {
+		c, ok := db.man.Retain[k.Dataset]
+		if !ok {
+			return noCut
+		}
+		sc, ok := cov.perSeries[k]
+		if !ok {
+			return noCut
+		}
+		if sc < c {
+			c = sc
+		}
+		return c
+	}, func(ds string, pts int64) {
+		if rs := db.retain[ds]; rs != nil {
+			rs.dropped.Add(pts)
+		}
+	})
+}
+
+// initRetention builds the per-dataset retention state from the options
+// and the committed manifest, and seeds each dataset's maxAt with one
+// post-recovery scan. Runs during Open, single-threaded.
+func (db *DB) initRetention(horizons map[string]time.Duration) {
+	db.retain = make(map[string]*retentionState, len(horizons))
+	for ds, h := range horizons {
+		rs := &retentionState{horizon: h}
+		rs.maxAt.Store(noCut)
+		rs.coverage.Store(noCut)
+		rs.cut.Store(noCut)
+		rs.lastEval.Store(noCut)
+		if c, ok := db.man.Retain[ds]; ok {
+			rs.cut.Store(c)
+		}
+		db.retain[ds] = rs
+	}
+	for i := range db.shards {
+		sh := &db.shards[i]
+		for k, s := range sh.series {
+			rs := db.retain[k.Dataset]
+			if rs == nil {
+				continue
+			}
+			if n := len(s.points); n > 0 {
+				casMax(&rs.maxAt, s.points[n-1].At.UnixNano())
+			} else if s.cold != nil && s.cold.n > 0 {
+				casMax(&rs.maxAt, s.cold.lastAt.UnixNano())
+			}
+		}
+	}
+}
+
+// retentionTriggerHot reports whether some retained dataset's cut
+// estimate has moved past its last enforcement evaluation — meaning a
+// checkpoint (whose tail runs build + enforcement) could advance the
+// cut. Comparing against lastEval rather than the committed cut keeps
+// the trigger cold when the estimate is ahead but nothing is droppable
+// yet; it re-arms only when new appends or new coverage move the
+// estimate again.
+//
+// The comparison is quantized to 1d buckets: coverage only advances in
+// 1d steps and drops are block-granular, so a sub-day estimate advance
+// can never condemn a new block. Without the quantization every append
+// moves the estimate and re-arms the trigger, and a fast history replay
+// (bootstrap, backfill) degenerates into a checkpoint per append batch.
+func (db *DB) retentionTriggerHot() bool {
+	for _, rs := range db.retain {
+		est, ok := rs.cutEstimate()
+		if !ok {
+			continue
+		}
+		last := rs.lastEval.Load()
+		if last == noCut || bucketStart(est, Res1d) > bucketStart(last, Res1d) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,288 @@
+package tsdb
+
+// Differential tests for the rollup tiers: every rollup series must
+// bitwise-equal recomputing its aggregate from the raw points, across
+// the hot/cold boundary, across reopen, and after a crash mid-build.
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// rollupOpts seals aggressively like sealedOpts but with block sizes
+// that put several blocks per series so builds cross block boundaries.
+func rollupOpts() Options {
+	return Options{Shards: 4, RotateBytes: 1 << 16, HotTailPoints: 4, BlockPoints: 16, BlockCacheBytes: 1 << 14}
+}
+
+// rollupEntries builds a multi-day workload over a few series: points
+// every 10 simulated minutes with drifting values, so 1h buckets hold
+// ~6 points and 1d buckets ~144.
+func rollupEntries(n, start int) []Entry {
+	keys := sealKeys()
+	out := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		step := start + i/len(keys)
+		out = append(out, Entry{
+			Key:   keys[i%len(keys)],
+			At:    t0.Add(time.Duration(step) * 10 * time.Minute),
+			Value: float64((i*7)%23) + float64(i%5)/8,
+		})
+	}
+	return out
+}
+
+// coldLastAt reads a series' cold high-water mark (white-box: the build
+// only finalizes buckets strictly below bucketStart(lastAt, res)).
+func coldLastAt(db *DB, k SeriesKey) (time.Time, bool) {
+	sh := &db.shards[db.shardIndex(k)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.series[k]
+	if s == nil || s.cold == nil || s.cold.n == 0 {
+		return time.Time{}, false
+	}
+	return s.cold.lastAt, true
+}
+
+// recomputeRollup aggregates raw points into res buckets, keeping only
+// final buckets (start < finalEnd), accumulating in time order exactly
+// like the builder so mean is bitwise comparable.
+func recomputeRollup(raw []Point, res time.Duration, agg Agg, finalEnd int64) []Point {
+	var out []Point
+	var start int64
+	var minV, maxV, sum, last float64
+	n := 0
+	flush := func() {
+		if n == 0 {
+			return
+		}
+		var v float64
+		switch agg {
+		case AggMin:
+			v = minV
+		case AggMax:
+			v = maxV
+		case AggMean:
+			v = sum / float64(n)
+		case AggLast:
+			v = last
+		}
+		out = append(out, Point{At: time.Unix(0, start).UTC(), Value: v})
+		n = 0
+	}
+	for _, p := range raw {
+		at := p.At.UnixNano()
+		bs := bucketStart(at, res)
+		if bs >= finalEnd {
+			break
+		}
+		if n > 0 && bs != start {
+			flush()
+		}
+		if n == 0 {
+			start, minV, maxV, sum = bs, p.Value, p.Value, 0
+		}
+		if p.Value < minV {
+			minV = p.Value
+		}
+		if p.Value > maxV {
+			maxV = p.Value
+		}
+		sum += p.Value
+		last = p.Value
+		n++
+	}
+	flush()
+	return out
+}
+
+// assertRollupsMatch recomputes every (series, res, agg) rollup from the
+// store's raw points and compares it bitwise against the rollup store.
+func assertRollupsMatch(t *testing.T, db *DB) {
+	t.Helper()
+	ref := make(map[SeriesKey][]Point)
+	for _, k := range db.Keys(KeyFilter{}) {
+		ref[k] = noerr(db.Query(k, time.Time{}, t0.Add(100000*time.Hour)))
+	}
+	assertRollupsMatchRef(t, db, ref)
+}
+
+// assertRollupsMatchRef is assertRollupsMatch against an external raw
+// reference — needed once retention has dropped raw history the rollups
+// were (correctly) built from.
+func assertRollupsMatchRef(t *testing.T, db *DB, ref map[SeriesKey][]Point) {
+	t.Helper()
+	ro := db.Rollups()
+	if ro == nil {
+		t.Fatal("store has no rollup tier")
+	}
+	end := t0.Add(100000 * time.Hour)
+	if ro.PointCount() == 0 {
+		t.Fatal("rollup tier is empty; the differential would pass vacuously")
+	}
+	for _, k := range db.Keys(KeyFilter{}) {
+		raw := ref[k]
+		lastCold, sealed := coldLastAt(db, k)
+		for _, res := range rollupResolutions {
+			var finalEnd int64
+			if sealed {
+				finalEnd = bucketStart(lastCold.UnixNano(), res)
+			}
+			for _, agg := range rollupAggs {
+				rk := RollupKey(k, res, agg)
+				got := noerr(ro.Query(rk, time.Time{}, end))
+				want := recomputeRollup(raw, res, agg, finalEnd)
+				if !sealed {
+					want = nil
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%v %s/%s: %d rollup points, want %d", k, ResName(res), agg, len(got), len(want))
+				}
+				for i := range got {
+					if !got[i].At.Equal(want[i].At) || got[i].Value != want[i].Value {
+						t.Fatalf("%v %s/%s bucket %d: got (%v, %v), want (%v, %v)",
+							k, ResName(res), agg, i, got[i].At, got[i].Value, want[i].At, want[i].Value)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRollupDifferential(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenWithOptions(dir, rollupOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: ~3 days of data, sealed once.
+	a := rollupEntries(1800, 0)
+	if n, err := db.AppendBatch(a); err != nil || n != len(a) {
+		t.Fatalf("stored %d, err %v", n, err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	assertRollupsMatch(t, db)
+
+	// Phase 2: incremental extension — the build must resume from the
+	// high-water mark, not recompute (recomputation would still match,
+	// but duplicates would not).
+	b := rollupEntries(1200, 450)
+	if n, err := db.AppendBatch(b); err != nil || n != len(b) {
+		t.Fatalf("stored %d, err %v", n, err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	assertRollupsMatch(t, db)
+
+	// Phase 3: reopen. Open runs a catch-up build; it must be a no-op
+	// here (idempotent), and everything must still match.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err = OpenWithOptions(dir, rollupOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	assertRollupsMatch(t, db)
+
+	// A second checkpoint with no new raw data must not grow rollups.
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	assertRollupsMatch(t, db)
+}
+
+// TestRollupCrashMidBuild crashes the checkpoint in the middle of the
+// rollup build fan-over (some series rolled up, some not) and proves the
+// reopen's catch-up build completes the job without duplicating the
+// buckets the crashed build already appended.
+func TestRollupCrashMidBuild(t *testing.T) {
+	dir := t.TempDir()
+	opts := rollupOpts()
+	db, err := OpenWithOptions(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rollupEntries(1800, 0)
+	if n, err := db.AppendBatch(a); err != nil || n != len(a) {
+		t.Fatalf("stored %d, err %v", n, err)
+	}
+	db.testCrash = func(point string) error {
+		if point == "rollup:build:mid" {
+			return errCrashPoint
+		}
+		return nil
+	}
+	if err := db.Checkpoint(); !errors.Is(err, errCrashPoint) {
+		t.Fatalf("checkpoint returned %v, want injected crash", err)
+	}
+	db.testCrash = nil
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenWithOptions(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	assertRollupsMatch(t, re)
+}
+
+// TestRollupScanRatio is the acceptance bound: a 90-day window at 1h
+// resolution must scan at least 50x fewer points than raw.
+func TestRollupScanRatio(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Shards: 2, RotateBytes: 4 << 20, HotTailPoints: 4, BlockPoints: 512, BlockCacheBytes: 1 << 20}
+	db, err := OpenWithOptions(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	k := SeriesKey{Dataset: DatasetPrice, Type: "m5.xlarge", Region: "us-east-1", AZ: "us-east-1a"}
+	const days = 90
+	const perDay = 24 * 60 // one point per minute
+	batch := make([]Entry, 0, perDay)
+	for d := 0; d < days; d++ {
+		batch = batch[:0]
+		for i := 0; i < perDay; i++ {
+			at := t0.Add(time.Duration(d*perDay+i) * time.Minute)
+			batch = append(batch, Entry{Key: k, At: at, Value: float64((d*perDay + i) % 97)})
+		}
+		if n, err := db.AppendBatch(batch); err != nil || n != len(batch) {
+			t.Fatalf("day %d: stored %d, err %v", d, n, err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	from, to := t0, t0.Add(days*24*time.Hour)
+	s0 := db.ScannedPoints()
+	raw := noerr(db.Query(k, from, to))
+	rawScanned := db.ScannedPoints() - s0
+
+	ro := db.Rollups()
+	r0 := ro.ScannedPoints()
+	hourly := noerr(ro.Query(RollupKey(k, Res1h, AggMean), from, to))
+	rollScanned := ro.ScannedPoints() - r0
+
+	if len(raw) != days*perDay {
+		t.Fatalf("raw window holds %d points, want %d", len(raw), days*perDay)
+	}
+	if len(hourly) == 0 || rollScanned == 0 {
+		t.Fatalf("1h tier served nothing (points %d, scanned %d)", len(hourly), rollScanned)
+	}
+	if rawScanned < 50*rollScanned {
+		t.Fatalf("raw scanned %d points vs 1h %d: ratio %.1fx, want >= 50x",
+			rawScanned, rollScanned, float64(rawScanned)/float64(rollScanned))
+	}
+}

@@ -86,21 +86,26 @@ func (db *DB) capture() []snapshotSeries {
 // decoded and placed ahead of the hot tail — sorted by canonical key.
 // This is the capture behind WriteSnapshot/SaveSnapshot, whose output
 // must be a self-contained re-loadable archive regardless of how the
-// store tiers it internally. Unreadable cold blocks are skipped (and
-// counted in ColdReadErrors), matching the query paths' degrade
-// behavior.
-func (db *DB) captureFull() []snapshotSeries {
+// store tiers it internally. An unreadable cold block fails the whole
+// capture (ErrColdRead): a snapshot with silently missing history would
+// look complete to every later restore.
+func (db *DB) captureFull() ([]snapshotSeries, error) {
 	var recs []snapshotSeries
 	for i := range db.shards {
 		sh := &db.shards[i]
 		sh.mu.RLock()
 		for k, s := range sh.series {
-			recs = append(recs, snapshotSeries{key: k, points: db.getPointsLocked(s, 0, seriesTotal(s))})
+			pts, err := db.getPointsLocked(s, 0, seriesTotal(s))
+			if err != nil {
+				sh.mu.RUnlock()
+				return nil, fmt.Errorf("tsdb: snapshot capture of %v: %w", k, err)
+			}
+			recs = append(recs, snapshotSeries{key: k, points: pts})
 		}
 		sh.mu.RUnlock()
 	}
 	sortSnapshotSeries(recs)
-	return recs
+	return recs, nil
 }
 
 // WriteSnapshot writes the whole store to w in snapshot format. Concurrent
@@ -108,7 +113,11 @@ func (db *DB) captureFull() []snapshotSeries {
 // under its shard lock, series listed at the start are never dropped, and
 // series created afterwards are simply not included.
 func (db *DB) WriteSnapshot(w io.Writer) error {
-	return encodeSnapshot(w, db.captureFull())
+	recs, err := db.captureFull()
+	if err != nil {
+		return err
+	}
+	return encodeSnapshot(w, recs)
 }
 
 // chunkSnapshotSeries splits any series whose record payload would exceed
@@ -310,7 +319,11 @@ func (db *DB) LoadSnapshot(r io.Reader) (int, error) {
 		}
 		last, have := lastAt[rec.key]
 		if !have {
-			if p, ok := db.Last(rec.key); ok {
+			p, ok, err := db.Last(rec.key)
+			if err != nil {
+				return 0, fmt.Errorf("tsdb: snapshot overlap check for %v: %w", rec.key, err)
+			}
+			if ok {
 				last, have = p.At, true
 			}
 		}

@@ -30,8 +30,8 @@ func sameContents(t *testing.T, a, b *DB) {
 			a.SeriesCount(), b.SeriesCount(), a.PointCount(), b.PointCount())
 	}
 	for _, k := range a.Keys(KeyFilter{}) {
-		pa := a.Query(k, time.Time{}, t0.Add(1000*time.Hour))
-		pb := b.Query(k, time.Time{}, t0.Add(1000*time.Hour))
+		pa := noerr(a.Query(k, time.Time{}, t0.Add(1000*time.Hour)))
+		pb := noerr(b.Query(k, time.Time{}, t0.Add(1000*time.Hour)))
 		if len(pa) != len(pb) {
 			t.Fatalf("series %v: %d vs %d points", k, len(pa), len(pb))
 		}
@@ -114,7 +114,7 @@ func TestSnapshotMerge(t *testing.T) {
 	if got := early.PointCount(); got != 10 {
 		t.Fatalf("merged store has %d points, want 10", got)
 	}
-	pts := early.Query(k, time.Time{}, t0.Add(time.Hour))
+	pts := noerr(early.Query(k, time.Time{}, t0.Add(time.Hour)))
 	for i := 1; i < len(pts); i++ {
 		if pts[i].At.Before(pts[i-1].At) {
 			t.Fatal("merged series out of order")
@@ -168,7 +168,7 @@ func TestSnapshotRelogsToWAL(t *testing.T) {
 	if got, want := db2.PointCount(), 4*11+1; got != want {
 		t.Fatalf("after WAL-only reopen: %d points, want %d", got, want)
 	}
-	if p, ok := db2.Last(k); !ok || p.Value != 99 {
+	if p, ok := noerr2(db2.Last(k)); !ok || p.Value != 99 {
 		t.Fatalf("live point lost across reopen: %v %v", p, ok)
 	}
 }

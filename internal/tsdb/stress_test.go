@@ -132,7 +132,7 @@ func TestConcurrentStress(t *testing.T) {
 	for w := 0; w < writers; w++ {
 		for s := 0; s < seriesPerWrite; s++ {
 			k := keyFor(w, s)
-			pts := db.Query(k, t0, t0.Add(time.Duration(perWriter)*time.Second))
+			pts := noerr(db.Query(k, t0, t0.Add(time.Duration(perWriter)*time.Second)))
 			if len(pts) != perWriter {
 				t.Fatalf("series %v: %d points, want %d", k, len(pts), perWriter)
 			}

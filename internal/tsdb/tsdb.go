@@ -60,6 +60,7 @@ import (
 	"hash/crc32"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
@@ -193,7 +194,9 @@ type DB struct {
 	// sealFloor is the store's hot point count right after the last
 	// checkpoint, so the seal trigger fires on hot growth since then
 	// rather than on an absolute size a full hot tail can never drop
-	// below.
+	// below. scanned counts points materialized by reads (hot copies and
+	// decoded-block windows) — the resolution tiers exist to shrink it,
+	// and the rollup tests assert the shrink through it.
 	bcache       *blockCache
 	coldSegs     []*coldSegment
 	hotTail      int
@@ -204,6 +207,7 @@ type DB struct {
 	sealedBlks   atomic.Int64
 	coldBytes    atomic.Int64
 	coldErrs     atomic.Uint64
+	scanned      atomic.Uint64
 	sealFloor    atomic.Int64
 	maintBySeal  atomic.Uint64
 
@@ -243,6 +247,16 @@ type DB struct {
 	maintByBytes atomic.Uint64
 	maintByChain atomic.Uint64
 	maintErrs    atomic.Uint64
+
+	// Rollup and retention state (see rollup.go). rollup is the nested
+	// store holding the materialized downsample series, nil when the
+	// store does not maintain rollups (memory-only, sealing disabled, or
+	// being a rollup store itself). retain maps retained datasets to
+	// their live retention state; nil when no retention is configured.
+	// Both are fixed at open.
+	rollup     *DB
+	retain     map[string]*retentionState
+	maintByRet atomic.Uint64
 
 	// testCrash, when armed by the crash-matrix tests, aborts the
 	// rotation/checkpoint protocol at a named durable boundary. Nil in
@@ -339,6 +353,16 @@ type Options struct {
 	// enforcement. Zero disables the trigger (checkpoints triggered any
 	// other way still seal).
 	SealAfterHotPoints int64
+	// RetainRaw sets per-dataset retention horizons for raw points:
+	// once a dataset's rollups cover them, raw cold blocks wholly older
+	// than horizon behind the dataset's newest point are dropped by the
+	// maintenance cycle. Requires a durable store with sealing enabled
+	// (raw points are only ever dropped from the cold tier, and never
+	// before a committed rollup covers them). Horizons must be positive.
+	RetainRaw map[string]time.Duration
+	// noRollups marks the nested rollup store itself, which must not
+	// recurse into opening a rollup store of its own.
+	noRollups bool
 }
 
 // Open opens (or creates) a store with DefaultShardCount shards. With a
@@ -399,18 +423,66 @@ func OpenWithOptions(dir string, o Options) (*DB, error) {
 		db.shards[i].series = make(map[SeriesKey]*series)
 	}
 	if dir == "" {
+		if len(o.RetainRaw) > 0 {
+			return nil, errors.New("tsdb: retention requires a durable store with sealing enabled")
+		}
 		return db, nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tsdb: creating dir: %w", err)
 	}
 	db.dir = dir
+	if len(o.RetainRaw) > 0 {
+		if !db.SealsCold() || o.noRollups {
+			return nil, errors.New("tsdb: retention requires a durable store with sealing enabled")
+		}
+		for ds, h := range o.RetainRaw {
+			if ds == "" || h <= 0 {
+				return nil, fmt.Errorf("tsdb: invalid retention horizon %v for dataset %q", h, ds)
+			}
+		}
+	}
 	if err := db.openDurable(); err != nil {
 		return nil, err
 	}
 	// Arm the seal trigger relative to the recovered hot tail: what
 	// survived recovery unsealed is the residual, not growth.
 	db.sealFloor.Store(db.hotPts.Load())
+	if db.SealsCold() && !o.noRollups {
+		// The rollup tier is itself a store, nested one directory down:
+		// small and fixed shard count (few series, metadata-light), its
+		// own byte-triggered checkpoints via the append path (no daemon —
+		// the parent's maintenance cycle drives it), and the recursion
+		// guard so it does not open a rollup store of its own.
+		ro, err := OpenWithOptions(filepath.Join(dir, "rollup"), Options{
+			Shards:               4,
+			RotateBytes:          1 << 20,
+			CheckpointAfterBytes: 4 << 20,
+			MaintenanceInterval:  -1,
+			noRollups:            true,
+		})
+		if err != nil {
+			db.Close()
+			return nil, fmt.Errorf("tsdb: opening rollup store: %w", err)
+		}
+		db.rollup = ro
+		db.initRetention(o.RetainRaw)
+		// Catch up before the store is shared: a crash mid-build or
+		// mid-retention left the raw tier authoritative; rebuilding here
+		// restores the rollup frontier idempotently (per-aggregate
+		// high-water marks), and the committed cuts then re-drop blocks
+		// that partially-dead block files re-attached.
+		db.cpMu.Lock()
+		cov, err := db.buildRollupsLocked()
+		if err == nil {
+			db.applyRetainCutsLocked(cov)
+		}
+		db.cpMu.Unlock()
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
 	db.startMaintainer(o.MaintenanceInterval)
 	return db, nil
 }
@@ -557,6 +629,9 @@ func (db *DB) appendLocked(sh *shard, k SeriesKey, at time.Time, v float64) erro
 	sh.points++
 	db.hotPts.Add(1)
 	sh.gen.Add(1)
+	if len(db.retain) > 0 {
+		db.noteAppend(k.Dataset, at)
+	}
 	if sh.wal != nil {
 		rec := appendRecord(nil, k.String(), at, v)
 		if _, err := sh.wal.Write(rec); err != nil {
@@ -606,7 +681,10 @@ func (db *DB) AppendIfChanged(k SeriesKey, at time.Time, v float64) (bool, error
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if s := sh.series[k]; s != nil {
-		if p, ok := db.lastPointLocked(s); ok && p.Value == v {
+		// A failed cold read of the last point (only reachable when the
+		// hot tail is empty) degrades to "assume changed": storing a
+		// possibly-duplicate value beats refusing the append.
+		if p, ok, err := db.lastPointLocked(s); err == nil && ok && p.Value == v {
 			return false, nil
 		}
 	}
@@ -679,8 +757,10 @@ func (db *DB) appendBatch(entries []Entry, dedup bool) (int, error) {
 		for _, i := range order[lo:hi] {
 			e := &entries[i]
 			if dedup {
+				// As in AppendIfChanged: an unreadable last point means
+				// "assume changed", never a rejected append.
 				if sr := sh.series[e.Key]; sr != nil {
-					if p, ok := db.lastPointLocked(sr); ok && p.Value == e.Value {
+					if p, ok, err := db.lastPointLocked(sr); err == nil && ok && p.Value == e.Value {
 						continue
 					}
 				}
@@ -699,22 +779,41 @@ func (db *DB) appendBatch(entries []Entry, dedup bool) (int, error) {
 }
 
 // Query returns the points of a series within [from, to], oldest first.
-func (db *DB) Query(k SeriesKey, from, to time.Time) []Point {
+func (db *DB) Query(k SeriesKey, from, to time.Time) ([]Point, error) {
 	return db.QueryRange(k, from, to, 0, -1)
+}
+
+// ErrColdRead marks a read that touched a cold block which failed to
+// decode (bit rot, a vanished or truncated block file). The read APIs
+// return it wrapped around the underlying cause rather than serving a
+// silently truncated result: a window answer with a hole would disagree
+// with CountRange (which locates the same window by block metadata
+// alone), so pagination totals and page contents would drift apart
+// without either side noticing. Callers that can degrade (dedup checks,
+// best-effort tooling) may choose to; serving paths must surface it.
+var ErrColdRead = errors.New("tsdb: cold block read failed")
+
+// coldReadErr counts and wraps a failed cold block read. Every read
+// path funnels decode failures through here so ColdReadErrors stays an
+// accurate corruption odometer no matter which API tripped first.
+func (db *DB) coldReadErr(err error) error {
+	db.coldErrs.Add(1)
+	return fmt.Errorf("%w: %w", ErrColdRead, err)
 }
 
 // The tier-merging read primitives. A series' points form one logical
 // time-ordered sequence indexed 0..total-1: the sealed (cold) points
 // first, then the hot in-memory tail. Every read path below — range and
-// cursor windows, step lookups, window means, grids, intervals — resolves
-// its window through these four helpers, so hot and cold tiers can never
-// disagree about where a timestamp falls. The caller holds the owning
-// shard's lock throughout.
+// cursor windows, step lookups, window means, grids, intervals, the
+// rollup builder — resolves its window through these helpers, so hot
+// and cold tiers can never disagree about where a timestamp falls. The
+// caller holds the owning shard's lock throughout (except iterateView,
+// which works on a captured seriesView precisely so decoding can happen
+// outside the lock).
 //
 // Cold blocks decode on demand through the block cache. A block that
-// fails to decode (bit rot, vanished file) is counted in ColdReadErrors
-// and its points are skipped — the read APIs have no error returns, and
-// a degraded partial answer with a climbing counter beats a panic.
+// fails to decode is counted in ColdReadErrors and the error propagates
+// to the caller as ErrColdRead — never a silently truncated answer.
 
 // seriesTotal returns the series' logical point count across both tiers.
 func seriesTotal(s *series) int {
@@ -724,43 +823,48 @@ func seriesTotal(s *series) int {
 	return s.cold.n + len(s.points)
 }
 
-// searchSeries returns the smallest global index whose point timestamp
-// satisfies pred, or the total count when none does. pred must be
-// monotone in time (false then true), which both window predicates
-// (!Before(from), After(to)) are. Cold blocks are located by their
-// min/max timestamps alone; a block is decoded only when the boundary
-// falls strictly inside it.
-func (db *DB) searchSeries(s *series, pred func(time.Time) bool) int {
-	if cold := s.cold; cold != nil {
-		nb := len(cold.blocks)
-		bi := sort.Search(nb, func(i int) bool { return pred(cold.blocks[i].maxAt) })
-		if bi < nb {
-			b := &cold.blocks[bi]
-			if pred(b.minAt) {
-				return b.start
-			}
-			pts, err := db.coldBlockPoints(b)
-			if err != nil {
-				db.coldErrs.Add(1)
-				// Degrade: treat the unreadable block's points as not
-				// matching; the boundary moves to the next block.
-				return b.start + int(b.count)
-			}
-			return b.start + sort.Search(len(pts), func(i int) bool { return pred(pts[i].At) })
-		}
-	}
-	coldN := 0
-	if s.cold != nil {
-		coldN = s.cold.n
-	}
-	return coldN + sort.Search(len(s.points), func(i int) bool { return pred(s.points[i].At) })
+// seriesView is a stable read view of one series' two tiers, captured
+// under the owning shard's lock and safe to use after releasing it:
+//
+//   - blocks is a full-expression slice of the cold block list. Seals
+//     only ever append to that list in place, and retention replaces
+//     the whole coldSeries with a fresh one, so the captured prefix is
+//     immutable. Block files themselves are immutable and their handles
+//     stay open until Close, so a view outlives even a concurrent
+//     retention drop.
+//   - hot aliases the hot tail's backing array below the captured
+//     length. Appends write past that length and seals replace the
+//     slice with a fresh copy, so the captured window never mutates.
+//
+// This is the bounded iteration primitive shared by ChangeIntervals and
+// the rollup builder: both walk months-deep series block by block,
+// decoding one block at a time outside the shard lock, instead of
+// materializing the whole series under it.
+type seriesView struct {
+	blocks []blockMeta
+	coldN  int
+	hot    []Point
 }
 
-// getPointsLocked copies the global index window [lo, hi) into a fresh
-// slice, decoding whichever cold blocks it overlaps and finishing in the
-// hot tail. Unreadable blocks are skipped (counted in ColdReadErrors).
-func (db *DB) getPointsLocked(s *series, lo, hi int) []Point {
-	if total := seriesTotal(s); hi > total {
+// viewLocked captures a series view; the caller holds the shard lock.
+func viewLocked(s *series) seriesView {
+	v := seriesView{hot: s.points}
+	if s.cold != nil {
+		v.blocks = s.cold.blocks[:len(s.cold.blocks):len(s.cold.blocks)]
+		v.coldN = s.cold.n
+	}
+	return v
+}
+
+func (v seriesView) total() int { return v.coldN + len(v.hot) }
+
+// iterateView streams the view's global index window [lo, hi) to fn in
+// consecutive chunks — one chunk per overlapping cold block, then the
+// hot remainder — decoding each block on demand so at most one block's
+// points are materialized beyond what fn retains. An fn error aborts
+// the walk; a block decode failure aborts it with ErrColdRead.
+func (db *DB) iterateView(v seriesView, lo, hi int, fn func(pts []Point) error) error {
+	if total := v.total(); hi > total {
 		hi = total
 	}
 	if lo < 0 {
@@ -769,44 +873,99 @@ func (db *DB) getPointsLocked(s *series, lo, hi int) []Point {
 	if lo >= hi {
 		return nil
 	}
-	out := make([]Point, 0, hi-lo)
-	coldN := 0
-	if cold := s.cold; cold != nil {
-		coldN = cold.n
-		if lo < coldN {
-			bi := sort.Search(len(cold.blocks), func(i int) bool {
-				return cold.blocks[i].start+int(cold.blocks[i].count) > lo
-			})
-			for ; bi < len(cold.blocks) && cold.blocks[bi].start < hi; bi++ {
-				b := &cold.blocks[bi]
-				pts, err := db.coldBlockPoints(b)
-				if err != nil {
-					db.coldErrs.Add(1)
-					continue
-				}
-				from, to := 0, int(b.count)
-				if lo > b.start {
-					from = lo - b.start
-				}
-				if hi < b.start+to {
-					to = hi - b.start
-				}
-				out = append(out, pts[from:to]...)
+	if lo < v.coldN {
+		bi := sort.Search(len(v.blocks), func(i int) bool {
+			return v.blocks[i].start+int(v.blocks[i].count) > lo
+		})
+		for ; bi < len(v.blocks) && v.blocks[bi].start < hi; bi++ {
+			b := &v.blocks[bi]
+			pts, err := db.coldBlockPoints(b)
+			if err != nil {
+				return db.coldReadErr(err)
+			}
+			from, to := 0, int(b.count)
+			if lo > b.start {
+				from = lo - b.start
+			}
+			if hi < b.start+to {
+				to = hi - b.start
+			}
+			db.scanned.Add(uint64(to - from))
+			if err := fn(pts[from:to]); err != nil {
+				return err
 			}
 		}
 	}
-	if hi > coldN {
+	if hi > v.coldN {
 		from := 0
-		if lo > coldN {
-			from = lo - coldN
+		if lo > v.coldN {
+			from = lo - v.coldN
 		}
-		out = append(out, s.points[from:hi-coldN]...)
+		db.scanned.Add(uint64(hi - v.coldN - from))
+		if err := fn(v.hot[from : hi-v.coldN]); err != nil {
+			return err
+		}
 	}
-	return out
+	return nil
 }
 
-// pointAtLocked returns the point at global index i.
-func (db *DB) pointAtLocked(s *series, i int) (Point, bool) {
+// searchSeries returns the smallest global index whose point timestamp
+// satisfies pred, or the total count when none does. pred must be
+// monotone in time (false then true), which both window predicates
+// (!Before(from), After(to)) are. Cold blocks are located by their
+// min/max timestamps alone; a block is decoded only when the boundary
+// falls strictly inside it.
+func (db *DB) searchSeries(s *series, pred func(time.Time) bool) (int, error) {
+	return db.searchView(viewLocked(s), pred)
+}
+
+// searchView is searchSeries on a captured view, usable after the shard
+// lock is released (the rollup builder locates its incremental window
+// this way without stalling writers).
+func (db *DB) searchView(v seriesView, pred func(time.Time) bool) (int, error) {
+	nb := len(v.blocks)
+	bi := sort.Search(nb, func(i int) bool { return pred(v.blocks[i].maxAt) })
+	if bi < nb {
+		b := &v.blocks[bi]
+		if pred(b.minAt) {
+			return b.start, nil
+		}
+		pts, err := db.coldBlockPoints(b)
+		if err != nil {
+			return 0, db.coldReadErr(err)
+		}
+		return b.start + sort.Search(len(pts), func(i int) bool { return pred(pts[i].At) }), nil
+	}
+	return v.coldN + sort.Search(len(v.hot), func(i int) bool { return pred(v.hot[i].At) }), nil
+}
+
+// getPointsLocked copies the global index window [lo, hi) into a fresh
+// slice, decoding whichever cold blocks it overlaps and finishing in
+// the hot tail.
+func (db *DB) getPointsLocked(s *series, lo, hi int) ([]Point, error) {
+	if total := seriesTotal(s); hi > total {
+		hi = total
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return nil, nil
+	}
+	out := make([]Point, 0, hi-lo)
+	err := db.iterateView(viewLocked(s), lo, hi, func(pts []Point) error {
+		out = append(out, pts...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// pointAtLocked returns the point at global index i; ok is false when i
+// is out of range.
+func (db *DB) pointAtLocked(s *series, i int) (Point, bool, error) {
 	coldN := 0
 	if cold := s.cold; cold != nil {
 		coldN = cold.n
@@ -817,28 +976,27 @@ func (db *DB) pointAtLocked(s *series, i int) (Point, bool) {
 			b := &cold.blocks[bi]
 			pts, err := db.coldBlockPoints(b)
 			if err != nil {
-				db.coldErrs.Add(1)
-				return Point{}, false
+				return Point{}, false, db.coldReadErr(err)
 			}
-			return pts[i-b.start], true
+			return pts[i-b.start], true, nil
 		}
 	}
 	if i < coldN || i >= coldN+len(s.points) {
-		return Point{}, false
+		return Point{}, false, nil
 	}
-	return s.points[i-coldN], true
+	return s.points[i-coldN], true, nil
 }
 
 // lastPointLocked returns the series' most recent point. For live series
 // the hot tail always holds at least one point (seals keep a non-empty
 // tail); the cold fallback covers a tier state only reachable through
 // recovery of a partially written layout.
-func (db *DB) lastPointLocked(s *series) (Point, bool) {
+func (db *DB) lastPointLocked(s *series) (Point, bool, error) {
 	if n := len(s.points); n > 0 {
-		return s.points[n-1], true
+		return s.points[n-1], true, nil
 	}
 	if s.cold == nil || s.cold.n == 0 {
-		return Point{}, false
+		return Point{}, false, nil
 	}
 	return db.pointAtLocked(s, s.cold.n-1)
 }
@@ -846,30 +1004,37 @@ func (db *DB) lastPointLocked(s *series) (Point, bool) {
 // rangeBounds returns the global index window [lo, hi) of the series'
 // points falling within [from, to]. This is the single source of window
 // semantics for every range read — pagination relies on the count pass
-// and the copy pass agreeing exactly, across both tiers.
-func (db *DB) rangeBounds(s *series, from, to time.Time) (lo, hi int) {
-	lo = db.searchSeries(s, func(t time.Time) bool { return !t.Before(from) })
-	hi = db.searchSeries(s, func(t time.Time) bool { return t.After(to) })
-	return lo, hi
+// and the copy pass agreeing exactly, across both tiers. On a cold read
+// error both passes fail identically instead of disagreeing silently.
+func (db *DB) rangeBounds(s *series, from, to time.Time) (lo, hi int, err error) {
+	lo, err = db.searchSeries(s, func(t time.Time) bool { return !t.Before(from) })
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err = db.searchSeries(s, func(t time.Time) bool { return t.After(to) })
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
 }
 
 // CountRange returns how many points of the series fall within [from, to]
 // without copying any of them — two binary searches under the shard's
 // read lock. Pagination uses it to size pages and locate offsets before
 // materializing only the requested window.
-func (db *DB) CountRange(k SeriesKey, from, to time.Time) int {
+func (db *DB) CountRange(k SeriesKey, from, to time.Time) (int, error) {
 	sh := db.shardFor(k)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	s := sh.series[k]
 	if s == nil {
-		return 0
+		return 0, nil
 	}
-	lo, hi := db.rangeBounds(s, from, to)
-	if lo >= hi {
-		return 0
+	lo, hi, err := db.rangeBounds(s, from, to)
+	if err != nil || lo >= hi {
+		return 0, err
 	}
-	return hi - lo
+	return hi - lo, nil
 }
 
 // QueryRange returns up to max points of the series within [from, to],
@@ -877,22 +1042,25 @@ func (db *DB) CountRange(k SeriesKey, from, to time.Time) int {
 // means "all remaining". Only the returned points are copied, so a
 // paginated reader of a large window allocates one page at a time instead
 // of the full range.
-func (db *DB) QueryRange(k SeriesKey, from, to time.Time, skip, max int) []Point {
+func (db *DB) QueryRange(k SeriesKey, from, to time.Time, skip, max int) ([]Point, error) {
 	sh := db.shardFor(k)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	s := sh.series[k]
 	if s == nil {
-		return nil
+		return nil, nil
 	}
-	lo, hi := db.rangeBounds(s, from, to)
+	lo, hi, err := db.rangeBounds(s, from, to)
+	if err != nil {
+		return nil, err
+	}
 	// Compare skip and max against the remainder rather than adding them
 	// to an index: lo+skip or lo+max overflows for values near MaxInt,
 	// and a wrapped-negative bound would drop (or worse, mis-slice) the
 	// result.
 	if skip > 0 {
 		if skip >= hi-lo {
-			return nil
+			return nil, nil
 		}
 		lo += skip
 	}
@@ -916,21 +1084,30 @@ func (db *DB) QueryRange(k SeriesKey, from, to time.Time, skip, max int) []Point
 // the addressed points are hot or have been sealed into cold blocks —
 // sealing never reorders or renumbers, so a cursor taken before a seal
 // resumes exactly where it left off after one.
-func (db *DB) afterBounds(s *series, after time.Time, seq int, to time.Time) (lo, hi int) {
-	lo = db.searchSeries(s, func(t time.Time) bool { return !t.Before(after) })
+func (db *DB) afterBounds(s *series, after time.Time, seq int, to time.Time) (lo, hi int, err error) {
+	lo, err = db.searchSeries(s, func(t time.Time) bool { return !t.Before(after) })
+	if err != nil {
+		return 0, 0, err
+	}
 	if seq > 0 {
 		// seq consumes points at exactly `after`, never beyond its run:
 		// a forged or overshot count clamps to the run's end instead of
 		// eating later timestamps.
-		runEnd := db.searchSeries(s, func(t time.Time) bool { return t.After(after) })
+		runEnd, err := db.searchSeries(s, func(t time.Time) bool { return t.After(after) })
+		if err != nil {
+			return 0, 0, err
+		}
 		if seq > runEnd-lo {
 			lo = runEnd
 		} else {
 			lo += seq
 		}
 	}
-	hi = db.searchSeries(s, func(t time.Time) bool { return t.After(to) })
-	return lo, hi
+	hi, err = db.searchSeries(s, func(t time.Time) bool { return t.After(to) })
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, hi, nil
 }
 
 // CountAfter returns how many points of the series lie after the
@@ -938,19 +1115,19 @@ func (db *DB) afterBounds(s *series, after time.Time, seq int, to time.Time) (lo
 // without copying any of them: two binary searches under the shard's
 // read lock. Cursor pagination uses it to size the remainder of a
 // series the cursor position has partially consumed.
-func (db *DB) CountAfter(k SeriesKey, after time.Time, seq int, to time.Time) int {
+func (db *DB) CountAfter(k SeriesKey, after time.Time, seq int, to time.Time) (int, error) {
 	sh := db.shardFor(k)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	s := sh.series[k]
 	if s == nil {
-		return 0
+		return 0, nil
 	}
-	lo, hi := db.afterBounds(s, after, seq, to)
-	if lo >= hi {
-		return 0
+	lo, hi, err := db.afterBounds(s, after, seq, to)
+	if err != nil || lo >= hi {
+		return 0, err
 	}
-	return hi - lo
+	return hi - lo, nil
 }
 
 // QueryAfter returns up to max points of the series after the position
@@ -959,15 +1136,18 @@ func (db *DB) CountAfter(k SeriesKey, after time.Time, seq int, to time.Time) in
 // time-ordered, a fixed (timestamp, sequence) position never moves as
 // new points arrive — the property that keeps cursor pagination stable
 // under live collection, where a skipped offset would drift.
-func (db *DB) QueryAfter(k SeriesKey, after time.Time, seq int, to time.Time, max int) []Point {
+func (db *DB) QueryAfter(k SeriesKey, after time.Time, seq int, to time.Time, max int) ([]Point, error) {
 	sh := db.shardFor(k)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	s := sh.series[k]
 	if s == nil {
-		return nil
+		return nil, nil
 	}
-	lo, hi := db.afterBounds(s, after, seq, to)
+	lo, hi, err := db.afterBounds(s, after, seq, to)
+	if err != nil {
+		return nil, err
+	}
 	if max >= 0 && max < hi-lo {
 		hi = lo + max
 	}
@@ -977,52 +1157,66 @@ func (db *DB) QueryAfter(k SeriesKey, after time.Time, seq int, to time.Time, ma
 // ValueAt returns the series' value at time t under step semantics: the
 // value of the latest point at or before t. ok is false before the first
 // point or for an unknown series.
-func (db *DB) ValueAt(k SeriesKey, t time.Time) (v float64, ok bool) {
+func (db *DB) ValueAt(k SeriesKey, t time.Time) (v float64, ok bool, err error) {
 	sh := db.shardFor(k)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	s := sh.series[k]
 	if s == nil {
-		return 0, false
+		return 0, false, nil
 	}
-	i := db.searchSeries(s, func(at time.Time) bool { return at.After(t) })
-	if i == 0 {
-		return 0, false
+	i, err := db.searchSeries(s, func(at time.Time) bool { return at.After(t) })
+	if err != nil || i == 0 {
+		return 0, false, err
 	}
-	p, ok := db.pointAtLocked(s, i-1)
-	return p.Value, ok
+	p, ok, err := db.pointAtLocked(s, i-1)
+	return p.Value, ok, err
 }
 
 // WindowMean returns the time-weighted mean of the step function over
 // [from, to). ok is false when the series has no value anywhere in the
 // window.
-func (db *DB) WindowMean(k SeriesKey, from, to time.Time) (mean float64, ok bool) {
+func (db *DB) WindowMean(k SeriesKey, from, to time.Time) (mean float64, ok bool, err error) {
 	if !to.After(from) {
-		return 0, false
+		return 0, false, nil
 	}
 	sh := db.shardFor(k)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	s := sh.series[k]
 	if s == nil || seriesTotal(s) == 0 {
-		return 0, false
+		return 0, false, nil
 	}
 	// Window bounds through the shared search: [i, j) are the points
 	// strictly inside (from, to); i-1, when present, carries the step
 	// value into the window.
-	i := db.searchSeries(s, func(t time.Time) bool { return t.After(from) })
-	j := db.searchSeries(s, func(t time.Time) bool { return !t.Before(to) })
+	i, err := db.searchSeries(s, func(t time.Time) bool { return t.After(from) })
+	if err != nil {
+		return 0, false, err
+	}
+	j, err := db.searchSeries(s, func(t time.Time) bool { return !t.Before(to) })
+	if err != nil {
+		return 0, false, err
+	}
 	var cur float64
 	var curSet bool
 	cursor := from
 	if i > 0 {
-		if p, ok := db.pointAtLocked(s, i-1); ok {
+		p, ok, err := db.pointAtLocked(s, i-1)
+		if err != nil {
+			return 0, false, err
+		}
+		if ok {
 			cur, curSet = p.Value, true
 		}
 	}
+	pts, err := db.getPointsLocked(s, i, j)
+	if err != nil {
+		return 0, false, err
+	}
 	total := 0.0
 	weight := 0.0
-	for _, p := range db.getPointsLocked(s, i, j) {
+	for _, p := range pts {
 		if curSet {
 			d := p.At.Sub(cursor).Seconds()
 			total += cur * d
@@ -1038,9 +1232,9 @@ func (db *DB) WindowMean(k SeriesKey, from, to time.Time) (mean float64, ok bool
 		weight += d
 	}
 	if weight == 0 {
-		return 0, false
+		return 0, false, nil
 	}
-	return total / weight, true
+	return total / weight, true, nil
 }
 
 // Grid samples the step function at from, from+step, ... up to and
@@ -1048,9 +1242,9 @@ func (db *DB) WindowMean(k SeriesKey, from, to time.Time) (mean float64, ok bool
 // grid is computed under one shard read lock with one window fetch —
 // the same bounds Query uses — instead of a binary search per instant,
 // so hot and cold tiers resolve identically for every sample.
-func (db *DB) Grid(k SeriesKey, from, to time.Time, step time.Duration) []float64 {
+func (db *DB) Grid(k SeriesKey, from, to time.Time, step time.Duration) ([]float64, error) {
 	if step <= 0 || to.Before(from) {
-		return nil
+		return nil, nil
 	}
 	sh := db.shardFor(k)
 	sh.mu.RLock()
@@ -1061,18 +1255,31 @@ func (db *DB) Grid(k SeriesKey, from, to time.Time, step time.Duration) []float6
 		for t := from; !t.After(to); t = t.Add(step) {
 			out = append(out, math.NaN())
 		}
-		return out
+		return out, nil
 	}
-	i := db.searchSeries(s, func(t time.Time) bool { return t.After(from) })
+	i, err := db.searchSeries(s, func(t time.Time) bool { return t.After(from) })
+	if err != nil {
+		return nil, err
+	}
 	var cur float64
 	var curSet bool
 	if i > 0 {
-		if p, ok := db.pointAtLocked(s, i-1); ok {
+		p, ok, err := db.pointAtLocked(s, i-1)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			cur, curSet = p.Value, true
 		}
 	}
-	hi := db.searchSeries(s, func(t time.Time) bool { return t.After(to) })
-	pts := db.getPointsLocked(s, i, hi)
+	hi, err := db.searchSeries(s, func(t time.Time) bool { return t.After(to) })
+	if err != nil {
+		return nil, err
+	}
+	pts, err := db.getPointsLocked(s, i, hi)
+	if err != nil {
+		return nil, err
+	}
 	pi := 0
 	for t := from; !t.After(to); t = t.Add(step) {
 		for pi < len(pts) && !pts[pi].At.After(t) {
@@ -1085,39 +1292,56 @@ func (db *DB) Grid(k SeriesKey, from, to time.Time, step time.Duration) []float6
 			out = append(out, math.NaN())
 		}
 	}
-	return out
+	return out, nil
 }
 
 // ChangeIntervals returns the durations between consecutive points of the
 // series. When points are appended via AppendIfChanged these are the
 // value-change intervals of Figure 10.
-func (db *DB) ChangeIntervals(k SeriesKey) []time.Duration {
+//
+// The series streams through iterateView on a view captured under the
+// shard lock and walked after releasing it: one decoded block resident
+// at a time, and a months-deep cold series no longer stalls writers for
+// the duration of a full decode (the intervals themselves are the only
+// full-length allocation).
+func (db *DB) ChangeIntervals(k SeriesKey) ([]time.Duration, error) {
 	sh := db.shardFor(k)
 	sh.mu.RLock()
-	defer sh.mu.RUnlock()
 	s := sh.series[k]
 	if s == nil || seriesTotal(s) < 2 {
+		sh.mu.RUnlock()
+		return nil, nil
+	}
+	v := viewLocked(s)
+	sh.mu.RUnlock()
+	total := v.total()
+	out := make([]time.Duration, 0, total-1)
+	var prev time.Time
+	first := true
+	err := db.iterateView(v, 0, total, func(pts []Point) error {
+		for _, p := range pts {
+			if !first {
+				out = append(out, p.At.Sub(prev))
+			}
+			prev = p.At
+			first = false
+		}
 		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	pts := db.getPointsLocked(s, 0, seriesTotal(s))
-	if len(pts) < 2 {
-		return nil
-	}
-	out := make([]time.Duration, 0, len(pts)-1)
-	for i := 1; i < len(pts); i++ {
-		out = append(out, pts[i].At.Sub(pts[i-1].At))
-	}
-	return out
+	return out, nil
 }
 
 // Last returns the most recent point of the series.
-func (db *DB) Last(k SeriesKey) (Point, bool) {
+func (db *DB) Last(k SeriesKey) (Point, bool, error) {
 	sh := db.shardFor(k)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	s := sh.series[k]
 	if s == nil {
-		return Point{}, false
+		return Point{}, false, nil
 	}
 	return db.lastPointLocked(s)
 }
@@ -1278,8 +1502,16 @@ func (db *DB) Flush() error {
 // maintenance daemon, if any, is stopped first — an in-flight maintenance
 // checkpoint completes before any segment file is closed.
 func (db *DB) Close() error {
+	var rollupErr error
 	if db.closed.CompareAndSwap(false, true) {
 		db.stopMaintainer()
+		// The rollup store closes after the maintainer stops (an
+		// in-flight maintenance cycle may still be appending rollups)
+		// and before the parent's files: it is a plain nested store with
+		// its own WAL and manifest.
+		if db.rollup != nil {
+			rollupErr = db.rollup.Close()
+		}
 	}
 	for i := range db.shards {
 		db.shards[i].mu.Lock()
@@ -1318,6 +1550,9 @@ func (db *DB) Close() error {
 		}
 	}
 	db.coldSegs = nil
+	if firstErr == nil {
+		firstErr = rollupErr
+	}
 	return firstErr
 }
 
@@ -1336,10 +1571,18 @@ func (db *DB) SealedBlocks() int64 { return db.sealedBlks.Load() }
 // bytes (data sections only, excluding per-file index overhead).
 func (db *DB) ColdCompressedBytes() int64 { return db.coldBytes.Load() }
 
-// ColdReadErrors returns how many cold block reads failed and were
-// degraded to partial results — nonzero means on-disk corruption or a
-// vanished block file.
+// ColdReadErrors returns how many cold block reads have failed —
+// nonzero means on-disk corruption or a vanished block file. The
+// affected reads returned ErrColdRead rather than partial results.
 func (db *DB) ColdReadErrors() uint64 { return db.coldErrs.Load() }
+
+// ScannedPoints returns how many points reads have materialized since
+// open: hot-tail copies plus decoded cold-block windows, across every
+// read API. The rollup tier exists to shrink this number for
+// long-window queries — a 90-day window served at 1h resolution scans
+// the rollup store's buckets, not every raw tick — and the scan-ratio
+// tests assert that through this counter.
+func (db *DB) ScannedPoints() uint64 { return db.scanned.Load() }
 
 // HotTailPoints returns the per-series hot tail the store keeps when
 // sealing (-1 when sealing is disabled).

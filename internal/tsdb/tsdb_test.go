@@ -51,14 +51,14 @@ func TestAppendAndQuery(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	pts := db.Query(k, t0.Add(2*time.Hour), t0.Add(5*time.Hour))
+	pts := noerr(db.Query(k, t0.Add(2*time.Hour), t0.Add(5*time.Hour)))
 	if len(pts) != 4 {
 		t.Fatalf("query returned %d points, want 4", len(pts))
 	}
 	if pts[0].Value != 2 || pts[3].Value != 5 {
 		t.Errorf("wrong window contents: %v", pts)
 	}
-	if got := db.Query(key("us-east-1b"), t0, t0.Add(time.Hour)); got != nil {
+	if got := noerr(db.Query(key("us-east-1b"), t0, t0.Add(time.Hour))); got != nil {
 		t.Error("unknown series should return nil")
 	}
 }
@@ -108,16 +108,16 @@ func TestValueAtStepSemantics(t *testing.T) {
 	k := key("us-east-1a")
 	db.Append(k, t0.Add(1*time.Hour), 3)
 	db.Append(k, t0.Add(5*time.Hour), 1)
-	if _, ok := db.ValueAt(k, t0); ok {
+	if _, ok := noerr2(db.ValueAt(k, t0)); ok {
 		t.Error("value before first point should be absent")
 	}
-	if v, ok := db.ValueAt(k, t0.Add(time.Hour)); !ok || v != 3 {
+	if v, ok := noerr2(db.ValueAt(k, t0.Add(time.Hour))); !ok || v != 3 {
 		t.Errorf("value at first point = %v, %v", v, ok)
 	}
-	if v, _ := db.ValueAt(k, t0.Add(3*time.Hour)); v != 3 {
+	if v, _ := noerr2(db.ValueAt(k, t0.Add(3*time.Hour))); v != 3 {
 		t.Errorf("value mid-step = %v, want 3", v)
 	}
-	if v, _ := db.ValueAt(k, t0.Add(8*time.Hour)); v != 1 {
+	if v, _ := noerr2(db.ValueAt(k, t0.Add(8*time.Hour))); v != 1 {
 		t.Errorf("value after last change = %v, want 1", v)
 	}
 }
@@ -128,22 +128,22 @@ func TestWindowMean(t *testing.T) {
 	// Value 2 for the first half of the window, 4 for the second half.
 	db.Append(k, t0, 2)
 	db.Append(k, t0.Add(12*time.Hour), 4)
-	mean, ok := db.WindowMean(k, t0, t0.Add(24*time.Hour))
+	mean, ok := noerr2(db.WindowMean(k, t0, t0.Add(24*time.Hour)))
 	if !ok || math.Abs(mean-3) > 1e-9 {
 		t.Errorf("WindowMean = %v, %v, want 3", mean, ok)
 	}
 	// Window entirely before data: absent.
-	if _, ok := db.WindowMean(k, t0.Add(-2*time.Hour), t0.Add(-time.Hour)); ok {
+	if _, ok := noerr2(db.WindowMean(k, t0.Add(-2*time.Hour), t0.Add(-time.Hour))); ok {
 		t.Error("mean before data should be absent")
 	}
 	// Window that starts before the first point but overlaps it: only the
 	// covered part counts.
-	mean, ok = db.WindowMean(k, t0.Add(-12*time.Hour), t0.Add(12*time.Hour))
+	mean, ok = noerr2(db.WindowMean(k, t0.Add(-12*time.Hour), t0.Add(12*time.Hour)))
 	if !ok || math.Abs(mean-2) > 1e-9 {
 		t.Errorf("partially covered mean = %v, %v, want 2", mean, ok)
 	}
 	// Degenerate window.
-	if _, ok := db.WindowMean(k, t0, t0); ok {
+	if _, ok := noerr2(db.WindowMean(k, t0, t0)); ok {
 		t.Error("empty window should be absent")
 	}
 }
@@ -158,8 +158,8 @@ func TestWindowMeanMatchesGridAverage(t *testing.T) {
 		db.Append(k, t0.Add(time.Duration(i*7)*time.Hour), v)
 	}
 	from, to := t0, t0.Add(49*time.Hour)
-	mean, _ := db.WindowMean(k, from, to)
-	grid := db.Grid(k, from, to.Add(-time.Minute), time.Minute)
+	mean, _ := noerr2(db.WindowMean(k, from, to))
+	grid := noerr(db.Grid(k, from, to.Add(-time.Minute), time.Minute))
 	sum := 0.0
 	for _, g := range grid {
 		sum += g
@@ -174,7 +174,7 @@ func TestGridNaNBeforeData(t *testing.T) {
 	db := mustOpen(t, "")
 	k := key("us-east-1a")
 	db.Append(k, t0.Add(2*time.Hour), 5)
-	g := db.Grid(k, t0, t0.Add(4*time.Hour), time.Hour)
+	g := noerr(db.Grid(k, t0, t0.Add(4*time.Hour), time.Hour))
 	if len(g) != 5 {
 		t.Fatalf("grid len %d, want 5", len(g))
 	}
@@ -184,7 +184,7 @@ func TestGridNaNBeforeData(t *testing.T) {
 	if g[2] != 5 || g[4] != 5 {
 		t.Errorf("grid = %v", g)
 	}
-	if db.Grid(k, t0, t0.Add(time.Hour), 0) != nil {
+	if noerr(db.Grid(k, t0, t0.Add(time.Hour), 0)) != nil {
 		t.Error("zero step should return nil")
 	}
 }
@@ -195,11 +195,11 @@ func TestChangeIntervals(t *testing.T) {
 	db.Append(k, t0, 1)
 	db.Append(k, t0.Add(30*time.Minute), 2)
 	db.Append(k, t0.Add(2*time.Hour), 3)
-	iv := db.ChangeIntervals(k)
+	iv := noerr(db.ChangeIntervals(k))
 	if len(iv) != 2 || iv[0] != 30*time.Minute || iv[1] != 90*time.Minute {
 		t.Errorf("intervals = %v", iv)
 	}
-	if db.ChangeIntervals(key("none")) != nil {
+	if noerr(db.ChangeIntervals(key("none"))) != nil {
 		t.Error("unknown series should have no intervals")
 	}
 }
@@ -235,12 +235,12 @@ func TestKeysFilter(t *testing.T) {
 func TestLast(t *testing.T) {
 	db := mustOpen(t, "")
 	k := key("us-east-1a")
-	if _, ok := db.Last(k); ok {
+	if _, ok := noerr2(db.Last(k)); ok {
 		t.Error("empty series has a last point")
 	}
 	db.Append(k, t0, 1)
 	db.Append(k, t0.Add(time.Hour), 9)
-	p, ok := db.Last(k)
+	p, ok := noerr2(db.Last(k))
 	if !ok || p.Value != 9 {
 		t.Errorf("Last = %v, %v", p, ok)
 	}
@@ -268,11 +268,11 @@ func TestPersistenceRoundTrip(t *testing.T) {
 	if re.PointCount() != 101 {
 		t.Fatalf("reopened point count = %d, want 101", re.PointCount())
 	}
-	pts := re.Query(k1, t0, t0.Add(200*time.Minute))
+	pts := noerr(re.Query(k1, t0, t0.Add(200*time.Minute)))
 	if len(pts) != 100 {
 		t.Fatalf("reopened query = %d points", len(pts))
 	}
-	if v, ok := re.ValueAt(k2, t0.Add(time.Hour)); !ok || v != 2.5 {
+	if v, ok := noerr2(re.ValueAt(k2, t0.Add(time.Hour))); !ok || v != 2.5 {
 		t.Errorf("reopened advisor value = %v, %v", v, ok)
 	}
 	// Appends after reopen continue working.
@@ -352,7 +352,7 @@ func TestQueryWindowProperty(t *testing.T) {
 			a, b = b, a
 		}
 		from, to := t0.Add(time.Duration(a)*time.Minute), t0.Add(time.Duration(b)*time.Minute)
-		pts := db.Query(k, from, to)
+		pts := noerr(db.Query(k, from, to))
 		if len(pts) != b-a+1 {
 			return false
 		}

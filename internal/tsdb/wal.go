@@ -203,6 +203,12 @@ type manifest struct {
 	// crashed seal's orphan file is overwritten on retry, never adopted).
 	Blocks   []uint64 `json:"blocks,omitempty"`
 	BlockSeq uint64   `json:"blockSeq,omitempty"`
+	// Retain maps datasets to their committed retention cut (unix
+	// nanoseconds): raw cold blocks wholly below the cut have been
+	// dropped, with durable rollups covering them. Opens re-apply the
+	// cuts because partially-dead block files stay in Blocks and
+	// re-attach their dropped blocks (see rollup.go).
+	Retain map[string]int64 `json:"retain,omitempty"`
 }
 
 func segName(i int) string { return fmt.Sprintf("wal-%05d.log", i) }
@@ -268,8 +274,9 @@ func parseManifest(raw []byte) (manifest, error) {
 		for i, off := range m.Offsets {
 			m.Shards[i] = shardLayout{Offset: off}
 		}
-		// v1 layouts predate the block tier; a block list here is noise.
-		m.Blocks, m.BlockSeq = nil, 0
+		// v1 layouts predate the block tier; a block list (or retention
+		// cuts over it) here is noise.
+		m.Blocks, m.BlockSeq, m.Retain = nil, 0, nil
 	case manifestVersion:
 		if len(m.Shards) != m.Segments {
 			return manifest{}, fmt.Errorf("tsdb: malformed manifest: %d segments, %d shard layouts", m.Segments, len(m.Shards))
@@ -1120,6 +1127,7 @@ func (db *DB) commitLayout(epoch uint64) error {
 		CheckpointSeq: db.man.CheckpointSeq,
 		Blocks:        db.man.Blocks,
 		BlockSeq:      db.man.BlockSeq,
+		Retain:        db.man.Retain,
 		Shards:        make([]shardLayout, n),
 	}
 	for i := range m.Shards {
@@ -1378,6 +1386,7 @@ func (db *DB) checkpointLocked() error {
 		CheckpointSeq: db.man.CheckpointSeq + 1,
 		Blocks:        db.man.Blocks,
 		BlockSeq:      db.man.BlockSeq,
+		Retain:        db.man.Retain,
 		Shards:        layouts,
 	}
 	if newSeg != nil {
@@ -1514,5 +1523,22 @@ func (db *DB) checkpointLocked() error {
 	// crossed it. The floor makes the trigger count only growth since this
 	// checkpoint.
 	db.sealFloor.Store(db.hotPts.Load())
+
+	// With the checkpoint durable, extend the rollup tiers over the newly
+	// sealed blocks and, if horizons are configured, enforce retention. Both
+	// run under cpMu so cold state is stable; the coverage computed by the
+	// build feeds enforcement directly (never a stale snapshot), preserving
+	// the "never drop raw a rollup doesn't cover" invariant.
+	if db.rollup != nil {
+		cov, err := db.buildRollupsLocked()
+		if err != nil {
+			return err
+		}
+		if len(db.retain) > 0 {
+			if err := db.enforceRetentionLocked(cov); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }

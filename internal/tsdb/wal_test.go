@@ -48,7 +48,7 @@ func writeLegacyWAL(t *testing.T, dir string, entries []Entry) {
 func contents(db *DB) map[SeriesKey][]Point {
 	out := make(map[SeriesKey][]Point)
 	for _, k := range db.Keys(KeyFilter{}) {
-		out[k] = db.Query(k, time.Time{}, t0.Add(1000*time.Hour))
+		out[k] = noerr(db.Query(k, time.Time{}, t0.Add(1000*time.Hour)))
 	}
 	return out
 }
