@@ -24,6 +24,15 @@
 // the excess with 503 once a bounded queue wait expires. SIGINT/SIGTERM
 // drain in-flight requests before the store closes.
 //
+// With -follow=<primary-url> the server runs as a read replica instead:
+// no collector, no bootstrap, no writes. A replication puller lists the
+// primary's committed checkpoint artifacts every -poll-interval, ships
+// the delta into -data, commits the primary's MANIFEST by atomic rename
+// (a crash mid-pull is just a stale replica), and reopens the store
+// read-only. All read endpoints are served locally; past -max-staleness
+// without a confirmed sync they answer 503 stale_replica (meta stays
+// reachable and reports role, applied epoch, and seconds behind).
+//
 // Usage:
 //
 //	spotlake-server [-addr :8080] [-bootstrap-days 14] [-frac 0.12]
@@ -33,6 +42,8 @@
 //	                [-maintenance-interval 1s] [-snapshot FILE]
 //	                [-max-in-flight 256] [-queue-wait 100ms]
 //	                [-rate-limit 50] [-rate-burst 100] [-drain-timeout 15s]
+//	spotlake-server -follow http://primary:8080 -data DIR [-addr :8081]
+//	                [-poll-interval 2s] [-max-staleness 30s]
 package main
 
 import (
@@ -85,6 +96,9 @@ func main() {
 		rateLimit  = flag.Float64("rate-limit", 50, "per-client sustained requests/sec before 429 + Retry-After (0 disables throttling)")
 		rateBurst  = flag.Float64("rate-burst", 100, "per-client burst allowance above the sustained rate")
 		drainTO    = flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests to drain")
+		follow     = flag.String("follow", "", "primary base URL: run as a read replica pulling checkpoint artifacts from it (requires -data; disables collection and writes)")
+		pollIv     = flag.Duration("poll-interval", 2*time.Second, "with -follow, how often the puller lists the primary for new checkpoint artifacts")
+		maxStale   = flag.Duration("max-staleness", 30*time.Second, "with -follow, reads answer 503 stale_replica once this long passes without a confirmed sync (0 = serve however stale)")
 	)
 	flag.Parse()
 
@@ -94,6 +108,19 @@ func main() {
 	} else {
 		cat = catalog.Sample(*frac)
 	}
+
+	if *follow != "" {
+		runFollower(followerConfig{
+			addr: *addr, primaryURL: *follow, dataDir: *dataDir,
+			pollInterval: *pollIv, maxStaleness: *maxStale,
+			blockCache: *blockCache, multiCloud: *multiCloud,
+			maxInFlight: *maxInFl, queueWait: *queueWait,
+			rateLimit: *rateLimit, rateBurst: *rateBurst,
+			drainTimeout: *drainTO,
+		}, cat)
+		return
+	}
+
 	clk := simclock.NewAtEpoch()
 	cloud := cloudsim.New(cat, clk, *seed, cloudsim.DefaultParams())
 	var retain map[string]time.Duration
@@ -265,5 +292,110 @@ func main() {
 			log.Printf("drain incomplete: %v", err)
 		}
 		log.Printf("drained; closing store")
+	}
+}
+
+// followerConfig carries the replica-mode settings out of flag parsing.
+type followerConfig struct {
+	addr         string
+	primaryURL   string
+	dataDir      string
+	pollInterval time.Duration
+	maxStaleness time.Duration
+	blockCache   int64
+	multiCloud   bool
+	maxInFlight  int
+	queueWait    time.Duration
+	rateLimit    float64
+	rateBurst    float64
+	drainTimeout time.Duration
+}
+
+// runFollower serves the read API as a replica of cfg.primaryURL: a
+// puller ships the primary's checkpoint artifacts into cfg.dataDir and
+// swaps freshly reopened read-only stores into the service; nothing in
+// this process ever writes a point.
+func runFollower(cfg followerConfig, cat *catalog.Catalog) {
+	if cfg.dataDir == "" {
+		log.Fatalf("-follow requires -data: the replica needs a directory to ship artifacts into")
+	}
+	storeOpts := tsdb.Options{
+		ReadOnly:            true,
+		MaintenanceInterval: -1,
+		BlockCacheBytes:     cfg.blockCache,
+	}
+	// Reopen an existing replica so restarts serve immediately; a fresh
+	// directory serves empty (gated stale) until the first pull lands.
+	var db *tsdb.DB
+	var err error
+	if tsdb.HasCommittedManifest(cfg.dataDir) {
+		if db, err = tsdb.OpenWithOptions(cfg.dataDir, storeOpts); err != nil {
+			log.Fatalf("reopening replica: %v", err)
+		}
+		log.Printf("reopened replica %s: %d series, %d points", cfg.dataDir, db.SeriesCount(), db.PointCount())
+	} else if db, err = tsdb.OpenWithOptions("", tsdb.Options{}); err != nil {
+		log.Fatalf("opening empty store: %v", err)
+	}
+
+	svc := archive.NewService(db, cat)
+	if cfg.multiCloud {
+		svc.AllowDatasets(multicloud.AllDatasets...)
+	}
+	svc.SetFollower(cfg.primaryURL, cfg.maxStaleness)
+	svc.SetAdmission(archive.NewAdmission(archive.AdmissionConfig{
+		MaxInFlight: cfg.maxInFlight,
+		MaxQueue:    cfg.maxInFlight,
+		QueueWait:   cfg.queueWait,
+		RatePerSec:  cfg.rateLimit,
+		Burst:       cfg.rateBurst,
+	}))
+	puller, err := archive.NewPuller(svc, archive.PullerConfig{
+		PrimaryURL:   cfg.primaryURL,
+		Dir:          cfg.dataDir,
+		Interval:     cfg.pollInterval,
+		StoreOptions: storeOpts,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("building puller: %v", err)
+	}
+	puller.Start()
+
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("follower of %s serving on %s (poll %v, max staleness %v)",
+		cfg.primaryURL, cfg.addr, cfg.pollInterval, cfg.maxStaleness)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		puller.Stop()
+		if closeErr := svc.DB().Close(); closeErr != nil {
+			log.Printf("closing replica store: %v", closeErr)
+		}
+		log.Fatalf("http: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutdown signal; draining in-flight requests (up to %v)", cfg.drainTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		// Stop the puller before closing the serving store: a pull
+		// completing after Close would swap a fresh store in with nobody
+		// left to close it.
+		puller.Stop()
+		if err := svc.DB().Close(); err != nil {
+			log.Printf("closing replica store: %v", err)
+		}
 	}
 }

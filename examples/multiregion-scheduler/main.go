@@ -67,7 +67,7 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("GPU candidate pools: %d (archive holds %d series)\n", len(candidates), svc.Meta().SeriesCount)
+	fmt.Printf("GPU candidate pools: %d (archive holds %d series)\n", len(candidates), svc.Meta().Schema.SeriesCount)
 
 	const workers = 6
 	// SpotLake strategy: both scores high, then cheapest, spread across

@@ -324,7 +324,7 @@ func TestAdmissionRateLimitThrottles(t *testing.T) {
 		t.Errorf("Retry-After = %q, want 1 (one token at 1 req/s)", ra)
 	}
 	var body apiError
-	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error == "" {
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Error.Message == "" {
 		t.Errorf("throttle body not a JSON error: %q", rec.Body.String())
 	}
 

@@ -41,7 +41,15 @@ const maxCachedPoints = 100_000
 // of the shards its series hash to (or a new series appears anywhere),
 // so collection ticks only evict the entries they actually affect.
 type Service struct {
-	db       *tsdb.DB
+	// dbv holds the store serving reads. It is swappable: a replication
+	// follower installs a freshly reopened replica via SwapDB after each
+	// applied delta, while every query path captures the pointer once at
+	// entry and runs entirely against that capture. dbEpoch counts swaps;
+	// cache entries record it so results computed against a replaced
+	// store can never validate against its successor (whose generation
+	// counters restart and could collide).
+	dbv      atomic.Pointer[tsdb.DB]
+	dbEpoch  atomic.Uint64
 	cat      *catalog.Catalog
 	datasets map[string]bool
 	workers  int
@@ -51,6 +59,10 @@ type Service struct {
 	// layer (see admission.go).
 	flight    flightGroup
 	admission *Admission
+	// follower, when set, marks the service a read replica: writes and
+	// replication-source endpoints are refused, and reads carry a
+	// staleness bound (see replication.go).
+	follower *followerState
 }
 
 // NewService builds the query service over a store and the catalog it was
@@ -58,15 +70,42 @@ type Service struct {
 // default; AllowDatasets extends the set (e.g. for multi-vendor archives).
 func NewService(db *tsdb.DB, cat *catalog.Catalog) *Service {
 	s := &Service{
-		db:       db,
 		cat:      cat,
 		datasets: make(map[string]bool),
 		workers:  runtime.GOMAXPROCS(0),
 		cache:    newResultCache(queryCacheSize),
 	}
+	s.dbv.Store(db)
 	s.AllowDatasets(tsdb.DatasetPlacementScore, tsdb.DatasetInterruptFree,
 		tsdb.DatasetPrice, tsdb.DatasetSavings)
 	return s
+}
+
+// store returns the store currently serving reads.
+func (s *Service) store() *tsdb.DB { return s.dbv.Load() }
+
+// storeRef captures the serving store together with the swap epoch to
+// tag its cache entries with. The epoch is read first: if a swap races
+// the capture, the pair is at worst (old epoch, new store), whose cache
+// entries fail the epoch check and are recomputed — never (new epoch,
+// old store), which could poison the new store's cache.
+func (s *Service) storeRef() (*tsdb.DB, uint64) {
+	epoch := s.dbEpoch.Load()
+	return s.dbv.Load(), epoch
+}
+
+// SwapDB atomically replaces the store serving reads and returns the old
+// one. In-flight requests finish against the store they captured at
+// entry, so the caller must keep the returned store open until they have
+// drained (the follower's puller closes it after a grace period — a read
+// racing the close degrades to a cold-read error, never a wrong answer).
+// The result cache is purged; the epoch bump keeps any racing put from
+// surviving into the new store's cache.
+func (s *Service) SwapDB(db *tsdb.DB) *tsdb.DB {
+	old := s.dbv.Swap(db)
+	s.dbEpoch.Add(1)
+	s.cache.purge()
+	return old
 }
 
 // SetWorkers overrides the fan-out worker pool size (minimum 1); the
@@ -157,8 +196,10 @@ func (s *Service) Datasets() []string {
 	return out
 }
 
-// DB exposes the underlying store (used by analysis tooling).
-func (s *Service) DB() *tsdb.DB { return s.db }
+// DB exposes the store currently serving reads (used by analysis
+// tooling). On a follower the pointer is replaced by SwapDB as deltas
+// apply; callers holding it see a consistent-but-frozen replica.
+func (s *Service) DB() *tsdb.DB { return s.store() }
 
 // Catalog returns the inventory the archive covers.
 func (s *Service) Catalog() *catalog.Catalog { return s.cat }
@@ -200,7 +241,7 @@ type SeriesResult struct {
 // validation semantics.
 func (s *Service) checkWindow(req QueryRequest) (from, to time.Time, err error) {
 	if req.Dataset != "" && !s.datasets[req.Dataset] {
-		return from, to, fmt.Errorf("archive: unknown dataset %q", req.Dataset)
+		return from, to, badParam("dataset", "archive: unknown dataset %q", req.Dataset)
 	}
 	from, to = req.From, req.To
 	if to.IsZero() {
@@ -212,10 +253,11 @@ func (s *Service) checkWindow(req QueryRequest) (from, to time.Time, err error) 
 	return from, to, nil
 }
 
-// matchedKeys lists the series keys the request's filter selects,
-// enforcing the per-query series limit.
-func (s *Service) matchedKeys(req QueryRequest) ([]tsdb.SeriesKey, error) {
-	keys := s.db.Keys(tsdb.KeyFilter{Dataset: req.Dataset, Type: req.Type, Region: req.Region, AZ: req.AZ})
+// matchedKeys lists the series keys the request's filter selects from
+// db (the store captured at the query's entry), enforcing the per-query
+// series limit.
+func matchedKeys(db *tsdb.DB, req QueryRequest) ([]tsdb.SeriesKey, error) {
+	keys := db.Keys(tsdb.KeyFilter{Dataset: req.Dataset, Type: req.Type, Region: req.Region, AZ: req.AZ})
 	if len(keys) > MaxSeriesPerQuery {
 		return nil, fmt.Errorf("archive: query matches %d series, limit %d; narrow the filter", len(keys), MaxSeriesPerQuery)
 	}
@@ -236,15 +278,16 @@ func (s *Service) Query(req QueryRequest) ([]SeriesResult, error) {
 	// Query always returns the full window; zero the page fields so a
 	// caller that set them doesn't fragment the cache.
 	req.Limit, req.Offset, req.Cursor = 0, 0, ""
-	plan, err := s.resolveRead(&req, from, to)
+	db, epoch := s.storeRef()
+	plan, err := resolveRead(db, &req, from, to)
 	if err != nil {
 		return nil, err
 	}
 	ck := cacheKey("query", req)
-	if v, ok := s.cache.get(ck, s.db.KeyGeneration(), s.db.ShardGenerations()); ok {
+	if v, ok := s.cache.get(ck, epoch, db.KeyGeneration(), db.ShardGenerations()); ok {
 		return v.([]SeriesResult), nil
 	}
-	v, err := s.flight.do(ck, func() (any, error) { return s.queryCold(req, plan, ck, from, to) })
+	v, err := s.flight.do(ck, func() (any, error) { return s.queryCold(db, epoch, req, plan, ck, from, to) })
 	if err != nil {
 		return nil, err
 	}
@@ -252,15 +295,15 @@ func (s *Service) Query(req QueryRequest) ([]SeriesResult, error) {
 }
 
 // queryCold is the leader's computation for a Query cache miss.
-func (s *Service) queryCold(req QueryRequest, plan readPlan, ck string, from, to time.Time) (any, error) {
+func (s *Service) queryCold(db *tsdb.DB, epoch uint64, req QueryRequest, plan readPlan, ck string, from, to time.Time) (any, error) {
 	// Capture the generations before reading: a write racing the fan-out
 	// makes the cached entry stale immediately, never the reverse. The
 	// capture is the leader's own — coalesced followers share it. Rollup
 	// reads are guarded by the RAW store's generations too: rollup series
 	// only change at checkpoint time, and every checkpoint was preceded by
 	// the raw appends (gen bumps) whose points it rolls up.
-	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
-	keys, err := s.matchedKeys(req)
+	keyGen, genVec := db.KeyGeneration(), db.ShardGenerations()
+	keys, err := matchedKeys(db, req)
 	if err != nil {
 		return nil, err
 	}
@@ -286,8 +329,8 @@ func (s *Service) queryCold(req QueryRequest, plan readPlan, ck string, from, to
 	// polling with a unique moving window) would otherwise pin up to 128
 	// full-archive copies in the LRU without ever hitting.
 	if points <= maxCachedPoints {
-		dep, gens := s.depGenerations(keys, genVec)
-		s.cache.put(ck, keyGen, dep, gens, out)
+		dep, gens := depGenerations(db, keys, genVec)
+		s.cache.put(ck, epoch, keyGen, dep, gens, out)
 	}
 	return out, nil
 }
@@ -308,11 +351,11 @@ func firstErr(errs []error) error {
 // indices they hash to, paired with those shards' generations from the
 // pre-read vector. These are exactly the shards whose writes can change
 // the result (key-set changes are guarded by the key generation).
-func (s *Service) depGenerations(keys []tsdb.SeriesKey, genVec []uint64) ([]uint32, []uint64) {
+func depGenerations(db *tsdb.DB, keys []tsdb.SeriesKey, genVec []uint64) ([]uint32, []uint64) {
 	seen := make(map[uint32]struct{}, len(keys))
 	dep := make([]uint32, 0, len(keys))
 	for _, k := range keys {
-		si := uint32(s.db.ShardIndexOf(k))
+		si := uint32(db.ShardIndexOf(k))
 		if _, ok := seen[si]; ok {
 			continue
 		}
@@ -348,10 +391,11 @@ func (s *Service) Latest(req QueryRequest) ([]LatestEntry, error) {
 	filterOnly.From, filterOnly.To = time.Time{}, time.Time{}
 	filterOnly.Limit, filterOnly.Offset, filterOnly.Cursor = 0, 0, ""
 	ck := cacheKey("latest", filterOnly)
-	if v, ok := s.cache.get(ck, s.db.KeyGeneration(), s.db.ShardGenerations()); ok {
+	db, epoch := s.storeRef()
+	if v, ok := s.cache.get(ck, epoch, db.KeyGeneration(), db.ShardGenerations()); ok {
 		return v.([]LatestEntry), nil
 	}
-	v, err := s.flight.do(ck, func() (any, error) { return s.latestCold(req, ck) })
+	v, err := s.flight.do(ck, func() (any, error) { return s.latestCold(db, epoch, req, ck) })
 	if err != nil {
 		return nil, err
 	}
@@ -359,9 +403,9 @@ func (s *Service) Latest(req QueryRequest) ([]LatestEntry, error) {
 }
 
 // latestCold is the leader's computation for a Latest cache miss.
-func (s *Service) latestCold(req QueryRequest, ck string) (any, error) {
-	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
-	keys, err := s.matchedKeys(req)
+func (s *Service) latestCold(db *tsdb.DB, epoch uint64, req QueryRequest, ck string) (any, error) {
+	keyGen, genVec := db.KeyGeneration(), db.ShardGenerations()
+	keys, err := matchedKeys(db, req)
 	if err != nil {
 		return nil, err
 	}
@@ -372,7 +416,7 @@ func (s *Service) latestCold(req QueryRequest, ck string) (any, error) {
 	slots := make([]slot, len(keys))
 	errs := make([]error, len(keys))
 	s.fanOut(len(keys), func(i int) {
-		p, ok, err := s.db.Last(keys[i])
+		p, ok, err := db.Last(keys[i])
 		slots[i], errs[i] = slot{p: p, ok: ok}, err
 	})
 	if err := firstErr(errs); err != nil {
@@ -385,24 +429,46 @@ func (s *Service) latestCold(req QueryRequest, ck string) (any, error) {
 		}
 		out = append(out, LatestEntry{Key: k, At: slots[i].p.At, Value: slots[i].p.Value})
 	}
-	dep, gens := s.depGenerations(keys, genVec)
-	s.cache.put(ck, keyGen, dep, gens, out)
+	dep, gens := depGenerations(db, keys, genVec)
+	s.cache.put(ck, epoch, keyGen, dep, gens, out)
 	return out, nil
 }
 
-// Meta summarizes the archive contents and the serving layer's health.
+// APIVersion names the /api/v1 response contract; /api/v1/meta reports
+// it top-level so clients can pin the shape they parse.
+const APIVersion = "v1"
+
+// Meta summarizes the archive contents and the serving layer's health,
+// as versioned namespaced sections: `schema` (what data is queryable),
+// `store` (tsdb durability and the hot/cold split), `cache`, `admission`
+// (absent without a controller), `retention` (absent without -retain-raw),
+// and `replication` (role, epochs, staleness).
 type Meta struct {
+	APIVersion string     `json:"apiVersion"`
+	Schema     SchemaMeta `json:"schema"`
+	Cache      CacheStats `json:"cache"`
+	Store      StoreMeta  `json:"store"`
+	// Admission reports the traffic controller's counters and rolling
+	// handler-latency percentiles; absent when no controller is set.
+	Admission *AdmissionStats `json:"admission,omitempty"`
+	// Retention lists the per-dataset raw retention horizons with each
+	// dataset's committed cut, rollup coverage, and points dropped so
+	// far; absent when no -retain-raw is configured.
+	Retention []tsdb.RetentionStat `json:"retention,omitempty"`
+	// Replication reports the serving role and, on a follower, how far
+	// behind the primary this replica may be.
+	Replication ReplicationMeta `json:"replication"`
+}
+
+// SchemaMeta describes the queryable data: series/point inventory and
+// the catalog dimensions behind the filter parameters.
+type SchemaMeta struct {
 	SeriesCount int            `json:"seriesCount"`
 	PointCount  int            `json:"pointCount"`
 	Datasets    map[string]int `json:"datasets"` // dataset -> series count
 	Types       int            `json:"types"`
 	Regions     int            `json:"regions"`
 	AZs         int            `json:"azs"`
-	Cache       CacheStats     `json:"cache"`
-	Store       StoreMeta      `json:"store"`
-	// Admission reports the traffic controller's counters and rolling
-	// handler-latency percentiles; absent when no controller is set.
-	Admission *AdmissionStats `json:"admission,omitempty"`
 }
 
 // StoreMeta surfaces the tsdb's durability health: the size of the
@@ -433,49 +499,50 @@ type StoreMeta struct {
 	// RollupTiers reports whether the store maintains 1h/1d rollup
 	// series (resolution= is servable beyond raw).
 	RollupTiers bool `json:"rollupTiers"`
-	// Retention lists the per-dataset raw retention horizons with each
-	// dataset's committed cut, rollup coverage, and points dropped so
-	// far; absent when no -retain-raw is configured.
-	Retention []tsdb.RetentionStat `json:"retention,omitempty"`
 }
 
 // Meta returns the archive summary.
 func (s *Service) Meta() Meta {
+	db := s.store()
 	m := Meta{
-		SeriesCount: s.db.SeriesCount(),
-		PointCount:  s.db.PointCount(),
-		Datasets:    make(map[string]int),
-		Types:       s.cat.NumTypes(),
-		Regions:     s.cat.NumRegions(),
-		AZs:         s.cat.NumAZs(),
-		Cache:       s.CacheStats(),
-		Store: StoreMeta{
-			Durable:                 s.db.Durable(),
-			WALBytesSinceCheckpoint: s.db.WALBytesSinceCheckpoint(),
-			ReplayedWALBytes:        s.db.ReplayedWALBytes(),
-			RotateFailures:          s.db.RotateFailures(),
-			SealedSegments:          s.db.SealedSegments(),
-			MaxSealedSegments:       s.db.MaxSealedSegments(),
-			CheckpointAfterBytes:    s.db.CheckpointAfterBytes(),
-			MaintainerActive:        s.db.MaintainerActive(),
-			Maintenance:             s.db.MaintenanceStats(),
-			HotPoints:               s.db.HotPointCount(),
-			ColdPoints:              s.db.ColdPointCount(),
-			SealedBlocks:            s.db.SealedBlocks(),
-			ColdCompressedBytes:     s.db.ColdCompressedBytes(),
-			HotTailPoints:           s.db.HotTailPoints(),
-			ColdReadErrors:          s.db.ColdReadErrors(),
-			BlockCache:              s.db.BlockCacheStats(),
-			RollupTiers:             s.db.Rollups() != nil,
-			Retention:               s.db.RetentionStats(),
+		APIVersion: APIVersion,
+		Schema: SchemaMeta{
+			SeriesCount: db.SeriesCount(),
+			PointCount:  db.PointCount(),
+			Datasets:    make(map[string]int),
+			Types:       s.cat.NumTypes(),
+			Regions:     s.cat.NumRegions(),
+			AZs:         s.cat.NumAZs(),
 		},
+		Cache: s.CacheStats(),
+		Store: StoreMeta{
+			Durable:                 db.Durable(),
+			WALBytesSinceCheckpoint: db.WALBytesSinceCheckpoint(),
+			ReplayedWALBytes:        db.ReplayedWALBytes(),
+			RotateFailures:          db.RotateFailures(),
+			SealedSegments:          db.SealedSegments(),
+			MaxSealedSegments:       db.MaxSealedSegments(),
+			CheckpointAfterBytes:    db.CheckpointAfterBytes(),
+			MaintainerActive:        db.MaintainerActive(),
+			Maintenance:             db.MaintenanceStats(),
+			HotPoints:               db.HotPointCount(),
+			ColdPoints:              db.ColdPointCount(),
+			SealedBlocks:            db.SealedBlocks(),
+			ColdCompressedBytes:     db.ColdCompressedBytes(),
+			HotTailPoints:           db.HotTailPoints(),
+			ColdReadErrors:          db.ColdReadErrors(),
+			BlockCache:              db.BlockCacheStats(),
+			RollupTiers:             db.Rollups() != nil,
+		},
+		Retention:   db.RetentionStats(),
+		Replication: s.replicationMeta(db),
 	}
 	if s.admission != nil {
 		st := s.admission.Stats()
 		m.Admission = &st
 	}
 	for _, ds := range s.Datasets() {
-		m.Datasets[ds] = len(s.db.Keys(tsdb.KeyFilter{Dataset: ds}))
+		m.Schema.Datasets[ds] = len(db.Keys(tsdb.KeyFilter{Dataset: ds}))
 	}
 	return m
 }

@@ -101,14 +101,14 @@ func TestLatest(t *testing.T) {
 func TestMeta(t *testing.T) {
 	s, cat := buildArchive(t)
 	m := s.Meta()
-	if m.SeriesCount == 0 || m.PointCount == 0 {
+	if m.Schema.SeriesCount == 0 || m.Schema.PointCount == 0 {
 		t.Error("empty meta after collection")
 	}
-	if m.Types != cat.NumTypes() || m.Regions != 17 || m.AZs != 63 {
+	if m.Schema.Types != cat.NumTypes() || m.Schema.Regions != 17 || m.Schema.AZs != 63 {
 		t.Errorf("meta inventory = %+v", m)
 	}
-	if m.Datasets[tsdb.DatasetPlacementScore] != len(cat.Pools()) {
-		t.Errorf("sps series = %d, want %d", m.Datasets[tsdb.DatasetPlacementScore], len(cat.Pools()))
+	if m.Schema.Datasets[tsdb.DatasetPlacementScore] != len(cat.Pools()) {
+		t.Errorf("sps series = %d, want %d", m.Schema.Datasets[tsdb.DatasetPlacementScore], len(cat.Pools()))
 	}
 }
 
@@ -139,7 +139,7 @@ func TestHTTPEndpoints(t *testing.T) {
 	if err := json.Unmarshal(body, &meta); err != nil {
 		t.Fatalf("meta not JSON: %v", err)
 	}
-	if meta.SeriesCount == 0 {
+	if meta.Schema.SeriesCount == 0 {
 		t.Error("meta reports empty archive")
 	}
 

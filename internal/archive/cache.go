@@ -26,6 +26,12 @@ type resultCache struct {
 
 type cacheEntry struct {
 	key string
+	// epoch is the service's store epoch the entry was computed under
+	// (bumped whenever SwapDB installs a new store). Generation counters
+	// are meaningless across stores — a freshly opened replica restarts
+	// them — so an entry from another epoch is stale by definition, even
+	// if the new store's counters happen to collide.
+	epoch uint64
 	// keyGen guards against series creation: a new series can match the
 	// cached filter while hashing to a shard the result never touched.
 	keyGen uint64
@@ -40,9 +46,12 @@ func newResultCache(capacity int) *resultCache {
 	return &resultCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
-// valid reports whether the entry is current against the given key-set
-// generation and per-shard generation vector.
-func (e *cacheEntry) valid(keyGen uint64, genVec []uint64) bool {
+// valid reports whether the entry is current against the given store
+// epoch, key-set generation, and per-shard generation vector.
+func (e *cacheEntry) valid(epoch, keyGen uint64, genVec []uint64) bool {
+	if e.epoch != epoch {
+		return false
+	}
 	if e.keyGen != keyGen {
 		return false
 	}
@@ -57,7 +66,7 @@ func (e *cacheEntry) valid(keyGen uint64, genVec []uint64) bool {
 // get returns the cached value for key if every shard it depends on is
 // still at the generation it was computed at; stale entries are evicted on
 // sight and counted as invalidations.
-func (c *resultCache) get(key string, keyGen uint64, genVec []uint64) (any, bool) {
+func (c *resultCache) get(key string, epoch, keyGen uint64, genVec []uint64) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
@@ -66,7 +75,7 @@ func (c *resultCache) get(key string, keyGen uint64, genVec []uint64) (any, bool
 		return nil, false
 	}
 	e := el.Value.(*cacheEntry)
-	if !e.valid(keyGen, genVec) {
+	if !e.valid(epoch, keyGen, genVec) {
 		c.ll.Remove(el)
 		delete(c.m, key)
 		c.inval.Add(1)
@@ -78,21 +87,31 @@ func (c *resultCache) get(key string, keyGen uint64, genVec []uint64) (any, bool
 	return e.val, true
 }
 
-func (c *resultCache) put(key string, keyGen uint64, shards []uint32, gens []uint64, val any) {
+func (c *resultCache) put(key string, epoch, keyGen uint64, shards []uint32, gens []uint64, val any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		e := el.Value.(*cacheEntry)
-		e.keyGen, e.shards, e.gens, e.val = keyGen, shards, gens, val
+		e.epoch, e.keyGen, e.shards, e.gens, e.val = epoch, keyGen, shards, gens, val
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, keyGen: keyGen, shards: shards, gens: gens, val: val})
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, epoch: epoch, keyGen: keyGen, shards: shards, gens: gens, val: val})
 	for c.ll.Len() > c.cap {
 		el := c.ll.Back()
 		c.ll.Remove(el)
 		delete(c.m, el.Value.(*cacheEntry).key)
 	}
+}
+
+// purge drops every entry. SwapDB calls it so results computed against a
+// replaced store free their memory immediately; the epoch check in valid
+// is what guarantees correctness for entries a racing put adds afterward.
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.m)
 }
 
 // CacheStats reports cumulative result-cache counters. Invalidations

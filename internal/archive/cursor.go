@@ -139,7 +139,7 @@ type CursorPage struct {
 // concurrent collection can only add points after it, never shift it.
 func (s *Service) QueryCursor(req QueryRequest) (*CursorPage, error) {
 	if req.Limit < 0 {
-		return nil, fmt.Errorf("archive: negative limit")
+		return nil, badParam("limit", "archive: negative limit")
 	}
 	if req.Offset != 0 {
 		return nil, fmt.Errorf("archive: cursor and offset are mutually exclusive")
@@ -148,7 +148,8 @@ func (s *Service) QueryCursor(req QueryRequest) (*CursorPage, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := s.resolveRead(&req, from, to)
+	db, epoch := s.storeRef()
+	plan, err := resolveRead(db, &req, from, to)
 	if err != nil {
 		return nil, err
 	}
@@ -177,20 +178,20 @@ func (s *Service) QueryCursor(req QueryRequest) (*CursorPage, error) {
 		// or re-queries a rollup tier, which retention never drops.
 		if plan.res == "raw" {
 			if sk, err := tsdb.ParseSeriesKey(curKey); err == nil {
-				if cut, ok := s.db.RetentionCut(sk.Dataset); ok && curAt.Before(cut) {
+				if cut, ok := db.RetentionCut(sk.Dataset); ok && curAt.Before(cut) {
 					return nil, fmt.Errorf("%w: token position precedes dataset %q's raw retention horizon (raw points there have been rolled up and dropped); restart the walk or query resolution=1h/1d", ErrBadCursor, sk.Dataset)
 				}
 			}
 		}
 	}
 	ck := cacheKey("cursor", req)
-	if v, ok := s.cache.get(ck, s.db.KeyGeneration(), s.db.ShardGenerations()); ok {
+	if v, ok := s.cache.get(ck, epoch, db.KeyGeneration(), db.ShardGenerations()); ok {
 		return v.(*CursorPage), nil
 	}
 	// Concurrent identical cold page requests (many clients replaying the
 	// same walk position) collapse onto one computation.
 	v, err := s.flight.do(ck, func() (any, error) {
-		return s.cursorCold(req, plan, ck, from, to, curKey, curAt, curSeq, resuming)
+		return s.cursorCold(db, epoch, req, plan, ck, from, to, curKey, curAt, curSeq, resuming)
 	})
 	if err != nil {
 		return nil, err
@@ -199,11 +200,11 @@ func (s *Service) QueryCursor(req QueryRequest) (*CursorPage, error) {
 }
 
 // cursorCold is the leader's computation for a QueryCursor cache miss.
-func (s *Service) cursorCold(req QueryRequest, plan readPlan, ck string, from, to time.Time, curKey string, curAt time.Time, curSeq int, resuming bool) (any, error) {
+func (s *Service) cursorCold(db *tsdb.DB, epoch uint64, req QueryRequest, plan readPlan, ck string, from, to time.Time, curKey string, curAt time.Time, curSeq int, resuming bool) (any, error) {
 	// Capture the generations before reading, like every query path.
-	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
+	keyGen, genVec := db.KeyGeneration(), db.ShardGenerations()
 	scope := cursorScope(req)
-	keys, err := s.matchedKeys(req)
+	keys, err := matchedKeys(db, req)
 	if err != nil {
 		return nil, err
 	}
@@ -324,8 +325,8 @@ func (s *Service) cursorCold(req QueryRequest, plan readPlan, ck string, from, t
 		page.NextCursor = encodeCursor(scope, lastKey, lastAt, uint32(n))
 	}
 	if points <= maxCachedPoints {
-		dep, gens := s.depGenerations(keys, genVec)
-		s.cache.put(ck, keyGen, dep, gens, page)
+		dep, gens := depGenerations(db, keys, genVec)
+		s.cache.put(ck, epoch, keyGen, dep, gens, page)
 	}
 	return page, nil
 }

@@ -29,9 +29,10 @@ and spot prices. Query the API:</p>
 <ul>
 <li><code>GET /api/v1/meta</code> — archive summary</li>
 <li><code>GET /api/v1/query?dataset=sps&amp;type=m5.xlarge&amp;region=us-east-1</code> — historical series
-(paginate big windows with <code>&amp;limit=N&amp;cursor=</code> and follow the <code>X-Next-Cursor</code>
-header — stable under live collection; <code>&amp;limit=N&amp;offset=M</code> /
-<code>X-Next-Offset</code> remain for random access)</li>
+(paginate with <code>&amp;limit=N&amp;cursor=</code> and follow the <code>X-Next-Cursor</code>
+header — stable under live collection and portable across replicas;
+<code>&amp;offset=M</code> pagination is <em>deprecated</em> and scheduled for removal —
+responses carry <code>Deprecation</code>/<code>Sunset</code> headers)</li>
 <li><code>GET /api/v1/latest?dataset=if&amp;region=us-east-1</code> — current values</li>
 <li><code>GET /api/v1/catalog/types</code>, <code>GET /api/v1/catalog/regions</code></li>
 </ul>
@@ -44,10 +45,6 @@ fetch('/api/v1/meta').then(r => r.json())
 </body>
 </html>
 `
-
-type apiError struct {
-	Error string `json:"error"`
-}
 
 // gzipPool recycles gzip writers across requests; compressing a large
 // query window allocates a ~800KB state block that would otherwise churn
@@ -211,10 +208,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, apiError{Error: err.Error()})
-}
-
 // parseQueryRequest extracts the common filter/window parameters.
 func parseQueryRequest(r *http.Request) (QueryRequest, error) {
 	q := r.URL.Query()
@@ -230,28 +223,28 @@ func parseQueryRequest(r *http.Request) (QueryRequest, error) {
 			// Name the offending parameter: a raw time.Parse error tells
 			// the client what was malformed but not which of its (possibly
 			// many) parameters carried it.
-			return req, fmt.Errorf("archive: from must be an RFC 3339 timestamp (e.g. 2022-01-01T00:00:00Z), got %q", s)
+			return req, badParam("from", "archive: from must be an RFC 3339 timestamp (e.g. 2022-01-01T00:00:00Z), got %q", s)
 		}
 		req.From = t
 	}
 	if s := q.Get("to"); s != "" {
 		t, err := time.Parse(time.RFC3339, s)
 		if err != nil {
-			return req, fmt.Errorf("archive: to must be an RFC 3339 timestamp (e.g. 2022-01-01T00:00:00Z), got %q", s)
+			return req, badParam("to", "archive: to must be an RFC 3339 timestamp (e.g. 2022-01-01T00:00:00Z), got %q", s)
 		}
 		req.To = t
 	}
 	if s := q.Get("limit"); s != "" {
 		n, err := strconv.Atoi(s)
 		if err != nil || n < 0 {
-			return req, fmt.Errorf("archive: limit must be a non-negative integer, got %q", s)
+			return req, badParam("limit", "archive: limit must be a non-negative integer, got %q", s)
 		}
 		req.Limit = n
 	}
 	if s := q.Get("offset"); s != "" {
 		n, err := strconv.Atoi(s)
 		if err != nil || n < 0 {
-			return req, fmt.Errorf("archive: offset must be a non-negative integer, got %q", s)
+			return req, badParam("offset", "archive: offset must be a non-negative integer, got %q", s)
 		}
 		req.Offset = n
 	}
@@ -320,6 +313,24 @@ func streamSeriesJSON(w http.ResponseWriter, status int, series []SeriesResult) 
 	write("]\n")
 }
 
+// Offset pagination is deprecated in favor of cursors (stable under
+// live collection, portable across replicas). offsetDeprecatedAt is the
+// deprecation instant advertised per RFC 9745 (`@<unix-seconds>`, the
+// date this API version shipped); offsetSunset the planned removal date
+// per RFC 8594. Until the sunset, offset requests keep working and the
+// 400 code ErrCodeOffsetDeprecated stays reserved, unproduced.
+const (
+	offsetDeprecatedAt = "@1786147200" // 2026-08-08T00:00:00Z
+	offsetSunset       = "Sun, 08 Aug 2027 00:00:00 GMT"
+)
+
+// setOffsetDeprecation stamps the deprecation headers on every response
+// served by the offset-paginated path.
+func setOffsetDeprecation(w http.ResponseWriter) {
+	w.Header().Set("Deprecation", offsetDeprecatedAt)
+	w.Header().Set("Sunset", offsetSunset)
+}
+
 // setNextLink advertises the next page of a paginated walk: hdr carries
 // the bare value and Link a ready-to-follow URL with param replaced.
 // The URL is built on a deep copy of the request's parsed query —
@@ -381,6 +392,7 @@ func (s *Service) Handler() http.Handler {
 		// stream), with the page metadata in headers so unpaginated
 		// clients keep working unchanged.
 		if req.Limit > 0 || req.Offset > 0 {
+			setOffsetDeprecation(w)
 			page, err := s.QueryPaged(req)
 			if err != nil {
 				queryErr(w, err)
@@ -456,15 +468,47 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.Datasets())
 	})
 
+	mux.HandleFunc("GET /api/v1/replication/manifest", s.handleReplManifest)
+
 	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		_, _ = w.Write([]byte(indexHTML))
 	})
 
-	// Admission is the outermost layer so throttled and shed requests pay
-	// the absolute minimum (two atomic checks and a tiny JSON error), and
+	// Catch-all: unknown paths (and wrong methods on known ones) answer
+	// in the error envelope instead of the mux's plain-text defaults, so
+	// every non-2xx body on the surface parses the same way.
+	known := map[string]bool{
+		"/": true, "/api/v1/query": true, "/api/v1/latest": true,
+		"/api/v1/meta": true, "/api/v1/catalog/types": true,
+		"/api/v1/catalog/regions": true, "/api/v1/datasets": true,
+		"/api/v1/replication/manifest": true,
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && known[r.URL.Path] {
+			w.Header().Set("Allow", http.MethodGet)
+			writeAPIError(w, http.StatusMethodNotAllowed, ErrCodeMethodNotAllowed, "",
+				fmt.Errorf("archive: %s does not allow %s (only GET)", r.URL.Path, r.Method))
+			return
+		}
+		writeAPIError(w, http.StatusNotFound, ErrCodeNotFound, "",
+			fmt.Errorf("archive: no such endpoint %s", r.URL.Path))
+	})
+
+	// Replication artifact downloads bypass the gzip layer: they are
+	// served with http.ServeContent, whose Range and Content-Length
+	// semantics a transparent recompression layer would break — and the
+	// payloads (compressed blocks, binary WAL records) barely compress
+	// anyway.
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /api/v1/replication/file/{name...}", s.handleReplFile)
+	outer.Handle("/", withGzip(mux))
+
+	// Admission wraps everything so throttled and shed requests pay the
+	// absolute minimum (two atomic checks and a tiny JSON error), and
 	// the recorded handler latency covers compression like everything
-	// else a client waits on. With no controller set this is the bare
-	// gzip'd mux.
-	return withAdmission(s.admission, withGzip(mux))
+	// else a client waits on; the follower staleness gate sits outside
+	// even that — a known-stale replica answers without burning an
+	// admission slot. With no controller set this is the bare gzip'd mux.
+	return s.withFollowerGate(withAdmission(s.admission, outer))
 }

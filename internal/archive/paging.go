@@ -70,17 +70,18 @@ func (s *Service) QueryPaged(req QueryRequest) (*QueryPage, error) {
 	// The offset path ignores a cursor; zero it so a stray token can't
 	// fragment the cache (the HTTP layer rejects the combination).
 	req.Cursor = ""
-	plan, err := s.resolveRead(&req, from, to)
+	db, epoch := s.storeRef()
+	plan, err := resolveRead(db, &req, from, to)
 	if err != nil {
 		return nil, err
 	}
 	ck := cacheKey("page", req)
-	if v, ok := s.cache.get(ck, s.db.KeyGeneration(), s.db.ShardGenerations()); ok {
+	if v, ok := s.cache.get(ck, epoch, db.KeyGeneration(), db.ShardGenerations()); ok {
 		return v.(*QueryPage), nil
 	}
 	// Concurrent identical cold page requests collapse onto one
 	// computation (see singleflight.go).
-	v, err := s.flight.do(ck, func() (any, error) { return s.pageCold(req, plan, ck, from, to) })
+	v, err := s.flight.do(ck, func() (any, error) { return s.pageCold(db, epoch, req, plan, ck, from, to) })
 	if err != nil {
 		return nil, err
 	}
@@ -88,9 +89,9 @@ func (s *Service) QueryPaged(req QueryRequest) (*QueryPage, error) {
 }
 
 // pageCold is the leader's computation for a QueryPaged cache miss.
-func (s *Service) pageCold(req QueryRequest, plan readPlan, ck string, from, to time.Time) (any, error) {
-	keyGen, genVec := s.db.KeyGeneration(), s.db.ShardGenerations()
-	keys, err := s.matchedKeys(req)
+func (s *Service) pageCold(db *tsdb.DB, epoch uint64, req QueryRequest, plan readPlan, ck string, from, to time.Time) (any, error) {
+	keyGen, genVec := db.KeyGeneration(), db.ShardGenerations()
+	keys, err := matchedKeys(db, req)
 	if err != nil {
 		return nil, err
 	}
@@ -152,8 +153,8 @@ func (s *Service) pageCold(req QueryRequest, plan readPlan, ck string, from, to 
 		page.NextOffset = hi
 	}
 	if points <= maxCachedPoints {
-		dep, gens := s.depGenerations(keys, genVec)
-		s.cache.put(ck, keyGen, dep, gens, page)
+		dep, gens := depGenerations(db, keys, genVec)
+		s.cache.put(ck, epoch, keyGen, dep, gens, page)
 	}
 	return page, nil
 }

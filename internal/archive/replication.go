@@ -1,0 +1,272 @@
+package archive
+
+// Checkpoint-shipping replication over HTTP.
+//
+// The primary exposes its store's committed artifacts (see
+// internal/tsdb/replication.go for the contract) on two endpoints:
+//
+//	GET /api/v1/replication/manifest
+//	    A coherent listing: the committed MANIFEST bytes (parent and
+//	    rollup), the (epoch, checkpointSeq) position they were captured
+//	    at, and every artifact file with its size.
+//	GET /api/v1/replication/file/{name}?epoch=E&checkpointSeq=S
+//	    One artifact, served range-able via http.ServeContent. The
+//	    request pins the listing's position: if a checkpoint (which may
+//	    reclaim sealed segments and the old snapshot) or a re-shard
+//	    landed since, the primary answers 409 epoch_mismatch and the
+//	    follower re-lists; a file that vanished under an unchanged
+//	    position (impossible today, defensive tomorrow) answers 410.
+//
+// Followers run a Puller (puller.go) against these endpoints and serve
+// every read endpoint themselves; SetFollower marks the service a
+// replica, which (a) refuses the replication-source endpoints — chained
+// replication is not supported, a follower's artifact set is momentarily
+// torn during applies — and (b) gates reads behind the staleness bound:
+// past -max-staleness without a confirmed sync, reads answer 503
+// stale_replica rather than silently serving arbitrarily old data.
+// /api/v1/meta stays exempt, exactly like admission: a sick replica must
+// remain observable, and the meta body itself carries the staleness
+// numbers an operator needs.
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// followerState is the replica-side bookkeeping SetFollower installs.
+type followerState struct {
+	primaryURL   string
+	maxStaleness time.Duration
+	// lastSync is the UnixNano of the last cycle that confirmed the
+	// replica current (applied a delta or verified there was none);
+	// 0 = never synced.
+	lastSync atomic.Int64
+	// appliedEpoch/appliedSeq are the primary position of the last
+	// applied (or verified-current) listing.
+	appliedEpoch atomic.Uint64
+	appliedSeq   atomic.Uint64
+}
+
+// SetFollower marks the service a read replica of primaryURL with the
+// given staleness bound (<= 0 disables the bound: the replica serves
+// however stale it is). Must be called before Handler().
+func (s *Service) SetFollower(primaryURL string, maxStaleness time.Duration) {
+	s.follower = &followerState{primaryURL: primaryURL, maxStaleness: maxStaleness}
+}
+
+// IsFollower reports whether the service serves as a read replica.
+func (s *Service) IsFollower() bool { return s.follower != nil }
+
+// noteSync records a successful sync cycle at the given primary
+// position. The puller calls it both after applying a delta and after
+// verifying the replica is already current — either way the replica's
+// staleness clock resets, because its state is provably the primary's
+// committed state as of now.
+func (s *Service) noteSync(epoch, checkpointSeq uint64, at time.Time) {
+	f := s.follower
+	if f == nil {
+		return
+	}
+	f.appliedEpoch.Store(epoch)
+	f.appliedSeq.Store(checkpointSeq)
+	f.lastSync.Store(at.UnixNano())
+}
+
+// staleFor reports how long the replica has gone without a confirmed
+// sync, and whether that exceeds the staleness bound.
+func (f *followerState) staleFor(now time.Time) (time.Duration, bool) {
+	if f.maxStaleness <= 0 {
+		return 0, false
+	}
+	last := f.lastSync.Load()
+	if last == 0 {
+		// Never synced: stale by definition — the replica may be serving
+		// a local directory of any age.
+		return f.maxStaleness, true
+	}
+	behind := now.Sub(time.Unix(0, last))
+	return behind, behind > f.maxStaleness
+}
+
+// ReplicationMeta is /api/v1/meta's `replication` section.
+type ReplicationMeta struct {
+	// Role is "primary" or "follower".
+	Role string `json:"role"`
+	// Epoch and CheckpointSeq are the serving store's committed
+	// position (zero on memory-only stores, which have neither).
+	Epoch         uint64 `json:"epoch"`
+	CheckpointSeq uint64 `json:"checkpointSeq"`
+	// Follower-only fields.
+	PrimaryURL               string  `json:"primaryUrl,omitempty"`
+	LastAppliedEpoch         uint64  `json:"lastAppliedEpoch,omitempty"`
+	LastAppliedCheckpointSeq uint64  `json:"lastAppliedCheckpointSeq,omitempty"`
+	SecondsBehindPrimary     float64 `json:"secondsBehindPrimary,omitempty"`
+	MaxStalenessSeconds      float64 `json:"maxStalenessSeconds,omitempty"`
+	Stale                    bool    `json:"stale,omitempty"`
+}
+
+func (s *Service) replicationMeta(db *tsdb.DB) ReplicationMeta {
+	m := ReplicationMeta{Role: "primary"}
+	if db.Durable() {
+		m.Epoch, m.CheckpointSeq = db.ReplicationPosition()
+	}
+	f := s.follower
+	if f == nil {
+		return m
+	}
+	m.Role = "follower"
+	m.PrimaryURL = f.primaryURL
+	m.LastAppliedEpoch = f.appliedEpoch.Load()
+	m.LastAppliedCheckpointSeq = f.appliedSeq.Load()
+	m.MaxStalenessSeconds = f.maxStaleness.Seconds()
+	if last := f.lastSync.Load(); last > 0 {
+		m.SecondsBehindPrimary = time.Since(time.Unix(0, last)).Seconds()
+	}
+	_, m.Stale = f.staleFor(time.Now())
+	return m
+}
+
+// withFollowerGate rejects reads on a replica past its staleness bound.
+// On a primary (or a follower within bound) it is h untouched.
+func (s *Service) withFollowerGate(h http.Handler) http.Handler {
+	if s.follower == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f := s.follower
+		// Meta stays reachable so a sick replica remains observable; the
+		// replication endpoints answer 403 not_primary on a follower no
+		// matter what, which is more actionable than a staleness 503.
+		if r.URL.Path != "/api/v1/meta" && !strings.HasPrefix(r.URL.Path, "/api/v1/replication/") {
+			if behind, stale := f.staleFor(time.Now()); stale {
+				// The bound is usually a multiple of the poll interval, so
+				// one interval is the natural retry hint.
+				w.Header().Set("Retry-After", "1")
+				writeAPIError(w, http.StatusServiceUnavailable, ErrCodeStaleReplica, "",
+					fmt.Errorf("archive: replica is %s behind the primary (max staleness %s); retry against the primary or another replica",
+						behind.Round(time.Second), f.maxStaleness))
+				return
+			}
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// replListing is the /api/v1/replication/manifest response: the parent
+// store's flattened artifact list (rollup files under "rollup/"), both
+// manifests verbatim, and the position the listing is coherent at.
+type replListing struct {
+	APIVersion     string                     `json:"apiVersion"`
+	Epoch          uint64                     `json:"epoch"`
+	CheckpointSeq  uint64                     `json:"checkpointSeq"`
+	Manifest       []byte                     `json:"manifest"`
+	RollupManifest []byte                     `json:"rollupManifest,omitempty"`
+	Artifacts      []tsdb.ReplicationArtifact `json:"artifacts"`
+}
+
+func (s *Service) handleReplManifest(w http.ResponseWriter, r *http.Request) {
+	if s.follower != nil {
+		writeAPIError(w, http.StatusForbidden, ErrCodeNotPrimary, "",
+			errors.New("archive: this server is a follower; pull from the primary"))
+		return
+	}
+	db := s.store()
+	if !db.Durable() {
+		writeAPIError(w, http.StatusNotFound, ErrCodeNotFound, "",
+			errors.New("archive: memory-only store has no replication artifacts"))
+		return
+	}
+	snap, err := db.ReplicationSnapshot()
+	if err != nil {
+		writeAPIError(w, http.StatusInternalServerError, ErrCodeInternal, "", err)
+		return
+	}
+	out := replListing{
+		APIVersion:    APIVersion,
+		Epoch:         snap.Epoch,
+		CheckpointSeq: snap.CheckpointSeq,
+		Manifest:      snap.Manifest,
+		Artifacts:     snap.Artifacts,
+	}
+	if snap.Rollup != nil {
+		out.RollupManifest = snap.Rollup.Manifest
+		for _, a := range snap.Rollup.Artifacts {
+			a.Name = "rollup/" + a.Name
+			out.Artifacts = append(out.Artifacts, a)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleReplFile(w http.ResponseWriter, r *http.Request) {
+	if s.follower != nil {
+		writeAPIError(w, http.StatusForbidden, ErrCodeNotPrimary, "",
+			errors.New("archive: this server is a follower; pull from the primary"))
+		return
+	}
+	db := s.store()
+	if !db.Durable() {
+		writeAPIError(w, http.StatusNotFound, ErrCodeNotFound, "",
+			errors.New("archive: memory-only store has no replication artifacts"))
+		return
+	}
+	name := r.PathValue("name")
+	if !tsdb.IsReplicationArtifactName(name) {
+		writeAPIError(w, http.StatusBadRequest, ErrCodeBadParam, "name",
+			fmt.Errorf("archive: %q is not a replication artifact name", name))
+		return
+	}
+	q := r.URL.Query()
+	wantEpoch, err1 := strconv.ParseUint(q.Get("epoch"), 10, 64)
+	wantSeq, err2 := strconv.ParseUint(q.Get("checkpointSeq"), 10, 64)
+	if err1 != nil || err2 != nil {
+		param := "epoch"
+		if err1 == nil {
+			param = "checkpointSeq"
+		}
+		writeAPIError(w, http.StatusBadRequest, ErrCodeBadParam, param,
+			errors.New("archive: file requests must pin the listing's epoch and checkpointSeq"))
+		return
+	}
+	// The position check makes the listing's coherence span the whole
+	// pull: a checkpoint bumps checkpointSeq before it reclaims any file
+	// the old listing referenced, so a puller that pinned the old
+	// position learns it must re-list instead of racing the reclamation.
+	epoch, seq := db.ReplicationPosition()
+	if epoch != wantEpoch || seq != wantSeq {
+		writeAPIError(w, http.StatusConflict, ErrCodeEpochMismatch, "",
+			fmt.Errorf("archive: listing position (epoch %d, checkpoint %d) is stale; primary is at (epoch %d, checkpoint %d) — re-list",
+				wantEpoch, wantSeq, epoch, seq))
+		return
+	}
+	f, err := os.Open(filepath.Join(db.Dir(), filepath.FromSlash(name)))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			writeAPIError(w, http.StatusGone, ErrCodeGone, "",
+				fmt.Errorf("archive: replication artifact %s is gone; re-list", name))
+			return
+		}
+		writeAPIError(w, http.StatusInternalServerError, ErrCodeInternal, "", err)
+		return
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		writeAPIError(w, http.StatusInternalServerError, ErrCodeInternal, "", err)
+		return
+	}
+	// ServeContent gives Range/If-Modified-Since handling for free; the
+	// artifacts are immutable (or, for rollup actives, append-only), so
+	// ranged resumes of an interrupted download are always byte-correct.
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeContent(w, r, filepath.Base(name), st.ModTime(), f)
+}

@@ -20,7 +20,6 @@ package archive
 // and clients correlate rollup pages against raw ones by the same key.
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/tsdb"
@@ -64,7 +63,7 @@ func (s *Service) EffectiveResolution(req QueryRequest) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	plan, err := s.resolveRead(&req, from, to)
+	plan, err := resolveRead(s.store(), &req, from, to)
 	if err != nil {
 		return "", err
 	}
@@ -72,18 +71,20 @@ func (s *Service) EffectiveResolution(req QueryRequest) (string, error) {
 }
 
 // resolveRead validates req's Resolution/Agg and resolves auto against
-// the window, returning the read plan. It normalizes req.Resolution and
-// req.Agg in place so cache keys and cursor scopes are built from the
-// effective values. Unknown values fail naming the parameter; an
-// explicit 1h/1d against a store without rollup tiers fails too, while
-// auto degrades to raw there (the caller asked for "whatever is
-// cheapest", and raw is all that exists).
-func (s *Service) resolveRead(req *QueryRequest, from, to time.Time) (readPlan, error) {
+// the window, returning the read plan rooted at db (the store captured
+// at the query's entry — the plan must not outlive a swap into a
+// different store). It normalizes req.Resolution and req.Agg in place so
+// cache keys and cursor scopes are built from the effective values.
+// Unknown values fail naming the parameter; an explicit 1h/1d against a
+// store without rollup tiers fails too, while auto degrades to raw there
+// (the caller asked for "whatever is cheapest", and raw is all that
+// exists).
+func resolveRead(db *tsdb.DB, req *QueryRequest, from, to time.Time) (readPlan, error) {
 	agg := tsdb.AggMean
 	if req.Agg != "" {
 		a, ok := tsdb.ParseAgg(req.Agg)
 		if !ok {
-			return readPlan{}, fmt.Errorf("archive: agg must be one of min, max, mean, last, got %q", req.Agg)
+			return readPlan{}, badParam("agg", "archive: agg must be one of min, max, mean, last, got %q", req.Agg)
 		}
 		agg = a
 	}
@@ -93,7 +94,7 @@ func (s *Service) resolveRead(req *QueryRequest, from, to time.Time) (readPlan, 
 	if res == "" {
 		res = "raw"
 	}
-	ro := s.db.Rollups()
+	ro := db.Rollups()
 	switch res {
 	case "raw":
 	case "auto":
@@ -108,14 +109,14 @@ func (s *Service) resolveRead(req *QueryRequest, from, to time.Time) (readPlan, 
 		}
 	case "1h", "1d":
 		if ro == nil {
-			return readPlan{}, fmt.Errorf("archive: resolution %q is unavailable: this store has no rollup tiers (memory-only or sealing disabled)", res)
+			return readPlan{}, badParam("resolution", "archive: resolution %q is unavailable: this store has no rollup tiers (memory-only or sealing disabled)", res)
 		}
 	default:
-		return readPlan{}, fmt.Errorf("archive: resolution must be one of raw, 1h, 1d, auto, got %q", req.Resolution)
+		return readPlan{}, badParam("resolution", "archive: resolution must be one of raw, 1h, 1d, auto, got %q", req.Resolution)
 	}
 	req.Resolution = res
 	if res == "raw" {
-		return readPlan{db: s.db, res: "raw", agg: agg}, nil
+		return readPlan{db: db, res: "raw", agg: agg}, nil
 	}
 	d, _ := tsdb.ParseResolution(res)
 	return readPlan{db: ro, res: res, rollup: d, agg: agg}, nil

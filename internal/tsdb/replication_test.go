@@ -1,0 +1,358 @@
+package tsdb
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// copyReplica ships src's current ReplicationSnapshot into dstDir the
+// way the archive puller does: stage every artifact, fsync, commit the
+// rollup manifest (if any), then the parent manifest — the sole commit
+// point. Returns the snapshot it shipped.
+func copyReplica(t *testing.T, src *DB, dstDir string) *ReplicationSnapshot {
+	t.Helper()
+	snap, err := src.ReplicationSnapshot()
+	if err != nil {
+		t.Fatalf("ReplicationSnapshot: %v", err)
+	}
+	stage := func(srcDir, dstDir string, arts []ReplicationArtifact) {
+		for _, a := range arts {
+			if !IsReplicationArtifactName(a.Name) {
+				t.Fatalf("snapshot listed non-artifact name %q", a.Name)
+			}
+			in, err := os.Open(filepath.Join(srcDir, a.Name))
+			if err != nil {
+				t.Fatalf("open artifact: %v", err)
+			}
+			out, err := os.Create(filepath.Join(dstDir, a.Name))
+			if err != nil {
+				t.Fatalf("stage artifact: %v", err)
+			}
+			n, err := io.Copy(out, in)
+			in.Close()
+			if err == nil {
+				err = out.Close()
+			}
+			if err != nil {
+				t.Fatalf("copy artifact %s: %v", a.Name, err)
+			}
+			if !a.Mutable && n != a.Size {
+				t.Fatalf("artifact %s: copied %d bytes, listing said %d", a.Name, n, a.Size)
+			}
+		}
+	}
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stage(src.Dir(), dstDir, snap.Artifacts)
+	if snap.Rollup != nil {
+		rdir := filepath.Join(dstDir, "rollup")
+		if err := os.MkdirAll(rdir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		stage(filepath.Join(src.Dir(), "rollup"), rdir, snap.Rollup.Artifacts)
+		if err := SyncReplicaDir(rdir); err != nil {
+			t.Fatal(err)
+		}
+		if err := CommitReplicatedManifest(rdir, snap.Rollup.Manifest); err != nil {
+			t.Fatalf("committing rollup manifest: %v", err)
+		}
+	}
+	if err := SyncReplicaDir(dstDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := CommitReplicatedManifest(dstDir, snap.Manifest); err != nil {
+		t.Fatalf("committing manifest: %v", err)
+	}
+	return snap
+}
+
+// assertStoresEqual compares every series of a against b across every
+// read primitive a replica serves.
+func assertStoresEqual(t *testing.T, a, b *DB) {
+	t.Helper()
+	end := t0.Add(1000000 * time.Hour)
+	ka, kb := a.Keys(KeyFilter{}), b.Keys(KeyFilter{})
+	if len(ka) != len(kb) {
+		t.Fatalf("key counts differ: %d vs %d", len(ka), len(kb))
+	}
+	for i, k := range ka {
+		if k != kb[i] {
+			t.Fatalf("key %d differs: %v vs %v", i, k, kb[i])
+		}
+		pa := noerr(a.Query(k, time.Time{}, end))
+		pb := noerr(b.Query(k, time.Time{}, end))
+		if len(pa) != len(pb) {
+			t.Fatalf("%v: %d vs %d points", k, len(pa), len(pb))
+		}
+		for j := range pa {
+			if !pa[j].At.Equal(pb[j].At) || pa[j].Value != pb[j].Value {
+				t.Fatalf("%v point %d: (%v,%v) vs (%v,%v)", k, j, pa[j].At, pa[j].Value, pb[j].At, pb[j].Value)
+			}
+		}
+		la, oka, err := a.Last(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, okb, err := b.Last(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oka != okb || (oka && (!la.At.Equal(lb.At) || la.Value != lb.Value)) {
+			t.Fatalf("%v last differs: (%v,%v) vs (%v,%v)", k, la.At, la.Value, lb.At, lb.Value)
+		}
+		ca := noerr(a.CountRange(k, time.Time{}, end))
+		cb := noerr(b.CountRange(k, time.Time{}, end))
+		if ca != cb {
+			t.Fatalf("%v counts differ: %d vs %d", k, ca, cb)
+		}
+	}
+	ra, rb := a.Rollups(), b.Rollups()
+	if (ra == nil) != (rb == nil) {
+		t.Fatalf("rollup presence differs: %v vs %v", ra != nil, rb != nil)
+	}
+	if ra != nil {
+		assertStoresEqual(t, ra, rb)
+	}
+}
+
+// TestReplicaDifferential is the tsdb-level convergence proof: after
+// every primary checkpoint, shipping the replication snapshot and
+// reopening read-only yields a store reference-equal to the primary's
+// committed state at the ship, across raw reads, counts, Last, and the
+// rollup tier — including an incremental re-ship that only adds the
+// delta files.
+func TestReplicaDifferential(t *testing.T) {
+	pdir, rdir := t.TempDir(), t.TempDir()
+	db, err := OpenWithOptions(pdir, rollupOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	open := func() *DB {
+		t.Helper()
+		r, err := OpenWithOptions(rdir, Options{Shards: 4, ReadOnly: true, MaintenanceInterval: -1})
+		if err != nil {
+			t.Fatalf("read-only open: %v", err)
+		}
+		return r
+	}
+
+	for round, n := range []int{600, 600, 600} {
+		if _, err := db.AppendBatch(rollupEntries(n, round*n)); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		copyReplica(t, db, rdir)
+		replica := open()
+		if !replica.ReadOnly() {
+			t.Fatal("replica does not report ReadOnly")
+		}
+		assertStoresEqual(t, db, replica)
+		if err := replica.Close(); err != nil {
+			t.Fatalf("closing replica: %v", err)
+		}
+	}
+
+	// The ship is crash-safe at its commit point: artifacts staged but no
+	// manifest committed must leave the previous replica state servable.
+	if _, err := db.AppendBatch(rollupEntries(300, 1800)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	preSnap := noerr(db.ReplicationSnapshot())
+	// Stage the new artifacts without committing either manifest.
+	for _, a := range preSnap.Artifacts {
+		src := noerr(os.ReadFile(filepath.Join(pdir, a.Name)))
+		if err := os.WriteFile(filepath.Join(rdir, a.Name), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale := open()
+	// The stale replica serves its old manifest's state: fewer points
+	// than the primary, but a coherent store.
+	if stale.PointCount() >= db.PointCount() {
+		t.Fatalf("stale replica claims %d points, primary has %d — staged files leaked into the committed view",
+			stale.PointCount(), db.PointCount())
+	}
+	stale.Close()
+}
+
+// TestReadOnlyStoreRejectsWrites locks down the whole write surface of
+// a read-only open.
+func TestReadOnlyStoreRejectsWrites(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenWithOptions(dir, sealedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.AppendBatch(sealEntries(64, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := OpenWithOptions(dir, Options{Shards: 4, ReadOnly: true, MaintenanceInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	k := sealKeys()[0]
+	if err := ro.Append(k, t0.Add(time.Hour*100000), 1); err == nil {
+		t.Error("read-only store accepted an append")
+	}
+	if _, err := ro.AppendBatch(sealEntries(4, 100000)); err == nil {
+		t.Error("read-only store accepted a batch append")
+	}
+	if err := ro.Checkpoint(); err == nil {
+		t.Error("read-only store accepted a checkpoint")
+	}
+	if _, err := ro.LoadSnapshot(strings.NewReader("x")); err == nil ||
+		!strings.Contains(err.Error(), "read-only") {
+		t.Errorf("read-only store snapshot load: %v", err)
+	}
+	if ro.MaintainerActive() {
+		t.Error("read-only store runs a maintenance daemon")
+	}
+}
+
+// TestReadOnlyOpenRefusals: the open paths a replica must never take.
+func TestReadOnlyOpenRefusals(t *testing.T) {
+	if _, err := OpenWithOptions("", Options{ReadOnly: true}); err == nil {
+		t.Error("memory-only read-only open succeeded")
+	}
+	empty := t.TempDir()
+	if _, err := OpenWithOptions(empty, Options{ReadOnly: true}); err == nil {
+		t.Error("read-only open of a manifest-less directory succeeded")
+	}
+	if HasCommittedManifest(empty) {
+		t.Error("HasCommittedManifest true for an empty directory")
+	}
+	dir := t.TempDir()
+	db, err := OpenWithOptions(dir, sealedOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if !HasCommittedManifest(dir) {
+		t.Error("HasCommittedManifest false for a committed directory")
+	}
+	if _, err := OpenWithOptions(dir, Options{ReadOnly: true, RetainRaw: map[string]time.Duration{DatasetPrice: time.Hour}}); err == nil {
+		t.Error("read-only open with retention succeeded")
+	}
+}
+
+func TestIsReplicationArtifactName(t *testing.T) {
+	valid := []string{
+		"wal-00000-000001.log",
+		"wal-00003-000421.log",
+		"blocks-000001.blk",
+		"checkpoint-000007.snap",
+		"rollup/wal-00000-000001.log",
+		"rollup/blocks-000002.blk",
+		"rollup/checkpoint-000001.snap",
+	}
+	for _, n := range valid {
+		if !IsReplicationArtifactName(n) {
+			t.Errorf("%q rejected, want accepted", n)
+		}
+	}
+	invalid := []string{
+		"", "MANIFEST", "rollup/MANIFEST", "points.wal",
+		"../wal-00000-000001.log", "wal-00000-000001.log.tmp",
+		"rollup/rollup/blocks-000001.blk", "/etc/passwd",
+		"blocks-1.blk", "checkpoint-1.snap", "wal-0-1.log",
+		"blocks-000001.blk/..", "foo/blocks-000001.blk",
+	}
+	for _, n := range invalid {
+		if IsReplicationArtifactName(n) {
+			t.Errorf("%q accepted, want rejected", n)
+		}
+	}
+}
+
+func TestCommitReplicatedManifestValidates(t *testing.T) {
+	dir := t.TempDir()
+	if err := CommitReplicatedManifest(dir, []byte("not json")); err == nil {
+		t.Error("garbage manifest committed")
+	}
+	if err := CommitReplicatedManifest(dir, []byte(`{"version":1,"segments":1,"offsets":[0]}`)); err == nil {
+		t.Error("v1 manifest committed (needs migration, which a follower must never run)")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "MANIFEST")); !os.IsNotExist(err) {
+		t.Error("a rejected commit left a MANIFEST behind")
+	}
+}
+
+// TestReplicationSnapshotCoherent: every listed artifact exists at its
+// listed size, the manifest matches the committed file byte for byte,
+// and only the rollup level lists mutable artifacts.
+func TestReplicationSnapshotCoherent(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenWithOptions(dir, rollupOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.AppendBatch(rollupEntries(600, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := db.ReplicationSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := noerr(os.ReadFile(filepath.Join(dir, "MANIFEST")))
+	if string(onDisk) != string(snap.Manifest) {
+		t.Error("snapshot manifest differs from the committed MANIFEST file")
+	}
+	check := func(base string, s *ReplicationSnapshot, allowMutable, wantCheckpoint bool) {
+		sawCheckpoint := false
+		for _, a := range s.Artifacts {
+			st, err := os.Stat(filepath.Join(base, a.Name))
+			if err != nil {
+				t.Fatalf("listed artifact missing: %v", err)
+			}
+			if st.Size() != a.Size {
+				t.Errorf("%s: size %d, listed %d", a.Name, st.Size(), a.Size)
+			}
+			if a.Mutable && !allowMutable {
+				t.Errorf("%s: parent level listed a mutable artifact", a.Name)
+			}
+			if strings.HasPrefix(a.Name, "checkpoint-") {
+				sawCheckpoint = true
+			}
+		}
+		if wantCheckpoint && !sawCheckpoint {
+			t.Error("no checkpoint snapshot in the listing after Checkpoint()")
+		}
+	}
+	check(dir, snap, false, true)
+	if snap.Rollup == nil {
+		t.Fatal("no rollup snapshot from a rollup-bearing store")
+	}
+	// The rollup store checkpoints on its own cadence; a fresh one may
+	// hold only WAL segments, so no checkpoint file is required there.
+	check(filepath.Join(dir, "rollup"), snap.Rollup, true, false)
+	epoch, seq := db.ReplicationPosition()
+	if epoch != snap.Epoch || seq != snap.CheckpointSeq {
+		t.Errorf("position (%d,%d) != snapshot (%d,%d)", epoch, seq, snap.Epoch, snap.CheckpointSeq)
+	}
+}

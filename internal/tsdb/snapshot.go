@@ -303,6 +303,9 @@ func decodeSnapshot(r io.Reader) ([]snapshotSeries, error) {
 // (it is a startup/restore operation). It returns the number of series
 // records applied.
 func (db *DB) LoadSnapshot(r io.Reader) (int, error) {
+	if db.readOnly {
+		return 0, errors.New("tsdb: read-only store rejects snapshot loads")
+	}
 	all, err := decodeSnapshot(r)
 	if err != nil {
 		return 0, err

@@ -176,8 +176,12 @@ type DB struct {
 	// the manifest as last committed; cpMu serializes Checkpoint, layout
 	// commits, and manifest replacement. epoch mirrors man.Epoch but is
 	// written only while Open owns the store single-threaded, so the
-	// rotation fast path can read it under just a shard lock.
+	// rotation fast path can read it under just a shard lock. readOnly
+	// marks a store opened with Options.ReadOnly: it loads a committed
+	// layout without owning it (no appends, checkpoints, migrations, or
+	// file reclamation).
 	dir         string
+	readOnly    bool
 	cpMu        sync.Mutex
 	man         manifest
 	epoch       uint64
@@ -360,6 +364,14 @@ type Options struct {
 	// (raw points are only ever dropped from the cold tier, and never
 	// before a committed rollup covers them). Horizons must be positive.
 	RetainRaw map[string]time.Duration
+	// ReadOnly opens an existing durable layout without taking ownership
+	// of it: no segment files are created, truncated, or reclaimed, no
+	// layout migration or checkpoint ever runs, appends and snapshot
+	// loads are rejected, and the maintenance daemon stays off. The open
+	// fails if the directory holds no committed (current-version)
+	// manifest. Replication followers use it to serve a replica whose
+	// files a puller replaces between reopens (see replication.go).
+	ReadOnly bool
 	// noRollups marks the nested rollup store itself, which must not
 	// recurse into opening a rollup store of its own.
 	noRollups bool
@@ -423,10 +435,17 @@ func OpenWithOptions(dir string, o Options) (*DB, error) {
 		db.shards[i].series = make(map[SeriesKey]*series)
 	}
 	if dir == "" {
+		if o.ReadOnly {
+			return nil, errors.New("tsdb: read-only open requires a durable directory")
+		}
 		if len(o.RetainRaw) > 0 {
 			return nil, errors.New("tsdb: retention requires a durable store with sealing enabled")
 		}
 		return db, nil
+	}
+	db.readOnly = o.ReadOnly
+	if db.readOnly && len(o.RetainRaw) > 0 {
+		return nil, errors.New("tsdb: a read-only store cannot enforce retention")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("tsdb: creating dir: %w", err)
@@ -448,7 +467,24 @@ func OpenWithOptions(dir string, o Options) (*DB, error) {
 	// Arm the seal trigger relative to the recovered hot tail: what
 	// survived recovery unsealed is the residual, not growth.
 	db.sealFloor.Store(db.hotPts.Load())
-	if db.SealsCold() && !o.noRollups {
+	switch {
+	case db.readOnly && !o.noRollups:
+		// A replica only has a rollup tier if the primary shipped one:
+		// open it read-only when its manifest exists, else serve raw only.
+		if _, err := os.Stat(filepath.Join(dir, "rollup", manifestName)); err == nil {
+			ro, err := OpenWithOptions(filepath.Join(dir, "rollup"), Options{
+				Shards:              4,
+				ReadOnly:            true,
+				MaintenanceInterval: -1,
+				noRollups:           true,
+			})
+			if err != nil {
+				db.Close()
+				return nil, fmt.Errorf("tsdb: opening rollup store: %w", err)
+			}
+			db.rollup = ro
+		}
+	case db.SealsCold() && !o.noRollups:
 		// The rollup tier is itself a store, nested one directory down:
 		// small and fixed shard count (few series, metadata-light), its
 		// own byte-triggered checkpoints via the append path (no daemon —
@@ -483,7 +519,9 @@ func OpenWithOptions(dir string, o Options) (*DB, error) {
 			return nil, err
 		}
 	}
-	db.startMaintainer(o.MaintenanceInterval)
+	if !db.readOnly {
+		db.startMaintainer(o.MaintenanceInterval)
+	}
 	return db, nil
 }
 
@@ -611,6 +649,12 @@ func validKey(k SeriesKey) error {
 func (db *DB) appendLocked(sh *shard, k SeriesKey, at time.Time, v float64) error {
 	if db.closed.Load() {
 		return errors.New("tsdb: store is closed")
+	}
+	// Guard memory as well as the WAL: a read-only store has no open
+	// segment (sh.wal is nil), so without this check an append would
+	// "succeed" in memory and silently vanish at the next reopen.
+	if db.readOnly {
+		return errors.New("tsdb: read-only store rejects appends")
 	}
 	s := sh.series[k]
 	if s == nil {

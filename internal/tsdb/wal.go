@@ -455,6 +455,9 @@ func (db *DB) openDurable() error {
 	if err != nil {
 		return err
 	}
+	if db.readOnly {
+		return db.openReadOnly(man, ok)
+	}
 	legacy := filepath.Join(db.dir, legacyWALName)
 	switch {
 	case !ok:
@@ -516,6 +519,37 @@ func (db *DB) openDurable() error {
 		return fmt.Errorf("tsdb: removing migrated wal: %w", err)
 	}
 	db.removeStaleFiles()
+	return nil
+}
+
+// openReadOnly loads the committed layout without mutating the directory:
+// blocks attach and the WAL chains replay exactly as in the normal open,
+// but no active segment is created or truncated, no migration re-commits
+// a layout, and no stale files are reclaimed. That last point is load-
+// bearing for replication — a follower's puller stages files here between
+// reopens, and a reaping pass would delete them. Anything requiring a
+// layout the current code cannot serve verbatim (no manifest, or a v1
+// manifest needing migration) is refused rather than migrated: migration
+// writes files, and a read-only open owns none.
+func (db *DB) openReadOnly(man manifest, ok bool) error {
+	if !ok {
+		return errors.New("tsdb: read-only open: no committed manifest")
+	}
+	if man.Version != manifestVersion {
+		return fmt.Errorf("tsdb: read-only open: manifest version %d requires migration by a writable open", man.Version)
+	}
+	db.man = man
+	db.epoch = man.Epoch
+	if err := db.openBlocks(man); err != nil {
+		return err
+	}
+	// With the manifest's segment count matching ours, each shard's chain
+	// replays in parallel under the strict ownership checks; otherwise
+	// the sequential path re-hashes every record onto the current shards
+	// (the same read path the migration uses, minus the re-commit).
+	if _, err := db.loadRotLayout(man, man.Segments == len(db.shards)); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -1250,6 +1284,9 @@ func (db *DB) removeStaleFiles() {
 func (db *DB) Checkpoint() error {
 	if db.dir == "" {
 		return errors.New("tsdb: memory-only store cannot checkpoint")
+	}
+	if db.readOnly {
+		return errors.New("tsdb: read-only store cannot checkpoint")
 	}
 	db.cpMu.Lock()
 	defer db.cpMu.Unlock()
