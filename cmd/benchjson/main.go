@@ -11,7 +11,7 @@
 // Schema (one object):
 //
 //	{
-//	  "schema": "spotlake-bench/v4",
+//	  "schema": "spotlake-bench/v5",
 //	  "goos": "linux", "goarch": "amd64", "cpu": "...",   // from the bench header
 //	  "benchmarks": [
 //	    {"name": "BenchmarkAppendParallel", "cpus": 4,
@@ -29,6 +29,9 @@
 //	  ],
 //	  "rollup": [
 //	    {"tier": "1h", "windowDays": 90, "points": 2160, "scannedPoints": 2160}
+//	  ],
+//	  "metrics": [
+//	    {"name": "spotlake_admission_admitted_total", "value": 1234}
 //	  ]
 //	}
 //
@@ -46,7 +49,12 @@
 // `rollupstat:` rows (emitted by BenchmarkRollupQuery in internal/tsdb)
 // become the `rollup` section: how many points each resolution tier
 // returned and scanned for the same 90-day window, the scan-reduction
-// series the rollup tiers exist to provide.
+// series the rollup tiers exist to provide. `metric:` rows (emitted by
+// spotlake-loadgen's end-of-run /api/v1/metrics scrape and by
+// spotlake-collector's run summary) become the `metrics` section: the
+// server-side registry counters behind the same run — admitted vs
+// throttled vs shed, cache hits, maintenance checkpoints — so the
+// artifact carries both sides of the measurement.
 // Other lines (headers, PASS, ok) set metadata or are ignored, so the
 // tool can be fed a whole `go test` transcript with a loadgen run
 // appended.
@@ -57,6 +65,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"strconv"
@@ -115,6 +124,13 @@ type rollupResult struct {
 	ScannedPoints int64  `json:"scannedPoints"`
 }
 
+// metricResult is one `metric:` row: a named registry sample scraped
+// from /api/v1/metrics (loadgen) or logged at end of run (collector).
+type metricResult struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
 type benchFile struct {
 	Schema     string        `json:"schema"`
 	GOOS       string        `json:"goos,omitempty"`
@@ -130,6 +146,9 @@ type benchFile struct {
 	// Rollup holds rollupstat rows; omitted for transcripts without a
 	// rollup-query run, so pre-v4 consumers see no change.
 	Rollup []rollupResult `json:"rollup,omitempty"`
+	// Metrics holds metric rows; omitted for transcripts without a
+	// registry scrape, so pre-v5 consumers see no change.
+	Metrics []metricResult `json:"metrics,omitempty"`
 }
 
 // benchLine matches one result line. Columns after ns/op are optional
@@ -159,6 +178,11 @@ var memstatLine = regexp.MustCompile(
 var rollupstatLine = regexp.MustCompile(
 	`^rollupstat: tier=(\S+) windowDays=(\d+) points=(\d+) scanned=(\d+)$`)
 
+// metricLine matches one registry-sample row. Values are %g-formatted
+// floats (scientific notation for large counters) and may be ±Inf/NaN.
+var metricLine = regexp.MustCompile(
+	`^metric: name=([a-zA-Z_:][a-zA-Z0-9_:]*) value=([0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+
 // parseRollupstat unpacks a rollupstatLine submatch; the regexp
 // guarantees the numeric fields parse.
 func parseRollupstat(m []string) rollupResult {
@@ -168,6 +192,17 @@ func parseRollupstat(m []string) rollupResult {
 	res.Points, _ = strconv.ParseInt(m[3], 10, 64)
 	res.ScannedPoints, _ = strconv.ParseInt(m[4], 10, 64)
 	return res
+}
+
+// parseMetric unpacks a metricLine submatch. Non-finite values (±Inf,
+// NaN) are reported not-ok and dropped: encoding/json cannot represent
+// them, and the registry only emits finite non-bucket samples anyway.
+func parseMetric(m []string) (metricResult, bool) {
+	v, err := strconv.ParseFloat(m[2], 64)
+	if err != nil || math.IsInf(v, 0) || math.IsNaN(v) {
+		return metricResult{}, false
+	}
+	return metricResult{Name: m[1], Value: v}, true
 }
 
 // parseMemstat unpacks a memstatLine submatch; the regexp guarantees
@@ -209,7 +244,7 @@ func parseLoadgen(m []string) latencyResult {
 }
 
 func parse(r io.Reader) (benchFile, error) {
-	out := benchFile{Schema: "spotlake-bench/v4", Benchmarks: []benchResult{}}
+	out := benchFile{Schema: "spotlake-bench/v5", Benchmarks: []benchResult{}}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -224,6 +259,12 @@ func parse(r io.Reader) (benchFile, error) {
 		}
 		if rm := rollupstatLine.FindStringSubmatch(line); rm != nil {
 			out.Rollup = append(out.Rollup, parseRollupstat(rm))
+			continue
+		}
+		if km := metricLine.FindStringSubmatch(line); km != nil {
+			if res, ok := parseMetric(km); ok {
+				out.Metrics = append(out.Metrics, res)
+			}
 			continue
 		}
 		switch {
@@ -303,8 +344,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if len(out.Benchmarks) == 0 && len(out.Latency) == 0 && len(out.Memory) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark, loadgen, or memstat result lines in input")
+	if len(out.Benchmarks) == 0 && len(out.Latency) == 0 && len(out.Memory) == 0 && len(out.Metrics) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark, loadgen, memstat, or metric result lines in input")
 		os.Exit(1)
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -60,8 +60,8 @@ PASS
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Schema != "spotlake-bench/v4" {
-		t.Fatalf("schema = %q, want spotlake-bench/v4", out.Schema)
+	if out.Schema != "spotlake-bench/v5" {
+		t.Fatalf("schema = %q, want spotlake-bench/v5", out.Schema)
 	}
 	if len(out.Benchmarks) != 1 || len(out.Latency) != 2 {
 		t.Fatalf("parsed %d benchmarks / %d latency rows, want 1 / 2", len(out.Benchmarks), len(out.Latency))
@@ -159,6 +159,54 @@ PASS
 	}
 	if r1 := out.Rollup[1]; r1.Tier != "1h" || r1.ScannedPoints != 2158 {
 		t.Fatalf("1h row: %+v", r1)
+	}
+}
+
+// TestParseMetricRows: registry-sample rows (loadgen's end-of-run
+// /api/v1/metrics scrape, or spotlake-collector's run summary) become
+// the artifact's metrics section. %g scientific notation parses;
+// non-finite values are dropped rather than breaking JSON encoding;
+// histogram bucket rows never appear (the emitters skip them), but a
+// stray one must not match the plain name=value shape with its label
+// block intact.
+func TestParseMetricRows(t *testing.T) {
+	const in = `goos: linux
+metric: name=spotlake_admission_admitted_total value=1234
+metric: name=spotlake_store_cold_compressed_bytes value=1.31072e+06
+metric: name=spotlake_replication_seconds_behind value=0.25
+metric: name=spotlake_bogus_gauge value=+Inf
+loadgen: class=all concurrency=16 requests=3000 ok=3000 throttled=0 shed=0 errors=0 rps=300.0 p50ms=1.000 p99ms=2.000
+PASS
+`
+	out, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Metrics) != 3 || len(out.Latency) != 1 {
+		t.Fatalf("parsed %d metric rows / %d latency rows, want 3 / 1: %+v", len(out.Metrics), len(out.Latency), out.Metrics)
+	}
+	if m0 := out.Metrics[0]; m0.Name != "spotlake_admission_admitted_total" || m0.Value != 1234 {
+		t.Fatalf("admitted row: %+v", m0)
+	}
+	if m1 := out.Metrics[1]; m1.Name != "spotlake_store_cold_compressed_bytes" || m1.Value != 1.31072e+06 {
+		t.Fatalf("scientific-notation row: %+v", m1)
+	}
+	if m2 := out.Metrics[2]; m2.Value != 0.25 {
+		t.Fatalf("fractional gauge row: %+v", m2)
+	}
+}
+
+// TestParseMetricOnly: a transcript with only metric rows is still a
+// valid artifact — the collector's batch summary has no bench or
+// loadgen rows at all.
+func TestParseMetricOnly(t *testing.T) {
+	out, err := parse(strings.NewReader(
+		"metric: name=spotlake_store_points value=42\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Metrics) != 1 || len(out.Benchmarks) != 0 {
+		t.Fatalf("metrics %d benchmarks %d, want 1 and 0", len(out.Metrics), len(out.Benchmarks))
 	}
 }
 

@@ -34,12 +34,15 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/cloudsim"
 	"repro/internal/collector"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 	"repro/internal/tsdb"
 )
@@ -103,6 +106,12 @@ func main() {
 	}
 	defer db.Close()
 
+	// The batch collector carries the same metrics registry the server
+	// does (default-on, no flag): the store's counters register once here,
+	// and the end of the run prints them as machine-greppable rows.
+	reg := obs.NewRegistry()
+	tsdb.RegisterMetrics(reg, func() *tsdb.DB { return db })
+
 	// Resume support: recovered data (checkpoint + WAL tail) sits in
 	// simulated time after the clock's epoch start; fast-forward so the
 	// new run appends after it instead of failing out-of-order. The same
@@ -155,6 +164,15 @@ func main() {
 		st.Checkpoints, st.SizeCheckpoints, st.CheckpointErrors,
 		st.MaintenanceCheckpoints, st.ForcedByBytes, st.ForcedByChainLength, st.MaintenanceErrors)
 	log.Printf("archive: %d series, %d points in %s", db.SeriesCount(), db.PointCount(), *dataDir)
+	// One `metric:` row per registry sample on stdout, unprefixed — the
+	// same name=value format spotlake-loadgen emits from scrapes, so
+	// cmd/benchjson folds a collector transcript the same way.
+	for _, sm := range reg.Samples() {
+		if strings.HasSuffix(sm.Name, "_bucket") {
+			continue
+		}
+		fmt.Printf("metric: name=%s value=%g\n", sm.Name, sm.Value)
+	}
 	if *snapshot != "" {
 		if err := db.SaveSnapshot(*snapshot); err != nil {
 			log.Fatalf("snapshot: %v", err)

@@ -20,6 +20,13 @@
 //
 //	loadgen: class=hot concurrency=5 requests=1234 ok=1234 throttled=0 shed=0 errors=0 rps=123.4 p50ms=0.52 p99ms=2.31
 //
+// After the run the generator scrapes the server's GET /api/v1/metrics
+// (Prometheus text exposition) and folds every non-bucket sample into a
+// `metric:` row — the server-side view of the same run the client-side
+// `loadgen:` rows measured:
+//
+//	metric: name=spotlake_admission_admitted_total value=1234
+//
 // 429 (throttled) and 503 (shed) responses are counted separately and
 // excluded from the latency percentiles — they measure the admission
 // layer working, not the query path — and workers honor Retry-After
@@ -46,6 +53,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 type result struct {
@@ -166,6 +175,35 @@ func assignWorkers(n int, weights map[string]int) map[string]int {
 		used++
 	}
 	return out
+}
+
+// scrapeMetrics pulls the server's Prometheus exposition once the run
+// ends and prints every non-bucket sample as a `metric:` row (the same
+// name=value format spotlake-collector logs, so cmd/benchjson folds
+// either). A scrape that fails to fetch or parse is a warning, not a
+// run failure — CI enforces exposition validity through cmd/metriclint.
+func scrapeMetrics(client *http.Client, baseURL string) {
+	resp, err := client.Get(baseURL + "/api/v1/metrics")
+	if err != nil {
+		log.Printf("warning: scraping /api/v1/metrics: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Printf("warning: scraping /api/v1/metrics: status %d", resp.StatusCode)
+		return
+	}
+	samples, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		log.Printf("warning: /api/v1/metrics exposition did not parse: %v", err)
+		return
+	}
+	for _, s := range samples {
+		if s.Le != "" {
+			continue
+		}
+		fmt.Printf("metric: name=%s value=%g\n", s.Name, s.Value)
+	}
 }
 
 // retryPause honors a 429/503 Retry-After header, capped so a loadgen
@@ -331,6 +369,7 @@ func main() {
 		fmt.Println(perClass[c].report(c, assignment[c], *duration))
 	}
 	fmt.Println(all.report("all", total, *duration))
+	scrapeMetrics(client, *baseURL)
 	if all.ok == 0 {
 		log.Printf("warning: no successful requests (server down, empty archive, or everything throttled)")
 		os.Exit(1)

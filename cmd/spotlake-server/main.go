@@ -24,6 +24,13 @@
 // the excess with 503 once a bounded queue wait expires. SIGINT/SIGTERM
 // drain in-flight requests before the store closes.
 //
+// Observability is default-on, no flags: GET /api/v1/metrics serves the
+// process's metrics registry in Prometheus text exposition format (the
+// same counters /api/v1/meta reports as JSON), GET /healthz answers
+// liveness, and GET /readyz answers readiness (on a follower: the
+// applied position is within -max-staleness). All four observability
+// endpoints bypass admission control and the staleness gate.
+//
 // With -follow=<primary-url> the server runs as a read replica instead:
 // no collector, no bootstrap, no writes. A replication puller lists the
 // primary's committed checkpoint artifacts every -poll-interval, ships
@@ -268,7 +275,7 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("serving on %s (simulated time advances %v per %v; admission: %d in-flight, %.3g req/s per client)",
+	log.Printf("serving on %s (simulated time advances %v per %v; admission: %d in-flight, %.3g req/s per client; metrics at /api/v1/metrics)",
 		*addr, cfg.ScoreInterval, *tick, *maxInFl, *rateLimit)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -371,7 +378,7 @@ func runFollower(cfg followerConfig, cat *catalog.Catalog) {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("follower of %s serving on %s (poll %v, max staleness %v)",
+	log.Printf("follower of %s serving on %s (poll %v, max staleness %v; readiness at /readyz, metrics at /api/v1/metrics)",
 		cfg.primaryURL, cfg.addr, cfg.pollInterval, cfg.maxStaleness)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

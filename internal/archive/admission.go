@@ -17,24 +17,42 @@ package archive
 //     with 503 + Retry-After rather than piling one goroutine per
 //     queued client onto a node that is already behind.
 //
-// /api/v1/meta is exempt so an overloaded server can still be observed;
+// The observability endpoints (/api/v1/meta, /api/v1/metrics, /healthz,
+// /readyz) are exempt so an overloaded server can still be observed;
 // every other endpoint pays the (two-atomic-loads) admission cost.
-// Admitted requests record their handler latency in a fixed-size ring,
-// from which Stats derives rolling p50/p99 — the signal an operator
-// (or a future latency-adaptive controller) watches under load.
+// Admitted handler executions — and only those — record their latency
+// into a fixed-bucket obs.Histogram, from which Stats derives
+// bucket-exact p50/p99: the same numbers a scrape consumer computes
+// from spotlake_http_request_duration_seconds, and the signal an
+// operator (or a future latency-adaptive controller) watches under
+// load. Throttled and shed requests never touch the histogram — their
+// error writes are not handler executions, and folding them in would
+// make the server look faster the harder it sheds.
 
 import (
 	"container/list"
 	"fmt"
 	"net"
 	"net/http"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// exemptPath reports whether the path bypasses admission control and the
+// follower staleness gate: the endpoints through which an unhealthy
+// server is diagnosed must stay reachable while it is unhealthy.
+func exemptPath(path string) bool {
+	switch path {
+	case "/api/v1/meta", "/api/v1/metrics", "/healthz", "/readyz":
+		return true
+	}
+	return false
+}
 
 // AdmissionConfig tunes the controller. Zero values disable the
 // corresponding gate, so AdmissionConfig{} admits everything (but still
@@ -74,11 +92,11 @@ type Admission struct {
 
 	queued    atomic.Int64
 	inFlight  atomic.Int64
-	admitted  atomic.Uint64
-	throttled atomic.Uint64
-	shed      atomic.Uint64
+	admitted  obs.Counter
+	throttled obs.Counter
+	shed      obs.Counter
 
-	lat latencyRing
+	lat *obs.Histogram
 
 	clients clientBuckets
 
@@ -102,15 +120,36 @@ func NewAdmission(cfg AdmissionConfig) *Admission {
 	if cfg.MaxInFlight > 0 {
 		a.slots = make(chan struct{}, cfg.MaxInFlight)
 	}
-	a.lat.init(2048)
+	a.lat = obs.NewHistogram(obs.DefLatencyBuckets)
 	a.clients.init(cfg.MaxClients)
 	return a
 }
 
+// registerMetrics wires the controller's counters, gauges, and the
+// handler-latency histogram onto reg. SetAdmission calls it; calling it
+// again for a replacement controller re-points the same metric names at
+// the new instance.
+func (a *Admission) registerMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("spotlake_admission_admitted_total",
+		"Requests admitted to a handler (exempt observability paths not counted).", &a.admitted)
+	reg.RegisterCounter("spotlake_admission_throttled_total",
+		"Requests rejected 429 by a per-client token bucket.", &a.throttled)
+	reg.RegisterCounter("spotlake_admission_shed_total",
+		"Requests shed 503 at the in-flight cap (queue full or wait exhausted).", &a.shed)
+	reg.GaugeFunc("spotlake_admission_in_flight",
+		"Admitted requests currently executing.", func() float64 { return float64(a.inFlight.Load()) })
+	reg.GaugeFunc("spotlake_admission_queued",
+		"Requests waiting for an in-flight slot.", func() float64 { return float64(a.queued.Load()) })
+	reg.RegisterHistogram("spotlake_http_request_duration_seconds",
+		"Handler latency of admitted requests (throttled/shed rejections excluded).", a.lat)
+}
+
 // AdmissionStats is the controller's health snapshot, surfaced in
 // /api/v1/meta. Admitted/Throttled/Shed partition every non-exempt
-// request seen; P50/P99 are over the last ~2048 admitted requests'
-// handler latencies (0 until the first completes).
+// request seen; P50/P99 are bucket-derived quantiles over all admitted
+// handler latencies (0 until the first completes) — identical by
+// construction to what histogram_quantile() computes from the
+// spotlake_http_request_duration_seconds exposition.
 type AdmissionStats struct {
 	Admitted    uint64  `json:"admitted"`
 	Throttled   uint64  `json:"throttled"`
@@ -125,17 +164,17 @@ type AdmissionStats struct {
 
 // Stats snapshots the controller.
 func (a *Admission) Stats() AdmissionStats {
-	p50, p99 := a.lat.percentiles()
+	snap := a.lat.Snapshot()
 	return AdmissionStats{
-		Admitted:    a.admitted.Load(),
-		Throttled:   a.throttled.Load(),
-		Shed:        a.shed.Load(),
+		Admitted:    a.admitted.Value(),
+		Throttled:   a.throttled.Value(),
+		Shed:        a.shed.Value(),
 		InFlight:    a.inFlight.Load(),
 		Queued:      a.queued.Load(),
 		MaxInFlight: a.cfg.MaxInFlight,
 		RatePerSec:  a.cfg.RatePerSec,
-		P50Ms:       float64(p50) / float64(time.Millisecond),
-		P99Ms:       float64(p99) / float64(time.Millisecond),
+		P50Ms:       snap.Quantile(0.50) * 1e3,
+		P99Ms:       snap.Quantile(0.99) * 1e3,
 	}
 }
 
@@ -162,9 +201,10 @@ func withAdmission(a *Admission, h http.Handler) http.Handler {
 		return h
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		// Meta stays reachable during overload: it is how overload is
-		// diagnosed.
-		if r.URL.Path == "/api/v1/meta" {
+		// The observability surface stays reachable during overload: it
+		// is how overload is diagnosed. Exempt requests also stay out of
+		// the latency histogram — it measures admitted work only.
+		if exemptPath(r.URL.Path) {
 			h.ServeHTTP(w, r)
 			return
 		}
@@ -188,9 +228,11 @@ func withAdmission(a *Admission, h http.Handler) http.Handler {
 		start := time.Now()
 		// The deferred release must survive handler panics (the gzip
 		// layer aborts connections via http.ErrAbortHandler): a leaked
-		// slot would permanently shrink the server's capacity.
+		// slot would permanently shrink the server's capacity. Latency is
+		// observed here and nowhere else, so the histogram covers exactly
+		// the admitted handler executions.
 		defer func() {
-			a.lat.record(time.Since(start))
+			a.lat.Observe(time.Since(start))
 			a.inFlight.Add(-1)
 			release()
 		}()
@@ -296,42 +338,4 @@ func (c *clientBuckets) take(key string, rate, burst float64, now time.Time) (wa
 	}
 	b.tokens--
 	return 0, true
-}
-
-// latencyRing keeps the last cap handler latencies for rolling
-// percentiles. Both sides take the mutex: recording is a single store
-// under it (negligible next to the request it measures), and snapshots
-// only run for /api/v1/meta.
-type latencyRing struct {
-	mu  sync.Mutex
-	buf []time.Duration
-	n   uint64 // total recorded ever
-}
-
-func (r *latencyRing) init(capacity int) { r.buf = make([]time.Duration, capacity) }
-
-func (r *latencyRing) record(d time.Duration) {
-	r.mu.Lock()
-	r.buf[r.n%uint64(len(r.buf))] = d
-	r.n++
-	r.mu.Unlock()
-}
-
-// percentiles returns the rolling p50/p99 over the ring's samples
-// (zeros before the first sample lands).
-func (r *latencyRing) percentiles() (p50, p99 time.Duration) {
-	r.mu.Lock()
-	filled := int(min(r.n, uint64(len(r.buf))))
-	samples := make([]time.Duration, filled)
-	copy(samples, r.buf[:filled])
-	r.mu.Unlock()
-	if filled == 0 {
-		return 0, 0
-	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	idx := func(p float64) time.Duration {
-		i := int(p * float64(filled-1))
-		return samples[i]
-	}
-	return idx(0.50), idx(0.99)
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/tsdb"
 )
 
@@ -63,6 +64,15 @@ type Service struct {
 	// replication-source endpoints are refused, and reads carry a
 	// staleness bound (see replication.go).
 	follower *followerState
+	// puller, when set (followers with a running Puller), feeds the
+	// replication meta section's catch-up stats.
+	puller *Puller
+	// reg is the service's metrics registry — the single home of every
+	// counter the /api/v1/meta sections and the /api/v1/metrics
+	// exposition surface. Always non-nil; wired at construction with the
+	// cache, singleflight, and store metrics, extended by SetAdmission,
+	// SetFollower, and NewPuller.
+	reg *obs.Registry
 }
 
 // NewService builds the query service over a store and the catalog it was
@@ -74,11 +84,52 @@ func NewService(db *tsdb.DB, cat *catalog.Catalog) *Service {
 		datasets: make(map[string]bool),
 		workers:  runtime.GOMAXPROCS(0),
 		cache:    newResultCache(queryCacheSize),
+		reg:      obs.NewRegistry(),
 	}
 	s.dbv.Store(db)
 	s.AllowDatasets(tsdb.DatasetPlacementScore, tsdb.DatasetInterruptFree,
 		tsdb.DatasetPrice, tsdb.DatasetSavings)
+	s.registerMetrics()
 	return s
+}
+
+// Registry returns the service's metrics registry, for callers that add
+// process-level metrics next to the service's own (cmd wiring).
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// registerMetrics wires the construction-time metrics: the result cache
+// and singleflight counters (registered over the structs' own atomics —
+// one state, two surfaces) and the store's metrics through the s.store
+// indirection, so a follower's SwapDB re-points every store series at
+// the replica now serving.
+func (s *Service) registerMetrics() {
+	s.reg.RegisterCounter("spotlake_cache_hits_total",
+		"Result cache hits.", &s.cache.hits)
+	s.reg.RegisterCounter("spotlake_cache_misses_total",
+		"Result cache misses (invalidations and coalesced included).", &s.cache.miss)
+	s.reg.RegisterCounter("spotlake_cache_invalidations_total",
+		"Cache entries evicted because a depended-on shard or the key set changed.", &s.cache.inval)
+	s.reg.RegisterCounter("spotlake_cache_coalesced_total",
+		"Cache misses that joined an identical in-flight computation.", &s.flight.coalesced)
+	tsdb.RegisterMetrics(s.reg, s.store)
+	s.reg.GaugeFunc("spotlake_replication_epoch",
+		"The serving store's replication epoch (0 on memory-only stores).", func() float64 {
+			db := s.store()
+			if db == nil || !db.Durable() {
+				return 0
+			}
+			epoch, _ := db.ReplicationPosition()
+			return float64(epoch)
+		})
+	s.reg.GaugeFunc("spotlake_replication_checkpoint_seq",
+		"The serving store's committed checkpoint sequence.", func() float64 {
+			db := s.store()
+			if db == nil || !db.Durable() {
+				return 0
+			}
+			_, seq := db.ReplicationPosition()
+			return float64(seq)
+		})
 }
 
 // store returns the store currently serving reads.
@@ -124,14 +175,21 @@ func (s *Service) SetWorkers(n int) {
 // Misses - Coalesced.
 func (s *Service) CacheStats() CacheStats {
 	st := s.cache.stats()
-	st.Coalesced = s.flight.coalesced.Load()
+	st.Coalesced = s.flight.coalesced.Value()
 	return st
 }
 
 // SetAdmission installs an admission controller: Handler() wraps the API
 // in it, and Meta() surfaces its counters. Nil (the default) serves
-// without admission control.
-func (s *Service) SetAdmission(a *Admission) { s.admission = a }
+// without admission control. The controller's counters and the handler
+// latency histogram register on the service registry; installing a
+// replacement controller re-points the metric names at it.
+func (s *Service) SetAdmission(a *Admission) {
+	s.admission = a
+	if a != nil {
+		a.registerMetrics(s.reg)
+	}
+}
 
 // fanOut runs fn(i) for i in [0, n) on a bounded worker pool and waits.
 // Output slots are per-index, so results are deterministic regardless of

@@ -3,7 +3,8 @@ package archive
 import (
 	"container/list"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // resultCache is a small LRU over query results, keyed on the canonical
@@ -19,9 +20,9 @@ type resultCache struct {
 	cap   int
 	ll    *list.List // front = most recently used
 	m     map[string]*list.Element
-	hits  atomic.Uint64
-	miss  atomic.Uint64
-	inval atomic.Uint64
+	hits  obs.Counter
+	miss  obs.Counter
+	inval obs.Counter
 }
 
 type cacheEntry struct {
@@ -128,5 +129,5 @@ type CacheStats struct {
 }
 
 func (c *resultCache) stats() CacheStats {
-	return CacheStats{Hits: c.hits.Load(), Misses: c.miss.Load(), Invalidations: c.inval.Load()}
+	return CacheStats{Hits: c.hits.Value(), Misses: c.miss.Value(), Invalidations: c.inval.Value()}
 }

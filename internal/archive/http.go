@@ -436,6 +436,28 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.Meta())
 	})
 
+	mux.HandleFunc("GET /api/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Prometheus text exposition over the same registry the meta
+		// sections read; like meta it is admission- and gate-exempt so an
+		// overloaded or stale server stays scrapeable.
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.reg.WritePrometheus(w); err != nil {
+			// Mid-body write failure: the client vanished or the
+			// connection died. A torn exposition must not end as a
+			// well-formed response.
+			panic(http.ErrAbortHandler)
+		}
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness only: the process is up and serving its mux. Readiness
+		// (is this node safe to route queries to?) is /readyz's question.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, "ok\n")
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) { s.handleReadyz(w) })
+
 	mux.HandleFunc("GET /api/v1/catalog/types", func(w http.ResponseWriter, r *http.Request) {
 		type typeInfo struct {
 			Name  string  `json:"name"`
@@ -480,7 +502,9 @@ func (s *Service) Handler() http.Handler {
 	// every non-2xx body on the surface parses the same way.
 	known := map[string]bool{
 		"/": true, "/api/v1/query": true, "/api/v1/latest": true,
-		"/api/v1/meta": true, "/api/v1/catalog/types": true,
+		"/api/v1/meta": true, "/api/v1/metrics": true,
+		"/healthz": true, "/readyz": true,
+		"/api/v1/catalog/types":   true,
 		"/api/v1/catalog/regions": true, "/api/v1/datasets": true,
 		"/api/v1/replication/manifest": true,
 	}

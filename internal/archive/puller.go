@@ -38,11 +38,19 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tsdb"
 )
+
+// pullCycleBuckets are the replication-cycle wall-time bucket bounds in
+// seconds. Cycles span "signature unchanged, nothing pulled" (sub-ms)
+// through multi-artifact catch-up pulls, so the range runs wider than
+// the handler-latency buckets.
+var pullCycleBuckets = []float64{
+	0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
 
 // PullerConfig tunes a follower's replication puller.
 type PullerConfig struct {
@@ -85,9 +93,18 @@ type Puller struct {
 	obsolete map[string]struct{} // artifact files to unlink once old stores retire
 	retiring []retiringStore
 
-	cycles   atomic.Uint64
-	applied  atomic.Uint64
-	failures atomic.Uint64
+	// Per-cycle catch-up metrics, registered on the service registry by
+	// NewPuller and surfaced in /api/v1/meta's replication section:
+	// cycles run, deltas applied, failed cycles, 409 re-lists, artifact
+	// files actually fetched, artifact bytes shipped over the wire, and
+	// the cycle wall-time histogram.
+	cycles       obs.Counter
+	applied      obs.Counter
+	failures     obs.Counter
+	relists      obs.Counter
+	filesFetched obs.Counter
+	bytesShipped obs.Counter
+	cycleTime    *obs.Histogram
 }
 
 type stagedArtifact struct {
@@ -126,14 +143,38 @@ func NewPuller(svc *Service, cfg PullerConfig) (*Puller, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Puller{
-		svc:      svc,
-		cfg:      cfg,
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
-		staged:   make(map[string]stagedArtifact),
-		obsolete: make(map[string]struct{}),
-	}, nil
+	p := &Puller{
+		svc:       svc,
+		cfg:       cfg,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		staged:    make(map[string]stagedArtifact),
+		obsolete:  make(map[string]struct{}),
+		cycleTime: obs.NewHistogram(pullCycleBuckets),
+	}
+	p.registerMetrics(svc.Registry())
+	svc.puller = p
+	return p, nil
+}
+
+// registerMetrics wires the puller's counters and cycle histogram onto
+// the service registry. Rebuilding a puller for the same service (tests)
+// re-points the names at the new instance.
+func (p *Puller) registerMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("spotlake_replication_cycles_total",
+		"Replication sync cycles run.", &p.cycles)
+	reg.RegisterCounter("spotlake_replication_applied_total",
+		"Replication cycles that applied a delta and swapped the store.", &p.applied)
+	reg.RegisterCounter("spotlake_replication_failures_total",
+		"Replication cycles that failed.", &p.failures)
+	reg.RegisterCounter("spotlake_replication_relists_total",
+		"Mid-pull 409s: the pinned listing went stale and the cycle re-listed.", &p.relists)
+	reg.RegisterCounter("spotlake_replication_files_fetched_total",
+		"Artifact files fetched from the primary (already-staged files not counted).", &p.filesFetched)
+	reg.RegisterCounter("spotlake_replication_bytes_shipped_total",
+		"Artifact bytes shipped from the primary.", &p.bytesShipped)
+	reg.RegisterHistogram("spotlake_replication_cycle_seconds",
+		"Wall time of replication sync cycles.", p.cycleTime)
 }
 
 // Start launches the poll loop: one immediate sync, then one per
@@ -189,7 +230,38 @@ func (p *Puller) Stop() {
 // Stats reports cycle counters: total cycles run, deltas applied, and
 // failed cycles.
 func (p *Puller) Stats() (cycles, applied, failures uint64) {
-	return p.cycles.Load(), p.applied.Load(), p.failures.Load()
+	return p.cycles.Value(), p.applied.Value(), p.failures.Value()
+}
+
+// PullerStats is the follower's catch-up health, surfaced as the
+// replication meta section's `puller` object: cycle counters, what the
+// cycles moved, and bucket-derived cycle wall-time percentiles — all
+// read from the same registry-registered state the
+// spotlake_replication_* exposition serves.
+type PullerStats struct {
+	Cycles          uint64  `json:"cycles"`
+	Applied         uint64  `json:"applied"`
+	Failures        uint64  `json:"failures"`
+	Relists         uint64  `json:"relists"`
+	FilesFetched    uint64  `json:"filesFetched"`
+	BytesShipped    uint64  `json:"bytesShipped"`
+	P50CycleSeconds float64 `json:"p50CycleSeconds"`
+	P99CycleSeconds float64 `json:"p99CycleSeconds"`
+}
+
+// StatsDetail snapshots the full per-cycle metric set.
+func (p *Puller) StatsDetail() PullerStats {
+	snap := p.cycleTime.Snapshot()
+	return PullerStats{
+		Cycles:          p.cycles.Value(),
+		Applied:         p.applied.Value(),
+		Failures:        p.failures.Value(),
+		Relists:         p.relists.Value(),
+		FilesFetched:    p.filesFetched.Value(),
+		BytesShipped:    p.bytesShipped.Value(),
+		P50CycleSeconds: snap.Quantile(0.50),
+		P99CycleSeconds: snap.Quantile(0.99),
+	}
 }
 
 // SyncOnce runs one replication cycle: list, fetch the delta, commit,
@@ -200,6 +272,8 @@ func (p *Puller) SyncOnce() error {
 	p.cycleMu.Lock()
 	defer p.cycleMu.Unlock()
 	p.cycles.Add(1)
+	start := time.Now()
+	defer func() { p.cycleTime.Observe(time.Since(start)) }()
 	p.retireOld(false)
 	var err error
 	// A checkpoint racing the pull 409s file fetches; re-list a bounded
@@ -209,6 +283,7 @@ func (p *Puller) SyncOnce() error {
 		if !errors.Is(err, errRelist) {
 			break
 		}
+		p.relists.Add(1)
 	}
 	if err != nil {
 		p.failures.Add(1)
@@ -262,6 +337,8 @@ func (p *Puller) syncCycle() error {
 		if err != nil {
 			return err
 		}
+		p.filesFetched.Add(1)
+		p.bytesShipped.Add(uint64(n))
 		staged[a.Name] = stagedArtifact{size: n, epoch: listing.Epoch}
 	}
 	// Make the staged renames durable before committing a manifest that

@@ -31,6 +31,7 @@ package archive
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -58,9 +59,35 @@ type followerState struct {
 
 // SetFollower marks the service a read replica of primaryURL with the
 // given staleness bound (<= 0 disables the bound: the replica serves
-// however stale it is). Must be called before Handler().
+// however stale it is). Must be called before Handler(). The replica's
+// applied-position and staleness gauges register on the service
+// registry.
 func (s *Service) SetFollower(primaryURL string, maxStaleness time.Duration) {
-	s.follower = &followerState{primaryURL: primaryURL, maxStaleness: maxStaleness}
+	f := &followerState{primaryURL: primaryURL, maxStaleness: maxStaleness}
+	s.follower = f
+	s.reg.GaugeFunc("spotlake_replication_applied_epoch",
+		"Primary epoch of the last applied (or verified-current) listing.",
+		func() float64 { return float64(f.appliedEpoch.Load()) })
+	s.reg.GaugeFunc("spotlake_replication_applied_checkpoint_seq",
+		"Primary checkpoint sequence of the last applied listing.",
+		func() float64 { return float64(f.appliedSeq.Load()) })
+	s.reg.GaugeFunc("spotlake_replication_seconds_behind",
+		"Seconds since the last confirmed sync with the primary (0 = never synced).",
+		func() float64 {
+			last := f.lastSync.Load()
+			if last == 0 {
+				return 0
+			}
+			return time.Since(time.Unix(0, last)).Seconds()
+		})
+	s.reg.GaugeFunc("spotlake_replication_stale",
+		"1 when the replica is past its staleness bound and shedding reads.",
+		func() float64 {
+			if _, stale := f.staleFor(time.Now()); stale {
+				return 1
+			}
+			return 0
+		})
 }
 
 // IsFollower reports whether the service serves as a read replica.
@@ -112,6 +139,9 @@ type ReplicationMeta struct {
 	SecondsBehindPrimary     float64 `json:"secondsBehindPrimary,omitempty"`
 	MaxStalenessSeconds      float64 `json:"maxStalenessSeconds,omitempty"`
 	Stale                    bool    `json:"stale,omitempty"`
+	// Puller carries the follower's per-cycle catch-up stats; absent on
+	// primaries and on followers without a running puller.
+	Puller *PullerStats `json:"puller,omitempty"`
 }
 
 func (s *Service) replicationMeta(db *tsdb.DB) ReplicationMeta {
@@ -132,6 +162,10 @@ func (s *Service) replicationMeta(db *tsdb.DB) ReplicationMeta {
 		m.SecondsBehindPrimary = time.Since(time.Unix(0, last)).Seconds()
 	}
 	_, m.Stale = f.staleFor(time.Now())
+	if s.puller != nil {
+		st := s.puller.StatsDetail()
+		m.Puller = &st
+	}
 	return m
 }
 
@@ -143,10 +177,12 @@ func (s *Service) withFollowerGate(h http.Handler) http.Handler {
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		f := s.follower
-		// Meta stays reachable so a sick replica remains observable; the
+		// The observability surface (meta, metrics, health/readiness)
+		// stays reachable so a sick replica remains observable — /readyz
+		// in particular must answer its own verdict, not a gate's; the
 		// replication endpoints answer 403 not_primary on a follower no
 		// matter what, which is more actionable than a staleness 503.
-		if r.URL.Path != "/api/v1/meta" && !strings.HasPrefix(r.URL.Path, "/api/v1/replication/") {
+		if !exemptPath(r.URL.Path) && !strings.HasPrefix(r.URL.Path, "/api/v1/replication/") {
 			if behind, stale := f.staleFor(time.Now()); stale {
 				// The bound is usually a multiple of the poll interval, so
 				// one interval is the natural retry hint.
@@ -159,6 +195,29 @@ func (s *Service) withFollowerGate(h http.Handler) http.Handler {
 		}
 		h.ServeHTTP(w, r)
 	})
+}
+
+// handleReadyz answers the readiness probe. On a follower, ready means
+// the applied position is within the staleness bound; on a primary,
+// ready means a store is open and serving. Liveness (/healthz) stays
+// 200 either way — a stale follower is not-ready, not dead, so a load
+// balancer pools it out while it catches up instead of restarting it.
+func (s *Service) handleReadyz(w http.ResponseWriter) {
+	if f := s.follower; f != nil {
+		if behind, stale := f.staleFor(time.Now()); stale {
+			w.Header().Set("Retry-After", "1")
+			writeAPIError(w, http.StatusServiceUnavailable, ErrCodeStaleReplica, "",
+				fmt.Errorf("archive: not ready: replica is %s behind the primary (max staleness %s)",
+					behind.Round(time.Second), f.maxStaleness))
+			return
+		}
+	} else if s.store() == nil {
+		writeAPIError(w, http.StatusServiceUnavailable, ErrCodeInternal, "",
+			errors.New("archive: not ready: no store open"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, "ready\n")
 }
 
 // replListing is the /api/v1/replication/manifest response: the parent

@@ -18,7 +18,8 @@ package archive
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // flightCall is one in-flight leader computation plus everyone waiting
@@ -37,7 +38,7 @@ type flightCall struct {
 type flightGroup struct {
 	mu        sync.Mutex
 	inflight  map[string]*flightCall
-	coalesced atomic.Uint64
+	coalesced obs.Counter
 
 	// leaderBarrier, when set (tests only), runs in the leader's
 	// goroutine before compute — a seam for holding a computation open

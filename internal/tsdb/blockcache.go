@@ -19,7 +19,8 @@ package tsdb
 import (
 	"container/list"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // DefaultBlockCacheBytes is the block cache's size bound when Options
@@ -44,9 +45,9 @@ type blockCache struct {
 	lru   *list.List // front = most recent
 	index map[blockCacheKey]*list.Element
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
+	hits      obs.Counter
+	misses    obs.Counter
+	evictions obs.Counter
 }
 
 // newBlockCache builds a cache bounded to max bytes of decoded points.
@@ -127,9 +128,9 @@ func (db *DB) BlockCacheStats() BlockCacheStats {
 	size := c.size
 	c.mu.Unlock()
 	return BlockCacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
 		Bytes:     size,
 		MaxBytes:  max(c.max, 0),
 	}

@@ -94,12 +94,12 @@ type MaintenanceStats struct {
 // MaintenanceStats returns the cumulative maintainer counters.
 func (db *DB) MaintenanceStats() MaintenanceStats {
 	return MaintenanceStats{
-		Checkpoints:         db.maintCP.Load(),
-		ForcedByBytes:       db.maintByBytes.Load(),
-		ForcedByChainLength: db.maintByChain.Load(),
-		ForcedBySeal:        db.maintBySeal.Load(),
-		ForcedByRetention:   db.maintByRet.Load(),
-		Errors:              db.maintErrs.Load(),
+		Checkpoints:         db.maintCP.Value(),
+		ForcedByBytes:       db.maintByBytes.Value(),
+		ForcedByChainLength: db.maintByChain.Value(),
+		ForcedBySeal:        db.maintBySeal.Value(),
+		ForcedByRetention:   db.maintByRet.Value(),
+		Errors:              db.maintErrs.Value(),
 	}
 }
 

@@ -1,0 +1,96 @@
+package tsdb
+
+// Registry wiring for the store. The DB's counters live on the DB (and
+// its block cache / retention states) as obs.Counter fields — one atomic
+// per fact, incremented on the hot paths exactly as before. This file
+// registers func-backed views of them so a process-wide registry can
+// outlive any one store: followers swap stores on catch-up (SwapDB) and
+// a rollup-enabled store nests a second DB in-process, so metrics read
+// through a current() indirection instead of binding the counters of
+// whichever store existed at wiring time.
+
+import "repro/internal/obs"
+
+// RegisterMetrics registers the store's counters and gauges on reg under
+// the spotlake_store_*, spotlake_maintenance_*, spotlake_blockcache_*,
+// and spotlake_retention_* names. current returns the store to read at
+// scrape time; it may return nil (all series then read zero), and the
+// store it returns may change between scrapes — counters then restart
+// from the new store's history, which is the usual counter-reset story
+// scrape consumers already handle.
+func RegisterMetrics(reg *obs.Registry, current func() *DB) {
+	counter := func(name, help string, read func(db *DB) uint64) {
+		reg.CounterFunc(name, help, func() uint64 {
+			if db := current(); db != nil {
+				return read(db)
+			}
+			return 0
+		})
+	}
+	gauge := func(name, help string, read func(db *DB) float64) {
+		reg.GaugeFunc(name, help, func() float64 {
+			if db := current(); db != nil {
+				return read(db)
+			}
+			return 0
+		})
+	}
+
+	gauge("spotlake_store_series", "Number of live series in the store.",
+		func(db *DB) float64 { return float64(db.SeriesCount()) })
+	gauge("spotlake_store_points", "Total points resident or sealed in the store.",
+		func(db *DB) float64 { return float64(db.PointCount()) })
+	gauge("spotlake_store_hot_points", "Points resident in the in-memory hot tier.",
+		func(db *DB) float64 { return float64(db.HotPointCount()) })
+	gauge("spotlake_store_cold_points", "Points sealed into compressed cold blocks.",
+		func(db *DB) float64 { return float64(db.ColdPointCount()) })
+	gauge("spotlake_store_sealed_blocks", "Sealed cold blocks on disk.",
+		func(db *DB) float64 { return float64(db.SealedBlocks()) })
+	gauge("spotlake_store_cold_compressed_bytes", "Compressed on-disk bytes of the cold tier.",
+		func(db *DB) float64 { return float64(db.ColdCompressedBytes()) })
+	gauge("spotlake_store_sealed_segments", "Sealed WAL segments awaiting checkpoint compaction.",
+		func(db *DB) float64 { return float64(db.SealedSegments()) })
+	gauge("spotlake_store_wal_bytes_since_checkpoint", "WAL bytes appended since the last checkpoint (the recovery tail).",
+		func(db *DB) float64 { return float64(db.WALBytesSinceCheckpoint()) })
+	counter("spotlake_store_replayed_wal_bytes", "WAL record bytes the last open replayed beyond its checkpoint.",
+		func(db *DB) uint64 { return db.ReplayedWALBytes() })
+	counter("spotlake_store_rotate_failures_total", "Segment rotations that failed on the append path.",
+		func(db *DB) uint64 { return db.RotateFailures() })
+	counter("spotlake_store_cold_read_errors_total", "Cold block reads that failed and degraded to hot-only results.",
+		func(db *DB) uint64 { return db.ColdReadErrors() })
+	counter("spotlake_store_scanned_points_total", "Points materialized by reads (hot copies and decoded block windows).",
+		func(db *DB) uint64 { return db.ScannedPoints() })
+
+	counter("spotlake_maintenance_checkpoints_total", "Checkpoints committed by the store's maintainer.",
+		func(db *DB) uint64 { return db.MaintenanceStats().Checkpoints })
+	counter("spotlake_maintenance_forced_by_bytes_total", "Maintenance checkpoints with the WAL byte trigger live.",
+		func(db *DB) uint64 { return db.MaintenanceStats().ForcedByBytes })
+	counter("spotlake_maintenance_forced_by_chain_total", "Maintenance checkpoints with the sealed-chain trigger live.",
+		func(db *DB) uint64 { return db.MaintenanceStats().ForcedByChainLength })
+	counter("spotlake_maintenance_forced_by_seal_total", "Maintenance checkpoints with the hot-point seal trigger live.",
+		func(db *DB) uint64 { return db.MaintenanceStats().ForcedBySeal })
+	counter("spotlake_maintenance_forced_by_retention_total", "Maintenance checkpoints with the retention trigger live.",
+		func(db *DB) uint64 { return db.MaintenanceStats().ForcedByRetention })
+	counter("spotlake_maintenance_errors_total", "Maintenance checkpoints that failed (retried on the next tick).",
+		func(db *DB) uint64 { return db.MaintenanceStats().Errors })
+
+	counter("spotlake_blockcache_hits_total", "Block cache hits.",
+		func(db *DB) uint64 { return db.BlockCacheStats().Hits })
+	counter("spotlake_blockcache_misses_total", "Block cache misses.",
+		func(db *DB) uint64 { return db.BlockCacheStats().Misses })
+	counter("spotlake_blockcache_evictions_total", "Block cache evictions under the size bound.",
+		func(db *DB) uint64 { return db.BlockCacheStats().Evictions })
+	gauge("spotlake_blockcache_bytes", "Decoded-point bytes resident in the block cache.",
+		func(db *DB) float64 { return float64(db.BlockCacheStats().Bytes) })
+	gauge("spotlake_blockcache_max_bytes", "Configured block cache bound (0 = disabled).",
+		func(db *DB) float64 { return float64(db.BlockCacheStats().MaxBytes) })
+
+	counter("spotlake_retention_dropped_points_total", "Raw points dropped by retention across all datasets.",
+		func(db *DB) uint64 {
+			var n uint64
+			for _, st := range db.RetentionStats() {
+				n += uint64(st.DroppedPoints)
+			}
+			return n
+		})
+}

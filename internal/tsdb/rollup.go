@@ -68,6 +68,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Rollup resolutions. Each finalized raw bucket of these widths is
@@ -191,7 +193,7 @@ type retentionState struct {
 	// with nothing new to drop does not checkpoint every tick.
 	lastEval atomic.Int64
 	// dropped counts raw points dropped by retention since open.
-	dropped atomic.Int64
+	dropped obs.Counter
 }
 
 // casMax raises a to v if v is larger.
@@ -273,7 +275,7 @@ type RetentionStat struct {
 func (db *DB) RetentionStats() []RetentionStat {
 	out := make([]RetentionStat, 0, len(db.retain))
 	for ds, rs := range db.retain {
-		st := RetentionStat{Dataset: ds, Horizon: rs.horizon, DroppedPoints: rs.dropped.Load()}
+		st := RetentionStat{Dataset: ds, Horizon: rs.horizon, DroppedPoints: int64(rs.dropped.Value())}
 		if cut := rs.cut.Load(); cut != noCut {
 			st.Cut = time.Unix(0, cut).UTC()
 		}
@@ -679,7 +681,7 @@ func (db *DB) enforceRetentionLocked(cov rollupCoverage) error {
 	db.man = m
 	// Committed: detach in memory and settle the per-dataset state.
 	db.dropColdBelow(cutFor, func(ds string, pts int64) {
-		db.retain[ds].dropped.Add(pts)
+		db.retain[ds].dropped.Add(uint64(pts))
 	})
 	for ds, c := range cuts {
 		casMax(&db.retain[ds].cut, c)
@@ -734,7 +736,7 @@ func (db *DB) applyRetainCutsLocked(cov rollupCoverage) {
 		return c
 	}, func(ds string, pts int64) {
 		if rs := db.retain[ds]; rs != nil {
-			rs.dropped.Add(pts)
+			rs.dropped.Add(uint64(pts))
 		}
 	})
 }

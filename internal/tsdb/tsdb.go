@@ -67,6 +67,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Dataset names used by the SpotLake collector. The store accepts any
@@ -210,21 +212,21 @@ type DB struct {
 	coldPts      atomic.Int64
 	sealedBlks   atomic.Int64
 	coldBytes    atomic.Int64
-	coldErrs     atomic.Uint64
-	scanned      atomic.Uint64
+	coldErrs     obs.Counter
+	scanned      obs.Counter
 	sealFloor    atomic.Int64
-	maintBySeal  atomic.Uint64
+	maintBySeal  obs.Counter
 
 	// replayedBytes counts the WAL record bytes the last Open replayed
 	// beyond the checkpoint cut — the observable size of the recovery
 	// tail that checkpointing (time- or size-triggered) bounds.
-	replayedBytes atomic.Uint64
+	replayedBytes obs.Counter
 
 	// rotateFails counts segment rotations that failed on the append
 	// path. The appends themselves succeed (the record is durable in the
 	// still-active segment), so the failure is surfaced here instead of
 	// through their error returns.
-	rotateFails atomic.Uint64
+	rotateFails obs.Counter
 
 	// Maintenance state (see maintain.go). cpAfterBytes and maxSealed are
 	// the trigger thresholds, fixed at open; chainOver counts shards whose
@@ -247,10 +249,10 @@ type DB struct {
 	maintWake    chan struct{}
 	maintStop    chan struct{}
 	maintDone    chan struct{}
-	maintCP      atomic.Uint64
-	maintByBytes atomic.Uint64
-	maintByChain atomic.Uint64
-	maintErrs    atomic.Uint64
+	maintCP      obs.Counter
+	maintByBytes obs.Counter
+	maintByChain obs.Counter
+	maintErrs    obs.Counter
 
 	// Rollup and retention state (see rollup.go). rollup is the nested
 	// store holding the materialized downsample series, nil when the
@@ -260,7 +262,7 @@ type DB struct {
 	// Both are fixed at open.
 	rollup     *DB
 	retain     map[string]*retentionState
-	maintByRet atomic.Uint64
+	maintByRet obs.Counter
 
 	// testCrash, when armed by the crash-matrix tests, aborts the
 	// rotation/checkpoint protocol at a named durable boundary. Nil in
@@ -549,7 +551,7 @@ func (db *DB) WALBytesSinceCheckpoint() uint64 {
 // this store replayed beyond its checkpoint cut — the realized recovery
 // tail. Zero for memory-only stores and for opens that bulk-loaded a
 // checkpoint covering everything.
-func (db *DB) ReplayedWALBytes() uint64 { return db.replayedBytes.Load() }
+func (db *DB) ReplayedWALBytes() uint64 { return db.replayedBytes.Value() }
 
 // RotateFailures returns how many segment rotations have failed since
 // open. The affected appends succeeded (their records are durable in the
@@ -557,7 +559,7 @@ func (db *DB) ReplayedWALBytes() uint64 { return db.replayedBytes.Load() }
 // a climbing counter means the store cannot create new segment files —
 // disk full or permissions — and checkpoints have stopped reclaiming
 // space.
-func (db *DB) RotateFailures() uint64 { return db.rotateFails.Load() }
+func (db *DB) RotateFailures() uint64 { return db.rotateFails.Value() }
 
 // ShardGeneration returns the generation counter of one shard; it
 // increases whenever a point is stored into that shard.
@@ -1618,7 +1620,7 @@ func (db *DB) ColdCompressedBytes() int64 { return db.coldBytes.Load() }
 // ColdReadErrors returns how many cold block reads have failed —
 // nonzero means on-disk corruption or a vanished block file. The
 // affected reads returned ErrColdRead rather than partial results.
-func (db *DB) ColdReadErrors() uint64 { return db.coldErrs.Load() }
+func (db *DB) ColdReadErrors() uint64 { return db.coldErrs.Value() }
 
 // ScannedPoints returns how many points reads have materialized since
 // open: hot-tail copies plus decoded cold-block windows, across every
@@ -1626,7 +1628,7 @@ func (db *DB) ColdReadErrors() uint64 { return db.coldErrs.Load() }
 // long-window queries — a 90-day window served at 1h resolution scans
 // the rollup store's buckets, not every raw tick — and the scan-ratio
 // tests assert that through this counter.
-func (db *DB) ScannedPoints() uint64 { return db.scanned.Load() }
+func (db *DB) ScannedPoints() uint64 { return db.scanned.Value() }
 
 // HotTailPoints returns the per-series hot tail the store keeps when
 // sealing (-1 when sealing is disabled).
